@@ -1,0 +1,275 @@
+//! Cube (product-term) extraction: turning a BDD back into a readable
+//! sum-of-products formula.
+//!
+//! The synthesis layer uses this to present synthesized knowledge predicates
+//! in the same shape as the MCK output shown in the paper's appendix, e.g.
+//! `(time == 2) /\ values_received[0]`.
+
+use std::fmt;
+
+use crate::manager::{Bdd, Ref, Var};
+
+/// A literal: a variable together with its phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// The variable.
+    pub var: Var,
+    /// `true` for the positive literal, `false` for the negated literal.
+    pub positive: bool,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "!{}", self.var)
+        }
+    }
+}
+
+/// A conjunction of literals over distinct variables.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cube {
+    literals: Vec<Literal>,
+}
+
+impl Cube {
+    /// Creates a cube from literals. Literals are sorted by variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two literals mention the same variable.
+    pub fn new(mut literals: Vec<Literal>) -> Self {
+        literals.sort();
+        for pair in literals.windows(2) {
+            assert_ne!(pair[0].var, pair[1].var, "cube mentions {} twice", pair[0].var);
+        }
+        Cube { literals }
+    }
+
+    /// The literals of the cube, sorted by variable.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// `true` when the cube is the empty conjunction (constant true).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Returns the phase of `var` in this cube, if constrained.
+    pub fn phase_of(&self, var: Var) -> Option<bool> {
+        self.literals
+            .iter()
+            .find(|l| l.var == var)
+            .map(|l| l.positive)
+    }
+
+    /// Evaluates the cube under an assignment.
+    pub fn eval<F: Fn(Var) -> bool>(&self, assignment: F) -> bool {
+        self.literals.iter().all(|l| assignment(l.var) == l.positive)
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "true");
+        }
+        for (pos, literal) in self.literals.iter().enumerate() {
+            if pos > 0 {
+                write!(f, " /\\ ")?;
+            }
+            write!(f, "{literal}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Bdd {
+    /// Builds the BDD of a cube.
+    pub fn cube(&mut self, cube: &Cube) -> Ref {
+        let mut acc = Ref::TRUE;
+        for literal in cube.literals().iter().rev() {
+            let lit = self.literal(literal.var, literal.positive);
+            acc = self.and(lit, acc);
+        }
+        acc
+    }
+
+    /// Enumerates the paths to `true` in `f` as a disjoint sum of cubes.
+    ///
+    /// Variables skipped along a path (don't-cares) do not appear in the
+    /// corresponding cube, so the cubes are already partially minimised.
+    pub fn path_cubes(&self, f: Ref) -> Vec<Cube> {
+        let mut cubes = Vec::new();
+        let mut current = Vec::new();
+        self.path_cubes_rec(f, &mut current, &mut cubes);
+        cubes
+    }
+
+    fn path_cubes_rec(&self, f: Ref, current: &mut Vec<Literal>, out: &mut Vec<Cube>) {
+        match f {
+            Ref::FALSE => {}
+            Ref::TRUE => out.push(Cube::new(current.clone())),
+            _ => {
+                let var = self.node_var(f);
+                current.push(Literal { var, positive: false });
+                self.path_cubes_rec(self.node_low(f), current, out);
+                current.pop();
+                current.push(Literal { var, positive: true });
+                self.path_cubes_rec(self.node_high(f), current, out);
+                current.pop();
+            }
+        }
+    }
+
+    /// Returns a (not necessarily minimal, but irredundant-per-cube) prime
+    /// cover of `f`: each path cube is expanded by greedily dropping literals
+    /// while it still implies `f`, and duplicate cubes are removed.
+    pub fn prime_cover(&mut self, f: Ref) -> Vec<Cube> {
+        let mut cover = Vec::new();
+        for cube in self.path_cubes(f) {
+            let mut literals = cube.literals().to_vec();
+            let mut index = 0;
+            while index < literals.len() {
+                let mut candidate = literals.clone();
+                candidate.remove(index);
+                let candidate_cube = Cube::new(candidate.clone());
+                let cube_bdd = self.cube(&candidate_cube);
+                let implied = self.implies(cube_bdd, f);
+                if implied == Ref::TRUE {
+                    literals = candidate;
+                } else {
+                    index += 1;
+                }
+            }
+            let expanded = Cube::new(literals);
+            if !cover.contains(&expanded) {
+                cover.push(expanded);
+            }
+        }
+        // Drop cubes subsumed by another cube in the cover.
+        let mut result: Vec<Cube> = Vec::new();
+        for cube in &cover {
+            let subsumed = cover.iter().any(|other| {
+                other != cube
+                    && other.len() < cube.len()
+                    && other
+                        .literals()
+                        .iter()
+                        .all(|l| cube.phase_of(l.var) == Some(l.positive))
+            });
+            if !subsumed {
+                result.push(cube.clone());
+            }
+        }
+        result
+    }
+
+    /// Rebuilds a BDD from a cover (disjunction of cubes); used in tests to
+    /// validate that covers are exact.
+    pub fn cover_to_bdd(&mut self, cover: &[Cube]) -> Ref {
+        let mut acc = Ref::FALSE;
+        for cube in cover {
+            let c = self.cube(cube);
+            acc = self.or(acc, c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(var: u32, positive: bool) -> Literal {
+        Literal { var: Var::new(var), positive }
+    }
+
+    #[test]
+    fn cube_construction_and_eval() {
+        let cube = Cube::new(vec![lit(1, true), lit(0, false)]);
+        assert_eq!(cube.len(), 2);
+        assert_eq!(cube.phase_of(Var::new(0)), Some(false));
+        assert_eq!(cube.phase_of(Var::new(2)), None);
+        assert!(cube.eval(|v| v == Var::new(1)));
+        assert!(!cube.eval(|_| true));
+        assert_eq!(format!("{cube}"), "!v0 /\\ v1");
+        assert_eq!(format!("{}", Cube::default()), "true");
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn cube_rejects_duplicate_variable() {
+        let _ = Cube::new(vec![lit(0, true), lit(0, false)]);
+    }
+
+    #[test]
+    fn path_cubes_cover_exactly() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let z = bdd.var(Var::new(2));
+        let xy = bdd.and(x, y);
+        let f = bdd.or(xy, z);
+        let cubes = bdd.path_cubes(f);
+        assert!(!cubes.is_empty());
+        let rebuilt = bdd.cover_to_bdd(&cubes);
+        assert_eq!(rebuilt, f);
+        // Cubes from paths are mutually disjoint.
+        for (i, a) in cubes.iter().enumerate() {
+            for b in cubes.iter().skip(i + 1) {
+                let a_bdd = bdd.cube(a);
+                let b_bdd = bdd.cube(b);
+                assert_eq!(bdd.and(a_bdd, b_bdd), Ref::FALSE);
+            }
+        }
+    }
+
+    #[test]
+    fn path_cubes_of_constants() {
+        let bdd = Bdd::new();
+        assert!(bdd.path_cubes(Ref::FALSE).is_empty());
+        let cubes = bdd.path_cubes(Ref::TRUE);
+        assert_eq!(cubes.len(), 1);
+        assert!(cubes[0].is_empty());
+    }
+
+    #[test]
+    fn prime_cover_drops_redundant_literals() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        // f = x ∨ (¬x ∧ y) = x ∨ y: the path cube (¬x ∧ y) should expand to y.
+        let nx = bdd.not(x);
+        let nxy = bdd.and(nx, y);
+        let f = bdd.or(x, nxy);
+        let cover = bdd.prime_cover(f);
+        let rebuilt = bdd.cover_to_bdd(&cover);
+        assert_eq!(rebuilt, f);
+        assert!(cover.iter().all(|c| c.len() <= 1));
+        assert!(cover.contains(&Cube::new(vec![lit(0, true)])));
+        assert!(cover.contains(&Cube::new(vec![lit(1, true)])));
+    }
+
+    #[test]
+    fn prime_cover_is_exact_on_xor() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.xor(x, y);
+        let cover = bdd.prime_cover(f);
+        let rebuilt = bdd.cover_to_bdd(&cover);
+        assert_eq!(rebuilt, f);
+        // XOR has no don't-cares: both cubes keep both literals.
+        assert!(cover.iter().all(|c| c.len() == 2));
+        assert_eq!(cover.len(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! MCK, the model checker used in the paper, implements its epistemic model
+//! checking and synthesis algorithms with ordered binary decision diagram
+//! techniques (Burch et al., 1992). This crate provides the BDD substrate for
+//! the `epimc` workspace: a hash-consed node store with memoised boolean
+//! operations, quantification, substitution, satisfiability counting and
+//! cube (DNF) extraction.
+//!
+//! Variables are identified by their position in a fixed global ordering
+//! ([`Var`]); the manager does not perform dynamic reordering (the symbolic
+//! model-checking layer chooses an interleaved ordering up front, which is
+//! the standard approach for synchronous protocol models).
+//!
+//! # Example
+//!
+//! ```
+//! use epimc_bdd::{Bdd, Var};
+//!
+//! let mut bdd = Bdd::new();
+//! let x = bdd.var(Var::new(0));
+//! let y = bdd.var(Var::new(1));
+//! let both = bdd.and(x, y);
+//! let either = bdd.or(x, y);
+//! let implies = bdd.implies(both, either);
+//! assert_eq!(implies, bdd.constant(true));
+//! assert_eq!(bdd.sat_count(both, 2), 1);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cubes;
+mod manager;
+mod ops;
+mod sat;
+
+pub use cubes::{Cube, Literal};
+pub use manager::{Bdd, BddStats, Ref, Var};
+pub use ops::SubstId;

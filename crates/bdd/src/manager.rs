@@ -1,0 +1,432 @@
+//! The BDD manager: hash-consed node store and core boolean operations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A BDD variable, identified by its position in the global variable order.
+///
+/// Smaller indices are tested closer to the root of every diagram.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given position in the ordering.
+    pub fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// The position of the variable in the ordering.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A reference to a BDD node owned by a [`Bdd`] manager.
+///
+/// References are only meaningful relative to the manager that produced them;
+/// mixing references from different managers yields unspecified (but memory
+/// safe) results.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The terminal node for the constant `false`.
+    pub const FALSE: Ref = Ref(0);
+    /// The terminal node for the constant `true`.
+    pub const TRUE: Ref = Ref(1);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` when this reference is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+impl fmt::Debug for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Ref::FALSE => write!(f, "@false"),
+            Ref::TRUE => write!(f, "@true"),
+            Ref(i) => write!(f, "@{i}"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: Var,
+    low: Ref,
+    high: Ref,
+}
+
+/// Statistics about the size of a manager, exposed for benchmarking and for
+/// reporting the "BDD blow-up" behaviour discussed in Section 13 of the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Total number of nodes ever allocated (including the two terminals).
+    pub allocated_nodes: usize,
+    /// Number of entries currently held in the operation caches.
+    pub cache_entries: usize,
+}
+
+/// A binary decision diagram manager.
+///
+/// All diagrams produced by a manager share structure through a unique table,
+/// so equality of [`Ref`]s coincides with logical equivalence of the functions
+/// they denote (canonicity of ROBDDs).
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    exists_cache: HashMap<(Ref, Ref), Ref>,
+    replace_cache: HashMap<(Ref, u32), Ref>,
+    pub(crate) substitutions: Vec<Vec<(Var, Var)>>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bdd {
+    /// Creates an empty manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        // Terminals carry a pseudo-variable beyond any real variable so that
+        // variable comparisons during `ite` treat them as "last".
+        let terminal_var = Var(u32::MAX);
+        let nodes = vec![
+            Node { var: terminal_var, low: Ref::FALSE, high: Ref::FALSE },
+            Node { var: terminal_var, low: Ref::TRUE, high: Ref::TRUE },
+        ];
+        Bdd {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            exists_cache: HashMap::new(),
+            replace_cache: HashMap::new(),
+            substitutions: Vec::new(),
+        }
+    }
+
+    /// Returns the terminal node for the given boolean constant.
+    pub fn constant(&self, value: bool) -> Ref {
+        if value {
+            Ref::TRUE
+        } else {
+            Ref::FALSE
+        }
+    }
+
+    /// Returns the diagram for the single variable `var`.
+    pub fn var(&mut self, var: Var) -> Ref {
+        self.mk(var, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Returns the diagram for the negation of the single variable `var`.
+    pub fn nvar(&mut self, var: Var) -> Ref {
+        self.mk(var, Ref::TRUE, Ref::FALSE)
+    }
+
+    /// Returns the diagram for a literal: `var` if `positive`, else `!var`.
+    pub fn literal(&mut self, var: Var, positive: bool) -> Ref {
+        if positive {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    pub(crate) fn node_var(&self, r: Ref) -> Var {
+        self.nodes[r.index()].var
+    }
+
+    pub(crate) fn node_low(&self, r: Ref) -> Ref {
+        self.nodes[r.index()].low
+    }
+
+    pub(crate) fn node_high(&self, r: Ref) -> Ref {
+        self.nodes[r.index()].high
+    }
+
+    /// Creates (or finds) the node `ITE(var, high, low)`, applying the
+    /// standard reduction rules.
+    pub(crate) fn mk(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&existing) = self.unique.get(&node) {
+            return existing;
+        }
+        let r = Ref(u32::try_from(self.nodes.len()).expect("BDD node count overflow"));
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// If-then-else: the function `if f then g else h`.
+    ///
+    /// All binary boolean operations are implemented in terms of this
+    /// operation, which is memoised.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal cases.
+        if f == Ref::TRUE {
+            return g;
+        }
+        if f == Ref::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Ref::TRUE && h == Ref::FALSE {
+            return f;
+        }
+        if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
+            return cached;
+        }
+        let top = self
+            .node_var(f)
+            .min(self.node_var(g))
+            .min(self.node_var(h));
+        let (f_lo, f_hi) = self.cofactors(f, top);
+        let (g_lo, g_hi) = self.cofactors(g, top);
+        let (h_lo, h_hi) = self.cofactors(h, top);
+        let low = self.ite(f_lo, g_lo, h_lo);
+        let high = self.ite(f_hi, g_hi, h_hi);
+        let result = self.mk(top, low, high);
+        self.ite_cache.insert((f, g, h), result);
+        result
+    }
+
+    pub(crate) fn cofactors(&self, r: Ref, var: Var) -> (Ref, Ref) {
+        if r.is_terminal() || self.node_var(r) != var {
+            (r, r)
+        } else {
+            (self.node_low(r), self.node_high(r))
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, Ref::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Material implication `f ⇒ g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::TRUE)
+    }
+
+    /// Biconditional `f ⇔ g`.
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Conjunction of an iterator of diagrams (`true` for an empty iterator).
+    pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
+        let mut acc = Ref::TRUE;
+        for item in items {
+            acc = self.and(acc, item);
+            if acc == Ref::FALSE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of diagrams (`false` for an empty iterator).
+    pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
+        let mut acc = Ref::FALSE;
+        for item in items {
+            acc = self.or(acc, item);
+            if acc == Ref::TRUE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Number of (shared) nodes in the diagram rooted at `f`, including the
+    /// terminals that it reaches.
+    pub fn node_count(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) || r.is_terminal() {
+                continue;
+            }
+            stack.push(self.node_low(r));
+            stack.push(self.node_high(r));
+        }
+        seen.len()
+    }
+
+    /// Manager-wide statistics.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            allocated_nodes: self.nodes.len(),
+            cache_entries: self.ite_cache.len() + self.exists_cache.len() + self.replace_cache.len(),
+        }
+    }
+
+    /// Drops all memoisation caches (the unique table is retained, so
+    /// canonicity is unaffected). Useful between benchmark iterations.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.exists_cache.clear();
+        self.replace_cache.clear();
+    }
+
+    pub(crate) fn exists_cache(&mut self) -> &mut HashMap<(Ref, Ref), Ref> {
+        &mut self.exists_cache
+    }
+
+    pub(crate) fn replace_cache(&mut self) -> &mut HashMap<(Ref, u32), Ref> {
+        &mut self.replace_cache
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bdd")
+            .field("nodes", &self.nodes.len())
+            .field("cache", &self.ite_cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_distinct_terminals() {
+        let bdd = Bdd::new();
+        assert_eq!(bdd.constant(true), Ref::TRUE);
+        assert_eq!(bdd.constant(false), Ref::FALSE);
+        assert_ne!(Ref::TRUE, Ref::FALSE);
+        assert!(Ref::TRUE.is_terminal());
+    }
+
+    #[test]
+    fn variables_are_canonical() {
+        let mut bdd = Bdd::new();
+        let x1 = bdd.var(Var::new(3));
+        let x2 = bdd.var(Var::new(3));
+        assert_eq!(x1, x2);
+        let y = bdd.var(Var::new(4));
+        assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn basic_boolean_algebra() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let nx = bdd.not(x);
+        assert_eq!(bdd.and(x, nx), Ref::FALSE);
+        assert_eq!(bdd.or(x, nx), Ref::TRUE);
+        assert_eq!(bdd.and(x, Ref::TRUE), x);
+        assert_eq!(bdd.or(x, Ref::FALSE), x);
+        // Canonicity: x∧y built two ways is the same node.
+        let a = bdd.and(x, y);
+        let b = {
+            let ny = bdd.not(y);
+            let not_either = bdd.or(nx, ny);
+            bdd.not(not_either)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xor_iff_implies() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let x_xor_y = bdd.xor(x, y);
+        let x_iff_y = bdd.iff(x, y);
+        assert_eq!(bdd.not(x_xor_y), x_iff_y);
+        let imp = bdd.implies(x, y);
+        let nx = bdd.not(x);
+        let expected = bdd.or(nx, y);
+        assert_eq!(imp, expected);
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..4).map(|i| bdd.var(Var::new(i))).collect();
+        let all = bdd.and_all(vars.clone());
+        let any = bdd.or_all(vars.clone());
+        assert_eq!(bdd.sat_count(all, 4), 1);
+        assert_eq!(bdd.sat_count(any, 4), 15);
+        assert_eq!(bdd.and_all([]), Ref::TRUE);
+        assert_eq!(bdd.or_all([]), Ref::FALSE);
+    }
+
+    #[test]
+    fn literal_builder() {
+        let mut bdd = Bdd::new();
+        let pos = bdd.literal(Var::new(2), true);
+        let neg = bdd.literal(Var::new(2), false);
+        assert_eq!(bdd.not(pos), neg);
+    }
+
+    #[test]
+    fn node_count_reflects_sharing() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.and(x, y);
+        // Nodes: x-node, y-node, and the two terminals reachable.
+        assert_eq!(bdd.node_count(f), 4);
+        assert_eq!(bdd.node_count(Ref::TRUE), 1);
+    }
+
+    #[test]
+    fn stats_and_cache_clearing() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let _ = bdd.and(x, y);
+        assert!(bdd.stats().allocated_nodes >= 4);
+        assert!(bdd.stats().cache_entries > 0);
+        bdd.clear_caches();
+        assert_eq!(bdd.stats().cache_entries, 0);
+        // Operations still work after clearing caches.
+        assert_eq!(bdd.and(x, y), bdd.and(y, x));
+    }
+}

@@ -1,0 +1,292 @@
+//! Quantification, restriction, substitution and support computation.
+
+use std::collections::BTreeSet;
+
+use crate::manager::{Bdd, Ref, Var};
+
+/// Identifier of a variable substitution registered with
+/// [`Bdd::register_substitution`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SubstId(pub(crate) u32);
+
+impl Bdd {
+    /// Restricts `f` by fixing `var` to `value` (the Shannon cofactor).
+    pub fn restrict(&mut self, f: Ref, var: Var, value: bool) -> Ref {
+        if f.is_terminal() {
+            return f;
+        }
+        let top = self.node_var(f);
+        if top > var {
+            return f;
+        }
+        let (low, high) = (self.node_low(f), self.node_high(f));
+        if top == var {
+            return if value { high } else { low };
+        }
+        let new_low = self.restrict(low, var, value);
+        let new_high = self.restrict(high, var, value);
+        self.mk(top, new_low, new_high)
+    }
+
+    /// Builds the positive cube (conjunction) of a set of variables, used as
+    /// the quantification set for [`Bdd::exists`] and [`Bdd::forall`].
+    pub fn cube_of_vars<I: IntoIterator<Item = Var>>(&mut self, vars: I) -> Ref {
+        let mut sorted: Vec<Var> = vars.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // Build from the bottom of the order upwards so each `mk` is O(1).
+        let mut acc = Ref::TRUE;
+        for var in sorted.into_iter().rev() {
+            acc = self.mk(var, Ref::FALSE, acc);
+        }
+        acc
+    }
+
+    /// Existential quantification of the variables in the positive cube
+    /// `cube`: `∃ vars . f`.
+    pub fn exists(&mut self, f: Ref, cube: Ref) -> Ref {
+        if f.is_terminal() || cube == Ref::TRUE {
+            return f;
+        }
+        if let Some(&cached) = self.exists_cache().get(&(f, cube)) {
+            return cached;
+        }
+        let f_var = self.node_var(f);
+        // Skip quantified variables above the root of f.
+        let mut cube_rest = cube;
+        while cube_rest != Ref::TRUE && self.node_var(cube_rest) < f_var {
+            cube_rest = self.node_high(cube_rest);
+        }
+        if cube_rest == Ref::TRUE {
+            return f;
+        }
+        let cube_var = self.node_var(cube_rest);
+        let (low, high) = (self.node_low(f), self.node_high(f));
+        let result = if f_var == cube_var {
+            let next_cube = self.node_high(cube_rest);
+            let low_q = self.exists(low, next_cube);
+            let high_q = self.exists(high, next_cube);
+            self.or(low_q, high_q)
+        } else {
+            // f_var < cube_var: keep the node, recurse below.
+            let low_q = self.exists(low, cube_rest);
+            let high_q = self.exists(high, cube_rest);
+            self.mk(f_var, low_q, high_q)
+        };
+        self.exists_cache().insert((f, cube), result);
+        result
+    }
+
+    /// Universal quantification `∀ vars . f`.
+    pub fn forall(&mut self, f: Ref, cube: Ref) -> Ref {
+        let nf = self.not(f);
+        let ex = self.exists(nf, cube);
+        self.not(ex)
+    }
+
+    /// Convenience wrapper: existential quantification over a slice of
+    /// variables.
+    pub fn exists_vars(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        let cube = self.cube_of_vars(vars.iter().copied());
+        self.exists(f, cube)
+    }
+
+    /// Convenience wrapper: universal quantification over a slice of
+    /// variables.
+    pub fn forall_vars(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        let cube = self.cube_of_vars(vars.iter().copied());
+        self.forall(f, cube)
+    }
+
+    /// Relational product `∃ vars . (f ∧ g)`, the workhorse of symbolic
+    /// image computation. (Computed without building the full conjunction
+    /// when one operand is constant.)
+    pub fn and_exists(&mut self, f: Ref, g: Ref, cube: Ref) -> Ref {
+        let conj = self.and(f, g);
+        self.exists(conj, cube)
+    }
+
+    /// Registers a variable renaming for use with [`Bdd::replace`].
+    ///
+    /// The renaming must be injective on its domain and must map each
+    /// variable to a variable not in the domain (a "swap to fresh columns",
+    /// which is how current-state/next-state renamings are used by the
+    /// symbolic model checker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not injective or if a target variable is also a
+    /// source variable.
+    pub fn register_substitution(&mut self, map: Vec<(Var, Var)>) -> SubstId {
+        let sources: BTreeSet<Var> = map.iter().map(|(s, _)| *s).collect();
+        let targets: BTreeSet<Var> = map.iter().map(|(_, t)| *t).collect();
+        assert_eq!(sources.len(), map.len(), "substitution sources must be distinct");
+        assert_eq!(targets.len(), map.len(), "substitution targets must be distinct");
+        assert!(
+            sources.intersection(&targets).next().is_none(),
+            "substitution sources and targets must not overlap"
+        );
+        let id = SubstId(u32::try_from(self.substitutions.len()).expect("too many substitutions"));
+        self.substitutions.push(map);
+        id
+    }
+
+    /// Applies a registered variable renaming to `f`.
+    pub fn replace(&mut self, f: Ref, subst: SubstId) -> Ref {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&cached) = self.replace_cache().get(&(f, subst.0)) {
+            return cached;
+        }
+        let var = self.node_var(f);
+        let low = self.node_low(f);
+        let high = self.node_high(f);
+        let low_r = self.replace(low, subst);
+        let high_r = self.replace(high, subst);
+        let new_var = self.substitutions[subst.0 as usize]
+            .iter()
+            .find(|(s, _)| *s == var)
+            .map(|(_, t)| *t)
+            .unwrap_or(var);
+        // The renamed variable may violate the ordering relative to the
+        // children, so rebuild with `ite` on the fresh variable.
+        let var_bdd = self.var(new_var);
+        let result = self.ite(var_bdd, high_r, low_r);
+        self.replace_cache().insert((f, subst.0), result);
+        result
+    }
+
+    /// The set of variables on which `f` depends.
+    pub fn support(&self, f: Ref) -> Vec<Var> {
+        let mut support = BTreeSet::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            support.insert(self.node_var(r));
+            stack.push(self.node_low(r));
+            stack.push(self.node_high(r));
+        }
+        support.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restrict_is_shannon_cofactor() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.and(x, y);
+        assert_eq!(bdd.restrict(f, Var::new(0), true), y);
+        assert_eq!(bdd.restrict(f, Var::new(0), false), Ref::FALSE);
+        // Restricting a variable not in the support is a no-op.
+        assert_eq!(bdd.restrict(f, Var::new(5), true), f);
+    }
+
+    #[test]
+    fn exists_and_forall() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.and(x, y);
+        let cube_x = bdd.cube_of_vars([Var::new(0)]);
+        assert_eq!(bdd.exists(f, cube_x), y);
+        assert_eq!(bdd.forall(f, cube_x), Ref::FALSE);
+        let g = bdd.or(x, y);
+        assert_eq!(bdd.forall(g, cube_x), y);
+        let cube_xy = bdd.cube_of_vars([Var::new(0), Var::new(1)]);
+        assert_eq!(bdd.exists(f, cube_xy), Ref::TRUE);
+        assert_eq!(bdd.exists(Ref::FALSE, cube_xy), Ref::FALSE);
+    }
+
+    #[test]
+    fn exists_skips_variables_not_in_support() {
+        let mut bdd = Bdd::new();
+        let y = bdd.var(Var::new(1));
+        let cube = bdd.cube_of_vars([Var::new(0), Var::new(3)]);
+        assert_eq!(bdd.exists(y, cube), y);
+    }
+
+    #[test]
+    fn and_exists_matches_composition() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let z = bdd.var(Var::new(2));
+        let f = bdd.iff(x, y);
+        let g = bdd.iff(y, z);
+        let cube_y = bdd.cube_of_vars([Var::new(1)]);
+        let direct = bdd.and_exists(f, g, cube_y);
+        let conj = bdd.and(f, g);
+        let via_exists = bdd.exists(conj, cube_y);
+        assert_eq!(direct, via_exists);
+        // ∃y. (x⇔y)∧(y⇔z) is exactly x⇔z.
+        let x_iff_z = bdd.iff(x, z);
+        assert_eq!(direct, x_iff_z);
+    }
+
+    #[test]
+    fn replace_renames_variables() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.and(x, y);
+        let subst = bdd.register_substitution(vec![(Var::new(0), Var::new(2)), (Var::new(1), Var::new(3))]);
+        let renamed = bdd.replace(f, subst);
+        let x2 = bdd.var(Var::new(2));
+        let y2 = bdd.var(Var::new(3));
+        let expected = bdd.and(x2, y2);
+        assert_eq!(renamed, expected);
+    }
+
+    #[test]
+    fn replace_handles_order_inversion() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(5));
+        let ny = bdd.not(y);
+        let f = bdd.and(x, ny);
+        // Rename v0 -> v9, which moves it below v5 in the order.
+        let subst = bdd.register_substitution(vec![(Var::new(0), Var::new(9))]);
+        let renamed = bdd.replace(f, subst);
+        let x9 = bdd.var(Var::new(9));
+        let expected = bdd.and(x9, ny);
+        assert_eq!(renamed, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn replace_rejects_overlapping_substitution() {
+        let mut bdd = Bdd::new();
+        let _ = bdd.register_substitution(vec![(Var::new(0), Var::new(1)), (Var::new(1), Var::new(2))]);
+    }
+
+    #[test]
+    fn support_lists_dependencies() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let z = bdd.var(Var::new(7));
+        let f = bdd.xor(x, z);
+        assert_eq!(bdd.support(f), vec![Var::new(0), Var::new(7)]);
+        assert!(bdd.support(Ref::TRUE).is_empty());
+        // A cancelled dependency does not appear in the support.
+        let g = bdd.or(x, Ref::TRUE);
+        assert!(bdd.support(g).is_empty());
+    }
+
+    #[test]
+    fn cube_of_vars_dedups_and_sorts() {
+        let mut bdd = Bdd::new();
+        let cube1 = bdd.cube_of_vars([Var::new(2), Var::new(0), Var::new(2)]);
+        let cube2 = bdd.cube_of_vars([Var::new(0), Var::new(2)]);
+        assert_eq!(cube1, cube2);
+        assert_eq!(bdd.cube_of_vars([]), Ref::TRUE);
+    }
+}

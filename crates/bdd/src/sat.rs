@@ -1,0 +1,192 @@
+//! Evaluation, satisfiability counting and witness extraction.
+
+use std::collections::HashMap;
+
+use crate::manager::{Bdd, Ref, Var};
+
+impl Bdd {
+    /// Evaluates `f` under a total assignment: `assignment(v)` gives the
+    /// value of variable `v`.
+    pub fn eval<F: Fn(Var) -> bool>(&self, f: Ref, assignment: F) -> bool {
+        let mut current = f;
+        loop {
+            match current {
+                Ref::TRUE => return true,
+                Ref::FALSE => return false,
+                _ => {
+                    let var = self.node_var(current);
+                    current = if assignment(var) {
+                        self.node_high(current)
+                    } else {
+                        self.node_low(current)
+                    };
+                }
+            }
+        }
+    }
+
+    /// Evaluates `f` under an assignment given as a bit slice indexed by
+    /// variable position. Variables beyond the end of the slice are `false`.
+    pub fn eval_bits(&self, f: Ref, bits: &[bool]) -> bool {
+        self.eval(f, |v| bits.get(v.index() as usize).copied().unwrap_or(false))
+    }
+
+    /// Number of satisfying assignments of `f` over the variable universe
+    /// `{0, .., num_vars - 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable outside the universe.
+    pub fn sat_count(&self, f: Ref, num_vars: u32) -> u128 {
+        assert!(num_vars < 128, "sat_count supports at most 127 variables");
+        for var in self.support(f) {
+            assert!(
+                var.index() < num_vars,
+                "sat_count universe of {num_vars} variables does not cover {var}"
+            );
+        }
+        let mut cache: HashMap<Ref, u128> = HashMap::new();
+        self.sat_count_rec(f, num_vars, &mut cache)
+    }
+
+    // Counts over the full universe of `num_vars` variables: a node's count
+    // is the average of its children's counts, because fixing the tested
+    // variable to either value halves the number of free assignments. Both
+    // child counts are even (the tested variable is never in a child's
+    // support), so the integer halving is exact.
+    fn sat_count_rec(&self, f: Ref, num_vars: u32, cache: &mut HashMap<Ref, u128>) -> u128 {
+        match f {
+            Ref::FALSE => 0,
+            Ref::TRUE => 1u128 << num_vars,
+            _ => {
+                if let Some(&count) = cache.get(&f) {
+                    return count;
+                }
+                let low = self.node_low(f);
+                let high = self.node_high(f);
+                let low_count = self.sat_count_rec(low, num_vars, cache) >> 1;
+                let high_count = self.sat_count_rec(high, num_vars, cache) >> 1;
+                let total = low_count + high_count;
+                cache.insert(f, total);
+                total
+            }
+        }
+    }
+
+    /// Returns an arbitrary satisfying assignment of `f` as a vector of
+    /// `(variable, value)` pairs covering exactly the variables tested along
+    /// the chosen path, or `None` if `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Ref) -> Option<Vec<(Var, bool)>> {
+        if f == Ref::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut current = f;
+        while current != Ref::TRUE {
+            let var = self.node_var(current);
+            let low = self.node_low(current);
+            let high = self.node_high(current);
+            if low != Ref::FALSE {
+                path.push((var, false));
+                current = low;
+            } else {
+                path.push((var, true));
+                current = high;
+            }
+        }
+        Some(path)
+    }
+
+    /// Enumerates all satisfying assignments of `f` over the universe
+    /// `{0, .., num_vars - 1}`, as bit vectors. Intended for small variable
+    /// counts (tests and oracle comparisons).
+    pub fn all_sat(&self, f: Ref, num_vars: u32) -> Vec<Vec<bool>> {
+        assert!(num_vars <= 24, "all_sat is only intended for small universes");
+        let mut result = Vec::new();
+        for bits in 0u32..(1u32 << num_vars) {
+            let assignment: Vec<bool> = (0..num_vars).map(|i| bits & (1 << i) != 0).collect();
+            if self.eval_bits(f, &assignment) {
+                result.push(assignment);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_follows_paths() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.xor(x, y);
+        assert!(!bdd.eval_bits(f, &[false, false]));
+        assert!(bdd.eval_bits(f, &[true, false]));
+        assert!(bdd.eval_bits(f, &[false, true]));
+        assert!(!bdd.eval_bits(f, &[true, true]));
+        // Missing bits default to false.
+        assert!(bdd.eval_bits(f, &[true]));
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let z = bdd.var(Var::new(2));
+        assert_eq!(bdd.sat_count(Ref::TRUE, 3), 8);
+        assert_eq!(bdd.sat_count(Ref::FALSE, 3), 0);
+        assert_eq!(bdd.sat_count(x, 3), 4);
+        let xy = bdd.and(x, y);
+        assert_eq!(bdd.sat_count(xy, 3), 2);
+        let maj = {
+            let xz = bdd.and(x, z);
+            let yz = bdd.and(y, z);
+            let t = bdd.or(xy, xz);
+            bdd.or(t, yz)
+        };
+        assert_eq!(bdd.sat_count(maj, 3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn sat_count_rejects_small_universe() {
+        let mut bdd = Bdd::new();
+        let z = bdd.var(Var::new(5));
+        let _ = bdd.sat_count(z, 3);
+    }
+
+    #[test]
+    fn any_sat_finds_witness() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let nx = bdd.not(x);
+        let f = bdd.and(nx, y);
+        let witness = bdd.any_sat(f).expect("satisfiable");
+        assert!(witness.contains(&(Var::new(0), false)));
+        assert!(witness.contains(&(Var::new(1), true)));
+        assert_eq!(bdd.any_sat(Ref::FALSE), None);
+        assert_eq!(bdd.any_sat(Ref::TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn all_sat_matches_sat_count() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let z = bdd.var(Var::new(2));
+        let xor3 = {
+            let t = bdd.xor(x, y);
+            bdd.xor(t, z)
+        };
+        let sats = bdd.all_sat(xor3, 3);
+        assert_eq!(sats.len() as u128, bdd.sat_count(xor3, 3));
+        for assignment in sats {
+            assert!(bdd.eval_bits(xor3, &assignment));
+        }
+    }
+}

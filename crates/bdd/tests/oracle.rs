@@ -1,0 +1,176 @@
+//! Property-based tests comparing the BDD engine against a brute-force
+//! truth-table oracle on randomly generated boolean expressions.
+
+use epimc_bdd::{Bdd, Ref, Var};
+use proptest::prelude::*;
+
+/// A small boolean expression language for generating test cases.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Implies(Box<Expr>, Box<Expr>),
+    Iff(Box<Expr>, Box<Expr>),
+}
+
+const NUM_VARS: u32 = 5;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NUM_VARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Iff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_expr(expr: &Expr, assignment: &[bool]) -> bool {
+    match expr {
+        Expr::Var(v) => assignment[*v as usize],
+        Expr::Const(b) => *b,
+        Expr::Not(e) => !eval_expr(e, assignment),
+        Expr::And(a, b) => eval_expr(a, assignment) && eval_expr(b, assignment),
+        Expr::Or(a, b) => eval_expr(a, assignment) || eval_expr(b, assignment),
+        Expr::Xor(a, b) => eval_expr(a, assignment) != eval_expr(b, assignment),
+        Expr::Implies(a, b) => !eval_expr(a, assignment) || eval_expr(b, assignment),
+        Expr::Iff(a, b) => eval_expr(a, assignment) == eval_expr(b, assignment),
+    }
+}
+
+fn build_bdd(bdd: &mut Bdd, expr: &Expr) -> Ref {
+    match expr {
+        Expr::Var(v) => bdd.var(Var::new(*v)),
+        Expr::Const(b) => bdd.constant(*b),
+        Expr::Not(e) => {
+            let inner = build_bdd(bdd, e);
+            bdd.not(inner)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build_bdd(bdd, a), build_bdd(bdd, b));
+            bdd.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build_bdd(bdd, a), build_bdd(bdd, b));
+            bdd.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build_bdd(bdd, a), build_bdd(bdd, b));
+            bdd.xor(x, y)
+        }
+        Expr::Implies(a, b) => {
+            let (x, y) = (build_bdd(bdd, a), build_bdd(bdd, b));
+            bdd.implies(x, y)
+        }
+        Expr::Iff(a, b) => {
+            let (x, y) = (build_bdd(bdd, a), build_bdd(bdd, b));
+            bdd.iff(x, y)
+        }
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..(1 << NUM_VARS)).map(|bits| (0..NUM_VARS).map(|i| bits & (1 << i) != 0).collect())
+}
+
+proptest! {
+    #[test]
+    fn bdd_agrees_with_truth_table(expr in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build_bdd(&mut bdd, &expr);
+        for assignment in assignments() {
+            prop_assert_eq!(bdd.eval_bits(f, &assignment), eval_expr(&expr, &assignment));
+        }
+    }
+
+    #[test]
+    fn sat_count_agrees_with_truth_table(expr in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build_bdd(&mut bdd, &expr);
+        let expected = assignments().filter(|a| eval_expr(&expr, a)).count() as u128;
+        prop_assert_eq!(bdd.sat_count(f, NUM_VARS), expected);
+    }
+
+    #[test]
+    fn quantification_agrees_with_truth_table(expr in arb_expr(), var in 0..NUM_VARS) {
+        let mut bdd = Bdd::new();
+        let f = build_bdd(&mut bdd, &expr);
+        let cube = bdd.cube_of_vars([Var::new(var)]);
+        let exists = bdd.exists(f, cube);
+        let forall = bdd.forall(f, cube);
+        for assignment in assignments() {
+            let mut set = assignment.clone();
+            set[var as usize] = true;
+            let mut clear = assignment.clone();
+            clear[var as usize] = false;
+            let expect_exists = eval_expr(&expr, &set) || eval_expr(&expr, &clear);
+            let expect_forall = eval_expr(&expr, &set) && eval_expr(&expr, &clear);
+            prop_assert_eq!(bdd.eval_bits(exists, &assignment), expect_exists);
+            prop_assert_eq!(bdd.eval_bits(forall, &assignment), expect_forall);
+        }
+    }
+
+    #[test]
+    fn restrict_agrees_with_truth_table(expr in arb_expr(), var in 0..NUM_VARS, value: bool) {
+        let mut bdd = Bdd::new();
+        let f = build_bdd(&mut bdd, &expr);
+        let restricted = bdd.restrict(f, Var::new(var), value);
+        for assignment in assignments() {
+            let mut fixed = assignment.clone();
+            fixed[var as usize] = value;
+            prop_assert_eq!(bdd.eval_bits(restricted, &assignment), eval_expr(&expr, &fixed));
+        }
+    }
+
+    #[test]
+    fn prime_cover_is_exact(expr in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build_bdd(&mut bdd, &expr);
+        let cover = bdd.prime_cover(f);
+        let rebuilt = bdd.cover_to_bdd(&cover);
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn replace_then_replace_back_is_identity(expr in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build_bdd(&mut bdd, &expr);
+        let forward: Vec<(Var, Var)> =
+            (0..NUM_VARS).map(|i| (Var::new(i), Var::new(i + NUM_VARS))).collect();
+        let backward: Vec<(Var, Var)> =
+            (0..NUM_VARS).map(|i| (Var::new(i + NUM_VARS), Var::new(i))).collect();
+        let fwd = bdd.register_substitution(forward);
+        let bwd = bdd.register_substitution(backward);
+        let shifted = bdd.replace(f, fwd);
+        let back = bdd.replace(shifted, bwd);
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn any_sat_is_a_witness(expr in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build_bdd(&mut bdd, &expr);
+        match bdd.any_sat(f) {
+            None => prop_assert_eq!(f, bdd.constant(false)),
+            Some(path) => {
+                let mut assignment = vec![false; NUM_VARS as usize];
+                for (var, value) in path {
+                    assignment[var.index() as usize] = value;
+                }
+                prop_assert!(eval_expr(&expr, &assignment));
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Prints the paper's result tables (Tables 1–3) plus the scaling and
+//! engine-ablation summaries, using this reproduction's engines.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p epimc-bench --bin tables -- [table1|table2|table3|scaling|ablation|all]
+//!     [--timeout <seconds>] [--full]
+//! ```
+//!
+//! `--full` selects the paper-sized parameter grids (several cells will show
+//! `TO` unless a generous `--timeout` is given); without it a smaller grid is
+//! used so the run completes in a few minutes.
+
+use std::time::Duration;
+
+use epimc_bench::{ablation_table, scaling_table, table1, table2, table3, DEFAULT_TIMEOUT};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut timeout = DEFAULT_TIMEOUT;
+    let mut full = epimc_bench::full_grids_requested();
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--timeout" => {
+                let seconds: u64 = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--timeout requires a number of seconds");
+                timeout = Duration::from_secs(seconds);
+            }
+            "--full" => full = true,
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+
+    for selection in which {
+        match selection.as_str() {
+            "table1" => print!("{}", table1(timeout, full)),
+            "table2" => print!("{}", table2(timeout, full)),
+            "table3" => print!("{}", table3(timeout, full)),
+            "scaling" => print!("{}", scaling_table(timeout, full)),
+            "ablation" => print!("{}", ablation_table(full)),
+            "all" => {
+                print!("{}", table1(timeout, full));
+                println!();
+                print!("{}", table2(timeout, full));
+                println!();
+                print!("{}", table3(timeout, full));
+                println!();
+                print!("{}", scaling_table(timeout, full));
+                println!();
+                print!("{}", ablation_table(full));
+            }
+            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, or all)"),
+        }
+        println!();
+    }
+}

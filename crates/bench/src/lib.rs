@@ -1,0 +1,275 @@
+//! Shared harness code for the benchmark suite.
+//!
+//! The paper reports three tables of running times (model checking and
+//! synthesis for SBA, model checking of the Diff/Dwork–Moses protocols under
+//! varying round counts, and EBA synthesis), obtained with a 10-minute
+//! timeout per experiment. This crate reproduces those tables:
+//!
+//! * `cargo run -p epimc-bench --bin tables` prints all three tables (plus
+//!   the scaling and engine-ablation summaries) in the paper's layout, using
+//!   a configurable per-cell timeout;
+//! * `cargo bench -p epimc-bench` runs Criterion benchmarks over the smaller
+//!   parameter grid, giving statistically robust timings per cell.
+
+use std::time::Duration;
+
+use epimc::prelude::*;
+use epimc::experiments::{format_mck_duration, with_timeout};
+
+/// Default per-cell timeout used by the `tables` binary, mirroring the
+/// 10-minute timeout of the paper (scaled down so the default run finishes
+/// quickly; pass `--timeout <seconds>` for longer budgets).
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One cell of a result table.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Row label components (e.g. `n`, `t`, and optionally the round count).
+    pub key: Vec<String>,
+    /// One rendered entry per column.
+    pub entries: Vec<String>,
+}
+
+/// Renders a table in a fixed-width layout.
+pub fn render_table(title: &str, key_headers: &[&str], columns: &[&str], cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let mut header = String::new();
+    for key in key_headers {
+        header.push_str(&format!("{key:>4} "));
+    }
+    for column in columns {
+        header.push_str(&format!("{column:>22} "));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for cell in cells {
+        let mut line = String::new();
+        for key in &cell.key {
+            line.push_str(&format!("{key:>4} "));
+        }
+        for entry in &cell.entries {
+            line.push_str(&format!("{entry:>22} "));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs one measurement with a timeout; renders `TO` on timeout, like the
+/// paper's tables.
+pub fn timed_entry<F>(timeout: Duration, run: F) -> String
+where
+    F: FnOnce() -> ExperimentMeasurement + Send + 'static,
+{
+    match with_timeout(timeout, run) {
+        Some(measurement) => {
+            let mut entry = format_mck_duration(measurement.duration);
+            if !measurement.spec_ok {
+                entry.push_str(" [spec!]");
+            } else if !measurement.optimal {
+                entry.push_str(" [subopt]");
+            }
+            entry
+        }
+        None => "TO".to_string(),
+    }
+}
+
+/// The (n, t) grid of Table 1. The `full` grid matches the paper
+/// (n up to 6); the quick grid keeps every cell under a few seconds on a
+/// laptop so that `cargo bench` completes promptly.
+pub fn table1_grid(full: bool) -> Vec<(usize, usize)> {
+    let max_n = if full { 6 } else { 4 };
+    let mut grid = Vec::new();
+    for n in 2..=max_n {
+        for t in 1..=n {
+            if !full && n == 4 && t > 2 {
+                continue;
+            }
+            grid.push((n, t));
+        }
+    }
+    grid
+}
+
+/// The (n, t, rounds) grid of Table 2.
+pub fn table2_grid(full: bool) -> Vec<(usize, usize, u32)> {
+    let max_n = if full { 4 } else { 3 };
+    let mut grid = Vec::new();
+    for n in 2..=max_n {
+        for t in 1..=n {
+            for rounds in 1..=(t as u32 + 1) {
+                if !full && n == 3 && t > 2 {
+                    continue;
+                }
+                grid.push((n, t, rounds));
+            }
+        }
+    }
+    grid
+}
+
+/// The (n, t) grid of Table 3.
+pub fn table3_grid(full: bool) -> Vec<(usize, usize)> {
+    let max_n = if full { 4 } else { 3 };
+    let mut grid = Vec::new();
+    for n in 2..=max_n {
+        for t in 1..=n {
+            if !full && n == 3 && t > 2 {
+                continue;
+            }
+            grid.push((n, t));
+        }
+    }
+    grid
+}
+
+/// Whether the full (paper-sized) grids were requested via the
+/// `EPIMC_BENCH_FULL` environment variable.
+pub fn full_grids_requested() -> bool {
+    std::env::var("EPIMC_BENCH_FULL").map(|v| v == "1" || v == "true").unwrap_or(false)
+}
+
+/// Table 1: model checking and synthesis times for the FloodSet and Count
+/// FloodSet exchanges under crash failures.
+pub fn table1(timeout: Duration, full: bool) -> String {
+    let mut cells = Vec::new();
+    for (n, t) in table1_grid(full) {
+        let flood = SbaExperiment::crash(SbaExchangeKind::FloodSet, n, t);
+        let count = SbaExperiment::crash(SbaExchangeKind::CountFloodSet, n, t);
+        let entries = vec![
+            timed_entry(timeout, move || flood.model_check()),
+            timed_entry(timeout, move || flood.synthesize()),
+            timed_entry(timeout, move || count.model_check()),
+            timed_entry(timeout, move || count.synthesize()),
+        ];
+        cells.push(Cell { key: vec![n.to_string(), t.to_string()], entries });
+    }
+    render_table(
+        "Table 1: SBA running times (crash failures, |V| = 2)",
+        &["n", "t"],
+        &["floodset check", "floodset synth", "count check", "count synth"],
+        &cells,
+    )
+}
+
+/// Table 2: model checking times for the Differential and Dwork–Moses
+/// protocols, with a varying number of explored rounds.
+pub fn table2(timeout: Duration, full: bool) -> String {
+    let mut cells = Vec::new();
+    for (n, t, rounds) in table2_grid(full) {
+        let diff = SbaExperiment {
+            exchange: SbaExchangeKind::DiffFloodSet,
+            n,
+            t,
+            num_values: 2,
+            failure: FailureKind::Crash,
+            horizon: Some(rounds),
+        };
+        let dwork = SbaExperiment { exchange: SbaExchangeKind::DworkMoses, ..diff };
+        let entries = vec![
+            timed_entry(timeout, move || diff.model_check()),
+            timed_entry(timeout, move || dwork.model_check()),
+        ];
+        cells.push(Cell {
+            key: vec![n.to_string(), t.to_string(), rounds.to_string()],
+            entries,
+        });
+    }
+    render_table(
+        "Table 2: model checking the Differential and Dwork-Moses protocols",
+        &["n", "t", "rds"],
+        &["differential check", "dwork-moses check"],
+        &cells,
+    )
+}
+
+/// Table 3: EBA synthesis times for `E_min` and `E_basic`, under crash and
+/// sending-omission failures.
+pub fn table3(timeout: Duration, full: bool) -> String {
+    let mut cells = Vec::new();
+    for (n, t) in table3_grid(full) {
+        let mut entries = Vec::new();
+        for exchange in [EbaExchangeKind::EMin, EbaExchangeKind::EBasic] {
+            for failure in [FailureKind::Crash, FailureKind::SendOmission] {
+                let experiment = EbaExperiment { exchange, n, t, failure };
+                entries.push(timed_entry(timeout, move || experiment.synthesize()));
+            }
+        }
+        cells.push(Cell { key: vec![n.to_string(), t.to_string()], entries });
+    }
+    render_table(
+        "Table 3: EBA synthesis running times",
+        &["n", "t"],
+        &["E_min crash", "E_min omissions", "E_basic crash", "E_basic omissions"],
+        &cells,
+    )
+}
+
+/// The scaling study (runtime versus number of agents, t = 1) behind the
+/// paper's discussion of the blow-up threshold.
+pub fn scaling_table(timeout: Duration, full: bool) -> String {
+    let max_n = if full { 6 } else { 5 };
+    let mut cells = Vec::new();
+    for n in 2..=max_n {
+        let flood = SbaExperiment::crash(SbaExchangeKind::FloodSet, n, 1);
+        let entries = vec![
+            timed_entry(timeout, move || flood.model_check()),
+            timed_entry(timeout, move || flood.synthesize()),
+        ];
+        cells.push(Cell { key: vec![n.to_string()], entries });
+    }
+    render_table(
+        "Scaling: FloodSet, t = 1, runtime versus number of agents",
+        &["n"],
+        &["model check", "synthesis"],
+        &cells,
+    )
+}
+
+/// The engine ablation: explicit-state versus symbolic (BDD) evaluation of
+/// the SBA knowledge condition on the same models.
+pub fn ablation_table(full: bool) -> String {
+    use std::time::Instant;
+    let max_n = if full { 5 } else { 4 };
+    let mut cells = Vec::new();
+    for n in 2..=max_n {
+        let params = ModelParams::builder()
+            .agents(n)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let condition = epimc::optimality::sba_knowledge_condition(AgentId::new(0), n, 2);
+
+        let start = Instant::now();
+        let explicit = Checker::new(&model).check(&condition);
+        let explicit_time = start.elapsed();
+
+        let start = Instant::now();
+        let symbolic_checker = SymbolicChecker::new(&model);
+        let symbolic = symbolic_checker.check(&condition);
+        let symbolic_time = start.elapsed();
+        assert_eq!(explicit, symbolic, "engines must agree");
+
+        cells.push(Cell {
+            key: vec![n.to_string()],
+            entries: vec![
+                format_mck_duration(explicit_time),
+                format_mck_duration(symbolic_time),
+                format!("{}", symbolic_checker.stats()),
+            ],
+        });
+    }
+    render_table(
+        "Ablation: explicit-state versus symbolic engine (FloodSet, t = 1, SBA knowledge condition)",
+        &["n"],
+        &["explicit", "symbolic", "BDD statistics"],
+        &cells,
+    )
+}

@@ -1,0 +1,235 @@
+//! Sets of points of a layered model, as per-layer bit sets.
+
+use epimc_system::{PointId, PointModel, Round};
+
+/// A set of points of a layered model.
+///
+/// Point sets are the value domain of formula evaluation in the explicit
+/// engine: every (sub)formula denotes the set of points at which it holds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PointSet {
+    layers: Vec<Vec<u64>>,
+    sizes: Vec<usize>,
+}
+
+const BITS: usize = 64;
+
+impl PointSet {
+    /// The empty set of points for a model with the given layer sizes.
+    pub fn empty_with_sizes(sizes: Vec<usize>) -> Self {
+        let layers = sizes.iter().map(|&n| vec![0u64; n.div_ceil(BITS)]).collect();
+        PointSet { layers, sizes }
+    }
+
+    /// The empty set of points of `model`.
+    pub fn empty<M: PointModel>(model: &M) -> Self {
+        let sizes = (0..model.num_layers() as Round).map(|t| model.layer_size(t)).collect();
+        Self::empty_with_sizes(sizes)
+    }
+
+    /// The set of all points of `model`.
+    pub fn full<M: PointModel>(model: &M) -> Self {
+        let mut set = Self::empty(model);
+        for (layer, &size) in set.sizes.clone().iter().enumerate() {
+            for index in 0..size {
+                set.insert(PointId::new(layer as Round, index));
+            }
+        }
+        set
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of points in layer `time`.
+    pub fn layer_size(&self, time: Round) -> usize {
+        self.sizes[time as usize]
+    }
+
+    /// Inserts a point.
+    pub fn insert(&mut self, point: PointId) {
+        debug_assert!(point.index < self.sizes[point.time as usize]);
+        self.layers[point.time as usize][point.index / BITS] |= 1u64 << (point.index % BITS);
+    }
+
+    /// Removes a point.
+    pub fn remove(&mut self, point: PointId) {
+        self.layers[point.time as usize][point.index / BITS] &= !(1u64 << (point.index % BITS));
+    }
+
+    /// Returns `true` when the set contains `point`.
+    pub fn contains(&self, point: PointId) -> bool {
+        self.layers[point.time as usize][point.index / BITS] & (1u64 << (point.index % BITS)) != 0
+    }
+
+    /// Number of points in the set.
+    pub fn len(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|blocks| blocks.iter().map(|b| b.count_ones() as usize).sum::<usize>())
+            .sum()
+    }
+
+    /// Returns `true` when the set contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.layers.iter().all(|blocks| blocks.iter().all(|&b| b == 0))
+    }
+
+    /// Iterates over the points of the set in (time, index) order.
+    pub fn iter(&self) -> impl Iterator<Item = PointId> + '_ {
+        self.layers.iter().enumerate().flat_map(move |(time, blocks)| {
+            let size = self.sizes[time];
+            (0..size).filter_map(move |index| {
+                if blocks[index / BITS] & (1u64 << (index % BITS)) != 0 {
+                    Some(PointId::new(time as Round, index))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Restricts the set to the points of layer `time`.
+    pub fn restrict_to_layer(&self, time: Round) -> PointSet {
+        let mut result = Self::empty_with_sizes(self.sizes.clone());
+        result.layers[time as usize] = self.layers[time as usize].clone();
+        result
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &PointSet) {
+        self.zip_blocks(other, |a, b| a | b);
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &PointSet) {
+        self.zip_blocks(other, |a, b| a & b);
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn subtract(&mut self, other: &PointSet) {
+        self.zip_blocks(other, |a, b| a & !b);
+    }
+
+    /// Complement relative to the full set of points.
+    pub fn complement(&self) -> PointSet {
+        let mut result = self.clone();
+        for (time, blocks) in result.layers.iter_mut().enumerate() {
+            let size = self.sizes[time];
+            for (block_index, block) in blocks.iter_mut().enumerate() {
+                *block = !*block;
+                // Mask off bits beyond the layer size in the last block.
+                let low = block_index * BITS;
+                if low + BITS > size {
+                    let valid = size.saturating_sub(low);
+                    *block &= if valid == 0 { 0 } else { u64::MAX >> (BITS - valid) };
+                }
+            }
+        }
+        result
+    }
+
+    /// Union returning a new set.
+    pub fn union(&self, other: &PointSet) -> PointSet {
+        let mut result = self.clone();
+        result.union_with(other);
+        result
+    }
+
+    /// Intersection returning a new set.
+    pub fn intersection(&self, other: &PointSet) -> PointSet {
+        let mut result = self.clone();
+        result.intersect_with(other);
+        result
+    }
+
+    /// Returns `true` when `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &PointSet) -> bool {
+        self.layers
+            .iter()
+            .zip(&other.layers)
+            .all(|(a, b)| a.iter().zip(b).all(|(x, y)| x & !y == 0))
+    }
+
+    fn zip_blocks<F: Fn(u64, u64) -> u64>(&mut self, other: &PointSet, op: F) {
+        assert_eq!(self.sizes, other.sizes, "point sets belong to different models");
+        for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a = op(*a, *b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_with(sizes: Vec<usize>, points: &[(Round, usize)]) -> PointSet {
+        let mut set = PointSet::empty_with_sizes(sizes);
+        for &(time, index) in points {
+            set.insert(PointId::new(time, index));
+        }
+        set
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut set = PointSet::empty_with_sizes(vec![3, 70]);
+        let p = PointId::new(1, 65);
+        assert!(!set.contains(p));
+        set.insert(p);
+        assert!(set.contains(p));
+        assert_eq!(set.len(), 1);
+        set.remove(p);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let sizes = vec![4, 4];
+        let a = set_with(sizes.clone(), &[(0, 0), (0, 1), (1, 2)]);
+        let b = set_with(sizes.clone(), &[(0, 1), (1, 3)]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 1);
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        assert_eq!(diff.len(), 2);
+        assert!(b.intersection(&a).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn complement_respects_layer_sizes() {
+        let sizes = vec![3, 65];
+        let a = set_with(sizes.clone(), &[(0, 0), (1, 64)]);
+        let complement = a.complement();
+        assert_eq!(complement.len(), 3 + 65 - 2);
+        assert!(!complement.contains(PointId::new(0, 0)));
+        assert!(complement.contains(PointId::new(0, 2)));
+        assert!(!complement.contains(PointId::new(1, 64)));
+        // Double complement is the identity.
+        assert_eq!(complement.complement(), a);
+    }
+
+    #[test]
+    fn iteration_and_layer_restriction() {
+        let sizes = vec![2, 3];
+        let a = set_with(sizes.clone(), &[(0, 1), (1, 0), (1, 2)]);
+        let points: Vec<PointId> = a.iter().collect();
+        assert_eq!(points, vec![PointId::new(0, 1), PointId::new(1, 0), PointId::new(1, 2)]);
+        let restricted = a.restrict_to_layer(1);
+        assert_eq!(restricted.len(), 2);
+        assert!(!restricted.contains(PointId::new(0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different models")]
+    fn mismatched_sizes_are_rejected() {
+        let mut a = PointSet::empty_with_sizes(vec![2]);
+        let b = PointSet::empty_with_sizes(vec![3]);
+        a.union_with(&b);
+    }
+}

@@ -1,0 +1,287 @@
+//! The concrete stopping conditions the paper derives (conditions (2) and
+//! (3) of Section 7) and machinery to verify such hypotheses by model
+//! checking.
+//!
+//! A *hypothesis* is a concrete predicate over an agent's local state (and
+//! the time) that is conjectured to be equivalent to the knowledge condition
+//! of the SBA knowledge-based program, for a given information exchange and
+//! failure model. The paper's workflow — also followed by the examples of
+//! this crate — is: synthesize on small instances, guess the general
+//! predicate, then *model check* the equivalence on as many instances as
+//! feasible.
+
+use std::fmt;
+
+use epimc_check::Checker;
+use epimc_logic::{AgentId, Formula};
+use epimc_protocols::{condition2_decision_time, condition3_fallback_time, count_observable_index};
+use epimc_system::{
+    ConsensusAtom, ConsensusModel, DecisionRule, InformationExchange, ModelParams, PointId,
+    PointModel, Round,
+};
+
+use crate::optimality::sba_knowledge_condition;
+
+type F = Formula<ConsensusAtom>;
+
+/// A point at which a hypothesis and the knowledge condition disagree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HypothesisCounterexample {
+    /// The agent for which the disagreement occurs.
+    pub agent: AgentId,
+    /// The point of disagreement.
+    pub point: PointId,
+    /// Whether the knowledge condition holds there.
+    pub knowledge_holds: bool,
+    /// Whether the hypothesis holds there.
+    pub hypothesis_holds: bool,
+}
+
+/// The result of checking a hypothesis against the knowledge condition.
+#[derive(Clone, Debug, Default)]
+pub struct HypothesisReport {
+    /// Points (restricted to nonfaulty agents) where the two disagree.
+    pub counterexamples: Vec<HypothesisCounterexample>,
+    /// Number of (agent, point) pairs examined.
+    pub points_checked: usize,
+}
+
+impl HypothesisReport {
+    /// The hypothesis is equivalent to the knowledge condition on every
+    /// nonfaulty point of the model.
+    pub fn is_equivalent(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+impl fmt::Display for HypothesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_equivalent() {
+            write!(f, "hypothesis confirmed on {} points", self.points_checked)
+        } else {
+            write!(
+                f,
+                "hypothesis refuted: {} disagreements out of {} points (first: agent {} at {})",
+                self.counterexamples.len(),
+                self.points_checked,
+                self.counterexamples[0].agent,
+                self.counterexamples[0].point
+            )
+        }
+    }
+}
+
+/// `time >= bound`, expressed over the bounded horizon of `params`.
+fn time_at_least(bound: Round, params: &ModelParams) -> F {
+    F::or((bound..=params.horizon()).map(|m| F::atom(ConsensusAtom::TimeIs(m))))
+}
+
+/// Condition (2) of the paper, for the FloodSet exchange: the knowledge
+/// condition first holds at time `n - 1` when `t >= n - 1` and at `t + 1`
+/// otherwise. As a state predicate over the bounded horizon this reads
+/// "the time has reached that threshold".
+pub fn condition2(params: &ModelParams) -> impl Fn(AgentId) -> F + '_ {
+    let threshold = condition2_decision_time(params.num_agents(), params.max_faulty());
+    move |_agent| time_at_least(threshold, params)
+}
+
+/// Condition (3) of the paper, for the Count FloodSet exchange, exactly as
+/// printed: `count <= 1 \/ (t >= n-1 /\ time >= t) \/ (t < n-1 /\ time >= t+1)`.
+///
+/// Note: for the corner case `t = n` our model checker finds that the
+/// knowledge condition already holds at time `n - 1` (as it does for the
+/// plain FloodSet exchange, condition (2)), so the printed fallback `time =
+/// t` is one round too late there; see [`condition3_observed`] for the
+/// variant our engines confirm, and `EXPERIMENTS.md` for the discussion.
+pub fn condition3(params: &ModelParams) -> impl Fn(AgentId) -> F + '_ {
+    let fallback = condition3_fallback_time(params.num_agents(), params.max_faulty());
+    condition3_with_fallback(params, fallback)
+}
+
+/// The variant of condition (3) confirmed by this reproduction's engines:
+/// `count <= 1`, or the FloodSet threshold of condition (2) has been reached
+/// (`time >= n-1` when `t >= n-1`, `time >= t+1` otherwise).
+pub fn condition3_observed(params: &ModelParams) -> impl Fn(AgentId) -> F + '_ {
+    let fallback = condition2_decision_time(params.num_agents(), params.max_faulty());
+    condition3_with_fallback(params, fallback)
+}
+
+fn condition3_with_fallback(
+    params: &ModelParams,
+    fallback: Round,
+) -> impl Fn(AgentId) -> F + '_ {
+    let count_index = count_observable_index(params.num_values());
+    move |agent| {
+        let early_exit = F::and([
+            // The count reflects a round that has actually been executed.
+            F::not(F::atom(ConsensusAtom::TimeIs(0))),
+            F::atom(ConsensusAtom::ObsAtMost(agent, count_index, 1)),
+        ]);
+        F::or([early_exit, time_at_least(fallback, params)])
+    }
+}
+
+/// Checks whether `hypothesis_for` is equivalent to the SBA knowledge
+/// condition `∃v. B^N_i C_B_N ∃v` at every point where the agent is
+/// nonfaulty.
+pub fn verify_sba_hypothesis<E, R>(
+    model: &ConsensusModel<E, R>,
+    hypothesis_for: impl Fn(AgentId) -> F,
+) -> HypothesisReport
+where
+    E: InformationExchange,
+    R: DecisionRule<E>,
+{
+    let params = *model.params();
+    let checker = Checker::new(model);
+    let mut report = HypothesisReport::default();
+    for agent in AgentId::all(params.num_agents()) {
+        let knowledge = checker.check(&sba_knowledge_condition(
+            agent,
+            params.num_agents(),
+            params.num_values(),
+        ));
+        let hypothesis = checker.check(&hypothesis_for(agent));
+        for point in model.points() {
+            if !model.state(point).nonfaulty().contains(agent) {
+                continue;
+            }
+            report.points_checked += 1;
+            let k = knowledge.contains(point);
+            let h = hypothesis.contains(point);
+            if k != h {
+                report.counterexamples.push(HypothesisCounterexample {
+                    agent,
+                    point,
+                    knowledge_holds: k,
+                    hypothesis_holds: h,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// The refutation reported in Section 7.2 of the paper: for the Count
+/// FloodSet exchange, the weaker early exit `count <= 2` does **not** suffice
+/// for a decision (unless the FloodSet fallback time has been reached).
+/// Returns `true` when the refutation is confirmed, i.e. there exists a
+/// nonfaulty point with `count <= 2` before the fallback time at which the
+/// knowledge condition fails.
+pub fn count_leq2_is_insufficient<R>(
+    model: &ConsensusModel<epimc_protocols::CountFloodSet, R>,
+) -> bool
+where
+    R: DecisionRule<epimc_protocols::CountFloodSet>,
+{
+    let params = *model.params();
+    let fallback = condition3_fallback_time(params.num_agents(), params.max_faulty());
+    let count_index = count_observable_index(params.num_values());
+    let checker = Checker::new(model);
+    for agent in AgentId::all(params.num_agents()) {
+        let knowledge = checker.check(&sba_knowledge_condition(
+            agent,
+            params.num_agents(),
+            params.num_values(),
+        ));
+        for point in model.points() {
+            if point.time == 0 || point.time >= fallback {
+                continue;
+            }
+            let state = model.state(point);
+            if !state.nonfaulty().contains(agent) {
+                continue;
+            }
+            let observation = model.observation(agent, point);
+            let count = observation.value(count_index);
+            if count == 2 && !knowledge.contains(point) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epimc_protocols::{CountFloodSet, FloodSet, FloodSetRule, TextbookRule};
+    use epimc_system::{FailureKind, ModelParams};
+
+    fn crash(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
+    }
+
+    #[test]
+    fn condition2_confirmed_for_small_floodset_instances() {
+        for (n, t) in [(2usize, 1usize), (3, 1), (3, 2), (2, 2)] {
+            let params = crash(n, t);
+            let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+            let report = verify_sba_hypothesis(&model, condition2(&params));
+            assert!(
+                report.is_equivalent(),
+                "condition (2) should hold for n={n}, t={t}: {report}"
+            );
+            assert!(report.points_checked > 0);
+        }
+    }
+
+    #[test]
+    fn condition3_early_exit_is_needed_for_count() {
+        // For n = 3, t = 3 the bare time threshold is not equivalent for the
+        // Count exchange: the count <= 1 early exit fires in runs where every
+        // other agent has crashed.
+        let params = crash(3, 3);
+        let model = ConsensusModel::explore(CountFloodSet, params, TextbookRule);
+        let without_early_exit = verify_sba_hypothesis(&model, |_agent| {
+            time_at_least(
+                condition2_decision_time(params.num_agents(), params.max_faulty()),
+                &params,
+            )
+        });
+        assert!(!without_early_exit.is_equivalent());
+        // The variant with the count <= 1 early exit and the FloodSet
+        // threshold as fallback is confirmed.
+        let observed = verify_sba_hypothesis(&model, condition3_observed(&params));
+        assert!(observed.is_equivalent(), "observed condition (3) should hold: {observed}");
+    }
+
+    #[test]
+    fn condition3_as_printed_matches_except_in_the_t_equals_n_corner() {
+        // For t <= n - 1 the printed condition (3) and the observed variant
+        // coincide, and both are confirmed.
+        for (n, t) in [(3usize, 1usize), (3, 2), (2, 1)] {
+            let params = crash(n, t);
+            let model = ConsensusModel::explore(CountFloodSet, params, TextbookRule);
+            let printed = verify_sba_hypothesis(&model, condition3(&params));
+            assert!(printed.is_equivalent(), "printed condition (3) for n={n}, t={t}: {printed}");
+        }
+        // For t = n the printed fallback `time >= t` is one round later than
+        // what the model checker finds (the knowledge condition already holds
+        // at time n - 1, exactly as for FloodSet), so the printed form is
+        // refuted while the observed variant is confirmed.
+        let params = crash(3, 3);
+        let model = ConsensusModel::explore(CountFloodSet, params, TextbookRule);
+        assert!(!verify_sba_hypothesis(&model, condition3(&params)).is_equivalent());
+        assert!(verify_sba_hypothesis(&model, condition3_observed(&params)).is_equivalent());
+    }
+
+    #[test]
+    fn count_leq2_refutation() {
+        let params = crash(3, 3);
+        let model = ConsensusModel::explore(CountFloodSet, params, TextbookRule);
+        assert!(count_leq2_is_insufficient(&model));
+    }
+
+    #[test]
+    fn report_display() {
+        let params = crash(2, 1);
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let report = verify_sba_hypothesis(&model, condition2(&params));
+        assert!(format!("{report}").contains("confirmed"));
+        // A deliberately wrong hypothesis is refuted with counterexamples.
+        let wrong = verify_sba_hypothesis(&model, |_agent| F::True);
+        assert!(!wrong.is_equivalent());
+        assert!(format!("{wrong}").contains("refuted"));
+    }
+}

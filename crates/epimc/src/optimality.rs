@@ -1,0 +1,279 @@
+//! Optimality of decision protocols relative to their information exchange.
+//!
+//! The paper's central question (Section 4): given an information exchange
+//! `E` and failure model `F`, does a decision protocol `P` decide as early as
+//! the information it exchanges allows? The knowledge-based program for SBA
+//! characterises the earliest possible decision point: a nonfaulty agent can
+//! decide exactly when `∃v. B^N_i C_B_N ∃v` holds. This module compares, at
+//! every reachable point, when the protocol decides with when the knowledge
+//! condition holds, and reports
+//!
+//! * **missed opportunities** — points where the knowledge condition holds
+//!   but the (undecided, nonfaulty) agent does not decide, i.e. the protocol
+//!   could be optimised to decide earlier (the situation the paper identifies
+//!   for FloodSet with `t ≥ n − 1`); and
+//! * **premature decisions** — points where the protocol decides although
+//!   the knowledge condition does not hold, which means the protocol is not
+//!   an implementation of the knowledge-based program (and, for SBA, is in
+//!   fact incorrect).
+
+use std::fmt;
+
+use epimc_check::Checker;
+use epimc_logic::{AgentId, Formula};
+use epimc_system::{
+    Action, ConsensusAtom, ConsensusModel, DecisionRule, InformationExchange, PointId, PointModel,
+    Round, Value,
+};
+
+type F = Formula<ConsensusAtom>;
+
+/// One point at which a protocol's decision behaviour differs from the
+/// knowledge-based program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// The agent concerned.
+    pub agent: AgentId,
+    /// The point at which the divergence occurs.
+    pub point: PointId,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent {} at {}", self.agent, self.point)
+    }
+}
+
+/// The result of the optimality analysis.
+#[derive(Clone, Debug, Default)]
+pub struct OptimalityReport {
+    /// Points where the knowledge condition holds but the undecided nonfaulty
+    /// agent does not decide.
+    pub missed_opportunities: Vec<Divergence>,
+    /// Points where the protocol decides although the knowledge condition
+    /// does not hold.
+    pub premature_decisions: Vec<Divergence>,
+    /// Earliest time, over all points, at which the knowledge condition holds
+    /// for some nonfaulty agent.
+    pub earliest_knowledge_time: Option<Round>,
+    /// Earliest time, over all points, at which the protocol decides.
+    pub earliest_decision_time: Option<Round>,
+}
+
+impl OptimalityReport {
+    /// The protocol is optimal for its information exchange: it decides
+    /// exactly when the knowledge condition allows.
+    pub fn is_optimal(&self) -> bool {
+        self.missed_opportunities.is_empty() && self.premature_decisions.is_empty()
+    }
+
+    /// The protocol never decides before the knowledge condition holds (it is
+    /// *correct* as an implementation of the knowledge-based program, though
+    /// possibly late).
+    pub fn is_safe(&self) -> bool {
+        self.premature_decisions.is_empty()
+    }
+}
+
+impl fmt::Display for OptimalityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_optimal() {
+            write!(f, "optimal with respect to the information exchange")?;
+        } else {
+            write!(
+                f,
+                "{} missed opportunities, {} premature decisions",
+                self.missed_opportunities.len(),
+                self.premature_decisions.len()
+            )?;
+        }
+        if let (Some(k), Some(d)) = (self.earliest_knowledge_time, self.earliest_decision_time) {
+            write!(f, " (knowledge condition first holds at time {k}, first decision at time {d})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The SBA knowledge condition for one agent: `∃v ∈ V. B^N_i C_B_N ∃v`.
+pub fn sba_knowledge_condition(agent: AgentId, n: usize, num_values: usize) -> F {
+    F::or(Value::all(num_values).map(move |value| {
+        let exists_v = F::or(
+            AgentId::all(n).map(move |j| F::atom(ConsensusAtom::InitIs(j, value))),
+        );
+        F::believes_nonfaulty(agent, F::common_belief(exists_v))
+    }))
+}
+
+/// Analyses the optimality of the decision protocol of `model` with respect
+/// to the SBA knowledge-based program and the model's information exchange.
+pub fn analyze_sba<E: InformationExchange, R: DecisionRule<E>>(
+    model: &ConsensusModel<E, R>,
+) -> OptimalityReport {
+    let params = *model.params();
+    let n = params.num_agents();
+    let checker = Checker::new(model);
+    let mut report = OptimalityReport::default();
+
+    for agent in AgentId::all(n) {
+        let condition = sba_knowledge_condition(agent, n, params.num_values());
+        let holds = checker.check(&condition);
+        for point in model.points() {
+            let state = model.state(point);
+            if !state.nonfaulty().contains(agent) {
+                continue;
+            }
+            let knowledge = holds.contains(point);
+            if knowledge {
+                report.earliest_knowledge_time = Some(
+                    report
+                        .earliest_knowledge_time
+                        .map_or(point.time, |t| t.min(point.time)),
+                );
+            }
+            let decides_now = matches!(model.action_at(agent, point), Action::Decide(_));
+            if decides_now {
+                report.earliest_decision_time = Some(
+                    report
+                        .earliest_decision_time
+                        .map_or(point.time, |t| t.min(point.time)),
+                );
+            }
+            if state.has_decided(agent) {
+                continue;
+            }
+            match (knowledge, decides_now) {
+                (true, false) => report.missed_opportunities.push(Divergence { agent, point }),
+                (false, true) => report.premature_decisions.push(Divergence { agent, point }),
+                _ => {}
+            }
+        }
+    }
+    report
+}
+
+/// The earliest time, per (nonfaulty-agent, point), at which a formula holds,
+/// summarised as the set of times at which it *first* holds along some run.
+///
+/// This is the quantity the paper's conditions (2) and (3) characterise; it
+/// is exposed for the hypothesis checks and the examples.
+pub fn earliest_holding_times<E, R>(
+    model: &ConsensusModel<E, R>,
+    condition_for: impl Fn(AgentId) -> F,
+) -> Vec<Round>
+where
+    E: InformationExchange,
+    R: DecisionRule<E>,
+{
+    let checker = Checker::new(model);
+    let n = model.params().num_agents();
+    let mut times = Vec::new();
+    for agent in AgentId::all(n) {
+        let holds = checker.check(&condition_for(agent));
+        // A point is an "earliest" point for the agent if the condition holds
+        // there and at no strict predecessor along any run; since the
+        // condition sets of interest are monotone along runs, it suffices to
+        // record the minimum time per observation class, which for reporting
+        // purposes we approximate by the minimal times of holding points
+        // whose predecessors do not all hold.
+        let mut earliest: Option<Round> = None;
+        for point in model.points() {
+            if holds.contains(point) && model.state(point).nonfaulty().contains(agent) {
+                earliest = Some(earliest.map_or(point.time, |t| t.min(point.time)));
+            }
+        }
+        if let Some(t) = earliest {
+            times.push(t);
+        }
+    }
+    times.sort_unstable();
+    times.dedup();
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epimc_protocols::{
+        CountFloodSet, CountOptimalRule, DecideAtRound, FloodSet, FloodSetRule, OptimalFloodSetRule,
+        TextbookRule,
+    };
+    use epimc_system::{FailureKind, ModelParams};
+
+    fn crash(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
+    }
+
+    #[test]
+    fn floodset_textbook_rule_is_optimal_for_small_t() {
+        // With t < n - 1, deciding at t + 1 is exactly when the knowledge
+        // condition first holds, so the textbook rule is optimal.
+        let model = ConsensusModel::explore(FloodSet, crash(3, 1), FloodSetRule);
+        let report = analyze_sba(&model);
+        assert!(report.is_optimal(), "{report}");
+        assert_eq!(report.earliest_knowledge_time, Some(2));
+        assert_eq!(report.earliest_decision_time, Some(2));
+    }
+
+    #[test]
+    fn floodset_textbook_rule_is_suboptimal_when_t_is_large() {
+        // The paper's example: n = 3, t = 2. The knowledge condition already
+        // holds at time n - 1 = 2, but the textbook rule waits until t + 1 =
+        // 3 — an optimisation opportunity found automatically.
+        let model = ConsensusModel::explore(FloodSet, crash(3, 2), FloodSetRule);
+        let report = analyze_sba(&model);
+        assert!(!report.is_optimal());
+        assert!(report.is_safe(), "the textbook rule must never decide too early");
+        assert!(!report.missed_opportunities.is_empty());
+        assert_eq!(report.earliest_knowledge_time, Some(2));
+        assert_eq!(report.earliest_decision_time, Some(3));
+    }
+
+    #[test]
+    fn condition2_rule_is_optimal_when_t_is_large() {
+        let model = ConsensusModel::explore(FloodSet, crash(3, 2), OptimalFloodSetRule);
+        let report = analyze_sba(&model);
+        assert!(report.is_optimal(), "{report}");
+        assert_eq!(report.earliest_decision_time, Some(2));
+    }
+
+    #[test]
+    fn premature_decisions_are_detected() {
+        let model = ConsensusModel::explore(FloodSet, crash(3, 1), DecideAtRound(1));
+        let report = analyze_sba(&model);
+        assert!(!report.is_safe());
+        assert!(!report.premature_decisions.is_empty());
+    }
+
+    #[test]
+    fn count_textbook_rule_misses_the_count_early_exit() {
+        // With the count variable and t = n = 3, runs in which every other
+        // agent crashes silently make `count <= 1` true well before t + 1;
+        // the decide-at-t+1 rule misses those opportunities.
+        let params = ModelParams::builder().agents(3).max_faulty(3).values(2).build();
+        let model = ConsensusModel::explore(CountFloodSet, params, TextbookRule);
+        let report = analyze_sba(&model);
+        assert!(report.is_safe());
+        assert!(!report.is_optimal());
+        assert!(report.earliest_knowledge_time.unwrap() < report.earliest_decision_time.unwrap());
+    }
+
+    #[test]
+    fn count_optimal_rule_is_safe_and_uses_the_early_exit() {
+        let params = ModelParams::builder().agents(3).max_faulty(3).values(2).build();
+        let model = ConsensusModel::explore(CountFloodSet, params, CountOptimalRule);
+        let report = analyze_sba(&model);
+        assert!(report.is_safe(), "{report}");
+        // The early exit is exercised: some decision happens before the
+        // fallback round.
+        assert!(report.earliest_decision_time.unwrap() <= 2);
+    }
+
+    #[test]
+    fn earliest_holding_times_for_floodset() {
+        let model = ConsensusModel::explore(FloodSet, crash(3, 1), FloodSetRule);
+        let n = model.params().num_agents();
+        let k = model.params().num_values();
+        let times = earliest_holding_times(&model, |agent| sba_knowledge_condition(agent, n, k));
+        assert_eq!(times, vec![2]);
+    }
+}

@@ -1,0 +1,336 @@
+//! The consensus specifications of the paper (Sections 4 and 8), as
+//! model-checked properties.
+
+use std::fmt;
+
+use epimc_check::Checker;
+use epimc_logic::{AgentId, Formula};
+use epimc_system::{
+    ConsensusAtom, ConsensusModel, DecisionRule, InformationExchange, PointId, PointModel, Round,
+    Value,
+};
+
+type F = Formula<ConsensusAtom>;
+
+/// The outcome of checking one named property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PropertyResult {
+    /// Name of the property (e.g. `"Simultaneous-Agreement"`).
+    pub name: String,
+    /// Whether the property holds at every point of the model.
+    pub holds: bool,
+    /// A point at which the property fails, if any.
+    pub counterexample: Option<PointId>,
+}
+
+impl fmt::Display for PropertyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.holds {
+            write!(f, "{}: holds", self.name)
+        } else {
+            write!(f, "{}: FAILS", self.name)?;
+            if let Some(point) = self.counterexample {
+                write!(f, " (counterexample at {point})")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The results of checking a consensus specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecReport {
+    /// The individual property results.
+    pub properties: Vec<PropertyResult>,
+}
+
+impl SpecReport {
+    /// Returns `true` when every property holds.
+    pub fn all_hold(&self) -> bool {
+        self.properties.iter().all(|p| p.holds)
+    }
+
+    /// The result for a property by name.
+    pub fn property(&self, name: &str) -> Option<&PropertyResult> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for SpecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pos, property) in self.properties.iter().enumerate() {
+            if pos > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{property}")?;
+        }
+        Ok(())
+    }
+}
+
+fn nonfaulty(agent: AgentId) -> F {
+    F::atom(ConsensusAtom::Nonfaulty(agent))
+}
+
+fn decides_now(agent: AgentId, value: Value) -> F {
+    F::atom(ConsensusAtom::DecidesNow(agent, value))
+}
+
+fn decided_value(agent: AgentId, value: Value) -> F {
+    F::atom(ConsensusAtom::DecidedValue(agent, value))
+}
+
+fn exists_init(value: Value) -> F {
+    F::atom(ConsensusAtom::ExistsInit(value))
+}
+
+/// The Simultaneous-Agreement(N) property: whenever a nonfaulty agent decides
+/// a value, every nonfaulty agent decides the same value at the same time.
+pub fn simultaneous_agreement_formula(n: usize, num_values: usize) -> F {
+    let clauses = AgentId::all(n).flat_map(move |i| {
+        AgentId::all(n).flat_map(move |j| {
+            Value::all(num_values).map(move |v| {
+                F::implies(
+                    F::and([nonfaulty(i), decides_now(i, v), nonfaulty(j)]),
+                    decides_now(j, v),
+                )
+            })
+        })
+    });
+    F::all_globally(F::and(clauses))
+}
+
+/// The (eventual) Agreement(N) property: nonfaulty agents never decide
+/// different values.
+pub fn agreement_formula(n: usize, num_values: usize) -> F {
+    let clauses = AgentId::all(n).flat_map(move |i| {
+        AgentId::all(n).flat_map(move |j| {
+            Value::all(num_values).flat_map(move |v| {
+                Value::all(num_values).filter(move |w| *w != v).map(move |w| {
+                    F::not(F::and([
+                        nonfaulty(i),
+                        decided_value(i, v),
+                        nonfaulty(j),
+                        decided_value(j, w),
+                    ]))
+                })
+            })
+        })
+    });
+    F::all_globally(F::and(clauses))
+}
+
+/// Uniform agreement: *all* agents that decide (faulty or not) agree. This is
+/// the "Uniform Agreement" property checked by the MCK scripts in the paper's
+/// appendix; it holds for the crash failure model.
+pub fn uniform_agreement_formula(n: usize, num_values: usize) -> F {
+    let clauses = AgentId::all(n).flat_map(move |i| {
+        AgentId::all(n).flat_map(move |j| {
+            Value::all(num_values).flat_map(move |v| {
+                Value::all(num_values).filter(move |w| *w != v).map(move |w| {
+                    F::not(F::and([decided_value(i, v), decided_value(j, w)]))
+                })
+            })
+        })
+    });
+    F::all_globally(F::and(clauses))
+}
+
+/// Validity(N): a value decided by a nonfaulty agent is the initial
+/// preference of some agent.
+pub fn validity_formula(n: usize, num_values: usize) -> F {
+    let clauses = AgentId::all(n).flat_map(move |i| {
+        Value::all(num_values).map(move |v| {
+            F::implies(
+                F::and([nonfaulty(i), F::or([decides_now(i, v), decided_value(i, v)])]),
+                exists_init(v),
+            )
+        })
+    });
+    F::all_globally(F::and(clauses))
+}
+
+/// Termination: by the end of the exploration horizon every nonfaulty agent
+/// has decided.
+pub fn termination_formula(n: usize, horizon: Round) -> F {
+    let clauses = AgentId::all(n).map(move |i| {
+        F::implies(nonfaulty(i), F::atom(ConsensusAtom::Decided(i)))
+    });
+    F::all_globally(F::implies(F::atom(ConsensusAtom::TimeIs(horizon)), F::and(clauses)))
+}
+
+fn check_property<M: PointModel<Atom = ConsensusAtom>>(
+    checker: &Checker<M>,
+    name: &str,
+    formula: &F,
+) -> PropertyResult {
+    let counterexample = checker.find_counterexample(formula);
+    PropertyResult { name: name.to_string(), holds: counterexample.is_none(), counterexample }
+}
+
+/// Structural check of the Unique-Decision requirement: along every edge of
+/// the state space, recorded decisions are never retracted or changed.
+fn unique_decision_holds<E: InformationExchange, R: DecisionRule<E>>(
+    model: &ConsensusModel<E, R>,
+) -> PropertyResult {
+    let mut counterexample = None;
+    'outer: for point in model.points() {
+        let state = model.state(point);
+        for &succ in model.successors(point) {
+            let next = model.state(PointId::new(point.time + 1, succ));
+            for agent in AgentId::all(model.num_agents()) {
+                if let Some(before) = state.decision(agent) {
+                    if next.decision(agent) != Some(before) {
+                        counterexample = Some(point);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    PropertyResult {
+        name: "Unique-Decision".to_string(),
+        holds: counterexample.is_none(),
+        counterexample,
+    }
+}
+
+/// Checks the Simultaneous Byzantine Agreement specification (Section 4 of
+/// the paper) for a protocol model: unique decision, simultaneous agreement,
+/// uniform agreement, validity and termination.
+pub fn check_sba<E: InformationExchange, R: DecisionRule<E>>(
+    model: &ConsensusModel<E, R>,
+) -> SpecReport {
+    let params = *model.params();
+    let n = params.num_agents();
+    let k = params.num_values();
+    let checker = Checker::new(model);
+    let properties = vec![
+        unique_decision_holds(model),
+        check_property(&checker, "Simultaneous-Agreement", &simultaneous_agreement_formula(n, k)),
+        check_property(&checker, "Uniform-Agreement", &uniform_agreement_formula(n, k)),
+        check_property(&checker, "Agreement", &agreement_formula(n, k)),
+        check_property(&checker, "Validity", &validity_formula(n, k)),
+        check_property(&checker, "Termination", &termination_formula(n, params.horizon())),
+    ];
+    SpecReport { properties }
+}
+
+/// Checks the Eventual Byzantine Agreement specification (Section 8 of the
+/// paper): unique decision, (eventual) agreement, validity and termination.
+pub fn check_eba<E: InformationExchange, R: DecisionRule<E>>(
+    model: &ConsensusModel<E, R>,
+) -> SpecReport {
+    let params = *model.params();
+    let n = params.num_agents();
+    let k = params.num_values();
+    let checker = Checker::new(model);
+    let properties = vec![
+        unique_decision_holds(model),
+        check_property(&checker, "Agreement", &agreement_formula(n, k)),
+        check_property(&checker, "Validity", &validity_formula(n, k)),
+        check_property(&checker, "Termination", &termination_formula(n, params.horizon())),
+    ];
+    SpecReport { properties }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epimc_protocols::{
+        CountFloodSet, CountOptimalRule, DecideAtRound, EBasic, EBasicRule, EMin, EMinRule,
+        FloodSet, FloodSetRule, TextbookRule,
+    };
+    use epimc_system::{FailureKind, ModelParams};
+
+    fn crash(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
+    }
+
+    fn omission(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder()
+            .agents(n)
+            .max_faulty(t)
+            .values(2)
+            .failure(FailureKind::SendOmission)
+            .build()
+    }
+
+    #[test]
+    fn floodset_satisfies_sba() {
+        let model = ConsensusModel::explore(FloodSet, crash(3, 1), FloodSetRule);
+        let report = check_sba(&model);
+        assert!(report.all_hold(), "{report}");
+        assert!(report.property("Simultaneous-Agreement").unwrap().holds);
+    }
+
+    #[test]
+    fn count_optimal_rule_satisfies_sba() {
+        let model = ConsensusModel::explore(CountFloodSet, crash(3, 2), CountOptimalRule);
+        let report = check_sba(&model);
+        assert!(report.all_hold(), "{report}");
+    }
+
+    #[test]
+    fn deciding_too_early_violates_agreement() {
+        // Deciding at time 1 with t = 1 is premature: a crash can hide a value
+        // from part of the agents.
+        let model = ConsensusModel::explore(FloodSet, crash(3, 1), DecideAtRound(1));
+        let report = check_sba(&model);
+        assert!(!report.all_hold());
+        let agreement = report.property("Simultaneous-Agreement").unwrap();
+        let uniform = report.property("Uniform-Agreement").unwrap();
+        assert!(!agreement.holds || !uniform.holds, "{report}");
+        assert!(report.property("Validity").unwrap().holds);
+    }
+
+    #[test]
+    fn count_textbook_rule_satisfies_sba_under_crash_failures() {
+        let model = ConsensusModel::explore(CountFloodSet, crash(3, 1), TextbookRule);
+        let report = check_sba(&model);
+        assert!(report.all_hold(), "{report}");
+    }
+
+    #[test]
+    fn flooding_rule_is_not_an_sba_protocol_under_sending_omissions() {
+        // FloodSet-style "decide the least value seen at t + 1" is designed
+        // for crash failures. Under sending omissions a faulty agent can leak
+        // its value to one nonfaulty agent in the final round only, so two
+        // nonfaulty agents decide differently — the model checker finds the
+        // violation automatically.
+        let model = ConsensusModel::explore(CountFloodSet, omission(3, 1), TextbookRule);
+        let report = check_sba(&model);
+        assert!(!report.property("Agreement").unwrap().holds, "{report}");
+        assert!(report.property("Validity").unwrap().holds);
+    }
+
+    #[test]
+    fn emin_satisfies_eba_but_not_simultaneity() {
+        let model = ConsensusModel::explore(EMin, omission(3, 1), EMinRule);
+        let eba = check_eba(&model);
+        assert!(eba.all_hold(), "{eba}");
+        // The EBA protocol is *not* simultaneous: agents decide at different
+        // times in some runs.
+        let sba = check_sba(&model);
+        assert!(!sba.property("Simultaneous-Agreement").unwrap().holds);
+    }
+
+    #[test]
+    fn ebasic_satisfies_eba_under_both_failure_models() {
+        for params in [omission(3, 1), crash(3, 1)] {
+            let model = ConsensusModel::explore(EBasic, params, EBasicRule);
+            let report = check_eba(&model);
+            assert!(report.all_hold(), "{params}: {report}");
+        }
+    }
+
+    #[test]
+    fn spec_report_accessors() {
+        let model = ConsensusModel::explore(FloodSet, crash(2, 1), FloodSetRule);
+        let report = check_sba(&model);
+        assert!(report.property("Validity").is_some());
+        assert!(report.property("No-Such-Property").is_none());
+        let display = format!("{report}");
+        assert!(display.contains("Validity: holds"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Human-readable rendering of formulas.
+//!
+//! The syntax mirrors the notation of the paper: `K[i]` for knowledge,
+//! `B[i]` for indexical belief, `EB` / `CB` for "everyone believes" and
+//! common belief, `gfp X.` / `lfp X.` for fixpoints, and the CTL-style
+//! operator names for temporal operators.
+
+use std::fmt;
+
+use crate::formula::{Formula, TemporalKind};
+
+/// Precedence levels used to decide where parentheses are required.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Iff,
+    Implies,
+    Or,
+    And,
+    Unary,
+}
+
+impl<P: fmt::Display> Formula<P> {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: Prec) -> fmt::Result {
+        let my_prec = match self {
+            Formula::Iff(..) => Prec::Iff,
+            Formula::Implies(..) => Prec::Implies,
+            Formula::Or(..) => Prec::Or,
+            Formula::And(..) => Prec::And,
+            _ => Prec::Unary,
+        };
+        let need_parens = my_prec < parent;
+        if need_parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Formula::True => write!(f, "true")?,
+            Formula::False => write!(f, "false")?,
+            Formula::Atom(p) => write!(f, "{p}")?,
+            Formula::Var(v) => write!(f, "_X{v}")?,
+            Formula::Not(inner) => {
+                write!(f, "!")?;
+                inner.fmt_prec(f, Prec::Unary)?;
+            }
+            Formula::And(items) => {
+                for (pos, item) in items.iter().enumerate() {
+                    if pos > 0 {
+                        write!(f, " /\\ ")?;
+                    }
+                    item.fmt_prec(f, Prec::And)?;
+                }
+            }
+            Formula::Or(items) => {
+                for (pos, item) in items.iter().enumerate() {
+                    if pos > 0 {
+                        write!(f, " \\/ ")?;
+                    }
+                    item.fmt_prec(f, Prec::Or)?;
+                }
+            }
+            Formula::Implies(lhs, rhs) => {
+                lhs.fmt_prec(f, Prec::Or)?;
+                write!(f, " => ")?;
+                rhs.fmt_prec(f, Prec::Implies)?;
+            }
+            Formula::Iff(lhs, rhs) => {
+                // Implications under a biconditional are parenthesised to
+                // keep the rendering unambiguous for the parser.
+                lhs.fmt_prec(f, Prec::Or)?;
+                write!(f, " <=> ")?;
+                rhs.fmt_prec(f, Prec::Or)?;
+            }
+            Formula::Knows(a, inner) => {
+                write!(f, "K[{}] ", a.index())?;
+                inner.fmt_prec(f, Prec::Unary)?;
+            }
+            Formula::BelievesNonfaulty(a, inner) => {
+                write!(f, "B[{}] ", a.index())?;
+                inner.fmt_prec(f, Prec::Unary)?;
+            }
+            Formula::EveryoneBelieves(inner) => {
+                write!(f, "EB ")?;
+                inner.fmt_prec(f, Prec::Unary)?;
+            }
+            Formula::CommonBelief(inner) => {
+                write!(f, "CB ")?;
+                inner.fmt_prec(f, Prec::Unary)?;
+            }
+            Formula::Gfp(v, inner) => {
+                write!(f, "gfp _X{v}. ")?;
+                inner.fmt_prec(f, Prec::Unary)?;
+            }
+            Formula::Lfp(v, inner) => {
+                write!(f, "lfp _X{v}. ")?;
+                inner.fmt_prec(f, Prec::Unary)?;
+            }
+            Formula::Temporal(kind, inner) => {
+                write!(f, "{} ", kind.name())?;
+                inner.fmt_prec(f, Prec::Unary)?;
+            }
+        }
+        if need_parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl<P: fmt::Display> fmt::Display for Formula<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, Prec::Iff)
+    }
+}
+
+impl fmt::Display for TemporalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::agent::AgentId;
+    use crate::formula::Formula;
+
+    type F = Formula<&'static str>;
+
+    #[test]
+    fn displays_propositional_connectives() {
+        let f = F::implies(F::and([F::atom("p"), F::atom("q")]), F::or([F::atom("r"), F::False]));
+        assert_eq!(format!("{f}"), "p /\\ q => r");
+        let g = F::not(F::and([F::atom("p"), F::atom("q")]));
+        assert_eq!(format!("{g}"), "!(p /\\ q)");
+    }
+
+    #[test]
+    fn displays_epistemic_operators() {
+        let a = AgentId::new(1);
+        let f = F::believes_nonfaulty(a, F::common_belief(F::atom("exists0")));
+        assert_eq!(format!("{f}"), "B[1] CB exists0");
+        let g = F::knows(AgentId::new(0), F::implies(F::atom("p"), F::atom("q")));
+        assert_eq!(format!("{g}"), "K[0] (p => q)");
+    }
+
+    #[test]
+    fn displays_fixpoints_and_temporal() {
+        let f = F::gfp(0, F::and([F::var(0), F::atom("p")]));
+        assert_eq!(format!("{f}"), "gfp _X0. (_X0 /\\ p)");
+        let g = F::all_next(F::all_globally(F::atom("p")));
+        assert_eq!(format!("{g}"), "AX AG p");
+    }
+
+    #[test]
+    fn parenthesisation_respects_precedence() {
+        let f = F::or([F::and([F::atom("a"), F::atom("b")]), F::atom("c")]);
+        assert_eq!(format!("{f}"), "a /\\ b \\/ c");
+        let g = F::and([F::or([F::atom("a"), F::atom("b")]), F::atom("c")]);
+        assert_eq!(format!("{g}"), "(a \\/ b) /\\ c");
+        let h = F::iff(F::atom("a"), F::implies(F::atom("b"), F::atom("c")));
+        assert_eq!(format!("{h}"), "a <=> (b => c)");
+    }
+}

@@ -1,0 +1,418 @@
+//! Formula normalisation: constant propagation, negation normal form, and
+//! polarity analysis for fixpoint variables.
+
+use crate::formula::{FixpointVar, Formula, TemporalKind};
+
+/// The polarity with which a fixpoint variable occurs inside a formula.
+///
+/// The greatest-fixpoint operator `νX. φ(X)` is only meaningful when `X`
+/// occurs positively in `φ` (under an even number of negations), as required
+/// by the paper's semantic model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Polarity {
+    /// The variable does not occur.
+    Absent,
+    /// Every occurrence is under an even number of negations.
+    Positive,
+    /// Every occurrence is under an odd number of negations.
+    Negative,
+    /// The variable occurs both positively and negatively.
+    Mixed,
+}
+
+impl Polarity {
+    fn join(self, other: Polarity) -> Polarity {
+        use Polarity::*;
+        match (self, other) {
+            (Absent, p) | (p, Absent) => p,
+            (Positive, Positive) => Positive,
+            (Negative, Negative) => Negative,
+            _ => Mixed,
+        }
+    }
+
+    fn flip(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+            other => other,
+        }
+    }
+}
+
+impl<P: Clone + PartialEq> Formula<P> {
+    /// Simplifies the formula by constant propagation and collapsing of
+    /// trivial connectives. The result is logically equivalent.
+    pub fn simplify(&self) -> Formula<P> {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(p) => Formula::Atom(p.clone()),
+            Formula::Var(v) => Formula::Var(*v),
+            Formula::Not(inner) => Formula::not(inner.simplify()),
+            Formula::And(items) => Formula::and(items.iter().map(|i| i.simplify())),
+            Formula::Or(items) => Formula::or(items.iter().map(|i| i.simplify())),
+            Formula::Implies(lhs, rhs) => {
+                let (l, r) = (lhs.simplify(), rhs.simplify());
+                match (&l, &r) {
+                    (Formula::False, _) | (_, Formula::True) => Formula::True,
+                    (Formula::True, _) => r,
+                    (_, Formula::False) => Formula::not(l),
+                    _ => Formula::implies(l, r),
+                }
+            }
+            Formula::Iff(lhs, rhs) => {
+                let (l, r) = (lhs.simplify(), rhs.simplify());
+                match (&l, &r) {
+                    (Formula::True, _) => r,
+                    (_, Formula::True) => l,
+                    (Formula::False, _) => Formula::not(r),
+                    (_, Formula::False) => Formula::not(l),
+                    _ if l == r => Formula::True,
+                    _ => Formula::iff(l, r),
+                }
+            }
+            Formula::Knows(a, inner) => Formula::knows(*a, inner.simplify()),
+            Formula::BelievesNonfaulty(a, inner) => {
+                Formula::believes_nonfaulty(*a, inner.simplify())
+            }
+            Formula::EveryoneBelieves(inner) => Formula::everyone_believes(inner.simplify()),
+            Formula::CommonBelief(inner) => Formula::common_belief(inner.simplify()),
+            Formula::Gfp(v, inner) => {
+                let body = inner.simplify();
+                // νX. φ where X does not occur is just φ.
+                if body.polarity_of(*v) == Polarity::Absent {
+                    body
+                } else {
+                    Formula::gfp(*v, body)
+                }
+            }
+            Formula::Lfp(v, inner) => {
+                let body = inner.simplify();
+                if body.polarity_of(*v) == Polarity::Absent {
+                    body
+                } else {
+                    Formula::lfp(*v, body)
+                }
+            }
+            Formula::Temporal(kind, inner) => {
+                let body = inner.simplify();
+                match (&body, kind) {
+                    // AG true, AF true, AX true, ... are all true; dually for EX/EF/EG false.
+                    (Formula::True, _) => Formula::True,
+                    (Formula::False, _) => Formula::False,
+                    _ => Formula::Temporal(*kind, Box::new(body)),
+                }
+            }
+        }
+    }
+
+    /// Rewrites the formula into negation normal form: negations are pushed
+    /// inwards so that they apply only to atoms, fixpoint variables, and
+    /// epistemic operators (knowledge operators are not dualised because the
+    /// model checker evaluates them directly).
+    pub fn to_nnf(&self) -> Formula<P> {
+        fn go<P: Clone>(f: &Formula<P>, negated: bool) -> Formula<P> {
+            match f {
+                Formula::True => {
+                    if negated {
+                        Formula::False
+                    } else {
+                        Formula::True
+                    }
+                }
+                Formula::False => {
+                    if negated {
+                        Formula::True
+                    } else {
+                        Formula::False
+                    }
+                }
+                Formula::Atom(p) => {
+                    let atom = Formula::Atom(p.clone());
+                    if negated {
+                        Formula::not(atom)
+                    } else {
+                        atom
+                    }
+                }
+                Formula::Var(v) => {
+                    let var = Formula::Var(*v);
+                    if negated {
+                        Formula::not(var)
+                    } else {
+                        var
+                    }
+                }
+                Formula::Not(inner) => go(inner, !negated),
+                Formula::And(items) => {
+                    let mapped = items.iter().map(|i| go(i, negated));
+                    if negated {
+                        Formula::or(mapped)
+                    } else {
+                        Formula::and(mapped)
+                    }
+                }
+                Formula::Or(items) => {
+                    let mapped = items.iter().map(|i| go(i, negated));
+                    if negated {
+                        Formula::and(mapped)
+                    } else {
+                        Formula::or(mapped)
+                    }
+                }
+                Formula::Implies(lhs, rhs) => {
+                    // ¬(a ⇒ b) = a ∧ ¬b ; (a ⇒ b) = ¬a ∨ b
+                    if negated {
+                        Formula::and([go(lhs, false), go(rhs, true)])
+                    } else {
+                        Formula::or([go(lhs, true), go(rhs, false)])
+                    }
+                }
+                Formula::Iff(lhs, rhs) => {
+                    // a ⇔ b = (a ∧ b) ∨ (¬a ∧ ¬b); negation swaps one side.
+                    let pp = Formula::and([go(lhs, false), go(rhs, negated)]);
+                    let nn = Formula::and([go(lhs, true), go(rhs, !negated)]);
+                    Formula::or([pp, nn])
+                }
+                Formula::Knows(a, inner) => {
+                    let k = Formula::knows(*a, go(inner, false));
+                    if negated {
+                        Formula::not(k)
+                    } else {
+                        k
+                    }
+                }
+                Formula::BelievesNonfaulty(a, inner) => {
+                    let b = Formula::believes_nonfaulty(*a, go(inner, false));
+                    if negated {
+                        Formula::not(b)
+                    } else {
+                        b
+                    }
+                }
+                Formula::EveryoneBelieves(inner) => {
+                    let e = Formula::everyone_believes(go(inner, false));
+                    if negated {
+                        Formula::not(e)
+                    } else {
+                        e
+                    }
+                }
+                Formula::CommonBelief(inner) => {
+                    let c = Formula::common_belief(go(inner, false));
+                    if negated {
+                        Formula::not(c)
+                    } else {
+                        c
+                    }
+                }
+                Formula::Gfp(v, inner) => {
+                    let g = Formula::gfp(*v, go(inner, false));
+                    if negated {
+                        Formula::not(g)
+                    } else {
+                        g
+                    }
+                }
+                Formula::Lfp(v, inner) => {
+                    let l = Formula::lfp(*v, go(inner, false));
+                    if negated {
+                        Formula::not(l)
+                    } else {
+                        l
+                    }
+                }
+                Formula::Temporal(kind, inner) => {
+                    if !negated {
+                        return Formula::Temporal(*kind, Box::new(go(inner, false)));
+                    }
+                    // Dualise the temporal operator under negation.
+                    let dual = match kind {
+                        TemporalKind::AllNext => TemporalKind::ExistsNext,
+                        TemporalKind::ExistsNext => TemporalKind::AllNext,
+                        TemporalKind::AllGlobally => TemporalKind::ExistsFinally,
+                        TemporalKind::ExistsFinally => TemporalKind::AllGlobally,
+                        TemporalKind::AllFinally => TemporalKind::ExistsGlobally,
+                        TemporalKind::ExistsGlobally => TemporalKind::AllFinally,
+                    };
+                    Formula::Temporal(dual, Box::new(go(inner, true)))
+                }
+            }
+        }
+        go(self, false)
+    }
+
+    /// Computes the polarity with which fixpoint variable `var` occurs.
+    pub fn polarity_of(&self, var: FixpointVar) -> Polarity {
+        fn go<P>(f: &Formula<P>, var: FixpointVar, positive: bool) -> Polarity {
+            match f {
+                Formula::Var(v) if *v == var => {
+                    if positive {
+                        Polarity::Positive
+                    } else {
+                        Polarity::Negative
+                    }
+                }
+                Formula::Var(_) | Formula::True | Formula::False | Formula::Atom(_) => {
+                    Polarity::Absent
+                }
+                Formula::Gfp(v, _) | Formula::Lfp(v, _) if *v == var => Polarity::Absent,
+                Formula::Gfp(_, inner) | Formula::Lfp(_, inner) => go(inner, var, positive),
+                Formula::Not(inner) => go(inner, var, !positive),
+                Formula::And(items) | Formula::Or(items) => items
+                    .iter()
+                    .fold(Polarity::Absent, |acc, item| acc.join(go(item, var, positive))),
+                Formula::Implies(lhs, rhs) => {
+                    go(lhs, var, !positive).join(go(rhs, var, positive))
+                }
+                Formula::Iff(lhs, rhs) => {
+                    // Both sides occur under both polarities.
+                    let l = go(lhs, var, positive).join(go(lhs, var, !positive));
+                    let r = go(rhs, var, positive).join(go(rhs, var, !positive));
+                    l.join(r)
+                }
+                Formula::Knows(_, inner)
+                | Formula::BelievesNonfaulty(_, inner)
+                | Formula::EveryoneBelieves(inner)
+                | Formula::CommonBelief(inner)
+                | Formula::Temporal(_, inner) => go(inner, var, positive),
+            }
+        }
+        go(self, var, true)
+    }
+
+    /// Checks that every fixpoint binder in the formula binds its variable
+    /// only positively, as required for the fixpoints to be well defined.
+    pub fn fixpoints_well_formed(&self) -> bool {
+        let mut ok = true;
+        self.visit(&mut |f| {
+            if let Formula::Gfp(v, body) | Formula::Lfp(v, body) = f {
+                match body.polarity_of(*v) {
+                    Polarity::Negative | Polarity::Mixed => ok = false,
+                    Polarity::Absent | Polarity::Positive => {}
+                }
+            }
+        });
+        ok
+    }
+}
+
+impl Polarity {
+    /// Combines two polarities (used when a variable occurs in several
+    /// subformulas).
+    pub fn combine(self, other: Polarity) -> Polarity {
+        self.join(other)
+    }
+
+    /// The polarity obtained when the context is negated.
+    pub fn negate(self) -> Polarity {
+        self.flip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentId;
+
+    type F = Formula<&'static str>;
+
+    #[test]
+    fn simplify_constants() {
+        let f = F::and([F::implies(F::False, F::atom("p")), F::atom("q")]);
+        assert_eq!(f.simplify(), F::atom("q"));
+        let g = F::iff(F::atom("p"), F::atom("p"));
+        assert_eq!(g.simplify(), F::True);
+        let h = F::implies(F::atom("p"), F::False);
+        assert_eq!(h.simplify(), F::not(F::atom("p")));
+    }
+
+    #[test]
+    fn simplify_removes_vacuous_fixpoints() {
+        let f = F::gfp(0, F::atom("p"));
+        assert_eq!(f.simplify(), F::atom("p"));
+        let g = F::gfp(0, F::and([F::var(0), F::atom("p")]));
+        assert_eq!(g.simplify(), g);
+    }
+
+    #[test]
+    fn simplify_temporal_constants() {
+        assert_eq!(F::all_globally(F::True).simplify(), F::True);
+        assert_eq!(F::exists_finally(F::False).simplify(), F::False);
+        let f = F::all_next(F::atom("p"));
+        assert_eq!(f.simplify(), f);
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_atoms() {
+        let f = F::not(F::and([F::atom("p"), F::not(F::atom("q"))]));
+        let nnf = f.to_nnf();
+        assert_eq!(nnf, F::or([F::not(F::atom("p")), F::atom("q")]));
+    }
+
+    #[test]
+    fn nnf_dualises_temporal_operators() {
+        let f = F::not(F::all_globally(F::atom("p")));
+        assert_eq!(f.to_nnf(), F::exists_finally(F::not(F::atom("p"))));
+        let g = F::not(F::all_next(F::atom("p")));
+        assert_eq!(g.to_nnf(), F::exists_next(F::not(F::atom("p"))));
+    }
+
+    #[test]
+    fn nnf_keeps_negated_knowledge() {
+        let a = AgentId::new(0);
+        let f = F::not(F::knows(a, F::atom("p")));
+        assert_eq!(f.to_nnf(), F::not(F::knows(a, F::atom("p"))));
+    }
+
+    #[test]
+    fn nnf_implication_and_iff() {
+        let f = F::implies(F::atom("p"), F::atom("q"));
+        assert_eq!(f.to_nnf(), F::or([F::not(F::atom("p")), F::atom("q")]));
+        let g = F::iff(F::atom("p"), F::atom("q")).to_nnf();
+        // (p ∧ q) ∨ (¬p ∧ ¬q)
+        assert_eq!(
+            g,
+            F::or([
+                F::and([F::atom("p"), F::atom("q")]),
+                F::and([F::not(F::atom("p")), F::not(F::atom("q"))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn polarity_analysis() {
+        let f = F::and([F::var(0), F::not(F::var(1))]);
+        assert_eq!(f.polarity_of(0), Polarity::Positive);
+        assert_eq!(f.polarity_of(1), Polarity::Negative);
+        assert_eq!(f.polarity_of(2), Polarity::Absent);
+        let g = F::and([F::var(0), F::not(F::var(0))]);
+        assert_eq!(g.polarity_of(0), Polarity::Mixed);
+        // Implication flips the antecedent.
+        let h = F::implies(F::var(0), F::var(0));
+        assert_eq!(h.polarity_of(0), Polarity::Mixed);
+        // Shadowed binders do not count.
+        let shadow = F::gfp(0, F::var(0));
+        assert_eq!(shadow.polarity_of(0), Polarity::Absent);
+    }
+
+    #[test]
+    fn fixpoint_well_formedness() {
+        let ok = F::gfp(0, F::and([F::var(0), F::atom("p")]));
+        assert!(ok.fixpoints_well_formed());
+        let bad = F::gfp(0, F::not(F::var(0)));
+        assert!(!bad.fixpoints_well_formed());
+        // The common-belief expansion is always well formed.
+        let cb = F::common_belief(F::atom("p")).expand_derived(3, &|_| "nf", 0);
+        assert!(cb.fixpoints_well_formed());
+    }
+
+    #[test]
+    fn polarity_combine_and_negate() {
+        assert_eq!(Polarity::Positive.combine(Polarity::Negative), Polarity::Mixed);
+        assert_eq!(Polarity::Absent.combine(Polarity::Negative), Polarity::Negative);
+        assert_eq!(Polarity::Positive.negate(), Polarity::Negative);
+        assert_eq!(Polarity::Mixed.negate(), Polarity::Mixed);
+    }
+}

@@ -1,0 +1,245 @@
+//! The Count FloodSet information exchange (paper §7.2).
+//!
+//! The exchange sends the same messages as FloodSet, but each agent also
+//! keeps a `count` of the number of messages it received in the most recent
+//! round (counting its own). Because every non-crashed agent broadcasts in
+//! every round, a missing message reveals a crash, and `count <= 1` reveals
+//! that every other agent has crashed — which licenses an immediate decision
+//! (condition (3) of the paper).
+
+use epimc_logic::AgentId;
+use epimc_system::{
+    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Round, Value,
+};
+
+use crate::common::{value_set_observation, ValueSet};
+use crate::rules::HasSeenValues;
+
+/// The Count FloodSet information exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountFloodSet;
+
+/// Local state of an agent running Count FloodSet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CountState {
+    /// The set of values this agent has seen so far.
+    pub seen: ValueSet,
+    /// The number of messages received in the most recent round (counting the
+    /// agent's own). Initialised to `n` at time 0, before any round has been
+    /// executed, so that the `count <= 1` early-exit cannot fire spuriously.
+    pub count: u8,
+}
+
+impl HasSeenValues for CountState {
+    fn seen_values(&self) -> ValueSet {
+        self.seen
+    }
+}
+
+impl InformationExchange for CountFloodSet {
+    type LocalState = CountState;
+    type Message = ValueSet;
+
+    fn name(&self) -> &'static str {
+        "count-floodset"
+    }
+
+    fn initial_local_state(&self, params: &ModelParams, _agent: AgentId, init: Value) -> CountState {
+        CountState {
+            seen: ValueSet::singleton(init),
+            count: params.num_agents() as u8,
+        }
+    }
+
+    fn message(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &CountState,
+        _action: Action,
+    ) -> Option<ValueSet> {
+        Some(state.seen)
+    }
+
+    fn update(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &CountState,
+        _action: Action,
+        received: &Received<ValueSet>,
+    ) -> CountState {
+        let seen = received.iter().fold(state.seen, |acc, (_, set)| acc.union(*set));
+        CountState { seen, count: received.count() as u8 }
+    }
+
+    fn observation(&self, params: &ModelParams, _agent: AgentId, state: &CountState) -> Observation {
+        let mut values = value_set_observation(state.seen, params.num_values());
+        values.push(u32::from(state.count));
+        Observation::new(values)
+    }
+
+    fn observable_layout(&self, params: &ModelParams) -> Vec<ObservableVar> {
+        let mut layout: Vec<ObservableVar> = Value::all(params.num_values())
+            .map(|v| ObservableVar::boolean(format!("values_received[{v}]")))
+            .collect();
+        layout.push(ObservableVar::ranged("count", params.num_agents() as u32 + 1));
+        layout
+    }
+}
+
+/// Index of the `count` observable in the observation layout of
+/// [`CountFloodSet`], for a domain of `num_values` decision values.
+pub fn count_observable_index(num_values: usize) -> usize {
+    num_values
+}
+
+/// The optimal stopping rule for the Count FloodSet exchange, as identified
+/// by the model checking and synthesis experiments of the paper
+/// (condition (3)): decide on the least value seen as soon as
+///
+/// ```text
+/// count <= 1  \/  (t >= n - 1 /\ time = t)  \/  (t < n - 1 /\ time = t + 1)
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountOptimalRule;
+
+/// The deterministic fallback decision time of condition (3) for `(n, t)` —
+/// the time at which a decision is made even when the `count <= 1` early exit
+/// never fires.
+pub fn condition3_fallback_time(n: usize, t: usize) -> Round {
+    if t >= n - 1 {
+        t as Round
+    } else {
+        (t + 1) as Round
+    }
+}
+
+impl DecisionRule<CountFloodSet> for CountOptimalRule {
+    fn name(&self) -> String {
+        "count-condition3".to_string()
+    }
+
+    fn action(
+        &self,
+        _exchange: &CountFloodSet,
+        params: &ModelParams,
+        _agent: AgentId,
+        time: Round,
+        state: &CountState,
+    ) -> Action {
+        let n = params.num_agents();
+        let t = params.max_faulty();
+        let early_exit = time > 0 && state.count <= 1;
+        let fallback = time == condition3_fallback_time(n, t);
+        if early_exit || fallback {
+            match state.seen.min_value() {
+                Some(v) => Action::Decide(v),
+                None => Action::Noop,
+            }
+        } else {
+            Action::Noop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::TextbookRule;
+    use epimc_system::run::{simulate_run, Adversary, RoundFailures};
+    use epimc_system::{AgentSet, FailureKind, StateSpace};
+
+    fn params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
+    }
+
+    #[test]
+    fn initial_count_is_n() {
+        let p = params(3, 1);
+        let state = CountFloodSet.initial_local_state(&p, AgentId::new(0), Value::ZERO);
+        assert_eq!(state.count, 3);
+        assert_eq!(state.seen, ValueSet::singleton(Value::ZERO));
+    }
+
+    #[test]
+    fn count_tracks_messages_received_in_last_round() {
+        let p = params(3, 2);
+        let state = CountFloodSet.initial_local_state(&p, AgentId::new(0), Value::ZERO);
+        let received = Received::new(vec![Some(ValueSet::singleton(Value::ZERO)), None, None]);
+        let updated = CountFloodSet.update(&p, AgentId::new(0), &state, Action::Noop, &received);
+        assert_eq!(updated.count, 1);
+        let obs = CountFloodSet.observation(&p, AgentId::new(0), &updated);
+        assert_eq!(obs.value(count_observable_index(2)), 1);
+        assert_eq!(CountFloodSet.observable_layout(&p).len(), 3);
+    }
+
+    #[test]
+    fn count_of_one_triggers_early_decision() {
+        // n = 3, t = 3: both other agents crash silently in round 0, so the
+        // survivor's count drops to 1 and it can decide immediately at time 1
+        // rather than waiting for the fallback round.
+        let p = ModelParams::builder().agents(3).max_faulty(3).values(2).build();
+        let adversary = Adversary {
+            faulty: AgentSet::full(3).without(AgentId::new(0)),
+            rounds: vec![RoundFailures {
+                crashing: AgentSet::full(3).without(AgentId::new(0)),
+                dropped: [
+                    (AgentId::new(1), AgentId::new(0)),
+                    (AgentId::new(2), AgentId::new(0)),
+                    (AgentId::new(1), AgentId::new(2)),
+                    (AgentId::new(2), AgentId::new(1)),
+                ]
+                .into_iter()
+                .collect(),
+            }],
+        };
+        let inits = vec![Value::ONE, Value::ZERO, Value::ZERO];
+        let run = simulate_run(&CountFloodSet, &p, &CountOptimalRule, &inits, &adversary);
+        let decision = run.decision(AgentId::new(0)).expect("survivor decides");
+        assert_eq!(decision.round, 1);
+        assert_eq!(decision.value, Value::ONE);
+    }
+
+    #[test]
+    fn failure_free_runs_use_the_fallback_time() {
+        let p = params(4, 2);
+        let inits = vec![Value::ONE, Value::ZERO, Value::ONE, Value::ONE];
+        let run = simulate_run(&CountFloodSet, &p, &CountOptimalRule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(4) {
+            let decision = run.decision(agent).unwrap();
+            assert_eq!(decision.round, condition3_fallback_time(4, 2)); // t + 1 = 3
+            assert_eq!(decision.value, Value::ZERO);
+        }
+    }
+
+    #[test]
+    fn condition3_fallback_times() {
+        assert_eq!(condition3_fallback_time(4, 1), 2);
+        assert_eq!(condition3_fallback_time(3, 2), 2);
+        assert_eq!(condition3_fallback_time(3, 3), 3);
+    }
+
+    #[test]
+    fn textbook_rule_also_works_for_count_exchange() {
+        let p = params(3, 1);
+        let inits = vec![Value::ONE, Value::ONE, Value::ZERO];
+        let run = simulate_run(&CountFloodSet, &p, &TextbookRule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            assert_eq!(run.decision(agent).unwrap().round, 2);
+        }
+    }
+
+    #[test]
+    fn state_space_with_count_is_larger_than_floodset() {
+        use crate::floodset::FloodSet;
+        let p = params(3, 2);
+        let flood = StateSpace::explore(FloodSet, p, &epimc_system::NeverDecide);
+        let count = StateSpace::explore(CountFloodSet, p, &epimc_system::NeverDecide);
+        assert!(
+            count.total_states() >= flood.total_states(),
+            "the count variable should refine the state space"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The differential information exchange `P_diff` (paper §7.3).
+//!
+//! Like the Count FloodSet exchange, but each agent additionally remembers
+//! the count from the round before the most recent one. Castañeda et al.
+//! show that the *difference* between the two counts allows earlier decisions
+//! for Eventual Byzantine Agreement; the paper's experiments show that for
+//! the *simultaneous* problem the extra variable does not enable any earlier
+//! decision than the single count — a result this crate reproduces in the
+//! `diff_no_improvement` integration test.
+
+use epimc_logic::AgentId;
+use epimc_system::{
+    Action, InformationExchange, ModelParams, Observation, ObservableVar, Received, Value,
+};
+
+use crate::common::{value_set_observation, ValueSet};
+use crate::rules::HasSeenValues;
+
+/// The differential (count + previous count) information exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiffFloodSet;
+
+/// Local state of an agent running the differential exchange.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DiffState {
+    /// The set of values this agent has seen so far.
+    pub seen: ValueSet,
+    /// The number of messages received in the most recent round.
+    pub count: u8,
+    /// The value of `count` at the start of the most recent round (i.e. the
+    /// count from the round before it).
+    pub prev_count: u8,
+}
+
+impl DiffState {
+    /// The number of newly-detected crashes in the most recent round, i.e.
+    /// the difference `prev_count - count` used by the early-stopping
+    /// predicates of Castañeda et al.
+    pub fn difference(&self) -> u8 {
+        self.prev_count.saturating_sub(self.count)
+    }
+}
+
+impl HasSeenValues for DiffState {
+    fn seen_values(&self) -> ValueSet {
+        self.seen
+    }
+}
+
+impl InformationExchange for DiffFloodSet {
+    type LocalState = DiffState;
+    type Message = ValueSet;
+
+    fn name(&self) -> &'static str {
+        "diff-floodset"
+    }
+
+    fn initial_local_state(&self, params: &ModelParams, _agent: AgentId, init: Value) -> DiffState {
+        let n = params.num_agents() as u8;
+        DiffState { seen: ValueSet::singleton(init), count: n, prev_count: n }
+    }
+
+    fn message(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &DiffState,
+        _action: Action,
+    ) -> Option<ValueSet> {
+        Some(state.seen)
+    }
+
+    fn update(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &DiffState,
+        _action: Action,
+        received: &Received<ValueSet>,
+    ) -> DiffState {
+        let seen = received.iter().fold(state.seen, |acc, (_, set)| acc.union(*set));
+        DiffState {
+            seen,
+            count: received.count() as u8,
+            prev_count: state.count,
+        }
+    }
+
+    fn observation(&self, params: &ModelParams, _agent: AgentId, state: &DiffState) -> Observation {
+        let mut values = value_set_observation(state.seen, params.num_values());
+        values.push(u32::from(state.count));
+        values.push(u32::from(state.prev_count));
+        Observation::new(values)
+    }
+
+    fn observable_layout(&self, params: &ModelParams) -> Vec<ObservableVar> {
+        let n = params.num_agents() as u32;
+        let mut layout: Vec<ObservableVar> = Value::all(params.num_values())
+            .map(|v| ObservableVar::boolean(format!("values_received[{v}]")))
+            .collect();
+        layout.push(ObservableVar::ranged("count", n + 1));
+        layout.push(ObservableVar::ranged("prev_count", n + 1));
+        layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epimc_system::run::{simulate_run, Adversary, RoundFailures};
+    use epimc_system::{AgentSet, NeverDecide, StateSpace};
+
+    fn params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).build()
+    }
+
+    #[test]
+    fn prev_count_lags_count_by_one_round() {
+        let p = params(3, 2);
+        let adversary = Adversary {
+            faulty: AgentSet::singleton(AgentId::new(2)),
+            rounds: vec![
+                RoundFailures::default(),
+                RoundFailures {
+                    crashing: AgentSet::singleton(AgentId::new(2)),
+                    dropped: [(AgentId::new(2), AgentId::new(0)), (AgentId::new(2), AgentId::new(1))]
+                        .into_iter()
+                        .collect(),
+                },
+            ],
+        };
+        let inits = vec![Value::ZERO, Value::ONE, Value::ONE];
+        let run = simulate_run(&DiffFloodSet, &p, &NeverDecide, &inits, &adversary);
+        let agent0 = AgentId::new(0);
+        // Time 1: all three messages arrived.
+        assert_eq!(run.state(1).local(agent0).count, 3);
+        assert_eq!(run.state(1).local(agent0).prev_count, 3);
+        // Time 2: agent 2 crashed without sending, count drops, prev_count remembers 3.
+        assert_eq!(run.state(2).local(agent0).count, 2);
+        assert_eq!(run.state(2).local(agent0).prev_count, 3);
+        assert_eq!(run.state(2).local(agent0).difference(), 1);
+    }
+
+    #[test]
+    fn observation_includes_both_counts() {
+        let p = params(3, 1);
+        let state = DiffState { seen: ValueSet::singleton(Value::ZERO), count: 2, prev_count: 3 };
+        let obs = DiffFloodSet.observation(&p, AgentId::new(0), &state);
+        assert_eq!(obs.values(), &[1, 0, 2, 3]);
+        assert_eq!(DiffFloodSet.observable_layout(&p).len(), 4);
+    }
+
+    #[test]
+    fn diff_state_space_refines_count_state_space() {
+        use crate::count::CountFloodSet;
+        let p = params(3, 2);
+        let count = StateSpace::explore(CountFloodSet, p, &NeverDecide);
+        let diff = StateSpace::explore(DiffFloodSet, p, &NeverDecide);
+        assert!(diff.total_states() >= count.total_states());
+    }
+}

@@ -1,0 +1,324 @@
+//! The concrete protocol of Dwork and Moses for crash failures (paper §7.4).
+//!
+//! The protocol was derived in the literature from an analysis of common
+//! knowledge in the full-information protocol, but it maintains only a small
+//! amount of state: the set `F` of agents known to be faulty, the set `NF` of
+//! agents newly discovered to be faulty in the last round, the set `RF` of
+//! faulty agents heard about from other agents, a flag `exists0` recording
+//! whether the agent is aware of some initial value 0, and an estimate
+//! `waste` of the number of failures that were "wasted" (not needed to delay
+//! a clean round). In each round the pair `(NF, exists0)` is broadcast.
+//!
+//! The decision rule decides at the first time `m >= 1` with
+//! `m >= t + 1 - waste`, on value 0 if `exists0` holds and on 1 otherwise.
+//! The protocol is specific to binary decision domains.
+
+use epimc_logic::{AgentId, AgentSet};
+use epimc_system::{
+    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Round, Value,
+};
+
+/// The Dwork–Moses information exchange for crash failures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DworkMoses;
+
+/// Local state of an agent running the Dwork–Moses protocol.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DworkMosesState {
+    /// `F`: agents this agent knows to be faulty.
+    pub faulty_known: AgentSet,
+    /// `NF`: agents newly discovered to be faulty in the most recent round.
+    pub newly_faulty: AgentSet,
+    /// `RF`: faulty agents heard about from other agents.
+    pub reported_faulty: AgentSet,
+    /// Whether the agent is aware that some agent has initial value 0.
+    pub exists0: bool,
+    /// The agent's estimate of the number of wasted failures.
+    pub waste: u8,
+    /// Number of rounds this agent has executed (needed to maintain the
+    /// waste estimate; it coincides with the global time and therefore adds
+    /// no information under the clock semantics).
+    pub rounds: u8,
+}
+
+impl DworkMosesState {
+    /// Number of rounds executed so far.
+    pub fn rounds_executed(&self) -> u8 {
+        self.rounds
+    }
+}
+
+/// The message broadcast each round: the newly discovered failures and the
+/// `exists0` flag.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DworkMosesMessage {
+    /// Newly discovered faulty agents.
+    pub newly_faulty: AgentSet,
+    /// Whether the sender is aware of an initial value 0.
+    pub exists0: bool,
+}
+
+impl InformationExchange for DworkMoses {
+    type LocalState = DworkMosesState;
+    type Message = DworkMosesMessage;
+
+    fn name(&self) -> &'static str {
+        "dwork-moses"
+    }
+
+    fn initial_local_state(
+        &self,
+        params: &ModelParams,
+        _agent: AgentId,
+        init: Value,
+    ) -> DworkMosesState {
+        assert_eq!(
+            params.num_values(),
+            2,
+            "the Dwork-Moses protocol is defined for the binary decision domain"
+        );
+        DworkMosesState {
+            faulty_known: AgentSet::EMPTY,
+            newly_faulty: AgentSet::EMPTY,
+            reported_faulty: AgentSet::EMPTY,
+            exists0: init == Value::ZERO,
+            waste: 0,
+            rounds: 0,
+        }
+    }
+
+    fn message(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &DworkMosesState,
+        _action: Action,
+    ) -> Option<DworkMosesMessage> {
+        Some(DworkMosesMessage { newly_faulty: state.newly_faulty, exists0: state.exists0 })
+    }
+
+    fn update(
+        &self,
+        params: &ModelParams,
+        agent: AgentId,
+        state: &DworkMosesState,
+        _action: Action,
+        received: &Received<DworkMosesMessage>,
+    ) -> DworkMosesState {
+        let n = params.num_agents();
+        // Silence detection: any agent whose message did not arrive is known
+        // to have crashed (in the crash failure model every non-crashed agent
+        // broadcasts every round).
+        let mut silent = AgentSet::EMPTY;
+        for sender in AgentId::all(n) {
+            if sender != agent && received.from_sender(sender).is_none() {
+                silent.insert(sender);
+            }
+        }
+        // Failures reported by other agents.
+        let mut reported = state.reported_faulty;
+        let mut exists0 = state.exists0;
+        for (_, message) in received.iter() {
+            reported = reported.union(message.newly_faulty);
+            exists0 = exists0 || message.exists0;
+        }
+        let all_known = state.faulty_known.union(silent).union(reported);
+        let newly_faulty = all_known.difference(state.faulty_known);
+        // The waste estimate: `waste = max over rounds k of (number of agents
+        // known to have failed by the end of round k, minus k)`. A failure
+        // reported by another agent in this round was discovered by that
+        // agent in the *previous* round (it failed to broadcast then), so it
+        // counts towards the previous round's tally; a failure detected by
+        // silence counts towards the current round. Attributing reports to
+        // the previous round is what keeps the decision simultaneous: an
+        // agent that hears about a burst of failures one round late computes
+        // the same waste as an agent that observed the burst directly.
+        let round_just_finished = state.rounds_executed() as i64 + 1;
+        let known_by_previous_round = state.faulty_known.union(reported);
+        let excess_previous = known_by_previous_round.len() as i64 - (round_just_finished - 1);
+        let excess_current = all_known.len() as i64 - round_just_finished;
+        let waste = state
+            .waste
+            .max(excess_previous.max(0) as u8)
+            .max(excess_current.max(0) as u8);
+        DworkMosesState {
+            faulty_known: all_known,
+            newly_faulty,
+            reported_faulty: reported,
+            exists0,
+            waste,
+            rounds: round_just_finished as u8,
+        }
+    }
+
+    fn observation(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &DworkMosesState,
+    ) -> Observation {
+        Observation::new(vec![
+            u32::from(state.exists0),
+            u32::from(state.waste),
+            state.faulty_known.bits() as u32,
+            state.newly_faulty.bits() as u32,
+            state.reported_faulty.bits() as u32,
+        ])
+    }
+
+    fn observable_layout(&self, params: &ModelParams) -> Vec<ObservableVar> {
+        let n = params.num_agents() as u32;
+        vec![
+            ObservableVar::boolean("exists0"),
+            ObservableVar::ranged("current_waste", n + 1),
+            ObservableVar::ranged("F", 1 << n),
+            ObservableVar::ranged("NF", 1 << n),
+            ObservableVar::ranged("RF", 1 << n),
+        ]
+    }
+}
+
+/// The Dwork–Moses decision rule: decide at the first time `m >= 1` with
+/// `m >= t + 1 - waste`, on 0 if `exists0` and on 1 otherwise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DworkMosesRule;
+
+impl DecisionRule<DworkMoses> for DworkMosesRule {
+    fn name(&self) -> String {
+        "dwork-moses".to_string()
+    }
+
+    fn action(
+        &self,
+        _exchange: &DworkMoses,
+        params: &ModelParams,
+        _agent: AgentId,
+        time: Round,
+        state: &DworkMosesState,
+    ) -> Action {
+        let t = params.max_faulty() as Round;
+        if time >= 1 && time + Round::from(state.waste) >= t + 1 {
+            let value = if state.exists0 { Value::ZERO } else { Value::ONE };
+            Action::Decide(value)
+        } else {
+            Action::Noop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epimc_system::run::{simulate_run, Adversary, RoundFailures};
+    use epimc_system::FailureKind;
+
+    fn params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
+    }
+
+    #[test]
+    fn failure_free_run_decides_at_t_plus_one() {
+        let p = params(3, 1);
+        let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
+        let run = simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            let decision = run.decision(agent).expect("every agent decides");
+            assert_eq!(decision.round, 2, "no waste means deciding at t + 1");
+            assert_eq!(decision.value, Value::ZERO);
+        }
+        // exists0 has propagated to everyone by time 1.
+        for agent in AgentId::all(3) {
+            assert!(run.state(1).local(agent).exists0);
+        }
+    }
+
+    #[test]
+    fn all_ones_decides_one() {
+        let p = params(3, 1);
+        let inits = vec![Value::ONE, Value::ONE, Value::ONE];
+        let run = simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            assert_eq!(run.decision(agent).unwrap().value, Value::ONE);
+        }
+    }
+
+    #[test]
+    fn visible_simultaneous_crashes_create_waste_and_speed_up_decision() {
+        // n = 4, t = 2: both faulty agents crash in round 0 *after* sending
+        // nothing, so every survivor discovers two failures in one round.
+        // One of the two failures is wasted, so waste = 1 and decisions come
+        // at time t + 1 - 1 = 2.
+        let p = params(4, 2);
+        let faulty: AgentSet = [AgentId::new(2), AgentId::new(3)].into_iter().collect();
+        let mut dropped = std::collections::BTreeSet::new();
+        for sender in [AgentId::new(2), AgentId::new(3)] {
+            for receiver in AgentId::all(4) {
+                if receiver != sender {
+                    dropped.insert((sender, receiver));
+                }
+            }
+        }
+        let adversary = Adversary {
+            faulty,
+            rounds: vec![RoundFailures { crashing: faulty, dropped }],
+        };
+        let inits = vec![Value::ONE, Value::ONE, Value::ZERO, Value::ONE];
+        let run = simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &adversary);
+        for agent in [AgentId::new(0), AgentId::new(1)] {
+            assert_eq!(run.state(1).local(agent).waste, 1);
+            let decision = run.decision(agent).expect("survivors decide");
+            assert_eq!(decision.round, 2);
+            // Agent 2 never managed to report its 0, so the survivors decide 1.
+            assert_eq!(decision.value, Value::ONE);
+        }
+    }
+
+    #[test]
+    fn silence_detection_reports_failures_to_others() {
+        // Agent 2 crashes in round 0, delivering only to agent 0. Agent 1
+        // detects the silence; agent 0 learns about the failure from agent 1's
+        // NF report in round 1.
+        let p = params(3, 2);
+        let adversary = Adversary {
+            faulty: AgentSet::singleton(AgentId::new(2)),
+            rounds: vec![RoundFailures {
+                crashing: AgentSet::singleton(AgentId::new(2)),
+                dropped: [(AgentId::new(2), AgentId::new(1))].into_iter().collect(),
+            }],
+        };
+        let inits = vec![Value::ONE, Value::ONE, Value::ZERO];
+        let run = simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &adversary);
+        let a0 = AgentId::new(0);
+        let a1 = AgentId::new(1);
+        // After round 1: agent 1 noticed the silence, agent 0 did not.
+        assert!(run.state(1).local(a1).faulty_known.contains(AgentId::new(2)));
+        assert!(!run.state(1).local(a0).faulty_known.contains(AgentId::new(2)));
+        // After round 2: agent 0 has heard the report.
+        assert!(run.state(2).local(a0).faulty_known.contains(AgentId::new(2)));
+        assert!(run.state(2).local(a0).reported_faulty.contains(AgentId::new(2)));
+        // Agent 0 received agent 2's exists0 before the crash and spreads it,
+        // so both survivors decide 0 and at the same time.
+        let d0 = run.decision(a0).unwrap();
+        let d1 = run.decision(a1).unwrap();
+        assert_eq!(d0.value, Value::ZERO);
+        assert_eq!(d0.value, d1.value);
+        assert_eq!(d0.round, d1.round);
+    }
+
+    #[test]
+    fn observation_layout_matches_observation_width() {
+        let p = params(3, 1);
+        let state = DworkMoses.initial_local_state(&p, AgentId::new(0), Value::ZERO);
+        let obs = DworkMoses.observation(&p, AgentId::new(0), &state);
+        assert_eq!(obs.len(), DworkMoses.observable_layout(&p).len());
+        assert_eq!(obs.value(0), 1, "exists0 observable reflects the initial value 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "binary decision domain")]
+    fn rejects_non_binary_domains() {
+        let p = ModelParams::builder().agents(3).max_faulty(1).values(3).build();
+        let _ = DworkMoses.initial_local_state(&p, AgentId::new(0), Value::ZERO);
+    }
+}

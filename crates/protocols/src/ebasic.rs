@@ -1,0 +1,265 @@
+//! The EBA information exchange `E_basic` (paper §9.2).
+//!
+//! `E_basic` extends `E_min` with a counter `num1` of the `(init, 1)`
+//! messages received in the last round. Agents that have not yet decided and
+//! have initial value 1 broadcast `(init, 1)` every round; agents that decide
+//! broadcast the decided value; agents with initial value 0 that have not yet
+//! decided send nothing. The counter enables an early decision on 1: when
+//! `num1 > n - time`, enough agents are known to have initial value 1 that no
+//! chain of messages can ever establish that some agent decided 0.
+
+use epimc_logic::AgentId;
+use epimc_system::{
+    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Round, Value,
+};
+
+/// The `E_basic` information exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EBasic;
+
+/// Local state of an agent running `E_basic`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EBasicState {
+    /// The agent's initial preference.
+    pub init: Value,
+    /// Whether the agent has decided.
+    pub decided: bool,
+    /// A value the agent heard some agent just decided, or `None` (⊥).
+    pub just_decided: Option<Value>,
+    /// Number of `(init, 1)` messages received in the last round.
+    pub num1: u8,
+}
+
+/// Messages of the `E_basic` exchange.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EBasicMessage {
+    /// The sender has just decided the given value.
+    JustDecided(Value),
+    /// The sender has initial value 1 and has not yet decided.
+    InitOne,
+}
+
+impl InformationExchange for EBasic {
+    type LocalState = EBasicState;
+    type Message = EBasicMessage;
+
+    fn name(&self) -> &'static str {
+        "e-basic"
+    }
+
+    fn initial_local_state(&self, params: &ModelParams, _agent: AgentId, init: Value) -> EBasicState {
+        assert_eq!(params.num_values(), 2, "E_basic is defined for the binary decision domain");
+        EBasicState { init, decided: false, just_decided: None, num1: 0 }
+    }
+
+    fn message(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &EBasicState,
+        action: Action,
+    ) -> Option<EBasicMessage> {
+        if let Some(value) = action.decided_value() {
+            Some(EBasicMessage::JustDecided(value))
+        } else if !state.decided && state.init == Value::ONE {
+            Some(EBasicMessage::InitOne)
+        } else {
+            None
+        }
+    }
+
+    fn update(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &EBasicState,
+        action: Action,
+        received: &Received<EBasicMessage>,
+    ) -> EBasicState {
+        let heard_zero = received
+            .iter()
+            .any(|(_, m)| matches!(m, EBasicMessage::JustDecided(v) if *v == Value::ZERO));
+        let heard_one = received
+            .iter()
+            .any(|(_, m)| matches!(m, EBasicMessage::JustDecided(v) if *v == Value::ONE));
+        let just_decided = if heard_zero {
+            Some(Value::ZERO)
+        } else if heard_one {
+            Some(Value::ONE)
+        } else {
+            None
+        };
+        let num1 = received
+            .iter()
+            .filter(|(_, m)| matches!(m, EBasicMessage::InitOne))
+            .count() as u8;
+        EBasicState {
+            init: state.init,
+            decided: state.decided || action.is_decide(),
+            just_decided,
+            num1,
+        }
+    }
+
+    fn observation(&self, _params: &ModelParams, _agent: AgentId, state: &EBasicState) -> Observation {
+        Observation::new(vec![
+            state.init.index() as u32,
+            u32::from(state.decided),
+            match state.just_decided {
+                None => 0,
+                Some(v) => v.index() as u32 + 1,
+            },
+            u32::from(state.num1),
+        ])
+    }
+
+    fn observable_layout(&self, params: &ModelParams) -> Vec<ObservableVar> {
+        vec![
+            ObservableVar::boolean("init"),
+            ObservableVar::boolean("decided"),
+            ObservableVar::ranged("jd", 3),
+            ObservableVar::ranged("num1", params.num_agents() as u32 + 1),
+        ]
+    }
+}
+
+/// The implementation of the EBA knowledge-based program `P0` for `E_basic`:
+/// decide 0 when `init = 0` or a just-decided 0 has been heard; decide 1 when
+/// `num1 > n - time` or a just-decided 1 has been heard; otherwise fall back
+/// to deciding at time `t + 1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EBasicRule;
+
+impl DecisionRule<EBasic> for EBasicRule {
+    fn name(&self) -> String {
+        "e-basic-p0".to_string()
+    }
+
+    fn action(
+        &self,
+        _exchange: &EBasic,
+        params: &ModelParams,
+        _agent: AgentId,
+        time: Round,
+        state: &EBasicState,
+    ) -> Action {
+        let n = params.num_agents() as Round;
+        let deadline = params.max_faulty() as Round + 1;
+        if time <= deadline && (state.init == Value::ZERO || state.just_decided == Some(Value::ZERO)) {
+            return Action::Decide(Value::ZERO);
+        }
+        let early_one = time > 0 && Round::from(state.num1) > n.saturating_sub(time);
+        if time <= deadline && (early_one || state.just_decided == Some(Value::ONE)) {
+            return Action::Decide(Value::ONE);
+        }
+        if time == deadline {
+            return Action::Decide(Value::ONE);
+        }
+        Action::Noop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epimc_system::run::{simulate_run, Adversary};
+    use epimc_system::FailureKind;
+
+    fn params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder()
+            .agents(n)
+            .max_faulty(t)
+            .values(2)
+            .failure(FailureKind::SendOmission)
+            .build()
+    }
+
+    #[test]
+    fn all_ones_decide_one_early_via_num1() {
+        // n = 3, t = 2: with every agent broadcasting (init, 1), after one
+        // round num1 = 3 > n - 1 = 2, so everyone decides 1 at time 1 rather
+        // than waiting for t + 1 = 3.
+        let p = params(3, 2);
+        let inits = vec![Value::ONE, Value::ONE, Value::ONE];
+        let run = simulate_run(&EBasic, &p, &EBasicRule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            let d = run.decision(agent).unwrap();
+            assert_eq!(d.value, Value::ONE);
+            assert_eq!(d.round, 1);
+        }
+        // The E_min implementation would have waited until t + 1.
+        let emin_run = simulate_run(
+            &crate::emin::EMin,
+            &p,
+            &crate::emin::EMinRule,
+            &inits,
+            &Adversary::failure_free(),
+        );
+        for agent in AgentId::all(3) {
+            assert_eq!(emin_run.decision(agent).unwrap().round, 3);
+        }
+    }
+
+    #[test]
+    fn zero_holder_decides_zero_and_propagates() {
+        let p = params(3, 1);
+        let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
+        let run = simulate_run(&EBasic, &p, &EBasicRule, &inits, &Adversary::failure_free());
+        assert_eq!(run.decision(AgentId::new(1)).unwrap().round, 0);
+        for agent in AgentId::all(3) {
+            assert_eq!(run.decision(agent).unwrap().value, Value::ZERO);
+        }
+    }
+
+    #[test]
+    fn mixed_values_respect_agreement() {
+        let p = params(4, 1);
+        let inits = vec![Value::ONE, Value::ONE, Value::ZERO, Value::ONE];
+        let run = simulate_run(&EBasic, &p, &EBasicRule, &inits, &Adversary::failure_free());
+        let first = run.decision(AgentId::new(0)).unwrap().value;
+        for agent in AgentId::all(4) {
+            assert_eq!(run.decision(agent).unwrap().value, first);
+        }
+        assert_eq!(first, Value::ZERO);
+    }
+
+    #[test]
+    fn num1_counts_only_init_one_messages() {
+        let p = params(3, 1);
+        let state = EBasic.initial_local_state(&p, AgentId::new(0), Value::ONE);
+        let received = Received::new(vec![
+            Some(EBasicMessage::InitOne),
+            Some(EBasicMessage::JustDecided(Value::ONE)),
+            None,
+        ]);
+        let updated = EBasic.update(&p, AgentId::new(0), &state, Action::Noop, &received);
+        assert_eq!(updated.num1, 1);
+        assert_eq!(updated.just_decided, Some(Value::ONE));
+    }
+
+    #[test]
+    fn deciders_stop_sending_init_one() {
+        let p = params(2, 1);
+        let state = EBasicState { init: Value::ONE, decided: true, just_decided: None, num1: 0 };
+        assert_eq!(EBasic.message(&p, AgentId::new(0), &state, Action::Noop), None);
+        let undecided = EBasicState { init: Value::ONE, decided: false, just_decided: None, num1: 0 };
+        assert_eq!(
+            EBasic.message(&p, AgentId::new(0), &undecided, Action::Noop),
+            Some(EBasicMessage::InitOne)
+        );
+        assert_eq!(
+            EBasic.message(&p, AgentId::new(0), &undecided, Action::Decide(Value::ONE)),
+            Some(EBasicMessage::JustDecided(Value::ONE))
+        );
+    }
+
+    #[test]
+    fn observation_layout_matches_width() {
+        let p = params(3, 1);
+        let state = EBasic.initial_local_state(&p, AgentId::new(1), Value::ZERO);
+        let obs = EBasic.observation(&p, AgentId::new(1), &state);
+        assert_eq!(obs.len(), EBasic.observable_layout(&p).len());
+        assert_eq!(obs.values(), &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The minimal EBA information exchange `E_min` (paper §9.1).
+//!
+//! Agent `i`'s local state is `⟨time, init, decided, jd⟩`: its initial
+//! value, whether it has decided, and `jd` — a value it has heard some agent
+//! *just decided*, or `⊥`. An agent sends a message only in the round in
+//! which it decides, consisting of just the decided value.
+//!
+//! The implementation of the knowledge-based program `P0` with respect to
+//! this exchange decides 0 as soon as `init = 0` or `jd = 0` (up to time
+//! `t + 1`), and otherwise decides 1 at time `t + 1`.
+
+use epimc_logic::AgentId;
+use epimc_system::{
+    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Round, Value,
+};
+
+/// The `E_min` information exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EMin;
+
+/// Local state of an agent running `E_min`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EMinState {
+    /// The agent's initial preference.
+    pub init: Value,
+    /// Whether the agent has decided.
+    pub decided: bool,
+    /// A value the agent heard some agent just decided, or `None` (⊥).
+    pub just_decided: Option<Value>,
+}
+
+impl InformationExchange for EMin {
+    type LocalState = EMinState;
+    type Message = Value;
+
+    fn name(&self) -> &'static str {
+        "e-min"
+    }
+
+    fn initial_local_state(&self, params: &ModelParams, _agent: AgentId, init: Value) -> EMinState {
+        assert_eq!(params.num_values(), 2, "E_min is defined for the binary decision domain");
+        EMinState { init, decided: false, just_decided: None }
+    }
+
+    fn message(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        _state: &EMinState,
+        action: Action,
+    ) -> Option<Value> {
+        // A message is sent only in the round in which the agent decides.
+        action.decided_value()
+    }
+
+    fn update(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &EMinState,
+        action: Action,
+        received: &Received<Value>,
+    ) -> EMinState {
+        let heard_zero = received.iter().any(|(_, v)| *v == Value::ZERO);
+        let heard_one = received.iter().any(|(_, v)| *v == Value::ONE);
+        let just_decided = if heard_zero {
+            Some(Value::ZERO)
+        } else if heard_one {
+            Some(Value::ONE)
+        } else {
+            None
+        };
+        EMinState {
+            init: state.init,
+            decided: state.decided || action.is_decide(),
+            just_decided,
+        }
+    }
+
+    fn observation(&self, _params: &ModelParams, _agent: AgentId, state: &EMinState) -> Observation {
+        Observation::new(vec![
+            state.init.index() as u32,
+            u32::from(state.decided),
+            match state.just_decided {
+                None => 0,
+                Some(v) => v.index() as u32 + 1,
+            },
+        ])
+    }
+
+    fn observable_layout(&self, _params: &ModelParams) -> Vec<ObservableVar> {
+        vec![
+            ObservableVar::boolean("init"),
+            ObservableVar::boolean("decided"),
+            ObservableVar::ranged("jd", 3),
+        ]
+    }
+}
+
+/// The implementation of the EBA knowledge-based program `P0` for `E_min`:
+/// decide 0 when `init = 0` or a just-decided 0 has been heard; otherwise
+/// decide 1 at time `t + 1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EMinRule;
+
+impl DecisionRule<EMin> for EMinRule {
+    fn name(&self) -> String {
+        "e-min-p0".to_string()
+    }
+
+    fn action(
+        &self,
+        _exchange: &EMin,
+        params: &ModelParams,
+        _agent: AgentId,
+        time: Round,
+        state: &EMinState,
+    ) -> Action {
+        let deadline = params.max_faulty() as Round + 1;
+        if state.init == Value::ZERO || state.just_decided == Some(Value::ZERO) {
+            if time <= deadline {
+                return Action::Decide(Value::ZERO);
+            }
+        }
+        if time == deadline {
+            return Action::Decide(Value::ONE);
+        }
+        Action::Noop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epimc_system::run::{simulate_run, Adversary, RoundFailures};
+    use epimc_system::{AgentSet, FailureKind};
+
+    fn params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder()
+            .agents(n)
+            .max_faulty(t)
+            .values(2)
+            .failure(FailureKind::SendOmission)
+            .build()
+    }
+
+    #[test]
+    fn zero_holders_decide_immediately_and_propagate() {
+        let p = params(3, 1);
+        let inits = vec![Value::ZERO, Value::ONE, Value::ONE];
+        let run = simulate_run(&EMin, &p, &EMinRule, &inits, &Adversary::failure_free());
+        // The agent with initial value 0 decides at time 0.
+        assert_eq!(run.decision(AgentId::new(0)).unwrap().round, 0);
+        assert_eq!(run.decision(AgentId::new(0)).unwrap().value, Value::ZERO);
+        // Its decision message arrives in round 1, so the others decide 0 at time 1.
+        for agent in [AgentId::new(1), AgentId::new(2)] {
+            let d = run.decision(agent).unwrap();
+            assert_eq!(d.value, Value::ZERO);
+            assert_eq!(d.round, 1);
+        }
+    }
+
+    #[test]
+    fn all_ones_decide_one_at_deadline() {
+        let p = params(3, 2);
+        let inits = vec![Value::ONE, Value::ONE, Value::ONE];
+        let run = simulate_run(&EMin, &p, &EMinRule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            let d = run.decision(agent).unwrap();
+            assert_eq!(d.value, Value::ONE);
+            assert_eq!(d.round, 3); // t + 1
+        }
+    }
+
+    #[test]
+    fn omitted_decision_message_still_yields_agreement() {
+        // The faulty agent 0 decides 0 but its message to agent 1 is dropped;
+        // agent 2 hears it and relays in the next round.
+        let p = params(3, 1);
+        let adversary = Adversary {
+            faulty: AgentSet::singleton(AgentId::new(0)),
+            rounds: vec![RoundFailures {
+                crashing: AgentSet::EMPTY,
+                dropped: [(AgentId::new(0), AgentId::new(1))].into_iter().collect(),
+            }],
+        };
+        let inits = vec![Value::ZERO, Value::ONE, Value::ONE];
+        let run = simulate_run(&EMin, &p, &EMinRule, &inits, &adversary);
+        let d1 = run.decision(AgentId::new(1)).unwrap();
+        let d2 = run.decision(AgentId::new(2)).unwrap();
+        // Agent 2 hears the decision in round 1 and decides 0 at time 1; its
+        // own decision message reaches agent 1 in round 2.
+        assert_eq!(d2.value, Value::ZERO);
+        assert_eq!(d2.round, 1);
+        assert_eq!(d1.value, Value::ZERO);
+        assert_eq!(d1.round, 2); // t + 1 = 2, deciding 0 (jd arrived just in time)
+        // Eventual (not simultaneous) agreement: values agree, times differ.
+        assert_ne!(run.decision(AgentId::new(0)).unwrap().round, d1.round);
+    }
+
+    #[test]
+    fn jd_reflects_only_the_most_recent_round() {
+        let p = params(2, 1);
+        let state = EMinState { init: Value::ONE, decided: false, just_decided: Some(Value::ZERO) };
+        // No message received this round: jd resets to ⊥.
+        let updated = EMin.update(&p, AgentId::new(0), &state, Action::Noop, &Received::new(vec![None, None]));
+        assert_eq!(updated.just_decided, None);
+        // Zero takes priority over one.
+        let updated = EMin.update(
+            &p,
+            AgentId::new(0),
+            &state,
+            Action::Noop,
+            &Received::new(vec![Some(Value::ONE), Some(Value::ZERO)]),
+        );
+        assert_eq!(updated.just_decided, Some(Value::ZERO));
+    }
+
+    #[test]
+    fn observation_layout_matches_width() {
+        let p = params(2, 1);
+        let state = EMin.initial_local_state(&p, AgentId::new(0), Value::ONE);
+        let obs = EMin.observation(&p, AgentId::new(0), &state);
+        assert_eq!(obs.len(), EMin.observable_layout(&p).len());
+        assert_eq!(obs.values(), &[1, 0, 0]);
+    }
+}

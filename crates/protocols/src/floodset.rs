@@ -1,0 +1,254 @@
+//! The FloodSet information exchange and its decision rules (paper §7.1).
+//!
+//! Each agent maintains the set `w` of values it has seen (initially just its
+//! own preference). In every round each non-faulty agent broadcasts `w` and
+//! adds all values received to `w`. The textbook decision rule decides on the
+//! least value seen at time `t + 1`; the model checking and synthesis
+//! experiments of the paper show that when `t ≥ n − 1` a decision is already
+//! possible at time `n − 1` (condition (2)), and [`OptimalFloodSetRule`]
+//! implements that optimised stopping condition.
+
+use epimc_logic::AgentId;
+use epimc_system::{
+    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Round, Value,
+};
+
+use crate::common::{value_set_observation, ValueSet};
+use crate::rules::HasSeenValues;
+
+/// The FloodSet information exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FloodSet;
+
+/// Local state of an agent running FloodSet: the set of values seen.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FloodState {
+    /// The set of values this agent has seen so far.
+    pub seen: ValueSet,
+}
+
+impl HasSeenValues for FloodState {
+    fn seen_values(&self) -> ValueSet {
+        self.seen
+    }
+}
+
+impl InformationExchange for FloodSet {
+    type LocalState = FloodState;
+    type Message = ValueSet;
+
+    fn name(&self) -> &'static str {
+        "floodset"
+    }
+
+    fn initial_local_state(&self, _params: &ModelParams, _agent: AgentId, init: Value) -> FloodState {
+        FloodState { seen: ValueSet::singleton(init) }
+    }
+
+    fn message(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &FloodState,
+        _action: Action,
+    ) -> Option<ValueSet> {
+        Some(state.seen)
+    }
+
+    fn update(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &FloodState,
+        _action: Action,
+        received: &Received<ValueSet>,
+    ) -> FloodState {
+        let seen = received.iter().fold(state.seen, |acc, (_, set)| acc.union(*set));
+        FloodState { seen }
+    }
+
+    fn observation(&self, params: &ModelParams, _agent: AgentId, state: &FloodState) -> Observation {
+        Observation::new(value_set_observation(state.seen, params.num_values()))
+    }
+
+    fn observable_layout(&self, params: &ModelParams) -> Vec<ObservableVar> {
+        Value::all(params.num_values())
+            .map(|v| ObservableVar::boolean(format!("values_received[{v}]")))
+            .collect()
+    }
+}
+
+/// The textbook FloodSet decision rule: decide on the least value seen at
+/// time `t + 1` (Lynch, *Distributed Algorithms*, §6.2.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FloodSetRule;
+
+impl DecisionRule<FloodSet> for FloodSetRule {
+    fn name(&self) -> String {
+        "floodset-decide-at-t+1".to_string()
+    }
+
+    fn action(
+        &self,
+        _exchange: &FloodSet,
+        params: &ModelParams,
+        _agent: AgentId,
+        time: Round,
+        state: &FloodState,
+    ) -> Action {
+        if time == params.max_faulty() as Round + 1 {
+            match state.seen.min_value() {
+                Some(v) => Action::Decide(v),
+                None => Action::Noop,
+            }
+        } else {
+            Action::Noop
+        }
+    }
+}
+
+/// The optimised FloodSet decision rule corresponding to condition (2) of the
+/// paper: when `t ≥ n − 1` the knowledge condition already holds at time
+/// `n − 1`, so the decision can be brought forward to that round; otherwise
+/// the decision is made at `t + 1` as usual.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimalFloodSetRule;
+
+/// The decision time prescribed by condition (2) for parameters `(n, t)`.
+pub fn condition2_decision_time(n: usize, t: usize) -> Round {
+    if t >= n - 1 {
+        (n - 1) as Round
+    } else {
+        (t + 1) as Round
+    }
+}
+
+impl DecisionRule<FloodSet> for OptimalFloodSetRule {
+    fn name(&self) -> String {
+        "floodset-condition2".to_string()
+    }
+
+    fn action(
+        &self,
+        _exchange: &FloodSet,
+        params: &ModelParams,
+        _agent: AgentId,
+        time: Round,
+        state: &FloodState,
+    ) -> Action {
+        if time == condition2_decision_time(params.num_agents(), params.max_faulty()) {
+            match state.seen.min_value() {
+                Some(v) => Action::Decide(v),
+                None => Action::Noop,
+            }
+        } else {
+            Action::Noop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epimc_system::run::{simulate_run, Adversary, RoundFailures};
+    use epimc_system::{AgentSet, FailureKind, StateSpace};
+
+    fn params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
+    }
+
+    #[test]
+    fn initial_state_contains_only_own_value() {
+        let p = params(3, 1);
+        let state = FloodSet.initial_local_state(&p, AgentId::new(0), Value::ONE);
+        assert_eq!(state.seen, ValueSet::singleton(Value::ONE));
+        let obs = FloodSet.observation(&p, AgentId::new(0), &state);
+        assert_eq!(obs.values(), &[0, 1]);
+        assert_eq!(FloodSet.observable_layout(&p).len(), 2);
+    }
+
+    #[test]
+    fn update_takes_union_of_received_sets() {
+        let p = params(3, 1);
+        let state = FloodState { seen: ValueSet::singleton(Value::ZERO) };
+        let received = Received::new(vec![
+            Some(ValueSet::singleton(Value::ZERO)),
+            Some(ValueSet::singleton(Value::ONE)),
+            None,
+        ]);
+        let updated = FloodSet.update(&p, AgentId::new(0), &state, Action::Noop, &received);
+        assert!(updated.seen.contains(Value::ZERO));
+        assert!(updated.seen.contains(Value::ONE));
+    }
+
+    #[test]
+    fn textbook_rule_decides_lowest_value_at_t_plus_one() {
+        let p = params(3, 1);
+        let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
+        let run = simulate_run(&FloodSet, &p, &FloodSetRule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            let decision = run.decision(agent).expect("every agent decides");
+            assert_eq!(decision.value, Value::ZERO);
+            assert_eq!(decision.round, 2); // t + 1
+        }
+    }
+
+    #[test]
+    fn hidden_value_is_not_decided_when_crash_hides_it() {
+        // Agent 0 is the only agent preferring 0 and crashes before telling
+        // anyone; the survivors decide 1 (validity is still met).
+        let p = params(3, 1);
+        let adversary = Adversary {
+            faulty: AgentSet::singleton(AgentId::new(0)),
+            rounds: vec![RoundFailures {
+                crashing: AgentSet::singleton(AgentId::new(0)),
+                dropped: [(AgentId::new(0), AgentId::new(1)), (AgentId::new(0), AgentId::new(2))]
+                    .into_iter()
+                    .collect(),
+            }],
+        };
+        let inits = vec![Value::ZERO, Value::ONE, Value::ONE];
+        let run = simulate_run(&FloodSet, &p, &FloodSetRule, &inits, &adversary);
+        assert_eq!(run.decision(AgentId::new(1)).unwrap().value, Value::ONE);
+        assert_eq!(run.decision(AgentId::new(2)).unwrap().value, Value::ONE);
+        assert_eq!(run.decision(AgentId::new(0)), None);
+    }
+
+    #[test]
+    fn condition2_times_match_paper_examples() {
+        // t < n - 1: the usual t + 1.
+        assert_eq!(condition2_decision_time(4, 1), 2);
+        // t >= n - 1: decide at n - 1 (the paper's n = 3, t = 2 example).
+        assert_eq!(condition2_decision_time(3, 2), 2);
+        assert_eq!(condition2_decision_time(3, 3), 2);
+        assert_eq!(condition2_decision_time(2, 2), 1);
+    }
+
+    #[test]
+    fn optimal_rule_decides_earlier_when_t_is_large() {
+        let p = params(3, 2);
+        let inits = vec![Value::ONE, Value::ONE, Value::ZERO];
+        let run = simulate_run(&FloodSet, &p, &OptimalFloodSetRule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            let decision = run.decision(agent).expect("every agent decides");
+            assert_eq!(decision.round, 2); // n - 1 = 2 instead of t + 1 = 3
+            assert_eq!(decision.value, Value::ZERO);
+        }
+    }
+
+    #[test]
+    fn exploration_decides_in_every_failure_free_state() {
+        let p = params(3, 1);
+        let space = StateSpace::explore(FloodSet, p, &FloodSetRule);
+        // At the final layer every non-crashed agent has decided.
+        let last = space.layers().last().unwrap();
+        for state in &last.states {
+            for agent in AgentId::all(3) {
+                if !state.env.has_crashed(agent) {
+                    assert!(state.has_decided(agent), "undecided alive agent in {state}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Decision rules that are shared between several information exchanges.
+
+use epimc_logic::AgentId;
+use epimc_system::{Action, DecisionRule, InformationExchange, ModelParams, Round};
+
+use crate::common::ValueSet;
+
+/// Implemented by local states that record the set of values the agent has
+/// seen (the `w` array of the FloodSet family of exchanges).
+pub trait HasSeenValues {
+    /// The set of values seen so far.
+    fn seen_values(&self) -> ValueSet;
+}
+
+/// The textbook stopping rule shared by the FloodSet family: decide on the
+/// least value seen at time `t + 1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TextbookRule;
+
+impl<E> DecisionRule<E> for TextbookRule
+where
+    E: InformationExchange,
+    E::LocalState: HasSeenValues,
+{
+    fn name(&self) -> String {
+        "decide-at-t+1".to_string()
+    }
+
+    fn action(
+        &self,
+        _exchange: &E,
+        params: &ModelParams,
+        _agent: AgentId,
+        time: Round,
+        state: &E::LocalState,
+    ) -> Action {
+        if time == params.max_faulty() as Round + 1 {
+            match state.seen_values().min_value() {
+                Some(v) => Action::Decide(v),
+                None => Action::Noop,
+            }
+        } else {
+            Action::Noop
+        }
+    }
+}
+
+/// A rule that decides on the least value seen at one fixed round,
+/// regardless of the failure bound. Useful in tests and for exploring
+/// "decide too early" counterexamples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecideAtRound(pub Round);
+
+impl<E> DecisionRule<E> for DecideAtRound
+where
+    E: InformationExchange,
+    E::LocalState: HasSeenValues,
+{
+    fn name(&self) -> String {
+        format!("decide-at-round-{}", self.0)
+    }
+
+    fn action(
+        &self,
+        _exchange: &E,
+        _params: &ModelParams,
+        _agent: AgentId,
+        time: Round,
+        state: &E::LocalState,
+    ) -> Action {
+        if time == self.0 {
+            match state.seen_values().min_value() {
+                Some(v) => Action::Decide(v),
+                None => Action::Noop,
+            }
+        } else {
+            Action::Noop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floodset::FloodSet;
+    use epimc_system::run::{simulate_run, Adversary};
+    use epimc_system::Value;
+
+    #[test]
+    fn textbook_rule_matches_decide_at_t_plus_one() {
+        let params = ModelParams::builder().agents(3).max_faulty(2).values(2).build();
+        let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
+        let textbook = simulate_run(&FloodSet, &params, &TextbookRule, &inits, &Adversary::failure_free());
+        let fixed = simulate_run(&FloodSet, &params, &DecideAtRound(3), &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            assert_eq!(textbook.decision(agent), fixed.decision(agent));
+            assert_eq!(textbook.decision(agent).unwrap().round, 3);
+        }
+    }
+
+    #[test]
+    fn decide_at_round_zero_uses_own_value_only() {
+        let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+        let inits = vec![Value::ONE, Value::ZERO];
+        let run = simulate_run(&FloodSet, &params, &DecideAtRound(0), &inits, &Adversary::failure_free());
+        // Deciding before any exchange violates agreement: each agent decides
+        // its own initial value.
+        assert_eq!(run.decision(AgentId::new(0)).unwrap().value, Value::ONE);
+        assert_eq!(run.decision(AgentId::new(1)).unwrap().value, Value::ZERO);
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based failure-injection tests: every protocol is executed
+//! against randomly sampled adversaries and initial values, and the
+//! per-run invariants of its specification (and of its internal state) are
+//! checked directly on the simulated runs.
+
+use epimc_logic::AgentId;
+use epimc_protocols::*;
+use epimc_system::run::{simulate_run, Adversary, Run};
+use epimc_system::{
+    DecisionRule, FailureKind, InformationExchange, ModelParams, Value,
+};
+use proptest::prelude::*;
+
+fn params(n: usize, t: usize, kind: FailureKind) -> ModelParams {
+    ModelParams::builder().agents(n).max_faulty(t).values(2).failure(kind).build()
+}
+
+fn arb_inits(n: usize) -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec((0..2usize).prop_map(Value::new), n)
+}
+
+/// Adversaries are sampled through `Adversary::random`, driven by a seed so
+/// that proptest can shrink failures.
+fn arb_adversary(params: ModelParams) -> impl Strategy<Value = Adversary> {
+    any::<u64>().prop_map(move |seed| {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Adversary::random(&params, &mut rng)
+    })
+}
+
+/// Checks the per-run consensus requirements for a simulated run.
+fn check_run_invariants<E: InformationExchange>(
+    run: &Run<E>,
+    params: &ModelParams,
+    inits: &[Value],
+    simultaneous: bool,
+) {
+    let final_state = run.final_state();
+    let nonfaulty = final_state.nonfaulty();
+    let mut decisions = Vec::new();
+    for agent in AgentId::all(params.num_agents()) {
+        if let Some(decision) = final_state.decision(agent) {
+            // Validity: the decided value is someone's initial preference.
+            assert!(inits.contains(&decision.value), "validity violated for {agent}");
+            if nonfaulty.contains(agent) {
+                decisions.push(decision);
+            }
+        }
+    }
+    // Agreement among nonfaulty agents.
+    for pair in decisions.windows(2) {
+        assert_eq!(pair[0].value, pair[1].value, "agreement violated");
+        if simultaneous {
+            assert_eq!(pair[0].round, pair[1].round, "simultaneity violated");
+        }
+    }
+    // Termination: every nonfaulty agent decides by the horizon.
+    for agent in nonfaulty.iter() {
+        assert!(final_state.has_decided(agent), "termination violated for {agent}");
+    }
+}
+
+fn simulate<E, R>(
+    exchange: E,
+    rule: R,
+    params: ModelParams,
+    inits: &[Value],
+    adversary: &Adversary,
+) -> Run<E>
+where
+    E: InformationExchange,
+    R: DecisionRule<E>,
+{
+    simulate_run(&exchange, &params, &rule, inits, adversary)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn floodset_runs_satisfy_sba(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 2, FailureKind::Crash)),
+    ) {
+        let p = params(4, 2, FailureKind::Crash);
+        let run = simulate(FloodSet, FloodSetRule, p, &inits, &adversary);
+        check_run_invariants(&run, &p, &inits, true);
+    }
+
+    #[test]
+    fn optimised_floodset_runs_satisfy_sba(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 3, FailureKind::Crash)),
+    ) {
+        let p = params(4, 3, FailureKind::Crash);
+        let run = simulate(FloodSet, OptimalFloodSetRule, p, &inits, &adversary);
+        check_run_invariants(&run, &p, &inits, true);
+    }
+
+    #[test]
+    fn count_optimal_runs_satisfy_sba(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 4, FailureKind::Crash)),
+    ) {
+        let p = params(4, 4, FailureKind::Crash);
+        let run = simulate(CountFloodSet, CountOptimalRule, p, &inits, &adversary);
+        check_run_invariants(&run, &p, &inits, true);
+    }
+
+    #[test]
+    fn dwork_moses_runs_satisfy_sba(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 2, FailureKind::Crash)),
+    ) {
+        let p = params(4, 2, FailureKind::Crash);
+        let run = simulate(DworkMoses, DworkMosesRule, p, &inits, &adversary);
+        check_run_invariants(&run, &p, &inits, true);
+    }
+
+    #[test]
+    fn emin_runs_satisfy_eba(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 2, FailureKind::SendOmission)),
+    ) {
+        let p = params(4, 2, FailureKind::SendOmission);
+        let run = simulate(EMin, EMinRule, p, &inits, &adversary);
+        check_run_invariants(&run, &p, &inits, false);
+    }
+
+    #[test]
+    fn ebasic_runs_satisfy_eba(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 2, FailureKind::SendOmission)),
+    ) {
+        let p = params(4, 2, FailureKind::SendOmission);
+        let run = simulate(EBasic, EBasicRule, p, &inits, &adversary);
+        check_run_invariants(&run, &p, &inits, false);
+    }
+
+    #[test]
+    fn ebasic_runs_satisfy_eba_under_general_omissions(
+        inits in arb_inits(3),
+        adversary in arb_adversary(params(3, 1, FailureKind::GeneralOmission)),
+    ) {
+        let p = params(3, 1, FailureKind::GeneralOmission);
+        let run = simulate(EBasic, EBasicRule, p, &inits, &adversary);
+        check_run_invariants(&run, &p, &inits, false);
+    }
+
+    #[test]
+    fn floodset_seen_sets_grow_monotonically(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 2, FailureKind::Crash)),
+    ) {
+        let p = params(4, 2, FailureKind::Crash);
+        let run = simulate(FloodSet, FloodSetRule, p, &inits, &adversary);
+        for agent in AgentId::all(4) {
+            let mut previous = epimc_protocols::ValueSet::EMPTY;
+            for time in 0..run.states.len() {
+                let seen = run.states[time].local(agent).seen;
+                assert!(previous.union(seen) == seen, "seen set shrank for {agent}");
+                // Everything seen is some agent's initial value.
+                for value in seen.iter() {
+                    assert!(inits.contains(&value));
+                }
+                previous = seen;
+            }
+        }
+    }
+
+    #[test]
+    fn count_is_always_between_one_and_n_after_round_one(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 3, FailureKind::Crash)),
+    ) {
+        let p = params(4, 3, FailureKind::Crash);
+        let run = simulate(CountFloodSet, CountOptimalRule, p, &inits, &adversary);
+        for agent in AgentId::all(4) {
+            for time in 1..run.states.len() {
+                let state = run.states[time].local(agent);
+                if !run.states[time].env.has_crashed(agent) {
+                    assert!(state.count >= 1, "self-delivery guarantees count >= 1");
+                }
+                assert!(state.count <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_previous_count_tracks_last_round(
+        inits in arb_inits(3),
+        adversary in arb_adversary(params(3, 2, FailureKind::Crash)),
+    ) {
+        let p = params(3, 2, FailureKind::Crash);
+        let run = simulate(DiffFloodSet, epimc_system::NeverDecide, p, &inits, &adversary);
+        for agent in AgentId::all(3) {
+            for time in 1..run.states.len() {
+                if run.states[time].env.has_crashed(agent) {
+                    continue;
+                }
+                let now = run.states[time].local(agent);
+                let before = run.states[time - 1].local(agent);
+                assert_eq!(now.prev_count, before.count, "prev_count must lag count by one round");
+            }
+        }
+    }
+
+    #[test]
+    fn dwork_moses_waste_is_monotone_and_bounded(
+        inits in arb_inits(4),
+        adversary in arb_adversary(params(4, 3, FailureKind::Crash)),
+    ) {
+        let p = params(4, 3, FailureKind::Crash);
+        let run = simulate(DworkMoses, DworkMosesRule, p, &inits, &adversary);
+        for agent in AgentId::all(4) {
+            let mut previous_waste = 0u8;
+            for time in 0..run.states.len() {
+                if run.states[time].env.has_crashed(agent) {
+                    continue;
+                }
+                let state = run.states[time].local(agent);
+                assert!(state.waste >= previous_waste, "waste must be monotone");
+                assert!(usize::from(state.waste) <= p.max_faulty(), "waste cannot exceed t");
+                // Known-faulty agents are genuinely faulty.
+                assert!(state
+                    .faulty_known
+                    .is_subset(run.states[time].env.faulty));
+                previous_waste = state.waste;
+            }
+        }
+    }
+}

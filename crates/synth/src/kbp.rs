@@ -1,0 +1,157 @@
+//! Knowledge-based programs.
+
+use epimc_logic::{AgentId, Formula};
+use epimc_system::{Action, ConsensusAtom, ModelParams, Value};
+
+/// One guarded branch of a knowledge-based program: when the knowledge
+/// condition holds (and no earlier branch fired), the agent performs the
+/// action.
+pub struct KbpBranch {
+    /// Human-readable label for the branch (used in reports, e.g. `c_2_0`
+    /// style template names are derived from it).
+    pub label: String,
+    /// Builds the branch condition for a given agent and model parameters.
+    /// The condition must be a boolean combination of knowledge formulas and
+    /// locally-observable atoms (the requirement MCK places on template
+    /// variables).
+    pub condition: Box<dyn Fn(AgentId, &ModelParams) -> Formula<ConsensusAtom> + Send + Sync>,
+    /// The action performed when the condition holds.
+    pub action: Action,
+}
+
+impl KbpBranch {
+    /// Creates a branch.
+    pub fn new<F>(label: impl Into<String>, action: Action, condition: F) -> Self
+    where
+        F: Fn(AgentId, &ModelParams) -> Formula<ConsensusAtom> + Send + Sync + 'static,
+    {
+        KbpBranch { label: label.into(), condition: Box::new(condition), action }
+    }
+
+    /// The condition for a specific agent.
+    pub fn condition_for(&self, agent: AgentId, params: &ModelParams) -> Formula<ConsensusAtom> {
+        (self.condition)(agent, params)
+    }
+}
+
+impl std::fmt::Debug for KbpBranch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KbpBranch")
+            .field("label", &self.label)
+            .field("action", &self.action)
+            .finish()
+    }
+}
+
+/// A knowledge-based program: an ordered list of guarded branches, tried in
+/// order at every time step; the first branch whose condition holds fires.
+/// Agents that have already decided perform no further actions
+/// (Unique-Decision is enforced by the execution layer).
+#[derive(Debug)]
+pub struct KnowledgeBasedProgram {
+    /// Program name, used in reports.
+    pub name: String,
+    /// The guarded branches, in priority order.
+    pub branches: Vec<KbpBranch>,
+}
+
+impl KnowledgeBasedProgram {
+    /// The knowledge-based program `P` for Simultaneous Byzantine Agreement
+    /// (Section 5 of the paper): for each value `v` in increasing order,
+    /// decide `v` as soon as `B^N_i C_B_N ∃v` — the agent believes, relative
+    /// to the nonfaulty set, that there is common belief that some agent has
+    /// initial preference `v`.
+    pub fn sba(num_values: usize) -> Self {
+        let branches = Value::all(num_values)
+            .map(|value| {
+                KbpBranch::new(
+                    format!("sba-decide-{value}"),
+                    Action::Decide(value),
+                    move |agent, params| {
+                        let exists_v = Formula::or(
+                            (0..params.num_agents())
+                                .map(|j| Formula::atom(ConsensusAtom::InitIs(AgentId::new(j), value))),
+                        );
+                        Formula::believes_nonfaulty(agent, Formula::common_belief(exists_v))
+                    },
+                )
+            })
+            .collect();
+        KnowledgeBasedProgram { name: "SBA".to_string(), branches }
+    }
+
+    /// The knowledge-based program `P0` for Eventual Byzantine Agreement in
+    /// the omission failure models (Section 8 of the paper):
+    ///
+    /// * decide 0 when `init_i = 0` or the agent knows some agent has decided 0;
+    /// * otherwise decide 1 when the agent knows that no agent is deciding 0
+    ///   in the current round.
+    pub fn eba_p0() -> Self {
+        let decide_zero = KbpBranch::new(
+            "eba-decide-0",
+            Action::Decide(Value::ZERO),
+            |agent, params| {
+                let own_zero = Formula::atom(ConsensusAtom::InitIs(agent, Value::ZERO));
+                let someone_decided_zero = Formula::or((0..params.num_agents()).map(|j| {
+                    Formula::atom(ConsensusAtom::DecidedValue(AgentId::new(j), Value::ZERO))
+                }));
+                Formula::or([own_zero, Formula::knows(agent, someone_decided_zero)])
+            },
+        );
+        let decide_one = KbpBranch::new(
+            "eba-decide-1",
+            Action::Decide(Value::ONE),
+            |agent, params| {
+                let nobody_deciding_zero = Formula::and((0..params.num_agents()).map(|j| {
+                    Formula::not(Formula::atom(ConsensusAtom::DecidesNow(
+                        AgentId::new(j),
+                        Value::ZERO,
+                    )))
+                }));
+                Formula::knows(agent, nobody_deciding_zero)
+            },
+        );
+        KnowledgeBasedProgram {
+            name: "EBA-P0".to_string(),
+            branches: vec![decide_zero, decide_one],
+        }
+    }
+
+    /// Number of branches.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sba_program_has_one_branch_per_value() {
+        let program = KnowledgeBasedProgram::sba(3);
+        assert_eq!(program.num_branches(), 3);
+        assert_eq!(program.branches[0].action, Action::Decide(Value::ZERO));
+        assert_eq!(program.branches[2].action, Action::Decide(Value::new(2)));
+        let params = ModelParams::builder().agents(3).max_faulty(1).values(3).build();
+        let condition = program.branches[1].condition_for(AgentId::new(0), &params);
+        assert!(condition.is_epistemic());
+        assert!(condition.is_knowledge_condition());
+    }
+
+    #[test]
+    fn eba_program_branch_structure() {
+        let program = KnowledgeBasedProgram::eba_p0();
+        assert_eq!(program.num_branches(), 2);
+        let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+        let zero = program.branches[0].condition_for(AgentId::new(1), &params);
+        let one = program.branches[1].condition_for(AgentId::new(1), &params);
+        assert!(zero.is_epistemic());
+        assert!(one.is_epistemic());
+        // The decide-0 condition mentions the agent's own initial value, so it
+        // is not a pure knowledge condition; the decide-1 condition is.
+        assert!(one.is_knowledge_condition());
+        assert_eq!(program.branches[0].action, Action::Decide(Value::ZERO));
+        assert_eq!(program.branches[1].action, Action::Decide(Value::ONE));
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthesis of implementations of knowledge-based programs under the clock
+//! semantics of knowledge.
+//!
+//! A knowledge-based program (KBP) such as the SBA program
+//!
+//! ```text
+//! do noop until ∃v. B^N_i C_B_N ∃v ; decide on the least such v
+//! ```
+//!
+//! is not directly executable: the knowledge tests must be replaced by
+//! concrete predicates of the agent's local state. Under the clock semantics
+//! the implementation is unique (Theorem of Fagin et al., exploited by MCK's
+//! synthesis algorithms), and it can be computed by forward induction on
+//! time:
+//!
+//! 1. the reachable states at time `m` are generated using the actions
+//!    already synthesized for earlier times (this matters for the EBA
+//!    exchanges, whose messages depend on decisions);
+//! 2. for every agent and every observation class at time `m`, each branch
+//!    condition of the KBP is model-checked; because the conditions are
+//!    knowledge conditions they are constant across a class, and their truth
+//!    value defines the synthesized predicate at `(agent, m, observation)`;
+//! 3. the first branch whose condition holds determines the action of the
+//!    class, the next layer is generated, and the induction continues.
+//!
+//! The result is a [`TableRule`](epimc_system::TableRule) — an executable
+//! protocol — together with, for every template variable (branch × time ×
+//! agent), a simplified predicate over the agent's observable variables in
+//! the same shape as the MCK output reproduced in the paper's appendix
+//! (e.g. `values_received[0]` at `time == 2`).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kbp;
+mod predicate;
+mod synthesize;
+
+pub use kbp::{KbpBranch, KnowledgeBasedProgram};
+pub use predicate::{ObsLiteral, PredicateCube, PredicateReport};
+pub use synthesize::{SynthesisOutcome, SynthesisStats, Synthesizer, TemplateValuation};

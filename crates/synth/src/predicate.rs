@@ -1,0 +1,329 @@
+//! Readable predicates over observable variables.
+//!
+//! The synthesis engine determines, for each template variable, the set of
+//! observations at which it holds. To present the result in the same shape
+//! as the MCK output shown in the paper's appendix (e.g.
+//! `(time == 2) /\ values_received[0]`), this module simplifies that set into
+//! a small sum of products over `variable == value` literals, using the BDD
+//! package with the *unreachable observations as don't-cares*.
+
+use std::fmt;
+
+use epimc_bdd::{Bdd, Ref, Var};
+use epimc_system::{Observation, ObservableVar};
+
+/// A literal of a predicate cube: an observable variable compared to a value.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObsLiteral {
+    /// Name of the observable variable.
+    pub variable: String,
+    /// The compared value.
+    pub value: u32,
+    /// `true` for `variable == value`, `false` for `variable != value`.
+    pub equal: bool,
+    /// Whether the variable is boolean (affects rendering only).
+    pub boolean: bool,
+}
+
+impl fmt::Display for ObsLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.boolean {
+            // Render boolean variables as bare (possibly negated) names.
+            let positive = (self.value == 1) == self.equal;
+            if positive {
+                write!(f, "{}", self.variable)
+            } else {
+                write!(f, "neg {}", self.variable)
+            }
+        } else if self.equal {
+            write!(f, "{} == {}", self.variable, self.value)
+        } else {
+            write!(f, "{} /= {}", self.variable, self.value)
+        }
+    }
+}
+
+/// A conjunction of [`ObsLiteral`]s.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PredicateCube {
+    /// The literals of the cube. An empty cube is the constant true.
+    pub literals: Vec<ObsLiteral>,
+}
+
+impl fmt::Display for PredicateCube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "True");
+        }
+        for (pos, literal) in self.literals.iter().enumerate() {
+            if pos > 0 {
+                write!(f, " /\\ ")?;
+            }
+            write!(f, "{literal}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A predicate over an agent's observable variables, as a sum of products.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PredicateReport {
+    /// The cubes of the predicate; the predicate is their disjunction. An
+    /// empty list is the constant false.
+    pub cubes: Vec<PredicateCube>,
+}
+
+impl PredicateReport {
+    /// The constant-false predicate.
+    pub fn is_false(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The constant-true predicate (a single empty cube).
+    pub fn is_true(&self) -> bool {
+        self.cubes.len() == 1 && self.cubes[0].literals.is_empty()
+    }
+
+    /// Evaluates the predicate on an observation (given the layout used to
+    /// build the report).
+    pub fn eval(&self, layout: &[ObservableVar], observation: &Observation) -> bool {
+        self.cubes.iter().any(|cube| {
+            cube.literals.iter().all(|literal| {
+                let index = layout
+                    .iter()
+                    .position(|v| v.name == literal.variable)
+                    .expect("literal refers to a variable of the layout");
+                (observation.value(index) == literal.value) == literal.equal
+            })
+        })
+    }
+}
+
+impl fmt::Display for PredicateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "False");
+        }
+        for (pos, cube) in self.cubes.iter().enumerate() {
+            if pos > 0 {
+                write!(f, " \\/ ")?;
+            }
+            if cube.literals.len() > 1 && self.cubes.len() > 1 {
+                write!(f, "({cube})")?;
+            } else {
+                write!(f, "{cube}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Simplifies the set `holding` of observations (among the reachable
+/// observations `reachable`) into a compact sum of products over
+/// `variable == value` literals.
+///
+/// Observations that are not reachable are treated as don't-cares, exactly as
+/// a synthesis tool is free to choose their value arbitrarily.
+pub fn simplify_observations(
+    layout: &[ObservableVar],
+    reachable: &[Observation],
+    holding: &[Observation],
+) -> PredicateReport {
+    if holding.is_empty() {
+        return PredicateReport::default();
+    }
+    // One boolean BDD variable per (observable, value) pair, except that
+    // boolean observables use a single variable.
+    let mut var_index = Vec::new(); // (observable index, value) per BDD var
+    for (obs_index, observable) in layout.iter().enumerate() {
+        if observable.domain <= 2 {
+            var_index.push((obs_index, 1u32));
+        } else {
+            for value in 0..observable.domain {
+                var_index.push((obs_index, value));
+            }
+        }
+    }
+    let encode = |bdd: &mut Bdd, observation: &Observation| -> Ref {
+        let mut acc = bdd.constant(true);
+        for (bit, &(obs_index, value)) in var_index.iter().enumerate() {
+            let positive = if layout[obs_index].domain <= 2 {
+                observation.value(obs_index) == 1
+            } else {
+                observation.value(obs_index) == value
+            };
+            let literal = bdd.literal(Var::new(bit as u32), positive);
+            acc = bdd.and(acc, literal);
+        }
+        acc
+    };
+
+    let mut bdd = Bdd::new();
+    let mut on_set = bdd.constant(false);
+    for observation in holding {
+        let minterm = encode(&mut bdd, observation);
+        on_set = bdd.or(on_set, minterm);
+    }
+    let mut care_set = bdd.constant(false);
+    for observation in reachable {
+        let minterm = encode(&mut bdd, observation);
+        care_set = bdd.or(care_set, minterm);
+    }
+    // Upper bound for expansion: the predicate may be anything outside the
+    // care set.
+    let not_care = bdd.not(care_set);
+    let upper = bdd.or(on_set, not_care);
+
+    // Expand each path cube of the on-set against the upper bound, dropping
+    // literals greedily, then deduplicate and drop subsumed cubes.
+    let mut cubes: Vec<epimc_bdd::Cube> = Vec::new();
+    for cube in bdd.path_cubes(on_set) {
+        let mut literals = cube.literals().to_vec();
+        // Drop literals greedily, starting from the last variable: observable
+        // layouts list the "primary" variables (e.g. values_received) before
+        // auxiliary ones (e.g. counts), so this order tends to keep the
+        // predicates in the natural form reported in the paper's appendix.
+        let mut index = literals.len();
+        while index > 0 {
+            index -= 1;
+            let mut candidate = literals.clone();
+            candidate.remove(index);
+            let candidate_cube = epimc_bdd::Cube::new(candidate.clone());
+            let cube_bdd = bdd.cube(&candidate_cube);
+            if bdd.implies(cube_bdd, upper) == bdd.constant(true) {
+                literals = candidate;
+            }
+        }
+        let expanded = epimc_bdd::Cube::new(literals);
+        if !cubes.contains(&expanded) {
+            cubes.push(expanded);
+        }
+    }
+    // Remove cubes subsumed by smaller cubes.
+    let mut kept: Vec<epimc_bdd::Cube> = Vec::new();
+    for cube in &cubes {
+        let subsumed = cubes.iter().any(|other| {
+            other != cube
+                && other.len() < cube.len()
+                && other
+                    .literals()
+                    .iter()
+                    .all(|l| cube.phase_of(l.var) == Some(l.positive))
+        });
+        if !subsumed {
+            kept.push(cube.clone());
+        }
+    }
+
+    let report_cubes = kept
+        .into_iter()
+        .map(|cube| {
+            let literals = cube
+                .literals()
+                .iter()
+                .map(|literal| {
+                    let (obs_index, value) = var_index[literal.var.index() as usize];
+                    let observable = &layout[obs_index];
+                    if observable.domain <= 2 {
+                        ObsLiteral {
+                            variable: observable.name.clone(),
+                            value: 1,
+                            equal: literal.positive,
+                            boolean: true,
+                        }
+                    } else {
+                        ObsLiteral {
+                            variable: observable.name.clone(),
+                            value,
+                            equal: literal.positive,
+                            boolean: false,
+                        }
+                    }
+                })
+                .collect();
+            PredicateCube { literals }
+        })
+        .collect();
+    PredicateReport { cubes: report_cubes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Vec<ObservableVar> {
+        vec![
+            ObservableVar::boolean("values_received[0]"),
+            ObservableVar::boolean("values_received[1]"),
+            ObservableVar::ranged("count", 4),
+        ]
+    }
+
+    fn obs(v0: u32, v1: u32, count: u32) -> Observation {
+        Observation::new(vec![v0, v1, count])
+    }
+
+    #[test]
+    fn false_and_true_predicates() {
+        let layout = layout();
+        let reachable = vec![obs(1, 0, 3), obs(0, 1, 3)];
+        let none = simplify_observations(&layout, &reachable, &[]);
+        assert!(none.is_false());
+        assert_eq!(format!("{none}"), "False");
+        let all = simplify_observations(&layout, &reachable, &reachable);
+        assert!(all.is_true(), "covering all reachable observations should simplify to True, got {all}");
+        assert_eq!(format!("{all}"), "True");
+    }
+
+    #[test]
+    fn single_variable_predicate_is_recovered() {
+        let layout = layout();
+        // Reachable observations: all four combinations of the two booleans
+        // (with at least one bit set), count always 3.
+        let reachable = vec![obs(1, 0, 3), obs(0, 1, 3), obs(1, 1, 3)];
+        // The predicate holds exactly when values_received[0] is set.
+        let holding = vec![obs(1, 0, 3), obs(1, 1, 3)];
+        let report = simplify_observations(&layout, &reachable, &holding);
+        assert_eq!(format!("{report}"), "values_received[0]");
+        // The report evaluates correctly on every reachable observation.
+        for o in &reachable {
+            assert_eq!(report.eval(&layout, o), holding.contains(o));
+        }
+    }
+
+    #[test]
+    fn multivalued_variable_literals_are_readable() {
+        let layout = layout();
+        let reachable = vec![obs(1, 0, 1), obs(1, 0, 2), obs(1, 0, 3)];
+        let holding = vec![obs(1, 0, 1)];
+        let report = simplify_observations(&layout, &reachable, &holding);
+        assert_eq!(format!("{report}"), "count == 1");
+        assert!(report.eval(&layout, &obs(1, 0, 1)));
+        assert!(!report.eval(&layout, &obs(1, 0, 2)));
+    }
+
+    #[test]
+    fn disjunctive_predicates_render_with_parentheses() {
+        let layout = layout();
+        let reachable = vec![obs(1, 0, 1), obs(0, 1, 2), obs(1, 1, 3), obs(0, 1, 3)];
+        let holding = vec![obs(1, 0, 1), obs(0, 1, 2)];
+        let report = simplify_observations(&layout, &reachable, &holding);
+        for o in &reachable {
+            assert_eq!(report.eval(&layout, o), holding.contains(o), "observation {o}");
+        }
+        assert!(!report.is_false());
+        assert!(!report.is_true());
+    }
+
+    #[test]
+    fn literal_display_forms() {
+        let eq = ObsLiteral { variable: "count".into(), value: 2, equal: true, boolean: false };
+        assert_eq!(format!("{eq}"), "count == 2");
+        let neq = ObsLiteral { variable: "count".into(), value: 2, equal: false, boolean: false };
+        assert_eq!(format!("{neq}"), "count /= 2");
+        let pos = ObsLiteral { variable: "decided".into(), value: 1, equal: true, boolean: true };
+        assert_eq!(format!("{pos}"), "decided");
+        let negated = ObsLiteral { variable: "decided".into(), value: 1, equal: false, boolean: true };
+        assert_eq!(format!("{negated}"), "neg decided");
+    }
+}

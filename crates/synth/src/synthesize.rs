@@ -1,0 +1,297 @@
+//! The forward clock-semantics synthesis algorithm.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use epimc_check::Checker;
+use epimc_logic::AgentId;
+use epimc_system::{
+    Action, ConsensusModel, InformationExchange, ModelParams, Observation, PointId, PointModel,
+    Round, StateSpace, TableRule,
+};
+
+use crate::kbp::KnowledgeBasedProgram;
+use crate::predicate::{simplify_observations, PredicateReport};
+
+/// The value of one template variable of the knowledge-based program: for a
+/// given agent, time and branch, the predicate over the agent's observable
+/// variables that is equivalent to the branch's knowledge condition.
+#[derive(Clone, Debug)]
+pub struct TemplateValuation {
+    /// The agent the template belongs to.
+    pub agent: AgentId,
+    /// The time at which the template is used.
+    pub time: Round,
+    /// The label of the knowledge-based program branch.
+    pub branch_label: String,
+    /// The action the branch performs.
+    pub action: Action,
+    /// The synthesized predicate over the agent's observable variables.
+    pub predicate: PredicateReport,
+}
+
+impl fmt::Display for TemplateValuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} time={} {}] {} when {}",
+            self.agent, self.time, self.branch_label, self.action, self.predicate
+        )
+    }
+}
+
+/// Statistics about a synthesis run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SynthesisStats {
+    /// Total number of states explored across all layers.
+    pub total_states: usize,
+    /// Total number of (agent, time, observation) classes considered.
+    pub observation_classes: usize,
+    /// Classes on which a branch condition was not constant. This should be
+    /// zero whenever the knowledge-based program satisfies MCK's template
+    /// requirements (conditions built from knowledge formulas and the agent's
+    /// own observables); a non-zero value indicates a malformed program.
+    pub non_uniform_classes: usize,
+}
+
+/// The result of synthesis: an executable protocol plus a report of the
+/// synthesized knowledge predicates.
+#[derive(Debug)]
+pub struct SynthesisOutcome {
+    /// Name of the synthesized program.
+    pub program_name: String,
+    /// The unique clock-semantics implementation, as an executable decision
+    /// table.
+    pub rule: TableRule,
+    /// The synthesized predicates, one per (agent, time, branch).
+    pub templates: Vec<TemplateValuation>,
+    /// Statistics about the run.
+    pub stats: SynthesisStats,
+}
+
+impl SynthesisOutcome {
+    /// The template valuation for a given agent, time and branch label.
+    pub fn template(&self, agent: AgentId, time: Round, label: &str) -> Option<&TemplateValuation> {
+        self.templates
+            .iter()
+            .find(|t| t.agent == agent && t.time == time && t.branch_label == label)
+    }
+
+    /// The earliest time at which the synthesized protocol has any deciding
+    /// entry for `agent`.
+    pub fn earliest_decision_time(&self, agent: AgentId) -> Option<Round> {
+        self.rule.earliest_decision_time(agent)
+    }
+}
+
+impl fmt::Display for SynthesisOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "synthesized implementation of {}", self.program_name)?;
+        for template in &self.templates {
+            if !template.predicate.is_false() {
+                writeln!(f, "  {template}")?;
+            }
+        }
+        write!(
+            f,
+            "  ({} states, {} observation classes)",
+            self.stats.total_states, self.stats.observation_classes
+        )
+    }
+}
+
+/// The synthesis engine: computes the unique clock-semantics implementation
+/// of a knowledge-based program with respect to an information exchange and
+/// failure model.
+pub struct Synthesizer<E: InformationExchange> {
+    exchange: E,
+    params: ModelParams,
+}
+
+impl<E: InformationExchange> Synthesizer<E> {
+    /// Creates a synthesizer for the given exchange and model parameters.
+    pub fn new(exchange: E, params: ModelParams) -> Self {
+        Synthesizer { exchange, params }
+    }
+
+    /// Runs the forward synthesis algorithm for `program`.
+    pub fn synthesize(&self, program: &KnowledgeBasedProgram) -> SynthesisOutcome {
+        let mut rule = TableRule::new(format!("synthesized-{}", program.name));
+        let mut space = StateSpace::initial(self.exchange.clone(), self.params);
+        let mut templates = Vec::new();
+        let mut stats = SynthesisStats::default();
+        let layout = self.exchange.observable_layout(&self.params);
+
+        for time in 0..=self.params.horizon() {
+            for branch in &program.branches {
+                // Model-check the branch condition over the layers built so
+                // far, with the decision table synthesized so far (this is
+                // what gives the correct meaning to propositions about
+                // decisions already taken and decisions being taken in the
+                // current round).
+                let model = ConsensusModel::new(space, rule.clone());
+                let checker = Checker::new(&model);
+
+                for agent in AgentId::all(self.params.num_agents()) {
+                    let condition = branch.condition_for(agent, &self.params);
+                    let holds = checker.check(&condition);
+
+                    // Group the states of the current layer by the agent's
+                    // observation.
+                    let mut classes: BTreeMap<Observation, Vec<usize>> = BTreeMap::new();
+                    for index in 0..model.layer_size(time) {
+                        let point = PointId::new(time, index);
+                        classes
+                            .entry(model.observation(agent, point).clone())
+                            .or_default()
+                            .push(index);
+                    }
+
+                    let mut holding_observations = Vec::new();
+                    let reachable_observations: Vec<Observation> = classes.keys().cloned().collect();
+                    for (observation, indices) in &classes {
+                        stats.observation_classes += 1;
+                        let values: Vec<bool> = indices
+                            .iter()
+                            .map(|&index| holds.contains(PointId::new(time, index)))
+                            .collect();
+                        let first = values[0];
+                        if values.iter().any(|&v| v != first) {
+                            stats.non_uniform_classes += 1;
+                        }
+                        // The template value of the class is the condition's
+                        // value; for (malformed) non-uniform classes we take
+                        // the conservative conjunction.
+                        let class_value = values.iter().all(|&v| v);
+                        if class_value {
+                            holding_observations.push(observation.clone());
+                            if rule.get(agent, time, observation) == Action::Noop {
+                                rule.set(agent, time, observation.clone(), branch.action);
+                            }
+                        }
+                    }
+
+                    templates.push(TemplateValuation {
+                        agent,
+                        time,
+                        branch_label: branch.label.clone(),
+                        action: branch.action,
+                        predicate: simplify_observations(
+                            &layout,
+                            &reachable_observations,
+                            &holding_observations,
+                        ),
+                    });
+                }
+
+                let (recovered, _) = model.into_parts();
+                space = recovered;
+            }
+            if time < self.params.horizon() {
+                space.extend(&rule);
+            }
+        }
+
+        stats.total_states = space.total_states();
+        SynthesisOutcome { program_name: program.name.clone(), rule, templates, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kbp::KnowledgeBasedProgram;
+    use epimc_protocols::{EMin, FloodSet};
+    use epimc_system::run::{simulate_run, Adversary};
+    use epimc_system::{FailureKind, Value};
+
+    fn crash_params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
+    }
+
+    #[test]
+    fn appendix_example_floodset_n3_t1() {
+        // The paper's appendix synthesizes, for FloodSet with n = 3, t = 1,
+        // |V| = 2: no decision is possible at time 1, and at time 2 the
+        // knowledge condition for deciding v is exactly values_received[v].
+        let params = crash_params(3, 1);
+        let outcome = Synthesizer::new(FloodSet, params).synthesize(&KnowledgeBasedProgram::sba(2));
+        assert_eq!(outcome.stats.non_uniform_classes, 0);
+        for agent in AgentId::all(3) {
+            let t1 = outcome.template(agent, 1, "sba-decide-0").unwrap();
+            assert!(t1.predicate.is_false(), "no common belief at time 1: {}", t1.predicate);
+            let t2_zero = outcome.template(agent, 2, "sba-decide-0").unwrap();
+            assert_eq!(format!("{}", t2_zero.predicate), "values_received[0]");
+            let t2_one = outcome.template(agent, 2, "sba-decide-1").unwrap();
+            assert_eq!(format!("{}", t2_one.predicate), "values_received[1]");
+            assert_eq!(outcome.earliest_decision_time(agent), Some(2));
+        }
+    }
+
+    #[test]
+    fn synthesized_floodset_rule_executes_and_agrees() {
+        let params = crash_params(3, 1);
+        let outcome = Synthesizer::new(FloodSet, params).synthesize(&KnowledgeBasedProgram::sba(2));
+        let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
+        let run = simulate_run(&FloodSet, &params, &outcome.rule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            let decision = run.decision(agent).expect("synthesized protocol decides");
+            assert_eq!(decision.value, Value::ZERO);
+            assert_eq!(decision.round, 2);
+        }
+    }
+
+    #[test]
+    fn floodset_with_large_t_decides_at_n_minus_one() {
+        // Condition (2): with t >= n - 1 the synthesized protocol decides at
+        // time n - 1 = 2 instead of t + 1 = 3.
+        let params = crash_params(3, 2);
+        let outcome = Synthesizer::new(FloodSet, params).synthesize(&KnowledgeBasedProgram::sba(2));
+        for agent in AgentId::all(3) {
+            assert_eq!(outcome.earliest_decision_time(agent), Some(2));
+        }
+        // And the time-3 templates are not needed in failure-free runs: the
+        // protocol still satisfies agreement when executed.
+        let inits = vec![Value::ONE, Value::ONE, Value::ZERO];
+        let run = simulate_run(&FloodSet, &params, &outcome.rule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            assert_eq!(run.decision(agent).unwrap().round, 2);
+            assert_eq!(run.decision(agent).unwrap().value, Value::ZERO);
+        }
+    }
+
+    #[test]
+    fn eba_p0_on_emin_matches_hand_implementation() {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::SendOmission)
+            .build();
+        let outcome = Synthesizer::new(EMin, params).synthesize(&KnowledgeBasedProgram::eba_p0());
+        assert_eq!(outcome.stats.non_uniform_classes, 0);
+        // An agent with initial value 0 decides immediately.
+        for agent in AgentId::all(2) {
+            assert_eq!(outcome.earliest_decision_time(agent), Some(0));
+            let zero = outcome.template(agent, 0, "eba-decide-0").unwrap();
+            assert_eq!(format!("{}", zero.predicate), "neg init");
+        }
+        // Executing the synthesized table matches the hand-written EMin rule
+        // on a failure-free run.
+        let inits = vec![Value::ONE, Value::ZERO];
+        let synthesized = simulate_run(&EMin, &params, &outcome.rule, &inits, &Adversary::failure_free());
+        let handwritten = simulate_run(
+            &EMin,
+            &params,
+            &epimc_protocols::EMinRule,
+            &inits,
+            &Adversary::failure_free(),
+        );
+        for agent in AgentId::all(2) {
+            assert_eq!(
+                synthesized.decision(agent).map(|d| d.value),
+                handwritten.decision(agent).map(|d| d.value)
+            );
+        }
+    }
+}

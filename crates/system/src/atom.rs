@@ -1,0 +1,97 @@
+//! Atomic propositions of the consensus specifications.
+
+use std::fmt;
+
+use epimc_logic::AgentId;
+
+use crate::value::{Round, Value};
+
+/// The vocabulary of atomic propositions interpreted over the points of a
+/// consensus protocol model.
+///
+/// These atoms cover everything required by the SBA and EBA specifications
+/// of the paper (Sections 4 and 8), by the knowledge-based programs
+/// (Sections 5 and 8) and by the concrete "hypothesis" conditions such as
+/// conditions (2) and (3) of Section 7:
+///
+/// * initial preferences (`InitIs`, `ExistsInit`),
+/// * failure status (`Nonfaulty`),
+/// * decisions already taken (`Decided`, `DecidedValue`) and decisions being
+///   taken in the current round (`DecidesNow`),
+/// * the current time (`TimeIs`), and
+/// * the values of the observable variables of the information exchange
+///   (`ObsEquals`, `ObsAtMost`), which is how protocol-specific conditions
+///   such as `count <= 1` or `values_received[0]` are expressed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConsensusAtom {
+    /// Agent `0`'s initial preference is the given value.
+    InitIs(AgentId, Value),
+    /// Some agent has the given initial preference (the `∃v` of the paper).
+    ExistsInit(Value),
+    /// The agent is in the indexical nonfaulty set `N` at this point.
+    Nonfaulty(AgentId),
+    /// The agent has decided (some value) at or before this point.
+    Decided(AgentId),
+    /// The agent has decided the given value at or before this point.
+    DecidedValue(AgentId, Value),
+    /// The agent's decision protocol decides the given value *in the round
+    /// following this point* (the `decides_i(v)` proposition of Section 4).
+    DecidesNow(AgentId, Value),
+    /// The current time equals the given round.
+    TimeIs(Round),
+    /// The observable variable with the given index (in the exchange's
+    /// observable layout) of the agent equals the given value.
+    ObsEquals(AgentId, usize, u32),
+    /// The observable variable with the given index of the agent is at most
+    /// the given value.
+    ObsAtMost(AgentId, usize, u32),
+}
+
+impl fmt::Display for ConsensusAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusAtom::InitIs(agent, value) => write!(f, "init[{}]=={}", agent.index(), value),
+            ConsensusAtom::ExistsInit(value) => write!(f, "exists{value}"),
+            ConsensusAtom::Nonfaulty(agent) => write!(f, "nonfaulty[{}]", agent.index()),
+            ConsensusAtom::Decided(agent) => write!(f, "decided[{}]", agent.index()),
+            ConsensusAtom::DecidedValue(agent, value) => {
+                write!(f, "decided[{}]=={}", agent.index(), value)
+            }
+            ConsensusAtom::DecidesNow(agent, value) => {
+                write!(f, "decides[{}]=={}", agent.index(), value)
+            }
+            ConsensusAtom::TimeIs(round) => write!(f, "time=={round}"),
+            ConsensusAtom::ObsEquals(agent, var, value) => {
+                write!(f, "obs[{}][{}]=={}", agent.index(), var, value)
+            }
+            ConsensusAtom::ObsAtMost(agent, var, value) => {
+                write!(f, "obs[{}][{}]<={}", agent.index(), var, value)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let a = AgentId::new(1);
+        assert_eq!(format!("{}", ConsensusAtom::InitIs(a, Value::ZERO)), "init[1]==0");
+        assert_eq!(format!("{}", ConsensusAtom::ExistsInit(Value::ONE)), "exists1");
+        assert_eq!(format!("{}", ConsensusAtom::Nonfaulty(a)), "nonfaulty[1]");
+        assert_eq!(format!("{}", ConsensusAtom::Decided(a)), "decided[1]");
+        assert_eq!(
+            format!("{}", ConsensusAtom::DecidedValue(a, Value::ONE)),
+            "decided[1]==1"
+        );
+        assert_eq!(
+            format!("{}", ConsensusAtom::DecidesNow(a, Value::ZERO)),
+            "decides[1]==0"
+        );
+        assert_eq!(format!("{}", ConsensusAtom::TimeIs(3)), "time==3");
+        assert_eq!(format!("{}", ConsensusAtom::ObsEquals(a, 0, 2)), "obs[1][0]==2");
+        assert_eq!(format!("{}", ConsensusAtom::ObsAtMost(a, 1, 1)), "obs[1][1]<=1");
+    }
+}

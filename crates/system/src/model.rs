@@ -1,0 +1,330 @@
+//! The Kripke-style view of an explored state space, as consumed by the
+//! model checking and synthesis engines.
+
+use std::fmt;
+use std::hash::Hash;
+
+use epimc_logic::{AgentId, AgentSet};
+
+use crate::action::Action;
+use crate::atom::ConsensusAtom;
+use crate::decision::DecisionRule;
+use crate::exchange::{InformationExchange, Observation};
+use crate::explore::StateSpace;
+use crate::params::ModelParams;
+use crate::state::GlobalState;
+use crate::value::Round;
+
+/// Identifier of a point of the system: a layer (time) and the index of a
+/// state within that layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PointId {
+    /// The time of the point.
+    pub time: Round,
+    /// The index of the state within its layer.
+    pub index: usize,
+}
+
+impl PointId {
+    /// Creates a point identifier.
+    pub fn new(time: Round, index: usize) -> Self {
+        PointId { time, index }
+    }
+}
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, #{})", self.time, self.index)
+    }
+}
+
+/// The interface between an explored protocol model and the epistemic model
+/// checker.
+///
+/// A `PointModel` exposes the layered structure of the reachable points of an
+/// interpreted system under the *clock semantics* of knowledge: points are
+/// grouped into layers by time, each point carries one observation per agent,
+/// an indexical nonfaulty set, and an interpretation of the atomic
+/// propositions.
+pub trait PointModel {
+    /// The atomic propositions interpreted by the model.
+    type Atom: Clone + Eq + Hash + fmt::Debug;
+
+    /// Number of agents.
+    fn num_agents(&self) -> usize;
+
+    /// Number of layers (the horizon plus one).
+    fn num_layers(&self) -> usize;
+
+    /// Number of points in the given layer.
+    fn layer_size(&self, time: Round) -> usize;
+
+    /// The successors (indices in layer `time + 1`) of a point. Empty for
+    /// the final layer.
+    fn successors(&self, point: PointId) -> &[usize];
+
+    /// The observation `agent` makes at `point` (the clock-semantics local
+    /// state is the pair of `point.time` and this observation).
+    fn observation(&self, agent: AgentId, point: PointId) -> &Observation;
+
+    /// The indexical nonfaulty set `N` at `point`.
+    fn nonfaulty(&self, point: PointId) -> AgentSet;
+
+    /// Truth value of an atomic proposition at `point`.
+    fn eval_atom(&self, atom: &Self::Atom, point: PointId) -> bool;
+
+    /// Iterates over every point of the model.
+    fn points(&self) -> Vec<PointId> {
+        let mut result = Vec::new();
+        for time in 0..self.num_layers() as Round {
+            for index in 0..self.layer_size(time) {
+                result.push(PointId::new(time, index));
+            }
+        }
+        result
+    }
+}
+
+/// A consensus protocol model: an explored state space together with the
+/// decision rule that produced it, packaged as a [`PointModel`] over
+/// [`ConsensusAtom`].
+///
+/// Observations are precomputed for every `(agent, point)` pair so that the
+/// model checker's observation-grouping (the knowledge relation of the clock
+/// semantics) does not repeatedly re-encode local states.
+pub struct ConsensusModel<E: InformationExchange, R> {
+    space: StateSpace<E>,
+    rule: R,
+    observations: Vec<Vec<Vec<Observation>>>,
+}
+
+impl<E: InformationExchange, R: DecisionRule<E>> ConsensusModel<E, R> {
+    /// Wraps an explored state space and its decision rule.
+    pub fn new(space: StateSpace<E>, rule: R) -> Self {
+        let params = *space.params();
+        let n = params.num_agents();
+        let observations = space
+            .layers()
+            .iter()
+            .map(|layer| {
+                layer
+                    .states
+                    .iter()
+                    .map(|state| {
+                        AgentId::all(n)
+                            .map(|agent| space.exchange().observation(&params, agent, state.local(agent)))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        ConsensusModel { space, rule, observations }
+    }
+
+    /// Convenience constructor: explores the state space for `params` and
+    /// wraps it.
+    pub fn explore(exchange: E, params: ModelParams, rule: R) -> Self {
+        let space = StateSpace::explore(exchange, params, &rule);
+        ConsensusModel::new(space, rule)
+    }
+
+    /// The underlying state space.
+    pub fn space(&self) -> &StateSpace<E> {
+        &self.space
+    }
+
+    /// Dismantles the model, returning the underlying state space and the
+    /// decision rule. Used by the synthesis engine, which alternates between
+    /// extending the state space and model-checking the layers built so far.
+    pub fn into_parts(self) -> (StateSpace<E>, R) {
+        (self.space, self.rule)
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        self.space.params()
+    }
+
+    /// The decision rule.
+    pub fn rule(&self) -> &R {
+        &self.rule
+    }
+
+    /// The global state at a point.
+    pub fn state(&self, point: PointId) -> &GlobalState<E> {
+        &self.space.layers()[point.time as usize].states[point.index]
+    }
+
+    /// The action the decision rule takes for `agent` at `point` (taking the
+    /// Unique-Decision requirement and crashes into account, exactly as the
+    /// state-space generator does).
+    pub fn action_at(&self, agent: AgentId, point: PointId) -> Action {
+        let state = self.state(point);
+        if state.has_decided(agent) || state.env.has_crashed(agent) {
+            return Action::Noop;
+        }
+        self.rule.action(
+            self.space.exchange(),
+            self.space.params(),
+            agent,
+            point.time,
+            state.local(agent),
+        )
+    }
+}
+
+impl<E: InformationExchange, R: DecisionRule<E>> PointModel for ConsensusModel<E, R> {
+    type Atom = ConsensusAtom;
+
+    fn num_agents(&self) -> usize {
+        self.space.params().num_agents()
+    }
+
+    fn num_layers(&self) -> usize {
+        self.space.num_layers()
+    }
+
+    fn layer_size(&self, time: Round) -> usize {
+        self.space.layers()[time as usize].len()
+    }
+
+    fn successors(&self, point: PointId) -> &[usize] {
+        &self.space.layers()[point.time as usize].successors[point.index]
+    }
+
+    fn observation(&self, agent: AgentId, point: PointId) -> &Observation {
+        &self.observations[point.time as usize][point.index][agent.index()]
+    }
+
+    fn nonfaulty(&self, point: PointId) -> AgentSet {
+        self.state(point).nonfaulty()
+    }
+
+    fn eval_atom(&self, atom: &ConsensusAtom, point: PointId) -> bool {
+        let state = self.state(point);
+        match *atom {
+            ConsensusAtom::InitIs(agent, value) => state.init(agent) == value,
+            ConsensusAtom::ExistsInit(value) => state.exists_init(value),
+            ConsensusAtom::Nonfaulty(agent) => state.nonfaulty().contains(agent),
+            ConsensusAtom::Decided(agent) => state.has_decided(agent),
+            ConsensusAtom::DecidedValue(agent, value) => {
+                state.decision(agent).map(|d| d.value) == Some(value)
+            }
+            ConsensusAtom::DecidesNow(agent, value) => {
+                self.action_at(agent, point) == Action::Decide(value)
+            }
+            ConsensusAtom::TimeIs(round) => point.time == round,
+            ConsensusAtom::ObsEquals(agent, var, value) => {
+                self.observation(agent, point).value(var) == value
+            }
+            ConsensusAtom::ObsAtMost(agent, var, value) => {
+                self.observation(agent, point).value(var) <= value
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::NeverDecide;
+    use crate::exchange::{ObservableVar, Received};
+    use crate::failure::FailureKind;
+    use crate::value::Value;
+
+    #[derive(Clone, Debug)]
+    struct Silent;
+
+    impl InformationExchange for Silent {
+        type LocalState = Value;
+        type Message = ();
+
+        fn name(&self) -> &'static str {
+            "silent"
+        }
+
+        fn initial_local_state(&self, _p: &ModelParams, _a: AgentId, init: Value) -> Value {
+            init
+        }
+
+        fn message(&self, _p: &ModelParams, _a: AgentId, _s: &Value, _action: Action) -> Option<()> {
+            None
+        }
+
+        fn update(
+            &self,
+            _p: &ModelParams,
+            _a: AgentId,
+            state: &Value,
+            _action: Action,
+            _received: &Received<()>,
+        ) -> Value {
+            *state
+        }
+
+        fn observation(&self, _p: &ModelParams, _a: AgentId, state: &Value) -> Observation {
+            Observation::new(vec![state.index() as u32])
+        }
+
+        fn observable_layout(&self, _p: &ModelParams) -> Vec<ObservableVar> {
+            vec![ObservableVar::ranged("init", 2)]
+        }
+    }
+
+    fn model() -> ConsensusModel<Silent, NeverDecide> {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .horizon(1)
+            .build();
+        ConsensusModel::explore(Silent, params, NeverDecide)
+    }
+
+    #[test]
+    fn points_enumeration_covers_all_layers() {
+        let m = model();
+        let points = m.points();
+        let expected: usize = (0..m.num_layers() as Round).map(|t| m.layer_size(t)).sum();
+        assert_eq!(points.len(), expected);
+        assert!(points.contains(&PointId::new(0, 0)));
+    }
+
+    #[test]
+    fn atoms_reflect_global_state() {
+        let m = model();
+        // Find the initial point where both agents prefer 1.
+        let point = m
+            .points()
+            .into_iter()
+            .find(|p| {
+                p.time == 0
+                    && m.eval_atom(&ConsensusAtom::InitIs(AgentId::new(0), Value::ONE), *p)
+                    && m.eval_atom(&ConsensusAtom::InitIs(AgentId::new(1), Value::ONE), *p)
+            })
+            .expect("initial point with both preferring 1");
+        assert!(m.eval_atom(&ConsensusAtom::ExistsInit(Value::ONE), point));
+        assert!(!m.eval_atom(&ConsensusAtom::ExistsInit(Value::ZERO), point));
+        assert!(m.eval_atom(&ConsensusAtom::Nonfaulty(AgentId::new(0)), point));
+        assert!(!m.eval_atom(&ConsensusAtom::Decided(AgentId::new(0)), point));
+        assert!(m.eval_atom(&ConsensusAtom::TimeIs(0), point));
+        assert!(!m.eval_atom(&ConsensusAtom::TimeIs(1), point));
+        assert!(m.eval_atom(&ConsensusAtom::ObsEquals(AgentId::new(0), 0, 1), point));
+        assert!(m.eval_atom(&ConsensusAtom::ObsAtMost(AgentId::new(0), 0, 1), point));
+        assert!(!m.eval_atom(&ConsensusAtom::ObsAtMost(AgentId::new(0), 0, 0), point));
+        // NeverDecide never decides.
+        assert!(!m.eval_atom(&ConsensusAtom::DecidesNow(AgentId::new(0), Value::ONE), point));
+    }
+
+    #[test]
+    fn observations_are_cached_consistently() {
+        let m = model();
+        for point in m.points() {
+            for agent in AgentId::all(2) {
+                let direct = Silent.observation(m.params(), agent, m.state(point).local(agent));
+                assert_eq!(m.observation(agent, point), &direct);
+            }
+        }
+    }
+}

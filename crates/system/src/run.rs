@@ -1,0 +1,456 @@
+//! Explicit adversaries and single-run simulation.
+//!
+//! The state-space explorer enumerates *all* adversary behaviours; this
+//! module provides the complementary view used for testing and failure
+//! injection: an explicit [`Adversary`] (failure pattern) that resolves all
+//! nondeterminism, and a simulator that produces the unique [`Run`]
+//! determined by an information exchange, a decision rule, initial
+//! preferences and an adversary — exactly the setting of Section 3 of the
+//! paper, where a run is determined by its initial global state.
+
+use std::collections::BTreeSet;
+
+use epimc_logic::{AgentId, AgentSet};
+use rand::Rng;
+
+use crate::action::{Action, Decision};
+use crate::decision::DecisionRule;
+use crate::exchange::{InformationExchange, Received};
+use crate::failure::{EnvState, FailureKind};
+use crate::params::ModelParams;
+use crate::state::GlobalState;
+use crate::value::{Round, Value};
+
+/// The adversary's choices for one round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundFailures {
+    /// Agents that crash during this round (crash failures only).
+    pub crashing: AgentSet,
+    /// `(sender, receiver)` pairs whose message is dropped this round.
+    pub dropped: BTreeSet<(AgentId, AgentId)>,
+}
+
+/// A failure pattern: which agents are faulty and what failures occur in
+/// each round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Adversary {
+    /// The set of faulty agents.
+    pub faulty: AgentSet,
+    /// Per-round failure choices; rounds beyond the end of the vector are
+    /// failure-free.
+    pub rounds: Vec<RoundFailures>,
+}
+
+impl Adversary {
+    /// The adversary under which no failures occur.
+    pub fn failure_free() -> Self {
+        Adversary::default()
+    }
+
+    /// The failures for round `round` (failure-free if unspecified).
+    pub fn round(&self, round: Round) -> RoundFailures {
+        self.rounds.get(round as usize).cloned().unwrap_or_default()
+    }
+
+    /// Checks that the adversary is consistent with the failure model of
+    /// `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found: too many
+    /// faulty agents, a nonfaulty agent misbehaving, an agent crashing twice,
+    /// a dropped self-delivery, or a dropped message that the failure kind
+    /// does not allow.
+    pub fn validate(&self, params: &ModelParams) -> Result<(), String> {
+        let kind = params.failure().kind();
+        if self.faulty.len() > params.max_faulty() {
+            return Err(format!(
+                "{} faulty agents exceeds the bound t={}",
+                self.faulty.len(),
+                params.max_faulty()
+            ));
+        }
+        let mut crashed = AgentSet::EMPTY;
+        for (round, failures) in self.rounds.iter().enumerate() {
+            if !failures.crashing.is_empty() && kind != FailureKind::Crash {
+                return Err(format!("round {round}: crashes are only allowed under crash failures"));
+            }
+            if !failures.crashing.is_subset(self.faulty) {
+                return Err(format!("round {round}: a nonfaulty agent crashes"));
+            }
+            if !failures.crashing.intersection(crashed).is_empty() {
+                return Err(format!("round {round}: an agent crashes twice"));
+            }
+            for &(sender, receiver) in &failures.dropped {
+                if sender == receiver {
+                    return Err(format!("round {round}: self-delivery cannot be dropped"));
+                }
+                let allowed = match kind {
+                    FailureKind::Crash => {
+                        failures.crashing.contains(sender) || crashed.contains(sender)
+                    }
+                    FailureKind::SendOmission => self.faulty.contains(sender),
+                    FailureKind::ReceiveOmission => self.faulty.contains(receiver),
+                    FailureKind::GeneralOmission => {
+                        self.faulty.contains(sender) || self.faulty.contains(receiver)
+                    }
+                };
+                if !allowed {
+                    return Err(format!(
+                        "round {round}: dropping {sender}->{receiver} is not allowed under {kind}"
+                    ));
+                }
+            }
+            crashed = crashed.union(failures.crashing);
+        }
+        Ok(())
+    }
+
+    /// Samples a random adversary consistent with the failure model of
+    /// `params`, with failures spread over `params.horizon()` rounds.
+    pub fn random<R: Rng + ?Sized>(params: &ModelParams, rng: &mut R) -> Self {
+        let n = params.num_agents();
+        let kind = params.failure().kind();
+        let num_faulty = rng.gen_range(0..=params.max_faulty());
+        let mut faulty = AgentSet::EMPTY;
+        while faulty.len() < num_faulty {
+            faulty.insert(AgentId::new(rng.gen_range(0..n)));
+        }
+        let mut rounds = Vec::new();
+        let mut crashed = AgentSet::EMPTY;
+        for _ in 0..params.horizon() {
+            let mut failures = RoundFailures::default();
+            if kind == FailureKind::Crash {
+                for agent in faulty.difference(crashed).iter() {
+                    if rng.gen_bool(0.4) {
+                        failures.crashing.insert(agent);
+                    }
+                }
+            }
+            for sender in AgentId::all(n) {
+                for receiver in AgentId::all(n) {
+                    if sender == receiver {
+                        continue;
+                    }
+                    let may_drop = match kind {
+                        FailureKind::Crash => {
+                            failures.crashing.contains(sender) || crashed.contains(sender)
+                        }
+                        FailureKind::SendOmission => faulty.contains(sender),
+                        FailureKind::ReceiveOmission => faulty.contains(receiver),
+                        FailureKind::GeneralOmission => {
+                            faulty.contains(sender) || faulty.contains(receiver)
+                        }
+                    };
+                    if may_drop && rng.gen_bool(0.5) {
+                        failures.dropped.insert((sender, receiver));
+                    }
+                }
+            }
+            crashed = crashed.union(failures.crashing);
+            rounds.push(failures);
+        }
+        Adversary { faulty, rounds }
+    }
+}
+
+/// A run: the sequence of global states at times `0 ..= horizon`.
+pub struct Run<E: InformationExchange> {
+    /// The global state at each time.
+    pub states: Vec<GlobalState<E>>,
+}
+
+impl<E: InformationExchange> Run<E> {
+    /// The global state at `time`.
+    pub fn state(&self, time: Round) -> &GlobalState<E> {
+        &self.states[time as usize]
+    }
+
+    /// The final global state of the run.
+    pub fn final_state(&self) -> &GlobalState<E> {
+        self.states.last().expect("runs have at least the initial state")
+    }
+
+    /// The decision (if any) taken by `agent` during this run.
+    pub fn decision(&self, agent: AgentId) -> Option<Decision> {
+        self.final_state().decision(agent)
+    }
+}
+
+/// Simulates the unique run determined by the exchange, decision rule,
+/// initial preferences and adversary.
+///
+/// # Panics
+///
+/// Panics if `inits` does not have one value per agent or if the adversary
+/// fails validation against `params`.
+pub fn simulate_run<E, R>(
+    exchange: &E,
+    params: &ModelParams,
+    rule: &R,
+    inits: &[Value],
+    adversary: &Adversary,
+) -> Run<E>
+where
+    E: InformationExchange,
+    R: DecisionRule<E>,
+{
+    let n = params.num_agents();
+    assert_eq!(inits.len(), n, "one initial preference per agent is required");
+    adversary
+        .validate(params)
+        .unwrap_or_else(|err| panic!("invalid adversary: {err}"));
+    let kind = params.failure().kind();
+
+    let env = match kind {
+        FailureKind::Crash => EnvState::pristine(),
+        _ => EnvState::with_faulty(adversary.faulty),
+    };
+    let mut state = GlobalState::<E> {
+        env,
+        inits: inits.to_vec(),
+        locals: AgentId::all(n)
+            .map(|agent| exchange.initial_local_state(params, agent, inits[agent.index()]))
+            .collect(),
+        decisions: vec![None; n],
+    };
+    let mut states = vec![state.clone()];
+
+    for time in 0..params.horizon() {
+        let failures = adversary.round(time);
+
+        // Decision-layer actions.
+        let mut actions = vec![Action::Noop; n];
+        let mut decisions = state.decisions.clone();
+        for agent in AgentId::all(n) {
+            if state.has_decided(agent) || state.env.has_crashed(agent) {
+                continue;
+            }
+            let action = rule.action(exchange, params, agent, time, state.local(agent));
+            actions[agent.index()] = action;
+            if let Action::Decide(value) = action {
+                decisions[agent.index()] = Some(Decision { value, round: time });
+            }
+        }
+
+        // Broadcast messages.
+        let messages: Vec<Option<E::Message>> = AgentId::all(n)
+            .map(|agent| {
+                if state.env.has_crashed(agent) {
+                    None
+                } else {
+                    exchange.message(params, agent, state.local(agent), actions[agent.index()])
+                }
+            })
+            .collect();
+
+        // Delivery and local-state updates.
+        let mut locals = Vec::with_capacity(n);
+        for receiver in AgentId::all(n) {
+            if state.env.has_crashed(receiver) {
+                locals.push(state.local(receiver).clone());
+                continue;
+            }
+            let received = Received::new(
+                AgentId::all(n)
+                    .map(|sender| {
+                        if messages[sender.index()].is_none() {
+                            return None;
+                        }
+                        if sender != receiver && failures.dropped.contains(&(sender, receiver)) {
+                            return None;
+                        }
+                        messages[sender.index()].clone()
+                    })
+                    .collect(),
+            );
+            locals.push(exchange.update(
+                params,
+                receiver,
+                state.local(receiver),
+                actions[receiver.index()],
+                &received,
+            ));
+        }
+
+        let mut env = state.env;
+        if kind == FailureKind::Crash {
+            env.crash(failures.crashing);
+        }
+        state = GlobalState { env, inits: state.inits.clone(), locals, decisions };
+        states.push(state.clone());
+    }
+
+    Run { states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::NeverDecide;
+    use crate::exchange::{Observation, ObservableVar};
+    use crate::explore::StateSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug)]
+    struct ToyFlood;
+
+    impl InformationExchange for ToyFlood {
+        type LocalState = u32;
+        type Message = u32;
+
+        fn name(&self) -> &'static str {
+            "toy-flood"
+        }
+
+        fn initial_local_state(&self, _p: &ModelParams, _a: AgentId, init: Value) -> u32 {
+            1 << init.index()
+        }
+
+        fn message(&self, _p: &ModelParams, _a: AgentId, state: &u32, _action: Action) -> Option<u32> {
+            Some(*state)
+        }
+
+        fn update(
+            &self,
+            _p: &ModelParams,
+            _a: AgentId,
+            state: &u32,
+            _action: Action,
+            received: &Received<u32>,
+        ) -> u32 {
+            received.iter().fold(*state, |acc, (_, m)| acc | m)
+        }
+
+        fn observation(&self, _p: &ModelParams, _a: AgentId, state: &u32) -> Observation {
+            Observation::new(vec![*state])
+        }
+
+        fn observable_layout(&self, _p: &ModelParams) -> Vec<ObservableVar> {
+            vec![ObservableVar::ranged("seen", 4)]
+        }
+    }
+
+    fn crash_params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).build()
+    }
+
+    #[test]
+    fn failure_free_run_floods_all_values() {
+        let params = crash_params(3, 1);
+        let inits = vec![Value::ZERO, Value::ONE, Value::ONE];
+        let run = simulate_run(&ToyFlood, &params, &NeverDecide, &inits, &Adversary::failure_free());
+        assert_eq!(run.states.len() as Round, params.horizon() + 1);
+        for agent in AgentId::all(3) {
+            assert_eq!(*run.final_state().local(agent), 0b11);
+        }
+        assert_eq!(run.decision(AgentId::new(0)), None);
+    }
+
+    #[test]
+    fn crash_adversary_hides_a_value() {
+        let params = crash_params(3, 1);
+        // Agent 0 is the only agent with value 0 and crashes in round 0
+        // without delivering to anyone.
+        let adversary = Adversary {
+            faulty: AgentSet::singleton(AgentId::new(0)),
+            rounds: vec![RoundFailures {
+                crashing: AgentSet::singleton(AgentId::new(0)),
+                dropped: [(AgentId::new(0), AgentId::new(1)), (AgentId::new(0), AgentId::new(2))]
+                    .into_iter()
+                    .collect(),
+            }],
+        };
+        let inits = vec![Value::ZERO, Value::ONE, Value::ONE];
+        let run = simulate_run(&ToyFlood, &params, &NeverDecide, &inits, &adversary);
+        assert_eq!(*run.final_state().local(AgentId::new(1)), 0b10);
+        assert_eq!(*run.final_state().local(AgentId::new(2)), 0b10);
+        assert!(run.final_state().env.has_crashed(AgentId::new(0)));
+    }
+
+    #[test]
+    fn adversary_validation_rejects_bad_patterns() {
+        let params = crash_params(2, 1);
+        let too_many = Adversary {
+            faulty: AgentSet::full(2),
+            rounds: vec![],
+        };
+        assert!(too_many.validate(&params).is_err());
+
+        let nonfaulty_crash = Adversary {
+            faulty: AgentSet::EMPTY,
+            rounds: vec![RoundFailures {
+                crashing: AgentSet::singleton(AgentId::new(0)),
+                dropped: BTreeSet::new(),
+            }],
+        };
+        assert!(nonfaulty_crash.validate(&params).is_err());
+
+        let omission_params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .failure(FailureKind::SendOmission)
+            .build();
+        let wrong_dropper = Adversary {
+            faulty: AgentSet::singleton(AgentId::new(0)),
+            rounds: vec![RoundFailures {
+                crashing: AgentSet::EMPTY,
+                dropped: [(AgentId::new(1), AgentId::new(0))].into_iter().collect(),
+            }],
+        };
+        assert!(wrong_dropper.validate(&omission_params).is_err());
+        let ok_dropper = Adversary {
+            faulty: AgentSet::singleton(AgentId::new(0)),
+            rounds: vec![RoundFailures {
+                crashing: AgentSet::EMPTY,
+                dropped: [(AgentId::new(0), AgentId::new(1))].into_iter().collect(),
+            }],
+        };
+        assert!(ok_dropper.validate(&omission_params).is_ok());
+    }
+
+    #[test]
+    fn random_adversaries_are_valid_for_all_failure_kinds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in FailureKind::ALL {
+            let params = ModelParams::builder()
+                .agents(3)
+                .max_faulty(2)
+                .failure(kind)
+                .build();
+            for _ in 0..50 {
+                let adversary = Adversary::random(&params, &mut rng);
+                adversary.validate(&params).expect("randomly generated adversary must be valid");
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_states_appear_in_the_explored_state_space() {
+        // Failure injection cross-check: every state along a simulated run
+        // must be present in the corresponding layer of the explored state
+        // space.
+        let mut rng = StdRng::seed_from_u64(42);
+        for kind in [FailureKind::Crash, FailureKind::SendOmission] {
+            let params = ModelParams::builder()
+                .agents(3)
+                .max_faulty(1)
+                .failure(kind)
+                .build();
+            let space = StateSpace::explore(ToyFlood, params, &NeverDecide);
+            for _ in 0..25 {
+                let adversary = Adversary::random(&params, &mut rng);
+                let inits: Vec<Value> =
+                    (0..3).map(|_| Value::new(rng.gen_range(0..2))).collect();
+                let run = simulate_run(&ToyFlood, &params, &NeverDecide, &inits, &adversary);
+                for (time, state) in run.states.iter().enumerate() {
+                    assert!(
+                        space.layers()[time].states.contains(state),
+                        "simulated state at time {time} missing from state space ({kind})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; each file corresponds to one
+//! experiment row of `DESIGN.md` (Q1–Q7).
+#![forbid(unsafe_code)]
+
+use epimc::prelude::*;
+
+/// Crash-failure model parameters with binary decisions.
+pub fn crash_params(n: usize, t: usize) -> ModelParams {
+    ModelParams::builder()
+        .agents(n)
+        .max_faulty(t)
+        .values(2)
+        .failure(FailureKind::Crash)
+        .build()
+}
+
+/// Sending-omission model parameters with binary decisions.
+pub fn omission_params(n: usize, t: usize) -> ModelParams {
+    ModelParams::builder()
+        .agents(n)
+        .max_faulty(t)
+        .values(2)
+        .failure(FailureKind::SendOmission)
+        .build()
+}

@@ -1,0 +1,104 @@
+//! Experiment row Q6 of DESIGN.md: the EBA knowledge-based program `P0`
+//! synthesized for the exchanges `E_min` and `E_basic` matches the
+//! implementations described in §9.1 and §9.2 of the paper, under both crash
+//! and sending-omission failures.
+
+use epimc::prelude::*;
+use epimc::run::{simulate_run, Adversary};
+use epimc_integration::{crash_params, omission_params};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn synthesized_emin_matches_the_handwritten_rule_on_runs() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for params in [omission_params(3, 1), crash_params(3, 1), omission_params(2, 2)] {
+        let outcome = Synthesizer::new(EMin, params).synthesize(&KnowledgeBasedProgram::eba_p0());
+        for _ in 0..80 {
+            let adversary = Adversary::random(&params, &mut rng);
+            let inits: Vec<Value> = (0..params.num_agents())
+                .map(|_| Value::new(rng.gen_range(0..2)))
+                .collect();
+            let synthesized = simulate_run(&EMin, &params, &outcome.rule, &inits, &adversary);
+            let handwritten = simulate_run(&EMin, &params, &EMinRule, &inits, &adversary);
+            for agent in (0..params.num_agents()).map(AgentId::new) {
+                let s = synthesized.decision(agent);
+                let h = handwritten.decision(agent);
+                assert_eq!(
+                    s.map(|d| d.value),
+                    h.map(|d| d.value),
+                    "{params}, {agent}: decided values differ"
+                );
+                // The synthesized implementation is optimal, so it never
+                // decides later than the hand-written one.
+                if let (Some(s), Some(h)) = (s, h) {
+                    assert!(s.round <= h.round, "{params}, {agent}: synthesized decides later");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn synthesized_ebasic_uses_the_num1_early_exit() {
+    // With every agent holding initial value 1, E_basic decides 1 after a
+    // single round (num1 > n - time), while E_min has to wait until t + 1.
+    let params = omission_params(3, 2);
+    let ebasic = Synthesizer::new(EBasic, params).synthesize(&KnowledgeBasedProgram::eba_p0());
+    let emin = Synthesizer::new(EMin, params).synthesize(&KnowledgeBasedProgram::eba_p0());
+    let inits = vec![Value::ONE, Value::ONE, Value::ONE];
+    let ebasic_run = simulate_run(&EBasic, &params, &ebasic.rule, &inits, &Adversary::failure_free());
+    let emin_run = simulate_run(&EMin, &params, &emin.rule, &inits, &Adversary::failure_free());
+    for agent in (0..3).map(AgentId::new) {
+        assert_eq!(ebasic_run.decision(agent).unwrap().value, Value::ONE);
+        assert!(
+            ebasic_run.decision(agent).unwrap().round < emin_run.decision(agent).unwrap().round,
+            "E_basic should decide earlier than E_min on the all-ones run"
+        );
+    }
+}
+
+#[test]
+fn synthesized_eba_protocols_satisfy_the_specification() {
+    for failure in [FailureKind::Crash, FailureKind::SendOmission] {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(failure)
+            .build();
+        let emin = Synthesizer::new(EMin, params).synthesize(&KnowledgeBasedProgram::eba_p0());
+        let emin_model = ConsensusModel::explore(EMin, params, emin.rule);
+        assert!(epimc::spec::check_eba(&emin_model).all_hold(), "E_min under {failure}");
+
+        let ebasic = Synthesizer::new(EBasic, params).synthesize(&KnowledgeBasedProgram::eba_p0());
+        let ebasic_model = ConsensusModel::explore(EBasic, params, ebasic.rule);
+        assert!(epimc::spec::check_eba(&ebasic_model).all_hold(), "E_basic under {failure}");
+    }
+}
+
+#[test]
+fn handwritten_eba_rules_never_beat_the_synthesized_optimum() {
+    // Optimality of the synthesized implementation: on every sampled run the
+    // hand-written E_basic rule decides no earlier than the synthesized one.
+    let mut rng = StdRng::seed_from_u64(99);
+    let params = omission_params(3, 1);
+    let outcome = Synthesizer::new(EBasic, params).synthesize(&KnowledgeBasedProgram::eba_p0());
+    for _ in 0..80 {
+        let adversary = Adversary::random(&params, &mut rng);
+        let inits: Vec<Value> =
+            (0..3).map(|_| Value::new(rng.gen_range(0..2))).collect();
+        let synthesized = simulate_run(&EBasic, &params, &outcome.rule, &inits, &adversary);
+        let handwritten = simulate_run(&EBasic, &params, &EBasicRule, &inits, &adversary);
+        for agent in (0..3).map(AgentId::new) {
+            if let (Some(s), Some(h)) = (synthesized.decision(agent), handwritten.decision(agent)) {
+                assert!(
+                    s.round <= h.round,
+                    "{agent}: synthesized decides at {} but handwritten at {}",
+                    s.round,
+                    h.round
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based cross-validation of the two model-checking engines: on
+//! randomly generated epistemic/temporal formulas, the explicit-state checker
+//! and the symbolic (BDD) checker must return exactly the same set of points.
+
+use epimc::prelude::*;
+use proptest::prelude::*;
+
+type F = Formula<ConsensusAtom>;
+
+fn arb_atom(n: usize) -> impl Strategy<Value = ConsensusAtom> {
+    let agents = 0..n;
+    prop_oneof![
+        (agents.clone(), 0..2usize).prop_map(|(a, v)| ConsensusAtom::InitIs(AgentId::new(a), Value::new(v))),
+        (0..2usize).prop_map(|v| ConsensusAtom::ExistsInit(Value::new(v))),
+        agents.clone().prop_map(|a| ConsensusAtom::Nonfaulty(AgentId::new(a))),
+        agents.clone().prop_map(|a| ConsensusAtom::Decided(AgentId::new(a))),
+        (agents.clone(), 0..2usize)
+            .prop_map(|(a, v)| ConsensusAtom::DecidesNow(AgentId::new(a), Value::new(v))),
+        (0..4u32).prop_map(ConsensusAtom::TimeIs),
+        (agents, 0..2usize, 0..2u32).prop_map(|(a, i, v)| ConsensusAtom::ObsEquals(AgentId::new(a), i, v)),
+    ]
+}
+
+fn arb_formula(n: usize) -> impl Strategy<Value = F> {
+    let leaf = prop_oneof![
+        Just(F::True),
+        Just(F::False),
+        arb_atom(n).prop_map(F::atom),
+    ];
+    leaf.prop_recursive(3, 24, 2, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(F::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::and([a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::or([a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::implies(a, b)),
+            (0..n, inner.clone()).prop_map(|(a, f)| F::knows(AgentId::new(a), f)),
+            (0..n, inner.clone()).prop_map(|(a, f)| F::believes_nonfaulty(AgentId::new(a), f)),
+            inner.clone().prop_map(F::everyone_believes),
+            inner.clone().prop_map(F::common_belief),
+            inner.clone().prop_map(F::all_next),
+            inner.clone().prop_map(F::exists_finally),
+            inner.prop_map(F::all_globally),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_floodset_crash(formula in arb_formula(2)) {
+        let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let explicit = Checker::new(&model).check(&formula);
+        let symbolic = SymbolicChecker::new(&model).check(&formula);
+        prop_assert_eq!(explicit, symbolic, "disagreement on {}", formula);
+    }
+
+    #[test]
+    fn engines_agree_on_emin_omissions(formula in arb_formula(2)) {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::SendOmission)
+            .build();
+        let model = ConsensusModel::explore(EMin, params, EMinRule);
+        let explicit = Checker::new(&model).check(&formula);
+        let symbolic = SymbolicChecker::new(&model).check(&formula);
+        prop_assert_eq!(explicit, symbolic, "disagreement on {}", formula);
+    }
+
+    #[test]
+    fn knowledge_is_veridical_on_random_formulas(formula in arb_formula(3)) {
+        // K_i φ ⇒ φ is valid in the S5 clock semantics; checking it on random
+        // φ exercises the knowledge machinery end to end.
+        let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let checker = Checker::new(&model);
+        let veridical = F::implies(F::knows(AgentId::new(0), formula.clone()), formula.clone());
+        prop_assert!(checker.holds_everywhere(&veridical), "K not veridical for {}", formula);
+        // Positive introspection: K_i φ ⇒ K_i K_i φ.
+        let introspection = F::implies(
+            F::knows(AgentId::new(0), formula.clone()),
+            F::knows(AgentId::new(0), F::knows(AgentId::new(0), formula.clone())),
+        );
+        prop_assert!(checker.holds_everywhere(&introspection), "no positive introspection for {}", formula);
+    }
+}

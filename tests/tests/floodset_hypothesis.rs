@@ -1,0 +1,93 @@
+//! Experiment rows Q1 and Q2 of DESIGN.md: condition (2) of the paper for
+//! the FloodSet exchange, and the non-optimality of the textbook stopping
+//! rule when `t >= n - 1` (the paper's n = 3, t = 2 example).
+
+use epimc::hypotheses::verify_sba_hypothesis;
+use epimc::optimality::analyze_sba;
+use epimc::prelude::*;
+use epimc_integration::crash_params;
+
+#[test]
+fn condition2_is_equivalent_to_the_knowledge_condition() {
+    // Q1: the knowledge condition of the SBA knowledge-based program holds
+    // exactly from the time given by condition (2), for every instance we can
+    // afford to check exhaustively here.
+    for (n, t) in [(2usize, 1usize), (2, 2), (3, 1), (3, 2), (3, 3), (4, 1), (4, 2)] {
+        let params = crash_params(n, t);
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let report = verify_sba_hypothesis(&model, condition2(&params));
+        assert!(
+            report.is_equivalent(),
+            "condition (2) refuted for n={n}, t={t}: {report}"
+        );
+    }
+}
+
+#[test]
+fn floodset_is_not_optimal_for_n3_t2() {
+    // Q2: the example the paper highlights — with n = 3 and t = 2 the
+    // knowledge condition already holds at time n - 1 = 2, one round before
+    // the textbook rule decides.
+    let model = ConsensusModel::explore(FloodSet, crash_params(3, 2), FloodSetRule);
+    let report = analyze_sba(&model);
+    assert!(!report.is_optimal());
+    assert!(report.is_safe());
+    assert_eq!(report.earliest_knowledge_time, Some(2));
+    assert_eq!(report.earliest_decision_time, Some(3));
+    // There is a concrete reachable point witnessing the missed opportunity.
+    let witness = report.missed_opportunities.first().expect("witness exists");
+    assert_eq!(witness.point.time, 2);
+}
+
+#[test]
+fn floodset_is_optimal_exactly_when_t_is_small() {
+    for (n, t) in [(3usize, 1usize), (4, 1), (4, 2)] {
+        let model = ConsensusModel::explore(FloodSet, crash_params(n, t), FloodSetRule);
+        assert!(analyze_sba(&model).is_optimal(), "expected optimality for n={n}, t={t}");
+    }
+    for (n, t) in [(2usize, 1usize), (2, 2), (3, 2), (3, 3)] {
+        let model = ConsensusModel::explore(FloodSet, crash_params(n, t), FloodSetRule);
+        assert!(!analyze_sba(&model).is_optimal(), "expected suboptimality for n={n}, t={t}");
+    }
+}
+
+#[test]
+fn optimised_rule_is_optimal_and_correct_everywhere() {
+    for (n, t) in [(2usize, 2usize), (3, 2), (3, 3), (4, 2)] {
+        let params = crash_params(n, t);
+        let model = ConsensusModel::explore(FloodSet, params, OptimalFloodSetRule);
+        let spec = epimc::spec::check_sba(&model);
+        assert!(spec.all_hold(), "n={n}, t={t}: {spec}");
+        let report = analyze_sba(&model);
+        assert!(report.is_optimal(), "n={n}, t={t}: {report}");
+    }
+}
+
+#[test]
+fn synthesized_sba_protocol_matches_condition2_times() {
+    // The synthesis route and the model-checking route agree: the synthesized
+    // protocol's earliest decision time equals the condition (2) threshold.
+    for (n, t) in [(2usize, 1usize), (3, 1), (3, 2), (3, 3)] {
+        let params = crash_params(n, t);
+        let outcome = Synthesizer::new(FloodSet, params).synthesize(&KnowledgeBasedProgram::sba(2));
+        let expected = epimc_protocols_condition2(n, t);
+        for agent in (0..n).map(AgentId::new) {
+            assert_eq!(
+                outcome.earliest_decision_time(agent),
+                Some(expected),
+                "n={n}, t={t}, {agent}"
+            );
+        }
+        // The synthesized protocol satisfies the SBA specification.
+        let model = ConsensusModel::explore(FloodSet, params, outcome.rule);
+        assert!(epimc::spec::check_sba(&model).all_hold());
+    }
+}
+
+fn epimc_protocols_condition2(n: usize, t: usize) -> Round {
+    if t >= n - 1 {
+        (n - 1) as Round
+    } else {
+        (t + 1) as Round
+    }
+}

@@ -1,0 +1,98 @@
+//! Experiment row Q7 of DESIGN.md: every modelled protocol satisfies its
+//! consensus specification on small instances, across the failure models it
+//! is designed for, and the model checker catches violations when a protocol
+//! is used outside its design assumptions.
+
+use epimc::prelude::*;
+use epimc_integration::{crash_params, omission_params};
+
+#[test]
+fn sba_protocols_satisfy_sba_under_crash_failures() {
+    for (n, t) in [(2usize, 1usize), (3, 1), (3, 2), (2, 2)] {
+        let params = crash_params(n, t);
+        assert!(
+            epimc::spec::check_sba(&ConsensusModel::explore(FloodSet, params, FloodSetRule)).all_hold(),
+            "FloodSet n={n} t={t}"
+        );
+        assert!(
+            epimc::spec::check_sba(&ConsensusModel::explore(FloodSet, params, OptimalFloodSetRule))
+                .all_hold(),
+            "Optimised FloodSet n={n} t={t}"
+        );
+        assert!(
+            epimc::spec::check_sba(&ConsensusModel::explore(CountFloodSet, params, TextbookRule))
+                .all_hold(),
+            "Count n={n} t={t}"
+        );
+        assert!(
+            epimc::spec::check_sba(&ConsensusModel::explore(CountFloodSet, params, CountOptimalRule))
+                .all_hold(),
+            "Count optimal n={n} t={t}"
+        );
+        assert!(
+            epimc::spec::check_sba(&ConsensusModel::explore(DiffFloodSet, params, TextbookRule))
+                .all_hold(),
+            "Diff n={n} t={t}"
+        );
+        assert!(
+            epimc::spec::check_sba(&ConsensusModel::explore(DworkMoses, params, DworkMosesRule))
+                .all_hold(),
+            "Dwork-Moses n={n} t={t}"
+        );
+    }
+}
+
+#[test]
+fn eba_protocols_satisfy_eba_under_both_failure_models() {
+    for (n, t) in [(2usize, 1usize), (3, 1), (2, 2)] {
+        for params in [crash_params(n, t), omission_params(n, t)] {
+            assert!(
+                epimc::spec::check_eba(&ConsensusModel::explore(EMin, params, EMinRule)).all_hold(),
+                "E_min {params}"
+            );
+            assert!(
+                epimc::spec::check_eba(&ConsensusModel::explore(EBasic, params, EBasicRule)).all_hold(),
+                "E_basic {params}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eba_rules_are_not_simultaneous() {
+    // The EBA implementations are not SBA protocols: decisions happen at
+    // different times in some runs, which the checker reports as a violation
+    // of Simultaneous-Agreement.
+    let params = omission_params(3, 1);
+    let model = ConsensusModel::explore(EMin, params, EMinRule);
+    let report = epimc::spec::check_sba(&model);
+    assert!(!report.property("Simultaneous-Agreement").unwrap().holds);
+    assert!(report.property("Agreement").unwrap().holds);
+}
+
+#[test]
+fn premature_protocols_are_rejected() {
+    // Deciding one round too early is caught both by the specification check
+    // and by the optimality analysis (premature decisions).
+    let params = crash_params(3, 1);
+    let model = ConsensusModel::explore(FloodSet, params, DecideAtRound(1));
+    assert!(!epimc::spec::check_sba(&model).all_hold());
+    let report = epimc::optimality::analyze_sba(&model);
+    assert!(!report.is_safe());
+}
+
+#[test]
+fn specs_hold_under_receiving_and_general_omissions_for_eba() {
+    // The paper notes the EBA results also cover receiving and general
+    // omissions; the implementations remain correct there.
+    for failure in [FailureKind::ReceiveOmission, FailureKind::GeneralOmission] {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(failure)
+            .build();
+        let model = ConsensusModel::explore(EMin, params, EMinRule);
+        assert!(epimc::spec::check_eba(&model).all_hold(), "E_min under {failure}");
+    }
+}
