@@ -65,10 +65,7 @@ impl Cube {
 
     /// Returns the phase of `var` in this cube, if constrained.
     pub fn phase_of(&self, var: Var) -> Option<bool> {
-        self.literals
-            .iter()
-            .find(|l| l.var == var)
-            .map(|l| l.positive)
+        self.literals.iter().find(|l| l.var == var).map(|l| l.positive)
     }
 
     /// Evaluates the cube under an assignment.
@@ -161,10 +158,7 @@ impl Bdd {
             let subsumed = cover.iter().any(|other| {
                 other != cube
                     && other.len() < cube.len()
-                    && other
-                        .literals()
-                        .iter()
-                        .all(|l| cube.phase_of(l.var) == Some(l.positive))
+                    && other.literals().iter().all(|l| cube.phase_of(l.var) == Some(l.positive))
             });
             if !subsumed {
                 result.push(cube.clone());

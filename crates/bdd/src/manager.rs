@@ -82,6 +82,19 @@ pub struct BddStats {
     pub allocated_nodes: usize,
     /// Number of entries currently held in the operation caches.
     pub cache_entries: usize,
+    /// Cumulative number of `ite` computations answered from the cache.
+    pub ite_cache_hits: u64,
+    /// Cumulative number of `exists` computations answered from the cache.
+    pub exists_cache_hits: u64,
+    /// Cumulative number of `replace` computations answered from the cache.
+    pub replace_cache_hits: u64,
+}
+
+impl BddStats {
+    /// Total cache hits across all memoised operations.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.ite_cache_hits + self.exists_cache_hits + self.replace_cache_hits
+    }
 }
 
 /// A binary decision diagram manager.
@@ -96,6 +109,9 @@ pub struct Bdd {
     exists_cache: HashMap<(Ref, Ref), Ref>,
     replace_cache: HashMap<(Ref, u32), Ref>,
     pub(crate) substitutions: Vec<Vec<(Var, Var)>>,
+    ite_hits: u64,
+    pub(crate) exists_hits: u64,
+    pub(crate) replace_hits: u64,
 }
 
 impl Default for Bdd {
@@ -121,6 +137,9 @@ impl Bdd {
             exists_cache: HashMap::new(),
             replace_cache: HashMap::new(),
             substitutions: Vec::new(),
+            ite_hits: 0,
+            exists_hits: 0,
+            replace_hits: 0,
         }
     }
 
@@ -199,12 +218,10 @@ impl Bdd {
             return f;
         }
         if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
+            self.ite_hits += 1;
             return cached;
         }
-        let top = self
-            .node_var(f)
-            .min(self.node_var(g))
-            .min(self.node_var(h));
+        let top = self.node_var(f).min(self.node_var(g)).min(self.node_var(h));
         let (f_lo, f_hi) = self.cofactors(f, top);
         let (g_lo, g_hi) = self.cofactors(g, top);
         let (h_lo, h_hi) = self.cofactors(h, top);
@@ -294,16 +311,23 @@ impl Bdd {
         seen.len()
     }
 
-    /// Manager-wide statistics.
+    /// Manager-wide statistics. Cache-hit counters are cumulative over the
+    /// lifetime of the manager and survive [`Bdd::clear_caches`].
     pub fn stats(&self) -> BddStats {
         BddStats {
             allocated_nodes: self.nodes.len(),
-            cache_entries: self.ite_cache.len() + self.exists_cache.len() + self.replace_cache.len(),
+            cache_entries: self.ite_cache.len()
+                + self.exists_cache.len()
+                + self.replace_cache.len(),
+            ite_cache_hits: self.ite_hits,
+            exists_cache_hits: self.exists_hits,
+            replace_cache_hits: self.replace_hits,
         }
     }
 
     /// Drops all memoisation caches (the unique table is retained, so
-    /// canonicity is unaffected). Useful between benchmark iterations.
+    /// canonicity is unaffected; the cumulative hit counters are kept).
+    /// Useful between benchmark iterations.
     pub fn clear_caches(&mut self) {
         self.ite_cache.clear();
         self.exists_cache.clear();

@@ -49,6 +49,7 @@ impl Bdd {
             return f;
         }
         if let Some(&cached) = self.exists_cache().get(&(f, cube)) {
+            self.exists_hits += 1;
             return cached;
         }
         let f_var = self.node_var(f);
@@ -137,6 +138,7 @@ impl Bdd {
             return f;
         }
         if let Some(&cached) = self.replace_cache().get(&(f, subst.0)) {
+            self.replace_hits += 1;
             return cached;
         }
         let var = self.node_var(f);
@@ -238,7 +240,8 @@ mod tests {
         let x = bdd.var(Var::new(0));
         let y = bdd.var(Var::new(1));
         let f = bdd.and(x, y);
-        let subst = bdd.register_substitution(vec![(Var::new(0), Var::new(2)), (Var::new(1), Var::new(3))]);
+        let subst =
+            bdd.register_substitution(vec![(Var::new(0), Var::new(2)), (Var::new(1), Var::new(3))]);
         let renamed = bdd.replace(f, subst);
         let x2 = bdd.var(Var::new(2));
         let y2 = bdd.var(Var::new(3));
@@ -265,7 +268,8 @@ mod tests {
     #[should_panic(expected = "must not overlap")]
     fn replace_rejects_overlapping_substitution() {
         let mut bdd = Bdd::new();
-        let _ = bdd.register_substitution(vec![(Var::new(0), Var::new(1)), (Var::new(1), Var::new(2))]);
+        let _ =
+            bdd.register_substitution(vec![(Var::new(0), Var::new(1)), (Var::new(1), Var::new(2))]);
     }
 
     #[test]

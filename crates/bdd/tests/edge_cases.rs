@@ -1,0 +1,124 @@
+//! Edge-case tests for the BDD manager: quantification over empty cubes,
+//! restriction of constant nodes, and the cache-hit accounting exposed
+//! through [`epimc_bdd::BddStats`].
+
+use epimc_bdd::{Bdd, Ref, Var};
+
+#[test]
+fn quantification_over_the_empty_cube_is_the_identity() {
+    let mut bdd = Bdd::new();
+    let x = bdd.var(Var::new(0));
+    let y = bdd.var(Var::new(1));
+    let f = bdd.xor(x, y);
+    // The empty cube is the constant true.
+    let empty = bdd.cube_of_vars([]);
+    assert_eq!(empty, Ref::TRUE);
+    assert_eq!(bdd.exists(f, empty), f);
+    assert_eq!(bdd.forall(f, empty), f);
+    assert_eq!(bdd.exists_vars(f, &[]), f);
+    assert_eq!(bdd.forall_vars(f, &[]), f);
+    // Quantifying constants over the empty cube is also the identity.
+    assert_eq!(bdd.exists(Ref::TRUE, empty), Ref::TRUE);
+    assert_eq!(bdd.exists(Ref::FALSE, empty), Ref::FALSE);
+    assert_eq!(bdd.forall(Ref::TRUE, empty), Ref::TRUE);
+    assert_eq!(bdd.forall(Ref::FALSE, empty), Ref::FALSE);
+}
+
+#[test]
+fn quantification_over_disjoint_cubes_is_the_identity() {
+    let mut bdd = Bdd::new();
+    let x = bdd.var(Var::new(3));
+    let y = bdd.var(Var::new(4));
+    let f = bdd.and(x, y);
+    // Cube variables entirely above, below, and interleaved with the
+    // support of f — none of them occur in f, so nothing changes.
+    for cube_vars in [vec![0u32, 1], vec![7, 9], vec![0, 5, 9]] {
+        let cube = bdd.cube_of_vars(cube_vars.iter().copied().map(Var::new));
+        assert_eq!(bdd.exists(f, cube), f, "cube {cube_vars:?}");
+        assert_eq!(bdd.forall(f, cube), f, "cube {cube_vars:?}");
+    }
+}
+
+#[test]
+fn restrict_on_constant_nodes_is_the_identity() {
+    let mut bdd = Bdd::new();
+    for value in [false, true] {
+        assert_eq!(bdd.restrict(Ref::TRUE, Var::new(0), value), Ref::TRUE);
+        assert_eq!(bdd.restrict(Ref::FALSE, Var::new(0), value), Ref::FALSE);
+    }
+    // Restricting to a constant: f = x restricted on x yields terminals.
+    let x = bdd.var(Var::new(2));
+    assert_eq!(bdd.restrict(x, Var::new(2), true), Ref::TRUE);
+    assert_eq!(bdd.restrict(x, Var::new(2), false), Ref::FALSE);
+    // Restriction of a variable below the root is a no-op on the result's
+    // terminals: f = x & y restricted on y at both phases.
+    let y = bdd.var(Var::new(5));
+    let f = bdd.and(x, y);
+    assert_eq!(bdd.restrict(f, Var::new(5), true), x);
+    assert_eq!(bdd.restrict(f, Var::new(5), false), Ref::FALSE);
+}
+
+#[test]
+fn ite_cache_hits_are_counted() {
+    let mut bdd = Bdd::new();
+    let x = bdd.var(Var::new(0));
+    let y = bdd.var(Var::new(1));
+    assert_eq!(bdd.stats().ite_cache_hits, 0);
+    let first = bdd.and(x, y);
+    let after_first = bdd.stats().ite_cache_hits;
+    // The same non-terminal computation again must be answered from cache.
+    let second = bdd.and(x, y);
+    assert_eq!(first, second);
+    let after_second = bdd.stats().ite_cache_hits;
+    assert!(after_second > after_first, "repeated ite did not hit the cache");
+    // Terminal shortcuts bypass the cache entirely.
+    let before_terminal = bdd.stats().ite_cache_hits;
+    assert_eq!(bdd.and(x, Ref::TRUE), x);
+    assert_eq!(bdd.stats().ite_cache_hits, before_terminal);
+}
+
+#[test]
+fn exists_and_replace_cache_hits_are_counted() {
+    let mut bdd = Bdd::new();
+    let x = bdd.var(Var::new(0));
+    let y = bdd.var(Var::new(1));
+    let f = bdd.and(x, y);
+    let cube = bdd.cube_of_vars([Var::new(0)]);
+
+    assert_eq!(bdd.stats().exists_cache_hits, 0);
+    let e1 = bdd.exists(f, cube);
+    let e2 = bdd.exists(f, cube);
+    assert_eq!(e1, e2);
+    assert!(bdd.stats().exists_cache_hits >= 1, "repeated exists did not hit the cache");
+
+    assert_eq!(bdd.stats().replace_cache_hits, 0);
+    let subst = bdd.register_substitution(vec![(Var::new(0), Var::new(2))]);
+    let r1 = bdd.replace(f, subst);
+    let r2 = bdd.replace(f, subst);
+    assert_eq!(r1, r2);
+    assert!(bdd.stats().replace_cache_hits >= 1, "repeated replace did not hit the cache");
+
+    let stats = bdd.stats();
+    assert_eq!(
+        stats.total_cache_hits(),
+        stats.ite_cache_hits + stats.exists_cache_hits + stats.replace_cache_hits
+    );
+}
+
+#[test]
+fn clearing_caches_preserves_cumulative_hit_counters() {
+    let mut bdd = Bdd::new();
+    let x = bdd.var(Var::new(0));
+    let y = bdd.var(Var::new(1));
+    let _ = bdd.and(x, y);
+    let _ = bdd.and(x, y);
+    let hits_before = bdd.stats().ite_cache_hits;
+    assert!(hits_before > 0);
+    bdd.clear_caches();
+    assert_eq!(bdd.stats().cache_entries, 0);
+    assert_eq!(bdd.stats().ite_cache_hits, hits_before, "hit counters are cumulative");
+    // The next identical computation misses (cache was dropped), then hits.
+    let _ = bdd.and(x, y);
+    let _ = bdd.and(x, y);
+    assert!(bdd.stats().ite_cache_hits > hits_before);
+}

@@ -1,8 +1,12 @@
-//! Property-based tests comparing the BDD engine against a brute-force
-//! truth-table oracle on randomly generated boolean expressions.
+//! Randomised tests comparing the BDD engine against a brute-force
+//! truth-table oracle on seeded randomly generated boolean expressions.
+//!
+//! Every property draws `CASES` expressions from a fixed seed, so failures
+//! reproduce exactly; the failing expression is printed on panic.
 
 use epimc_bdd::{Bdd, Ref, Var};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A small boolean expression language for generating test cases.
 #[derive(Clone, Debug)]
@@ -18,23 +22,25 @@ enum Expr {
 }
 
 const NUM_VARS: u32 = 5;
+const CASES: usize = 256;
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..NUM_VARS).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(4, 64, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Implies(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Iff(Box::new(a), Box::new(b))),
-        ]
-    })
+fn random_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return if rng.gen_bool(0.8) {
+            Expr::Var(rng.gen_range(0..NUM_VARS))
+        } else {
+            Expr::Const(rng.gen_bool(0.5))
+        };
+    }
+    let a = Box::new(random_expr(rng, depth - 1));
+    match rng.gen_range(0..6u32) {
+        0 => Expr::Not(a),
+        1 => Expr::And(a, Box::new(random_expr(rng, depth - 1))),
+        2 => Expr::Or(a, Box::new(random_expr(rng, depth - 1))),
+        3 => Expr::Xor(a, Box::new(random_expr(rng, depth - 1))),
+        4 => Expr::Implies(a, Box::new(random_expr(rng, depth - 1))),
+        _ => Expr::Iff(a, Box::new(random_expr(rng, depth - 1))),
+    }
 }
 
 fn eval_expr(expr: &Expr, assignment: &[bool]) -> bool {
@@ -85,28 +91,48 @@ fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0u32..(1 << NUM_VARS)).map(|bits| (0..NUM_VARS).map(|i| bits & (1 << i) != 0).collect())
 }
 
-proptest! {
-    #[test]
-    fn bdd_agrees_with_truth_table(expr in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let f = build_bdd(&mut bdd, &expr);
-        for assignment in assignments() {
-            prop_assert_eq!(bdd.eval_bits(f, &assignment), eval_expr(&expr, &assignment));
+/// Runs `check` on `CASES` seeded random expressions, printing the failing
+/// expression on panic.
+fn for_random_exprs<F: Fn(&mut StdRng, &Expr)>(seed: u64, check: F) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let expr = random_expr(&mut rng, 4);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&mut rng, &expr)));
+        if let Err(panic) = result {
+            eprintln!("failing expression (case {case}): {expr:?}");
+            std::panic::resume_unwind(panic);
         }
     }
+}
 
-    #[test]
-    fn sat_count_agrees_with_truth_table(expr in arb_expr()) {
+#[test]
+fn bdd_agrees_with_truth_table() {
+    for_random_exprs(0xB00, |_rng, expr| {
         let mut bdd = Bdd::new();
-        let f = build_bdd(&mut bdd, &expr);
-        let expected = assignments().filter(|a| eval_expr(&expr, a)).count() as u128;
-        prop_assert_eq!(bdd.sat_count(f, NUM_VARS), expected);
-    }
+        let f = build_bdd(&mut bdd, expr);
+        for assignment in assignments() {
+            assert_eq!(bdd.eval_bits(f, &assignment), eval_expr(expr, &assignment));
+        }
+    });
+}
 
-    #[test]
-    fn quantification_agrees_with_truth_table(expr in arb_expr(), var in 0..NUM_VARS) {
+#[test]
+fn sat_count_agrees_with_truth_table() {
+    for_random_exprs(0xB01, |_rng, expr| {
         let mut bdd = Bdd::new();
-        let f = build_bdd(&mut bdd, &expr);
+        let f = build_bdd(&mut bdd, expr);
+        let expected = assignments().filter(|a| eval_expr(expr, a)).count() as u128;
+        assert_eq!(bdd.sat_count(f, NUM_VARS), expected);
+    });
+}
+
+#[test]
+fn quantification_agrees_with_truth_table() {
+    for_random_exprs(0xB02, |rng, expr| {
+        let var = rng.gen_range(0..NUM_VARS);
+        let mut bdd = Bdd::new();
+        let f = build_bdd(&mut bdd, expr);
         let cube = bdd.cube_of_vars([Var::new(var)]);
         let exists = bdd.exists(f, cube);
         let forall = bdd.forall(f, cube);
@@ -115,38 +141,46 @@ proptest! {
             set[var as usize] = true;
             let mut clear = assignment.clone();
             clear[var as usize] = false;
-            let expect_exists = eval_expr(&expr, &set) || eval_expr(&expr, &clear);
-            let expect_forall = eval_expr(&expr, &set) && eval_expr(&expr, &clear);
-            prop_assert_eq!(bdd.eval_bits(exists, &assignment), expect_exists);
-            prop_assert_eq!(bdd.eval_bits(forall, &assignment), expect_forall);
+            let expect_exists = eval_expr(expr, &set) || eval_expr(expr, &clear);
+            let expect_forall = eval_expr(expr, &set) && eval_expr(expr, &clear);
+            assert_eq!(bdd.eval_bits(exists, &assignment), expect_exists);
+            assert_eq!(bdd.eval_bits(forall, &assignment), expect_forall);
         }
-    }
+    });
+}
 
-    #[test]
-    fn restrict_agrees_with_truth_table(expr in arb_expr(), var in 0..NUM_VARS, value: bool) {
+#[test]
+fn restrict_agrees_with_truth_table() {
+    for_random_exprs(0xB03, |rng, expr| {
+        let var = rng.gen_range(0..NUM_VARS);
+        let value = rng.gen_bool(0.5);
         let mut bdd = Bdd::new();
-        let f = build_bdd(&mut bdd, &expr);
+        let f = build_bdd(&mut bdd, expr);
         let restricted = bdd.restrict(f, Var::new(var), value);
         for assignment in assignments() {
             let mut fixed = assignment.clone();
             fixed[var as usize] = value;
-            prop_assert_eq!(bdd.eval_bits(restricted, &assignment), eval_expr(&expr, &fixed));
+            assert_eq!(bdd.eval_bits(restricted, &assignment), eval_expr(expr, &fixed));
         }
-    }
+    });
+}
 
-    #[test]
-    fn prime_cover_is_exact(expr in arb_expr()) {
+#[test]
+fn prime_cover_is_exact() {
+    for_random_exprs(0xB04, |_rng, expr| {
         let mut bdd = Bdd::new();
-        let f = build_bdd(&mut bdd, &expr);
+        let f = build_bdd(&mut bdd, expr);
         let cover = bdd.prime_cover(f);
         let rebuilt = bdd.cover_to_bdd(&cover);
-        prop_assert_eq!(rebuilt, f);
-    }
+        assert_eq!(rebuilt, f);
+    });
+}
 
-    #[test]
-    fn replace_then_replace_back_is_identity(expr in arb_expr()) {
+#[test]
+fn replace_then_replace_back_is_identity() {
+    for_random_exprs(0xB05, |_rng, expr| {
         let mut bdd = Bdd::new();
-        let f = build_bdd(&mut bdd, &expr);
+        let f = build_bdd(&mut bdd, expr);
         let forward: Vec<(Var, Var)> =
             (0..NUM_VARS).map(|i| (Var::new(i), Var::new(i + NUM_VARS))).collect();
         let backward: Vec<(Var, Var)> =
@@ -155,22 +189,24 @@ proptest! {
         let bwd = bdd.register_substitution(backward);
         let shifted = bdd.replace(f, fwd);
         let back = bdd.replace(shifted, bwd);
-        prop_assert_eq!(back, f);
-    }
+        assert_eq!(back, f);
+    });
+}
 
-    #[test]
-    fn any_sat_is_a_witness(expr in arb_expr()) {
+#[test]
+fn any_sat_is_a_witness() {
+    for_random_exprs(0xB06, |_rng, expr| {
         let mut bdd = Bdd::new();
-        let f = build_bdd(&mut bdd, &expr);
+        let f = build_bdd(&mut bdd, expr);
         match bdd.any_sat(f) {
-            None => prop_assert_eq!(f, bdd.constant(false)),
+            None => assert_eq!(f, bdd.constant(false)),
             Some(path) => {
                 let mut assignment = vec![false; NUM_VARS as usize];
                 for (var, value) in path {
                     assignment[var.index() as usize] = value;
                 }
-                prop_assert!(eval_expr(&expr, &assignment));
+                assert!(eval_expr(expr, &assignment));
             }
         }
-    }
+    });
 }

@@ -4,9 +4,13 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p epimc-bench --bin tables -- [table1|table2|table3|scaling|ablation|all]
+//! cargo run --release -p epimc-bench --bin tables -- [table1|table2|table3|scaling|ablation|explore|all]
 //!     [--timeout <seconds>] [--full]
 //! ```
+//!
+//! `explore` prints the exploration ablation: sequential versus parallel
+//! frontier expansion, with per-run state counts, de-duplication hits and
+//! the parallel speedup (see `epimc_system::ExploreStats`).
 //!
 //! `--full` selects the paper-sized parameter grids (several cells will show
 //! `TO` unless a generous `--timeout` is given); without it a smaller grid is
@@ -14,7 +18,9 @@
 
 use std::time::Duration;
 
-use epimc_bench::{ablation_table, scaling_table, table1, table2, table3, DEFAULT_TIMEOUT};
+use epimc_bench::{
+    ablation_table, explore_table, scaling_table, table1, table2, table3, DEFAULT_TIMEOUT,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +53,7 @@ fn main() {
             "table3" => print!("{}", table3(timeout, full)),
             "scaling" => print!("{}", scaling_table(timeout, full)),
             "ablation" => print!("{}", ablation_table(full)),
+            "explore" => print!("{}", explore_table(full)),
             "all" => {
                 print!("{}", table1(timeout, full));
                 println!();
@@ -57,8 +64,10 @@ fn main() {
                 print!("{}", scaling_table(timeout, full));
                 println!();
                 print!("{}", ablation_table(full));
+                println!();
+                print!("{}", explore_table(full));
             }
-            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, or all)"),
+            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, or all)"),
         }
         println!();
     }

@@ -13,8 +13,8 @@
 
 use std::time::Duration;
 
-use epimc::prelude::*;
 use epimc::experiments::{format_mck_duration, with_timeout};
+use epimc::prelude::*;
 
 /// Default per-cell timeout used by the `tables` binary, mirroring the
 /// 10-minute timeout of the paper (scaled down so the default run finishes
@@ -175,10 +175,7 @@ pub fn table2(timeout: Duration, full: bool) -> String {
             timed_entry(timeout, move || diff.model_check()),
             timed_entry(timeout, move || dwork.model_check()),
         ];
-        cells.push(Cell {
-            key: vec![n.to_string(), t.to_string(), rounds.to_string()],
-            entries,
-        });
+        cells.push(Cell { key: vec![n.to_string(), t.to_string(), rounds.to_string()], entries });
     }
     render_table(
         "Table 2: model checking the Differential and Dwork-Moses protocols",
@@ -227,6 +224,54 @@ pub fn scaling_table(timeout: Duration, full: bool) -> String {
         "Scaling: FloodSet, t = 1, runtime versus number of agents",
         &["n"],
         &["model check", "synthesis"],
+        &cells,
+    )
+}
+
+/// The exploration ablation: sequential versus parallel frontier expansion
+/// of the FloodSet state space (t = 2), reporting per-run state counts,
+/// de-duplication hits and the parallel speedup. The two explorations are
+/// checked to be bit-identical before reporting.
+pub fn explore_table(full: bool) -> String {
+    let max_n = if full { 7 } else { 6 };
+    let mut cells = Vec::new();
+    for n in 4..=max_n {
+        let params = ModelParams::builder()
+            .agents(n)
+            .max_faulty(2)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let sequential = StateSpace::explore_sequential(FloodSet, params, &FloodSetRule);
+        let parallel = StateSpace::explore(FloodSet, params, &FloodSetRule);
+        for (seq_layer, par_layer) in sequential.layers().iter().zip(parallel.layers()) {
+            assert!(
+                seq_layer.states == par_layer.states
+                    && seq_layer.successors == par_layer.successors,
+                "parallel exploration diverged from sequential"
+            );
+        }
+        let threads = parallel.threads();
+        let seq_stats = sequential.stats();
+        let par_stats = parallel.stats();
+        let speedup =
+            seq_stats.total_wall().as_secs_f64() / par_stats.total_wall().as_secs_f64().max(1e-9);
+        cells.push(Cell {
+            key: vec![n.to_string(), 2.to_string()],
+            entries: vec![
+                seq_stats.total_states().to_string(),
+                seq_stats.total_generated().to_string(),
+                seq_stats.total_dedup_hits().to_string(),
+                format_mck_duration(seq_stats.total_wall()),
+                format_mck_duration(par_stats.total_wall()),
+                format!("{speedup:.2}x ({threads} thr)"),
+            ],
+        });
+    }
+    render_table(
+        "Exploration: sequential versus parallel frontier expansion (FloodSet, t = 2)",
+        &["n", "t"],
+        &["states", "generated", "dedup hits", "sequential", "parallel", "speedup"],
         &cells,
     )
 }

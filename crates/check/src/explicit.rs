@@ -26,18 +26,44 @@ impl<'m, M: PointModel> Checker<'m, M> {
     /// Creates a checker for the given model, precomputing the
     /// observation-equivalence groups that realise the clock-semantics
     /// knowledge accessibility relation.
-    pub fn new(model: &'m M) -> Self {
+    ///
+    /// Grouping is parallelised within each layer: workers group contiguous
+    /// chunks of the layer's points, and the per-chunk maps are merged in
+    /// chunk order at the end, so the index lists are identical (and sorted
+    /// ascending) for every worker count.
+    pub fn new(model: &'m M) -> Self
+    where
+        M: Sync,
+    {
         let n = model.num_agents();
         let mut groups = Vec::with_capacity(model.num_layers());
         for time in 0..model.num_layers() as Round {
+            let chunk_maps = epimc_par::parallel_chunks(
+                model.layer_size(time),
+                epimc_par::num_threads(),
+                |range| {
+                    let mut per_agent: Vec<HashMap<Observation, Vec<usize>>> =
+                        vec![HashMap::new(); n];
+                    for index in range {
+                        let point = PointId::new(time, index);
+                        for agent in AgentId::all(n) {
+                            per_agent[agent.index()]
+                                .entry(model.observation(agent, point).clone())
+                                .or_default()
+                                .push(index);
+                        }
+                    }
+                    per_agent
+                },
+            );
+            // Merge per-chunk groups; chunks cover ascending index ranges, so
+            // appending in chunk order keeps each group's indices sorted.
             let mut per_agent: Vec<HashMap<Observation, Vec<usize>>> = vec![HashMap::new(); n];
-            for index in 0..model.layer_size(time) {
-                let point = PointId::new(time, index);
-                for agent in AgentId::all(n) {
-                    per_agent[agent.index()]
-                        .entry(model.observation(agent, point).clone())
-                        .or_default()
-                        .push(index);
+            for chunk in chunk_maps {
+                for (merged, partial) in per_agent.iter_mut().zip(chunk) {
+                    for (observation, mut indices) in partial {
+                        merged.entry(observation).or_default().append(&mut indices);
+                    }
                 }
             }
             groups.push(per_agent);
@@ -88,11 +114,7 @@ impl<'m, M: PointModel> Checker<'m, M> {
         self.model.points().into_iter().find(|&p| !holds.contains(p))
     }
 
-    fn eval(
-        &self,
-        formula: &Formula<M::Atom>,
-        env: &mut HashMap<u32, PointSet>,
-    ) -> PointSet {
+    fn eval(&self, formula: &Formula<M::Atom>, env: &mut HashMap<u32, PointSet>) -> PointSet {
         match formula {
             Formula::True => PointSet::full(self.model),
             Formula::False => PointSet::empty(self.model),
@@ -105,10 +127,9 @@ impl<'m, M: PointModel> Checker<'m, M> {
                 }
                 set
             }
-            Formula::Var(v) => env
-                .get(v)
-                .unwrap_or_else(|| panic!("free fixpoint variable _X{v}"))
-                .clone(),
+            Formula::Var(v) => {
+                env.get(v).unwrap_or_else(|| panic!("free fixpoint variable _X{v}")).clone()
+            }
             Formula::Not(inner) => self.eval(inner, env).complement(),
             Formula::And(items) => {
                 let mut acc = PointSet::full(self.model);
@@ -194,9 +215,8 @@ impl<'m, M: PointModel> Checker<'m, M> {
     /// `target` (relative to `N`).
     fn everyone_believes(&self, target: &PointSet) -> PointSet {
         let n = self.model.num_agents();
-        let beliefs: Vec<PointSet> = AgentId::all(n)
-            .map(|agent| self.knowledge(agent, target, true))
-            .collect();
+        let beliefs: Vec<PointSet> =
+            AgentId::all(n).map(|agent| self.knowledge(agent, target, true)).collect();
         let mut result = PointSet::empty(self.model);
         for point in self.model.points() {
             let nonfaulty = self.model.nonfaulty(point);
@@ -230,11 +250,8 @@ impl<'m, M: PointModel> Checker<'m, M> {
         env: &mut HashMap<u32, PointSet>,
         greatest: bool,
     ) -> PointSet {
-        let mut current = if greatest {
-            PointSet::full(self.model)
-        } else {
-            PointSet::empty(self.model)
-        };
+        let mut current =
+            if greatest { PointSet::full(self.model) } else { PointSet::empty(self.model) };
         loop {
             let saved = env.insert(var, current.clone());
             let next = self.eval(body, env);
@@ -273,13 +290,9 @@ impl<'m, M: PointModel> Checker<'m, M> {
             let holds = if point.time as usize + 1 == self.model.num_layers() {
                 universal
             } else if universal {
-                successors
-                    .iter()
-                    .all(|&next| target.contains(PointId::new(point.time + 1, next)))
+                successors.iter().all(|&next| target.contains(PointId::new(point.time + 1, next)))
             } else {
-                successors
-                    .iter()
-                    .any(|&next| target.contains(PointId::new(point.time + 1, next)))
+                successors.iter().any(|&next| target.contains(PointId::new(point.time + 1, next)))
             };
             if holds {
                 result.insert(point);
@@ -299,9 +312,8 @@ impl<'m, M: PointModel> Checker<'m, M> {
                 let here = target.contains(point);
                 let is_last = time as usize + 1 == self.model.num_layers();
                 let successors = self.model.successors(point);
-                let next_holds = |succ_index: &&usize| {
-                    result.contains(PointId::new(time + 1, **succ_index))
-                };
+                let next_holds =
+                    |succ_index: &&usize| result.contains(PointId::new(time + 1, **succ_index));
                 let future = if is_last {
                     // On the bounded unrolling the path ends here.
                     globally
@@ -407,10 +419,8 @@ mod tests {
             F::believes_nonfaulty(AgentId::new(0), exists(0)),
         )));
         // Fixpoint form agrees with the dedicated operator: CB φ ⇔ EB(φ ∧ CB φ).
-        let unfolded = checker.check(&F::everyone_believes(F::and([
-            exists(0),
-            F::common_belief(exists(0)),
-        ])));
+        let unfolded =
+            checker.check(&F::everyone_believes(F::and([exists(0), F::common_belief(exists(0))])));
         assert_eq!(cb, unfolded);
     }
 
@@ -478,9 +488,8 @@ mod tests {
         let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
         let model = ConsensusModel::explore(FloodSet, params, NeverDecide);
         let checker = Checker::new(&model);
-        let someone_decides = F::or(
-            (0..2).map(|i| F::atom(ConsensusAtom::Decided(AgentId::new(i)))),
-        );
+        let someone_decides =
+            F::or((0..2).map(|i| F::atom(ConsensusAtom::Decided(AgentId::new(i)))));
         assert!(checker.check(&someone_decides).is_empty());
         assert!(checker.find_counterexample(&F::not(someone_decides)).is_none());
     }

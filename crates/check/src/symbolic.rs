@@ -149,11 +149,10 @@ where
         // Hidden-variable cubes: everything agent i does not observe.
         let hidden_cubes = (0..n)
             .map(|agent| {
-                let observed: Vec<Var> = agent_vars[agent].obs_bits.iter().flatten().copied().collect();
-                let hidden: Vec<Var> = (0..num_vars as u32)
-                    .map(Var::new)
-                    .filter(|v| !observed.contains(v))
-                    .collect();
+                let observed: Vec<Var> =
+                    agent_vars[agent].obs_bits.iter().flatten().copied().collect();
+                let hidden: Vec<Var> =
+                    (0..num_vars as u32).map(Var::new).filter(|v| !observed.contains(v)).collect();
                 bdd.cube_of_vars(hidden)
             })
             .collect();
@@ -193,10 +192,7 @@ where
             set_value(&vars.init_bits, state.init(agent).index() as u32);
             let decision = state.decision(agent);
             set_value(&[vars.decided], u32::from(decision.is_some()));
-            set_value(
-                &vars.decision_bits,
-                decision.map(|d| d.value.index() as u32).unwrap_or(0),
-            );
+            set_value(&vars.decision_bits, decision.map(|d| d.value.index() as u32).unwrap_or(0));
         }
         bits
     }
@@ -251,7 +247,7 @@ where
         set
     }
 
-    fn from_point_predicate<F: Fn(PointId) -> bool>(&self, predicate: F) -> Vec<Ref> {
+    fn layer_bdds_of_predicate<F: Fn(PointId) -> bool>(&self, predicate: F) -> Vec<Ref> {
         let mut bdd = self.bdd.borrow_mut();
         (0..self.model.num_layers() as Round)
             .map(|time| {
@@ -267,19 +263,14 @@ where
             .collect()
     }
 
-    fn eval(
-        &self,
-        formula: &Formula<ConsensusAtom>,
-        env: &mut HashMap<u32, Vec<Ref>>,
-    ) -> Vec<Ref> {
+    fn eval(&self, formula: &Formula<ConsensusAtom>, env: &mut HashMap<u32, Vec<Ref>>) -> Vec<Ref> {
         match formula {
             Formula::True => self.reachable.clone(),
             Formula::False => vec![self.bdd.borrow().constant(false); self.model.num_layers()],
             Formula::Atom(atom) => self.atom_denotation(atom),
-            Formula::Var(v) => env
-                .get(v)
-                .unwrap_or_else(|| panic!("free fixpoint variable _X{v}"))
-                .clone(),
+            Formula::Var(v) => {
+                env.get(v).unwrap_or_else(|| panic!("free fixpoint variable _X{v}")).clone()
+            }
             Formula::Not(inner) => {
                 let inner = self.eval(inner, env);
                 self.restrict_to_reachable(&self.map_unary(&inner, |bdd, f| bdd.not(f)))
@@ -342,7 +333,12 @@ where
         layers.iter().map(|&f| op(&mut bdd, f)).collect()
     }
 
-    fn map_binary<F: Fn(&mut Bdd, Ref, Ref) -> Ref>(&self, a: &[Ref], b: &[Ref], op: F) -> Vec<Ref> {
+    fn map_binary<F: Fn(&mut Bdd, Ref, Ref) -> Ref>(
+        &self,
+        a: &[Ref],
+        b: &[Ref],
+        op: F,
+    ) -> Vec<Ref> {
         let mut bdd = self.bdd.borrow_mut();
         a.iter().zip(b).map(|(&x, &y)| op(&mut bdd, x, y)).collect()
     }
@@ -356,7 +352,7 @@ where
         // could be expressed as variable constraints; seeding them from the
         // explicit states is equivalent on the reachable sets and keeps the
         // engine uniform across the whole atom vocabulary.
-        self.from_point_predicate(|point| self.model.eval_atom(atom, point))
+        self.layer_bdds_of_predicate(|point| self.model.eval_atom(atom, point))
     }
 
     /// `K_i target` (or `B^N_i target` when `guarded`) per layer:
@@ -383,9 +379,8 @@ where
 
     fn everyone_believes(&self, target: &[Ref]) -> Vec<Ref> {
         let n = self.model.num_agents();
-        let beliefs: Vec<Vec<Ref>> = AgentId::all(n)
-            .map(|agent| self.knowledge(agent, target, true))
-            .collect();
+        let beliefs: Vec<Vec<Ref>> =
+            AgentId::all(n).map(|agent| self.knowledge(agent, target, true)).collect();
         let mut bdd = self.bdd.borrow_mut();
         (0..self.model.num_layers())
             .map(|layer| {
@@ -472,8 +467,10 @@ where
                 }
             }
             _ => {
-                let globally = matches!(kind, TemporalKind::AllGlobally | TemporalKind::ExistsGlobally);
-                let universal = matches!(kind, TemporalKind::AllGlobally | TemporalKind::AllFinally);
+                let globally =
+                    matches!(kind, TemporalKind::AllGlobally | TemporalKind::ExistsGlobally);
+                let universal =
+                    matches!(kind, TemporalKind::AllGlobally | TemporalKind::AllFinally);
                 for time in (0..num_layers as Round).rev() {
                     for index in 0..self.model.layer_size(time) {
                         let point = PointId::new(time, index);
@@ -495,7 +492,7 @@ where
                 }
             }
         }
-        self.from_point_predicate(|point| holds.contains(point))
+        self.layer_bdds_of_predicate(|point| holds.contains(point))
     }
 }
 
@@ -598,7 +595,8 @@ mod tests {
                 for b in 0..model.layer_size(time) {
                     let pa = PointId::new(time, a);
                     let pb = PointId::new(time, b);
-                    if model.observation(AgentId::new(0), pa) == model.observation(AgentId::new(0), pb)
+                    if model.observation(AgentId::new(0), pa)
+                        == model.observation(AgentId::new(0), pb)
                     {
                         assert_eq!(holds.contains(pa), holds.contains(pb));
                     }

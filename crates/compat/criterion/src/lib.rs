@@ -1,0 +1,244 @@
+//! Offline mini-benchmark harness exposing the subset of the Criterion API
+//! used by the `epimc-bench` targets.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! self-contained wall-clock harness with Criterion-compatible surface:
+//! benchmark groups, `bench_with_input`, `BenchmarkId`, `Bencher::iter` and
+//! the `criterion_group!` / `criterion_main!` macros. Measurements run for
+//! the configured warm-up and measurement windows and report min / mean /
+//! max per-iteration times. Swap in the real `criterion` crate (the bench
+//! files compile unchanged) for statistically rigorous analysis.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of a benchmark within a group: a function name plus a
+/// parameter rendering, displayed as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The per-benchmark timing driver handed to measurement closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording one sample per call: first for
+    /// the warm-up window (discarded), then until both the sample count and
+    /// the measurement window are satisfied.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_deadline {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        while self.samples.len() < self.sample_size
+            || measure_start.elapsed() < self.measurement_time
+        {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            // Never spin unboundedly on very fast routines.
+            if self.samples.len() >= self.sample_size * 64 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up window preceding measurement.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        routine(&mut bencher, input);
+        self.criterion.report(&self.name, &id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Ends the group. (Reports are printed as benchmarks complete.)
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point; one per bench target.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group with default settings (10 samples, 300 ms
+    /// warm-up, 2 s measurement).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Parses Criterion-style CLI arguments. Only `--help` is recognised;
+    /// filters and the `--bench` flag Cargo passes are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--help" || a == "-h") {
+            println!("mini-criterion: runs every benchmark; filters are ignored");
+        }
+        self.benchmarks_run = 0;
+        self
+    }
+
+    fn report(&mut self, group: &str, id: &str, samples: &[Duration]) {
+        self.benchmarks_run += 1;
+        if samples.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().expect("nonempty");
+        let max = samples.iter().max().expect("nonempty");
+        println!(
+            "{group}/{id}: mean {} (min {}, max {}, {} samples)",
+            fmt_duration(mean),
+            fmt_duration(*min),
+            fmt_duration(*max),
+            samples.len()
+        );
+    }
+
+    /// Prints the closing summary; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!("ran {} benchmarks", self.benchmarks_run);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $( $function(criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_counts_benchmarks() {
+        let mut criterion = Criterion::default();
+        quick(&mut criterion);
+        assert_eq!(criterion.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn benchmark_id_display() {
+        assert_eq!(BenchmarkId::new("explicit", 4).to_string(), "explicit/4");
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline facade for the `serde` API surface used by this workspace.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! crate keeps the `use serde::{Deserialize, Serialize}` imports and the
+//! `#[derive(Serialize, Deserialize)]` attributes in the domain crates
+//! compiling without pulling in the real dependency. The traits are
+//! blanket-implemented markers and the derives (re-exported from the
+//! companion `serde_derive` stub) expand to nothing.
+//!
+//! No serialization format ships in this workspace yet; when one is added,
+//! replace the two stub crates with the real `serde`/`serde_derive` and the
+//! domain crates build unchanged.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Deserialize<'_> for T {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline `serde`
+//! facade (see that crate's docs for why the workspace vendors these).
+//!
+//! The derives expand to nothing: the facade's traits are blanket-implemented
+//! for every type, so an empty expansion keeps `#[derive(Serialize,
+//! Deserialize)]` attributes compiling unchanged until the real `serde` crate
+//! can be substituted.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

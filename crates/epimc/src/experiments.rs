@@ -27,7 +27,8 @@ use epimc_protocols::{
 };
 use epimc_synth::{KnowledgeBasedProgram, Synthesizer};
 use epimc_system::{
-    ConsensusModel, DecisionRule, FailureKind, InformationExchange, ModelParams, Round,
+    ConsensusModel, DecisionRule, ExploreStats, FailureKind, InformationExchange, ModelParams,
+    Round,
 };
 
 use crate::optimality::analyze_sba;
@@ -97,6 +98,10 @@ pub struct ExperimentMeasurement {
     pub earliest_knowledge_time: Option<Round>,
     /// Earliest decision time of the protocol under analysis.
     pub earliest_decision_time: Option<Round>,
+    /// Per-layer exploration statistics (model-checking experiments, where
+    /// the explored space is available; `None` for synthesis, which
+    /// interleaves exploration with checking).
+    pub explore_stats: Option<ExploreStats>,
 }
 
 impl ExperimentMeasurement {
@@ -296,11 +301,8 @@ where
     // t + 2 rounds a decision requires; Termination cannot hold there and is
     // excluded from the verdict, exactly as in the paper's round-count sweep.
     let truncated = params.horizon() < params.max_faulty() as Round + 2;
-    let spec_ok = spec
-        .properties
-        .iter()
-        .filter(|p| !(truncated && p.name == "Termination"))
-        .all(|p| p.holds);
+    let spec_ok =
+        spec.properties.iter().filter(|p| !(truncated && p.name == "Termination")).all(|p| p.holds);
     ExperimentMeasurement {
         label,
         duration: start.elapsed(),
@@ -309,6 +311,7 @@ where
         optimal: optimality.is_optimal(),
         earliest_knowledge_time: optimality.earliest_knowledge_time,
         earliest_decision_time: optimality.earliest_decision_time,
+        explore_stats: Some(model.space().stats().clone()),
     }
 }
 
@@ -333,6 +336,7 @@ where
         optimal: true,
         earliest_knowledge_time: None,
         earliest_decision_time: None,
+        explore_stats: Some(model.space().stats().clone()),
     }
 }
 
@@ -361,6 +365,7 @@ where
         optimal: true,
         earliest_knowledge_time: earliest,
         earliest_decision_time: earliest,
+        explore_stats: None,
     }
 }
 
@@ -388,6 +393,7 @@ where
         optimal: true,
         earliest_knowledge_time: earliest,
         earliest_decision_time: earliest,
+        explore_stats: None,
     }
 }
 
@@ -419,6 +425,10 @@ mod tests {
         assert!(check.spec_ok);
         assert!(check.optimal);
         assert_eq!(check.earliest_knowledge_time, Some(2));
+        // Model-checking measurements carry the exploration statistics.
+        let explore = check.explore_stats.as_ref().expect("explore stats recorded");
+        assert_eq!(explore.total_states(), check.total_states);
+        assert!(explore.total_dedup_hits() > 0);
         let synth = experiment.synthesize();
         assert!(synth.spec_ok);
         assert_eq!(synth.earliest_decision_time, Some(2));

@@ -106,10 +106,7 @@ pub fn condition3_observed(params: &ModelParams) -> impl Fn(AgentId) -> F + '_ {
     condition3_with_fallback(params, fallback)
 }
 
-fn condition3_with_fallback(
-    params: &ModelParams,
-    fallback: Round,
-) -> impl Fn(AgentId) -> F + '_ {
+fn condition3_with_fallback(params: &ModelParams, fallback: Round) -> impl Fn(AgentId) -> F + '_ {
     let count_index = count_observable_index(params.num_values());
     move |agent| {
         let early_exit = F::and([
@@ -218,10 +215,7 @@ mod tests {
             let params = crash(n, t);
             let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
             let report = verify_sba_hypothesis(&model, condition2(&params));
-            assert!(
-                report.is_equivalent(),
-                "condition (2) should hold for n={n}, t={t}: {report}"
-            );
+            assert!(report.is_equivalent(), "condition (2) should hold for n={n}, t={t}: {report}");
             assert!(report.points_checked > 0);
         }
     }

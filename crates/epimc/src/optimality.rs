@@ -88,7 +88,10 @@ impl fmt::Display for OptimalityReport {
             )?;
         }
         if let (Some(k), Some(d)) = (self.earliest_knowledge_time, self.earliest_decision_time) {
-            write!(f, " (knowledge condition first holds at time {k}, first decision at time {d})")?;
+            write!(
+                f,
+                " (knowledge condition first holds at time {k}, first decision at time {d})"
+            )?;
         }
         Ok(())
     }
@@ -97,9 +100,8 @@ impl fmt::Display for OptimalityReport {
 /// The SBA knowledge condition for one agent: `∃v ∈ V. B^N_i C_B_N ∃v`.
 pub fn sba_knowledge_condition(agent: AgentId, n: usize, num_values: usize) -> F {
     F::or(Value::all(num_values).map(move |value| {
-        let exists_v = F::or(
-            AgentId::all(n).map(move |j| F::atom(ConsensusAtom::InitIs(j, value))),
-        );
+        let exists_v =
+            F::or(AgentId::all(n).map(move |j| F::atom(ConsensusAtom::InitIs(j, value))));
         F::believes_nonfaulty(agent, F::common_belief(exists_v))
     }))
 }
@@ -124,19 +126,13 @@ pub fn analyze_sba<E: InformationExchange, R: DecisionRule<E>>(
             }
             let knowledge = holds.contains(point);
             if knowledge {
-                report.earliest_knowledge_time = Some(
-                    report
-                        .earliest_knowledge_time
-                        .map_or(point.time, |t| t.min(point.time)),
-                );
+                report.earliest_knowledge_time =
+                    Some(report.earliest_knowledge_time.map_or(point.time, |t| t.min(point.time)));
             }
             let decides_now = matches!(model.action_at(agent, point), Action::Decide(_));
             if decides_now {
-                report.earliest_decision_time = Some(
-                    report
-                        .earliest_decision_time
-                        .map_or(point.time, |t| t.min(point.time)),
-                );
+                report.earliest_decision_time =
+                    Some(report.earliest_decision_time.map_or(point.time, |t| t.min(point.time)));
             }
             if state.has_decided(agent) {
                 continue;
@@ -194,8 +190,8 @@ where
 mod tests {
     use super::*;
     use epimc_protocols::{
-        CountFloodSet, CountOptimalRule, DecideAtRound, FloodSet, FloodSetRule, OptimalFloodSetRule,
-        TextbookRule,
+        CountFloodSet, CountOptimalRule, DecideAtRound, FloodSet, FloodSetRule,
+        OptimalFloodSetRule, TextbookRule,
     };
     use epimc_system::{FailureKind, ModelParams};
 

@@ -127,9 +127,9 @@ pub fn uniform_agreement_formula(n: usize, num_values: usize) -> F {
     let clauses = AgentId::all(n).flat_map(move |i| {
         AgentId::all(n).flat_map(move |j| {
             Value::all(num_values).flat_map(move |v| {
-                Value::all(num_values).filter(move |w| *w != v).map(move |w| {
-                    F::not(F::and([decided_value(i, v), decided_value(j, w)]))
-                })
+                Value::all(num_values)
+                    .filter(move |w| *w != v)
+                    .map(move |w| F::not(F::and([decided_value(i, v), decided_value(j, w)])))
             })
         })
     });
@@ -153,9 +153,8 @@ pub fn validity_formula(n: usize, num_values: usize) -> F {
 /// Termination: by the end of the exploration horizon every nonfaulty agent
 /// has decided.
 pub fn termination_formula(n: usize, horizon: Round) -> F {
-    let clauses = AgentId::all(n).map(move |i| {
-        F::implies(nonfaulty(i), F::atom(ConsensusAtom::Decided(i)))
-    });
+    let clauses =
+        AgentId::all(n).map(move |i| F::implies(nonfaulty(i), F::atom(ConsensusAtom::Decided(i))));
     F::all_globally(F::implies(F::atom(ConsensusAtom::TimeIs(horizon)), F::and(clauses)))
 }
 

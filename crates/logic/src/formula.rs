@@ -112,6 +112,9 @@ impl<P> Formula<P> {
     }
 
     /// Negation, with double negations collapsed.
+    // Named for symmetry with the other formula constructors; this is an
+    // associated constructor, not a method shadowing `std::ops::Not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(formula: Formula<P>) -> Self {
         match formula {
             Formula::True => Formula::False,
@@ -261,9 +264,7 @@ impl<P> Formula<P> {
             Formula::And(items) | Formula::Or(items) => {
                 1 + items.iter().map(Formula::depth).max().unwrap_or(0)
             }
-            Formula::Implies(lhs, rhs) | Formula::Iff(lhs, rhs) => {
-                1 + lhs.depth().max(rhs.depth())
-            }
+            Formula::Implies(lhs, rhs) | Formula::Iff(lhs, rhs) => 1 + lhs.depth().max(rhs.depth()),
             Formula::Knows(_, inner)
             | Formula::BelievesNonfaulty(_, inner)
             | Formula::EveryoneBelieves(inner)
@@ -317,9 +318,7 @@ impl<P> Formula<P> {
                 | Formula::EveryoneBelieves(..)
                 | Formula::CommonBelief(..) => true,
                 Formula::Not(inner) => boolean_of_knowledge(inner),
-                Formula::And(items) | Formula::Or(items) => {
-                    items.iter().all(boolean_of_knowledge)
-                }
+                Formula::And(items) | Formula::Or(items) => items.iter().all(boolean_of_knowledge),
                 Formula::Implies(lhs, rhs) | Formula::Iff(lhs, rhs) => {
                     boolean_of_knowledge(lhs) && boolean_of_knowledge(rhs)
                 }
@@ -472,7 +471,12 @@ impl<P> Formula<P> {
     ///
     /// Fresh fixpoint variables are taken starting from `fresh_var`, which
     /// must be larger than any variable already used in the formula.
-    pub fn expand_derived<F>(&self, n: usize, nonfaulty_atom: &F, fresh_var: FixpointVar) -> Formula<P>
+    pub fn expand_derived<F>(
+        &self,
+        n: usize,
+        nonfaulty_atom: &F,
+        fresh_var: FixpointVar,
+    ) -> Formula<P>
     where
         P: Clone,
         F: Fn(AgentId) -> P,
@@ -498,19 +502,13 @@ impl<P> Formula<P> {
             Formula::False => Formula::False,
             Formula::Atom(p) => Formula::Atom(p.clone()),
             Formula::Var(v) => Formula::Var(*v),
-            Formula::Not(inner) => {
-                Formula::not(inner.expand_derived(n, nonfaulty_atom, fresh_var))
+            Formula::Not(inner) => Formula::not(inner.expand_derived(n, nonfaulty_atom, fresh_var)),
+            Formula::And(items) => {
+                Formula::and(items.iter().map(|i| i.expand_derived(n, nonfaulty_atom, fresh_var)))
             }
-            Formula::And(items) => Formula::and(
-                items
-                    .iter()
-                    .map(|i| i.expand_derived(n, nonfaulty_atom, fresh_var)),
-            ),
-            Formula::Or(items) => Formula::or(
-                items
-                    .iter()
-                    .map(|i| i.expand_derived(n, nonfaulty_atom, fresh_var)),
-            ),
+            Formula::Or(items) => {
+                Formula::or(items.iter().map(|i| i.expand_derived(n, nonfaulty_atom, fresh_var)))
+            }
             Formula::Implies(lhs, rhs) => Formula::implies(
                 lhs.expand_derived(n, nonfaulty_atom, fresh_var),
                 rhs.expand_derived(n, nonfaulty_atom, fresh_var),
@@ -529,20 +527,14 @@ impl<P> Formula<P> {
                     inner.expand_derived(n, nonfaulty_atom, fresh_var),
                 ),
             ),
-            Formula::EveryoneBelieves(inner) => everyone(
-                n,
-                nonfaulty_atom,
-                inner.expand_derived(n, nonfaulty_atom, fresh_var),
-            ),
+            Formula::EveryoneBelieves(inner) => {
+                everyone(n, nonfaulty_atom, inner.expand_derived(n, nonfaulty_atom, fresh_var))
+            }
             Formula::CommonBelief(inner) => {
                 let body = inner.expand_derived(n, nonfaulty_atom, fresh_var + 1);
                 Formula::gfp(
                     fresh_var,
-                    everyone(
-                        n,
-                        nonfaulty_atom,
-                        Formula::and([Formula::var(fresh_var), body]),
-                    ),
+                    everyone(n, nonfaulty_atom, Formula::and([Formula::var(fresh_var), body])),
                 )
             }
             Formula::Gfp(v, inner) => {
@@ -587,10 +579,7 @@ mod tests {
         assert_eq!(F::or([]), F::False);
         assert_eq!(F::and([F::atom("p")]), F::atom("p"));
         let nested = F::and([F::and([F::atom("p"), F::atom("q")]), F::atom("r")]);
-        assert_eq!(
-            nested,
-            Formula::And(vec![F::atom("p"), F::atom("q"), F::atom("r")])
-        );
+        assert_eq!(nested, Formula::And(vec![F::atom("p"), F::atom("q"), F::atom("r")]));
         assert_eq!(F::and([F::atom("p"), F::False]), F::False);
         assert_eq!(F::or([F::atom("p"), F::True]), F::True);
         assert_eq!(F::and([F::True, F::True]), F::True);
@@ -630,10 +619,7 @@ mod tests {
         let a = AgentId::new(0);
         let good = F::believes_nonfaulty(a, F::common_belief(F::atom("p")));
         assert!(good.is_knowledge_condition());
-        let good2 = F::and([
-            F::knows(a, F::atom("p")),
-            F::not(F::knows(a, F::atom("q"))),
-        ]);
+        let good2 = F::and([F::knows(a, F::atom("p")), F::not(F::knows(a, F::atom("q")))]);
         assert!(good2.is_knowledge_condition());
         // A bare atom is not a knowledge condition...
         assert!(!F::atom("p").is_knowledge_condition());
@@ -684,10 +670,7 @@ mod tests {
         let a = AgentId::new(0);
         let f = F::believes_nonfaulty(a, F::atom("p"));
         let expanded = f.expand_derived(2, &|i| if i == a { "nf0" } else { "nf1" }, 0);
-        assert_eq!(
-            expanded,
-            Formula::knows(a, Formula::implies(F::atom("nf0"), F::atom("p")))
-        );
+        assert_eq!(expanded, Formula::knows(a, Formula::implies(F::atom("nf0"), F::atom("p"))));
     }
 
     #[test]
@@ -710,10 +693,7 @@ mod tests {
     #[test]
     fn ax_pow_repeats_operator() {
         let f = F::all_next_pow(3, F::atom("p"));
-        assert_eq!(
-            f,
-            F::all_next(F::all_next(F::all_next(F::atom("p"))))
-        );
+        assert_eq!(f, F::all_next(F::all_next(F::all_next(F::atom("p")))));
         assert_eq!(F::all_next_pow(0, F::atom("p")), F::atom("p"));
     }
 

@@ -72,12 +72,8 @@ pub fn parse_formula<P, F>(input: &str, resolve_atom: F) -> Result<Formula<P>, P
 where
     F: FnMut(&str) -> Result<P, String>,
 {
-    let mut parser = Parser {
-        input,
-        pos: 0,
-        resolve: resolve_atom,
-        _marker: std::marker::PhantomData,
-    };
+    let mut parser =
+        Parser { input, pos: 0, resolve: resolve_atom, _marker: std::marker::PhantomData };
     let formula = parser.parse_iff()?;
     parser.skip_ws();
     if parser.pos != parser.input.len() {
@@ -91,10 +87,7 @@ where
     F: FnMut(&str) -> Result<P, String>,
 {
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            position: self.pos,
-            message: message.into(),
-        }
+        ParseError { position: self.pos, message: message.into() }
     }
 
     fn rest(&self) -> &'a str {
@@ -102,13 +95,7 @@ where
     }
 
     fn skip_ws(&mut self) {
-        while self
-            .rest()
-            .chars()
-            .next()
-            .map(char::is_whitespace)
-            .unwrap_or(false)
-        {
+        while self.rest().chars().next().map(char::is_whitespace).unwrap_or(false) {
             self.pos += self.rest().chars().next().map(char::len_utf8).unwrap_or(0);
         }
     }
@@ -144,9 +131,7 @@ where
             return Err(self.error("expected a number"));
         }
         self.pos += digits.len();
-        digits
-            .parse()
-            .map_err(|_| self.error("number out of range"))
+        digits.parse().map_err(|_| self.error("number out of range"))
     }
 
     fn parse_iff(&mut self) -> Result<Formula<P>, ParseError> {
@@ -173,11 +158,7 @@ where
         while self.eat("\\/") {
             items.push(self.parse_and()?);
         }
-        Ok(if items.len() == 1 {
-            items.pop().expect("nonempty")
-        } else {
-            Formula::or(items)
-        })
+        Ok(if items.len() == 1 { items.pop().expect("nonempty") } else { Formula::or(items) })
     }
 
     fn parse_and(&mut self) -> Result<Formula<P>, ParseError> {
@@ -185,11 +166,7 @@ where
         while self.eat("/\\") {
             items.push(self.parse_unary()?);
         }
-        Ok(if items.len() == 1 {
-            items.pop().expect("nonempty")
-        } else {
-            Formula::and(items)
-        })
+        Ok(if items.len() == 1 { items.pop().expect("nonempty") } else { Formula::and(items) })
     }
 
     fn parse_unary(&mut self) -> Result<Formula<P>, ParseError> {
@@ -216,10 +193,7 @@ where
             if !self.eat("]") {
                 return Err(self.error("expected ']' after agent index"));
             }
-            return Ok(Formula::believes_nonfaulty(
-                AgentId::new(agent),
-                self.parse_unary()?,
-            ));
+            return Ok(Formula::believes_nonfaulty(AgentId::new(agent), self.parse_unary()?));
         }
         if self.eat_keyword("EB") {
             return Ok(Formula::everyone_believes(self.parse_unary()?));
@@ -271,11 +245,7 @@ where
             return Err(self.error("expected '.' after fixpoint variable"));
         }
         let body = self.parse_unary()?;
-        Ok(if greatest {
-            Formula::gfp(v, body)
-        } else {
-            Formula::lfp(v, body)
-        })
+        Ok(if greatest { Formula::gfp(v, body) } else { Formula::lfp(v, body) })
     }
 
     fn parse_atom(&mut self) -> Result<Formula<P>, ParseError> {

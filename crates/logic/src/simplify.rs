@@ -263,9 +263,7 @@ impl<P: Clone + PartialEq> Formula<P> {
                 Formula::And(items) | Formula::Or(items) => items
                     .iter()
                     .fold(Polarity::Absent, |acc, item| acc.join(go(item, var, positive))),
-                Formula::Implies(lhs, rhs) => {
-                    go(lhs, var, !positive).join(go(rhs, var, positive))
-                }
+                Formula::Implies(lhs, rhs) => go(lhs, var, !positive).join(go(rhs, var, positive)),
                 Formula::Iff(lhs, rhs) => {
                     // Both sides occur under both polarities.
                     let l = go(lhs, var, positive).join(go(lhs, var, !positive));

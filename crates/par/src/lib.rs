@@ -1,0 +1,134 @@
+//! Scoped-thread data parallelism for the `epimc` workspace.
+//!
+//! The hot loops of the workspace — frontier expansion in
+//! `epimc_system::StateSpace` and observation grouping in the explicit model
+//! checker — are embarrassingly parallel over the states of a layer. This
+//! crate provides the small fork-join surface they need, built on
+//! `std::thread::scope` so it works without any external dependency (the
+//! API mirrors the corresponding `rayon` idioms; swapping rayon in later is
+//! a local change to this crate only).
+//!
+//! Work is split into one contiguous chunk per worker. That coarse split is
+//! deliberate: callers merge per-worker results at a layer barrier, so
+//! chunk-granular results are exactly what they consume, and it keeps
+//! per-item overhead at zero. Deterministic output is preserved because
+//! results are returned in input order regardless of worker scheduling.
+//!
+//! The worker count defaults to the available hardware parallelism and can
+//! be pinned with the `EPIMC_THREADS` environment variable (`EPIMC_THREADS=1`
+//! forces fully sequential execution, which is useful for bit-for-bit
+//! comparisons against the parallel path).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// The default worker count for [`parallel_chunks`] callers: the value of
+/// the `EPIMC_THREADS` environment variable if set, otherwise the available
+/// hardware parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(value) = std::env::var("EPIMC_THREADS") {
+        if let Ok(parsed) = value.trim().parse::<usize>() {
+            return parsed.max(1);
+        }
+    }
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Splits `0..len` into at most `workers` contiguous, near-equal ranges.
+/// Returns no empty ranges; fewer ranges than `workers` when `len` is small.
+pub fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, len);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for worker in 0..workers {
+        let size = base + usize::from(worker < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Runs `work` once per contiguous chunk of `0..len`, in parallel over
+/// `threads` workers, and returns the chunk results in input order.
+///
+/// `work` receives the index range of its chunk. With one worker (or one
+/// chunk) everything runs on the calling thread — no pool, no channels —
+/// which makes the sequential mode genuinely identical to a plain loop.
+pub fn parallel_chunks<R, F>(len: usize, threads: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(len, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(work).collect();
+    }
+    thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let work = &work;
+                scope.spawn(move || work(range))
+            })
+            .collect();
+        handles.into_iter().map(|handle| handle.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_without_gaps() {
+        for len in [0usize, 1, 2, 7, 16, 100] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, workers);
+                let mut expected_start = 0;
+                for range in &ranges {
+                    assert_eq!(range.start, expected_start);
+                    assert!(!range.is_empty());
+                    expected_start = range.end;
+                }
+                assert_eq!(expected_start, len);
+                assert!(ranges.len() <= workers.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_preserves_order() {
+        let doubled: Vec<usize> =
+            parallel_chunks(1000, 8, |range| range.map(|x| x * 2).collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_chunks_matches_sequential() {
+        let sums_par = parallel_chunks(97, 4, |range| range.sum::<usize>());
+        let sums_seq = parallel_chunks(97, 1, |range| range.sum::<usize>());
+        assert_eq!(sums_par.iter().sum::<usize>(), sums_seq.iter().sum::<usize>());
+        assert_eq!(sums_seq.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let results: Vec<()> = parallel_chunks(0, 8, |_range| unreachable!("no chunks expected"));
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -92,9 +92,7 @@ impl fmt::Display for ValueSet {
 /// Encodes the membership bits of a value set as one boolean observable per
 /// value of the domain, in value order.
 pub(crate) fn value_set_observation(set: ValueSet, num_values: usize) -> Vec<u32> {
-    Value::all(num_values)
-        .map(|v| u32::from(set.contains(v)))
-        .collect()
+    Value::all(num_values).map(|v| u32::from(set.contains(v))).collect()
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use epimc_logic::AgentId;
 use epimc_system::{
-    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Action, DecisionRule, InformationExchange, ModelParams, ObservableVar, Observation, Received,
     Round, Value,
 };
 
@@ -45,11 +45,13 @@ impl InformationExchange for CountFloodSet {
         "count-floodset"
     }
 
-    fn initial_local_state(&self, params: &ModelParams, _agent: AgentId, init: Value) -> CountState {
-        CountState {
-            seen: ValueSet::singleton(init),
-            count: params.num_agents() as u8,
-        }
+    fn initial_local_state(
+        &self,
+        params: &ModelParams,
+        _agent: AgentId,
+        init: Value,
+    ) -> CountState {
+        CountState { seen: ValueSet::singleton(init), count: params.num_agents() as u8 }
     }
 
     fn message(
@@ -74,7 +76,12 @@ impl InformationExchange for CountFloodSet {
         CountState { seen, count: received.count() as u8 }
     }
 
-    fn observation(&self, params: &ModelParams, _agent: AgentId, state: &CountState) -> Observation {
+    fn observation(
+        &self,
+        params: &ModelParams,
+        _agent: AgentId,
+        state: &CountState,
+    ) -> Observation {
         let mut values = value_set_observation(state.seen, params.num_values());
         values.push(u32::from(state.count));
         Observation::new(values)
@@ -206,7 +213,8 @@ mod tests {
     fn failure_free_runs_use_the_fallback_time() {
         let p = params(4, 2);
         let inits = vec![Value::ONE, Value::ZERO, Value::ONE, Value::ONE];
-        let run = simulate_run(&CountFloodSet, &p, &CountOptimalRule, &inits, &Adversary::failure_free());
+        let run =
+            simulate_run(&CountFloodSet, &p, &CountOptimalRule, &inits, &Adversary::failure_free());
         for agent in AgentId::all(4) {
             let decision = run.decision(agent).unwrap();
             assert_eq!(decision.round, condition3_fallback_time(4, 2)); // t + 1 = 3
@@ -225,7 +233,8 @@ mod tests {
     fn textbook_rule_also_works_for_count_exchange() {
         let p = params(3, 1);
         let inits = vec![Value::ONE, Value::ONE, Value::ZERO];
-        let run = simulate_run(&CountFloodSet, &p, &TextbookRule, &inits, &Adversary::failure_free());
+        let run =
+            simulate_run(&CountFloodSet, &p, &TextbookRule, &inits, &Adversary::failure_free());
         for agent in AgentId::all(3) {
             assert_eq!(run.decision(agent).unwrap().round, 2);
         }

@@ -10,7 +10,7 @@
 
 use epimc_logic::AgentId;
 use epimc_system::{
-    Action, InformationExchange, ModelParams, Observation, ObservableVar, Received, Value,
+    Action, InformationExchange, ModelParams, ObservableVar, Observation, Received, Value,
 };
 
 use crate::common::{value_set_observation, ValueSet};
@@ -79,11 +79,7 @@ impl InformationExchange for DiffFloodSet {
         received: &Received<ValueSet>,
     ) -> DiffState {
         let seen = received.iter().fold(state.seen, |acc, (_, set)| acc.union(*set));
-        DiffState {
-            seen,
-            count: received.count() as u8,
-            prev_count: state.count,
-        }
+        DiffState { seen, count: received.count() as u8, prev_count: state.count }
     }
 
     fn observation(&self, params: &ModelParams, _agent: AgentId, state: &DiffState) -> Observation {
@@ -123,9 +119,12 @@ mod tests {
                 RoundFailures::default(),
                 RoundFailures {
                     crashing: AgentSet::singleton(AgentId::new(2)),
-                    dropped: [(AgentId::new(2), AgentId::new(0)), (AgentId::new(2), AgentId::new(1))]
-                        .into_iter()
-                        .collect(),
+                    dropped: [
+                        (AgentId::new(2), AgentId::new(0)),
+                        (AgentId::new(2), AgentId::new(1)),
+                    ]
+                    .into_iter()
+                    .collect(),
                 },
             ],
         };

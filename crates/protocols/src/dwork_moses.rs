@@ -15,7 +15,7 @@
 
 use epimc_logic::{AgentId, AgentSet};
 use epimc_system::{
-    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Action, DecisionRule, InformationExchange, ModelParams, ObservableVar, Observation, Received,
     Round, Value,
 };
 
@@ -138,10 +138,7 @@ impl InformationExchange for DworkMoses {
         let known_by_previous_round = state.faulty_known.union(reported);
         let excess_previous = known_by_previous_round.len() as i64 - (round_just_finished - 1);
         let excess_current = all_known.len() as i64 - round_just_finished;
-        let waste = state
-            .waste
-            .max(excess_previous.max(0) as u8)
-            .max(excess_current.max(0) as u8);
+        let waste = state.waste.max(excess_previous.max(0) as u8).max(excess_current.max(0) as u8);
         DworkMosesState {
             faulty_known: all_known,
             newly_faulty,
@@ -198,7 +195,7 @@ impl DecisionRule<DworkMoses> for DworkMosesRule {
         state: &DworkMosesState,
     ) -> Action {
         let t = params.max_faulty() as Round;
-        if time >= 1 && time + Round::from(state.waste) >= t + 1 {
+        if time >= 1 && time + Round::from(state.waste) > t {
             let value = if state.exists0 { Value::ZERO } else { Value::ONE };
             Action::Decide(value)
         } else {
@@ -221,7 +218,8 @@ mod tests {
     fn failure_free_run_decides_at_t_plus_one() {
         let p = params(3, 1);
         let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
-        let run = simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &Adversary::failure_free());
+        let run =
+            simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &Adversary::failure_free());
         for agent in AgentId::all(3) {
             let decision = run.decision(agent).expect("every agent decides");
             assert_eq!(decision.round, 2, "no waste means deciding at t + 1");
@@ -237,7 +235,8 @@ mod tests {
     fn all_ones_decides_one() {
         let p = params(3, 1);
         let inits = vec![Value::ONE, Value::ONE, Value::ONE];
-        let run = simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &Adversary::failure_free());
+        let run =
+            simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &Adversary::failure_free());
         for agent in AgentId::all(3) {
             assert_eq!(run.decision(agent).unwrap().value, Value::ONE);
         }
@@ -259,10 +258,8 @@ mod tests {
                 }
             }
         }
-        let adversary = Adversary {
-            faulty,
-            rounds: vec![RoundFailures { crashing: faulty, dropped }],
-        };
+        let adversary =
+            Adversary { faulty, rounds: vec![RoundFailures { crashing: faulty, dropped }] };
         let inits = vec![Value::ONE, Value::ONE, Value::ZERO, Value::ONE];
         let run = simulate_run(&DworkMoses, &p, &DworkMosesRule, &inits, &adversary);
         for agent in [AgentId::new(0), AgentId::new(1)] {

@@ -10,7 +10,7 @@
 
 use epimc_logic::AgentId;
 use epimc_system::{
-    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Action, DecisionRule, InformationExchange, ModelParams, ObservableVar, Observation, Received,
     Round, Value,
 };
 
@@ -48,7 +48,12 @@ impl InformationExchange for EBasic {
         "e-basic"
     }
 
-    fn initial_local_state(&self, params: &ModelParams, _agent: AgentId, init: Value) -> EBasicState {
+    fn initial_local_state(
+        &self,
+        params: &ModelParams,
+        _agent: AgentId,
+        init: Value,
+    ) -> EBasicState {
         assert_eq!(params.num_values(), 2, "E_basic is defined for the binary decision domain");
         EBasicState { init, decided: false, just_decided: None, num1: 0 }
     }
@@ -90,10 +95,8 @@ impl InformationExchange for EBasic {
         } else {
             None
         };
-        let num1 = received
-            .iter()
-            .filter(|(_, m)| matches!(m, EBasicMessage::InitOne))
-            .count() as u8;
+        let num1 =
+            received.iter().filter(|(_, m)| matches!(m, EBasicMessage::InitOne)).count() as u8;
         EBasicState {
             init: state.init,
             decided: state.decided || action.is_decide(),
@@ -102,7 +105,12 @@ impl InformationExchange for EBasic {
         }
     }
 
-    fn observation(&self, _params: &ModelParams, _agent: AgentId, state: &EBasicState) -> Observation {
+    fn observation(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &EBasicState,
+    ) -> Observation {
         Observation::new(vec![
             state.init.index() as u32,
             u32::from(state.decided),
@@ -146,7 +154,9 @@ impl DecisionRule<EBasic> for EBasicRule {
     ) -> Action {
         let n = params.num_agents() as Round;
         let deadline = params.max_faulty() as Round + 1;
-        if time <= deadline && (state.init == Value::ZERO || state.just_decided == Some(Value::ZERO)) {
+        if time <= deadline
+            && (state.init == Value::ZERO || state.just_decided == Some(Value::ZERO))
+        {
             return Action::Decide(Value::ZERO);
         }
         let early_one = time > 0 && Round::from(state.num1) > n.saturating_sub(time);
@@ -243,7 +253,8 @@ mod tests {
         let p = params(2, 1);
         let state = EBasicState { init: Value::ONE, decided: true, just_decided: None, num1: 0 };
         assert_eq!(EBasic.message(&p, AgentId::new(0), &state, Action::Noop), None);
-        let undecided = EBasicState { init: Value::ONE, decided: false, just_decided: None, num1: 0 };
+        let undecided =
+            EBasicState { init: Value::ONE, decided: false, just_decided: None, num1: 0 };
         assert_eq!(
             EBasic.message(&p, AgentId::new(0), &undecided, Action::Noop),
             Some(EBasicMessage::InitOne)

@@ -11,7 +11,7 @@
 
 use epimc_logic::AgentId;
 use epimc_system::{
-    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Action, DecisionRule, InformationExchange, ModelParams, ObservableVar, Observation, Received,
     Round, Value,
 };
 
@@ -71,14 +71,15 @@ impl InformationExchange for EMin {
         } else {
             None
         };
-        EMinState {
-            init: state.init,
-            decided: state.decided || action.is_decide(),
-            just_decided,
-        }
+        EMinState { init: state.init, decided: state.decided || action.is_decide(), just_decided }
     }
 
-    fn observation(&self, _params: &ModelParams, _agent: AgentId, state: &EMinState) -> Observation {
+    fn observation(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        state: &EMinState,
+    ) -> Observation {
         Observation::new(vec![
             state.init.index() as u32,
             u32::from(state.decided),
@@ -118,10 +119,10 @@ impl DecisionRule<EMin> for EMinRule {
         state: &EMinState,
     ) -> Action {
         let deadline = params.max_faulty() as Round + 1;
-        if state.init == Value::ZERO || state.just_decided == Some(Value::ZERO) {
-            if time <= deadline {
-                return Action::Decide(Value::ZERO);
-            }
+        if (state.init == Value::ZERO || state.just_decided == Some(Value::ZERO))
+            && time <= deadline
+        {
+            return Action::Decide(Value::ZERO);
         }
         if time == deadline {
             return Action::Decide(Value::ONE);
@@ -195,7 +196,7 @@ mod tests {
         assert_eq!(d2.round, 1);
         assert_eq!(d1.value, Value::ZERO);
         assert_eq!(d1.round, 2); // t + 1 = 2, deciding 0 (jd arrived just in time)
-        // Eventual (not simultaneous) agreement: values agree, times differ.
+                                 // Eventual (not simultaneous) agreement: values agree, times differ.
         assert_ne!(run.decision(AgentId::new(0)).unwrap().round, d1.round);
     }
 
@@ -204,7 +205,13 @@ mod tests {
         let p = params(2, 1);
         let state = EMinState { init: Value::ONE, decided: false, just_decided: Some(Value::ZERO) };
         // No message received this round: jd resets to ⊥.
-        let updated = EMin.update(&p, AgentId::new(0), &state, Action::Noop, &Received::new(vec![None, None]));
+        let updated = EMin.update(
+            &p,
+            AgentId::new(0),
+            &state,
+            Action::Noop,
+            &Received::new(vec![None, None]),
+        );
         assert_eq!(updated.just_decided, None);
         // Zero takes priority over one.
         let updated = EMin.update(

@@ -10,7 +10,7 @@
 
 use epimc_logic::AgentId;
 use epimc_system::{
-    Action, DecisionRule, InformationExchange, ModelParams, Observation, ObservableVar, Received,
+    Action, DecisionRule, InformationExchange, ModelParams, ObservableVar, Observation, Received,
     Round, Value,
 };
 
@@ -42,7 +42,12 @@ impl InformationExchange for FloodSet {
         "floodset"
     }
 
-    fn initial_local_state(&self, _params: &ModelParams, _agent: AgentId, init: Value) -> FloodState {
+    fn initial_local_state(
+        &self,
+        _params: &ModelParams,
+        _agent: AgentId,
+        init: Value,
+    ) -> FloodState {
         FloodState { seen: ValueSet::singleton(init) }
     }
 
@@ -68,7 +73,12 @@ impl InformationExchange for FloodSet {
         FloodState { seen }
     }
 
-    fn observation(&self, params: &ModelParams, _agent: AgentId, state: &FloodState) -> Observation {
+    fn observation(
+        &self,
+        params: &ModelParams,
+        _agent: AgentId,
+        state: &FloodState,
+    ) -> Observation {
         Observation::new(value_set_observation(state.seen, params.num_values()))
     }
 
@@ -229,7 +239,8 @@ mod tests {
     fn optimal_rule_decides_earlier_when_t_is_large() {
         let p = params(3, 2);
         let inits = vec![Value::ONE, Value::ONE, Value::ZERO];
-        let run = simulate_run(&FloodSet, &p, &OptimalFloodSetRule, &inits, &Adversary::failure_free());
+        let run =
+            simulate_run(&FloodSet, &p, &OptimalFloodSetRule, &inits, &Adversary::failure_free());
         for agent in AgentId::all(3) {
             let decision = run.decision(agent).expect("every agent decides");
             assert_eq!(decision.round, 2); // n - 1 = 2 instead of t + 1 = 3

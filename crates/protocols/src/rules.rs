@@ -90,8 +90,10 @@ mod tests {
     fn textbook_rule_matches_decide_at_t_plus_one() {
         let params = ModelParams::builder().agents(3).max_faulty(2).values(2).build();
         let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
-        let textbook = simulate_run(&FloodSet, &params, &TextbookRule, &inits, &Adversary::failure_free());
-        let fixed = simulate_run(&FloodSet, &params, &DecideAtRound(3), &inits, &Adversary::failure_free());
+        let textbook =
+            simulate_run(&FloodSet, &params, &TextbookRule, &inits, &Adversary::failure_free());
+        let fixed =
+            simulate_run(&FloodSet, &params, &DecideAtRound(3), &inits, &Adversary::failure_free());
         for agent in AgentId::all(3) {
             assert_eq!(textbook.decision(agent), fixed.decision(agent));
             assert_eq!(textbook.decision(agent).unwrap().round, 3);
@@ -102,7 +104,8 @@ mod tests {
     fn decide_at_round_zero_uses_own_value_only() {
         let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
         let inits = vec![Value::ONE, Value::ZERO];
-        let run = simulate_run(&FloodSet, &params, &DecideAtRound(0), &inits, &Adversary::failure_free());
+        let run =
+            simulate_run(&FloodSet, &params, &DecideAtRound(0), &inits, &Adversary::failure_free());
         // Deciding before any exchange violates agreement: each agent decides
         // its own initial value.
         assert_eq!(run.decision(AgentId::new(0)).unwrap().value, Value::ONE);

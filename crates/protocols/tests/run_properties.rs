@@ -1,32 +1,27 @@
-//! Property-based failure-injection tests: every protocol is executed
-//! against randomly sampled adversaries and initial values, and the
-//! per-run invariants of its specification (and of its internal state) are
-//! checked directly on the simulated runs.
+//! Randomised failure-injection tests: every protocol is executed against
+//! seeded randomly sampled adversaries and initial values, and the per-run
+//! invariants of its specification (and of its internal state) are checked
+//! directly on the simulated runs.
+//!
+//! Each test draws `CASES` samples from a fixed seed, so failures reproduce
+//! exactly; the failing adversary and initial values are printed by the
+//! assertion context.
 
 use epimc_logic::AgentId;
 use epimc_protocols::*;
 use epimc_system::run::{simulate_run, Adversary, Run};
-use epimc_system::{
-    DecisionRule, FailureKind, InformationExchange, ModelParams, Value,
-};
-use proptest::prelude::*;
+use epimc_system::{DecisionRule, FailureKind, InformationExchange, ModelParams, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 128;
 
 fn params(n: usize, t: usize, kind: FailureKind) -> ModelParams {
     ModelParams::builder().agents(n).max_faulty(t).values(2).failure(kind).build()
 }
 
-fn arb_inits(n: usize) -> impl Strategy<Value = Vec<Value>> {
-    proptest::collection::vec((0..2usize).prop_map(Value::new), n)
-}
-
-/// Adversaries are sampled through `Adversary::random`, driven by a seed so
-/// that proptest can shrink failures.
-fn arb_adversary(params: ModelParams) -> impl Strategy<Value = Adversary> {
-    any::<u64>().prop_map(move |seed| {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(seed);
-        Adversary::random(&params, &mut rng)
-    })
+fn random_inits(rng: &mut StdRng, n: usize) -> Vec<Value> {
+    (0..n).map(|_| Value::new(rng.gen_range(0..2usize))).collect()
 }
 
 /// Checks the per-run consensus requirements for a simulated run.
@@ -61,102 +56,89 @@ fn check_run_invariants<E: InformationExchange>(
     }
 }
 
-fn simulate<E, R>(
-    exchange: E,
-    rule: R,
-    params: ModelParams,
-    inits: &[Value],
-    adversary: &Adversary,
-) -> Run<E>
+/// Runs `check` against `CASES` seeded random (inits, adversary) samples.
+fn for_random_runs<E, R, F>(exchange: E, rule: R, p: ModelParams, seed: u64, check: F)
 where
     E: InformationExchange,
     R: DecisionRule<E>,
+    F: Fn(&Run<E>, &[Value]),
 {
-    simulate_run(&exchange, &params, &rule, inits, adversary)
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let inits = random_inits(&mut rng, p.num_agents());
+        let adversary = Adversary::random(&p, &mut rng);
+        let run = simulate_run(&exchange, &p, &rule, &inits, &adversary);
+        let context = format!("case {case}: inits {inits:?}, adversary {adversary:?}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&run, &inits)));
+        if let Err(panic) = result {
+            eprintln!("failing sample — {context}");
+            std::panic::resume_unwind(panic);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn floodset_runs_satisfy_sba() {
+    let p = params(4, 2, FailureKind::Crash);
+    for_random_runs(FloodSet, FloodSetRule, p, 0xF100D, |run, inits| {
+        check_run_invariants(run, &p, inits, true)
+    });
+}
 
-    #[test]
-    fn floodset_runs_satisfy_sba(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 2, FailureKind::Crash)),
-    ) {
-        let p = params(4, 2, FailureKind::Crash);
-        let run = simulate(FloodSet, FloodSetRule, p, &inits, &adversary);
-        check_run_invariants(&run, &p, &inits, true);
-    }
+#[test]
+fn optimised_floodset_runs_satisfy_sba() {
+    let p = params(4, 3, FailureKind::Crash);
+    for_random_runs(FloodSet, OptimalFloodSetRule, p, 0xF100D + 1, |run, inits| {
+        check_run_invariants(run, &p, inits, true)
+    });
+}
 
-    #[test]
-    fn optimised_floodset_runs_satisfy_sba(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 3, FailureKind::Crash)),
-    ) {
-        let p = params(4, 3, FailureKind::Crash);
-        let run = simulate(FloodSet, OptimalFloodSetRule, p, &inits, &adversary);
-        check_run_invariants(&run, &p, &inits, true);
-    }
+#[test]
+fn count_optimal_runs_satisfy_sba() {
+    let p = params(4, 4, FailureKind::Crash);
+    for_random_runs(CountFloodSet, CountOptimalRule, p, 0xC0117, |run, inits| {
+        check_run_invariants(run, &p, inits, true)
+    });
+}
 
-    #[test]
-    fn count_optimal_runs_satisfy_sba(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 4, FailureKind::Crash)),
-    ) {
-        let p = params(4, 4, FailureKind::Crash);
-        let run = simulate(CountFloodSet, CountOptimalRule, p, &inits, &adversary);
-        check_run_invariants(&run, &p, &inits, true);
-    }
+#[test]
+fn dwork_moses_runs_satisfy_sba() {
+    let p = params(4, 2, FailureKind::Crash);
+    for_random_runs(DworkMoses, DworkMosesRule, p, 0xD11, |run, inits| {
+        check_run_invariants(run, &p, inits, true)
+    });
+}
 
-    #[test]
-    fn dwork_moses_runs_satisfy_sba(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 2, FailureKind::Crash)),
-    ) {
-        let p = params(4, 2, FailureKind::Crash);
-        let run = simulate(DworkMoses, DworkMosesRule, p, &inits, &adversary);
-        check_run_invariants(&run, &p, &inits, true);
-    }
+#[test]
+fn emin_runs_satisfy_eba() {
+    let p = params(4, 2, FailureKind::SendOmission);
+    for_random_runs(EMin, EMinRule, p, 0xE1111, |run, inits| {
+        check_run_invariants(run, &p, inits, false)
+    });
+}
 
-    #[test]
-    fn emin_runs_satisfy_eba(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 2, FailureKind::SendOmission)),
-    ) {
-        let p = params(4, 2, FailureKind::SendOmission);
-        let run = simulate(EMin, EMinRule, p, &inits, &adversary);
-        check_run_invariants(&run, &p, &inits, false);
-    }
+#[test]
+fn ebasic_runs_satisfy_eba() {
+    let p = params(4, 2, FailureKind::SendOmission);
+    for_random_runs(EBasic, EBasicRule, p, 0xEBA51C, |run, inits| {
+        check_run_invariants(run, &p, inits, false)
+    });
+}
 
-    #[test]
-    fn ebasic_runs_satisfy_eba(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 2, FailureKind::SendOmission)),
-    ) {
-        let p = params(4, 2, FailureKind::SendOmission);
-        let run = simulate(EBasic, EBasicRule, p, &inits, &adversary);
-        check_run_invariants(&run, &p, &inits, false);
-    }
+#[test]
+fn ebasic_runs_satisfy_eba_under_general_omissions() {
+    let p = params(3, 1, FailureKind::GeneralOmission);
+    for_random_runs(EBasic, EBasicRule, p, 0xEBA51C + 1, |run, inits| {
+        check_run_invariants(run, &p, inits, false)
+    });
+}
 
-    #[test]
-    fn ebasic_runs_satisfy_eba_under_general_omissions(
-        inits in arb_inits(3),
-        adversary in arb_adversary(params(3, 1, FailureKind::GeneralOmission)),
-    ) {
-        let p = params(3, 1, FailureKind::GeneralOmission);
-        let run = simulate(EBasic, EBasicRule, p, &inits, &adversary);
-        check_run_invariants(&run, &p, &inits, false);
-    }
-
-    #[test]
-    fn floodset_seen_sets_grow_monotonically(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 2, FailureKind::Crash)),
-    ) {
-        let p = params(4, 2, FailureKind::Crash);
-        let run = simulate(FloodSet, FloodSetRule, p, &inits, &adversary);
+#[test]
+fn floodset_seen_sets_grow_monotonically() {
+    let p = params(4, 2, FailureKind::Crash);
+    for_random_runs(FloodSet, FloodSetRule, p, 0x5EE, |run, inits| {
         for agent in AgentId::all(4) {
-            let mut previous = epimc_protocols::ValueSet::EMPTY;
+            let mut previous = ValueSet::EMPTY;
             for time in 0..run.states.len() {
                 let seen = run.states[time].local(agent).seen;
                 assert!(previous.union(seen) == seen, "seen set shrank for {agent}");
@@ -167,15 +149,13 @@ proptest! {
                 previous = seen;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn count_is_always_between_one_and_n_after_round_one(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 3, FailureKind::Crash)),
-    ) {
-        let p = params(4, 3, FailureKind::Crash);
-        let run = simulate(CountFloodSet, CountOptimalRule, p, &inits, &adversary);
+#[test]
+fn count_is_always_between_one_and_n_after_round_one() {
+    let p = params(4, 3, FailureKind::Crash);
+    for_random_runs(CountFloodSet, CountOptimalRule, p, 0xC0117 + 1, |run, _inits| {
         for agent in AgentId::all(4) {
             for time in 1..run.states.len() {
                 let state = run.states[time].local(agent);
@@ -185,15 +165,13 @@ proptest! {
                 assert!(state.count <= 4);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn diff_previous_count_tracks_last_round(
-        inits in arb_inits(3),
-        adversary in arb_adversary(params(3, 2, FailureKind::Crash)),
-    ) {
-        let p = params(3, 2, FailureKind::Crash);
-        let run = simulate(DiffFloodSet, epimc_system::NeverDecide, p, &inits, &adversary);
+#[test]
+fn diff_previous_count_tracks_last_round() {
+    let p = params(3, 2, FailureKind::Crash);
+    for_random_runs(DiffFloodSet, epimc_system::NeverDecide, p, 0xD1FF, |run, _inits| {
         for agent in AgentId::all(3) {
             for time in 1..run.states.len() {
                 if run.states[time].env.has_crashed(agent) {
@@ -204,15 +182,13 @@ proptest! {
                 assert_eq!(now.prev_count, before.count, "prev_count must lag count by one round");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dwork_moses_waste_is_monotone_and_bounded(
-        inits in arb_inits(4),
-        adversary in arb_adversary(params(4, 3, FailureKind::Crash)),
-    ) {
-        let p = params(4, 3, FailureKind::Crash);
-        let run = simulate(DworkMoses, DworkMosesRule, p, &inits, &adversary);
+#[test]
+fn dwork_moses_waste_is_monotone_and_bounded() {
+    let p = params(4, 3, FailureKind::Crash);
+    for_random_runs(DworkMoses, DworkMosesRule, p, 0xD11 + 1, |run, _inits| {
         for agent in AgentId::all(4) {
             let mut previous_waste = 0u8;
             for time in 0..run.states.len() {
@@ -223,11 +199,9 @@ proptest! {
                 assert!(state.waste >= previous_waste, "waste must be monotone");
                 assert!(usize::from(state.waste) <= p.max_faulty(), "waste cannot exceed t");
                 // Known-faulty agents are genuinely faulty.
-                assert!(state
-                    .faulty_known
-                    .is_subset(run.states[time].env.faulty));
+                assert!(state.faulty_known.is_subset(run.states[time].env.faulty));
                 previous_waste = state.waste;
             }
         }
-    }
+    });
 }

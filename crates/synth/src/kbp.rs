@@ -3,6 +3,10 @@
 use epimc_logic::{AgentId, Formula};
 use epimc_system::{Action, ConsensusAtom, ModelParams, Value};
 
+/// A branch-condition builder: produces the knowledge condition of a branch
+/// for a given agent and model parameters.
+pub type ConditionFn = Box<dyn Fn(AgentId, &ModelParams) -> Formula<ConsensusAtom> + Send + Sync>;
+
 /// One guarded branch of a knowledge-based program: when the knowledge
 /// condition holds (and no earlier branch fired), the agent performs the
 /// action.
@@ -14,7 +18,7 @@ pub struct KbpBranch {
     /// The condition must be a boolean combination of knowledge formulas and
     /// locally-observable atoms (the requirement MCK places on template
     /// variables).
-    pub condition: Box<dyn Fn(AgentId, &ModelParams) -> Formula<ConsensusAtom> + Send + Sync>,
+    pub condition: ConditionFn,
     /// The action performed when the condition holds.
     pub action: Action,
 }
@@ -68,10 +72,10 @@ impl KnowledgeBasedProgram {
                     format!("sba-decide-{value}"),
                     Action::Decide(value),
                     move |agent, params| {
-                        let exists_v = Formula::or(
-                            (0..params.num_agents())
-                                .map(|j| Formula::atom(ConsensusAtom::InitIs(AgentId::new(j), value))),
-                        );
+                        let exists_v =
+                            Formula::or((0..params.num_agents()).map(|j| {
+                                Formula::atom(ConsensusAtom::InitIs(AgentId::new(j), value))
+                            }));
                         Formula::believes_nonfaulty(agent, Formula::common_belief(exists_v))
                     },
                 )
@@ -87,21 +91,16 @@ impl KnowledgeBasedProgram {
     /// * otherwise decide 1 when the agent knows that no agent is deciding 0
     ///   in the current round.
     pub fn eba_p0() -> Self {
-        let decide_zero = KbpBranch::new(
-            "eba-decide-0",
-            Action::Decide(Value::ZERO),
-            |agent, params| {
+        let decide_zero =
+            KbpBranch::new("eba-decide-0", Action::Decide(Value::ZERO), |agent, params| {
                 let own_zero = Formula::atom(ConsensusAtom::InitIs(agent, Value::ZERO));
                 let someone_decided_zero = Formula::or((0..params.num_agents()).map(|j| {
                     Formula::atom(ConsensusAtom::DecidedValue(AgentId::new(j), Value::ZERO))
                 }));
                 Formula::or([own_zero, Formula::knows(agent, someone_decided_zero)])
-            },
-        );
-        let decide_one = KbpBranch::new(
-            "eba-decide-1",
-            Action::Decide(Value::ONE),
-            |agent, params| {
+            });
+        let decide_one =
+            KbpBranch::new("eba-decide-1", Action::Decide(Value::ONE), |agent, params| {
                 let nobody_deciding_zero = Formula::and((0..params.num_agents()).map(|j| {
                     Formula::not(Formula::atom(ConsensusAtom::DecidesNow(
                         AgentId::new(j),
@@ -109,8 +108,7 @@ impl KnowledgeBasedProgram {
                     )))
                 }));
                 Formula::knows(agent, nobody_deciding_zero)
-            },
-        );
+            });
         KnowledgeBasedProgram {
             name: "EBA-P0".to_string(),
             branches: vec![decide_zero, decide_one],

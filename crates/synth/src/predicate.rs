@@ -10,7 +10,7 @@
 use std::fmt;
 
 use epimc_bdd::{Bdd, Ref, Var};
-use epimc_system::{Observation, ObservableVar};
+use epimc_system::{ObservableVar, Observation};
 
 /// A literal of a predicate cube: an observable variable compared to a value.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -205,10 +205,7 @@ pub fn simplify_observations(
         let subsumed = cubes.iter().any(|other| {
             other != cube
                 && other.len() < cube.len()
-                && other
-                    .literals()
-                    .iter()
-                    .all(|l| cube.phase_of(l.var) == Some(l.positive))
+                && other.literals().iter().all(|l| cube.phase_of(l.var) == Some(l.positive))
         });
         if !subsumed {
             kept.push(cube.clone());
@@ -271,7 +268,10 @@ mod tests {
         assert!(none.is_false());
         assert_eq!(format!("{none}"), "False");
         let all = simplify_observations(&layout, &reachable, &reachable);
-        assert!(all.is_true(), "covering all reachable observations should simplify to True, got {all}");
+        assert!(
+            all.is_true(),
+            "covering all reachable observations should simplify to True, got {all}"
+        );
         assert_eq!(format!("{all}"), "True");
     }
 
@@ -323,7 +323,8 @@ mod tests {
         assert_eq!(format!("{neq}"), "count /= 2");
         let pos = ObsLiteral { variable: "decided".into(), value: 1, equal: true, boolean: true };
         assert_eq!(format!("{pos}"), "decided");
-        let negated = ObsLiteral { variable: "decided".into(), value: 1, equal: false, boolean: true };
+        let negated =
+            ObsLiteral { variable: "decided".into(), value: 1, equal: false, boolean: true };
         assert_eq!(format!("{negated}"), "neg decided");
     }
 }

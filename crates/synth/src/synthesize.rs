@@ -148,7 +148,8 @@ impl<E: InformationExchange> Synthesizer<E> {
                     }
 
                     let mut holding_observations = Vec::new();
-                    let reachable_observations: Vec<Observation> = classes.keys().cloned().collect();
+                    let reachable_observations: Vec<Observation> =
+                        classes.keys().cloned().collect();
                     for (observation, indices) in &classes {
                         stats.observation_classes += 1;
                         let values: Vec<bool> = indices
@@ -233,7 +234,8 @@ mod tests {
         let params = crash_params(3, 1);
         let outcome = Synthesizer::new(FloodSet, params).synthesize(&KnowledgeBasedProgram::sba(2));
         let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
-        let run = simulate_run(&FloodSet, &params, &outcome.rule, &inits, &Adversary::failure_free());
+        let run =
+            simulate_run(&FloodSet, &params, &outcome.rule, &inits, &Adversary::failure_free());
         for agent in AgentId::all(3) {
             let decision = run.decision(agent).expect("synthesized protocol decides");
             assert_eq!(decision.value, Value::ZERO);
@@ -253,7 +255,8 @@ mod tests {
         // And the time-3 templates are not needed in failure-free runs: the
         // protocol still satisfies agreement when executed.
         let inits = vec![Value::ONE, Value::ONE, Value::ZERO];
-        let run = simulate_run(&FloodSet, &params, &outcome.rule, &inits, &Adversary::failure_free());
+        let run =
+            simulate_run(&FloodSet, &params, &outcome.rule, &inits, &Adversary::failure_free());
         for agent in AgentId::all(3) {
             assert_eq!(run.decision(agent).unwrap().round, 2);
             assert_eq!(run.decision(agent).unwrap().value, Value::ZERO);
@@ -279,7 +282,8 @@ mod tests {
         // Executing the synthesized table matches the hand-written EMin rule
         // on a failure-free run.
         let inits = vec![Value::ONE, Value::ZERO];
-        let synthesized = simulate_run(&EMin, &params, &outcome.rule, &inits, &Adversary::failure_free());
+        let synthesized =
+            simulate_run(&EMin, &params, &outcome.rule, &inits, &Adversary::failure_free());
         let handwritten = simulate_run(
             &EMin,
             &params,

@@ -82,14 +82,8 @@ mod tests {
         assert_eq!(format!("{}", ConsensusAtom::ExistsInit(Value::ONE)), "exists1");
         assert_eq!(format!("{}", ConsensusAtom::Nonfaulty(a)), "nonfaulty[1]");
         assert_eq!(format!("{}", ConsensusAtom::Decided(a)), "decided[1]");
-        assert_eq!(
-            format!("{}", ConsensusAtom::DecidedValue(a, Value::ONE)),
-            "decided[1]==1"
-        );
-        assert_eq!(
-            format!("{}", ConsensusAtom::DecidesNow(a, Value::ZERO)),
-            "decides[1]==0"
-        );
+        assert_eq!(format!("{}", ConsensusAtom::DecidedValue(a, Value::ONE)), "decided[1]==1");
+        assert_eq!(format!("{}", ConsensusAtom::DecidesNow(a, Value::ZERO)), "decides[1]==0");
         assert_eq!(format!("{}", ConsensusAtom::TimeIs(3)), "time==3");
         assert_eq!(format!("{}", ConsensusAtom::ObsEquals(a, 0, 2)), "obs[1][0]==2");
         assert_eq!(format!("{}", ConsensusAtom::ObsAtMost(a, 1, 1)), "obs[1][1]<=1");

@@ -19,7 +19,11 @@ use crate::value::Round;
 /// insensitive to anything other than the agent's own local state, the time,
 /// and whether the agent has already decided (the generator enforces the
 /// Unique-Decision requirement by never asking again after a decision).
-pub trait DecisionRule<E: InformationExchange> {
+///
+/// Rules are `Sync` so the parallel explorer can consult one rule from
+/// every worker thread; rules are lookup tables or pure functions, so
+/// implementations satisfy the bound automatically.
+pub trait DecisionRule<E: InformationExchange>: Sync {
     /// A short human-readable name (used in reports and benchmarks).
     fn name(&self) -> String;
 
@@ -87,10 +91,7 @@ impl TableRule {
     /// Looks up the action for `(agent, time, observation)`, defaulting to
     /// `Noop`.
     pub fn get(&self, agent: AgentId, time: Round, observation: &Observation) -> Action {
-        self.entries
-            .get(&(agent, time, observation.clone()))
-            .copied()
-            .unwrap_or(Action::Noop)
+        self.entries.get(&(agent, time, observation.clone())).copied().unwrap_or(Action::Noop)
     }
 
     /// Number of explicit entries in the table.
@@ -157,10 +158,7 @@ mod tests {
         assert_eq!(table.get(AgentId::new(0), 2, &obs), Action::Decide(Value::ZERO));
         // Different observation or time falls back to noop.
         assert_eq!(table.get(AgentId::new(0), 1, &obs), Action::Noop);
-        assert_eq!(
-            table.get(AgentId::new(0), 2, &Observation::new(vec![0, 0])),
-            Action::Noop
-        );
+        assert_eq!(table.get(AgentId::new(0), 2, &Observation::new(vec![0, 0])), Action::Noop);
         assert_eq!(table.earliest_decision_time(AgentId::new(0)), Some(2));
         assert_eq!(table.earliest_decision_time(AgentId::new(1)), None);
         assert_eq!(format!("{table}"), "synthesized (1 entries)");

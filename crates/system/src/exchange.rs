@@ -138,17 +138,27 @@ impl<M> Received<M> {
 /// decision layer in the same round — how local states are updated from the
 /// messages received, and which part of the local state is *observable* for
 /// the purposes of the clock semantics of knowledge.
-pub trait InformationExchange: Clone {
+///
+/// Exchanges and their local states are `Send + Sync` so that the
+/// state-space explorer can expand a layer's frontier across worker threads
+/// (see [`StateSpace`](crate::StateSpace)); protocol state is plain data, so
+/// implementations satisfy these bounds automatically.
+pub trait InformationExchange: Clone + Send + Sync {
     /// The local state of an agent.
-    type LocalState: Clone + Eq + Ord + Hash + fmt::Debug;
+    type LocalState: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync;
     /// The messages broadcast by agents.
-    type Message: Clone + Eq + Hash + fmt::Debug;
+    type Message: Clone + Eq + Hash + fmt::Debug + Send + Sync;
 
     /// A short human-readable name (used in reports and benchmarks).
     fn name(&self) -> &'static str;
 
     /// The initial local state of `agent` with initial preference `init`.
-    fn initial_local_state(&self, params: &ModelParams, agent: AgentId, init: Value) -> Self::LocalState;
+    fn initial_local_state(
+        &self,
+        params: &ModelParams,
+        agent: AgentId,
+        init: Value,
+    ) -> Self::LocalState;
 
     /// The message `agent` broadcasts this round, given its current local
     /// state and the action it performs this round. `None` means the agent
@@ -175,7 +185,12 @@ pub trait InformationExchange: Clone {
 
     /// The observation an agent makes of its local state (the observable
     /// variables, in the order of [`InformationExchange::observable_layout`]).
-    fn observation(&self, params: &ModelParams, agent: AgentId, state: &Self::LocalState) -> Observation;
+    fn observation(
+        &self,
+        params: &ModelParams,
+        agent: AgentId,
+        state: &Self::LocalState,
+    ) -> Observation;
 
     /// Names and domains of the observable variables, used when reporting
     /// synthesized predicates over the observables.

@@ -1,4 +1,4 @@
-//! Layered exploration of the reachable state space.
+//! Layered, parallel exploration of the reachable state space.
 //!
 //! The state space of a synchronous protocol model is organised as one layer
 //! per time point (`0 ..= horizon`). Layer `m + 1` is produced from layer
@@ -7,8 +7,34 @@
 //! (crash failures), and which individual messages are dropped. States are
 //! de-duplicated within each layer, which is what keeps the exploration
 //! tractable: many distinct adversary choices lead to the same global state.
+//!
+//! # Parallel frontier expansion
+//!
+//! Expanding one source state is independent of every other source state,
+//! so each layer's frontier is split into contiguous chunks expanded by
+//! worker threads (see `epimc_par`). Each worker de-duplicates the
+//! successors it generates in a chunk-local interner; the per-worker results
+//! are merged into the layer's global interner at the layer barrier, and the
+//! merged layer is then sorted into the canonical order. Because the final
+//! sort is a total order on states and edges are remapped afterwards, the
+//! result is **bit-identical** for every worker count — `EPIMC_THREADS=1`
+//! (or [`StateSpace::explore_sequential`]) reproduces the parallel result
+//! exactly, which `tests/run_vs_space.rs` checks.
+//!
+//! Successor states intern their `inits` (never change after time 0) and
+//! `decisions` (shared until an agent decides) behind reference-counted
+//! slices, so the per-successor cost is one local-state vector plus
+//! reference-count bumps — see [`GlobalState`].
+//!
+//! Exploration records an [`ExploreStats`]: per-layer state counts,
+//! generated-successor counts, de-duplication hits and wall-clock times,
+//! consumed by the experiment harness (`epimc::experiments`) and the
+//! `tables` binary.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use epimc_logic::{AgentId, AgentSet};
 
@@ -22,9 +48,12 @@ use crate::value::{Round, Value};
 
 /// One layer of the state space: the de-duplicated global states at a given
 /// time, together with the successor edges into the next layer.
+///
+/// States are stored behind `Arc` so that layers, the de-duplication
+/// interner and parallel workers share them without copying.
 pub struct Layer<E: InformationExchange> {
     /// The states of the layer, in a deterministic (sorted) order.
-    pub states: Vec<GlobalState<E>>,
+    pub states: Vec<Arc<GlobalState<E>>>,
     /// `successors[i]` lists the indices (in the next layer) of the
     /// successors of `states[i]`. Empty for the final layer.
     pub successors: Vec<Vec<usize>>,
@@ -42,94 +71,342 @@ impl<E: InformationExchange> Layer<E> {
     }
 }
 
+/// Per-layer exploration statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LayerStats {
+    /// Number of distinct states in the layer after de-duplication.
+    pub states: usize,
+    /// Number of successor states generated before de-duplication (for the
+    /// initial layer: the number of enumerated initial states).
+    pub generated: u64,
+    /// `generated` minus the number of distinct states: how many generated
+    /// states were de-duplicated away.
+    pub dedup_hits: u64,
+    /// Wall-clock time spent building the layer.
+    pub wall: Duration,
+}
+
+/// Statistics of a state-space exploration, recorded layer by layer.
+///
+/// Exposed through [`StateSpace::stats`] and consumed by the experiment
+/// harness and the `tables` binary to report where exploration time goes.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// One entry per layer, in time order.
+    pub layers: Vec<LayerStats>,
+    /// Number of worker threads the exploration was configured with.
+    pub threads: usize,
+}
+
+impl ExploreStats {
+    /// Total number of states across all layers.
+    pub fn total_states(&self) -> usize {
+        self.layers.iter().map(|l| l.states).sum()
+    }
+
+    /// Total number of generated (pre-deduplication) states.
+    pub fn total_generated(&self) -> u64 {
+        self.layers.iter().map(|l| l.generated).sum()
+    }
+
+    /// Total number of de-duplication hits.
+    pub fn total_dedup_hits(&self) -> u64 {
+        self.layers.iter().map(|l| l.dedup_hits).sum()
+    }
+
+    /// Total wall-clock time spent exploring.
+    pub fn total_wall(&self) -> Duration {
+        self.layers.iter().map(|l| l.wall).sum()
+    }
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states ({} generated, {} deduped) in {:.3?} on {} threads",
+            self.total_states(),
+            self.total_generated(),
+            self.total_dedup_hits(),
+            self.total_wall(),
+            self.threads
+        )
+    }
+}
+
 /// The layered reachable state space of a model instance
 /// `(E, F, P, n, t, |V|)`.
 pub struct StateSpace<E: InformationExchange> {
     exchange: E,
     params: ModelParams,
     layers: Vec<Layer<E>>,
+    threads: usize,
+    stats: ExploreStats,
 }
 
 impl<E: InformationExchange> StateSpace<E> {
-    /// Builds the initial layer (time 0): every combination of initial
-    /// preferences, and — for the omission failure models — every choice of
-    /// faulty set of size at most `t`.
+    /// Builds the initial layer (time 0) with the default worker count:
+    /// every combination of initial preferences, and — for the omission
+    /// failure models — every choice of faulty set of size at most `t`.
     pub fn initial(exchange: E, params: ModelParams) -> Self {
+        Self::initial_with_threads(exchange, params, epimc_par::num_threads())
+    }
+
+    /// [`StateSpace::initial`] with an explicit worker count for the
+    /// subsequent [`StateSpace::extend`] calls (1 = fully sequential).
+    pub fn initial_with_threads(exchange: E, params: ModelParams, threads: usize) -> Self {
+        let start = Instant::now();
         let n = params.num_agents();
-        let mut states = Vec::new();
+        let mut states: Vec<GlobalState<E>> = Vec::new();
         let envs: Vec<EnvState> = match params.failure().kind() {
             FailureKind::Crash => vec![EnvState::pristine()],
             _ => subsets_up_to(AgentSet::full(n), params.max_faulty())
                 .map(EnvState::with_faulty)
                 .collect(),
         };
+        let no_decisions: Arc<[Option<Decision>]> = vec![None; n].into();
         for assignment in value_assignments(n, params.num_values()) {
+            let inits: Arc<[Value]> = assignment.into();
             for env in &envs {
                 let locals = AgentId::all(n)
-                    .map(|agent| exchange.initial_local_state(&params, agent, assignment[agent.index()]))
+                    .map(|agent| exchange.initial_local_state(&params, agent, inits[agent.index()]))
                     .collect();
                 states.push(GlobalState {
                     env: *env,
-                    inits: assignment.clone(),
+                    inits: Arc::clone(&inits),
                     locals,
-                    decisions: vec![None; n],
+                    decisions: Arc::clone(&no_decisions),
                 });
             }
         }
+        let generated = states.len() as u64;
         states.sort();
         states.dedup();
+        let states: Vec<Arc<GlobalState<E>>> = states.into_iter().map(Arc::new).collect();
         let successors = vec![Vec::new(); states.len()];
+        let stats = ExploreStats {
+            layers: vec![LayerStats {
+                states: states.len(),
+                generated,
+                dedup_hits: generated - states.len() as u64,
+                wall: start.elapsed(),
+            }],
+            threads: threads.max(1),
+        };
         StateSpace {
             exchange,
             params,
             layers: vec![Layer { states, successors }],
+            threads: threads.max(1),
+            stats,
         }
     }
 
     /// Builds the full state space up to the horizon of `params`, using the
-    /// given decision rule throughout.
+    /// given decision rule throughout and the default worker count.
     pub fn explore<R: DecisionRule<E>>(exchange: E, params: ModelParams, rule: &R) -> Self {
-        let mut space = StateSpace::initial(exchange, params);
+        Self::explore_with_threads(exchange, params, rule, epimc_par::num_threads())
+    }
+
+    /// [`StateSpace::explore`] with an explicit worker count.
+    pub fn explore_with_threads<R: DecisionRule<E>>(
+        exchange: E,
+        params: ModelParams,
+        rule: &R,
+        threads: usize,
+    ) -> Self {
+        let mut space = StateSpace::initial_with_threads(exchange, params, threads);
         while space.num_layers() <= params.horizon() as usize {
             space.extend(rule);
         }
         space
     }
 
+    /// Fully sequential exploration (a single worker). Produces exactly the
+    /// same layers and edges as the parallel exploration; used as the
+    /// baseline for differential tests and speedup measurements.
+    pub fn explore_sequential<R: DecisionRule<E>>(
+        exchange: E,
+        params: ModelParams,
+        rule: &R,
+    ) -> Self {
+        Self::explore_with_threads(exchange, params, rule, 1)
+    }
+
     /// Extends the state space by one more layer, applying `rule` to the
     /// current final layer. This is the entry point used by the synthesis
     /// engine, which fixes the decision rule layer by layer.
     pub fn extend<R: DecisionRule<E>>(&mut self, rule: &R) {
+        let start = Instant::now();
         let time = (self.layers.len() - 1) as Round;
-        let next = self.build_next_layer(time, rule);
-        self.layers.push(next);
+        let source = &self.layers[time as usize];
+        let expander = Expander { exchange: &self.exchange, params: &self.params, rule, time };
+
+        // Fan out: expand contiguous chunks of the frontier on worker
+        // threads, each with a chunk-local successor interner.
+        let chunks = epimc_par::parallel_chunks(source.len(), self.threads, |range| {
+            expander.expand_chunk(source, range)
+        });
+
+        // Layer barrier: merge the chunk-local interners into the global
+        // layer, remapping chunk-local successor ids to layer-global ids.
+        let mut index_of: HashMap<Arc<GlobalState<E>>, usize> = HashMap::new();
+        let mut next_states: Vec<Arc<GlobalState<E>>> = Vec::new();
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); source.len()];
+        let mut generated = 0u64;
+        for chunk in chunks {
+            generated += chunk.generated;
+            let remap: Vec<usize> = chunk
+                .states
+                .into_iter()
+                .map(|state| {
+                    *index_of.entry(state).or_insert_with_key(|state| {
+                        next_states.push(Arc::clone(state));
+                        next_states.len() - 1
+                    })
+                })
+                .collect();
+            for (offset, local_targets) in chunk.edges.into_iter().enumerate() {
+                // Distinct local ids name distinct states, so the remap is
+                // injective and the per-source lists stay duplicate-free;
+                // they are sorted once below, after the canonical reorder.
+                edges[chunk.first_source + offset] =
+                    local_targets.into_iter().map(|local| remap[local as usize]).collect();
+            }
+        }
+
+        // Re-order the new layer deterministically and remap the edges, so
+        // the result is independent of chunking and worker scheduling.
+        let mut order: Vec<usize> = (0..next_states.len()).collect();
+        order.sort_by(|&a, &b| next_states[a].cmp(&next_states[b]));
+        let mut remap = vec![0usize; next_states.len()];
+        for (new_pos, &old_pos) in order.iter().enumerate() {
+            remap[old_pos] = new_pos;
+        }
+        let states: Vec<Arc<GlobalState<E>>> =
+            order.iter().map(|&old| Arc::clone(&next_states[old])).collect();
+        for targets in &mut edges {
+            for target in targets.iter_mut() {
+                *target = remap[*target];
+            }
+            targets.sort_unstable();
+        }
+        self.layers[time as usize].successors = edges;
+
+        let successors = vec![Vec::new(); states.len()];
+        self.stats.layers.push(LayerStats {
+            states: states.len(),
+            generated,
+            dedup_hits: generated - states.len() as u64,
+            wall: start.elapsed(),
+        });
+        self.layers.push(Layer { states, successors });
     }
 
-    fn build_next_layer<R: DecisionRule<E>>(&mut self, time: Round, rule: &R) -> Layer<E> {
+    /// The layers of the state space, indexed by time.
+    pub fn layers(&self) -> &[Layer<E>] {
+        &self.layers
+    }
+
+    /// Number of layers built so far (the final layer has index
+    /// `num_layers() - 1`).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of states across all layers.
+    pub fn total_states(&self) -> usize {
+        self.layers.iter().map(Layer::len).sum()
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// The information exchange.
+    pub fn exchange(&self) -> &E {
+        &self.exchange
+    }
+
+    /// The number of worker threads used to extend this space.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The per-layer exploration statistics recorded so far.
+    pub fn stats(&self) -> &ExploreStats {
+        &self.stats
+    }
+}
+
+/// The result of expanding one contiguous chunk of a layer's frontier on a
+/// worker thread.
+struct ChunkExpansion<E: InformationExchange> {
+    /// Index (in the source layer) of the first source state of the chunk.
+    first_source: usize,
+    /// The distinct successor states generated by the chunk, in first-seen
+    /// order; positions in this vector are the chunk-local successor ids.
+    states: Vec<Arc<GlobalState<E>>>,
+    /// Per source state of the chunk, the chunk-local ids of its successors.
+    edges: Vec<Vec<u32>>,
+    /// Number of successor states generated before de-duplication.
+    generated: u64,
+}
+
+/// Borrowed context shared by all expansion workers of one layer.
+struct Expander<'a, E: InformationExchange, R> {
+    exchange: &'a E,
+    params: &'a ModelParams,
+    rule: &'a R,
+    time: Round,
+}
+
+impl<E: InformationExchange, R: DecisionRule<E>> Expander<'_, E, R> {
+    /// Expands the source states `range` of `source`, de-duplicating
+    /// successors chunk-locally.
+    fn expand_chunk(&self, source: &Layer<E>, range: std::ops::Range<usize>) -> ChunkExpansion<E> {
         let n = self.params.num_agents();
         let kind = self.params.failure().kind();
         let t = self.params.max_faulty();
 
-        let mut next_states: Vec<GlobalState<E>> = Vec::new();
-        let mut index_of: HashMap<GlobalState<E>, usize> = HashMap::new();
-        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); self.layers[time as usize].len()];
+        let mut interner: HashMap<Arc<GlobalState<E>>, u32> = HashMap::new();
+        let mut states: Vec<Arc<GlobalState<E>>> = Vec::new();
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); range.len()];
+        let mut generated = 0u64;
+        let first_source = range.start;
 
-        for state_idx in 0..self.layers[time as usize].len() {
-            let state = &self.layers[time as usize].states[state_idx];
+        for state_idx in range {
+            let state = &source.states[state_idx];
 
             // 1. Decision-layer actions and the resulting decision records.
+            // The decision slice is interned: successors share the source's
+            // slice unless some agent decides this round, and the copy is
+            // made at most once per source state even when several agents
+            // decide simultaneously (the common case at the deadline round).
             let mut actions = vec![Action::Noop; n];
-            let mut decisions = state.decisions.clone();
+            let mut updated_decisions: Option<Vec<Option<Decision>>> = None;
             for agent in AgentId::all(n) {
                 if state.has_decided(agent) || state.env.has_crashed(agent) {
                     continue;
                 }
-                let action = rule.action(&self.exchange, &self.params, agent, time, state.local(agent));
+                let action = self.rule.action(
+                    self.exchange,
+                    self.params,
+                    agent,
+                    self.time,
+                    state.local(agent),
+                );
                 actions[agent.index()] = action;
                 if let Action::Decide(value) = action {
-                    decisions[agent.index()] = Some(Decision { value, round: time });
+                    updated_decisions.get_or_insert_with(|| state.decisions.to_vec())
+                        [agent.index()] = Some(Decision { value, round: self.time });
                 }
             }
+            let decisions: Arc<[Option<Decision>]> = match updated_decisions {
+                Some(updated) => updated.into(),
+                None => Arc::clone(&state.decisions),
+            };
 
             // 2. Messages each (non-crashed) agent broadcasts this round.
             let messages: Vec<Option<E::Message>> = AgentId::all(n)
@@ -137,8 +414,12 @@ impl<E: InformationExchange> StateSpace<E> {
                     if state.env.has_crashed(agent) {
                         None
                     } else {
-                        self.exchange
-                            .message(&self.params, agent, state.local(agent), actions[agent.index()])
+                        self.exchange.message(
+                            self.params,
+                            agent,
+                            state.local(agent),
+                            actions[agent.index()],
+                        )
                     }
                 })
                 .collect();
@@ -172,43 +453,34 @@ impl<E: InformationExchange> StateSpace<E> {
                     let locals: Vec<E::LocalState> = combination.into_iter().cloned().collect();
                     let successor = GlobalState {
                         env,
-                        inits: state.inits.clone(),
+                        inits: Arc::clone(&state.inits),
                         locals,
-                        decisions: decisions.clone(),
+                        decisions: Arc::clone(&decisions),
                     };
-                    let next_index = *index_of.entry(successor.clone()).or_insert_with(|| {
-                        next_states.push(successor);
-                        next_states.len() - 1
-                    });
-                    if !edges[state_idx].contains(&next_index) {
-                        edges[state_idx].push(next_index);
+                    generated += 1;
+                    // Chunk-local interning: `Arc<GlobalState>` borrows as
+                    // `GlobalState`, so the candidate is only allocated into
+                    // an `Arc` when it is genuinely new.
+                    let local_id = match interner.get(&successor) {
+                        Some(&id) => id,
+                        None => {
+                            let id = u32::try_from(states.len())
+                                .expect("more than u32::MAX states in one chunk");
+                            let shared = Arc::new(successor);
+                            interner.insert(Arc::clone(&shared), id);
+                            states.push(shared);
+                            id
+                        }
+                    };
+                    let targets = &mut edges[state_idx - first_source];
+                    if !targets.contains(&local_id) {
+                        targets.push(local_id);
                     }
                 }
             }
         }
 
-        // Re-order the new layer deterministically and remap the edges.
-        let mut order: Vec<usize> = (0..next_states.len()).collect();
-        order.sort_by(|&a, &b| next_states[a].cmp(&next_states[b]));
-        let mut remap = vec![0usize; next_states.len()];
-        for (new_pos, &old_pos) in order.iter().enumerate() {
-            remap[old_pos] = new_pos;
-        }
-        let mut sorted_states: Vec<Option<GlobalState<E>>> = next_states.into_iter().map(Some).collect();
-        let states: Vec<GlobalState<E>> = order
-            .iter()
-            .map(|&old| sorted_states[old].take().expect("each state moved once"))
-            .collect();
-        for targets in &mut edges {
-            for target in targets.iter_mut() {
-                *target = remap[*target];
-            }
-            targets.sort_unstable();
-        }
-        self.layers[time as usize].successors = edges;
-
-        let successors = vec![Vec::new(); states.len()];
-        Layer { states, successors }
+        ChunkExpansion { first_source, states, edges, generated }
     }
 
     /// The distinct local states `receiver` can end the round with, given the
@@ -295,7 +567,7 @@ impl<E: InformationExchange> StateSpace<E> {
                     .collect(),
             );
             let updated = self.exchange.update(
-                &self.params,
+                self.params,
                 receiver,
                 state.local(receiver),
                 actions[receiver.index()],
@@ -306,32 +578,6 @@ impl<E: InformationExchange> StateSpace<E> {
             }
         }
         options
-    }
-
-    /// The layers of the state space, indexed by time.
-    pub fn layers(&self) -> &[Layer<E>] {
-        &self.layers
-    }
-
-    /// Number of layers built so far (the final layer has index
-    /// `num_layers() - 1`).
-    pub fn num_layers(&self) -> usize {
-        self.layers.len()
-    }
-
-    /// Total number of states across all layers.
-    pub fn total_states(&self) -> usize {
-        self.layers.iter().map(Layer::len).sum()
-    }
-
-    /// The model parameters.
-    pub fn params(&self) -> &ModelParams {
-        &self.params
-    }
-
-    /// The information exchange.
-    pub fn exchange(&self) -> &E {
-        &self.exchange
     }
 }
 
@@ -375,12 +621,7 @@ impl<'a, T> Iterator for CartesianProduct<'a, T> {
         if self.done {
             return None;
         }
-        let item = self
-            .slots
-            .iter()
-            .zip(&self.indices)
-            .map(|(slot, &idx)| &slot[idx])
-            .collect();
+        let item = self.slots.iter().zip(&self.indices).map(|(slot, &idx)| &slot[idx]).collect();
         // Advance the mixed-radix counter.
         let mut position = self.slots.len();
         loop {
@@ -403,7 +644,7 @@ impl<'a, T> Iterator for CartesianProduct<'a, T> {
 mod tests {
     use super::*;
     use crate::decision::NeverDecide;
-    use crate::exchange::{Observation, ObservableVar};
+    use crate::exchange::{ObservableVar, Observation};
 
     /// A minimal information exchange for testing the generator: each agent
     /// remembers the set of initial values it has seen (a bitmask), i.e. a
@@ -423,7 +664,13 @@ mod tests {
             1 << init.index()
         }
 
-        fn message(&self, _p: &ModelParams, _agent: AgentId, state: &u32, _action: Action) -> Option<u32> {
+        fn message(
+            &self,
+            _p: &ModelParams,
+            _agent: AgentId,
+            state: &u32,
+            _action: Action,
+        ) -> Option<u32> {
             Some(*state)
         }
 
@@ -474,10 +721,7 @@ mod tests {
         let space = StateSpace::initial(ToyFlood, params(3, 1, FailureKind::Crash));
         // 2^3 initial value assignments, single pristine environment.
         assert_eq!(space.layers()[0].len(), 8);
-        assert!(space.layers()[0]
-            .states
-            .iter()
-            .all(|s| s.env == EnvState::pristine()));
+        assert!(space.layers()[0].states.iter().all(|s| s.env == EnvState::pristine()));
     }
 
     #[test]
@@ -519,13 +763,7 @@ mod tests {
             }
         }
         // With t = 2, states with exactly two crashed agents are reachable.
-        assert!(space
-            .layers()
-            .last()
-            .unwrap()
-            .states
-            .iter()
-            .any(|s| s.env.crashed.len() == 2));
+        assert!(space.layers().last().unwrap().states.iter().any(|s| s.env.crashed.len() == 2));
     }
 
     #[test]
@@ -553,10 +791,7 @@ mod tests {
             .build();
         let space = StateSpace::explore(ToyFlood, p, &NeverDecide);
         for state in &space.layers()[1].states {
-            let expected: u32 = state
-                .inits
-                .iter()
-                .fold(0, |acc, v| acc | (1 << v.index()));
+            let expected: u32 = state.inits.iter().fold(0, |acc, v| acc | (1 << v.index()));
             for agent in AgentId::all(3) {
                 assert_eq!(*state.local(agent), expected);
             }
@@ -582,5 +817,45 @@ mod tests {
                 && *s.local(AgentId::new(1)) == (1 << s.inits[1].index())
         });
         assert!(found);
+    }
+
+    /// Compares every layer of two state spaces for exact equality of states
+    /// and successor edges.
+    fn assert_spaces_identical(a: &StateSpace<ToyFlood>, b: &StateSpace<ToyFlood>) {
+        assert_eq!(a.num_layers(), b.num_layers());
+        for (layer_a, layer_b) in a.layers().iter().zip(b.layers()) {
+            assert_eq!(layer_a.states, layer_b.states);
+            assert_eq!(layer_a.successors, layer_b.successors);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_exploration_are_bit_identical() {
+        for kind in FailureKind::ALL {
+            let p = params(3, 2, kind);
+            let sequential = StateSpace::explore_sequential(ToyFlood, p, &NeverDecide);
+            for threads in [2, 3, 8] {
+                let parallel = StateSpace::explore_with_threads(ToyFlood, p, &NeverDecide, threads);
+                assert_spaces_identical(&sequential, &parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_record_layers_and_dedup() {
+        let p = params(3, 1, FailureKind::Crash);
+        let space = StateSpace::explore(ToyFlood, p, &NeverDecide);
+        let stats = space.stats();
+        assert_eq!(stats.layers.len(), space.num_layers());
+        assert_eq!(stats.total_states(), space.total_states());
+        for (layer, layer_stats) in space.layers().iter().zip(&stats.layers) {
+            assert_eq!(layer.len(), layer_stats.states);
+            assert!(layer_stats.generated >= layer_stats.states as u64);
+            assert_eq!(layer_stats.dedup_hits, layer_stats.generated - layer_stats.states as u64);
+        }
+        // The exploration enumerates strictly more candidates than states
+        // (adversary choices collide), so dedup hits are visible.
+        assert!(stats.total_dedup_hits() > 0);
+        assert!(!format!("{stats}").is_empty());
     }
 }

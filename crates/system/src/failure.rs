@@ -94,7 +94,9 @@ impl fmt::Display for FailureModel {
 ///   adversary in the initial state (any set of at most `t` agents) and no
 ///   agent ever crashes; `N` is the complement of the faulty set throughout
 ///   the run.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct EnvState {
     /// Agents that have crashed in the current or an earlier round.
     pub crashed: AgentSet,
@@ -179,7 +181,10 @@ mod tests {
         assert!(FailureKind::SendOmission.is_omission());
         assert!(FailureKind::GeneralOmission.is_omission());
         assert_eq!(format!("{}", FailureKind::Crash), "crash");
-        assert_eq!(format!("{}", FailureModel::new(FailureKind::SendOmission, 2)), "sending omissions(t=2)");
+        assert_eq!(
+            format!("{}", FailureModel::new(FailureKind::SendOmission, 2)),
+            "sending omissions(t=2)"
+        );
         assert_eq!(FailureKind::ALL.len(), 4);
     }
 

@@ -16,7 +16,17 @@
 //!   the concrete protocols in `epimc-protocols`;
 //! * [`StateSpace`]: a layered (per-round), de-duplicated reachable state
 //!   space, constructed by enumerating all adversary choices allowed by the
-//!   failure model;
+//!   failure model. Layers are built by **parallel frontier expansion**:
+//!   each worker thread expands a contiguous chunk of the previous layer
+//!   with a chunk-local successor interner, the per-worker results are
+//!   merged at the layer barrier, and the layer is sorted into a canonical
+//!   order — so the space is bit-identical for every worker count
+//!   (`EPIMC_THREADS=1` or [`StateSpace::explore_sequential`] reproduce the
+//!   parallel result exactly). Global states intern their initial-value and
+//!   decision vectors behind reference-counted slices, eliminating the
+//!   per-successor clone churn. Per-layer [`ExploreStats`] (state counts,
+//!   de-duplication hits, wall time) are recorded and consumed by
+//!   `epimc::experiments` and the `tables` binary;
 //! * [`ConsensusModel`] and the [`PointModel`] trait: the Kripke-style view
 //!   of the state space consumed by the model checking and synthesis crates,
 //!   including the clock-semantics observations and the indexical nonfaulty
@@ -60,8 +70,8 @@ mod value;
 pub use action::{Action, Decision};
 pub use atom::ConsensusAtom;
 pub use decision::{DecisionRule, NeverDecide, TableRule};
-pub use exchange::{InformationExchange, Observation, ObservableVar, Received};
-pub use explore::{Layer, StateSpace};
+pub use exchange::{InformationExchange, ObservableVar, Observation, Received};
+pub use explore::{ExploreStats, Layer, LayerStats, StateSpace};
 pub use failure::{EnvState, FailureKind, FailureModel};
 pub use model::{ConsensusModel, PointId, PointModel};
 pub use params::{ModelParams, ModelParamsBuilder};

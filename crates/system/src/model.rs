@@ -100,6 +100,9 @@ pub struct ConsensusModel<E: InformationExchange, R> {
 
 impl<E: InformationExchange, R: DecisionRule<E>> ConsensusModel<E, R> {
     /// Wraps an explored state space and its decision rule.
+    ///
+    /// The per-point observations are precomputed layer-parallel (the
+    /// encoding of one state is independent of every other state).
     pub fn new(space: StateSpace<E>, rule: R) -> Self {
         let params = *space.params();
         let n = params.num_agents();
@@ -107,15 +110,21 @@ impl<E: InformationExchange, R: DecisionRule<E>> ConsensusModel<E, R> {
             .layers()
             .iter()
             .map(|layer| {
-                layer
-                    .states
-                    .iter()
-                    .map(|state| {
-                        AgentId::all(n)
-                            .map(|agent| space.exchange().observation(&params, agent, state.local(agent)))
-                            .collect()
-                    })
-                    .collect()
+                epimc_par::parallel_chunks(layer.len(), epimc_par::num_threads(), |range| {
+                    range
+                        .map(|index| {
+                            let state = &layer.states[index];
+                            AgentId::all(n)
+                                .map(|agent| {
+                                    space.exchange().observation(&params, agent, state.local(agent))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
             })
             .collect();
         ConsensusModel { space, rule, observations }
@@ -152,7 +161,7 @@ impl<E: InformationExchange, R: DecisionRule<E>> ConsensusModel<E, R> {
 
     /// The global state at a point.
     pub fn state(&self, point: PointId) -> &GlobalState<E> {
-        &self.space.layers()[point.time as usize].states[point.index]
+        self.space.layers()[point.time as usize].states[point.index].as_ref()
     }
 
     /// The action the decision rule takes for `agent` at `point` (taking the
@@ -247,7 +256,13 @@ mod tests {
             init
         }
 
-        fn message(&self, _p: &ModelParams, _a: AgentId, _s: &Value, _action: Action) -> Option<()> {
+        fn message(
+            &self,
+            _p: &ModelParams,
+            _a: AgentId,
+            _s: &Value,
+            _action: Action,
+        ) -> Option<()> {
             None
         }
 

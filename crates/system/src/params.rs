@@ -135,12 +135,7 @@ impl ModelParamsBuilder {
         assert!(t <= n, "the failure bound t={t} exceeds the number of agents n={n}");
         let horizon = self.horizon.unwrap_or((t as Round) + 2);
         assert!(horizon >= 1, "the horizon must be at least one round");
-        ModelParams {
-            n,
-            num_values,
-            failure: FailureModel::new(kind, t),
-            horizon,
-        }
+        ModelParams { n, num_values, failure: FailureModel::new(kind, t), horizon }
     }
 }
 

@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use epimc_logic::{AgentId, AgentSet};
 
@@ -19,15 +20,24 @@ use crate::value::Value;
 /// consensus specifications (Validity) and the `∃v` propositions of the
 /// knowledge-based program refer to them; they are not directly visible to
 /// other agents.
+///
+/// The `inits` and `decisions` components are reference-counted slices:
+/// initial preferences never change after time 0 and decision vectors change
+/// at most once per agent per run, so every successor a state generates
+/// shares them. This interning is what keeps frontier expansion cheap — the
+/// explorer enumerates millions of candidate successors, and cloning a
+/// state costs two reference-count bumps plus one local-state vector instead
+/// of three deep vector copies.
 pub struct GlobalState<E: InformationExchange> {
     /// Failure bookkeeping.
     pub env: EnvState,
-    /// Initial preference of each agent.
-    pub inits: Vec<Value>,
+    /// Initial preference of each agent (shared across the whole run tree).
+    pub inits: Arc<[Value]>,
     /// Local state of each agent under the information exchange.
     pub locals: Vec<E::LocalState>,
-    /// Decision recorded for each agent, if it has decided.
-    pub decisions: Vec<Option<Decision>>,
+    /// Decision recorded for each agent, if it has decided (shared between a
+    /// state and its successors until some agent decides).
+    pub decisions: Arc<[Option<Decision>]>,
 }
 
 impl<E: InformationExchange> GlobalState<E> {
@@ -82,10 +92,19 @@ impl<E: InformationExchange> GlobalState<E> {
         true
     }
 
-    fn key(&self) -> (&EnvState, &Vec<Value>, &Vec<E::LocalState>, &Vec<Option<Decision>>) {
+    fn key(&self) -> StateKey<'_, E> {
         (&self.env, &self.inits, &self.locals, &self.decisions)
     }
 }
+
+/// The comparison/hashing key of a global state: every component by
+/// reference, so `Eq`/`Ord`/`Hash` agree and allocate nothing.
+type StateKey<'a, E> = (
+    &'a EnvState,
+    &'a [Value],
+    &'a [<E as InformationExchange>::LocalState],
+    &'a [Option<Decision>],
+);
 
 // Manual trait implementations: deriving would put spurious bounds on `E`
 // itself rather than on `E::LocalState`.

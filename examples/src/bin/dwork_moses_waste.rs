@@ -34,7 +34,8 @@ fn main() {
 
     println!("--- failure-free run (waste stays 0, decide at t + 1 = 3) ---");
     let inits = vec![Value::ONE, Value::ZERO, Value::ONE, Value::ONE];
-    let run = simulate_run(&DworkMoses, &params, &DworkMosesRule, &inits, &Adversary::failure_free());
+    let run =
+        simulate_run(&DworkMoses, &params, &DworkMosesRule, &inits, &Adversary::failure_free());
     for agent in AgentId::all(4) {
         println!("  {agent}: {:?}", run.decision(agent));
     }

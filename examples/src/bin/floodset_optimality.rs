@@ -9,7 +9,10 @@ use epimc::prelude::*;
 
 fn main() {
     println!("FloodSet optimality analysis (crash failures, |V| = 2)\n");
-    println!("{:<8} {:<8} {:<12} {:<12} {:<10} {}", "n", "t", "knowledge", "decision", "optimal?", "condition (2) verified?");
+    println!(
+        "{:<8} {:<8} {:<12} {:<12} {:<10} condition (2) verified?",
+        "n", "t", "knowledge", "decision", "optimal?"
+    );
 
     for (n, t) in [(2usize, 1usize), (2, 2), (3, 1), (3, 2), (3, 3), (4, 1), (4, 2)] {
         let params = ModelParams::builder()

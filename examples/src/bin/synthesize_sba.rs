@@ -25,7 +25,8 @@ fn main() {
     println!("=== FloodSet exchange, {params} ===");
     let outcome = Synthesizer::new(FloodSet, params).synthesize(&program);
     println!("{outcome}");
-    let spec = epimc::spec::check_sba(&ConsensusModel::explore(FloodSet, params, outcome.rule.clone()));
+    let spec =
+        epimc::spec::check_sba(&ConsensusModel::explore(FloodSet, params, outcome.rule.clone()));
     println!("synthesized protocol satisfies SBA: {}\n", spec.all_hold());
 
     println!("=== Count FloodSet exchange, {params} ===");

@@ -8,12 +8,7 @@ use epimc::prelude::*;
 
 /// Crash-failure model parameters with binary decisions.
 pub fn crash_params(n: usize, t: usize) -> ModelParams {
-    ModelParams::builder()
-        .agents(n)
-        .max_faulty(t)
-        .values(2)
-        .failure(FailureKind::Crash)
-        .build()
+    ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
 }
 
 /// Sending-omission model parameters with binary decisions.

@@ -52,10 +52,7 @@ fn model_checked_facts_of_the_appendix_script_hold() {
     // At time 2 it is equivalent to the agent having received value 0.
     let equivalence = Formula::implies(
         Formula::atom(ConsensusAtom::TimeIs(2)),
-        Formula::iff(
-            condition_zero,
-            Formula::atom(ConsensusAtom::ObsEquals(agent, 0, 1)),
-        ),
+        Formula::iff(condition_zero, Formula::atom(ConsensusAtom::ObsEquals(agent, 0, 1))),
     );
     assert!(checker.holds_everywhere(&equivalence));
     // The synthesized protocol satisfies the specification.

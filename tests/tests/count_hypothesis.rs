@@ -29,7 +29,10 @@ fn observed_condition3_is_confirmed_on_all_small_instances() {
         let params = crash_params(n, t);
         let model = ConsensusModel::explore(CountFloodSet, params, TextbookRule);
         let report = verify_sba_hypothesis(&model, condition3_observed(&params));
-        assert!(report.is_equivalent(), "observed condition (3) refuted for n={n}, t={t}: {report}");
+        assert!(
+            report.is_equivalent(),
+            "observed condition (3) refuted for n={n}, t={t}: {report}"
+        );
     }
 }
 
@@ -79,10 +82,8 @@ fn synthesized_count_protocol_uses_the_early_exit() {
     let params = crash_params(3, 3);
     let outcome =
         Synthesizer::new(CountFloodSet, params).synthesize(&KnowledgeBasedProgram::sba(2));
-    let earliest = (0..3)
-        .filter_map(|i| outcome.earliest_decision_time(AgentId::new(i)))
-        .min()
-        .unwrap();
+    let earliest =
+        (0..3).filter_map(|i| outcome.earliest_decision_time(AgentId::new(i))).min().unwrap();
     assert_eq!(earliest, 1);
     // And the synthesized protocol remains a correct SBA protocol.
     let model = ConsensusModel::explore(CountFloodSet, params, outcome.rule);

@@ -16,9 +16,8 @@ fn synthesized_emin_matches_the_handwritten_rule_on_runs() {
         let outcome = Synthesizer::new(EMin, params).synthesize(&KnowledgeBasedProgram::eba_p0());
         for _ in 0..80 {
             let adversary = Adversary::random(&params, &mut rng);
-            let inits: Vec<Value> = (0..params.num_agents())
-                .map(|_| Value::new(rng.gen_range(0..2)))
-                .collect();
+            let inits: Vec<Value> =
+                (0..params.num_agents()).map(|_| Value::new(rng.gen_range(0..2))).collect();
             let synthesized = simulate_run(&EMin, &params, &outcome.rule, &inits, &adversary);
             let handwritten = simulate_run(&EMin, &params, &EMinRule, &inits, &adversary);
             for agent in (0..params.num_agents()).map(AgentId::new) {
@@ -47,7 +46,8 @@ fn synthesized_ebasic_uses_the_num1_early_exit() {
     let ebasic = Synthesizer::new(EBasic, params).synthesize(&KnowledgeBasedProgram::eba_p0());
     let emin = Synthesizer::new(EMin, params).synthesize(&KnowledgeBasedProgram::eba_p0());
     let inits = vec![Value::ONE, Value::ONE, Value::ONE];
-    let ebasic_run = simulate_run(&EBasic, &params, &ebasic.rule, &inits, &Adversary::failure_free());
+    let ebasic_run =
+        simulate_run(&EBasic, &params, &ebasic.rule, &inits, &Adversary::failure_free());
     let emin_run = simulate_run(&EMin, &params, &emin.rule, &inits, &Adversary::failure_free());
     for agent in (0..3).map(AgentId::new) {
         assert_eq!(ebasic_run.decision(agent).unwrap().value, Value::ONE);
@@ -61,12 +61,8 @@ fn synthesized_ebasic_uses_the_num1_early_exit() {
 #[test]
 fn synthesized_eba_protocols_satisfy_the_specification() {
     for failure in [FailureKind::Crash, FailureKind::SendOmission] {
-        let params = ModelParams::builder()
-            .agents(2)
-            .max_faulty(1)
-            .values(2)
-            .failure(failure)
-            .build();
+        let params =
+            ModelParams::builder().agents(2).max_faulty(1).values(2).failure(failure).build();
         let emin = Synthesizer::new(EMin, params).synthesize(&KnowledgeBasedProgram::eba_p0());
         let emin_model = ConsensusModel::explore(EMin, params, emin.rule);
         assert!(epimc::spec::check_eba(&emin_model).all_hold(), "E_min under {failure}");
@@ -86,8 +82,7 @@ fn handwritten_eba_rules_never_beat_the_synthesized_optimum() {
     let outcome = Synthesizer::new(EBasic, params).synthesize(&KnowledgeBasedProgram::eba_p0());
     for _ in 0..80 {
         let adversary = Adversary::random(&params, &mut rng);
-        let inits: Vec<Value> =
-            (0..3).map(|_| Value::new(rng.gen_range(0..2))).collect();
+        let inits: Vec<Value> = (0..3).map(|_| Value::new(rng.gen_range(0..2))).collect();
         let synthesized = simulate_run(&EBasic, &params, &outcome.rule, &inits, &adversary);
         let handwritten = simulate_run(&EBasic, &params, &EBasicRule, &inits, &adversary);
         for agent in (0..3).map(AgentId::new) {

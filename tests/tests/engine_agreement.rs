@@ -1,89 +1,150 @@
-//! Property-based cross-validation of the two model-checking engines: on
-//! randomly generated epistemic/temporal formulas, the explicit-state checker
-//! and the symbolic (BDD) checker must return exactly the same set of points.
+//! Seeded random differential suite cross-validating the two model-checking
+//! engines: on randomly generated epistemic/temporal formulas, the
+//! explicit-state checker and the symbolic (BDD) checker must return exactly
+//! the same set of points — not merely the same valid/invalid verdict.
+//!
+//! Three protocol families are covered (FloodSet, Count FloodSet and the
+//! Differential exchange), with at least 200 generated formulas each. The
+//! generator is seeded, so a failure reproduces exactly, and the failing
+//! formula is printed in full on mismatch.
 
 use epimc::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 type F = Formula<ConsensusAtom>;
 
-fn arb_atom(n: usize) -> impl Strategy<Value = ConsensusAtom> {
-    let agents = 0..n;
-    prop_oneof![
-        (agents.clone(), 0..2usize).prop_map(|(a, v)| ConsensusAtom::InitIs(AgentId::new(a), Value::new(v))),
-        (0..2usize).prop_map(|v| ConsensusAtom::ExistsInit(Value::new(v))),
-        agents.clone().prop_map(|a| ConsensusAtom::Nonfaulty(AgentId::new(a))),
-        agents.clone().prop_map(|a| ConsensusAtom::Decided(AgentId::new(a))),
-        (agents.clone(), 0..2usize)
-            .prop_map(|(a, v)| ConsensusAtom::DecidesNow(AgentId::new(a), Value::new(v))),
-        (0..4u32).prop_map(ConsensusAtom::TimeIs),
-        (agents, 0..2usize, 0..2u32).prop_map(|(a, i, v)| ConsensusAtom::ObsEquals(AgentId::new(a), i, v)),
-    ]
+const FORMULAS_PER_FAMILY: usize = 200;
+
+fn random_atom(rng: &mut StdRng, n: usize) -> ConsensusAtom {
+    let agent = AgentId::new(rng.gen_range(0..n));
+    match rng.gen_range(0..8u32) {
+        0 => ConsensusAtom::InitIs(agent, Value::new(rng.gen_range(0..2usize))),
+        1 => ConsensusAtom::ExistsInit(Value::new(rng.gen_range(0..2usize))),
+        2 => ConsensusAtom::Nonfaulty(agent),
+        3 => ConsensusAtom::Decided(agent),
+        4 => ConsensusAtom::DecidesNow(agent, Value::new(rng.gen_range(0..2usize))),
+        5 => ConsensusAtom::TimeIs(rng.gen_range(0..4u32)),
+        6 => ConsensusAtom::ObsEquals(agent, rng.gen_range(0..2usize), rng.gen_range(0..2u32)),
+        _ => ConsensusAtom::ObsAtMost(agent, rng.gen_range(0..2usize), rng.gen_range(0..2u32)),
+    }
 }
 
-fn arb_formula(n: usize) -> impl Strategy<Value = F> {
-    let leaf = prop_oneof![
-        Just(F::True),
-        Just(F::False),
-        arb_atom(n).prop_map(F::atom),
-    ];
-    leaf.prop_recursive(3, 24, 2, move |inner| {
-        prop_oneof![
-            inner.clone().prop_map(F::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::and([a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::or([a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::implies(a, b)),
-            (0..n, inner.clone()).prop_map(|(a, f)| F::knows(AgentId::new(a), f)),
-            (0..n, inner.clone()).prop_map(|(a, f)| F::believes_nonfaulty(AgentId::new(a), f)),
-            inner.clone().prop_map(F::everyone_believes),
-            inner.clone().prop_map(F::common_belief),
-            inner.clone().prop_map(F::all_next),
-            inner.clone().prop_map(F::exists_finally),
-            inner.prop_map(F::all_globally),
-        ]
-    })
+fn random_formula(rng: &mut StdRng, n: usize, depth: usize) -> F {
+    if depth == 0 || rng.gen_bool(0.2) {
+        return match rng.gen_range(0..8u32) {
+            0 => F::True,
+            1 => F::False,
+            _ => F::atom(random_atom(rng, n)),
+        };
+    }
+    let agent = AgentId::new(rng.gen_range(0..n));
+    let inner = random_formula(rng, n, depth - 1);
+    match rng.gen_range(0..11u32) {
+        0 => F::not(inner),
+        1 => F::and([inner, random_formula(rng, n, depth - 1)]),
+        2 => F::or([inner, random_formula(rng, n, depth - 1)]),
+        3 => F::implies(inner, random_formula(rng, n, depth - 1)),
+        4 => F::knows(agent, inner),
+        5 => F::believes_nonfaulty(agent, inner),
+        6 => F::everyone_believes(inner),
+        7 => F::common_belief(inner),
+        8 => F::all_next(inner),
+        9 => F::exists_finally(inner),
+        _ => F::all_globally(inner),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engines_agree_on_floodset_crash(formula in arb_formula(2)) {
-        let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
-        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
-        let explicit = Checker::new(&model).check(&formula);
-        let symbolic = SymbolicChecker::new(&model).check(&formula);
-        prop_assert_eq!(explicit, symbolic, "disagreement on {}", formula);
+/// Checks `FORMULAS_PER_FAMILY` random formulas on both engines over the
+/// same model, requiring identical point sets.
+fn engines_agree_on<E, R>(family: &str, exchange: E, rule: R, params: ModelParams, seed: u64)
+where
+    E: InformationExchange,
+    R: DecisionRule<E>,
+{
+    let model = ConsensusModel::explore(exchange, params, rule);
+    let explicit = Checker::new(&model);
+    let symbolic = SymbolicChecker::new(&model);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..FORMULAS_PER_FAMILY {
+        let formula = random_formula(&mut rng, params.num_agents(), 3);
+        let explicit_result = explicit.check(&formula);
+        let symbolic_result = symbolic.check(&formula);
+        assert_eq!(
+            explicit_result, symbolic_result,
+            "{family} case {case}: engines disagree on {formula}"
+        );
     }
+}
 
-    #[test]
-    fn engines_agree_on_emin_omissions(formula in arb_formula(2)) {
-        let params = ModelParams::builder()
-            .agents(2)
-            .max_faulty(1)
-            .values(2)
-            .failure(FailureKind::SendOmission)
-            .build();
-        let model = ConsensusModel::explore(EMin, params, EMinRule);
-        let explicit = Checker::new(&model).check(&formula);
-        let symbolic = SymbolicChecker::new(&model).check(&formula);
-        prop_assert_eq!(explicit, symbolic, "disagreement on {}", formula);
+#[test]
+fn engines_agree_on_floodset_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    engines_agree_on("floodset", FloodSet, FloodSetRule, params, 0xD1FF_0001);
+}
+
+#[test]
+fn engines_agree_on_count_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    engines_agree_on("count", CountFloodSet, TextbookRule, params, 0xD1FF_0002);
+}
+
+#[test]
+fn engines_agree_on_diff_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    engines_agree_on("diff", DiffFloodSet, TextbookRule, params, 0xD1FF_0003);
+}
+
+#[test]
+fn engines_agree_on_floodset_three_agents() {
+    // A three-agent instance exercises nontrivial nonfaulty sets in the
+    // common-belief fixpoint; fewer cases because the model is larger.
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+    let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+    let explicit = Checker::new(&model);
+    let symbolic = SymbolicChecker::new(&model);
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0004);
+    for case in 0..48 {
+        let formula = random_formula(&mut rng, 3, 3);
+        assert_eq!(
+            explicit.check(&formula),
+            symbolic.check(&formula),
+            "floodset-n3 case {case}: engines disagree on {formula}"
+        );
     }
+}
 
-    #[test]
-    fn knowledge_is_veridical_on_random_formulas(formula in arb_formula(3)) {
-        // K_i φ ⇒ φ is valid in the S5 clock semantics; checking it on random
-        // φ exercises the knowledge machinery end to end.
-        let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
-        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
-        let checker = Checker::new(&model);
+#[test]
+fn engines_agree_on_emin_omissions() {
+    let params = ModelParams::builder()
+        .agents(2)
+        .max_faulty(1)
+        .values(2)
+        .failure(FailureKind::SendOmission)
+        .build();
+    engines_agree_on("emin", EMin, EMinRule, params, 0xD1FF_0005);
+}
+
+#[test]
+fn knowledge_is_veridical_on_random_formulas() {
+    // K_i φ ⇒ φ is valid in the S5 clock semantics; checking it on random
+    // φ exercises the knowledge machinery end to end.
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+    let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+    let checker = Checker::new(&model);
+    let mut rng = StdRng::seed_from_u64(0x5E1F);
+    for _ in 0..48 {
+        let formula = random_formula(&mut rng, 3, 3);
         let veridical = F::implies(F::knows(AgentId::new(0), formula.clone()), formula.clone());
-        prop_assert!(checker.holds_everywhere(&veridical), "K not veridical for {}", formula);
+        assert!(checker.holds_everywhere(&veridical), "K not veridical for {formula}");
         // Positive introspection: K_i φ ⇒ K_i K_i φ.
         let introspection = F::implies(
             F::knows(AgentId::new(0), formula.clone()),
             F::knows(AgentId::new(0), F::knows(AgentId::new(0), formula.clone())),
         );
-        prop_assert!(checker.holds_everywhere(&introspection), "no positive introspection for {}", formula);
+        assert!(
+            checker.holds_everywhere(&introspection),
+            "no positive introspection for {formula}"
+        );
     }
 }

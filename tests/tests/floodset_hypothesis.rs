@@ -16,10 +16,7 @@ fn condition2_is_equivalent_to_the_knowledge_condition() {
         let params = crash_params(n, t);
         let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
         let report = verify_sba_hypothesis(&model, condition2(&params));
-        assert!(
-            report.is_equivalent(),
-            "condition (2) refuted for n={n}, t={t}: {report}"
-        );
+        assert!(report.is_equivalent(), "condition (2) refuted for n={n}, t={t}: {report}");
     }
 }
 

@@ -11,7 +11,8 @@ fn sba_protocols_satisfy_sba_under_crash_failures() {
     for (n, t) in [(2usize, 1usize), (3, 1), (3, 2), (2, 2)] {
         let params = crash_params(n, t);
         assert!(
-            epimc::spec::check_sba(&ConsensusModel::explore(FloodSet, params, FloodSetRule)).all_hold(),
+            epimc::spec::check_sba(&ConsensusModel::explore(FloodSet, params, FloodSetRule))
+                .all_hold(),
             "FloodSet n={n} t={t}"
         );
         assert!(
@@ -25,8 +26,12 @@ fn sba_protocols_satisfy_sba_under_crash_failures() {
             "Count n={n} t={t}"
         );
         assert!(
-            epimc::spec::check_sba(&ConsensusModel::explore(CountFloodSet, params, CountOptimalRule))
-                .all_hold(),
+            epimc::spec::check_sba(&ConsensusModel::explore(
+                CountFloodSet,
+                params,
+                CountOptimalRule
+            ))
+            .all_hold(),
             "Count optimal n={n} t={t}"
         );
         assert!(
@@ -51,7 +56,8 @@ fn eba_protocols_satisfy_eba_under_both_failure_models() {
                 "E_min {params}"
             );
             assert!(
-                epimc::spec::check_eba(&ConsensusModel::explore(EBasic, params, EBasicRule)).all_hold(),
+                epimc::spec::check_eba(&ConsensusModel::explore(EBasic, params, EBasicRule))
+                    .all_hold(),
                 "E_basic {params}"
             );
         }
@@ -86,12 +92,8 @@ fn specs_hold_under_receiving_and_general_omissions_for_eba() {
     // The paper notes the EBA results also cover receiving and general
     // omissions; the implementations remain correct there.
     for failure in [FailureKind::ReceiveOmission, FailureKind::GeneralOmission] {
-        let params = ModelParams::builder()
-            .agents(2)
-            .max_faulty(1)
-            .values(2)
-            .failure(failure)
-            .build();
+        let params =
+            ModelParams::builder().agents(2).max_faulty(1).values(2).failure(failure).build();
         let model = ConsensusModel::explore(EMin, params, EMinRule);
         assert!(epimc::spec::check_eba(&model).all_hold(), "E_min under {failure}");
     }
