@@ -5,12 +5,27 @@
 //! techniques (Burch et al., 1992). This crate provides the BDD substrate for
 //! the `epimc` workspace: a hash-consed node store with memoised boolean
 //! operations, quantification, substitution, satisfiability counting and
-//! cube (DNF) extraction.
+//! cube (DNF) extraction — engineered for long runs:
 //!
-//! Variables are identified by their position in a fixed global ordering
-//! ([`Var`]); the manager does not perform dynamic reordering (the symbolic
-//! model-checking layer chooses an interleaved ordering up front, which is
-//! the standard approach for synchronous protocol models).
+//! * **Garbage collection.** [`Bdd::gc`] is a mark-and-sweep collector: the
+//!   caller passes every external handle it still needs as a *root*
+//!   (`&mut Ref`), the collector sweeps everything unreachable, compacts the
+//!   node store, rebuilds the unique table, and remaps the roots in place.
+//!   Any non-rooted [`Ref`] is invalidated by a collection — see the
+//!   [`Ref`] docs for the precise rooting contract.
+//! * **Bounded operation caches.** The `ite`/`exists`/`replace`/`and_exists`
+//!   memo tables are direct-mapped caches with a fixed capacity
+//!   ([`Bdd::with_cache_capacity`]) and deterministic hashing, so cache
+//!   memory is bounded and run-to-run behaviour is reproducible.
+//!   Hit/miss/eviction counters are reported through [`BddStats`];
+//!   [`Bdd::clear_caches`] starts a new counter epoch.
+//! * **Fused relational product.** [`Bdd::and_exists`] computes
+//!   `∃ vars . f ∧ g` without materialising the conjunction (early
+//!   quantification), which is what makes partitioned transition relations
+//!   pay off in the symbolic model checker.
+//! * **Static interleaved ordering.** [`interleaved_order`] and
+//!   [`interleaved_slot`] compute the agent-interleaved variable order used
+//!   by the symbolic layer; the manager itself never reorders dynamically.
 //!
 //! # Example
 //!
@@ -25,15 +40,24 @@
 //! let implies = bdd.implies(both, either);
 //! assert_eq!(implies, bdd.constant(true));
 //! assert_eq!(bdd.sat_count(both, 2), 1);
+//!
+//! // Sweep garbage, keeping (and remapping) the handles we still use.
+//! let mut roots = [both, either];
+//! bdd.gc(roots.iter_mut());
+//! let [both, _either] = roots;
+//! assert_eq!(bdd.sat_count(both, 2), 1);
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod cubes;
 mod manager;
 mod ops;
+mod order;
 mod sat;
 
 pub use cubes::{Cube, Literal};
-pub use manager::{Bdd, BddStats, Ref, Var};
+pub use manager::{Bdd, BddStats, GcStats, Ref, Var, DEFAULT_CACHE_CAPACITY};
 pub use ops::SubstId;
+pub use order::{interleaved_order, interleaved_slot};

@@ -1,7 +1,11 @@
-//! The BDD manager: hash-consed node store and core boolean operations.
+//! The BDD manager: hash-consed node store, core boolean operations, and
+//! mark-and-sweep garbage collection.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasherDefault;
+
+use crate::cache::{BoundedCache, FxHasher};
 
 /// A BDD variable, identified by its position in the global variable order.
 ///
@@ -38,6 +42,15 @@ impl fmt::Display for Var {
 /// References are only meaningful relative to the manager that produced them;
 /// mixing references from different managers yields unspecified (but memory
 /// safe) results.
+///
+/// # Validity across garbage collection
+///
+/// A `Ref` stays valid until the next call to [`Bdd::gc`]. A collection
+/// *remaps* every reference passed to it as a root (in place) and invalidates
+/// every other non-terminal reference: holding a non-rooted `Ref` across a
+/// `gc()` and using it afterwards is memory safe but yields an unspecified
+/// diagram. The two terminals [`Ref::FALSE`] and [`Ref::TRUE`] are always
+/// valid and never remapped.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ref(u32);
 
@@ -74,44 +87,102 @@ struct Node {
     high: Ref,
 }
 
-/// Statistics about the size of a manager, exposed for benchmarking and for
-/// reporting the "BDD blow-up" behaviour discussed in Section 13 of the paper.
+/// Statistics about a manager, exposed for benchmarking and for reporting
+/// the "BDD blow-up" behaviour discussed in Section 13 of the paper.
+///
+/// Node counters (`allocated_nodes`, `live_nodes`, `peak_live_nodes`,
+/// `gc_runs`, `swept_nodes`) are cumulative over the lifetime of the
+/// manager. Cache counters (`*_cache_hits`, `cache_misses`,
+/// `cache_evictions`) count since the last [`Bdd::clear_caches`], which
+/// starts a new statistics *epoch*; [`Bdd::gc`] clears cache entries but
+/// does **not** end the epoch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BddStats {
-    /// Total number of nodes ever allocated (including the two terminals).
+    /// Total number of nodes ever allocated (including the two terminals
+    /// and nodes since swept by [`Bdd::gc`]).
     pub allocated_nodes: usize,
+    /// Number of nodes currently in the store.
+    pub live_nodes: usize,
+    /// Largest number of simultaneously live nodes ever observed.
+    pub peak_live_nodes: usize,
+    /// Number of [`Bdd::gc`] runs.
+    pub gc_runs: u64,
+    /// Total number of nodes reclaimed by garbage collection.
+    pub swept_nodes: u64,
     /// Number of entries currently held in the operation caches.
     pub cache_entries: usize,
-    /// Cumulative number of `ite` computations answered from the cache.
+    /// Total capacity of the operation caches (the memory bound).
+    pub cache_capacity: usize,
+    /// `ite` computations answered from the cache this epoch.
     pub ite_cache_hits: u64,
-    /// Cumulative number of `exists` computations answered from the cache.
+    /// `exists` computations answered from the cache this epoch.
     pub exists_cache_hits: u64,
-    /// Cumulative number of `replace` computations answered from the cache.
+    /// `replace` computations answered from the cache this epoch.
     pub replace_cache_hits: u64,
+    /// Fused `and_exists` computations answered from the cache this epoch.
+    pub and_exists_cache_hits: u64,
+    /// Cache lookups that missed this epoch (all operations).
+    pub cache_misses: u64,
+    /// Entries overwritten by colliding inserts this epoch (all operations).
+    pub cache_evictions: u64,
 }
 
 impl BddStats {
-    /// Total cache hits across all memoised operations.
+    /// Total cache hits across all memoised operations this epoch.
     pub fn total_cache_hits(&self) -> u64 {
-        self.ite_cache_hits + self.exists_cache_hits + self.replace_cache_hits
+        self.ite_cache_hits
+            + self.exists_cache_hits
+            + self.replace_cache_hits
+            + self.and_exists_cache_hits
+    }
+
+    /// Fraction of cache lookups answered from the cache this epoch, in
+    /// `[0, 1]`; `0` when no lookups were made.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.total_cache_hits();
+        let lookups = hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
     }
 }
+
+/// Statistics returned by one [`Bdd::gc`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Nodes that survived the sweep (including the two terminals).
+    pub live_nodes: usize,
+    /// Nodes reclaimed by the sweep.
+    pub swept_nodes: usize,
+}
+
+/// Default number of slots in the `ite` cache; the other operation caches
+/// are a quarter of this size. See [`Bdd::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
 
 /// A binary decision diagram manager.
 ///
 /// All diagrams produced by a manager share structure through a unique table,
 /// so equality of [`Ref`]s coincides with logical equivalence of the functions
 /// they denote (canonicity of ROBDDs).
+///
+/// The operation caches are capacity-bounded (direct-mapped with overwrite
+/// on collision), so the manager's memory beyond the node store itself is
+/// fixed; [`Bdd::gc`] reclaims unreachable nodes given the set of live
+/// external references.
 pub struct Bdd {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Ref>,
-    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
-    exists_cache: HashMap<(Ref, Ref), Ref>,
-    replace_cache: HashMap<(Ref, u32), Ref>,
+    unique: HashMap<Node, Ref, BuildHasherDefault<FxHasher>>,
+    pub(crate) ite_cache: BoundedCache<(Ref, Ref, Ref)>,
+    pub(crate) exists_cache: BoundedCache<(Ref, Ref)>,
+    pub(crate) replace_cache: BoundedCache<(Ref, u32)>,
+    pub(crate) and_exists_cache: BoundedCache<(Ref, Ref, Ref)>,
     pub(crate) substitutions: Vec<Vec<(Var, Var)>>,
-    ite_hits: u64,
-    pub(crate) exists_hits: u64,
-    pub(crate) replace_hits: u64,
+    peak_live_nodes: usize,
+    gc_runs: u64,
+    swept_nodes: u64,
 }
 
 impl Default for Bdd {
@@ -121,8 +192,16 @@ impl Default for Bdd {
 }
 
 impl Bdd {
-    /// Creates an empty manager containing only the two terminal nodes.
+    /// Creates an empty manager containing only the two terminal nodes, with
+    /// the default cache capacity.
     pub fn new() -> Self {
+        Self::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates an empty manager whose `ite` cache holds at most `capacity`
+    /// entries (rounded up to a power of two); the `exists`, `replace` and
+    /// `and_exists` caches hold a quarter of that each.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
         // Terminals carry a pseudo-variable beyond any real variable so that
         // variable comparisons during `ite` treat them as "last".
         let terminal_var = Var(u32::MAX);
@@ -130,16 +209,18 @@ impl Bdd {
             Node { var: terminal_var, low: Ref::FALSE, high: Ref::FALSE },
             Node { var: terminal_var, low: Ref::TRUE, high: Ref::TRUE },
         ];
+        let secondary = (capacity / 4).max(2);
         Bdd {
             nodes,
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
-            exists_cache: HashMap::new(),
-            replace_cache: HashMap::new(),
+            unique: HashMap::default(),
+            ite_cache: BoundedCache::new(capacity),
+            exists_cache: BoundedCache::new(secondary),
+            replace_cache: BoundedCache::new(secondary),
+            and_exists_cache: BoundedCache::new(secondary),
             substitutions: Vec::new(),
-            ite_hits: 0,
-            exists_hits: 0,
-            replace_hits: 0,
+            peak_live_nodes: 2,
+            gc_runs: 0,
+            swept_nodes: 0,
         }
     }
 
@@ -196,6 +277,7 @@ impl Bdd {
         let r = Ref(u32::try_from(self.nodes.len()).expect("BDD node count overflow"));
         self.nodes.push(node);
         self.unique.insert(node, r);
+        self.peak_live_nodes = self.peak_live_nodes.max(self.nodes.len());
         r
     }
 
@@ -217,8 +299,7 @@ impl Bdd {
         if g == Ref::TRUE && h == Ref::FALSE {
             return f;
         }
-        if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
-            self.ite_hits += 1;
+        if let Some(cached) = self.ite_cache.get(&(f, g, h)) {
             return cached;
         }
         let top = self.node_var(f).min(self.node_var(g)).min(self.node_var(h));
@@ -311,35 +392,135 @@ impl Bdd {
         seen.len()
     }
 
-    /// Manager-wide statistics. Cache-hit counters are cumulative over the
-    /// lifetime of the manager and survive [`Bdd::clear_caches`].
+    /// Number of nodes currently in the store (terminals included).
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Manager-wide statistics. See [`BddStats`] for which counters are
+    /// lifetime-cumulative and which are per-epoch.
     pub fn stats(&self) -> BddStats {
+        let caches = [
+            &self.ite_cache.counters,
+            &self.exists_cache.counters,
+            &self.replace_cache.counters,
+            &self.and_exists_cache.counters,
+        ];
         BddStats {
-            allocated_nodes: self.nodes.len(),
+            allocated_nodes: self.nodes.len() + self.swept_nodes as usize,
+            live_nodes: self.nodes.len(),
+            peak_live_nodes: self.peak_live_nodes,
+            gc_runs: self.gc_runs,
+            swept_nodes: self.swept_nodes,
             cache_entries: self.ite_cache.len()
                 + self.exists_cache.len()
-                + self.replace_cache.len(),
-            ite_cache_hits: self.ite_hits,
-            exists_cache_hits: self.exists_hits,
-            replace_cache_hits: self.replace_hits,
+                + self.replace_cache.len()
+                + self.and_exists_cache.len(),
+            cache_capacity: self.ite_cache.capacity()
+                + self.exists_cache.capacity()
+                + self.replace_cache.capacity()
+                + self.and_exists_cache.capacity(),
+            ite_cache_hits: self.ite_cache.counters.hits,
+            exists_cache_hits: self.exists_cache.counters.hits,
+            replace_cache_hits: self.replace_cache.counters.hits,
+            and_exists_cache_hits: self.and_exists_cache.counters.hits,
+            cache_misses: caches.iter().map(|c| c.misses).sum(),
+            cache_evictions: caches.iter().map(|c| c.evictions).sum(),
         }
     }
 
-    /// Drops all memoisation caches (the unique table is retained, so
-    /// canonicity is unaffected; the cumulative hit counters are kept).
-    /// Useful between benchmark iterations.
+    /// Drops all memoisation caches **and resets the per-epoch cache
+    /// counters** (hits, misses, evictions), so statistics reported after a
+    /// clear describe exactly the work done since it — one *epoch*. The
+    /// unique table is retained (canonicity is unaffected) and the lifetime
+    /// node counters (`allocated_nodes`, `peak_live_nodes`, `gc_runs`,
+    /// `swept_nodes`) keep accumulating. Useful between benchmark
+    /// iterations.
     pub fn clear_caches(&mut self) {
         self.ite_cache.clear();
+        self.ite_cache.reset_counters();
+        self.and_exists_cache.clear();
+        self.and_exists_cache.reset_counters();
+        self.exists_cache.clear();
+        self.exists_cache.reset_counters();
+        self.replace_cache.clear();
+        self.replace_cache.reset_counters();
+    }
+
+    fn clear_cache_entries(&mut self) {
+        self.ite_cache.clear();
+        self.and_exists_cache.clear();
         self.exists_cache.clear();
         self.replace_cache.clear();
     }
 
-    pub(crate) fn exists_cache(&mut self) -> &mut HashMap<(Ref, Ref), Ref> {
-        &mut self.exists_cache
-    }
-
-    pub(crate) fn replace_cache(&mut self) -> &mut HashMap<(Ref, u32), Ref> {
-        &mut self.replace_cache
+    /// Mark-and-sweep garbage collection.
+    ///
+    /// Marks every node reachable from the given `roots`, sweeps the rest,
+    /// compacts the node store, rebuilds the unique table, and **remaps each
+    /// root in place** so the caller's handles stay valid. Registered
+    /// substitutions survive (they are variable-level); the operation caches
+    /// are dropped because their entries mention swept references (their
+    /// per-epoch counters keep counting — a collection does not end the
+    /// statistics epoch).
+    ///
+    /// Every other non-terminal [`Ref`] held by the caller is invalidated;
+    /// see the [`Ref`] documentation for the rooting contract.
+    pub fn gc<'a, I: IntoIterator<Item = &'a mut Ref>>(&mut self, roots: I) -> GcStats {
+        let root_slots: Vec<&'a mut Ref> = roots.into_iter().collect();
+        // Mark.
+        let mut marked = vec![false; self.nodes.len()];
+        marked[Ref::FALSE.index()] = true;
+        marked[Ref::TRUE.index()] = true;
+        let mut stack: Vec<Ref> = root_slots.iter().map(|slot| **slot).collect();
+        while let Some(r) = stack.pop() {
+            if marked[r.index()] {
+                continue;
+            }
+            marked[r.index()] = true;
+            let node = self.nodes[r.index()];
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        // Sweep and compact. Children are always allocated before their
+        // parents, so remapping low/high while walking in index order sees
+        // only already-remapped children.
+        let mut remap: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        let mut live = Vec::with_capacity(marked.iter().filter(|&&m| m).count());
+        for (index, node) in self.nodes.iter().enumerate() {
+            if !marked[index] {
+                continue;
+            }
+            let new_index = u32::try_from(live.len()).expect("BDD node count overflow");
+            remap[index] = new_index;
+            let remapped = if index < 2 {
+                *node
+            } else {
+                Node {
+                    var: node.var,
+                    low: Ref(remap[node.low.index()]),
+                    high: Ref(remap[node.high.index()]),
+                }
+            };
+            live.push(remapped);
+        }
+        let swept = self.nodes.len() - live.len();
+        self.nodes = live;
+        // Rebuild the unique table over the surviving nodes.
+        self.unique.clear();
+        for (index, node) in self.nodes.iter().enumerate().skip(2) {
+            self.unique.insert(*node, Ref(index as u32));
+        }
+        // The caches mention dead references; drop the entries but keep the
+        // epoch counters running.
+        self.clear_cache_entries();
+        // Remap the caller's roots in place.
+        for slot in root_slots {
+            *slot = Ref(remap[slot.index()]);
+        }
+        self.gc_runs += 1;
+        self.swept_nodes += swept as u64;
+        GcStats { live_nodes: self.nodes.len(), swept_nodes: swept }
     }
 }
 
@@ -441,16 +622,87 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_cache_clearing() {
+    fn stats_and_cache_clearing_starts_a_new_epoch() {
         let mut bdd = Bdd::new();
         let x = bdd.var(Var::new(0));
         let y = bdd.var(Var::new(1));
         let _ = bdd.and(x, y);
+        let _ = bdd.and(x, y);
         assert!(bdd.stats().allocated_nodes >= 4);
         assert!(bdd.stats().cache_entries > 0);
+        assert!(bdd.stats().ite_cache_hits > 0);
+        assert!(bdd.stats().cache_misses > 0);
         bdd.clear_caches();
-        assert_eq!(bdd.stats().cache_entries, 0);
-        // Operations still work after clearing caches.
+        let stats = bdd.stats();
+        assert_eq!(stats.cache_entries, 0);
+        assert_eq!(stats.ite_cache_hits, 0, "clear_caches starts a new epoch");
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.cache_evictions, 0);
+        // Operations still work after clearing caches, and the new epoch
+        // counts its own hits.
         assert_eq!(bdd.and(x, y), bdd.and(y, x));
+        let _ = bdd.and(x, y);
+        assert!(bdd.stats().ite_cache_hits > 0);
+    }
+
+    #[test]
+    fn peak_live_nodes_tracks_high_water_mark() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..6).map(|i| bdd.var(Var::new(i))).collect();
+        let mut all = bdd.and_all(vars.clone());
+        let peak = bdd.stats().peak_live_nodes;
+        assert!(peak >= 8);
+        assert_eq!(peak, bdd.live_nodes());
+        // Sweeping garbage lowers live nodes but not the peak.
+        bdd.gc([&mut all]);
+        assert!(bdd.live_nodes() <= peak);
+        assert_eq!(bdd.stats().peak_live_nodes, peak);
+    }
+
+    #[test]
+    fn gc_remaps_roots_and_sweeps_garbage() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let z = bdd.var(Var::new(2));
+        let mut keep = bdd.and(x, y);
+        let keep_count = bdd.node_count(keep);
+        // Build garbage that shares nothing with `keep`.
+        let g1 = bdd.xor(y, z);
+        let _g2 = bdd.or(g1, z);
+        let before = bdd.live_nodes();
+        let gc = bdd.gc([&mut keep]);
+        assert_eq!(gc.live_nodes, bdd.live_nodes());
+        assert!(gc.swept_nodes > 0, "garbage must be reclaimed");
+        assert!(bdd.live_nodes() < before);
+        assert_eq!(bdd.live_nodes(), keep_count);
+        // The rooted diagram still denotes x ∧ y.
+        assert!(bdd.eval_bits(keep, &[true, true]));
+        assert!(!bdd.eval_bits(keep, &[true, false]));
+        // Canonicity survives: rebuilding x ∧ y finds the same node.
+        let x2 = bdd.var(Var::new(0));
+        let y2 = bdd.var(Var::new(1));
+        assert_eq!(bdd.and(x2, y2), keep);
+        assert_eq!(bdd.stats().gc_runs, 1);
+        assert_eq!(bdd.stats().swept_nodes, gc.swept_nodes as u64);
+        // Cumulative allocation counts swept nodes.
+        assert_eq!(bdd.stats().allocated_nodes, bdd.live_nodes() + gc.swept_nodes);
+    }
+
+    #[test]
+    fn gc_with_no_roots_keeps_only_terminals() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let _ = bdd.and(x, y);
+        let gc = bdd.gc([]);
+        assert_eq!(gc.live_nodes, 2);
+        assert_eq!(bdd.constant(true), Ref::TRUE);
+        assert_eq!(bdd.constant(false), Ref::FALSE);
+        // The manager is fully usable after a total sweep.
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.and(x, y);
+        assert!(bdd.eval_bits(f, &[true, true]));
     }
 }

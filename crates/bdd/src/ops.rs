@@ -48,8 +48,7 @@ impl Bdd {
         if f.is_terminal() || cube == Ref::TRUE {
             return f;
         }
-        if let Some(&cached) = self.exists_cache().get(&(f, cube)) {
-            self.exists_hits += 1;
+        if let Some(cached) = self.exists_cache.get(&(f, cube)) {
             return cached;
         }
         let f_var = self.node_var(f);
@@ -66,15 +65,20 @@ impl Bdd {
         let result = if f_var == cube_var {
             let next_cube = self.node_high(cube_rest);
             let low_q = self.exists(low, next_cube);
-            let high_q = self.exists(high, next_cube);
-            self.or(low_q, high_q)
+            if low_q == Ref::TRUE {
+                // Early termination: the disjunction is already true.
+                Ref::TRUE
+            } else {
+                let high_q = self.exists(high, next_cube);
+                self.or(low_q, high_q)
+            }
         } else {
             // f_var < cube_var: keep the node, recurse below.
             let low_q = self.exists(low, cube_rest);
             let high_q = self.exists(high, cube_rest);
             self.mk(f_var, low_q, high_q)
         };
-        self.exists_cache().insert((f, cube), result);
+        self.exists_cache.insert((f, cube), result);
         result
     }
 
@@ -100,11 +104,58 @@ impl Bdd {
     }
 
     /// Relational product `∃ vars . (f ∧ g)`, the workhorse of symbolic
-    /// image computation. (Computed without building the full conjunction
-    /// when one operand is constant.)
+    /// image computation.
+    ///
+    /// This is a genuinely *fused* operation: the conjunction is never built
+    /// as a whole. Quantified variables are eliminated as soon as the
+    /// recursion passes them (early quantification), with short-circuiting
+    /// when one branch of the disjunction is already `true` — which is what
+    /// keeps the intermediate diagrams of a partitioned transition relation
+    /// small.
     pub fn and_exists(&mut self, f: Ref, g: Ref, cube: Ref) -> Ref {
-        let conj = self.and(f, g);
-        self.exists(conj, cube)
+        if f == Ref::FALSE || g == Ref::FALSE {
+            return Ref::FALSE;
+        }
+        if cube == Ref::TRUE {
+            return self.and(f, g);
+        }
+        if f == Ref::TRUE {
+            return self.exists(g, cube);
+        }
+        if g == Ref::TRUE {
+            return self.exists(f, cube);
+        }
+        let top = self.node_var(f).min(self.node_var(g));
+        // Skip quantified variables above both roots: they do not occur in
+        // the conjunction, so quantifying them is the identity.
+        let mut cube_rest = cube;
+        while cube_rest != Ref::TRUE && self.node_var(cube_rest) < top {
+            cube_rest = self.node_high(cube_rest);
+        }
+        if cube_rest == Ref::TRUE {
+            return self.and(f, g);
+        }
+        if let Some(cached) = self.and_exists_cache.get(&(f, g, cube_rest)) {
+            return cached;
+        }
+        let (f_lo, f_hi) = self.cofactors(f, top);
+        let (g_lo, g_hi) = self.cofactors(g, top);
+        let result = if self.node_var(cube_rest) == top {
+            let next_cube = self.node_high(cube_rest);
+            let low = self.and_exists(f_lo, g_lo, next_cube);
+            if low == Ref::TRUE {
+                Ref::TRUE
+            } else {
+                let high = self.and_exists(f_hi, g_hi, next_cube);
+                self.or(low, high)
+            }
+        } else {
+            let low = self.and_exists(f_lo, g_lo, cube_rest);
+            let high = self.and_exists(f_hi, g_hi, cube_rest);
+            self.mk(top, low, high)
+        };
+        self.and_exists_cache.insert((f, g, cube_rest), result);
+        result
     }
 
     /// Registers a variable renaming for use with [`Bdd::replace`].
@@ -137,8 +188,7 @@ impl Bdd {
         if f.is_terminal() {
             return f;
         }
-        if let Some(&cached) = self.replace_cache().get(&(f, subst.0)) {
-            self.replace_hits += 1;
+        if let Some(cached) = self.replace_cache.get(&(f, subst.0)) {
             return cached;
         }
         let var = self.node_var(f);
@@ -155,7 +205,7 @@ impl Bdd {
         // children, so rebuild with `ite` on the fresh variable.
         let var_bdd = self.var(new_var);
         let result = self.ite(var_bdd, high_r, low_r);
-        self.replace_cache().insert((f, subst.0), result);
+        self.replace_cache.insert((f, subst.0), result);
         result
     }
 
@@ -232,6 +282,56 @@ mod tests {
         // ∃y. (x⇔y)∧(y⇔z) is exactly x⇔z.
         let x_iff_z = bdd.iff(x, z);
         assert_eq!(direct, x_iff_z);
+    }
+
+    #[test]
+    fn and_exists_matches_composition_on_random_pairs() {
+        // Cross-validate the fused recursion against the two-step
+        // composition on all pairs drawn from a pool of small functions.
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..4).map(|i| bdd.var(Var::new(i))).collect();
+        let mut pool = vec![Ref::TRUE, Ref::FALSE];
+        pool.extend(vars.iter().copied());
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let conj = bdd.and(vars[i], vars[j]);
+                let disj = bdd.or(vars[i], vars[j]);
+                let xor = bdd.xor(vars[i], vars[j]);
+                pool.extend([conj, disj, xor]);
+            }
+        }
+        let cubes = [
+            bdd.cube_of_vars([]),
+            bdd.cube_of_vars([Var::new(0)]),
+            bdd.cube_of_vars([Var::new(1), Var::new(3)]),
+            bdd.cube_of_vars([Var::new(0), Var::new(1), Var::new(2), Var::new(3)]),
+        ];
+        for &f in &pool {
+            for &g in &pool {
+                for &cube in &cubes {
+                    let fused = bdd.and_exists(f, g, cube);
+                    let conj = bdd.and(f, g);
+                    let composed = bdd.exists(conj, cube);
+                    assert_eq!(fused, composed, "mismatch for {f:?} {g:?} cube {cube:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_exists_is_cached() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let z = bdd.var(Var::new(2));
+        let f = bdd.iff(x, y);
+        let g = bdd.iff(y, z);
+        let cube = bdd.cube_of_vars([Var::new(1)]);
+        let first = bdd.and_exists(f, g, cube);
+        let hits_before = bdd.stats().and_exists_cache_hits;
+        let second = bdd.and_exists(f, g, cube);
+        assert_eq!(first, second);
+        assert!(bdd.stats().and_exists_cache_hits > hits_before);
     }
 
     #[test]

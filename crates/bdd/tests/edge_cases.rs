@@ -106,19 +106,81 @@ fn exists_and_replace_cache_hits_are_counted() {
 }
 
 #[test]
-fn clearing_caches_preserves_cumulative_hit_counters() {
+fn clearing_caches_starts_a_new_counter_epoch() {
     let mut bdd = Bdd::new();
     let x = bdd.var(Var::new(0));
     let y = bdd.var(Var::new(1));
     let _ = bdd.and(x, y);
     let _ = bdd.and(x, y);
-    let hits_before = bdd.stats().ite_cache_hits;
-    assert!(hits_before > 0);
+    assert!(bdd.stats().ite_cache_hits > 0);
+    assert!(bdd.stats().cache_misses > 0);
     bdd.clear_caches();
-    assert_eq!(bdd.stats().cache_entries, 0);
-    assert_eq!(bdd.stats().ite_cache_hits, hits_before, "hit counters are cumulative");
+    let cleared = bdd.stats();
+    assert_eq!(cleared.cache_entries, 0);
+    // Epoch semantics: the hit/miss/eviction counters restart with the
+    // cache, so post-clear stats describe only post-clear work.
+    assert_eq!(cleared.ite_cache_hits, 0);
+    assert_eq!(cleared.cache_misses, 0);
+    assert_eq!(cleared.cache_evictions, 0);
     // The next identical computation misses (cache was dropped), then hits.
     let _ = bdd.and(x, y);
     let _ = bdd.and(x, y);
-    assert!(bdd.stats().ite_cache_hits > hits_before);
+    assert!(bdd.stats().ite_cache_hits > 0);
+    assert!(bdd.stats().cache_misses > 0);
+    // Node counters are lifetime-cumulative and unaffected by the clear.
+    assert!(bdd.stats().allocated_nodes >= 4);
+}
+
+#[test]
+fn bounded_caches_evict_and_count_evictions() {
+    // A tiny cache forces collisions almost immediately.
+    let mut bdd = Bdd::with_cache_capacity(2);
+    let vars: Vec<Ref> = (0..10).map(|i| bdd.var(Var::new(i))).collect();
+    let mut acc = Ref::TRUE;
+    for chunk in vars.chunks(2) {
+        let pair = bdd.xor(chunk[0], chunk[1]);
+        acc = bdd.and(acc, pair);
+    }
+    let stats = bdd.stats();
+    assert!(stats.cache_evictions > 0, "2-slot cache must evict: {stats:?}");
+    assert!(stats.cache_entries <= stats.cache_capacity);
+    // Eviction is only a performance event, never a correctness one.
+    let expected = {
+        let mut acc = Ref::TRUE;
+        for chunk in vars.chunks(2) {
+            let pair = bdd.xor(chunk[0], chunk[1]);
+            acc = bdd.and(acc, pair);
+        }
+        acc
+    };
+    assert_eq!(acc, expected);
+    assert!(stats.cache_hit_rate() >= 0.0 && stats.cache_hit_rate() <= 1.0);
+}
+
+#[test]
+fn gc_keeps_rooted_diagrams_canonical() {
+    let mut bdd = Bdd::new();
+    let x = bdd.var(Var::new(0));
+    let y = bdd.var(Var::new(1));
+    let z = bdd.var(Var::new(2));
+    let mut kept_a = bdd.and(x, y);
+    let mut kept_b = bdd.or(kept_a, z);
+    // Garbage: functions no longer referenced at collection time.
+    for i in 0..16 {
+        let v = bdd.var(Var::new(10 + i));
+        let _ = bdd.xor(v, kept_b);
+    }
+    let before = bdd.live_nodes();
+    let gc = bdd.gc([&mut kept_a, &mut kept_b]);
+    assert!(gc.swept_nodes > 0);
+    assert!(bdd.live_nodes() < before);
+    // Both roots were remapped consistently: kept_a still implies kept_b.
+    assert_eq!(bdd.implies(kept_a, kept_b), Ref::TRUE);
+    // And the shared subterm is still shared: rebuilding finds the roots.
+    let x = bdd.var(Var::new(0));
+    let y = bdd.var(Var::new(1));
+    let z = bdd.var(Var::new(2));
+    let a = bdd.and(x, y);
+    assert_eq!(a, kept_a);
+    assert_eq!(bdd.or(a, z), kept_b);
 }

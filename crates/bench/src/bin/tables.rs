@@ -4,13 +4,21 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p epimc-bench --bin tables -- [table1|table2|table3|scaling|ablation|explore|all]
-//!     [--timeout <seconds>] [--full]
+//! cargo run --release -p epimc-bench --bin tables -- \
+//!     [table1|table2|table3|scaling|ablation|explore|symbolic|all]
+//!     [--timeout <seconds>] [--full] [--smoke] [--budget <file>]
 //! ```
 //!
 //! `explore` prints the exploration ablation: sequential versus parallel
 //! frontier expansion, with per-run state counts, de-duplication hits and
 //! the parallel speedup (see `epimc_system::ExploreStats`).
+//!
+//! `symbolic` prints the symbolic-engine ablation: per-formula timings,
+//! peak live BDD nodes, garbage collections and cache hit-rates across the
+//! protocol families, ending with FloodSet n=8 t=3. With `--smoke` only the
+//! small CI instance runs, and with `--budget <file>` the measured
+//! peak-live-node counts are checked against the given budget file, exiting
+//! nonzero on a regression.
 //!
 //! `--full` selects the paper-sized parameter grids (several cells will show
 //! `TO` unless a generous `--timeout` is given); without it a smaller grid is
@@ -19,7 +27,8 @@
 use std::time::Duration;
 
 use epimc_bench::{
-    ablation_table, explore_table, scaling_table, table1, table2, table3, DEFAULT_TIMEOUT,
+    ablation_table, check_symbolic_budget, explore_table, render_symbolic_table, scaling_table,
+    symbolic_rows, table1, table2, table3, DEFAULT_TIMEOUT,
 };
 
 fn main() {
@@ -27,6 +36,8 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut timeout = DEFAULT_TIMEOUT;
     let mut full = epimc_bench::full_grids_requested();
+    let mut smoke = false;
+    let mut budget_path: Option<String> = None;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -39,6 +50,10 @@ fn main() {
                 timeout = Duration::from_secs(seconds);
             }
             "--full" => full = true,
+            "--smoke" => smoke = true,
+            "--budget" => {
+                budget_path = Some(iter.next().expect("--budget requires a file path").to_string());
+            }
             other => which.push(other.to_string()),
         }
     }
@@ -54,6 +69,21 @@ fn main() {
             "scaling" => print!("{}", scaling_table(timeout, full)),
             "ablation" => print!("{}", ablation_table(full)),
             "explore" => print!("{}", explore_table(full)),
+            "symbolic" => {
+                let rows = symbolic_rows(full, smoke);
+                print!("{}", render_symbolic_table(&rows));
+                if let Some(path) = &budget_path {
+                    let budget = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("cannot read budget file {path}: {e}"));
+                    match check_symbolic_budget(&rows, &budget) {
+                        Ok(summary) => println!("{summary}"),
+                        Err(violations) => {
+                            eprintln!("peak-live-node budget exceeded:\n{violations}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
             "all" => {
                 print!("{}", table1(timeout, full));
                 println!();
@@ -66,8 +96,10 @@ fn main() {
                 print!("{}", ablation_table(full));
                 println!();
                 print!("{}", explore_table(full));
+                println!();
+                print!("{}", render_symbolic_table(&symbolic_rows(full, smoke)));
             }
-            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, or all)"),
+            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, or all)"),
         }
         println!();
     }

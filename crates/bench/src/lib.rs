@@ -276,6 +276,167 @@ pub fn explore_table(full: bool) -> String {
     )
 }
 
+/// One row of the symbolic ablation: a stable instance id (the key used by
+/// the node-budget file) plus the measured profile.
+pub struct SymbolicRow {
+    /// Stable identifier, e.g. `floodset-n8-t3`.
+    pub id: String,
+    /// The measured profile.
+    pub profile: SymbolicProfile,
+}
+
+fn sba_symbolic_row(
+    exchange: SbaExchangeKind,
+    n: usize,
+    t: usize,
+    include_temporal: bool,
+) -> SymbolicRow {
+    let id = match exchange {
+        SbaExchangeKind::FloodSet => format!("floodset-n{n}-t{t}"),
+        SbaExchangeKind::CountFloodSet => format!("count-n{n}-t{t}"),
+        SbaExchangeKind::DiffFloodSet => format!("diff-n{n}-t{t}"),
+        SbaExchangeKind::DworkMoses => format!("dworkmoses-n{n}-t{t}"),
+    };
+    let experiment = SbaExperiment::crash(exchange, n, t);
+    let profile = experiment.symbolic_profile(SymbolicOptions::default(), include_temporal);
+    SymbolicRow { id, profile }
+}
+
+fn eba_symbolic_row(exchange: EbaExchangeKind, n: usize, t: usize) -> SymbolicRow {
+    let id = match exchange {
+        EbaExchangeKind::EMin => format!("emin-n{n}-t{t}-om"),
+        EbaExchangeKind::EBasic => format!("ebasic-n{n}-t{t}-om"),
+    };
+    let experiment = EbaExperiment { exchange, n, t, failure: FailureKind::SendOmission };
+    let profile = experiment.symbolic_profile(SymbolicOptions::default(), true);
+    SymbolicRow { id, profile }
+}
+
+/// Measures the symbolic-engine ablation grid.
+///
+/// `smoke` restricts the run to the single small instance exercised by CI
+/// (`floodset-n4-t1`). The default grid spans every protocol family and
+/// ends with FloodSet `n = 8, t = 3` — a ~400k-state instance that the
+/// pre-GC engine could not complete — checked without the temporal battery
+/// (its layers are too wide for relation construction to be informative).
+pub fn symbolic_rows(full: bool, smoke: bool) -> Vec<SymbolicRow> {
+    if smoke {
+        return vec![sba_symbolic_row(SbaExchangeKind::FloodSet, 4, 1, true)];
+    }
+    let mut rows = vec![
+        sba_symbolic_row(SbaExchangeKind::FloodSet, 3, 1, true),
+        sba_symbolic_row(SbaExchangeKind::FloodSet, 4, 2, true),
+        sba_symbolic_row(SbaExchangeKind::CountFloodSet, 3, 1, true),
+        sba_symbolic_row(SbaExchangeKind::DiffFloodSet, 3, 1, true),
+        sba_symbolic_row(SbaExchangeKind::DworkMoses, 2, 1, true),
+        eba_symbolic_row(EbaExchangeKind::EMin, 2, 1),
+        eba_symbolic_row(EbaExchangeKind::EBasic, 2, 1),
+        sba_symbolic_row(SbaExchangeKind::FloodSet, 6, 2, false),
+    ];
+    if full {
+        rows.push(sba_symbolic_row(SbaExchangeKind::CountFloodSet, 4, 1, true));
+        rows.push(sba_symbolic_row(SbaExchangeKind::DworkMoses, 3, 1, true));
+        rows.push(sba_symbolic_row(SbaExchangeKind::FloodSet, 7, 2, false));
+    }
+    rows.push(sba_symbolic_row(SbaExchangeKind::FloodSet, 8, 3, false));
+    rows
+}
+
+/// Renders the symbolic ablation rows as a table.
+pub fn render_symbolic_table(rows: &[SymbolicRow]) -> String {
+    let cells: Vec<Cell> = rows
+        .iter()
+        .map(|row| {
+            let profile = &row.profile;
+            let stats = &profile.stats;
+            let cb = profile
+                .formula("B_0 CB exists0")
+                .map(|f| format_mck_duration(f.duration))
+                .unwrap_or_else(|| "-".to_string());
+            let temporal = profile
+                .formula("AG(decided_0 -> exists0)")
+                .map(|f| format_mck_duration(f.duration))
+                .unwrap_or_else(|| "-".to_string());
+            Cell {
+                key: vec![format!("{:<20}", row.id)],
+                entries: vec![
+                    profile.total_states.to_string(),
+                    format_mck_duration(profile.build_duration),
+                    cb,
+                    temporal,
+                    stats.peak_live_nodes.to_string(),
+                    format!("{} ({})", stats.gc_runs, stats.swept_nodes),
+                    format!("{:.1}%", stats.cache_hit_rate() * 100.0),
+                ],
+            }
+        })
+        .collect();
+    let mut out = render_table(
+        "Symbolic engine: per-formula timings, GC and cache behaviour",
+        &["instance            "],
+        &["states", "build", "CB check", "AG check", "peak live nodes", "gcs (swept)", "hit-rate"],
+        &cells,
+    );
+    out.push_str(
+        "CB = SBA knowledge condition (B_0 CB exists0); AG = bounded temporal formula over the\n\
+         partitioned transition relation ('-' where the relation battery is skipped).\n",
+    );
+    out
+}
+
+/// The symbolic ablation table (measure + render).
+pub fn symbolic_table(full: bool) -> String {
+    render_symbolic_table(&symbolic_rows(full, false))
+}
+
+/// Checks measured peak-live-node counts against a checked-in budget file.
+///
+/// The budget file has one `<instance-id> <max-peak-live-nodes>` pair per
+/// line (`#` starts a comment). Budget entries with no matching row are
+/// skipped, so one file can serve several grids — but if *no* entry
+/// matches any measured row the check fails: a gate that silently checked
+/// nothing (an id drifted, or a typo landed in the budget file) must not
+/// pass CI. Returns a human-readable summary, or an error describing
+/// every violation (used to fail CI on regressions).
+pub fn check_symbolic_budget(rows: &[SymbolicRow], budget_text: &str) -> Result<String, String> {
+    let mut checked = 0usize;
+    let mut violations = Vec::new();
+    for (line_number, line) in budget_text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(budget)) = (parts.next(), parts.next()) else {
+            return Err(format!("budget line {} is malformed: {line:?}", line_number + 1));
+        };
+        let budget: usize = budget
+            .parse()
+            .map_err(|_| format!("budget line {}: {budget:?} is not a number", line_number + 1))?;
+        let Some(row) = rows.iter().find(|row| row.id == id) else {
+            continue;
+        };
+        checked += 1;
+        let peak = row.profile.stats.peak_live_nodes;
+        if peak > budget {
+            violations.push(format!("{id}: peak live nodes {peak} exceeds the budget of {budget}"));
+        }
+    }
+    if checked == 0 {
+        let measured: Vec<&str> = rows.iter().map(|row| row.id.as_str()).collect();
+        return Err(format!(
+            "no budget entry matched any measured instance (measured: {}); \
+             the budget gate would check nothing",
+            measured.join(", ")
+        ));
+    }
+    if violations.is_empty() {
+        Ok(format!("node budget ok ({checked} instance(s) checked)"))
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
 /// The engine ablation: explicit-state versus symbolic (BDD) evaluation of
 /// the SBA knowledge condition on the same models.
 pub fn ablation_table(full: bool) -> String {
@@ -317,4 +478,57 @@ pub fn ablation_table(full: bool) -> String {
         &["explicit", "symbolic", "BDD statistics"],
         &cells,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: &str, peak: usize) -> SymbolicRow {
+        SymbolicRow {
+            id: id.to_string(),
+            profile: SymbolicProfile {
+                label: id.to_string(),
+                total_states: 1,
+                build_duration: Duration::ZERO,
+                formulas: Vec::new(),
+                stats: SymbolicStats { peak_live_nodes: peak, ..Default::default() },
+            },
+        }
+    }
+
+    #[test]
+    fn budget_check_passes_within_budget() {
+        let rows = [row("floodset-n4-t1", 1000)];
+        let summary = check_symbolic_budget(&rows, "# comment\nfloodset-n4-t1 2000\n").unwrap();
+        assert!(summary.contains("1 instance(s)"));
+        // Entries without a matching row are skipped as long as one matches.
+        let summary =
+            check_symbolic_budget(&rows, "floodset-n4-t1 2000\nfloodset-n9-t9 5\n").unwrap();
+        assert!(summary.contains("1 instance(s)"));
+    }
+
+    #[test]
+    fn budget_check_reports_regressions() {
+        let rows = [row("floodset-n4-t1", 3000)];
+        let err = check_symbolic_budget(&rows, "floodset-n4-t1 2000\n").unwrap_err();
+        assert!(err.contains("3000"), "{err}");
+        assert!(err.contains("2000"), "{err}");
+    }
+
+    #[test]
+    fn budget_check_fails_when_nothing_matches() {
+        // A gate that checks nothing must not pass silently.
+        let rows = [row("floodset-n4-t1", 1000)];
+        let err = check_symbolic_budget(&rows, "floodset-n5-t1 2000\n").unwrap_err();
+        assert!(err.contains("no budget entry matched"), "{err}");
+        assert!(err.contains("floodset-n4-t1"), "{err}");
+    }
+
+    #[test]
+    fn budget_check_rejects_malformed_lines() {
+        let rows = [row("floodset-n4-t1", 1000)];
+        assert!(check_symbolic_budget(&rows, "floodset-n4-t1\n").is_err());
+        assert!(check_symbolic_budget(&rows, "floodset-n4-t1 lots\n").is_err());
+    }
 }

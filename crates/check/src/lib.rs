@@ -16,15 +16,28 @@
 //!   fixpoint of the "everyone believes" operator.
 //! * [`SymbolicChecker`] — the OBDD engine, mirroring the implementation
 //!   strategy of MCK. Each layer's set of reachable states is encoded as a
-//!   BDD over boolean state variables (per-agent observables, failure status,
-//!   initial values, decisions); knowledge becomes universal quantification
-//!   over the variables the agent does not observe, and the temporal
-//!   operators use a transition-relation BDD over current/next variable
-//!   pairs.
+//!   BDD over boolean state variables in an agent-interleaved static order;
+//!   knowledge becomes quantification over the variables the agent does not
+//!   observe; the bounded temporal operators are evaluated by symbolic
+//!   pre-image over a per-round, per-agent **partitioned transition
+//!   relation** composed with the fused `and_exists` (early
+//!   quantification). See [`RelationMode`] and [`SymbolicOptions`].
+//!
+//! # Memory discipline of the symbolic engine
+//!
+//! The BDD manager garbage-collects: all long-lived handles (reachable
+//! sets, hidden-variable cubes, relation partitions) and every in-flight
+//! formula denotation are *rooted*, and collections run automatically once
+//! the live-node count passes [`SymbolicOptions::gc_threshold`] — including
+//! inside fixpoint iterations. The operation caches are capacity-bounded
+//! ([`SymbolicOptions::cache_capacity`]), so memory stays proportional to
+//! the live diagrams, not to the history of operations. [`SymbolicStats`]
+//! reports peak live nodes, collections, swept nodes, and cache
+//! hit/miss/eviction counts.
 //!
 //! Both engines implement the same semantics; `tests/engine_agreement.rs`
 //! checks them against each other on randomly generated formulas, and the
-//! benchmark crate compares their scaling (the "ablation" experiment of the
+//! benchmark crate compares their scaling (the `symbolic` ablation of the
 //! reproduction).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,4 +48,4 @@ mod symbolic;
 
 pub use explicit::Checker;
 pub use pointset::PointSet;
-pub use symbolic::{SymbolicChecker, SymbolicStats};
+pub use symbolic::{RelationMode, SymbolicChecker, SymbolicOptions, SymbolicStats};

@@ -56,11 +56,13 @@ impl PointSet {
 
     /// Removes a point.
     pub fn remove(&mut self, point: PointId) {
+        debug_assert!(point.index < self.sizes[point.time as usize]);
         self.layers[point.time as usize][point.index / BITS] &= !(1u64 << (point.index % BITS));
     }
 
     /// Returns `true` when the set contains `point`.
     pub fn contains(&self, point: PointId) -> bool {
+        debug_assert!(point.index < self.sizes[point.time as usize]);
         self.layers[point.time as usize][point.index / BITS] & (1u64 << (point.index % BITS)) != 0
     }
 
@@ -146,7 +148,15 @@ impl PointSet {
     }
 
     /// Returns `true` when `self` is a subset of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets belong to models with different layer sizes
+    /// (the same invariant enforced by [`PointSet::union_with`] and
+    /// friends; a silent zip over mismatched layers could otherwise report
+    /// a wrong answer).
     pub fn is_subset(&self, other: &PointSet) -> bool {
+        assert_eq!(self.sizes, other.sizes, "point sets belong to different models");
         self.layers
             .iter()
             .zip(&other.layers)
@@ -231,5 +241,45 @@ mod tests {
         let mut a = PointSet::empty_with_sizes(vec![2]);
         let b = PointSet::empty_with_sizes(vec![3]);
         a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different models")]
+    fn is_subset_rejects_mismatched_models() {
+        // A shorter set zipped against a longer one would silently compare
+        // only the common prefix; the invariant check forbids it.
+        let a = PointSet::empty_with_sizes(vec![2]);
+        let b = PointSet::empty_with_sizes(vec![2, 4]);
+        let _ = a.is_subset(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different models")]
+    fn is_subset_rejects_mismatched_layer_sizes() {
+        let a = PointSet::empty_with_sizes(vec![2]);
+        let b = PointSet::empty_with_sizes(vec![3]);
+        let _ = a.is_subset(&b);
+    }
+
+    // The bounds checks in `remove`/`contains` are debug assertions (like
+    // `insert`'s), so the out-of-range probes below only panic — and the
+    // tests only demand a panic — when debug assertions are compiled in.
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic)]
+    fn remove_checks_bounds_in_debug_builds() {
+        let mut set = PointSet::empty_with_sizes(vec![3]);
+        if cfg!(debug_assertions) {
+            set.remove(PointId::new(0, 7));
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic)]
+    fn contains_checks_bounds_in_debug_builds() {
+        let set = PointSet::empty_with_sizes(vec![3]);
+        if cfg!(debug_assertions) {
+            let _ = set.contains(PointId::new(0, 7));
+        }
     }
 }

@@ -17,18 +17,41 @@
 //! Common belief is the usual greatest-fixpoint iteration of the "everyone
 //! believes" operator, performed per layer on BDDs.
 //!
-//! The bounded temporal operators are evaluated over the explicit successor
-//! lists of the layered model (the transition structure is already explicit
-//! in the exploration), so this engine and the explicit [`Checker`] agree on
-//! the full logic; the BDD machinery is exercised by the epistemic operators,
-//! which dominate the cost of the paper's experiments.
+//! # Engineering for scale
+//!
+//! * **Interleaved static variable order.** State variables are laid out
+//!   with corresponding bits of different agents adjacent
+//!   ([`epimc_bdd::interleaved_slot`]), and each current-state variable is
+//!   immediately followed by its next-state (primed) copy — the standard
+//!   ordering for synchronous multi-agent relations.
+//! * **Variable-encoded atoms.** Every atom except `DecidesNow` is built
+//!   directly as a constraint over the encoded state variables instead of
+//!   scanning the explicit state list.
+//! * **Partitioned transition relation.** The bounded temporal operators
+//!   are evaluated by symbolic pre-image computation over a per-round,
+//!   per-agent *partitioned* transition relation: auxiliary choice
+//!   variables encode the adversary's successor choice, each partition
+//!   constrains one agent's primed variables, and the pre-image is composed
+//!   with the fused [`epimc_bdd::Bdd::and_exists`] so each agent's primed
+//!   variables are quantified out as early as possible. Relations are built
+//!   lazily, only for the rounds a temporal operator touches. A
+//!   [`RelationMode::Monolithic`] mode (conjoining all partitions up front)
+//!   exists for differential testing and ablation.
+//! * **Garbage collection.** All long-lived BDD handles (reachable sets,
+//!   hidden-variable cubes, relation partitions) and every in-flight
+//!   formula denotation live in a rooted arena, so the manager's
+//!   mark-and-sweep collector ([`epimc_bdd::Bdd::gc`]) can run between
+//!   operations — including in the middle of fixpoint iterations — without
+//!   invalidating live work. Collections trigger automatically past a
+//!   live-node threshold (see [`SymbolicOptions::gc_threshold`]).
 //!
 //! [`Checker`]: crate::Checker
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 
-use epimc_bdd::{Bdd, Ref, Var};
+use epimc_bdd::{interleaved_slot, Bdd, Ref, SubstId, Var};
 use epimc_logic::{AgentId, Formula, TemporalKind};
 use epimc_system::{
     ConsensusAtom, ConsensusModel, DecisionRule, InformationExchange, PointId, PointModel, Round,
@@ -36,52 +59,253 @@ use epimc_system::{
 
 use crate::pointset::PointSet;
 
-/// Statistics about a symbolic run, used by the ablation benchmarks.
+/// How the symbolic engine represents the transition relation of each round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RelationMode {
+    /// One conjunct per agent, composed by early quantification with the
+    /// fused `and_exists` — the scalable default.
+    #[default]
+    Partitioned,
+    /// All per-agent conjuncts multiplied into a single relation BDD per
+    /// round. Kept for differential testing and for measuring what the
+    /// partitioning buys.
+    Monolithic,
+}
+
+/// Tuning knobs of the symbolic engine.
+#[derive(Clone, Copy, Debug)]
+pub struct SymbolicOptions {
+    /// Transition-relation representation.
+    pub relation_mode: RelationMode,
+    /// Capacity of the manager's `ite` cache (the other operation caches
+    /// are sized relative to it); see [`epimc_bdd::Bdd::with_cache_capacity`].
+    pub cache_capacity: usize,
+    /// Live-node count above which a garbage collection is triggered at the
+    /// next safe point. After a collection the effective threshold is
+    /// raised to twice the surviving live nodes, so a model that genuinely
+    /// needs more than the threshold does not thrash.
+    pub gc_threshold: usize,
+}
+
+impl Default for SymbolicOptions {
+    fn default() -> Self {
+        SymbolicOptions {
+            relation_mode: RelationMode::Partitioned,
+            cache_capacity: epimc_bdd::DEFAULT_CACHE_CAPACITY,
+            gc_threshold: 1 << 20,
+        }
+    }
+}
+
+/// Statistics about a symbolic run, used by the ablation benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SymbolicStats {
-    /// Number of boolean state variables in the encoding.
+    /// Number of boolean state variables in the encoding (current-state).
     pub num_state_vars: usize,
-    /// Total BDD nodes allocated by the manager.
+    /// Number of additional variables for the transition relation (primed
+    /// copies plus adversary-choice bits); `0` until a temporal operator
+    /// forces the relation machinery into existence.
+    pub num_relation_vars: usize,
+    /// Total BDD nodes ever allocated by the manager (swept nodes included).
     pub allocated_nodes: usize,
+    /// BDD nodes currently live in the manager.
+    pub live_nodes: usize,
+    /// High-water mark of simultaneously live BDD nodes.
+    pub peak_live_nodes: usize,
+    /// Number of garbage collections performed.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed by garbage collection.
+    pub swept_nodes: u64,
     /// Sum over layers of the node count of the reachable-set BDDs.
     pub reachable_nodes: usize,
+    /// Operation-cache hits in the current statistics epoch.
+    pub cache_hits: u64,
+    /// Operation-cache misses in the current statistics epoch.
+    pub cache_misses: u64,
+    /// Operation-cache evictions in the current statistics epoch.
+    pub cache_evictions: u64,
+}
+
+impl SymbolicStats {
+    /// Fraction of operation-cache lookups that hit, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
 }
 
 impl fmt::Display for SymbolicStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} state vars, {} reachable-set nodes, {} allocated nodes",
-            self.num_state_vars, self.reachable_nodes, self.allocated_nodes
+            "{} state vars, {} reachable-set nodes, {} live nodes (peak {}, {} gcs, {} swept), cache hit-rate {:.1}%",
+            self.num_state_vars,
+            self.reachable_nodes,
+            self.live_nodes,
+            self.peak_live_nodes,
+            self.gc_runs,
+            self.swept_nodes,
+            self.cache_hit_rate() * 100.0
         )
     }
 }
 
-/// Per-agent slices of the boolean state-variable vector.
+/// Per-agent slices of the boolean state-variable vector, as *slot*
+/// indices. Slot `s` owns the variable pair `(Var(2s), Var(2s + 1))`:
+/// current-state and primed (next-state) copies, interleaved.
 struct AgentVars {
     /// Bits of the observable variables (grouped per observable, low bit first).
-    obs_bits: Vec<Vec<Var>>,
+    obs_bits: Vec<Vec<usize>>,
     /// The nonfaulty flag.
-    nonfaulty: Var,
+    nonfaulty: usize,
     /// Bits of the initial preference.
-    init_bits: Vec<Var>,
+    init_bits: Vec<usize>,
     /// Decided flag and decision-value bits.
-    decided: Var,
-    decision_bits: Vec<Var>,
+    decided: usize,
+    decision_bits: Vec<usize>,
+    /// Every slot belonging to this agent, ascending.
+    all_slots: Vec<usize>,
+}
+
+fn cur(slot: usize) -> Var {
+    Var::new(2 * slot as u32)
+}
+
+fn nxt(slot: usize) -> Var {
+    Var::new(2 * slot as u32 + 1)
+}
+
+/// A handle to a formula denotation (one `Ref` per layer) held in the
+/// rooted arena, so it survives garbage collections.
+type DenId = usize;
+
+/// The rooted arena of in-flight denotations: every `Vec<Ref>` a formula
+/// evaluation is still using lives here, and [`Inner::collect`] passes all
+/// of them to the collector as roots.
+#[derive(Default)]
+struct DenArena {
+    dens: Vec<Option<Vec<Ref>>>,
+    free: Vec<usize>,
+}
+
+impl DenArena {
+    fn alloc(&mut self, den: Vec<Ref>) -> DenId {
+        if let Some(id) = self.free.pop() {
+            self.dens[id] = Some(den);
+            id
+        } else {
+            self.dens.push(Some(den));
+            self.dens.len() - 1
+        }
+    }
+
+    fn release(&mut self, id: DenId) {
+        debug_assert!(self.dens[id].is_some(), "double free of denotation {id}");
+        self.dens[id] = None;
+        self.free.push(id);
+    }
+
+    fn get(&self, id: DenId) -> &[Ref] {
+        self.dens[id].as_ref().expect("use of freed denotation").as_slice()
+    }
+
+    fn get_mut(&mut self, id: DenId) -> &mut Vec<Ref> {
+        self.dens[id].as_mut().expect("use of freed denotation")
+    }
+
+    fn live_count(&self) -> usize {
+        self.dens.iter().filter(|d| d.is_some()).count()
+    }
+
+    fn roots_mut(&mut self) -> impl Iterator<Item = &mut Ref> {
+        self.dens.iter_mut().flatten().flat_map(|den| den.iter_mut())
+    }
+}
+
+/// The mutable half of the checker: the manager plus every rooted handle.
+struct Inner {
+    bdd: Bdd,
+    arena: DenArena,
+    /// Reachable-set BDD of every layer.
+    reachable: Vec<Ref>,
+    /// For each agent, the cube of current-state variables it does *not*
+    /// observe.
+    hidden_cubes: Vec<Ref>,
+    mode: RelationMode,
+    /// Relation machinery, present once a temporal operator has run.
+    cur_to_nxt: Option<SubstId>,
+    /// Per agent: the cube of its primed variables.
+    primed_cubes: Vec<Ref>,
+    /// The cube of the adversary-choice variables.
+    choice_cube: Ref,
+    /// The cube of all primed variables plus the choice variables
+    /// (monolithic pre-image).
+    all_quant_cube: Ref,
+    /// Minterm of each successor index over the choice variables.
+    choice_minterms: Vec<Ref>,
+    /// Per round `t`: the relation partitions (one per agent, or a single
+    /// conjoined BDD in monolithic mode), built lazily.
+    relations: Vec<Option<Vec<Ref>>>,
+    gc_threshold: usize,
+    gc_base_threshold: usize,
+}
+
+impl Inner {
+    /// Runs a collection now, rooting every long-lived handle, every arena
+    /// denotation, and the caller's `extra` scratch refs.
+    fn collect(&mut self, extra: &mut [Ref]) {
+        let Inner {
+            bdd,
+            arena,
+            reachable,
+            hidden_cubes,
+            primed_cubes,
+            choice_cube,
+            all_quant_cube,
+            choice_minterms,
+            relations,
+            ..
+        } = self;
+        bdd.gc(reachable
+            .iter_mut()
+            .chain(hidden_cubes.iter_mut())
+            .chain(primed_cubes.iter_mut())
+            .chain(std::iter::once(choice_cube))
+            .chain(std::iter::once(all_quant_cube))
+            .chain(choice_minterms.iter_mut())
+            .chain(relations.iter_mut().flatten().flat_map(|p| p.iter_mut()))
+            .chain(arena.roots_mut())
+            .chain(extra.iter_mut()));
+        self.gc_threshold = self.gc_base_threshold.max(self.bdd.live_nodes() * 2);
+    }
+
+    /// Collects if the live-node count has crossed the threshold. Only call
+    /// this at *safe points*: every `Ref` the caller still needs must be in
+    /// the arena, a rooted field, or `extra`.
+    fn maybe_gc(&mut self, extra: &mut [Ref]) {
+        if self.bdd.live_nodes() > self.gc_threshold {
+            self.collect(extra);
+        }
+    }
 }
 
 /// The symbolic epistemic model checker for consensus models.
 pub struct SymbolicChecker<'m, E: InformationExchange, R> {
     model: &'m ConsensusModel<E, R>,
-    bdd: std::cell::RefCell<Bdd>,
+    inner: RefCell<Inner>,
     agent_vars: Vec<AgentVars>,
-    num_vars: usize,
-    /// Encoding (as bit assignment) of every state, per layer.
+    num_slots: usize,
+    /// Number of adversary-choice bits (enough for the widest successor
+    /// fan-out in the model).
+    choice_bits: usize,
+    /// The widest successor fan-out of any point.
+    max_successors: usize,
+    /// Encoding (as slot-indexed bit assignment) of every state, per layer.
     encodings: Vec<Vec<Vec<bool>>>,
-    /// Reachable-set BDD of every layer.
-    reachable: Vec<Ref>,
-    /// For each agent, the cube of variables it does *not* observe.
-    hidden_cubes: Vec<Ref>,
 }
 
 fn bits_for(domain: u32) -> usize {
@@ -94,90 +318,178 @@ fn bits_for(domain: u32) -> usize {
     bits.max(1)
 }
 
+/// Disjunction of `items` by balanced pairwise reduction, which keeps the
+/// intermediate diagrams small compared to a linear fold.
+fn or_balanced(bdd: &mut Bdd, mut items: Vec<Ref>) -> Ref {
+    if items.is_empty() {
+        return Ref::FALSE;
+    }
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        for pair in items.chunks(2) {
+            next.push(if pair.len() == 2 { bdd.or(pair[0], pair[1]) } else { pair[0] });
+        }
+        items = next;
+    }
+    items[0]
+}
+
+/// States per chunk when building reachable-set BDDs (a collection may run
+/// between chunks).
+const BUILD_CHUNK: usize = 1024;
+
 impl<'m, E, R> SymbolicChecker<'m, E, R>
 where
     E: InformationExchange,
     R: DecisionRule<E>,
 {
-    /// Builds the symbolic encoding of `model`: allocates the state
-    /// variables, encodes every reachable state, and builds the per-layer
-    /// reachable-set BDDs.
+    /// Builds the symbolic encoding of `model` with default options.
     pub fn new(model: &'m ConsensusModel<E, R>) -> Self {
+        Self::with_options(model, SymbolicOptions::default())
+    }
+
+    /// Builds the symbolic encoding of `model`: allocates the state
+    /// variables (interleaved across agents), encodes every reachable
+    /// state, and builds the per-layer reachable-set BDDs. Transition
+    /// relations are built lazily when a temporal operator first needs
+    /// them.
+    pub fn with_options(model: &'m ConsensusModel<E, R>, options: SymbolicOptions) -> Self {
         let params = *model.params();
         let n = params.num_agents();
         let layout = model.space().exchange().observable_layout(&params);
         let value_bits = bits_for(params.num_values() as u32);
 
-        // Allocate state variables, agent-major.
-        let mut next_var = 0u32;
-        let mut fresh = |count: usize| -> Vec<Var> {
-            let vars = (0..count).map(|k| Var::new(next_var + k as u32)).collect();
-            next_var += count as u32;
-            vars
-        };
+        // Slot layout: identical per agent, so the interleaved order places
+        // corresponding bits of all agents at adjacent positions.
+        let obs_field_bits: Vec<usize> = layout.iter().map(|var| bits_for(var.domain)).collect();
+        let slots_per_agent =
+            obs_field_bits.iter().sum::<usize>() + 1 + value_bits + 1 + value_bits;
         let mut agent_vars = Vec::with_capacity(n);
-        for _agent in 0..n {
-            let obs_bits: Vec<Vec<Var>> =
-                layout.iter().map(|var| fresh(bits_for(var.domain))).collect();
+        for agent in 0..n {
+            let mut offset = 0;
+            let mut fresh = |count: usize| -> Vec<usize> {
+                let slots = (0..count)
+                    .map(|k| interleaved_slot(n, agent, offset + k) as usize)
+                    .collect::<Vec<_>>();
+                offset += count;
+                slots
+            };
+            let obs_bits: Vec<Vec<usize>> =
+                obs_field_bits.iter().map(|&bits| fresh(bits)).collect();
             let nonfaulty = fresh(1)[0];
             let init_bits = fresh(value_bits);
             let decided = fresh(1)[0];
             let decision_bits = fresh(value_bits);
-            agent_vars.push(AgentVars { obs_bits, nonfaulty, init_bits, decided, decision_bits });
+            let mut all_slots: Vec<usize> = obs_bits.iter().flatten().copied().collect::<Vec<_>>();
+            all_slots.push(nonfaulty);
+            all_slots.extend(&init_bits);
+            all_slots.push(decided);
+            all_slots.extend(&decision_bits);
+            all_slots.sort_unstable();
+            debug_assert_eq!(all_slots.len(), slots_per_agent);
+            agent_vars.push(AgentVars {
+                obs_bits,
+                nonfaulty,
+                init_bits,
+                decided,
+                decision_bits,
+                all_slots,
+            });
         }
-        let num_vars = next_var as usize;
+        let num_slots = n * slots_per_agent;
 
-        let mut bdd = Bdd::new();
-
-        // Encode every state and build the per-layer reachable sets.
-        let mut encodings = Vec::with_capacity(model.num_layers());
-        let mut reachable = Vec::with_capacity(model.num_layers());
-        for time in 0..model.num_layers() as Round {
-            let mut layer_encodings = Vec::with_capacity(model.layer_size(time));
-            let mut layer_reach = bdd.constant(false);
+        // Choice bits: enough for the widest successor fan-out.
+        let mut max_successors = 1usize;
+        for time in 0..model.num_layers().saturating_sub(1) as Round {
             for index in 0..model.layer_size(time) {
-                let point = PointId::new(time, index);
-                let bits = Self::encode_point(model, &agent_vars, num_vars, point);
-                let minterm = Self::minterm(&mut bdd, &bits);
-                layer_reach = bdd.or(layer_reach, minterm);
-                layer_encodings.push(bits);
+                max_successors =
+                    max_successors.max(model.successors(PointId::new(time, index)).len());
             }
-            encodings.push(layer_encodings);
-            reachable.push(layer_reach);
+        }
+        let choice_bits = bits_for(max_successors as u32);
+
+        // Encode every state.
+        let mut encodings = Vec::with_capacity(model.num_layers());
+        for time in 0..model.num_layers() as Round {
+            let layer: Vec<Vec<bool>> = (0..model.layer_size(time))
+                .map(|index| {
+                    Self::encode_point(model, &agent_vars, num_slots, PointId::new(time, index))
+                })
+                .collect();
+            encodings.push(layer);
         }
 
-        // Hidden-variable cubes: everything agent i does not observe.
-        let hidden_cubes = (0..n)
+        // Build the per-layer reachable sets, collecting between chunks.
+        let mut bdd = Bdd::with_cache_capacity(options.cache_capacity);
+        let base_threshold = options.gc_threshold.max(2);
+        let mut gc_threshold = base_threshold;
+        let mut reachable: Vec<Ref> = Vec::with_capacity(model.num_layers());
+        for layer in &encodings {
+            let mut chunk_results: Vec<Ref> = Vec::new();
+            for chunk in layer.chunks(BUILD_CHUNK) {
+                let minterms: Vec<Ref> =
+                    chunk.iter().map(|bits| Self::minterm_cur(&mut bdd, bits)).collect();
+                chunk_results.push(or_balanced(&mut bdd, minterms));
+                if bdd.live_nodes() > gc_threshold {
+                    bdd.gc(reachable.iter_mut().chain(chunk_results.iter_mut()));
+                    gc_threshold = base_threshold.max(bdd.live_nodes() * 2);
+                }
+            }
+            reachable.push(or_balanced(&mut bdd, chunk_results));
+        }
+
+        // Hidden-variable cubes: everything agent i does not observe, over
+        // current-state variables.
+        let hidden_cubes: Vec<Ref> = (0..n)
             .map(|agent| {
-                let observed: Vec<Var> =
-                    agent_vars[agent].obs_bits.iter().flatten().copied().collect();
-                let hidden: Vec<Var> =
-                    (0..num_vars as u32).map(Var::new).filter(|v| !observed.contains(v)).collect();
+                let mut observed = vec![false; num_slots];
+                for slot in agent_vars[agent].obs_bits.iter().flatten() {
+                    observed[*slot] = true;
+                }
+                let hidden =
+                    (0..num_slots).filter(|&slot| !observed[slot]).map(cur).collect::<Vec<_>>();
                 bdd.cube_of_vars(hidden)
             })
             .collect();
 
-        SymbolicChecker {
-            model,
-            bdd: std::cell::RefCell::new(bdd),
-            agent_vars,
-            num_vars,
-            encodings,
+        let num_rounds = model.num_layers().saturating_sub(1);
+        let inner = Inner {
+            bdd,
+            arena: DenArena::default(),
             reachable,
             hidden_cubes,
+            mode: options.relation_mode,
+            cur_to_nxt: None,
+            primed_cubes: Vec::new(),
+            choice_cube: Ref::TRUE,
+            all_quant_cube: Ref::TRUE,
+            choice_minterms: Vec::new(),
+            relations: vec![None; num_rounds],
+            gc_threshold,
+            gc_base_threshold: base_threshold,
+        };
+
+        SymbolicChecker {
+            model,
+            inner: RefCell::new(inner),
+            agent_vars,
+            num_slots,
+            choice_bits,
+            max_successors,
+            encodings,
         }
     }
 
     fn encode_point(
         model: &ConsensusModel<E, R>,
         agent_vars: &[AgentVars],
-        num_vars: usize,
+        num_slots: usize,
         point: PointId,
     ) -> Vec<bool> {
-        let mut bits = vec![false; num_vars];
-        let mut set_value = |vars: &[Var], value: u32| {
-            for (k, var) in vars.iter().enumerate() {
-                bits[var.index() as usize] = value & (1 << k) != 0;
+        let mut bits = vec![false; num_slots];
+        let mut set_value = |slots: &[usize], value: u32| {
+            for (k, slot) in slots.iter().enumerate() {
+                bits[*slot] = value & (1 << k) != 0;
             }
         };
         let state = model.state(point);
@@ -185,8 +497,8 @@ where
         for (agent_index, vars) in agent_vars.iter().enumerate() {
             let agent = AgentId::new(agent_index);
             let observation = model.observation(agent, point);
-            for (obs_index, obs_vars) in vars.obs_bits.iter().enumerate() {
-                set_value(obs_vars, observation.value(obs_index));
+            for (obs_index, obs_slots) in vars.obs_bits.iter().enumerate() {
+                set_value(obs_slots, observation.value(obs_index));
             }
             set_value(&[vars.nonfaulty], u32::from(nonfaulty.contains(agent)));
             set_value(&vars.init_bits, state.init(agent).index() as u32);
@@ -197,11 +509,22 @@ where
         bits
     }
 
-    fn minterm(bdd: &mut Bdd, bits: &[bool]) -> Ref {
-        let mut acc = bdd.constant(true);
-        // Build from the highest variable down so each conjunction is cheap.
-        for (index, &value) in bits.iter().enumerate().rev() {
-            let literal = bdd.literal(Var::new(index as u32), value);
+    /// Minterm of a state over the current-state variables.
+    fn minterm_cur(bdd: &mut Bdd, bits: &[bool]) -> Ref {
+        let mut acc = Ref::TRUE;
+        // Build from the deepest variable up so each conjunction is cheap.
+        for slot in (0..bits.len()).rev() {
+            let literal = bdd.literal(cur(slot), bits[slot]);
+            acc = bdd.and(literal, acc);
+        }
+        acc
+    }
+
+    /// Minterm of an agent's state over its primed variables.
+    fn minterm_nxt_agent(bdd: &mut Bdd, slots: &[usize], bits: &[bool]) -> Ref {
+        let mut acc = Ref::TRUE;
+        for slot in slots.iter().rev() {
+            let literal = bdd.literal(nxt(*slot), bits[*slot]);
             acc = bdd.and(literal, acc);
         }
         acc
@@ -212,21 +535,49 @@ where
         self.model
     }
 
+    /// The transition-relation representation in use.
+    pub fn relation_mode(&self) -> RelationMode {
+        self.inner.borrow().mode
+    }
+
+    /// Forces a garbage collection now, rooting all persistent handles.
+    /// Every `PointSet` already extracted stays valid (it holds no BDD
+    /// references); subsequent checks are unaffected.
+    pub fn force_gc(&self) {
+        self.inner.borrow_mut().collect(&mut []);
+    }
+
     /// Statistics about the symbolic encoding (for the ablation benchmarks).
     pub fn stats(&self) -> SymbolicStats {
-        let bdd = self.bdd.borrow();
+        let inner = self.inner.borrow();
+        let bdd_stats = inner.bdd.stats();
+        let relation_active = inner.cur_to_nxt.is_some();
         SymbolicStats {
-            num_state_vars: self.num_vars,
-            allocated_nodes: bdd.stats().allocated_nodes,
-            reachable_nodes: self.reachable.iter().map(|&r| bdd.node_count(r)).sum(),
+            num_state_vars: self.num_slots,
+            num_relation_vars: if relation_active { self.num_slots + self.choice_bits } else { 0 },
+            allocated_nodes: bdd_stats.allocated_nodes,
+            live_nodes: bdd_stats.live_nodes,
+            peak_live_nodes: bdd_stats.peak_live_nodes,
+            gc_runs: bdd_stats.gc_runs,
+            swept_nodes: bdd_stats.swept_nodes,
+            reachable_nodes: inner.reachable.iter().map(|&r| inner.bdd.node_count(r)).sum(),
+            cache_hits: bdd_stats.total_cache_hits(),
+            cache_misses: bdd_stats.cache_misses,
+            cache_evictions: bdd_stats.cache_evictions,
         }
     }
 
     /// Evaluates `formula`, returning the set of points at which it holds.
     pub fn check(&self, formula: &Formula<ConsensusAtom>) -> PointSet {
+        self.inner.borrow_mut().maybe_gc(&mut []);
         let mut env = HashMap::new();
-        let denotation = self.eval(formula, &mut env);
-        self.to_point_set(&denotation)
+        let den = self.eval(formula, &mut env);
+        let set = self.to_point_set(den);
+        let mut inner = self.inner.borrow_mut();
+        inner.arena.release(den);
+        debug_assert_eq!(inner.arena.live_count(), 0, "denotation leak in eval");
+        inner.maybe_gc(&mut []);
+        set
     }
 
     /// Returns `true` when `formula` holds at every point of the model.
@@ -234,12 +585,15 @@ where
         self.check(formula) == PointSet::full(self.model)
     }
 
-    fn to_point_set(&self, denotation: &[Ref]) -> PointSet {
-        let bdd = self.bdd.borrow();
+    fn to_point_set(&self, den: DenId) -> PointSet {
+        let inner = self.inner.borrow();
+        let layers = inner.arena.get(den);
         let mut set = PointSet::empty(self.model);
         for time in 0..self.model.num_layers() as Round {
             for (index, bits) in self.encodings[time as usize].iter().enumerate() {
-                if bdd.eval_bits(denotation[time as usize], bits) {
+                let holds =
+                    inner.bdd.eval(layers[time as usize], |v| bits[(v.index() / 2) as usize]);
+                if holds {
                     set.insert(PointId::new(time, index));
                 }
             }
@@ -247,124 +601,302 @@ where
         set
     }
 
-    fn layer_bdds_of_predicate<F: Fn(PointId) -> bool>(&self, predicate: F) -> Vec<Ref> {
-        let mut bdd = self.bdd.borrow_mut();
-        (0..self.model.num_layers() as Round)
-            .map(|time| {
-                let mut layer = bdd.constant(false);
-                for (index, bits) in self.encodings[time as usize].iter().enumerate() {
-                    if predicate(PointId::new(time, index)) {
-                        let minterm = Self::minterm(&mut bdd, bits);
-                        layer = bdd.or(layer, minterm);
-                    }
-                }
-                layer
-            })
-            .collect()
+    // ------------------------------------------------------------------
+    // Arena plumbing.
+
+    fn alloc(&self, den: Vec<Ref>) -> DenId {
+        self.inner.borrow_mut().arena.alloc(den)
     }
 
-    fn eval(&self, formula: &Formula<ConsensusAtom>, env: &mut HashMap<u32, Vec<Ref>>) -> Vec<Ref> {
+    fn release(&self, den: DenId) {
+        self.inner.borrow_mut().arena.release(den);
+    }
+
+    fn clone_den(&self, den: DenId) -> DenId {
+        let mut inner = self.inner.borrow_mut();
+        let copy = inner.arena.get(den).to_vec();
+        inner.arena.alloc(copy)
+    }
+
+    fn alloc_reachable(&self) -> DenId {
+        let mut inner = self.inner.borrow_mut();
+        let copy = inner.reachable.clone();
+        inner.arena.alloc(copy)
+    }
+
+    fn alloc_false(&self) -> DenId {
+        self.alloc(vec![Ref::FALSE; self.model.num_layers()])
+    }
+
+    /// Layerwise `a[l] = op(a[l])`, in place.
+    fn map_unary<F: Fn(&mut Bdd, Ref) -> Ref>(&self, a: DenId, op: F) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let layers = inner.arena.get_mut(a);
+        for layer in layers.iter_mut() {
+            *layer = op(&mut inner.bdd, *layer);
+        }
+    }
+
+    /// Layerwise `a[l] = op(a[l], b[l])`, in place into `a`; `b` survives.
+    fn map_binary<F: Fn(&mut Bdd, Ref, Ref) -> Ref>(&self, a: DenId, b: DenId, op: F) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        debug_assert_ne!(a, b, "aliased denotations");
+        let rhs: Vec<Ref> = inner.arena.get(b).to_vec();
+        let layers = inner.arena.get_mut(a);
+        for (layer, r) in layers.iter_mut().zip(rhs) {
+            *layer = op(&mut inner.bdd, *layer, r);
+        }
+    }
+
+    /// Layerwise `a[l] &= reachable[l]`, in place.
+    fn restrict_to_reachable(&self, a: DenId) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let reach: Vec<Ref> = inner.reachable.clone();
+        let layers = inner.arena.get_mut(a);
+        for (layer, r) in layers.iter_mut().zip(reach) {
+            *layer = inner.bdd.and(*layer, r);
+        }
+    }
+
+    fn dens_equal(&self, a: DenId, b: DenId) -> bool {
+        let inner = self.inner.borrow();
+        inner.arena.get(a) == inner.arena.get(b)
+    }
+
+    // ------------------------------------------------------------------
+    // Formula evaluation.
+
+    fn eval(&self, formula: &Formula<ConsensusAtom>, env: &mut HashMap<u32, DenId>) -> DenId {
         match formula {
-            Formula::True => self.reachable.clone(),
-            Formula::False => vec![self.bdd.borrow().constant(false); self.model.num_layers()],
+            Formula::True => self.alloc_reachable(),
+            Formula::False => self.alloc_false(),
             Formula::Atom(atom) => self.atom_denotation(atom),
             Formula::Var(v) => {
-                env.get(v).unwrap_or_else(|| panic!("free fixpoint variable _X{v}")).clone()
+                let id = *env.get(v).unwrap_or_else(|| panic!("free fixpoint variable _X{v}"));
+                self.clone_den(id)
             }
             Formula::Not(inner) => {
-                let inner = self.eval(inner, env);
-                self.restrict_to_reachable(&self.map_unary(&inner, |bdd, f| bdd.not(f)))
+                let t = self.eval(inner, env);
+                self.map_unary(t, |bdd, f| bdd.not(f));
+                self.restrict_to_reachable(t);
+                t
             }
             Formula::And(items) => {
-                let mut acc = self.reachable.clone();
+                let acc = self.alloc_reachable();
                 for item in items {
                     let value = self.eval(item, env);
-                    acc = self.map_binary(&acc, &value, |bdd, a, b| bdd.and(a, b));
+                    self.map_binary(acc, value, |bdd, a, b| bdd.and(a, b));
+                    self.release(value);
                 }
                 acc
             }
             Formula::Or(items) => {
-                let mut acc = vec![self.bdd.borrow().constant(false); self.model.num_layers()];
+                let acc = self.alloc_false();
                 for item in items {
                     let value = self.eval(item, env);
-                    acc = self.map_binary(&acc, &value, |bdd, a, b| bdd.or(a, b));
+                    self.map_binary(acc, value, |bdd, a, b| bdd.or(a, b));
+                    self.release(value);
                 }
                 acc
             }
             Formula::Implies(lhs, rhs) => {
                 let l = self.eval(lhs, env);
                 let r = self.eval(rhs, env);
-                let implication = self.map_binary(&l, &r, |bdd, a, b| bdd.implies(a, b));
-                self.restrict_to_reachable(&implication)
+                self.map_binary(l, r, |bdd, a, b| bdd.implies(a, b));
+                self.release(r);
+                self.restrict_to_reachable(l);
+                l
             }
             Formula::Iff(lhs, rhs) => {
                 let l = self.eval(lhs, env);
                 let r = self.eval(rhs, env);
-                let iff = self.map_binary(&l, &r, |bdd, a, b| bdd.iff(a, b));
-                self.restrict_to_reachable(&iff)
+                self.map_binary(l, r, |bdd, a, b| bdd.iff(a, b));
+                self.release(r);
+                self.restrict_to_reachable(l);
+                l
             }
             Formula::Knows(agent, inner) => {
                 let target = self.eval(inner, env);
-                self.knowledge(*agent, &target, false)
+                let result = self.knowledge(*agent, target, false);
+                self.release(target);
+                result
             }
             Formula::BelievesNonfaulty(agent, inner) => {
                 let target = self.eval(inner, env);
-                self.knowledge(*agent, &target, true)
+                let result = self.knowledge(*agent, target, true);
+                self.release(target);
+                result
             }
             Formula::EveryoneBelieves(inner) => {
                 let target = self.eval(inner, env);
-                self.everyone_believes(&target)
+                let result = self.everyone_believes(target);
+                self.release(target);
+                result
             }
             Formula::CommonBelief(inner) => {
                 let target = self.eval(inner, env);
-                self.common_belief(&target)
+                let result = self.common_belief(target);
+                self.release(target);
+                result
             }
             Formula::Gfp(var, body) => self.fixpoint(*var, body, env, true),
             Formula::Lfp(var, body) => self.fixpoint(*var, body, env, false),
             Formula::Temporal(kind, inner) => {
                 let target = self.eval(inner, env);
-                self.temporal(*kind, &target)
+                let result = self.temporal(*kind, target);
+                self.release(target);
+                result
             }
         }
     }
 
-    fn map_unary<F: Fn(&mut Bdd, Ref) -> Ref>(&self, layers: &[Ref], op: F) -> Vec<Ref> {
-        let mut bdd = self.bdd.borrow_mut();
-        layers.iter().map(|&f| op(&mut bdd, f)).collect()
+    // ------------------------------------------------------------------
+    // Atoms as variable constraints.
+
+    /// Conjunction `bits(slots) == value` over current-state variables.
+    fn eq_const(bdd: &mut Bdd, slots: &[usize], value: u32) -> Ref {
+        if slots.len() < 32 && u64::from(value) >= 1u64 << slots.len() {
+            return Ref::FALSE;
+        }
+        let mut acc = Ref::TRUE;
+        for (k, slot) in slots.iter().enumerate().rev() {
+            let literal = bdd.literal(cur(*slot), value & (1 << k) != 0);
+            acc = bdd.and(literal, acc);
+        }
+        acc
     }
 
-    fn map_binary<F: Fn(&mut Bdd, Ref, Ref) -> Ref>(
-        &self,
-        a: &[Ref],
-        b: &[Ref],
-        op: F,
-    ) -> Vec<Ref> {
-        let mut bdd = self.bdd.borrow_mut();
-        a.iter().zip(b).map(|(&x, &y)| op(&mut bdd, x, y)).collect()
+    /// Comparator `bits(slots) <= value` over current-state variables
+    /// (`slots` low bit first).
+    fn le_const(bdd: &mut Bdd, slots: &[usize], value: u32) -> Ref {
+        if slots.len() < 32 && u64::from(value) >= (1u64 << slots.len()) - 1 {
+            return Ref::TRUE;
+        }
+        let mut acc = Ref::TRUE;
+        for (k, slot) in slots.iter().enumerate() {
+            let x = bdd.var(cur(*slot));
+            acc = if value & (1 << k) != 0 {
+                // This bit of the bound is 1: smaller here wins outright.
+                bdd.ite(x, acc, Ref::TRUE)
+            } else {
+                // This bit of the bound is 0: larger here loses outright.
+                bdd.ite(x, Ref::FALSE, acc)
+            };
+        }
+        acc
     }
 
-    fn restrict_to_reachable(&self, layers: &[Ref]) -> Vec<Ref> {
-        self.map_binary(layers, &self.reachable, |bdd, a, b| bdd.and(a, b))
+    /// The denotation of an atom: a single current-state constraint BDD
+    /// conjoined with each layer's reachable set (except for the atoms that
+    /// genuinely depend on the explicit transition structure).
+    fn atom_denotation(&self, atom: &ConsensusAtom) -> DenId {
+        let num_layers = self.model.num_layers();
+        let constraint = {
+            let mut inner = self.inner.borrow_mut();
+            let bdd = &mut inner.bdd;
+            match *atom {
+                ConsensusAtom::InitIs(agent, value) => Some(Self::eq_const(
+                    bdd,
+                    &self.agent_vars[agent.index()].init_bits,
+                    value.index() as u32,
+                )),
+                ConsensusAtom::ExistsInit(value) => {
+                    let per_agent: Vec<Ref> = self
+                        .agent_vars
+                        .iter()
+                        .map(|vars| Self::eq_const(bdd, &vars.init_bits, value.index() as u32))
+                        .collect();
+                    Some(bdd.or_all(per_agent))
+                }
+                ConsensusAtom::Nonfaulty(agent) => {
+                    Some(bdd.var(cur(self.agent_vars[agent.index()].nonfaulty)))
+                }
+                ConsensusAtom::Decided(agent) => {
+                    Some(bdd.var(cur(self.agent_vars[agent.index()].decided)))
+                }
+                ConsensusAtom::DecidedValue(agent, value) => {
+                    let vars = &self.agent_vars[agent.index()];
+                    let decided = bdd.var(cur(vars.decided));
+                    let matches = Self::eq_const(bdd, &vars.decision_bits, value.index() as u32);
+                    Some(bdd.and(decided, matches))
+                }
+                ConsensusAtom::ObsEquals(agent, obs_index, value) => {
+                    let vars = &self.agent_vars[agent.index()];
+                    vars.obs_bits.get(obs_index).map(|slots| Self::eq_const(bdd, slots, value))
+                }
+                ConsensusAtom::ObsAtMost(agent, obs_index, value) => {
+                    let vars = &self.agent_vars[agent.index()];
+                    vars.obs_bits.get(obs_index).map(|slots| Self::le_const(bdd, slots, value))
+                }
+                ConsensusAtom::TimeIs(_) | ConsensusAtom::DecidesNow(_, _) => None,
+            }
+        };
+        match (constraint, atom) {
+            (Some(c), _) => {
+                let mut inner = self.inner.borrow_mut();
+                let inner = &mut *inner;
+                let layers: Vec<Ref> =
+                    inner.reachable.iter().map(|&reach| inner.bdd.and(reach, c)).collect();
+                inner.arena.alloc(layers)
+            }
+            (None, ConsensusAtom::TimeIs(round)) => {
+                let mut inner = self.inner.borrow_mut();
+                let layers: Vec<Ref> =
+                    (0..num_layers)
+                        .map(|layer| {
+                            if layer as Round == *round {
+                                inner.reachable[layer]
+                            } else {
+                                Ref::FALSE
+                            }
+                        })
+                        .collect();
+                inner.arena.alloc(layers)
+            }
+            // `DecidesNow` looks at the *action* taken in the coming round,
+            // which is not part of the state encoding: fall back to the
+            // explicit predicate scan.
+            (None, _) => self.layer_bdds_of_predicate(|point| self.model.eval_atom(atom, point)),
+        }
     }
 
-    fn atom_denotation(&self, atom: &ConsensusAtom) -> Vec<Ref> {
-        // Atoms whose truth value is determined directly by encoded variables
-        // could be expressed as variable constraints; seeding them from the
-        // explicit states is equivalent on the reachable sets and keeps the
-        // engine uniform across the whole atom vocabulary.
-        self.layer_bdds_of_predicate(|point| self.model.eval_atom(atom, point))
+    fn layer_bdds_of_predicate<F: Fn(PointId) -> bool>(&self, predicate: F) -> DenId {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let layers: Vec<Ref> = (0..self.model.num_layers() as Round)
+            .map(|time| {
+                let minterms: Vec<Ref> = self.encodings[time as usize]
+                    .iter()
+                    .enumerate()
+                    .filter(|(index, _)| predicate(PointId::new(time, *index)))
+                    .map(|(_, bits)| Self::minterm_cur(&mut inner.bdd, bits))
+                    .collect();
+                or_balanced(&mut inner.bdd, minterms)
+            })
+            .collect();
+        inner.arena.alloc(layers)
     }
+
+    // ------------------------------------------------------------------
+    // Epistemic operators.
 
     /// `K_i target` (or `B^N_i target` when `guarded`) per layer:
     /// `Reach ∧ ¬ ∃ hidden_i . (Reach ∧ guard ∧ ¬target)`.
-    fn knowledge(&self, agent: AgentId, target: &[Ref], guarded: bool) -> Vec<Ref> {
-        let mut bdd = self.bdd.borrow_mut();
-        let hidden = self.hidden_cubes[agent.index()];
-        let nonfaulty_var = self.agent_vars[agent.index()].nonfaulty;
-        (0..self.model.num_layers())
+    fn knowledge(&self, agent: AgentId, target: DenId, guarded: bool) -> DenId {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.maybe_gc(&mut []);
+        let hidden = inner.hidden_cubes[agent.index()];
+        let nonfaulty_var = cur(self.agent_vars[agent.index()].nonfaulty);
+        let target_layers: Vec<Ref> = inner.arena.get(target).to_vec();
+        let layers: Vec<Ref> = (0..self.model.num_layers())
             .map(|layer| {
-                let reach = self.reachable[layer];
-                let not_target = bdd.not(target[layer]);
+                let reach = inner.reachable[layer];
+                let bdd = &mut inner.bdd;
+                let not_target = bdd.not(target_layers[layer]);
                 let mut bad = bdd.and(reach, not_target);
                 if guarded {
                     let nonfaulty = bdd.var(nonfaulty_var);
@@ -374,36 +906,48 @@ where
                 let knows = bdd.not(exists_bad);
                 bdd.and(reach, knows)
             })
-            .collect()
+            .collect();
+        inner.arena.alloc(layers)
     }
 
-    fn everyone_believes(&self, target: &[Ref]) -> Vec<Ref> {
+    fn everyone_believes(&self, target: DenId) -> DenId {
         let n = self.model.num_agents();
-        let beliefs: Vec<Vec<Ref>> =
+        let beliefs: Vec<DenId> =
             AgentId::all(n).map(|agent| self.knowledge(agent, target, true)).collect();
-        let mut bdd = self.bdd.borrow_mut();
-        (0..self.model.num_layers())
-            .map(|layer| {
-                let mut acc = self.reachable[layer];
-                for agent in AgentId::all(n) {
-                    let nonfaulty = bdd.var(self.agent_vars[agent.index()].nonfaulty);
-                    let belief = beliefs[agent.index()][layer];
-                    let clause = bdd.implies(nonfaulty, belief);
-                    acc = bdd.and(acc, clause);
+        let acc = self.alloc_reachable();
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            for agent in AgentId::all(n) {
+                let nonfaulty_var = cur(self.agent_vars[agent.index()].nonfaulty);
+                let belief_layers: Vec<Ref> = inner.arena.get(beliefs[agent.index()]).to_vec();
+                let layers = inner.arena.get_mut(acc);
+                for (layer, belief) in layers.iter_mut().zip(belief_layers) {
+                    let nonfaulty = inner.bdd.var(nonfaulty_var);
+                    let clause = inner.bdd.implies(nonfaulty, belief);
+                    *layer = inner.bdd.and(*layer, clause);
                 }
-                acc
-            })
-            .collect()
+            }
+            for belief in beliefs {
+                inner.arena.release(belief);
+            }
+        }
+        acc
     }
 
-    fn common_belief(&self, target: &[Ref]) -> Vec<Ref> {
-        let mut current = self.reachable.clone();
+    fn common_belief(&self, target: DenId) -> DenId {
+        let mut current = self.alloc_reachable();
         loop {
-            let body = self.map_binary(&current, target, |bdd, a, b| bdd.and(a, b));
-            let next = self.everyone_believes(&body);
-            if next == current {
+            self.inner.borrow_mut().maybe_gc(&mut []);
+            let body = self.clone_den(current);
+            self.map_binary(body, target, |bdd, a, b| bdd.and(a, b));
+            let next = self.everyone_believes(body);
+            self.release(body);
+            if self.dens_equal(next, current) {
+                self.release(next);
                 return current;
             }
+            self.release(current);
             current = next;
         }
     }
@@ -412,18 +956,15 @@ where
         &self,
         var: u32,
         body: &Formula<ConsensusAtom>,
-        env: &mut HashMap<u32, Vec<Ref>>,
+        env: &mut HashMap<u32, DenId>,
         greatest: bool,
-    ) -> Vec<Ref> {
-        let mut current = if greatest {
-            self.reachable.clone()
-        } else {
-            vec![self.bdd.borrow().constant(false); self.model.num_layers()]
-        };
+    ) -> DenId {
+        let mut current = if greatest { self.alloc_reachable() } else { self.alloc_false() };
         loop {
-            let saved = env.insert(var, current.clone());
+            self.inner.borrow_mut().maybe_gc(&mut []);
+            let saved = env.insert(var, current);
             let next = self.eval(body, env);
-            let next = self.restrict_to_reachable(&next);
+            self.restrict_to_reachable(next);
             match saved {
                 Some(value) => {
                     env.insert(var, value);
@@ -432,67 +973,213 @@ where
                     env.remove(&var);
                 }
             }
-            if next == current {
+            if self.dens_equal(next, current) {
+                self.release(next);
                 return current;
             }
+            self.release(current);
             current = next;
         }
     }
 
-    /// Bounded temporal operators over the explicit successor structure.
-    fn temporal(&self, kind: TemporalKind, target: &[Ref]) -> Vec<Ref> {
-        let target_set = self.to_point_set(target);
-        let num_layers = self.model.num_layers();
-        let mut holds = PointSet::empty(self.model);
-        match kind {
-            TemporalKind::AllNext | TemporalKind::ExistsNext => {
-                let universal = kind == TemporalKind::AllNext;
-                for point in self.model.points() {
-                    let last = point.time as usize + 1 == num_layers;
-                    let successors = self.model.successors(point);
-                    let value = if last {
-                        universal
-                    } else if universal {
-                        successors
-                            .iter()
-                            .all(|&s| target_set.contains(PointId::new(point.time + 1, s)))
-                    } else {
-                        successors
-                            .iter()
-                            .any(|&s| target_set.contains(PointId::new(point.time + 1, s)))
-                    };
-                    if value {
-                        holds.insert(point);
+    // ------------------------------------------------------------------
+    // The partitioned transition relation and temporal operators.
+
+    /// Builds the relation machinery shared by all rounds: the
+    /// current-to-primed substitution, the per-agent primed-variable cubes,
+    /// and the choice-variable cubes and minterms.
+    fn ensure_relation_machinery(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.cur_to_nxt.is_some() {
+            return;
+        }
+        let inner = &mut *inner;
+        let bdd = &mut inner.bdd;
+        let map: Vec<(Var, Var)> = (0..self.num_slots).map(|slot| (cur(slot), nxt(slot))).collect();
+        inner.cur_to_nxt = Some(bdd.register_substitution(map));
+        inner.primed_cubes = self
+            .agent_vars
+            .iter()
+            .map(|vars| {
+                let primed: Vec<Var> = vars.all_slots.iter().map(|&slot| nxt(slot)).collect();
+                bdd.cube_of_vars(primed)
+            })
+            .collect();
+        let choice_vars: Vec<Var> =
+            (0..self.choice_bits).map(|k| Var::new((2 * self.num_slots + k) as u32)).collect();
+        inner.choice_cube = bdd.cube_of_vars(choice_vars.clone());
+        let all_primed: Vec<Var> =
+            (0..self.num_slots).map(nxt).chain(choice_vars.iter().copied()).collect();
+        inner.all_quant_cube = bdd.cube_of_vars(all_primed);
+        // Minterms of every successor index that can actually occur.
+        let mut minterms = Vec::with_capacity(self.max_successors);
+        for j in 0..self.max_successors {
+            let mut acc = Ref::TRUE;
+            for k in (0..self.choice_bits).rev() {
+                let literal = bdd.literal(choice_vars[k], j & (1 << k) != 0);
+                acc = bdd.and(literal, acc);
+            }
+            minterms.push(acc);
+        }
+        inner.choice_minterms = minterms;
+    }
+
+    /// Builds (once) the relation partitions for round `t`: for each agent
+    /// `i`, `R_t^i(s, c, s'_i) = ⋁_p minterm(p) ∧ ⋁_j choice(j) ∧
+    /// primed_i(succ_j(p))`, so that `⋀_i R_t^i` relates exactly the
+    /// explicit round-`t` edges (the choice variables `c` select which
+    /// successor the adversary takes, making the conjunction a product).
+    fn ensure_relation(&self, t: usize) {
+        self.ensure_relation_machinery();
+        let mut inner = self.inner.borrow_mut();
+        if inner.relations[t].is_some() {
+            return;
+        }
+        let inner = &mut *inner;
+        let n = self.model.num_agents();
+        let mut partitions: Vec<Vec<Ref>> = vec![Vec::new(); n];
+        let layer = &self.encodings[t];
+        let next_layer = &self.encodings[t + 1];
+        for (index, bits) in layer.iter().enumerate() {
+            let point = PointId::new(t as Round, index);
+            let successors = self.model.successors(point);
+            let bdd = &mut inner.bdd;
+            let cur_mt = Self::minterm_cur(bdd, bits);
+            for (agent, partition) in partitions.iter_mut().enumerate() {
+                let slots = &self.agent_vars[agent].all_slots;
+                let branches: Vec<Ref> = successors
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &succ)| {
+                        let choice = inner.choice_minterms[j];
+                        let next_mt = Self::minterm_nxt_agent(bdd, slots, &next_layer[succ]);
+                        bdd.and(choice, next_mt)
+                    })
+                    .collect();
+                let branch = or_balanced(bdd, branches);
+                partition.push(bdd.and(cur_mt, branch));
+            }
+            if index % BUILD_CHUNK == BUILD_CHUNK - 1 {
+                let mut flat: Vec<Ref> = partitions.iter().flatten().copied().collect();
+                inner.maybe_gc(&mut flat);
+                let mut cursor = 0;
+                for partition in partitions.iter_mut() {
+                    for slot in partition.iter_mut() {
+                        *slot = flat[cursor];
+                        cursor += 1;
                     }
                 }
+            }
+        }
+        let bdd = &mut inner.bdd;
+        let mut relation: Vec<Ref> =
+            partitions.into_iter().map(|pieces| or_balanced(bdd, pieces)).collect();
+        if inner.mode == RelationMode::Monolithic {
+            let conjoined = bdd.and_all(relation.iter().copied());
+            relation = vec![conjoined];
+        }
+        inner.relations[t] = Some(relation);
+    }
+
+    /// Symbolic pre-image: the layer-`t` states with a round-`t` successor
+    /// in `set_next` (a BDD over current-state variables of layer `t + 1`).
+    fn preimage(&self, inner: &mut Inner, t: usize, set_next: Ref) -> Ref {
+        let subst = inner.cur_to_nxt.expect("relation machinery not built");
+        let bdd = &mut inner.bdd;
+        let primed = bdd.replace(set_next, subst);
+        let relation = inner.relations[t].as_ref().expect("relation not built");
+        match inner.mode {
+            RelationMode::Partitioned => {
+                // Early quantification: each partition only mentions its own
+                // agent's primed variables, so they are quantified out the
+                // moment that partition is conjoined.
+                let mut acc = primed;
+                for (agent, &partition) in relation.iter().enumerate().rev() {
+                    acc = bdd.and_exists(partition, acc, inner.primed_cubes[agent]);
+                }
+                bdd.exists(acc, inner.choice_cube)
+            }
+            RelationMode::Monolithic => bdd.and_exists(relation[0], primed, inner.all_quant_cube),
+        }
+    }
+
+    /// `EX target` at layer `t` (exists a successor in `target`).
+    fn exists_next(&self, inner: &mut Inner, t: usize, target_next: Ref) -> Ref {
+        let pre = self.preimage(inner, t, target_next);
+        let reach = inner.reachable[t];
+        inner.bdd.and(reach, pre)
+    }
+
+    /// `AX target` at layer `t` (all successors in `target`).
+    fn all_next(&self, inner: &mut Inner, t: usize, target_next: Ref) -> Ref {
+        let bdd = &mut inner.bdd;
+        let not_target = bdd.not(target_next);
+        let bad_next = bdd.and(inner.reachable[t + 1], not_target);
+        let pre_bad = self.preimage(inner, t, bad_next);
+        let bdd = &mut inner.bdd;
+        let safe = bdd.not(pre_bad);
+        bdd.and(inner.reachable[t], safe)
+    }
+
+    /// Bounded temporal operators by backward induction over the layers,
+    /// with the per-layer step computed as a symbolic pre-image over the
+    /// (lazily built) partitioned transition relation.
+    fn temporal(&self, kind: TemporalKind, target: DenId) -> DenId {
+        let num_layers = self.model.num_layers();
+        for t in 0..num_layers.saturating_sub(1) {
+            self.ensure_relation(t);
+        }
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.maybe_gc(&mut []);
+        let target_layers: Vec<Ref> = inner.arena.get(target).to_vec();
+        let last = num_layers - 1;
+        let layers: Vec<Ref> = match kind {
+            TemporalKind::AllNext | TemporalKind::ExistsNext => {
+                let universal = kind == TemporalKind::AllNext;
+                (0..num_layers)
+                    .map(|t| {
+                        if t == last {
+                            // No successors beyond the horizon: the
+                            // universal quantifier holds vacuously, the
+                            // existential one fails.
+                            if universal {
+                                inner.reachable[t]
+                            } else {
+                                Ref::FALSE
+                            }
+                        } else if universal {
+                            self.all_next(inner, t, target_layers[t + 1])
+                        } else {
+                            self.exists_next(inner, t, target_layers[t + 1])
+                        }
+                    })
+                    .collect()
             }
             _ => {
                 let globally =
                     matches!(kind, TemporalKind::AllGlobally | TemporalKind::ExistsGlobally);
                 let universal =
                     matches!(kind, TemporalKind::AllGlobally | TemporalKind::AllFinally);
-                for time in (0..num_layers as Round).rev() {
-                    for index in 0..self.model.layer_size(time) {
-                        let point = PointId::new(time, index);
-                        let here = target_set.contains(point);
-                        let last = time as usize + 1 == num_layers;
-                        let successors = self.model.successors(point);
-                        let future = if last {
-                            globally
-                        } else if universal {
-                            successors.iter().all(|&s| holds.contains(PointId::new(time + 1, s)))
-                        } else {
-                            successors.iter().any(|&s| holds.contains(PointId::new(time + 1, s)))
-                        };
-                        let value = if globally { here && future } else { here || future };
-                        if value {
-                            holds.insert(point);
-                        }
-                    }
+                let mut layers = vec![Ref::FALSE; num_layers];
+                layers[last] = target_layers[last];
+                for t in (0..last).rev() {
+                    let future = if universal {
+                        self.all_next(inner, t, layers[t + 1])
+                    } else {
+                        self.exists_next(inner, t, layers[t + 1])
+                    };
+                    let bdd = &mut inner.bdd;
+                    layers[t] = if globally {
+                        bdd.and(target_layers[t], future)
+                    } else {
+                        bdd.or(target_layers[t], future)
+                    };
                 }
+                layers
             }
-        }
-        self.layer_bdds_of_predicate(|point| holds.contains(point))
+        };
+        inner.arena.alloc(layers)
     }
 }
 
@@ -522,18 +1209,8 @@ mod tests {
         assert_eq!(bits_for(5), 3);
     }
 
-    #[test]
-    fn symbolic_agrees_with_explicit_on_floodset() {
-        let params = ModelParams::builder()
-            .agents(3)
-            .max_faulty(1)
-            .values(2)
-            .failure(FailureKind::Crash)
-            .build();
-        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
-        let explicit = Checker::new(&model);
-        let symbolic = SymbolicChecker::new(&model);
-        let formulas = vec![
+    fn agreement_formulas() -> Vec<F> {
+        vec![
             exists(0),
             F::knows(AgentId::new(0), exists(0)),
             sba_condition(0, 0),
@@ -545,8 +1222,23 @@ mod tests {
                 F::atom(ConsensusAtom::Decided(AgentId::new(0))),
                 exists(0),
             )),
-        ];
-        for formula in formulas {
+            F::exists_finally(F::atom(ConsensusAtom::DecidesNow(AgentId::new(1), Value::ZERO))),
+            F::exists_next(F::atom(ConsensusAtom::ObsAtMost(AgentId::new(0), 0, 1))),
+        ]
+    }
+
+    #[test]
+    fn symbolic_agrees_with_explicit_on_floodset() {
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let explicit = Checker::new(&model);
+        let symbolic = SymbolicChecker::new(&model);
+        for formula in agreement_formulas() {
             assert_eq!(
                 explicit.check(&formula),
                 symbolic.check(&formula),
@@ -556,6 +1248,33 @@ mod tests {
         let stats = symbolic.stats();
         assert!(stats.num_state_vars > 0);
         assert!(stats.reachable_nodes > 0);
+        // Temporal formulas ran, so the relation machinery exists.
+        assert!(stats.num_relation_vars > stats.num_state_vars);
+    }
+
+    #[test]
+    fn monolithic_relation_agrees_with_partitioned() {
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let partitioned = SymbolicChecker::new(&model);
+        let monolithic = SymbolicChecker::with_options(
+            &model,
+            SymbolicOptions { relation_mode: RelationMode::Monolithic, ..Default::default() },
+        );
+        assert_eq!(partitioned.relation_mode(), RelationMode::Partitioned);
+        assert_eq!(monolithic.relation_mode(), RelationMode::Monolithic);
+        for formula in agreement_formulas() {
+            assert_eq!(
+                partitioned.check(&formula),
+                monolithic.check(&formula),
+                "relation modes disagree on {formula}"
+            );
+        }
     }
 
     #[test]
@@ -574,6 +1293,8 @@ mod tests {
             sba_condition(1, 1),
             F::common_belief(exists(0)),
             F::implies(F::atom(ConsensusAtom::Nonfaulty(AgentId::new(0))), exists(1)),
+            F::atom(ConsensusAtom::ObsEquals(AgentId::new(0), 0, 1)),
+            F::atom(ConsensusAtom::ObsAtMost(AgentId::new(1), 0, 0)),
         ] {
             assert_eq!(
                 explicit.check(&formula),
@@ -581,6 +1302,41 @@ mod tests {
                 "engines disagree on {formula}"
             );
         }
+    }
+
+    #[test]
+    fn forced_gc_between_checks_preserves_results() {
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let symbolic = SymbolicChecker::new(&model);
+        let formulas = agreement_formulas();
+        let before: Vec<PointSet> = formulas.iter().map(|f| symbolic.check(f)).collect();
+        symbolic.force_gc();
+        assert!(symbolic.stats().gc_runs >= 1);
+        for (formula, expected) in formulas.iter().zip(&before) {
+            assert_eq!(symbolic.check(formula), *expected, "gc changed the answer to {formula}");
+        }
+    }
+
+    #[test]
+    fn tiny_gc_threshold_still_answers_correctly() {
+        // Force collections constantly; results must be unchanged.
+        let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let explicit = Checker::new(&model);
+        let stressed = SymbolicChecker::with_options(
+            &model,
+            SymbolicOptions { gc_threshold: 1, ..Default::default() },
+        );
+        for formula in [sba_condition(0, 0), F::all_globally(exists(1)), exists(0)] {
+            assert_eq!(explicit.check(&formula), stressed.check(&formula), "on {formula}");
+        }
+        assert!(stressed.stats().gc_runs > 0, "threshold 1 must trigger collections");
     }
 
     #[test]

@@ -21,14 +21,16 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use epimc_check::{SymbolicChecker, SymbolicOptions, SymbolicStats};
+use epimc_logic::{AgentId, Formula};
 use epimc_protocols::{
     CountFloodSet, DiffFloodSet, DworkMoses, DworkMosesRule, EBasic, EBasicRule, EMin, EMinRule,
     FloodSet, FloodSetRule, TextbookRule,
 };
 use epimc_synth::{KnowledgeBasedProgram, Synthesizer};
 use epimc_system::{
-    ConsensusModel, DecisionRule, ExploreStats, FailureKind, InformationExchange, ModelParams,
-    Round,
+    ConsensusAtom, ConsensusModel, DecisionRule, ExploreStats, FailureKind, InformationExchange,
+    ModelParams, Round, Value,
 };
 
 use crate::optimality::analyze_sba;
@@ -150,6 +152,122 @@ where
     receiver.recv_timeout(timeout).ok()
 }
 
+/// One timed formula evaluation inside a [`SymbolicProfile`].
+#[derive(Clone, Debug)]
+pub struct SymbolicFormulaTiming {
+    /// Human-readable rendering of the checked formula.
+    pub label: String,
+    /// Wall-clock duration of the check.
+    pub duration: Duration,
+    /// Number of points at which the formula holds.
+    pub points: usize,
+}
+
+/// A profile of the symbolic (BDD) engine on one experiment instance:
+/// per-formula wall-clock timings plus the manager's node/GC/cache
+/// statistics — the measurements behind the `tables -- symbolic` ablation.
+#[derive(Clone, Debug)]
+pub struct SymbolicProfile {
+    /// Description of the instance (exchange and parameters).
+    pub label: String,
+    /// Total number of explored states encoded symbolically.
+    pub total_states: usize,
+    /// Wall-clock time to build the symbolic encoding (state variables,
+    /// reachable-set BDDs, hidden-variable cubes).
+    pub build_duration: Duration,
+    /// The timed formula checks, in evaluation order.
+    pub formulas: Vec<SymbolicFormulaTiming>,
+    /// Final manager statistics (peak live nodes, gc runs, cache rates).
+    pub stats: SymbolicStats,
+}
+
+impl SymbolicProfile {
+    /// Total wall-clock time spent checking formulas.
+    pub fn total_check_duration(&self) -> Duration {
+        self.formulas.iter().map(|f| f.duration).sum()
+    }
+
+    /// The timing entry for the formula labelled `label`, if present.
+    pub fn formula(&self, label: &str) -> Option<&SymbolicFormulaTiming> {
+        self.formulas.iter().find(|f| f.label == label)
+    }
+}
+
+impl fmt::Display for SymbolicProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} states, build {}, check {}",
+            self.label,
+            self.total_states,
+            format_mck_duration(self.build_duration),
+            format_mck_duration(self.total_check_duration())
+        )?;
+        for timing in &self.formulas {
+            writeln!(
+                f,
+                "  {} -> {} points in {}",
+                timing.label,
+                timing.points,
+                format_mck_duration(timing.duration)
+            )?;
+        }
+        write!(f, "  {}", self.stats)
+    }
+}
+
+/// Profiles the symbolic engine on an already-explored model: builds the
+/// checker with `options`, times a fixed formula battery (the SBA knowledge
+/// condition plus, when `include_temporal` is set, a bounded temporal
+/// property that forces the partitioned transition relation into
+/// existence), and reports the manager statistics.
+pub fn symbolic_profile_model<E, R>(
+    label: String,
+    model: &ConsensusModel<E, R>,
+    options: SymbolicOptions,
+    include_temporal: bool,
+) -> SymbolicProfile
+where
+    E: InformationExchange,
+    R: DecisionRule<E>,
+{
+    type F = Formula<ConsensusAtom>;
+    let start = Instant::now();
+    let checker = SymbolicChecker::with_options(model, options);
+    let build_duration = start.elapsed();
+
+    let exists0 = F::atom(ConsensusAtom::ExistsInit(Value::new(0)));
+    let agent0 = AgentId::new(0);
+    let mut battery: Vec<(String, F)> = vec![
+        ("exists0".into(), exists0.clone()),
+        ("K_0 exists0".into(), F::knows(agent0, exists0.clone())),
+        ("B_0 CB exists0".into(), F::believes_nonfaulty(agent0, F::common_belief(exists0.clone()))),
+    ];
+    if include_temporal {
+        battery.push((
+            "AG(decided_0 -> exists0)".into(),
+            F::all_globally(F::implies(F::atom(ConsensusAtom::Decided(agent0)), exists0)),
+        ));
+    }
+
+    let formulas = battery
+        .into_iter()
+        .map(|(label, formula)| {
+            let start = Instant::now();
+            let holds = checker.check(&formula);
+            SymbolicFormulaTiming { label, duration: start.elapsed(), points: holds.len() }
+        })
+        .collect();
+
+    SymbolicProfile {
+        label,
+        total_states: model.space().total_states(),
+        build_duration,
+        formulas,
+        stats: checker.stats(),
+    }
+}
+
 /// A Simultaneous Byzantine Agreement experiment instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SbaExperiment {
@@ -229,6 +347,38 @@ impl SbaExperiment {
             SbaExchangeKind::DworkMoses => synthesize_sba(label, DworkMoses, params, &program),
         }
     }
+
+    /// Profiles the symbolic engine on this instance (see
+    /// [`symbolic_profile_model`]). `include_temporal` additionally times a
+    /// bounded temporal formula, which forces the per-round transition
+    /// relations to be built — skip it for instances whose layers are too
+    /// wide for relation construction to be worthwhile.
+    pub fn symbolic_profile(
+        &self,
+        options: SymbolicOptions,
+        include_temporal: bool,
+    ) -> SymbolicProfile {
+        let params = self.params();
+        let label = self.label("symbolic");
+        match self.exchange {
+            SbaExchangeKind::FloodSet => {
+                let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+                symbolic_profile_model(label, &model, options, include_temporal)
+            }
+            SbaExchangeKind::CountFloodSet => {
+                let model = ConsensusModel::explore(CountFloodSet, params, TextbookRule);
+                symbolic_profile_model(label, &model, options, include_temporal)
+            }
+            SbaExchangeKind::DiffFloodSet => {
+                let model = ConsensusModel::explore(DiffFloodSet, params, TextbookRule);
+                symbolic_profile_model(label, &model, options, include_temporal)
+            }
+            SbaExchangeKind::DworkMoses => {
+                let model = ConsensusModel::explore(DworkMoses, params, DworkMosesRule);
+                symbolic_profile_model(label, &model, options, include_temporal)
+            }
+        }
+    }
 }
 
 /// An Eventual Byzantine Agreement experiment instance (Table 3).
@@ -279,6 +429,27 @@ impl EbaExperiment {
         match self.exchange {
             EbaExchangeKind::EMin => model_check_eba(label, EMin, EMinRule, params),
             EbaExchangeKind::EBasic => model_check_eba(label, EBasic, EBasicRule, params),
+        }
+    }
+
+    /// Profiles the symbolic engine on this instance (see
+    /// [`symbolic_profile_model`]).
+    pub fn symbolic_profile(
+        &self,
+        options: SymbolicOptions,
+        include_temporal: bool,
+    ) -> SymbolicProfile {
+        let params = self.params();
+        let label = self.label("symbolic");
+        match self.exchange {
+            EbaExchangeKind::EMin => {
+                let model = ConsensusModel::explore(EMin, params, EMinRule);
+                symbolic_profile_model(label, &model, options, include_temporal)
+            }
+            EbaExchangeKind::EBasic => {
+                let model = ConsensusModel::explore(EBasic, params, EBasicRule);
+                symbolic_profile_model(label, &model, options, include_temporal)
+            }
         }
     }
 }
@@ -464,5 +635,28 @@ mod tests {
         let experiment = SbaExperiment::crash(SbaExchangeKind::DworkMoses, 2, 1);
         let check = experiment.model_check();
         assert!(check.spec_ok, "{check}");
+    }
+
+    #[test]
+    fn symbolic_profile_reports_timings_and_stats() {
+        let experiment = SbaExperiment::crash(SbaExchangeKind::FloodSet, 3, 1);
+        let profile = experiment.symbolic_profile(SymbolicOptions::default(), true);
+        assert!(profile.total_states > 0);
+        assert_eq!(profile.formulas.len(), 4, "battery with temporal has 4 formulas");
+        assert!(profile.formula("B_0 CB exists0").is_some());
+        assert!(profile.stats.peak_live_nodes > 0);
+        assert!(profile.stats.num_relation_vars > 0, "temporal formula builds the relation");
+        assert!(profile.total_check_duration() > Duration::ZERO);
+        assert!(!format!("{profile}").is_empty());
+
+        let eba = EbaExperiment {
+            exchange: EbaExchangeKind::EMin,
+            n: 2,
+            t: 1,
+            failure: FailureKind::SendOmission,
+        };
+        let profile = eba.symbolic_profile(SymbolicOptions::default(), false);
+        assert_eq!(profile.formulas.len(), 3);
+        assert_eq!(profile.stats.num_relation_vars, 0, "no temporal formula, no relation");
     }
 }

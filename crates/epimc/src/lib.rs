@@ -54,7 +54,9 @@ pub use epimc_system::run;
 /// Convenient re-exports of the most frequently used items from the whole
 /// workspace.
 pub mod prelude {
-    pub use epimc_check::{Checker, PointSet, SymbolicChecker};
+    pub use epimc_check::{
+        Checker, PointSet, RelationMode, SymbolicChecker, SymbolicOptions, SymbolicStats,
+    };
     pub use epimc_logic::{AgentId, AgentSet, Formula};
     pub use epimc_protocols::{
         CountFloodSet, CountOptimalRule, DecideAtRound, DiffFloodSet, DworkMoses, DworkMosesRule,
@@ -70,6 +72,7 @@ pub mod prelude {
 
     pub use crate::experiments::{
         EbaExchangeKind, EbaExperiment, ExperimentMeasurement, SbaExchangeKind, SbaExperiment,
+        SymbolicFormulaTiming, SymbolicProfile,
     };
     pub use crate::hypotheses::{condition2, condition3, condition3_observed, HypothesisReport};
     pub use crate::optimality::{analyze_sba, OptimalityReport};

@@ -17,23 +17,75 @@
 //! The worker count defaults to the available hardware parallelism and can
 //! be pinned with the `EPIMC_THREADS` environment variable (`EPIMC_THREADS=1`
 //! forces fully sequential execution, which is useful for bit-for-bit
-//! comparisons against the parallel path).
+//! comparisons against the parallel path). The variable is validated once,
+//! at startup: invalid values (zero, non-numeric) warn on stderr and fall
+//! back to the hardware parallelism, and absurd values are clamped to
+//! [`MAX_THREADS`] — see [`resolve_thread_count`] for the exact rules.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 use std::thread;
+
+/// Upper bound on the worker count accepted from `EPIMC_THREADS`. Scoped
+/// threads are cheap but not free; values beyond this are clamped (with a
+/// warning) rather than honoured.
+pub const MAX_THREADS: usize = 256;
+
+/// Interprets a raw `EPIMC_THREADS` value against the available hardware
+/// parallelism. Returns the worker count to use plus a warning message when
+/// the value was invalid (empty, non-numeric, zero) or clamped.
+///
+/// This is the pure core of [`num_threads`], separated so the validation
+/// rules can be unit-tested without touching process environment state.
+pub fn resolve_thread_count(raw: Option<&str>, hardware: usize) -> (usize, Option<String>) {
+    let hardware = hardware.max(1);
+    let Some(raw) = raw else {
+        return (hardware, None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => (
+            hardware,
+            Some(format!(
+                "EPIMC_THREADS=0 is invalid (a worker count must be positive); \
+                 falling back to the hardware parallelism of {hardware}"
+            )),
+        ),
+        Ok(n) if n > MAX_THREADS => (
+            MAX_THREADS,
+            Some(format!("EPIMC_THREADS={n} exceeds the maximum of {MAX_THREADS}; clamping")),
+        ),
+        Ok(n) => (n, None),
+        Err(_) => (
+            hardware,
+            Some(format!(
+                "EPIMC_THREADS={raw:?} is not a number; \
+                 falling back to the hardware parallelism of {hardware}"
+            )),
+        ),
+    }
+}
 
 /// The default worker count for [`parallel_chunks`] callers: the value of
 /// the `EPIMC_THREADS` environment variable if set, otherwise the available
 /// hardware parallelism.
+///
+/// The variable is validated **once**, at the first call: invalid values
+/// (`0`, non-numeric) fall back to the hardware parallelism and absurd
+/// values are clamped to [`MAX_THREADS`], in both cases with a warning on
+/// stderr. Later changes to the environment variable are not observed.
 pub fn num_threads() -> usize {
-    if let Ok(value) = std::env::var("EPIMC_THREADS") {
-        if let Ok(parsed) = value.trim().parse::<usize>() {
-            return parsed.max(1);
+    static RESOLVED: OnceLock<usize> = OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        let hardware = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let raw = std::env::var("EPIMC_THREADS").ok();
+        let (count, warning) = resolve_thread_count(raw.as_deref(), hardware);
+        if let Some(warning) = warning {
+            eprintln!("epimc-par: {warning}");
         }
-    }
-    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        count
+    })
 }
 
 /// Splits `0..len` into at most `workers` contiguous, near-equal ranges.
@@ -130,5 +182,46 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+        assert!(num_threads() <= MAX_THREADS || std::env::var("EPIMC_THREADS").is_err());
+    }
+
+    #[test]
+    fn resolve_thread_count_accepts_valid_values() {
+        assert_eq!(resolve_thread_count(Some("1"), 8), (1, None));
+        assert_eq!(resolve_thread_count(Some("4"), 8), (4, None));
+        assert_eq!(resolve_thread_count(Some(" 16 "), 8), (16, None));
+        assert_eq!(resolve_thread_count(Some(&MAX_THREADS.to_string()), 8), (MAX_THREADS, None));
+        // Unset: hardware parallelism, silently.
+        assert_eq!(resolve_thread_count(None, 8), (8, None));
+    }
+
+    #[test]
+    fn resolve_thread_count_warns_and_falls_back_on_zero() {
+        let (count, warning) = resolve_thread_count(Some("0"), 8);
+        assert_eq!(count, 8);
+        assert!(warning.unwrap().contains("EPIMC_THREADS=0"));
+    }
+
+    #[test]
+    fn resolve_thread_count_warns_and_falls_back_on_garbage() {
+        for garbage in ["", "  ", "four", "-2", "3.5", "0x10", "1e3"] {
+            let (count, warning) = resolve_thread_count(Some(garbage), 6);
+            assert_eq!(count, 6, "garbage value {garbage:?} must fall back");
+            assert!(warning.unwrap().contains("not a number"), "for {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_thread_count_clamps_absurd_values() {
+        let (count, warning) = resolve_thread_count(Some("1000000"), 8);
+        assert_eq!(count, MAX_THREADS);
+        assert!(warning.unwrap().contains("clamping"));
+    }
+
+    #[test]
+    fn resolve_thread_count_guards_degenerate_hardware() {
+        // A hypothetical zero-parallelism report still yields one worker.
+        assert_eq!(resolve_thread_count(None, 0), (1, None));
+        assert_eq!(resolve_thread_count(Some("bad"), 0).0, 1);
     }
 }

@@ -126,6 +126,70 @@ fn engines_agree_on_emin_omissions() {
 }
 
 #[test]
+fn partitioned_and_monolithic_relations_agree_on_seeded_formulas() {
+    // Differential test for the two transition-relation representations of
+    // the symbolic engine: on every seeded random formula (the same
+    // generator as the explicit/symbolic suite, including the temporal
+    // operators that exercise pre-image computation), the per-agent
+    // partitioned relation with early quantification must produce exactly
+    // the same point sets as the monolithic relation — and both must match
+    // the explicit engine.
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+    let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+    let explicit = Checker::new(&model);
+    let partitioned = SymbolicChecker::new(&model);
+    let monolithic = SymbolicChecker::with_options(
+        &model,
+        SymbolicOptions { relation_mode: RelationMode::Monolithic, ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0006);
+    for case in 0..48 {
+        let formula = random_formula(&mut rng, 3, 3);
+        let expected = explicit.check(&formula);
+        let from_partitioned = partitioned.check(&formula);
+        assert_eq!(
+            expected, from_partitioned,
+            "partitioned engine disagrees with explicit on case {case}: {formula}"
+        );
+        let from_monolithic = monolithic.check(&formula);
+        assert_eq!(
+            from_partitioned, from_monolithic,
+            "relation modes disagree on case {case}: {formula}"
+        );
+    }
+}
+
+#[test]
+fn gc_preserves_symbolic_semantics_on_seeded_formulas() {
+    // Oracle test for the garbage collector: evaluate a seeded random
+    // formula set, sweep, and re-evaluate — every answer must be
+    // bit-identical to the pre-sweep point set and to the explicit engine.
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+    let explicit = Checker::new(&model);
+    // A tiny threshold also forces collections *during* evaluation, in the
+    // middle of fixpoint iterations.
+    let symbolic = SymbolicChecker::with_options(
+        &model,
+        SymbolicOptions { gc_threshold: 1 << 10, ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0007);
+    let formulas: Vec<F> = (0..64).map(|_| random_formula(&mut rng, 2, 3)).collect();
+    let before: Vec<PointSet> = formulas.iter().map(|f| symbolic.check(f)).collect();
+    symbolic.force_gc();
+    assert!(symbolic.stats().gc_runs > 0, "collections must have run");
+    for (case, (formula, expected)) in formulas.iter().zip(&before).enumerate() {
+        let after = symbolic.check(formula);
+        assert_eq!(&after, expected, "gc changed case {case}: {formula}");
+        assert_eq!(
+            after,
+            explicit.check(formula),
+            "symbolic engine disagrees with explicit after gc on case {case}: {formula}"
+        );
+    }
+}
+
+#[test]
 fn knowledge_is_veridical_on_random_formulas() {
     // K_i φ ⇒ φ is valid in the S5 clock semantics; checking it on random
     // φ exercises the knowledge machinery end to end.
