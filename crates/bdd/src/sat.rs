@@ -97,6 +97,64 @@ impl Bdd {
         Some(path)
     }
 
+    /// Enumerates all satisfying assignments of `f` over exactly the given
+    /// strictly-ascending variable list, as bit vectors parallel to `vars`.
+    ///
+    /// Unlike [`Bdd::all_sat`] this walks the diagram instead of scanning
+    /// `2^n` assignments, so the cost is proportional to the number of
+    /// solutions (don't-care variables are expanded explicitly). The symbolic
+    /// synthesis layer uses it to read observation values off a projected
+    /// denotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not strictly ascending or if `f` depends on a
+    /// variable outside `vars`.
+    pub fn sat_assignments_over(&self, f: Ref, vars: &[Var]) -> Vec<Vec<bool>> {
+        for pair in vars.windows(2) {
+            assert!(pair[0] < pair[1], "sat_assignments_over variables must be strictly ascending");
+        }
+        let mut result = Vec::new();
+        let mut current = Vec::with_capacity(vars.len());
+        self.sat_assignments_rec(f, vars, &mut current, &mut result);
+        result
+    }
+
+    fn sat_assignments_rec(
+        &self,
+        f: Ref,
+        vars: &[Var],
+        current: &mut Vec<bool>,
+        out: &mut Vec<Vec<bool>>,
+    ) {
+        if f == Ref::FALSE {
+            return;
+        }
+        let Some((&var, rest)) = vars.split_first() else {
+            assert!(f == Ref::TRUE, "sat_assignments_over universe does not cover {f:?}");
+            out.push(current.clone());
+            return;
+        };
+        let (low, high) = if f == Ref::TRUE {
+            (f, f)
+        } else {
+            let top = self.node_var(f);
+            assert!(top >= var, "sat_assignments_over universe does not cover {top}");
+            if top == var {
+                (self.node_low(f), self.node_high(f))
+            } else {
+                // `var` is a don't-care for `f`: expand both phases.
+                (f, f)
+            }
+        };
+        current.push(false);
+        self.sat_assignments_rec(low, rest, current, out);
+        current.pop();
+        current.push(true);
+        self.sat_assignments_rec(high, rest, current, out);
+        current.pop();
+    }
+
     /// Enumerates all satisfying assignments of `f` over the universe
     /// `{0, .., num_vars - 1}`, as bit vectors. Intended for small variable
     /// counts (tests and oracle comparisons).
@@ -171,6 +229,34 @@ mod tests {
         assert!(witness.contains(&(Var::new(1), true)));
         assert_eq!(bdd.any_sat(Ref::FALSE), None);
         assert_eq!(bdd.any_sat(Ref::TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn sat_assignments_over_expands_dont_cares() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let z = bdd.var(Var::new(4));
+        let f = bdd.or(x, z);
+        let vars = [Var::new(0), Var::new(2), Var::new(4)];
+        let mut sats = bdd.sat_assignments_over(f, &vars);
+        sats.sort();
+        // x ∨ z over {x, y, z} has 6 models; the skipped variable 2 is
+        // expanded in both phases.
+        assert_eq!(sats.len(), 6);
+        for assignment in &sats {
+            assert!(assignment[0] || assignment[2]);
+        }
+        assert!(bdd.sat_assignments_over(Ref::FALSE, &vars).is_empty());
+        assert_eq!(bdd.sat_assignments_over(Ref::TRUE, &vars).len(), 8);
+        assert_eq!(bdd.sat_assignments_over(Ref::TRUE, &[]), vec![Vec::<bool>::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn sat_assignments_over_rejects_uncovered_support() {
+        let mut bdd = Bdd::new();
+        let y = bdd.var(Var::new(1));
+        let _ = bdd.sat_assignments_over(y, &[Var::new(0), Var::new(2)]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p epimc-bench --bin tables -- \
-//!     [table1|table2|table3|scaling|ablation|explore|symbolic|all]
+//!     [table1|table2|table3|scaling|ablation|explore|symbolic|synthesis|all]
 //!     [--timeout <seconds>] [--full] [--smoke] [--budget <file>]
 //! ```
 //!
@@ -20,6 +20,12 @@
 //! peak-live-node counts are checked against the given budget file, exiting
 //! nonzero on a regression.
 //!
+//! `synthesis` prints the synthesis ablation: explicit versus symbolic
+//! forward induction across the FloodSet / EBA families, ending at a
+//! FloodSet instance the explicit engine cannot finish within the timeout.
+//! `--smoke` and `--budget <file>` work as for `symbolic` (CI runs them
+//! against `crates/bench/synthesis_budget.txt`).
+//!
 //! `--full` selects the paper-sized parameter grids (several cells will show
 //! `TO` unless a generous `--timeout` is given); without it a smaller grid is
 //! used so the run completes in a few minutes.
@@ -27,8 +33,9 @@
 use std::time::Duration;
 
 use epimc_bench::{
-    ablation_table, check_symbolic_budget, explore_table, render_symbolic_table, scaling_table,
-    symbolic_rows, table1, table2, table3, DEFAULT_TIMEOUT,
+    ablation_table, check_symbolic_budget, check_synthesis_budget, explore_table,
+    render_symbolic_table, render_synthesis_table, scaling_table, symbolic_rows, synthesis_rows,
+    table1, table2, table3, DEFAULT_TIMEOUT,
 };
 
 fn main() {
@@ -84,6 +91,26 @@ fn main() {
                     }
                 }
             }
+            "synthesis" => {
+                let rows = synthesis_rows(full, smoke, timeout);
+                print!("{}", render_synthesis_table(&rows));
+                let disagreements = epimc_bench::synthesis_disagreements(&rows);
+                if !disagreements.is_empty() {
+                    eprintln!("synthesis engines disagree on: {}", disagreements.join(", "));
+                    std::process::exit(1);
+                }
+                if let Some(path) = &budget_path {
+                    let budget = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("cannot read budget file {path}: {e}"));
+                    match check_synthesis_budget(&rows, &budget) {
+                        Ok(summary) => println!("{summary}"),
+                        Err(violations) => {
+                            eprintln!("peak-live-node budget exceeded:\n{violations}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
             "all" => {
                 print!("{}", table1(timeout, full));
                 println!();
@@ -98,8 +125,10 @@ fn main() {
                 print!("{}", explore_table(full));
                 println!();
                 print!("{}", render_symbolic_table(&symbolic_rows(full, smoke)));
+                println!();
+                print!("{}", render_synthesis_table(&synthesis_rows(full, smoke, timeout)));
             }
-            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, or all)"),
+            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, or all)"),
         }
         println!();
     }

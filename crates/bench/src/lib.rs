@@ -399,6 +399,22 @@ pub fn symbolic_table(full: bool) -> String {
 /// pass CI. Returns a human-readable summary, or an error describing
 /// every violation (used to fail CI on regressions).
 pub fn check_symbolic_budget(rows: &[SymbolicRow], budget_text: &str) -> Result<String, String> {
+    let measured: Vec<(&str, usize)> =
+        rows.iter().map(|row| (row.id.as_str(), row.profile.stats.peak_live_nodes)).collect();
+    check_peak_budget(&measured, budget_text)
+}
+
+/// Checks measured synthesis peak-live-node counts against a checked-in
+/// budget file; same format and failure semantics as
+/// [`check_symbolic_budget`].
+pub fn check_synthesis_budget(rows: &[SynthesisRow], budget_text: &str) -> Result<String, String> {
+    let measured: Vec<(&str, usize)> =
+        rows.iter().map(|row| (row.id.as_str(), row.comparison.peak_live_nodes)).collect();
+    check_peak_budget(&measured, budget_text)
+}
+
+/// The shared budget gate over `(instance id, measured peak)` pairs.
+fn check_peak_budget(measured: &[(&str, usize)], budget_text: &str) -> Result<String, String> {
     let mut checked = 0usize;
     let mut violations = Vec::new();
     for (line_number, line) in budget_text.lines().enumerate() {
@@ -413,21 +429,20 @@ pub fn check_symbolic_budget(rows: &[SymbolicRow], budget_text: &str) -> Result<
         let budget: usize = budget
             .parse()
             .map_err(|_| format!("budget line {}: {budget:?} is not a number", line_number + 1))?;
-        let Some(row) = rows.iter().find(|row| row.id == id) else {
+        let Some(&(_, peak)) = measured.iter().find(|(measured_id, _)| *measured_id == id) else {
             continue;
         };
         checked += 1;
-        let peak = row.profile.stats.peak_live_nodes;
         if peak > budget {
             violations.push(format!("{id}: peak live nodes {peak} exceeds the budget of {budget}"));
         }
     }
     if checked == 0 {
-        let measured: Vec<&str> = rows.iter().map(|row| row.id.as_str()).collect();
+        let ids: Vec<&str> = measured.iter().map(|(id, _)| *id).collect();
         return Err(format!(
             "no budget entry matched any measured instance (measured: {}); \
              the budget gate would check nothing",
-            measured.join(", ")
+            ids.join(", ")
         ));
     }
     if violations.is_empty() {
@@ -435,6 +450,143 @@ pub fn check_symbolic_budget(rows: &[SymbolicRow], budget_text: &str) -> Result<
     } else {
         Err(violations.join("\n"))
     }
+}
+
+/// One row of the synthesis ablation: a stable instance id (the key used by
+/// the node-budget file) plus the explicit-versus-symbolic measurement.
+pub struct SynthesisRow {
+    /// Stable identifier, e.g. `floodset-n9-t3`.
+    pub id: String,
+    /// The measurement.
+    pub comparison: SynthesisComparison,
+}
+
+/// The rows on which the two synthesis engines produced *different* rules
+/// (rendered as `NO` in the agree column). The `tables` binary exits
+/// nonzero when this is nonempty — after printing the table, so a
+/// disagreement late in a long run does not discard the measurements.
+pub fn synthesis_disagreements(rows: &[SynthesisRow]) -> Vec<&str> {
+    rows.iter()
+        .filter(|row| row.comparison.rules_agree == Some(false))
+        .map(|row| row.id.as_str())
+        .collect()
+}
+
+fn sba_synthesis_row(
+    exchange: SbaExchangeKind,
+    n: usize,
+    t: usize,
+    timeout: Duration,
+) -> SynthesisRow {
+    let id = match exchange {
+        SbaExchangeKind::FloodSet => format!("floodset-n{n}-t{t}"),
+        SbaExchangeKind::CountFloodSet => format!("count-n{n}-t{t}"),
+        SbaExchangeKind::DiffFloodSet => format!("diff-n{n}-t{t}"),
+        SbaExchangeKind::DworkMoses => format!("dworkmoses-n{n}-t{t}"),
+    };
+    let experiment = SbaExperiment::crash(exchange, n, t);
+    SynthesisRow { id, comparison: experiment.compare_synthesis(timeout) }
+}
+
+fn eba_synthesis_row(
+    exchange: EbaExchangeKind,
+    n: usize,
+    t: usize,
+    timeout: Duration,
+) -> SynthesisRow {
+    let id = match exchange {
+        EbaExchangeKind::EMin => format!("emin-n{n}-t{t}-om"),
+        EbaExchangeKind::EBasic => format!("ebasic-n{n}-t{t}-om"),
+    };
+    let experiment = EbaExperiment { exchange, n, t, failure: FailureKind::SendOmission };
+    SynthesisRow { id, comparison: experiment.compare_synthesis(timeout) }
+}
+
+/// Measures the synthesis ablation grid: explicit versus symbolic synthesis
+/// of the SBA / EBA knowledge-based programs, with the explicit engine under
+/// `timeout` per cell (`TO` entries mirror the paper's tables).
+///
+/// `smoke` restricts the run to the two small CI instances. The default
+/// grid climbs the FloodSet family to `n = 9, t = 3` (~1.1M states) and —
+/// the headline of this ablation — `n = 10, t = 3` (~3M states), which the
+/// symbolic engine completes while the explicit engine times out.
+///
+/// A timed-out explicit run is detached, not cancelled
+/// ([`with_timeout`]'s TO semantics, as in the paper's tables), so its
+/// thread keeps consuming CPU: rows measured *after* a `TO` cell run
+/// degraded. The grids order instances so the TO-prone cell comes last;
+/// with a custom low `--timeout`, treat rows after the first `TO` as
+/// contaminated.
+pub fn synthesis_rows(full: bool, smoke: bool, timeout: Duration) -> Vec<SynthesisRow> {
+    if smoke {
+        return vec![
+            sba_synthesis_row(SbaExchangeKind::FloodSet, 4, 1, timeout),
+            eba_synthesis_row(EbaExchangeKind::EMin, 2, 1, timeout),
+        ];
+    }
+    let mut rows = vec![
+        sba_synthesis_row(SbaExchangeKind::FloodSet, 4, 1, timeout),
+        sba_synthesis_row(SbaExchangeKind::CountFloodSet, 3, 1, timeout),
+        eba_synthesis_row(EbaExchangeKind::EMin, 2, 1, timeout),
+        eba_synthesis_row(EbaExchangeKind::EMin, 3, 1, timeout),
+        eba_synthesis_row(EbaExchangeKind::EBasic, 2, 1, timeout),
+        sba_synthesis_row(SbaExchangeKind::FloodSet, 6, 2, timeout),
+        sba_synthesis_row(SbaExchangeKind::FloodSet, 7, 2, timeout),
+        sba_synthesis_row(SbaExchangeKind::FloodSet, 8, 3, timeout),
+    ];
+    if full {
+        rows.push(sba_synthesis_row(SbaExchangeKind::FloodSet, 9, 3, timeout));
+    }
+    rows.push(sba_synthesis_row(SbaExchangeKind::FloodSet, 10, 3, timeout));
+    rows
+}
+
+/// Renders the synthesis ablation rows as a table.
+pub fn render_synthesis_table(rows: &[SynthesisRow]) -> String {
+    let cells: Vec<Cell> = rows
+        .iter()
+        .map(|row| {
+            let comparison = &row.comparison;
+            let explicit = comparison
+                .explicit_duration
+                .map(format_mck_duration)
+                .unwrap_or_else(|| "TO".to_string());
+            let agree = match comparison.rules_agree {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            };
+            Cell {
+                key: vec![format!("{:<20}", row.id)],
+                entries: vec![
+                    comparison.total_states.to_string(),
+                    explicit,
+                    format_mck_duration(comparison.symbolic_duration),
+                    format!("{}+{}", comparison.rounds, comparison.skipped_rounds),
+                    comparison.peak_live_nodes.to_string(),
+                    comparison.gc_runs.to_string(),
+                    agree.to_string(),
+                ],
+            }
+        })
+        .collect();
+    let mut out = render_table(
+        "Synthesis: explicit versus symbolic forward induction",
+        &["instance            "],
+        &["states", "explicit", "symbolic", "rounds+skip", "peak live nodes", "gcs", "agree"],
+        &cells,
+    );
+    out.push_str(
+        "explicit runs under the per-cell timeout ('TO' mirrors the paper's tables); \
+         rounds+skip counts\nprocessed rounds plus rounds skipped by the early exit; \
+         'agree' compares the engines' rules.\n",
+    );
+    out
+}
+
+/// The synthesis ablation table (measure + render).
+pub fn synthesis_table(timeout: Duration, full: bool) -> String {
+    render_synthesis_table(&synthesis_rows(full, false, timeout))
 }
 
 /// The engine ablation: explicit-state versus symbolic (BDD) evaluation of
@@ -530,5 +682,47 @@ mod tests {
         let rows = [row("floodset-n4-t1", 1000)];
         assert!(check_symbolic_budget(&rows, "floodset-n4-t1\n").is_err());
         assert!(check_symbolic_budget(&rows, "floodset-n4-t1 lots\n").is_err());
+    }
+
+    fn synthesis_row(id: &str, peak: usize) -> SynthesisRow {
+        SynthesisRow {
+            id: id.to_string(),
+            comparison: SynthesisComparison {
+                label: id.to_string(),
+                explicit_duration: None,
+                symbolic_duration: Duration::ZERO,
+                total_states: 1,
+                rounds: 1,
+                skipped_rounds: 0,
+                peak_live_nodes: peak,
+                gc_runs: 0,
+                rules_agree: None,
+                profile: SymbolicSynthesisProfile::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn disagreements_are_collected_not_panicked() {
+        let mut agreeing = synthesis_row("floodset-n4-t1", 10);
+        agreeing.comparison.rules_agree = Some(true);
+        let mut diverging = synthesis_row("floodset-n5-t1", 10);
+        diverging.comparison.rules_agree = Some(false);
+        let timed_out = synthesis_row("floodset-n9-t3", 10); // rules_agree: None
+        let rows = [agreeing, diverging, timed_out];
+        assert_eq!(synthesis_disagreements(&rows), vec!["floodset-n5-t1"]);
+        // The diverging row still renders (as `NO`) instead of panicking.
+        assert!(render_synthesis_table(&rows).contains("NO"));
+    }
+
+    #[test]
+    fn synthesis_budget_check_shares_the_gate_semantics() {
+        let rows = [synthesis_row("floodset-n9-t3", 1000)];
+        let summary = check_synthesis_budget(&rows, "floodset-n9-t3 2000\n").unwrap();
+        assert!(summary.contains("1 instance(s)"));
+        let err = check_synthesis_budget(&rows, "floodset-n9-t3 500\n").unwrap_err();
+        assert!(err.contains("1000"), "{err}");
+        let err = check_synthesis_budget(&rows, "floodset-n4-t1 500\n").unwrap_err();
+        assert!(err.contains("no budget entry matched"), "{err}");
     }
 }

@@ -35,10 +35,31 @@
 //! reports peak live nodes, collections, swept nodes, and cache
 //! hit/miss/eviction counts.
 //!
+//! # Synthesis-facing API
+//!
+//! The symbolic synthesis engine (`epimc-synth`) drives its forward
+//! induction through four extensions of [`SymbolicChecker`]:
+//!
+//! * [`EvalSession`] — a denotation cache for closed subformulas, so the
+//!   per-agent conditions of a knowledge-based-program branch share the
+//!   expensive common-belief fixpoint;
+//! * [`SymbolicChecker::observation_values`] — reads the truth value of a
+//!   formula on every observation class of an agent at a layer off the BDD
+//!   denotation, by existentially quantifying the variables the agent does
+//!   not observe (with non-constant classes reported, and evaluation
+//!   *focused* on the queried layer for temporal-free formulas);
+//! * [`SymbolicChecker::set_rule_override`] — interprets `DecidesNow`
+//!   atoms symbolically against a partial decision table instead of the
+//!   model's rule;
+//! * [`SymbolicChecker::into_salvage`] / [`SymbolicChecker::resume`] — hand
+//!   the BDD manager (node store, caches, reachable sets, GC state) from
+//!   one checker to the next as the model grows a layer, so a whole
+//!   synthesis run lives in a single collected manager.
+//!
 //! Both engines implement the same semantics; `tests/engine_agreement.rs`
 //! checks them against each other on randomly generated formulas, and the
-//! benchmark crate compares their scaling (the `symbolic` ablation of the
-//! reproduction).
+//! benchmark crate compares their scaling (the `symbolic` and `synthesis`
+//! ablations of the reproduction).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -48,4 +69,7 @@ mod symbolic;
 
 pub use explicit::Checker;
 pub use pointset::PointSet;
-pub use symbolic::{RelationMode, SymbolicChecker, SymbolicOptions, SymbolicStats};
+pub use symbolic::{
+    EvalSession, ObservationValues, RelationMode, SymbolicChecker, SymbolicOptions,
+    SymbolicSalvage, SymbolicStats,
+};

@@ -44,17 +44,26 @@
 //!   operations — including in the middle of fixpoint iterations — without
 //!   invalidating live work. Collections trigger automatically past a
 //!   live-node threshold (see [`SymbolicOptions::gc_threshold`]).
+//! * **Incremental growth and layer focus.** A checker can be dismantled
+//!   into its model-independent state ([`SymbolicChecker::into_salvage`])
+//!   and resumed over a model that has since gained layers
+//!   ([`SymbolicChecker::resume`]) — only the new layers are encoded. For
+//!   temporal-free formulas, [`SymbolicChecker::observation_values`]
+//!   focuses evaluation on the single queried layer (knowledge and common
+//!   belief are layer-local under the clock semantics). Together these
+//!   drive the symbolic synthesis engine's forward induction.
 //!
 //! [`Checker`]: crate::Checker
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 
 use epimc_bdd::{interleaved_slot, Bdd, Ref, SubstId, Var};
 use epimc_logic::{AgentId, Formula, TemporalKind};
 use epimc_system::{
-    ConsensusAtom, ConsensusModel, DecisionRule, InformationExchange, PointId, PointModel, Round,
+    Action, ConsensusAtom, ConsensusModel, DecisionRule, FailureKind, InformationExchange,
+    Observation, PointId, PointModel, Round, TableRule, Value,
 };
 
 use crate::pointset::PointSet;
@@ -306,6 +315,106 @@ pub struct SymbolicChecker<'m, E: InformationExchange, R> {
     max_successors: usize,
     /// Encoding (as slot-indexed bit assignment) of every state, per layer.
     encodings: Vec<Vec<Vec<bool>>>,
+    /// When set, `DecidesNow` atoms are interpreted against this rule (built
+    /// symbolically from its entries) instead of the model's own rule. The
+    /// synthesis engine points this at the partial rule synthesized so far.
+    rule_override: RefCell<Option<TableRule>>,
+    /// Bumped on every [`SymbolicChecker::set_rule_override`] call; sessions
+    /// record the epoch they were created in, so a stale session (whose
+    /// cached denotations may bake in an older rule) is rejected.
+    override_epoch: Cell<u64>,
+    /// When set, evaluation only computes the denotation of this layer
+    /// (every other layer stays `FALSE`). Sound for formulas without
+    /// temporal operators — knowledge, common belief and the boolean
+    /// connectives are all layer-local under the clock semantics — and what
+    /// makes per-round synthesis cost proportional to one layer instead of
+    /// all layers built so far. Set internally by
+    /// [`SymbolicChecker::observation_values`].
+    focus: Cell<Option<usize>>,
+    /// Memo of the decoded reachable observations per (agent, layer): the
+    /// projection is formula-independent, and the synthesis loop asks for it
+    /// once per branch per agent per round.
+    reachable_obs: RefCell<HashMap<(usize, Round), Vec<Observation>>>,
+}
+
+/// A denotation cache for repeated evaluations against one
+/// [`SymbolicChecker`].
+///
+/// Closed subformulas (no free fixpoint variables) denote the same per-layer
+/// point sets wherever they occur, so a session memoises them across checks.
+/// This is what lets the synthesis engine evaluate a knowledge-based-program
+/// branch once per round: the per-agent conditions `B^N_i C_B_N φ` share the
+/// expensive common-belief fixpoint `C_B_N φ`, which is computed for the
+/// first agent and recalled from the session for the rest.
+///
+/// Cached denotations live in the checker's rooted arena (they survive
+/// garbage collections) until the session is returned via
+/// [`SymbolicChecker::end_session`] or the checker is dropped. A session
+/// becomes *stale* when the rule override changes; using a stale session
+/// panics.
+pub struct EvalSession {
+    cache: HashMap<Formula<ConsensusAtom>, DenId>,
+    epoch: u64,
+    /// The layer focus of the first evaluation; the cached denotations are
+    /// only valid under the same focus, so later evaluations must match.
+    focus_lock: Option<Option<usize>>,
+}
+
+impl EvalSession {
+    /// Number of formulas memoised so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns `true` when nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// The model-independent state of a [`SymbolicChecker`]: the BDD manager
+/// with every encoded layer, reachable set and hidden-variable cube, handed
+/// from one checker to the next as a growing model gains layers.
+///
+/// The symbolic synthesis engine interleaves model growth (which needs the
+/// model mutably) with checking (which borrows it): at the end of each round
+/// it converts the checker back into a salvage
+/// ([`SymbolicChecker::into_salvage`]), extends the model by one layer, and
+/// resumes ([`SymbolicChecker::resume`]) — only the new layer is encoded,
+/// and the manager (with its node store, operation caches and garbage
+/// collector state) survives the whole run.
+pub struct SymbolicSalvage {
+    inner: Inner,
+    agent_vars: Vec<AgentVars>,
+    num_slots: usize,
+    encodings: Vec<Vec<Vec<bool>>>,
+    /// Widest successor fan-out across the salvaged layers; resume only
+    /// scans the rounds added since.
+    max_successors: usize,
+}
+
+impl SymbolicSalvage {
+    /// Number of layers already encoded.
+    pub fn num_layers(&self) -> usize {
+        self.encodings.len()
+    }
+}
+
+/// The truth values a formula takes on an agent's observation classes at one
+/// layer, read off the BDD denotation by existential quantification of the
+/// variables the agent does not observe (see
+/// [`SymbolicChecker::observation_values`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservationValues {
+    /// Every observation the agent makes at some reachable state of the
+    /// layer, ascending.
+    pub reachable: Vec<Observation>,
+    /// The observations whose entire class satisfies the formula (the
+    /// conservative conjunction over the class), ascending.
+    pub holding: Vec<Observation>,
+    /// The observations on which the formula is *not* constant, ascending.
+    /// Empty whenever the formula is a knowledge condition for the agent.
+    pub non_uniform: Vec<Observation>,
 }
 
 fn bits_for(domain: u32) -> usize {
@@ -477,6 +586,123 @@ where
             choice_bits,
             max_successors,
             encodings,
+            rule_override: RefCell::new(None),
+            override_epoch: Cell::new(0),
+            focus: Cell::new(None),
+            reachable_obs: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Converts the checker back into its model-independent state, ending
+    /// the borrow of the model so the caller can extend it and
+    /// [`SymbolicChecker::resume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an [`EvalSession`] is still holding denotations — end all
+    /// sessions first.
+    pub fn into_salvage(self) -> SymbolicSalvage {
+        let inner = self.inner.into_inner();
+        assert_eq!(inner.arena.live_count(), 0, "end all evaluation sessions before salvaging");
+        SymbolicSalvage {
+            inner,
+            agent_vars: self.agent_vars,
+            num_slots: self.num_slots,
+            encodings: self.encodings,
+            max_successors: self.max_successors,
+        }
+    }
+
+    /// Rebuilds a checker over `model` from a salvage whose layers are a
+    /// prefix of the model's: only the layers beyond the salvage are
+    /// encoded, everything else (manager, reachable sets, hidden cubes,
+    /// operation caches) is reused. The transition-relation machinery is
+    /// reset and lazily rebuilt, because new layers may widen the successor
+    /// fan-out the adversary-choice variables have to cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's existing layers do not match the salvaged
+    /// encoding (different instance, or layers changed retroactively).
+    pub fn resume(model: &'m ConsensusModel<E, R>, salvage: SymbolicSalvage) -> Self {
+        let SymbolicSalvage { mut inner, agent_vars, num_slots, mut encodings, max_successors } =
+            salvage;
+        assert_eq!(agent_vars.len(), model.num_agents(), "salvage is for a different system");
+        let start = encodings.len();
+        assert!(
+            model.num_layers() >= start,
+            "resumed model has fewer layers than the salvaged encoding"
+        );
+        for (time, layer) in encodings.iter().enumerate() {
+            assert_eq!(
+                model.layer_size(time as Round),
+                layer.len(),
+                "resumed model diverges from the salvaged encoding at layer {time}"
+            );
+        }
+
+        // Encode and build the reachable sets of the new layers, collecting
+        // between chunks exactly as the fresh build does (the salvaged
+        // handles are rooted through `Inner::collect`).
+        for time in start..model.num_layers() {
+            let layer: Vec<Vec<bool>> = (0..model.layer_size(time as Round))
+                .map(|index| {
+                    Self::encode_point(
+                        model,
+                        &agent_vars,
+                        num_slots,
+                        PointId::new(time as Round, index),
+                    )
+                })
+                .collect();
+            let mut chunk_results: Vec<Ref> = Vec::new();
+            for chunk in layer.chunks(BUILD_CHUNK) {
+                let minterms: Vec<Ref> =
+                    chunk.iter().map(|bits| Self::minterm_cur(&mut inner.bdd, bits)).collect();
+                chunk_results.push(or_balanced(&mut inner.bdd, minterms));
+                if inner.bdd.live_nodes() > inner.gc_threshold {
+                    inner.collect(&mut chunk_results);
+                }
+            }
+            let reach = or_balanced(&mut inner.bdd, chunk_results);
+            inner.reachable.push(reach);
+            encodings.push(layer);
+        }
+
+        // The relation machinery is invalidated: new rounds may need more
+        // adversary-choice bits than the salvaged run allocated.
+        inner.cur_to_nxt = None;
+        inner.primed_cubes.clear();
+        inner.choice_cube = Ref::TRUE;
+        inner.all_quant_cube = Ref::TRUE;
+        inner.choice_minterms.clear();
+        inner.relations = vec![None; model.num_layers().saturating_sub(1)];
+
+        // Only the rounds out of the salvage's final layer onwards are new
+        // (that layer had no successors when salvaged): widen the salvaged
+        // fan-out by scanning just those.
+        let mut max_successors = max_successors;
+        for time in start.saturating_sub(1) as Round..model.num_layers().saturating_sub(1) as Round
+        {
+            for index in 0..model.layer_size(time) {
+                max_successors =
+                    max_successors.max(model.successors(PointId::new(time, index)).len());
+            }
+        }
+        let choice_bits = bits_for(max_successors as u32);
+
+        SymbolicChecker {
+            model,
+            inner: RefCell::new(inner),
+            agent_vars,
+            num_slots,
+            choice_bits,
+            max_successors,
+            encodings,
+            rule_override: RefCell::new(None),
+            override_epoch: Cell::new(0),
+            focus: Cell::new(None),
+            reachable_obs: RefCell::new(HashMap::new()),
         }
     }
 
@@ -570,14 +796,202 @@ where
     /// Evaluates `formula`, returning the set of points at which it holds.
     pub fn check(&self, formula: &Formula<ConsensusAtom>) -> PointSet {
         self.inner.borrow_mut().maybe_gc(&mut []);
+        let baseline = self.inner.borrow().arena.live_count();
         let mut env = HashMap::new();
-        let den = self.eval(formula, &mut env);
+        let den = self.eval(formula, &mut env, None);
         let set = self.to_point_set(den);
         let mut inner = self.inner.borrow_mut();
         inner.arena.release(den);
-        debug_assert_eq!(inner.arena.live_count(), 0, "denotation leak in eval");
+        debug_assert_eq!(inner.arena.live_count(), baseline, "denotation leak in eval");
         inner.maybe_gc(&mut []);
         set
+    }
+
+    /// Starts an evaluation session (a denotation cache for closed
+    /// subformulas shared across subsequent checks). Return it with
+    /// [`SymbolicChecker::end_session`] to release the cached denotations.
+    pub fn session(&self) -> EvalSession {
+        EvalSession { cache: HashMap::new(), epoch: self.override_epoch.get(), focus_lock: None }
+    }
+
+    /// Whether evaluation currently computes the denotation of `layer`
+    /// (always `true` without a layer focus).
+    fn is_active(&self, layer: usize) -> bool {
+        self.focus.get().is_none_or(|focus| focus == layer)
+    }
+
+    /// Locks `session` to the given layer focus (first use pins it; later
+    /// uses must match, because cached denotations are only valid under the
+    /// focus they were computed with).
+    fn lock_session_focus(session: &mut EvalSession, focus: Option<usize>) {
+        match session.focus_lock {
+            None => session.focus_lock = Some(focus),
+            Some(locked) => assert_eq!(
+                locked, focus,
+                "evaluation session reused under a different layer focus; start a new session"
+            ),
+        }
+    }
+
+    /// Releases every denotation memoised by `session`.
+    pub fn end_session(&self, session: EvalSession) {
+        let mut inner = self.inner.borrow_mut();
+        for (_, den) in session.cache {
+            inner.arena.release(den);
+        }
+        inner.maybe_gc(&mut []);
+    }
+
+    /// [`SymbolicChecker::check`] with a session cache: closed subformulas
+    /// already evaluated in `session` are recalled instead of recomputed.
+    pub fn check_in_session(
+        &self,
+        session: &mut EvalSession,
+        formula: &Formula<ConsensusAtom>,
+    ) -> PointSet {
+        self.assert_session_fresh(session);
+        Self::lock_session_focus(session, None);
+        self.inner.borrow_mut().maybe_gc(&mut []);
+        let mut env = HashMap::new();
+        let den = self.eval(formula, &mut env, Some(session));
+        let set = self.to_point_set(den);
+        self.release(den);
+        set
+    }
+
+    /// Interprets `DecidesNow` atoms against `rule` (the partial rule a
+    /// synthesis run has fixed so far) instead of the model's own decision
+    /// rule. The denotation is built symbolically from the rule's entries —
+    /// an observation-equality constraint per deciding entry, guarded by
+    /// "not yet decided" (and "not crashed" in the crash failure model) —
+    /// rather than by scanning the explicit states. Pass `None` to restore
+    /// the model's rule. Existing sessions become stale and must not be
+    /// used afterwards.
+    pub fn set_rule_override(&self, rule: Option<TableRule>) {
+        *self.rule_override.borrow_mut() = rule;
+        self.override_epoch.set(self.override_epoch.get() + 1);
+    }
+
+    fn assert_session_fresh(&self, session: &EvalSession) {
+        assert_eq!(
+            session.epoch,
+            self.override_epoch.get(),
+            "evaluation session outlived a rule-override change; start a new session"
+        );
+    }
+
+    /// Every observation `agent` makes at some reachable state of layer
+    /// `time`, computed by projecting the layer's reachable-set BDD onto the
+    /// agent's observable variables. Ascending and duplicate-free. The
+    /// decoded result is memoised per (agent, layer) — the projection is
+    /// formula-independent, and the synthesis loop needs it once per branch.
+    pub fn layer_observations(&self, agent: AgentId, time: Round) -> Vec<Observation> {
+        if let Some(cached) = self.reachable_obs.borrow().get(&(agent.index(), time)) {
+            return cached.clone();
+        }
+        let decoded = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let reach = inner.reachable[time as usize];
+            let hidden = inner.hidden_cubes[agent.index()];
+            let projected = inner.bdd.exists(reach, hidden);
+            self.decode_observations(&inner.bdd, projected, agent)
+        };
+        self.reachable_obs.borrow_mut().insert((agent.index(), time), decoded.clone());
+        decoded
+    }
+
+    /// Evaluates `formula` (with the session cache) and reads off, for every
+    /// observation class of `agent` at layer `time`, whether the class
+    /// satisfies it: the denotation and its complement within the reachable
+    /// set are projected onto the agent's observable variables by
+    /// existential quantification of everything the agent does not observe,
+    /// and the class values are the set difference. Classes appearing in
+    /// both projections are reported as non-uniform (the formula is not a
+    /// function of the agent's observation there); their class value is the
+    /// conservative conjunction, exactly as in the explicit engine.
+    pub fn observation_values(
+        &self,
+        session: &mut EvalSession,
+        formula: &Formula<ConsensusAtom>,
+        agent: AgentId,
+        time: Round,
+    ) -> ObservationValues {
+        self.assert_session_fresh(session);
+        // Knowledge, common belief and the boolean connectives are
+        // layer-local, so a temporal-free condition only needs its
+        // denotation at the queried layer: focus the evaluation there.
+        // Temporal operators couple layers and force the full evaluation.
+        let focus = if formula.is_temporal() { None } else { Some(time as usize) };
+        Self::lock_session_focus(session, focus);
+        self.focus.set(focus);
+        self.inner.borrow_mut().maybe_gc(&mut []);
+        let mut env = HashMap::new();
+        let den = self.eval(formula, &mut env, Some(session));
+        self.focus.set(None);
+        let reachable = self.layer_observations(agent, time);
+        let (positive, negative) = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let den_t = inner.arena.get(den)[time as usize];
+            let reach = inner.reachable[time as usize];
+            let hidden = inner.hidden_cubes[agent.index()];
+            let bdd = &mut inner.bdd;
+            // `den_t ⊆ reach` by the evaluation invariants, so the positive
+            // projection only mentions observations of reachable states.
+            let positive = bdd.exists(den_t, hidden);
+            let not_den = bdd.not(den_t);
+            let failing = bdd.and(reach, not_den);
+            let negative = bdd.exists(failing, hidden);
+            (
+                self.decode_observations(&inner.bdd, positive, agent),
+                self.decode_observations(&inner.bdd, negative, agent),
+            )
+        };
+        self.release(den);
+        // Both projections are sorted, so membership is a binary search.
+        let (non_uniform, holding): (Vec<Observation>, Vec<Observation>) =
+            positive.into_iter().partition(|o| negative.binary_search(o).is_ok());
+        ObservationValues { reachable, holding, non_uniform }
+    }
+
+    /// Decodes the models of `projected` (a BDD whose support lies within
+    /// `agent`'s current-state observable variables) into observations,
+    /// sorted ascending.
+    fn decode_observations(&self, bdd: &Bdd, projected: Ref, agent: AgentId) -> Vec<Observation> {
+        let vars = &self.agent_vars[agent.index()];
+        let mut slots: Vec<usize> = vars.obs_bits.iter().flatten().copied().collect();
+        slots.sort_unstable();
+        let var_list: Vec<Var> = slots.iter().map(|&slot| cur(slot)).collect();
+        // Per field, the position of each of its bits within `slots`.
+        let field_positions: Vec<Vec<usize>> = vars
+            .obs_bits
+            .iter()
+            .map(|field| {
+                field
+                    .iter()
+                    .map(|slot| slots.binary_search(slot).expect("slot is in the sorted list"))
+                    .collect()
+            })
+            .collect();
+        let assignments = bdd.sat_assignments_over(projected, &var_list);
+        let mut observations: Vec<Observation> = assignments
+            .into_iter()
+            .map(|bits| {
+                let values = field_positions
+                    .iter()
+                    .map(|positions| {
+                        positions
+                            .iter()
+                            .enumerate()
+                            .fold(0u32, |acc, (k, &pos)| acc | (u32::from(bits[pos]) << k))
+                    })
+                    .collect();
+                Observation::new(values)
+            })
+            .collect();
+        observations.sort_unstable();
+        observations
     }
 
     /// Returns `true` when `formula` holds at every point of the model.
@@ -620,7 +1034,12 @@ where
 
     fn alloc_reachable(&self) -> DenId {
         let mut inner = self.inner.borrow_mut();
-        let copy = inner.reachable.clone();
+        let copy = inner
+            .reachable
+            .iter()
+            .enumerate()
+            .map(|(layer, &reach)| if self.is_active(layer) { reach } else { Ref::FALSE })
+            .collect();
         inner.arena.alloc(copy)
     }
 
@@ -628,13 +1047,15 @@ where
         self.alloc(vec![Ref::FALSE; self.model.num_layers()])
     }
 
-    /// Layerwise `a[l] = op(a[l])`, in place.
+    /// Layerwise `a[l] = op(a[l])`, in place (skipping unfocused layers).
     fn map_unary<F: Fn(&mut Bdd, Ref) -> Ref>(&self, a: DenId, op: F) {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         let layers = inner.arena.get_mut(a);
-        for layer in layers.iter_mut() {
-            *layer = op(&mut inner.bdd, *layer);
+        for (index, layer) in layers.iter_mut().enumerate() {
+            if self.is_active(index) {
+                *layer = op(&mut inner.bdd, *layer);
+            }
         }
     }
 
@@ -645,8 +1066,10 @@ where
         debug_assert_ne!(a, b, "aliased denotations");
         let rhs: Vec<Ref> = inner.arena.get(b).to_vec();
         let layers = inner.arena.get_mut(a);
-        for (layer, r) in layers.iter_mut().zip(rhs) {
-            *layer = op(&mut inner.bdd, *layer, r);
+        for (index, (layer, r)) in layers.iter_mut().zip(rhs).enumerate() {
+            if self.is_active(index) {
+                *layer = op(&mut inner.bdd, *layer, r);
+            }
         }
     }
 
@@ -656,8 +1079,10 @@ where
         let inner = &mut *inner;
         let reach: Vec<Ref> = inner.reachable.clone();
         let layers = inner.arena.get_mut(a);
-        for (layer, r) in layers.iter_mut().zip(reach) {
-            *layer = inner.bdd.and(*layer, r);
+        for (index, (layer, r)) in layers.iter_mut().zip(reach).enumerate() {
+            if self.is_active(index) {
+                *layer = inner.bdd.and(*layer, r);
+            }
         }
     }
 
@@ -669,7 +1094,37 @@ where
     // ------------------------------------------------------------------
     // Formula evaluation.
 
-    fn eval(&self, formula: &Formula<ConsensusAtom>, env: &mut HashMap<u32, DenId>) -> DenId {
+    /// Evaluates `formula` to a rooted denotation, consulting and filling
+    /// the session cache for closed subformulas when a session is given.
+    fn eval(
+        &self,
+        formula: &Formula<ConsensusAtom>,
+        env: &mut HashMap<u32, DenId>,
+        mut session: Option<&mut EvalSession>,
+    ) -> DenId {
+        if let Some(cache) = session.as_deref_mut() {
+            if let Some(&den) = cache.cache.get(formula) {
+                return self.clone_den(den);
+            }
+        }
+        let den = self.eval_node(formula, env, session.as_deref_mut());
+        if let Some(cache) = session {
+            let cacheable = !matches!(formula, Formula::True | Formula::False | Formula::Var(_))
+                && formula.is_closed();
+            if cacheable {
+                let copy = self.clone_den(den);
+                cache.cache.insert(formula.clone(), copy);
+            }
+        }
+        den
+    }
+
+    fn eval_node(
+        &self,
+        formula: &Formula<ConsensusAtom>,
+        env: &mut HashMap<u32, DenId>,
+        mut session: Option<&mut EvalSession>,
+    ) -> DenId {
         match formula {
             Formula::True => self.alloc_reachable(),
             Formula::False => self.alloc_false(),
@@ -679,7 +1134,7 @@ where
                 self.clone_den(id)
             }
             Formula::Not(inner) => {
-                let t = self.eval(inner, env);
+                let t = self.eval(inner, env, session);
                 self.map_unary(t, |bdd, f| bdd.not(f));
                 self.restrict_to_reachable(t);
                 t
@@ -687,7 +1142,7 @@ where
             Formula::And(items) => {
                 let acc = self.alloc_reachable();
                 for item in items {
-                    let value = self.eval(item, env);
+                    let value = self.eval(item, env, session.as_deref_mut());
                     self.map_binary(acc, value, |bdd, a, b| bdd.and(a, b));
                     self.release(value);
                 }
@@ -696,56 +1151,56 @@ where
             Formula::Or(items) => {
                 let acc = self.alloc_false();
                 for item in items {
-                    let value = self.eval(item, env);
+                    let value = self.eval(item, env, session.as_deref_mut());
                     self.map_binary(acc, value, |bdd, a, b| bdd.or(a, b));
                     self.release(value);
                 }
                 acc
             }
             Formula::Implies(lhs, rhs) => {
-                let l = self.eval(lhs, env);
-                let r = self.eval(rhs, env);
+                let l = self.eval(lhs, env, session.as_deref_mut());
+                let r = self.eval(rhs, env, session);
                 self.map_binary(l, r, |bdd, a, b| bdd.implies(a, b));
                 self.release(r);
                 self.restrict_to_reachable(l);
                 l
             }
             Formula::Iff(lhs, rhs) => {
-                let l = self.eval(lhs, env);
-                let r = self.eval(rhs, env);
+                let l = self.eval(lhs, env, session.as_deref_mut());
+                let r = self.eval(rhs, env, session);
                 self.map_binary(l, r, |bdd, a, b| bdd.iff(a, b));
                 self.release(r);
                 self.restrict_to_reachable(l);
                 l
             }
             Formula::Knows(agent, inner) => {
-                let target = self.eval(inner, env);
+                let target = self.eval(inner, env, session);
                 let result = self.knowledge(*agent, target, false);
                 self.release(target);
                 result
             }
             Formula::BelievesNonfaulty(agent, inner) => {
-                let target = self.eval(inner, env);
+                let target = self.eval(inner, env, session);
                 let result = self.knowledge(*agent, target, true);
                 self.release(target);
                 result
             }
             Formula::EveryoneBelieves(inner) => {
-                let target = self.eval(inner, env);
+                let target = self.eval(inner, env, session);
                 let result = self.everyone_believes(target);
                 self.release(target);
                 result
             }
             Formula::CommonBelief(inner) => {
-                let target = self.eval(inner, env);
+                let target = self.eval(inner, env, session);
                 let result = self.common_belief(target);
                 self.release(target);
                 result
             }
-            Formula::Gfp(var, body) => self.fixpoint(*var, body, env, true),
-            Formula::Lfp(var, body) => self.fixpoint(*var, body, env, false),
+            Formula::Gfp(var, body) => self.fixpoint(*var, body, env, session, true),
+            Formula::Lfp(var, body) => self.fixpoint(*var, body, env, session, false),
             Formula::Temporal(kind, inner) => {
-                let target = self.eval(inner, env);
+                let target = self.eval(inner, env, session);
                 let result = self.temporal(*kind, target);
                 self.release(target);
                 result
@@ -839,16 +1294,13 @@ where
                 let mut inner = self.inner.borrow_mut();
                 let inner = &mut *inner;
                 let layers: Vec<Ref> =
-                    inner.reachable.iter().map(|&reach| inner.bdd.and(reach, c)).collect();
-                inner.arena.alloc(layers)
-            }
-            (None, ConsensusAtom::TimeIs(round)) => {
-                let mut inner = self.inner.borrow_mut();
-                let layers: Vec<Ref> =
-                    (0..num_layers)
-                        .map(|layer| {
-                            if layer as Round == *round {
-                                inner.reachable[layer]
+                    inner
+                        .reachable
+                        .iter()
+                        .enumerate()
+                        .map(|(layer, &reach)| {
+                            if self.is_active(layer) {
+                                inner.bdd.and(reach, c)
                             } else {
                                 Ref::FALSE
                             }
@@ -856,11 +1308,92 @@ where
                         .collect();
                 inner.arena.alloc(layers)
             }
+            (None, ConsensusAtom::TimeIs(round)) => {
+                let mut inner = self.inner.borrow_mut();
+                let layers: Vec<Ref> = (0..num_layers)
+                    .map(|layer| {
+                        if layer as Round == *round && self.is_active(layer) {
+                            inner.reachable[layer]
+                        } else {
+                            Ref::FALSE
+                        }
+                    })
+                    .collect();
+                inner.arena.alloc(layers)
+            }
             // `DecidesNow` looks at the *action* taken in the coming round,
-            // which is not part of the state encoding: fall back to the
-            // explicit predicate scan.
+            // which is not part of the state encoding. Under a rule override
+            // (synthesis) the denotation is built symbolically from the
+            // override's entries; otherwise fall back to the explicit
+            // predicate scan over the model's own rule.
+            (None, ConsensusAtom::DecidesNow(agent, value)) => {
+                let decides_by_override = {
+                    let override_rule = self.rule_override.borrow();
+                    override_rule
+                        .as_ref()
+                        .map(|rule| self.decides_now_denotation(rule, *agent, *value))
+                };
+                match decides_by_override {
+                    Some(den) => den,
+                    None => self.layer_bdds_of_predicate(|point| self.model.eval_atom(atom, point)),
+                }
+            }
             (None, _) => self.layer_bdds_of_predicate(|point| self.model.eval_atom(atom, point)),
         }
+    }
+
+    /// The denotation of `DecidesNow(agent, value)` under `rule`, built from
+    /// the rule's entries instead of scanning states: at layer `t` the atom
+    /// holds exactly at the reachable states where the agent has not yet
+    /// decided, has not crashed, and makes an observation whose `(agent, t)`
+    /// entry decides `value`. (In the crash failure model an agent is
+    /// crashed iff it is faulty, which is the complement of the encoded
+    /// nonfaulty flag; in the omission models no agent ever crashes.)
+    fn decides_now_denotation(&self, rule: &TableRule, agent: AgentId, value: Value) -> DenId {
+        let vars = &self.agent_vars[agent.index()];
+        let crash_model = self.model.params().failure().kind() == FailureKind::Crash;
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let layers: Vec<Ref> = (0..self.model.num_layers() as Round)
+            .map(|t| {
+                if !self.is_active(t as usize) {
+                    return Ref::FALSE;
+                }
+                // Deciding entries for (agent, t), sorted for determinism
+                // (the table iterates in hash order).
+                let mut deciding: Vec<&Observation> = rule
+                    .iter()
+                    .filter(|((a, time, _), action)| {
+                        *a == agent && *time == t && **action == Action::Decide(value)
+                    })
+                    .map(|((_, _, observation), _)| observation)
+                    .collect();
+                deciding.sort_unstable();
+                let bdd = &mut inner.bdd;
+                let terms: Vec<Ref> = deciding
+                    .into_iter()
+                    .map(|observation| {
+                        debug_assert_eq!(observation.len(), vars.obs_bits.len());
+                        let mut acc = Ref::TRUE;
+                        for (field, slots) in vars.obs_bits.iter().enumerate().rev() {
+                            let eq = Self::eq_const(bdd, slots, observation.value(field));
+                            acc = bdd.and(eq, acc);
+                        }
+                        acc
+                    })
+                    .collect();
+                let fires = or_balanced(bdd, terms);
+                let decided = bdd.var(cur(vars.decided));
+                let undecided = bdd.not(decided);
+                let mut acc = bdd.and(fires, undecided);
+                if crash_model {
+                    let alive = bdd.var(cur(vars.nonfaulty));
+                    acc = bdd.and(acc, alive);
+                }
+                bdd.and(inner.reachable[t as usize], acc)
+            })
+            .collect();
+        inner.arena.alloc(layers)
     }
 
     fn layer_bdds_of_predicate<F: Fn(PointId) -> bool>(&self, predicate: F) -> DenId {
@@ -868,6 +1401,9 @@ where
         let inner = &mut *inner;
         let layers: Vec<Ref> = (0..self.model.num_layers() as Round)
             .map(|time| {
+                if !self.is_active(time as usize) {
+                    return Ref::FALSE;
+                }
                 let minterms: Vec<Ref> = self.encodings[time as usize]
                     .iter()
                     .enumerate()
@@ -894,6 +1430,9 @@ where
         let target_layers: Vec<Ref> = inner.arena.get(target).to_vec();
         let layers: Vec<Ref> = (0..self.model.num_layers())
             .map(|layer| {
+                if !self.is_active(layer) {
+                    return Ref::FALSE;
+                }
                 let reach = inner.reachable[layer];
                 let bdd = &mut inner.bdd;
                 let not_target = bdd.not(target_layers[layer]);
@@ -957,13 +1496,14 @@ where
         var: u32,
         body: &Formula<ConsensusAtom>,
         env: &mut HashMap<u32, DenId>,
+        mut session: Option<&mut EvalSession>,
         greatest: bool,
     ) -> DenId {
         let mut current = if greatest { self.alloc_reachable() } else { self.alloc_false() };
         loop {
             self.inner.borrow_mut().maybe_gc(&mut []);
             let saved = env.insert(var, current);
-            let next = self.eval(body, env);
+            let next = self.eval(body, env, session.as_deref_mut());
             self.restrict_to_reachable(next);
             match saved {
                 Some(value) => {
@@ -1125,6 +1665,10 @@ where
     /// with the per-layer step computed as a symbolic pre-image over the
     /// (lazily built) partitioned transition relation.
     fn temporal(&self, kind: TemporalKind, target: DenId) -> DenId {
+        debug_assert!(
+            self.focus.get().is_none(),
+            "temporal operators couple layers and must not run under a layer focus"
+        );
         let num_layers = self.model.num_layers();
         for t in 0..num_layers.saturating_sub(1) {
             self.ensure_relation(t);
@@ -1337,6 +1881,195 @@ mod tests {
             assert_eq!(explicit.check(&formula), stressed.check(&formula), "on {formula}");
         }
         assert!(stressed.stats().gc_runs > 0, "threshold 1 must trigger collections");
+    }
+
+    #[test]
+    fn observation_values_match_explicit_grouping() {
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let symbolic = SymbolicChecker::new(&model);
+        let explicit = Checker::new(&model);
+        for formula in [sba_condition(0, 0), F::knows(AgentId::new(1), exists(1)), exists(0)] {
+            let holds = explicit.check(&formula);
+            for agent in AgentId::all(3) {
+                for time in 0..model.num_layers() as Round {
+                    // One session per layer: the cached denotations are
+                    // computed under that layer's focus.
+                    let mut session = symbolic.session();
+                    let values = symbolic.observation_values(&mut session, &formula, agent, time);
+                    // Group the layer explicitly by the agent's observation.
+                    let mut classes: std::collections::BTreeMap<Observation, Vec<bool>> =
+                        std::collections::BTreeMap::new();
+                    for index in 0..model.layer_size(time) {
+                        let point = PointId::new(time, index);
+                        classes
+                            .entry(model.observation(agent, point).clone())
+                            .or_default()
+                            .push(holds.contains(point));
+                    }
+                    let reachable: Vec<Observation> = classes.keys().cloned().collect();
+                    let holding: Vec<Observation> = classes
+                        .iter()
+                        .filter(|(_, values)| values.iter().all(|&v| v))
+                        .map(|(observation, _)| observation.clone())
+                        .collect();
+                    let non_uniform: Vec<Observation> = classes
+                        .iter()
+                        .filter(|(_, values)| {
+                            values.iter().any(|&v| v) && values.iter().any(|&v| !v)
+                        })
+                        .map(|(observation, _)| observation.clone())
+                        .collect();
+                    assert_eq!(values.reachable, reachable, "{formula} {agent} t={time}");
+                    assert_eq!(values.holding, holding, "{formula} {agent} t={time}");
+                    assert_eq!(values.non_uniform, non_uniform, "{formula} {agent} t={time}");
+                    assert_eq!(symbolic.layer_observations(agent, time), reachable);
+                    assert!(!session.is_empty(), "closed formulas are memoised");
+                    symbolic.end_session(session);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different layer focus")]
+    fn sessions_cannot_mix_layer_focuses() {
+        let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let symbolic = SymbolicChecker::new(&model);
+        let mut session = symbolic.session();
+        let _ = symbolic.observation_values(&mut session, &exists(0), AgentId::new(0), 0);
+        let _ = symbolic.observation_values(&mut session, &exists(0), AgentId::new(0), 1);
+    }
+
+    #[test]
+    fn session_checks_agree_with_plain_checks_across_gc() {
+        let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let symbolic = SymbolicChecker::with_options(
+            &model,
+            SymbolicOptions { gc_threshold: 1 << 10, ..Default::default() },
+        );
+        let mut session = symbolic.session();
+        for formula in agreement_formulas() {
+            let expected = symbolic.check(&formula);
+            assert_eq!(symbolic.check_in_session(&mut session, &formula), expected);
+            // Second evaluation is served from the cache.
+            assert_eq!(symbolic.check_in_session(&mut session, &formula), expected);
+        }
+        symbolic.force_gc();
+        for formula in agreement_formulas() {
+            assert_eq!(symbolic.check_in_session(&mut session, &formula), symbolic.check(&formula));
+        }
+        symbolic.end_session(session);
+    }
+
+    #[test]
+    fn rule_override_matches_explicit_decides_now_scan() {
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        // Extensionally the same rule as the model's: every (agent, time,
+        // observation) that decides in the model becomes a table entry.
+        let mut table = epimc_system::TableRule::new("floodset-as-table");
+        for time in 0..model.num_layers() as Round {
+            for index in 0..model.layer_size(time) {
+                let point = PointId::new(time, index);
+                for agent in AgentId::all(3) {
+                    if let epimc_system::Action::Decide(value) = model.action_at(agent, point) {
+                        table.set(
+                            agent,
+                            time,
+                            model.observation(agent, point).clone(),
+                            epimc_system::Action::Decide(value),
+                        );
+                    }
+                }
+            }
+        }
+        let symbolic = SymbolicChecker::new(&model);
+        let formulas: Vec<F> = (0..3)
+            .flat_map(|agent| {
+                (0..2).map(move |value| {
+                    F::atom(ConsensusAtom::DecidesNow(AgentId::new(agent), Value::new(value)))
+                })
+            })
+            .collect();
+        let scanned: Vec<PointSet> = formulas.iter().map(|f| symbolic.check(f)).collect();
+        symbolic.set_rule_override(Some(table));
+        for (formula, expected) in formulas.iter().zip(&scanned) {
+            assert_eq!(
+                symbolic.check(formula),
+                *expected,
+                "override disagrees with the scan on {formula}"
+            );
+        }
+        symbolic.set_rule_override(None);
+        for (formula, expected) in formulas.iter().zip(&scanned) {
+            assert_eq!(symbolic.check(formula), *expected);
+        }
+    }
+
+    #[test]
+    fn salvage_and_resume_match_fresh_checkers_as_the_model_grows() {
+        use epimc_system::TableRule;
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let rule = TableRule::new("noop");
+        let mut model =
+            ConsensusModel::new(epimc_system::StateSpace::initial(FloodSet, params), rule);
+        // A small threshold exercises collections during the incremental
+        // reachable-set builds.
+        let options = SymbolicOptions { gc_threshold: 1 << 10, ..Default::default() };
+        let mut salvage = SymbolicChecker::with_options(&model, options).into_salvage();
+        for _ in 0..params.horizon() {
+            model.extend_layer();
+            let resumed = SymbolicChecker::resume(&model, salvage);
+            assert_eq!(resumed.model().num_layers(), model.num_layers());
+            let fresh = SymbolicChecker::with_options(&model, options);
+            for formula in agreement_formulas() {
+                assert_eq!(
+                    resumed.check(&formula),
+                    fresh.check(&formula),
+                    "resumed checker disagrees on {formula} at {} layers",
+                    model.num_layers()
+                );
+            }
+            for agent in AgentId::all(3) {
+                for time in 0..model.num_layers() as Round {
+                    assert_eq!(
+                        resumed.layer_observations(agent, time),
+                        fresh.layer_observations(agent, time)
+                    );
+                }
+            }
+            salvage = resumed.into_salvage();
+        }
+        assert_eq!(salvage.num_layers(), params.horizon() as usize + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outlived a rule-override change")]
+    fn stale_sessions_are_rejected() {
+        let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let symbolic = SymbolicChecker::new(&model);
+        let mut session = symbolic.session();
+        symbolic.set_rule_override(Some(epimc_system::TableRule::new("fresh")));
+        let _ = symbolic.check_in_session(&mut session, &exists(0));
     }
 
     #[test]

@@ -27,7 +27,9 @@ use epimc_protocols::{
     CountFloodSet, DiffFloodSet, DworkMoses, DworkMosesRule, EBasic, EBasicRule, EMin, EMinRule,
     FloodSet, FloodSetRule, TextbookRule,
 };
-use epimc_synth::{KnowledgeBasedProgram, Synthesizer};
+use epimc_synth::{
+    KnowledgeBasedProgram, SymbolicSynthesisProfile, SymbolicSynthesizer, Synthesizer,
+};
 use epimc_system::{
     ConsensusAtom, ConsensusModel, DecisionRule, ExploreStats, FailureKind, InformationExchange,
     ModelParams, Round, Value,
@@ -268,6 +270,90 @@ where
     }
 }
 
+/// An explicit-versus-symbolic comparison of one synthesis instance — the
+/// measurement behind the `tables -- synthesis` ablation.
+///
+/// The symbolic engine always runs (it is the scaling backend); the explicit
+/// engine runs under the given timeout and reports `None` on `TO`, exactly
+/// as the paper's tables treat long-running MCK cells. When both complete,
+/// their decision tables are compared entry by entry.
+#[derive(Clone, Debug)]
+pub struct SynthesisComparison {
+    /// Description of the instance (exchange, parameters).
+    pub label: String,
+    /// Wall-clock time of the explicit engine, or `None` on timeout.
+    pub explicit_duration: Option<Duration>,
+    /// Wall-clock time of the symbolic engine.
+    pub symbolic_duration: Duration,
+    /// Total states explored by the symbolic run.
+    pub total_states: usize,
+    /// Rounds the symbolic forward induction processed.
+    pub rounds: usize,
+    /// Trailing rounds skipped by the early exit.
+    pub skipped_rounds: usize,
+    /// Peak live BDD nodes across all rounds of the symbolic run.
+    pub peak_live_nodes: usize,
+    /// Garbage collections across all rounds of the symbolic run.
+    pub gc_runs: u64,
+    /// `Some(true)` when both engines ran and produced identical decision
+    /// tables; `None` when the explicit engine timed out.
+    pub rules_agree: Option<bool>,
+    /// The per-round profile of the symbolic run.
+    pub profile: SymbolicSynthesisProfile,
+}
+
+impl fmt::Display for SynthesisComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: explicit {}, symbolic {} ({} states, {} rounds + {} skipped, peak {} nodes)",
+            self.label,
+            self.explicit_duration.map(format_mck_duration).unwrap_or_else(|| "TO".into()),
+            format_mck_duration(self.symbolic_duration),
+            self.total_states,
+            self.rounds,
+            self.skipped_rounds,
+            self.peak_live_nodes
+        )
+    }
+}
+
+fn compare_synthesis<E, P>(
+    label: String,
+    exchange: E,
+    params: ModelParams,
+    program: P,
+    timeout: Duration,
+) -> SynthesisComparison
+where
+    E: InformationExchange + 'static,
+    P: Fn() -> KnowledgeBasedProgram + Send + 'static,
+{
+    let (symbolic_outcome, profile) =
+        SymbolicSynthesizer::new(exchange.clone(), params).synthesize_profiled(&program());
+    let explicit = with_timeout(timeout, move || {
+        let start = Instant::now();
+        let outcome = Synthesizer::new(exchange, params).synthesize(&program());
+        (start.elapsed(), outcome)
+    });
+    let (explicit_duration, rules_agree) = match explicit {
+        Some((duration, outcome)) => (Some(duration), Some(outcome.rule == symbolic_outcome.rule)),
+        None => (None, None),
+    };
+    SynthesisComparison {
+        label,
+        explicit_duration,
+        symbolic_duration: profile.total_wall,
+        total_states: symbolic_outcome.stats.total_states,
+        rounds: profile.rounds.len(),
+        skipped_rounds: symbolic_outcome.stats.skipped_rounds,
+        peak_live_nodes: profile.peak_live_nodes(),
+        gc_runs: profile.gc_runs(),
+        rules_agree,
+        profile,
+    }
+}
+
 /// A Simultaneous Byzantine Agreement experiment instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SbaExperiment {
@@ -348,6 +434,52 @@ impl SbaExperiment {
         }
     }
 
+    /// The symbolic synthesis experiment: like [`SbaExperiment::synthesize`]
+    /// but over the BDD engine, which completes instances the explicit
+    /// synthesizer cannot touch.
+    pub fn synthesize_symbolic(&self) -> ExperimentMeasurement {
+        let params = self.params();
+        let label = self.label("symbolic-synthesis");
+        let program = KnowledgeBasedProgram::sba(self.num_values);
+        match self.exchange {
+            SbaExchangeKind::FloodSet => {
+                synthesize_sba_with(label, FloodSet, params, &program, symbolic_synthesis)
+            }
+            SbaExchangeKind::CountFloodSet => {
+                synthesize_sba_with(label, CountFloodSet, params, &program, symbolic_synthesis)
+            }
+            SbaExchangeKind::DiffFloodSet => {
+                synthesize_sba_with(label, DiffFloodSet, params, &program, symbolic_synthesis)
+            }
+            SbaExchangeKind::DworkMoses => {
+                synthesize_sba_with(label, DworkMoses, params, &program, symbolic_synthesis)
+            }
+        }
+    }
+
+    /// Runs both synthesis engines on this instance (the explicit one under
+    /// `timeout`) and compares their outputs; see [`SynthesisComparison`].
+    pub fn compare_synthesis(&self, timeout: Duration) -> SynthesisComparison {
+        let params = self.params();
+        let label = self.label("synthesis");
+        let num_values = self.num_values;
+        let program = move || KnowledgeBasedProgram::sba(num_values);
+        match self.exchange {
+            SbaExchangeKind::FloodSet => {
+                compare_synthesis(label, FloodSet, params, program, timeout)
+            }
+            SbaExchangeKind::CountFloodSet => {
+                compare_synthesis(label, CountFloodSet, params, program, timeout)
+            }
+            SbaExchangeKind::DiffFloodSet => {
+                compare_synthesis(label, DiffFloodSet, params, program, timeout)
+            }
+            SbaExchangeKind::DworkMoses => {
+                compare_synthesis(label, DworkMoses, params, program, timeout)
+            }
+        }
+    }
+
     /// Profiles the symbolic engine on this instance (see
     /// [`symbolic_profile_model`]). `include_temporal` additionally times a
     /// bounded temporal formula, which forces the per-round transition
@@ -418,6 +550,34 @@ impl EbaExperiment {
         match self.exchange {
             EbaExchangeKind::EMin => synthesize_eba(label, EMin, params, &program),
             EbaExchangeKind::EBasic => synthesize_eba(label, EBasic, params, &program),
+        }
+    }
+
+    /// The symbolic synthesis experiment: like [`EbaExperiment::synthesize`]
+    /// but over the BDD engine.
+    pub fn synthesize_symbolic(&self) -> ExperimentMeasurement {
+        let params = self.params();
+        let label = self.label("symbolic-synthesis");
+        let program = KnowledgeBasedProgram::eba_p0();
+        match self.exchange {
+            EbaExchangeKind::EMin => {
+                synthesize_eba_with(label, EMin, params, &program, symbolic_synthesis)
+            }
+            EbaExchangeKind::EBasic => {
+                synthesize_eba_with(label, EBasic, params, &program, symbolic_synthesis)
+            }
+        }
+    }
+
+    /// Runs both synthesis engines on this instance (the explicit one under
+    /// `timeout`) and compares their outputs; see [`SynthesisComparison`].
+    pub fn compare_synthesis(&self, timeout: Duration) -> SynthesisComparison {
+        let params = self.params();
+        let label = self.label("synthesis");
+        let program = KnowledgeBasedProgram::eba_p0;
+        match self.exchange {
+            EbaExchangeKind::EMin => compare_synthesis(label, EMin, params, program, timeout),
+            EbaExchangeKind::EBasic => compare_synthesis(label, EBasic, params, program, timeout),
         }
     }
 
@@ -511,6 +671,25 @@ where
     }
 }
 
+/// Runs the explicit synthesis engine (the default of the `synthesize`
+/// experiments).
+fn explicit_synthesis<E: InformationExchange>(
+    exchange: E,
+    params: ModelParams,
+    program: &KnowledgeBasedProgram,
+) -> epimc_synth::SynthesisOutcome {
+    Synthesizer::new(exchange, params).synthesize(program)
+}
+
+/// Runs the symbolic (BDD) synthesis engine.
+fn symbolic_synthesis<E: InformationExchange>(
+    exchange: E,
+    params: ModelParams,
+    program: &KnowledgeBasedProgram,
+) -> epimc_synth::SynthesisOutcome {
+    SymbolicSynthesizer::new(exchange, params).synthesize(program)
+}
+
 fn synthesize_sba<E>(
     label: String,
     exchange: E,
@@ -520,8 +699,22 @@ fn synthesize_sba<E>(
 where
     E: InformationExchange,
 {
+    synthesize_sba_with(label, exchange, params, program, explicit_synthesis)
+}
+
+fn synthesize_sba_with<E, S>(
+    label: String,
+    exchange: E,
+    params: ModelParams,
+    program: &KnowledgeBasedProgram,
+    engine: S,
+) -> ExperimentMeasurement
+where
+    E: InformationExchange,
+    S: FnOnce(E, ModelParams, &KnowledgeBasedProgram) -> epimc_synth::SynthesisOutcome,
+{
     let start = Instant::now();
-    let outcome = Synthesizer::new(exchange.clone(), params).synthesize(program);
+    let outcome = engine(exchange.clone(), params, program);
     // Validate the synthesized protocol: it must satisfy the SBA spec.
     let model = ConsensusModel::explore(exchange, params, outcome.rule.clone());
     let spec = check_sba(&model);
@@ -549,8 +742,22 @@ fn synthesize_eba<E>(
 where
     E: InformationExchange,
 {
+    synthesize_eba_with(label, exchange, params, program, explicit_synthesis)
+}
+
+fn synthesize_eba_with<E, S>(
+    label: String,
+    exchange: E,
+    params: ModelParams,
+    program: &KnowledgeBasedProgram,
+    engine: S,
+) -> ExperimentMeasurement
+where
+    E: InformationExchange,
+    S: FnOnce(E, ModelParams, &KnowledgeBasedProgram) -> epimc_synth::SynthesisOutcome,
+{
     let start = Instant::now();
-    let outcome = Synthesizer::new(exchange.clone(), params).synthesize(program);
+    let outcome = engine(exchange.clone(), params, program);
     let model = ConsensusModel::explore(exchange, params, outcome.rule.clone());
     let spec = check_eba(&model);
     let earliest = (0..params.num_agents())
@@ -628,6 +835,46 @@ mod tests {
         assert!(synth.spec_ok);
         let check = experiment.model_check();
         assert!(check.spec_ok);
+    }
+
+    #[test]
+    fn symbolic_synthesis_cells_match_explicit_cells() {
+        let experiment = SbaExperiment::crash(SbaExchangeKind::FloodSet, 3, 1);
+        let explicit = experiment.synthesize();
+        let symbolic = experiment.synthesize_symbolic();
+        assert!(symbolic.spec_ok);
+        assert_eq!(explicit.earliest_decision_time, symbolic.earliest_decision_time);
+        assert_eq!(explicit.total_states, symbolic.total_states);
+
+        let eba = EbaExperiment {
+            exchange: EbaExchangeKind::EMin,
+            n: 2,
+            t: 1,
+            failure: FailureKind::SendOmission,
+        };
+        let symbolic = eba.synthesize_symbolic();
+        assert!(symbolic.spec_ok);
+        assert_eq!(eba.synthesize().earliest_decision_time, symbolic.earliest_decision_time);
+    }
+
+    #[test]
+    fn synthesis_comparison_reports_agreement_and_profile() {
+        let experiment = SbaExperiment::crash(SbaExchangeKind::FloodSet, 3, 1);
+        let comparison = experiment.compare_synthesis(Duration::from_secs(60));
+        assert_eq!(comparison.rules_agree, Some(true), "{comparison}");
+        assert!(comparison.explicit_duration.is_some());
+        assert!(comparison.peak_live_nodes > 0);
+        assert_eq!(comparison.rounds, comparison.profile.rounds.len());
+        assert!(
+            comparison.rounds + comparison.skipped_rounds == 4,
+            "horizon t + 2 = 3 has 4 rounds"
+        );
+        assert!(!format!("{comparison}").is_empty());
+
+        // A timeout of zero forces the explicit engine into a `TO` cell.
+        let timed_out = experiment.compare_synthesis(Duration::from_millis(0));
+        assert_eq!(timed_out.explicit_duration, None);
+        assert_eq!(timed_out.rules_agree, None);
     }
 
     #[test]

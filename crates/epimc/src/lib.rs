@@ -55,7 +55,8 @@ pub use epimc_system::run;
 /// workspace.
 pub mod prelude {
     pub use epimc_check::{
-        Checker, PointSet, RelationMode, SymbolicChecker, SymbolicOptions, SymbolicStats,
+        Checker, EvalSession, ObservationValues, PointSet, RelationMode, SymbolicChecker,
+        SymbolicOptions, SymbolicStats,
     };
     pub use epimc_logic::{AgentId, AgentSet, Formula};
     pub use epimc_protocols::{
@@ -63,16 +64,19 @@ pub mod prelude {
         EBasic, EBasicRule, EMin, EMinRule, FloodSet, FloodSetRule, OptimalFloodSetRule,
         TextbookRule,
     };
-    pub use epimc_synth::{KnowledgeBasedProgram, SynthesisOutcome, Synthesizer};
+    pub use epimc_synth::{
+        KnowledgeBasedProgram, NonUniformClass, SymbolicSynthesisOptions, SymbolicSynthesisProfile,
+        SymbolicSynthesizer, SynthesisOutcome, SynthesisStats, Synthesizer,
+    };
     pub use epimc_system::{
         Action, ConsensusAtom, ConsensusModel, Decision, DecisionRule, FailureKind,
-        InformationExchange, ModelParams, NeverDecide, PointId, PointModel, Round, StateSpace,
-        TableRule, Value,
+        InformationExchange, ModelParams, NeverDecide, Observation, PointId, PointModel, Round,
+        StateSpace, TableRule, Value,
     };
 
     pub use crate::experiments::{
         EbaExchangeKind, EbaExperiment, ExperimentMeasurement, SbaExchangeKind, SbaExperiment,
-        SymbolicFormulaTiming, SymbolicProfile,
+        SymbolicFormulaTiming, SymbolicProfile, SynthesisComparison,
     };
     pub use crate::hypotheses::{condition2, condition3, condition3_observed, HypothesisReport};
     pub use crate::optimality::{analyze_sba, OptimalityReport};

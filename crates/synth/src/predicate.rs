@@ -316,6 +316,53 @@ mod tests {
     }
 
     #[test]
+    fn eval_agrees_with_membership_on_seeded_random_observation_sets() {
+        // Property: for every reachable observation, the simplified
+        // predicate evaluates to exactly the membership of the observation
+        // in the holding set it was built from (unreachable observations are
+        // don't-cares and may evaluate either way).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(0x51D5_1F1E);
+        for case in 0..120 {
+            // Random layout: 1..=4 observables, boolean or small ranged.
+            let num_vars = rng.gen_range(1..=4usize);
+            let layout: Vec<ObservableVar> = (0..num_vars)
+                .map(|i| {
+                    if rng.gen_bool(0.5) {
+                        ObservableVar::boolean(format!("b{i}"))
+                    } else {
+                        ObservableVar::ranged(format!("r{i}"), rng.gen_range(2..=4u32))
+                    }
+                })
+                .collect();
+            // Random reachable set (distinct observations within the
+            // domains), random holding subset.
+            let mut reachable: Vec<Observation> = Vec::new();
+            for _ in 0..rng.gen_range(1..=12usize) {
+                let observation =
+                    Observation::new(layout.iter().map(|v| rng.gen_range(0..v.domain)).collect());
+                if !reachable.contains(&observation) {
+                    reachable.push(observation);
+                }
+            }
+            let holding: Vec<Observation> =
+                reachable.iter().filter(|_| rng.gen_bool(0.5)).cloned().collect();
+
+            let report = simplify_observations(&layout, &reachable, &holding);
+            for observation in &reachable {
+                assert_eq!(
+                    report.eval(&layout, observation),
+                    holding.contains(observation),
+                    "case {case}: {report} disagrees with membership of {observation} \
+                     (reachable {reachable:?}, holding {holding:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn literal_display_forms() {
         let eq = ObsLiteral { variable: "count".into(), value: 2, equal: true, boolean: false };
         assert_eq!(format!("{eq}"), "count == 2");

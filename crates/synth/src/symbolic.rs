@@ -1,0 +1,301 @@
+//! The forward clock-semantics synthesis algorithm, driven by the symbolic
+//! (OBDD) model checking engine.
+//!
+//! This is the scaling backend of the synthesis subsystem, following the
+//! strategy of Huang & van der Meyden, *Symbolic Synthesis of
+//! Knowledge-based Program Implementations with Synchronous Semantics*
+//! (arXiv:1310.6423): every layer of the reachable state space and every
+//! branch condition is represented as a BDD, and the per-observation-class
+//! truth values are read off the condition's denotation by existentially
+//! quantifying the variables the agent does not observe — never by
+//! enumerating points.
+//!
+//! The induction is identical to the explicit engine's
+//! ([`Synthesizer`](crate::Synthesizer)), so both produce the same
+//! [`SynthesisOutcome`] (checked by `tests/synth_agreement.rs`); what
+//! changes is the machinery per round `m`:
+//!
+//! 1. the model is grown one layer at a time under the partial rule fixed so
+//!    far ([`ConsensusModel::extend_layer`]), and a single BDD manager lives
+//!    across the whole run: each round salvages the previous round's
+//!    [`SymbolicChecker`] ([`SymbolicChecker::into_salvage`] /
+//!    [`SymbolicChecker::resume`]), so only the newest layer is encoded and
+//!    the rooted arena, operation caches and garbage collector carry over —
+//!    collections sweep the dead work of earlier rounds mid-run;
+//! 2. `DecidesNow` atoms are interpreted against the partial rule through
+//!    the checker's rule override, symbolically (an observation-equality
+//!    constraint per deciding table entry) rather than by scanning states;
+//! 3. each branch is evaluated once per round inside an
+//!    [`EvalSession`](epimc_check::EvalSession): the per-agent conditions
+//!    `B^N_i C_B_N φ` share the memoised common-belief fixpoint, so the
+//!    expensive part runs once per (branch, time) instead of once per
+//!    (branch, time, agent);
+//! 4. the class values come from
+//!    [`SymbolicChecker::observation_values`]: `∃ hidden_i . [[φ]]_m` and
+//!    `∃ hidden_i . (Reach_m ∧ ¬[[φ]]_m)` projected onto agent `i`'s
+//!    observable variables, with their set difference the holding classes
+//!    and their intersection the (malformed) non-uniform ones.
+//!
+//! Per-round wall-clock and BDD statistics (peak live nodes, collections,
+//! cache rates) are recorded in a [`SymbolicSynthesisProfile`] for the
+//! `tables -- synthesis` ablation.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use epimc_check::{SymbolicChecker, SymbolicOptions, SymbolicStats};
+use epimc_logic::AgentId;
+use epimc_system::{
+    ConsensusModel, InformationExchange, ModelParams, PointModel, Round, StateSpace,
+};
+
+use crate::kbp::KnowledgeBasedProgram;
+use crate::synthesize::{Induction, SynthesisOutcome};
+
+/// Tuning knobs of the symbolic synthesis engine.
+#[derive(Clone, Copy, Debug)]
+pub struct SymbolicSynthesisOptions {
+    /// Options forwarded to the per-round [`SymbolicChecker`].
+    pub symbolic: SymbolicOptions,
+    /// Whether to exit the forward induction once every agent has decided
+    /// (or crashed) in every reachable state of the final explored layer.
+    pub early_exit: bool,
+}
+
+impl Default for SymbolicSynthesisOptions {
+    fn default() -> Self {
+        SymbolicSynthesisOptions { symbolic: SymbolicOptions::default(), early_exit: true }
+    }
+}
+
+/// Measurements of one round of the symbolic forward induction.
+#[derive(Clone, Debug)]
+pub struct SynthesisRound {
+    /// The time (layer) the round synthesized templates for.
+    pub time: Round,
+    /// Number of states in that layer.
+    pub layer_states: usize,
+    /// Wall-clock time of the round (encoding the newest layer plus
+    /// evaluating every branch condition and extracting the class values).
+    pub wall: Duration,
+    /// The symbolic engine's statistics at the end of the round. The BDD
+    /// manager persists across rounds, so the node/GC/cache counters are
+    /// cumulative over the run so far.
+    pub stats: SymbolicStats,
+}
+
+/// Per-round timing and BDD statistics of a symbolic synthesis run, reported
+/// by [`SymbolicSynthesizer::synthesize_profiled`] and consumed by the
+/// `tables -- synthesis` ablation.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolicSynthesisProfile {
+    /// One entry per processed round, in time order.
+    pub rounds: Vec<SynthesisRound>,
+    /// Total wall-clock time of the synthesis run.
+    pub total_wall: Duration,
+}
+
+impl SymbolicSynthesisProfile {
+    /// The highest live-node count the run's BDD manager ever reached (the
+    /// counters are cumulative, so this is the final round's peak).
+    pub fn peak_live_nodes(&self) -> usize {
+        self.rounds.iter().map(|round| round.stats.peak_live_nodes).max().unwrap_or(0)
+    }
+
+    /// Total garbage collections over the run (the counters are cumulative,
+    /// so this is the final round's count).
+    pub fn gc_runs(&self) -> u64 {
+        self.rounds.iter().map(|round| round.stats.gc_runs).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for SymbolicSynthesisProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "symbolic synthesis: {:.3?} total, peak {} live nodes",
+            self.total_wall,
+            self.peak_live_nodes()
+        )?;
+        for round in &self.rounds {
+            writeln!(
+                f,
+                "  round {}: {} states in {:.3?} ({})",
+                round.time, round.layer_states, round.wall, round.stats
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The symbolic synthesis engine: computes the same unique clock-semantics
+/// implementation as [`Synthesizer`](crate::Synthesizer), over the BDD
+/// engine instead of explicit state enumeration.
+pub struct SymbolicSynthesizer<E: InformationExchange> {
+    exchange: E,
+    params: ModelParams,
+    options: SymbolicSynthesisOptions,
+}
+
+impl<E: InformationExchange> SymbolicSynthesizer<E> {
+    /// Creates a symbolic synthesizer with default options.
+    pub fn new(exchange: E, params: ModelParams) -> Self {
+        Self::with_options(exchange, params, SymbolicSynthesisOptions::default())
+    }
+
+    /// Creates a symbolic synthesizer with explicit options.
+    pub fn with_options(
+        exchange: E,
+        params: ModelParams,
+        options: SymbolicSynthesisOptions,
+    ) -> Self {
+        SymbolicSynthesizer { exchange, params, options }
+    }
+
+    /// Runs the forward synthesis algorithm for `program`.
+    pub fn synthesize(&self, program: &KnowledgeBasedProgram) -> SynthesisOutcome {
+        self.synthesize_profiled(program).0
+    }
+
+    /// Runs the forward synthesis algorithm for `program`, additionally
+    /// returning the per-round timing and BDD statistics.
+    pub fn synthesize_profiled(
+        &self,
+        program: &KnowledgeBasedProgram,
+    ) -> (SynthesisOutcome, SymbolicSynthesisProfile) {
+        let start = Instant::now();
+        let mut induction = Induction::new(&program.name);
+        let mut model = ConsensusModel::new(
+            StateSpace::initial(self.exchange.clone(), self.params),
+            induction.rule.clone(),
+        );
+        let mut profile = SymbolicSynthesisProfile::default();
+        let layout = self.exchange.observable_layout(&self.params);
+        let horizon = self.params.horizon();
+
+        let mut salvage: Option<epimc_check::SymbolicSalvage> = None;
+        for time in 0..=horizon {
+            let round_start = Instant::now();
+            let round_stats = {
+                // One BDD manager lives across the whole run: each round
+                // resumes the previous round's salvage, so only the newest
+                // layer is encoded and the collector sweeps the garbage of
+                // earlier rounds instead of starting over.
+                let checker = match salvage.take() {
+                    None => SymbolicChecker::with_options(&model, self.options.symbolic),
+                    Some(salvaged) => SymbolicChecker::resume(&model, salvaged),
+                };
+                for branch in &program.branches {
+                    // Interpret `DecidesNow` against the rule as fixed by
+                    // earlier branches and rounds; earlier branches of this
+                    // very round matter for the EBA-style programs whose
+                    // conditions mention current-round decisions.
+                    checker.set_rule_override(Some(induction.rule.clone()));
+                    let mut session = checker.session();
+                    for agent in AgentId::all(self.params.num_agents()) {
+                        let condition = branch.condition_for(agent, &self.params);
+                        let values =
+                            checker.observation_values(&mut session, &condition, agent, time);
+                        induction.record(&layout, agent, time, branch, &values);
+                    }
+                    checker.end_session(session);
+                }
+                let stats = checker.stats();
+                salvage = Some(checker.into_salvage());
+                stats
+            };
+            profile.rounds.push(SynthesisRound {
+                time,
+                layer_states: model.layer_size(time),
+                wall: round_start.elapsed(),
+                stats: round_stats,
+            });
+            if time < horizon
+                && induction.advance(&mut model, self.options.early_exit, time, horizon)
+            {
+                break;
+            }
+        }
+
+        let total_states = model.space().total_states();
+        profile.total_wall = start.elapsed();
+        (induction.finish(&program.name, total_states), profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesize::Synthesizer;
+    use epimc_protocols::{EMin, FloodSet};
+    use epimc_system::run::{simulate_run, Adversary};
+    use epimc_system::{FailureKind, Value};
+
+    fn crash_params(n: usize, t: usize) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(2).failure(FailureKind::Crash).build()
+    }
+
+    #[test]
+    fn symbolic_appendix_example_floodset_n3_t1() {
+        let params = crash_params(3, 1);
+        let outcome =
+            SymbolicSynthesizer::new(FloodSet, params).synthesize(&KnowledgeBasedProgram::sba(2));
+        assert_eq!(outcome.stats.non_uniform_classes, 0);
+        for agent in AgentId::all(3) {
+            let t1 = outcome.template(agent, 1, "sba-decide-0").unwrap();
+            assert!(t1.predicate.is_false());
+            let t2_zero = outcome.template(agent, 2, "sba-decide-0").unwrap();
+            assert_eq!(format!("{}", t2_zero.predicate), "values_received[0]");
+            assert_eq!(outcome.earliest_decision_time(agent), Some(2));
+        }
+        let inits = vec![Value::ONE, Value::ZERO, Value::ONE];
+        let run =
+            simulate_run(&FloodSet, &params, &outcome.rule, &inits, &Adversary::failure_free());
+        for agent in AgentId::all(3) {
+            assert_eq!(run.decision(agent).unwrap().value, Value::ZERO);
+        }
+    }
+
+    #[test]
+    fn symbolic_matches_explicit_on_emin_omissions() {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::SendOmission)
+            .build();
+        let program = KnowledgeBasedProgram::eba_p0();
+        let explicit = Synthesizer::new(EMin, params).synthesize(&program);
+        let symbolic = SymbolicSynthesizer::new(EMin, params).synthesize(&program);
+        assert_eq!(explicit.rule.len(), symbolic.rule.len());
+        for (key, action) in explicit.rule.iter() {
+            assert_eq!(symbolic.rule.get(key.0, key.1, &key.2), *action, "at {key:?}");
+        }
+        assert_eq!(explicit.stats, symbolic.stats);
+        assert_eq!(explicit.templates.len(), symbolic.templates.len());
+        for (lhs, rhs) in explicit.templates.iter().zip(&symbolic.templates) {
+            assert_eq!(
+                lhs.predicate, rhs.predicate,
+                "{} t={} {}",
+                lhs.agent, lhs.time, lhs.branch_label
+            );
+        }
+    }
+
+    #[test]
+    fn profile_records_rounds_and_peaks() {
+        let params = crash_params(3, 1);
+        let (outcome, profile) = SymbolicSynthesizer::new(FloodSet, params)
+            .synthesize_profiled(&KnowledgeBasedProgram::sba(2));
+        // Early exit: rounds 0..=2 processed, round 3 skipped.
+        assert_eq!(outcome.stats.skipped_rounds, 1);
+        assert_eq!(profile.rounds.len(), 3);
+        assert!(profile.peak_live_nodes() > 0);
+        assert!(profile.total_wall >= profile.rounds.iter().map(|r| r.wall).sum());
+        for (expected_time, round) in profile.rounds.iter().enumerate() {
+            assert_eq!(round.time, expected_time as Round);
+            assert!(round.layer_states > 0);
+        }
+        assert!(!format!("{profile}").is_empty());
+    }
+}

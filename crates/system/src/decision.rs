@@ -71,7 +71,11 @@ impl<E: InformationExchange> DecisionRule<E> for NeverDecide {
 /// faithful (and executable) protocol.
 ///
 /// Entries that are absent default to [`Action::Noop`].
-#[derive(Clone, Debug, Default)]
+///
+/// Equality compares the name and the explicit entry map; the synthesis
+/// differential suite relies on it to assert that the explicit and symbolic
+/// engines produce the same table.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TableRule {
     name: String,
     entries: HashMap<(AgentId, Round, Observation), Action>,

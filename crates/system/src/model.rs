@@ -98,35 +98,39 @@ pub struct ConsensusModel<E: InformationExchange, R> {
     observations: Vec<Vec<Vec<Observation>>>,
 }
 
+/// Computes one layer's observation cache (`[point][agent]`), layer-parallel
+/// (the encoding of one state is independent of every other state). Shared
+/// by the full precompute of [`ConsensusModel::new`] and the incremental
+/// [`ConsensusModel::extend_layer`].
+fn layer_observations<E: InformationExchange>(
+    space: &StateSpace<E>,
+    layer: &crate::explore::Layer<E>,
+) -> Vec<Vec<Observation>> {
+    let params = *space.params();
+    let n = params.num_agents();
+    epimc_par::parallel_chunks(layer.len(), epimc_par::num_threads(), |range| {
+        range
+            .map(|index| {
+                let state = &layer.states[index];
+                AgentId::all(n)
+                    .map(|agent| space.exchange().observation(&params, agent, state.local(agent)))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 impl<E: InformationExchange, R: DecisionRule<E>> ConsensusModel<E, R> {
     /// Wraps an explored state space and its decision rule.
     ///
     /// The per-point observations are precomputed layer-parallel (the
     /// encoding of one state is independent of every other state).
     pub fn new(space: StateSpace<E>, rule: R) -> Self {
-        let params = *space.params();
-        let n = params.num_agents();
-        let observations = space
-            .layers()
-            .iter()
-            .map(|layer| {
-                epimc_par::parallel_chunks(layer.len(), epimc_par::num_threads(), |range| {
-                    range
-                        .map(|index| {
-                            let state = &layer.states[index];
-                            AgentId::all(n)
-                                .map(|agent| {
-                                    space.exchange().observation(&params, agent, state.local(agent))
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect()
-            })
-            .collect();
+        let observations =
+            space.layers().iter().map(|layer| layer_observations(&space, layer)).collect();
         ConsensusModel { space, rule, observations }
     }
 
@@ -147,6 +151,46 @@ impl<E: InformationExchange, R: DecisionRule<E>> ConsensusModel<E, R> {
     /// extending the state space and model-checking the layers built so far.
     pub fn into_parts(self) -> (StateSpace<E>, R) {
         (self.space, self.rule)
+    }
+
+    /// Replaces the decision rule without touching the explored layers or
+    /// the observation cache.
+    ///
+    /// The synthesis engines fix the rule entry by entry as the forward
+    /// induction proceeds; swapping the rule in place lets them reuse one
+    /// model (and its precomputed observations) across branches and rounds
+    /// instead of rebuilding it. Layers already explored are *not*
+    /// re-derived: the caller must only change entries that do not affect
+    /// the rounds already taken (which is exactly the discipline of forward
+    /// synthesis, where entries for earlier times are final).
+    pub fn set_rule(&mut self, rule: R) {
+        self.rule = rule;
+    }
+
+    /// Extends the underlying state space by one layer under the current
+    /// rule and appends the observation cache for the new layer only.
+    ///
+    /// This is the incremental entry point used by the synthesis engines:
+    /// together with [`ConsensusModel::set_rule`] it grows the model one
+    /// round at a time under the partial rule synthesized so far, without
+    /// recomputing the observations of the existing layers.
+    pub fn extend_layer(&mut self) {
+        let ConsensusModel { space, rule, observations } = self;
+        space.extend(&*rule);
+        let layer = space.layers().last().expect("extend produced a layer");
+        observations.push(layer_observations(space, layer));
+    }
+
+    /// Returns `true` when every agent has either decided or crashed in
+    /// every state of the final layer — no agent can perform any further
+    /// action, so extending the space cannot change any decision. The
+    /// synthesis engines use this to exit the forward induction early.
+    pub fn final_layer_settled(&self) -> bool {
+        let n = self.space.params().num_agents();
+        let last = self.space.layers().last().expect("state space has a layer");
+        last.states.iter().all(|state| {
+            AgentId::all(n).all(|agent| state.has_decided(agent) || state.env.has_crashed(agent))
+        })
     }
 
     /// The model parameters.
@@ -330,6 +374,74 @@ mod tests {
         assert!(!m.eval_atom(&ConsensusAtom::ObsAtMost(AgentId::new(0), 0, 0), point));
         // NeverDecide never decides.
         assert!(!m.eval_atom(&ConsensusAtom::DecidesNow(AgentId::new(0), Value::ONE), point));
+    }
+
+    #[test]
+    fn extend_layer_matches_whole_space_exploration() {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .horizon(2)
+            .build();
+        let full = ConsensusModel::explore(Silent, params, NeverDecide);
+        let mut incremental =
+            ConsensusModel::new(crate::explore::StateSpace::initial(Silent, params), NeverDecide);
+        while incremental.num_layers() < full.num_layers() {
+            incremental.extend_layer();
+        }
+        assert_eq!(incremental.num_layers(), full.num_layers());
+        for time in 0..full.num_layers() as Round {
+            assert_eq!(incremental.layer_size(time), full.layer_size(time));
+            for index in 0..full.layer_size(time) {
+                let point = PointId::new(time, index);
+                assert_eq!(incremental.state(point), full.state(point));
+                assert_eq!(incremental.successors(point), full.successors(point));
+                for agent in AgentId::all(2) {
+                    assert_eq!(
+                        incremental.observation(agent, point),
+                        full.observation(agent, point)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_layer_settled_tracks_decisions() {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .horizon(2)
+            .build();
+        // Nobody ever decides: never settled.
+        let idle = ConsensusModel::explore(Silent, params, NeverDecide);
+        assert!(!idle.final_layer_settled());
+
+        // Every agent decides its own value in round 0: settled from layer 1.
+        let mut table = crate::decision::TableRule::new("decide-immediately");
+        for agent in AgentId::all(2) {
+            for value in 0..2u32 {
+                table.set(
+                    agent,
+                    0,
+                    Observation::new(vec![value]),
+                    Action::Decide(Value::new(value as usize)),
+                );
+            }
+        }
+        let mut eager =
+            ConsensusModel::new(crate::explore::StateSpace::initial(Silent, params), table);
+        assert!(!eager.final_layer_settled(), "initial layer has no decisions");
+        eager.extend_layer();
+        assert!(eager.final_layer_settled());
+        // Replacing the rule does not disturb the explored layers.
+        eager.set_rule(crate::decision::TableRule::new("noop"));
+        assert_eq!(eager.num_layers(), 2);
+        assert!(eager.final_layer_settled());
     }
 
     #[test]
