@@ -92,12 +92,7 @@ impl fmt::Display for Cube {
 impl Bdd {
     /// Builds the BDD of a cube.
     pub fn cube(&mut self, cube: &Cube) -> Ref {
-        let mut acc = Ref::TRUE;
-        for literal in cube.literals().iter().rev() {
-            let lit = self.literal(literal.var, literal.positive);
-            acc = self.and(lit, acc);
-        }
-        acc
+        self.cube_literals(cube.literals().iter().map(|l| (l.var, l.positive)))
     }
 
     /// Enumerates the paths to `true` in `f` as a disjoint sum of cubes.

@@ -23,9 +23,17 @@
 //!   `∃ vars . f ∧ g` without materialising the conjunction (early
 //!   quantification), which is what makes partitioned transition relations
 //!   pay off in the symbolic model checker.
+//! * **Dynamic variable reordering.** A variable's identity ([`Var`]) is
+//!   distinct from its *level* (its position in the order, see
+//!   [`Bdd::level_of_var`]). [`Bdd::swap_adjacent_levels`] exchanges two
+//!   adjacent levels in place without invalidating any [`Ref`], and
+//!   [`Bdd::reorder`] runs Rudell sifting on top — as *group sifting* when
+//!   blocks of variables (e.g. current/primed pairs) are registered with
+//!   [`Bdd::set_groups`], so the pairs a transition relation relies on stay
+//!   adjacent. `reorder` follows the same rooting contract as [`Bdd::gc`].
 //! * **Static interleaved ordering.** [`interleaved_order`] and
 //!   [`interleaved_slot`] compute the agent-interleaved variable order used
-//!   by the symbolic layer; the manager itself never reorders dynamically.
+//!   by the symbolic layer as the starting point that sifting then refines.
 //!
 //! # Example
 //!
@@ -55,9 +63,11 @@ mod cubes;
 mod manager;
 mod ops;
 mod order;
+mod reorder;
 mod sat;
 
 pub use cubes::{Cube, Literal};
 pub use manager::{Bdd, BddStats, GcStats, Ref, Var, DEFAULT_CACHE_CAPACITY};
 pub use ops::SubstId;
 pub use order::{interleaved_order, interleaved_slot};
+pub use reorder::{ReorderPolicy, ReorderStats};

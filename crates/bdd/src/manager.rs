@@ -7,19 +7,24 @@ use std::hash::BuildHasherDefault;
 
 use crate::cache::{BoundedCache, FxHasher};
 
-/// A BDD variable, identified by its position in the global variable order.
+/// A BDD variable, identified by a stable index.
 ///
-/// Smaller indices are tested closer to the root of every diagram.
+/// A variable's *identity* (this index) is distinct from its *level* — its
+/// current position in the manager's variable order. A freshly seen variable
+/// is placed at the next free level (so without reordering, level and index
+/// coincide), and [`Bdd::reorder`] / [`Bdd::swap_adjacent_levels`] move
+/// variables between levels without changing their identity. Query the
+/// current position with [`Bdd::level_of_var`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Var(u32);
 
 impl Var {
-    /// Creates a variable with the given position in the ordering.
+    /// Creates a variable with the given (stable) index.
     pub fn new(index: u32) -> Self {
         Var(index)
     }
 
-    /// The position of the variable in the ordering.
+    /// The stable index of the variable (its identity, *not* its level).
     pub fn index(self) -> u32 {
         self.0
     }
@@ -60,8 +65,12 @@ impl Ref {
     /// The terminal node for the constant `true`.
     pub const TRUE: Ref = Ref(1);
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Ref {
+        Ref(u32::try_from(index).expect("BDD node count overflow"))
     }
 
     /// Returns `true` when this reference is one of the two terminal nodes.
@@ -81,10 +90,10 @@ impl fmt::Debug for Ref {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-struct Node {
-    var: Var,
-    low: Ref,
-    high: Ref,
+pub(crate) struct Node {
+    pub(crate) var: Var,
+    pub(crate) low: Ref,
+    pub(crate) high: Ref,
 }
 
 /// Statistics about a manager, exposed for benchmarking and for reporting
@@ -125,6 +134,12 @@ pub struct BddStats {
     pub cache_misses: u64,
     /// Entries overwritten by colliding inserts this epoch (all operations).
     pub cache_evictions: u64,
+    /// Number of [`Bdd::reorder`] runs over the lifetime of the manager.
+    pub reorder_runs: u64,
+    /// Total adjacent-level swaps performed by reordering (both
+    /// [`Bdd::reorder`] sifting passes and explicit
+    /// [`Bdd::swap_adjacent_levels`] calls), lifetime-cumulative.
+    pub reorder_swaps: u64,
 }
 
 impl BddStats {
@@ -173,16 +188,27 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
 /// fixed; [`Bdd::gc`] reclaims unreachable nodes given the set of live
 /// external references.
 pub struct Bdd {
-    nodes: Vec<Node>,
-    unique: HashMap<Node, Ref, BuildHasherDefault<FxHasher>>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<Node, Ref, BuildHasherDefault<FxHasher>>,
     pub(crate) ite_cache: BoundedCache<(Ref, Ref, Ref)>,
     pub(crate) exists_cache: BoundedCache<(Ref, Ref)>,
     pub(crate) replace_cache: BoundedCache<(Ref, u32)>,
     pub(crate) and_exists_cache: BoundedCache<(Ref, Ref, Ref)>,
     pub(crate) substitutions: Vec<Vec<(Var, Var)>>,
-    peak_live_nodes: usize,
+    /// `level_of[var.index()]` is the variable's current level; smaller
+    /// levels are tested closer to the root. Always a permutation of
+    /// `0..level_of.len()`, with `var_at` its inverse.
+    pub(crate) level_of: Vec<u32>,
+    /// `var_at[level]` is the index of the variable currently at `level`.
+    pub(crate) var_at: Vec<u32>,
+    /// Variable groups moved as blocks by group sifting; see
+    /// [`Bdd::set_groups`].
+    pub(crate) groups: Vec<Vec<Var>>,
+    pub(crate) peak_live_nodes: usize,
     gc_runs: u64,
     swept_nodes: u64,
+    pub(crate) reorder_runs: u64,
+    pub(crate) reorder_swaps: u64,
 }
 
 impl Default for Bdd {
@@ -218,9 +244,83 @@ impl Bdd {
             replace_cache: BoundedCache::new(secondary),
             and_exists_cache: BoundedCache::new(secondary),
             substitutions: Vec::new(),
+            level_of: Vec::new(),
+            var_at: Vec::new(),
+            groups: Vec::new(),
             peak_live_nodes: 2,
             gc_runs: 0,
             swept_nodes: 0,
+            reorder_runs: 0,
+            reorder_swaps: 0,
+        }
+    }
+
+    /// Makes sure `var` (and every variable of smaller index) has a level.
+    /// Fresh variables are appended below every existing level in index
+    /// order, so a manager that never reorders tests variables in index
+    /// order — the pre-reordering behaviour.
+    pub(crate) fn ensure_var(&mut self, var: Var) {
+        debug_assert_ne!(var.0, u32::MAX, "the terminal pseudo-variable has no level");
+        let len = self.level_of.len() as u32;
+        for index in len..=var.0 {
+            self.level_of.push(index);
+            self.var_at.push(index);
+        }
+    }
+
+    /// The current level of `var`: its position in the variable order,
+    /// smaller levels closer to the root. A variable the manager has not
+    /// seen yet reports the level it *would* get (its index — fresh
+    /// variables are appended in index order), so the answer is stable
+    /// whether or not the variable has been materialised.
+    pub fn level_of_var(&self, var: Var) -> u32 {
+        match self.level_of.get(var.0 as usize) {
+            Some(&level) => level,
+            // Unseen variables (and the terminal pseudo-variable u32::MAX)
+            // sit at their index, below every assigned level.
+            None => var.0,
+        }
+    }
+
+    /// The variable currently at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no variable has been placed at `level` yet.
+    pub fn var_at_level(&self, level: u32) -> Var {
+        Var(self.var_at[level as usize])
+    }
+
+    /// Number of levels (= number of distinct variables seen so far).
+    pub fn num_levels(&self) -> usize {
+        self.var_at.len()
+    }
+
+    /// The current variable order, root-most level first.
+    pub fn current_order(&self) -> Vec<Var> {
+        self.var_at.iter().map(|&index| Var(index)).collect()
+    }
+
+    /// The level of the variable tested by node `r` (`u32::MAX` for the
+    /// terminals, which sit below every variable).
+    #[inline]
+    pub(crate) fn node_level(&self, r: Ref) -> u32 {
+        let var = self.nodes[r.index()].var;
+        if var.0 == u32::MAX {
+            u32::MAX
+        } else {
+            self.level_of[var.0 as usize]
+        }
+    }
+
+    /// The level of `var`, which must already be materialised (internal
+    /// fast path without the unseen-variable fallback).
+    #[inline]
+    pub(crate) fn level(&self, var: Var) -> u32 {
+        if var.0 == u32::MAX {
+            u32::MAX
+        } else {
+            self.level_of[var.0 as usize]
         }
     }
 
@@ -270,6 +370,17 @@ impl Bdd {
         if low == high {
             return low;
         }
+        self.ensure_var(var);
+        // The ordering invariant at the source: both children must sit
+        // strictly below the parent's *level* (not its raw index) — the
+        // first thing an incorrect level swap would violate.
+        debug_assert!(
+            self.node_level(low) > self.level(var) && self.node_level(high) > self.level(var),
+            "node ordering violated: {var:?} (level {}) over children at levels {} and {}",
+            self.level(var),
+            self.node_level(low),
+            self.node_level(high),
+        );
         let node = Node { var, low, high };
         if let Some(&existing) = self.unique.get(&node) {
             return existing;
@@ -279,6 +390,35 @@ impl Bdd {
         self.unique.insert(node, r);
         self.peak_live_nodes = self.peak_live_nodes.max(self.nodes.len());
         r
+    }
+
+    /// Builds the conjunction of literals over *distinct* variables as a
+    /// single chain of nodes, in level order — each step is O(1) regardless
+    /// of the current variable order, unlike a fold of `and`s over an
+    /// arbitrary literal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if two literals mention the same variable.
+    pub fn cube_literals<I: IntoIterator<Item = (Var, bool)>>(&mut self, literals: I) -> Ref {
+        let mut literals: Vec<(Var, bool)> = literals.into_iter().collect();
+        for &(var, _) in &literals {
+            self.ensure_var(var);
+        }
+        literals.sort_unstable_by_key(|&(var, _)| self.level(var));
+        debug_assert!(
+            literals.windows(2).all(|pair| pair[0].0 != pair[1].0),
+            "cube_literals mentions a variable twice"
+        );
+        let mut acc = Ref::TRUE;
+        for (var, positive) in literals.into_iter().rev() {
+            acc = if positive {
+                self.mk(var, Ref::FALSE, acc)
+            } else {
+                self.mk(var, acc, Ref::FALSE)
+            };
+        }
+        acc
     }
 
     /// If-then-else: the function `if f then g else h`.
@@ -302,7 +442,11 @@ impl Bdd {
         if let Some(cached) = self.ite_cache.get(&(f, g, h)) {
             return cached;
         }
-        let top = self.node_var(f).min(self.node_var(g)).min(self.node_var(h));
+        // The top variable is the one at the root-most *level* among the
+        // three operands (`f` is never terminal here, so the minimum is a
+        // real level and `var_at` covers it).
+        let top_level = self.node_level(f).min(self.node_level(g)).min(self.node_level(h));
+        let top = Var(self.var_at[top_level as usize]);
         let (f_lo, f_hi) = self.cofactors(f, top);
         let (g_lo, g_hi) = self.cofactors(g, top);
         let (h_lo, h_hi) = self.cofactors(h, top);
@@ -426,6 +570,8 @@ impl Bdd {
             and_exists_cache_hits: self.and_exists_cache.counters.hits,
             cache_misses: caches.iter().map(|c| c.misses).sum(),
             cache_evictions: caches.iter().map(|c| c.evictions).sum(),
+            reorder_runs: self.reorder_runs,
+            reorder_swaps: self.reorder_swaps,
         }
     }
 
@@ -482,17 +628,23 @@ impl Bdd {
             stack.push(node.low);
             stack.push(node.high);
         }
-        // Sweep and compact. Children are always allocated before their
-        // parents, so remapping low/high while walking in index order sees
-        // only already-remapped children.
+        // Sweep and compact in two passes: first assign every surviving node
+        // its new index, then rebuild with children remapped through the
+        // complete table. (A single index-order pass would require children
+        // to precede their parents, which level swaps do not preserve.)
         let mut remap: Vec<u32> = vec![u32::MAX; self.nodes.len()];
-        let mut live = Vec::with_capacity(marked.iter().filter(|&&m| m).count());
+        let mut survivors = 0u32;
+        for (index, &keep) in marked.iter().enumerate() {
+            if keep {
+                remap[index] = survivors;
+                survivors = survivors.checked_add(1).expect("BDD node count overflow");
+            }
+        }
+        let mut live = Vec::with_capacity(survivors as usize);
         for (index, node) in self.nodes.iter().enumerate() {
             if !marked[index] {
                 continue;
             }
-            let new_index = u32::try_from(live.len()).expect("BDD node count overflow");
-            remap[index] = new_index;
             let remapped = if index < 2 {
                 *node
             } else {

@@ -15,8 +15,9 @@ impl Bdd {
         if f.is_terminal() {
             return f;
         }
+        self.ensure_var(var);
         let top = self.node_var(f);
-        if top > var {
+        if self.level(top) > self.level(var) {
             return f;
         }
         let (low, high) = (self.node_low(f), self.node_high(f));
@@ -34,7 +35,12 @@ impl Bdd {
         let mut sorted: Vec<Var> = vars.into_iter().collect();
         sorted.sort_unstable();
         sorted.dedup();
-        // Build from the bottom of the order upwards so each `mk` is O(1).
+        for &var in &sorted {
+            self.ensure_var(var);
+        }
+        // Build from the bottom of the *current order* upwards so each `mk`
+        // is O(1); variable identity order may differ from level order.
+        sorted.sort_unstable_by_key(|&var| self.level(var));
         let mut acc = Ref::TRUE;
         for var in sorted.into_iter().rev() {
             acc = self.mk(var, Ref::FALSE, acc);
@@ -52,9 +58,10 @@ impl Bdd {
             return cached;
         }
         let f_var = self.node_var(f);
-        // Skip quantified variables above the root of f.
+        let f_level = self.node_level(f);
+        // Skip quantified variables whose level lies above the root of f.
         let mut cube_rest = cube;
-        while cube_rest != Ref::TRUE && self.node_var(cube_rest) < f_var {
+        while cube_rest != Ref::TRUE && self.node_level(cube_rest) < f_level {
             cube_rest = self.node_high(cube_rest);
         }
         if cube_rest == Ref::TRUE {
@@ -73,7 +80,8 @@ impl Bdd {
                 self.or(low_q, high_q)
             }
         } else {
-            // f_var < cube_var: keep the node, recurse below.
+            // f's root level is above the next quantified variable: keep the
+            // node, recurse below.
             let low_q = self.exists(low, cube_rest);
             let high_q = self.exists(high, cube_rest);
             self.mk(f_var, low_q, high_q)
@@ -125,11 +133,12 @@ impl Bdd {
         if g == Ref::TRUE {
             return self.exists(f, cube);
         }
-        let top = self.node_var(f).min(self.node_var(g));
+        let top_level = self.node_level(f).min(self.node_level(g));
+        let top = self.var_at_level(top_level);
         // Skip quantified variables above both roots: they do not occur in
         // the conjunction, so quantifying them is the identity.
         let mut cube_rest = cube;
-        while cube_rest != Ref::TRUE && self.node_var(cube_rest) < top {
+        while cube_rest != Ref::TRUE && self.node_level(cube_rest) < top_level {
             cube_rest = self.node_high(cube_rest);
         }
         if cube_rest == Ref::TRUE {

@@ -98,7 +98,9 @@ impl Bdd {
     }
 
     /// Enumerates all satisfying assignments of `f` over exactly the given
-    /// strictly-ascending variable list, as bit vectors parallel to `vars`.
+    /// variable list — which must be strictly ascending in *level* (the
+    /// current variable order, see [`Bdd::level_of_var`]) — as bit vectors
+    /// parallel to `vars`.
     ///
     /// Unlike [`Bdd::all_sat`] this walks the diagram instead of scanning
     /// `2^n` assignments, so the cost is proportional to the number of
@@ -108,11 +110,14 @@ impl Bdd {
     ///
     /// # Panics
     ///
-    /// Panics if `vars` is not strictly ascending or if `f` depends on a
-    /// variable outside `vars`.
+    /// Panics if `vars` is not strictly ascending in level or if `f` depends
+    /// on a variable outside `vars`.
     pub fn sat_assignments_over(&self, f: Ref, vars: &[Var]) -> Vec<Vec<bool>> {
         for pair in vars.windows(2) {
-            assert!(pair[0] < pair[1], "sat_assignments_over variables must be strictly ascending");
+            assert!(
+                self.level_of_var(pair[0]) < self.level_of_var(pair[1]),
+                "sat_assignments_over variables must be strictly ascending in level"
+            );
         }
         let mut result = Vec::new();
         let mut current = Vec::with_capacity(vars.len());
@@ -139,7 +144,10 @@ impl Bdd {
             (f, f)
         } else {
             let top = self.node_var(f);
-            assert!(top >= var, "sat_assignments_over universe does not cover {top}");
+            assert!(
+                self.level_of_var(top) >= self.level_of_var(var),
+                "sat_assignments_over universe does not cover {top}"
+            );
             if top == var {
                 (self.node_low(f), self.node_high(f))
             } else {

@@ -1,0 +1,221 @@
+//! Reordering oracle tests: any sequence of adjacent-level swaps — and a
+//! full `reorder()` — must preserve the semantics of every rooted diagram
+//! (bit-identical truth tables), keep the store canonical, maintain the
+//! level ordering invariant, and interact soundly with garbage collection
+//! run mid-sequence.
+
+use epimc_bdd::{Bdd, Ref, ReorderPolicy, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_VARS: u32 = 6;
+
+/// Builds a random function over `NUM_VARS` variables directly in the
+/// manager, leaving behind plenty of intermediate garbage.
+fn random_function(bdd: &mut Bdd, rng: &mut StdRng, depth: usize) -> Ref {
+    if depth == 0 || rng.gen_bool(0.2) {
+        let var = Var::new(rng.gen_range(0..NUM_VARS));
+        return bdd.literal(var, rng.gen_bool(0.5));
+    }
+    let a = random_function(bdd, rng, depth - 1);
+    let b = random_function(bdd, rng, depth - 1);
+    match rng.gen_range(0..5u32) {
+        0 => bdd.and(a, b),
+        1 => bdd.or(a, b),
+        2 => bdd.xor(a, b),
+        3 => bdd.implies(a, b),
+        _ => {
+            let na = bdd.not(a);
+            bdd.or(na, b)
+        }
+    }
+}
+
+/// The truth table of `f` by *variable identity* — independent of the
+/// current level order, which is exactly what reordering must preserve.
+fn truth_table(bdd: &Bdd, f: Ref) -> Vec<bool> {
+    (0u32..(1 << NUM_VARS))
+        .map(|bits| {
+            let assignment: Vec<bool> = (0..NUM_VARS).map(|i| bits & (1 << i) != 0).collect();
+            bdd.eval_bits(f, &assignment)
+        })
+        .collect()
+}
+
+fn assert_order_is_a_permutation(bdd: &Bdd) {
+    let mut levels: Vec<u32> =
+        (0..NUM_VARS).map(|index| bdd.level_of_var(Var::new(index))).collect();
+    levels.sort_unstable();
+    assert_eq!(levels, (0..NUM_VARS).collect::<Vec<_>>(), "levels must stay a permutation");
+    for level in 0..NUM_VARS {
+        let var = bdd.var_at_level(level);
+        assert_eq!(bdd.level_of_var(var), level, "var_at and level_of out of sync");
+    }
+}
+
+#[test]
+fn random_swap_sequences_preserve_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x5EA4_0001);
+    for round in 0..16 {
+        let mut bdd = Bdd::new();
+        let mut roots: Vec<Ref> = Vec::new();
+        for _ in 0..10 {
+            let keep = random_function(&mut bdd, &mut rng, 4);
+            let _garbage = random_function(&mut bdd, &mut rng, 3);
+            roots.push(keep);
+        }
+        let tables: Vec<Vec<bool>> = roots.iter().map(|&f| truth_table(&bdd, f)).collect();
+        for step in 0..40 {
+            let level = rng.gen_range(0..NUM_VARS - 1);
+            bdd.swap_adjacent_levels(level);
+            bdd.check_level_invariant();
+            assert_order_is_a_permutation(&bdd);
+            // Swaps keep every Ref valid: spot-check a rooted function.
+            let probe = step % roots.len();
+            assert_eq!(
+                truth_table(&bdd, roots[probe]),
+                tables[probe],
+                "round {round} step {step}: swap changed function {probe}"
+            );
+        }
+        for (index, (&root, table)) in roots.iter().zip(&tables).enumerate() {
+            assert_eq!(
+                truth_table(&bdd, root),
+                *table,
+                "round {round}: function {index} changed after the swap sequence"
+            );
+        }
+        // Canonicity after swapping: semantically equal roots coincide.
+        for (i, &a) in roots.iter().enumerate() {
+            for (j, &b) in roots.iter().enumerate().skip(i + 1) {
+                assert_eq!(a == b, tables[i] == tables[j], "round {round}: canonicity {i}/{j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gc_mid_swap_sequence_is_sound() {
+    // Swaps leave orphans behind; collections interleaved with swaps must
+    // reclaim them without disturbing the rooted diagrams, and the store
+    // must stay usable for fresh operations throughout.
+    let mut rng = StdRng::seed_from_u64(0x5EA4_0002);
+    for round in 0..12 {
+        let mut bdd = Bdd::new();
+        let mut roots: Vec<Ref> = (0..8).map(|_| random_function(&mut bdd, &mut rng, 4)).collect();
+        let tables: Vec<Vec<bool>> = roots.iter().map(|&f| truth_table(&bdd, f)).collect();
+        for step in 0..24 {
+            bdd.swap_adjacent_levels(rng.gen_range(0..NUM_VARS - 1));
+            if step % 6 == 5 {
+                bdd.gc(roots.iter_mut());
+                bdd.check_level_invariant();
+            }
+            if step % 8 == 7 {
+                // Fresh work mid-sequence: conjoin two rooted functions and
+                // check the result against the tables.
+                let a = rng.gen_range(0..roots.len());
+                let b = rng.gen_range(0..roots.len());
+                let conj = bdd.and(roots[a], roots[b]);
+                let expected: Vec<bool> =
+                    tables[a].iter().zip(&tables[b]).map(|(&x, &y)| x && y).collect();
+                assert_eq!(truth_table(&bdd, conj), expected, "round {round} step {step}");
+            }
+        }
+        bdd.gc(roots.iter_mut());
+        for (index, (&root, table)) in roots.iter().zip(&tables).enumerate() {
+            assert_eq!(truth_table(&bdd, root), *table, "round {round}: function {index}");
+        }
+    }
+}
+
+#[test]
+fn full_reorder_preserves_semantics_and_compacts() {
+    let mut rng = StdRng::seed_from_u64(0x5EA4_0003);
+    for round in 0..12 {
+        let mut bdd = Bdd::new();
+        let mut roots: Vec<Ref> = Vec::new();
+        for _ in 0..10 {
+            let keep = random_function(&mut bdd, &mut rng, 4);
+            let _garbage = random_function(&mut bdd, &mut rng, 4);
+            roots.push(keep);
+        }
+        let tables: Vec<Vec<bool>> = roots.iter().map(|&f| truth_table(&bdd, f)).collect();
+        let policy = if round % 2 == 0 { ReorderPolicy::Sift } else { ReorderPolicy::GroupSift };
+        let stats = bdd.reorder(policy, roots.iter_mut());
+        assert_eq!(stats.final_live_nodes, bdd.live_nodes(), "round {round}");
+        assert!(
+            stats.final_live_nodes <= stats.initial_live_nodes,
+            "round {round}: sifting may never end above its starting size"
+        );
+        bdd.check_level_invariant();
+        assert_order_is_a_permutation(&bdd);
+        for (index, (&root, table)) in roots.iter().zip(&tables).enumerate() {
+            assert_eq!(
+                truth_table(&bdd, root),
+                *table,
+                "round {round}: function {index} changed after reorder"
+            );
+        }
+        // The manager stays fully operational: fresh conjunction agrees
+        // with the tables, and a further collection is stable.
+        let conj = bdd.and_all(roots.iter().copied());
+        let expected: Vec<bool> =
+            (0..tables[0].len()).map(|k| tables.iter().all(|t| t[k])).collect();
+        assert_eq!(truth_table(&bdd, conj), expected, "round {round}");
+    }
+}
+
+#[test]
+fn grouped_reorder_after_gc_keeps_groups_and_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x5EA4_0004);
+    let groups: Vec<Vec<Var>> =
+        (0..NUM_VARS / 2).map(|pair| vec![Var::new(2 * pair), Var::new(2 * pair + 1)]).collect();
+    for round in 0..8 {
+        let mut bdd = Bdd::new();
+        bdd.set_groups(groups.clone());
+        let mut roots: Vec<Ref> = (0..8).map(|_| random_function(&mut bdd, &mut rng, 4)).collect();
+        let tables: Vec<Vec<bool>> = roots.iter().map(|&f| truth_table(&bdd, f)).collect();
+        bdd.gc(roots.iter_mut());
+        bdd.reorder(ReorderPolicy::GroupSift, roots.iter_mut());
+        // A second reorder exercises sifting from an already-sifted order.
+        bdd.reorder(ReorderPolicy::GroupSift, roots.iter_mut());
+        for group in &groups {
+            let mut levels: Vec<u32> = group.iter().map(|&v| bdd.level_of_var(v)).collect();
+            levels.sort_unstable();
+            assert_eq!(levels[0] + 1, levels[1], "round {round}: group {group:?} torn apart");
+        }
+        for (index, (&root, table)) in roots.iter().zip(&tables).enumerate() {
+            assert_eq!(truth_table(&bdd, root), *table, "round {round}: function {index}");
+        }
+        assert_eq!(bdd.stats().reorder_runs, 2);
+    }
+}
+
+#[test]
+fn reorder_then_quantify_and_substitute_agree_with_slow_path() {
+    // Level-aware quantification and substitution must agree with their
+    // pre-reorder results after the order changes underneath them.
+    let mut rng = StdRng::seed_from_u64(0x5EA4_0005);
+    let mut bdd = Bdd::new();
+    let mut f = random_function(&mut bdd, &mut rng, 5);
+    let cube_vars = [Var::new(1), Var::new(4)];
+    let cube = bdd.cube_of_vars(cube_vars);
+    let exists_before = bdd.exists(f, cube);
+    let table_exists = truth_table(&bdd, exists_before);
+    let subst = bdd.register_substitution(vec![(Var::new(0), Var::new(6))]);
+
+    let mut roots = [f, exists_before];
+    bdd.reorder(ReorderPolicy::Sift, roots.iter_mut());
+    [f, _] = roots;
+    // Rebuild the cube under the new order and re-quantify.
+    let cube_after = bdd.cube_of_vars(cube_vars);
+    let exists_after = bdd.exists(f, cube_after);
+    assert_eq!(truth_table(&bdd, exists_after), table_exists);
+
+    // Substitution is variable-identity based and survives the reorder.
+    let renamed = bdd.replace(f, subst);
+    let back = bdd.register_substitution(vec![(Var::new(6), Var::new(0))]);
+    let round_trip = bdd.replace(renamed, back);
+    assert_eq!(round_trip, f, "rename round-trip must be the identity");
+    bdd.check_level_invariant();
+}

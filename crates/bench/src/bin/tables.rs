@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p epimc-bench --bin tables -- \
-//!     [table1|table2|table3|scaling|ablation|explore|symbolic|synthesis|all]
-//!     [--timeout <seconds>] [--full] [--smoke] [--budget <file>]
+//!     [table1|table2|table3|scaling|ablation|explore|symbolic|synthesis|reorder|all]
+//!     [--timeout <seconds>] [--full] [--smoke] [--budget <file>] [--json]
 //! ```
 //!
 //! `explore` prints the exploration ablation: sequential versus parallel
@@ -26,6 +26,17 @@
 //! `--smoke` and `--budget <file>` work as for `symbolic` (CI runs them
 //! against `crates/bench/synthesis_budget.txt`).
 //!
+//! `reorder` prints the reordering ablation: the same instances profiled
+//! under the static interleaved order, a single post-build group-sifting
+//! pass, and the automatic live-node-growth trigger, with the peak-live-node
+//! delta per instance. `--smoke` and `--budget <file>` work as for
+//! `symbolic` (CI runs them against `crates/bench/reorder_budget.txt`).
+//!
+//! `--json` additionally writes the measured `symbolic`, `synthesis` and
+//! `reorder` grids as machine-readable snapshots (`BENCH_symbolic.json`,
+//! `BENCH_synthesis.json`, `BENCH_reorder.json` in the current directory),
+//! so the perf trajectory can be tracked across PRs.
+//!
 //! `--full` selects the paper-sized parameter grids (several cells will show
 //! `TO` unless a generous `--timeout` is given); without it a smaller grid is
 //! used so the run completes in a few minutes.
@@ -33,10 +44,35 @@
 use std::time::Duration;
 
 use epimc_bench::{
-    ablation_table, check_symbolic_budget, check_synthesis_budget, explore_table,
-    render_symbolic_table, render_synthesis_table, scaling_table, symbolic_rows, synthesis_rows,
-    table1, table2, table3, DEFAULT_TIMEOUT,
+    ablation_table, check_reorder_budget, check_symbolic_budget, check_synthesis_budget,
+    explore_table, render_reorder_table, render_symbolic_table, render_synthesis_table,
+    reorder_rows, reorder_rows_json, scaling_table, symbolic_rows, symbolic_rows_json,
+    synthesis_rows, synthesis_rows_json, table1, table2, table3, DEFAULT_TIMEOUT,
 };
+
+/// The grid label recorded in the JSON snapshots.
+fn grid_label(full: bool, smoke: bool) -> &'static str {
+    match (smoke, full) {
+        (true, _) => "smoke",
+        (false, true) => "full",
+        (false, false) => "default",
+    }
+}
+
+fn write_snapshot(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn check_budget_or_exit(result: Result<String, String>) {
+    match result {
+        Ok(summary) => println!("{summary}"),
+        Err(violations) => {
+            eprintln!("peak-live-node budget exceeded:\n{violations}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +81,7 @@ fn main() {
     let mut full = epimc_bench::full_grids_requested();
     let mut smoke = false;
     let mut budget_path: Option<String> = None;
+    let mut json = false;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -61,6 +98,7 @@ fn main() {
             "--budget" => {
                 budget_path = Some(iter.next().expect("--budget requires a file path").to_string());
             }
+            "--json" => json = true,
             other => which.push(other.to_string()),
         }
     }
@@ -79,16 +117,31 @@ fn main() {
             "symbolic" => {
                 let rows = symbolic_rows(full, smoke);
                 print!("{}", render_symbolic_table(&rows));
+                if json {
+                    write_snapshot(
+                        "BENCH_symbolic.json",
+                        &symbolic_rows_json(&rows, grid_label(full, smoke)),
+                    );
+                }
                 if let Some(path) = &budget_path {
                     let budget = std::fs::read_to_string(path)
                         .unwrap_or_else(|e| panic!("cannot read budget file {path}: {e}"));
-                    match check_symbolic_budget(&rows, &budget) {
-                        Ok(summary) => println!("{summary}"),
-                        Err(violations) => {
-                            eprintln!("peak-live-node budget exceeded:\n{violations}");
-                            std::process::exit(1);
-                        }
-                    }
+                    check_budget_or_exit(check_symbolic_budget(&rows, &budget));
+                }
+            }
+            "reorder" => {
+                let rows = reorder_rows(full, smoke);
+                print!("{}", render_reorder_table(&rows));
+                if json {
+                    write_snapshot(
+                        "BENCH_reorder.json",
+                        &reorder_rows_json(&rows, grid_label(full, smoke)),
+                    );
+                }
+                if let Some(path) = &budget_path {
+                    let budget = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("cannot read budget file {path}: {e}"));
+                    check_budget_or_exit(check_reorder_budget(&rows, &budget));
                 }
             }
             "synthesis" => {
@@ -99,16 +152,16 @@ fn main() {
                     eprintln!("synthesis engines disagree on: {}", disagreements.join(", "));
                     std::process::exit(1);
                 }
+                if json {
+                    write_snapshot(
+                        "BENCH_synthesis.json",
+                        &synthesis_rows_json(&rows, grid_label(full, smoke)),
+                    );
+                }
                 if let Some(path) = &budget_path {
                     let budget = std::fs::read_to_string(path)
                         .unwrap_or_else(|e| panic!("cannot read budget file {path}: {e}"));
-                    match check_synthesis_budget(&rows, &budget) {
-                        Ok(summary) => println!("{summary}"),
-                        Err(violations) => {
-                            eprintln!("peak-live-node budget exceeded:\n{violations}");
-                            std::process::exit(1);
-                        }
-                    }
+                    check_budget_or_exit(check_synthesis_budget(&rows, &budget));
                 }
             }
             "all" => {
@@ -124,11 +177,22 @@ fn main() {
                 println!();
                 print!("{}", explore_table(full));
                 println!();
-                print!("{}", render_symbolic_table(&symbolic_rows(full, smoke)));
+                let symbolic = symbolic_rows(full, smoke);
+                print!("{}", render_symbolic_table(&symbolic));
                 println!();
-                print!("{}", render_synthesis_table(&synthesis_rows(full, smoke, timeout)));
+                let synthesis = synthesis_rows(full, smoke, timeout);
+                print!("{}", render_synthesis_table(&synthesis));
+                println!();
+                let reorder = reorder_rows(full, smoke);
+                print!("{}", render_reorder_table(&reorder));
+                if json {
+                    let grid = grid_label(full, smoke);
+                    write_snapshot("BENCH_symbolic.json", &symbolic_rows_json(&symbolic, grid));
+                    write_snapshot("BENCH_synthesis.json", &synthesis_rows_json(&synthesis, grid));
+                    write_snapshot("BENCH_reorder.json", &reorder_rows_json(&reorder, grid));
+                }
             }
-            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, or all)"),
+            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, reorder, or all)"),
         }
         println!();
     }

@@ -589,6 +589,295 @@ pub fn synthesis_table(timeout: Duration, full: bool) -> String {
     render_synthesis_table(&synthesis_rows(full, false, timeout))
 }
 
+/// One row of the reorder ablation: the same instance profiled under the
+/// three reordering policies of the symbolic engine.
+pub struct ReorderRow {
+    /// Stable identifier, e.g. `floodset-n5-t2` (the key used by the
+    /// node-budget file, which gates the `auto` configuration).
+    pub id: String,
+    /// Profile under the static interleaved order.
+    pub static_order: SymbolicProfile,
+    /// Profile with one group-sifting pass right after the encoding.
+    pub sift_once: SymbolicProfile,
+    /// Profile with the automatic live-node-growth trigger.
+    pub auto: SymbolicProfile,
+}
+
+impl ReorderRow {
+    /// The smaller peak of the two reordering configurations.
+    pub fn best_reordered_peak(&self) -> usize {
+        self.sift_once.stats.peak_live_nodes.min(self.auto.stats.peak_live_nodes)
+    }
+
+    /// Peak-live-node reduction of the best reordering configuration over
+    /// the static order, in `[0, 1]` (negative if reordering lost).
+    pub fn reduction(&self) -> f64 {
+        let baseline = self.static_order.stats.peak_live_nodes;
+        if baseline == 0 {
+            0.0
+        } else {
+            1.0 - self.best_reordered_peak() as f64 / baseline as f64
+        }
+    }
+}
+
+/// The shared options of the reorder ablation: a moderate GC threshold in
+/// every configuration, so `peak_live_nodes` tracks genuinely live diagrams
+/// rather than uncollected garbage, making the three policies comparable.
+fn reorder_ablation_options(reorder: ReorderMode) -> SymbolicOptions {
+    SymbolicOptions { gc_threshold: 1 << 14, reorder, ..Default::default() }
+}
+
+/// The auto trigger of the ablation, scaled to the ablation's instance
+/// sizes (the production default of `SymbolicOptions` targets much larger
+/// runs).
+const REORDER_ABLATION_AUTO_THRESHOLD: usize = 1 << 12;
+
+fn sba_reorder_row(
+    exchange: SbaExchangeKind,
+    n: usize,
+    t: usize,
+    include_temporal: bool,
+) -> ReorderRow {
+    let id = match exchange {
+        SbaExchangeKind::FloodSet => format!("floodset-n{n}-t{t}"),
+        SbaExchangeKind::CountFloodSet => format!("count-n{n}-t{t}"),
+        SbaExchangeKind::DiffFloodSet => format!("diff-n{n}-t{t}"),
+        SbaExchangeKind::DworkMoses => format!("dworkmoses-n{n}-t{t}"),
+    };
+    let experiment = SbaExperiment::crash(exchange, n, t);
+    ReorderRow {
+        id,
+        static_order: experiment
+            .symbolic_profile(reorder_ablation_options(ReorderMode::Static), include_temporal),
+        sift_once: experiment
+            .symbolic_profile(reorder_ablation_options(ReorderMode::SiftOnce), include_temporal),
+        auto: experiment.symbolic_profile(
+            reorder_ablation_options(ReorderMode::Auto {
+                threshold: REORDER_ABLATION_AUTO_THRESHOLD,
+            }),
+            include_temporal,
+        ),
+    }
+}
+
+fn eba_reorder_row(exchange: EbaExchangeKind, n: usize, t: usize) -> ReorderRow {
+    let id = match exchange {
+        EbaExchangeKind::EMin => format!("emin-n{n}-t{t}-om"),
+        EbaExchangeKind::EBasic => format!("ebasic-n{n}-t{t}-om"),
+    };
+    let experiment = EbaExperiment { exchange, n, t, failure: FailureKind::SendOmission };
+    ReorderRow {
+        id,
+        static_order: experiment
+            .symbolic_profile(reorder_ablation_options(ReorderMode::Static), true),
+        sift_once: experiment
+            .symbolic_profile(reorder_ablation_options(ReorderMode::SiftOnce), true),
+        auto: experiment.symbolic_profile(
+            reorder_ablation_options(ReorderMode::Auto {
+                threshold: REORDER_ABLATION_AUTO_THRESHOLD,
+            }),
+            true,
+        ),
+    }
+}
+
+/// Measures the reorder ablation grid: static order versus sift-once versus
+/// auto-reorder, across the six protocol families. `smoke` restricts the
+/// run to the single CI instance.
+pub fn reorder_rows(full: bool, smoke: bool) -> Vec<ReorderRow> {
+    if smoke {
+        return vec![sba_reorder_row(SbaExchangeKind::FloodSet, 4, 1, true)];
+    }
+    let mut rows = vec![
+        sba_reorder_row(SbaExchangeKind::FloodSet, 5, 2, true),
+        sba_reorder_row(SbaExchangeKind::CountFloodSet, 4, 1, true),
+        sba_reorder_row(SbaExchangeKind::DiffFloodSet, 3, 1, true),
+        sba_reorder_row(SbaExchangeKind::DworkMoses, 2, 1, true),
+        eba_reorder_row(EbaExchangeKind::EMin, 3, 1),
+        eba_reorder_row(EbaExchangeKind::EBasic, 2, 1),
+    ];
+    if full {
+        rows.push(sba_reorder_row(SbaExchangeKind::FloodSet, 6, 2, false));
+        rows.push(sba_reorder_row(SbaExchangeKind::DworkMoses, 3, 1, true));
+    }
+    rows
+}
+
+/// Renders the reorder ablation rows as a table.
+pub fn render_reorder_table(rows: &[ReorderRow]) -> String {
+    let cells: Vec<Cell> = rows
+        .iter()
+        .map(|row| {
+            let static_stats = &row.static_order.stats;
+            let sift_stats = &row.sift_once.stats;
+            let auto_stats = &row.auto.stats;
+            Cell {
+                key: vec![format!("{:<20}", row.id)],
+                entries: vec![
+                    row.static_order.total_states.to_string(),
+                    static_stats.peak_live_nodes.to_string(),
+                    sift_stats.peak_live_nodes.to_string(),
+                    format!("{} ({}r)", auto_stats.peak_live_nodes, auto_stats.reorder_runs),
+                    format!("{:+.1}%", -row.reduction() * 100.0),
+                    format_mck_duration(row.static_order.total_check_duration()),
+                    format_mck_duration(row.auto.total_check_duration()),
+                ],
+            }
+        })
+        .collect();
+    let mut out = render_table(
+        "Reordering: static interleaved order versus group sifting (peak live BDD nodes)",
+        &["instance            "],
+        &[
+            "states",
+            "static peak",
+            "sift-once peak",
+            "auto peak (runs)",
+            "best delta",
+            "static check",
+            "auto check",
+        ],
+        &cells,
+    );
+    out.push_str(
+        "'best delta' compares the smaller of the two reordered peaks against the static\n\
+         order (negative = fewer nodes); 'auto peak (runs)' counts reorder invocations.\n",
+    );
+    out
+}
+
+/// Checks the *best reordered* peak of each reorder-ablation row (the
+/// smaller of the sift-once and auto configurations) against a checked-in
+/// budget file; same format and failure semantics as
+/// [`check_symbolic_budget`]. Gating the best of the two keeps the gate
+/// honest on instances too small for the auto trigger to ever fire —
+/// sift-once always sifts, so a regression that loses the sifting win (or
+/// a swap bug that balloons the store) trips the budget on every family.
+pub fn check_reorder_budget(rows: &[ReorderRow], budget_text: &str) -> Result<String, String> {
+    let measured: Vec<(&str, usize)> =
+        rows.iter().map(|row| (row.id.as_str(), row.best_reordered_peak())).collect();
+    check_peak_budget(&measured, budget_text)
+}
+
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> =
+        fields.iter().map(|(key, value)| format!("{}: {value}", json_string(key))).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+fn json_seconds(duration: Duration) -> String {
+    format!("{:.6}", duration.as_secs_f64())
+}
+
+fn json_document(table: &str, grid: &str, cells: Vec<String>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"table\": {},\n", json_string(table)));
+    out.push_str(&format!("  \"grid\": {},\n", json_string(grid)));
+    out.push_str("  \"cells\": [\n");
+    for (index, cell) in cells.iter().enumerate() {
+        let comma = if index + 1 < cells.len() { "," } else { "" };
+        out.push_str(&format!("    {cell}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn symbolic_profile_json(id: &str, profile: &SymbolicProfile) -> String {
+    json_object(&[
+        ("id", json_string(id)),
+        ("total_states", profile.total_states.to_string()),
+        ("build_wall_s", json_seconds(profile.build_duration)),
+        ("check_wall_s", json_seconds(profile.total_check_duration())),
+        ("peak_live_nodes", profile.stats.peak_live_nodes.to_string()),
+        ("gc_runs", profile.stats.gc_runs.to_string()),
+        ("swept_nodes", profile.stats.swept_nodes.to_string()),
+        ("reorder_runs", profile.stats.reorder_runs.to_string()),
+        ("reorder_swaps", profile.stats.reorder_swaps.to_string()),
+        ("cache_hit_rate", format!("{:.4}", profile.stats.cache_hit_rate())),
+    ])
+}
+
+/// Machine-readable rendering of the symbolic ablation (for
+/// `BENCH_symbolic.json`): per-cell wall-clock, peak live nodes and GC /
+/// reorder counters, so the perf trajectory is diffable across PRs.
+pub fn symbolic_rows_json(rows: &[SymbolicRow], grid: &str) -> String {
+    let cells =
+        rows.iter().map(|row| symbolic_profile_json(&row.id, &row.profile)).collect::<Vec<_>>();
+    json_document("symbolic", grid, cells)
+}
+
+/// Machine-readable rendering of the synthesis ablation (for
+/// `BENCH_synthesis.json`).
+pub fn synthesis_rows_json(rows: &[SynthesisRow], grid: &str) -> String {
+    let cells = rows
+        .iter()
+        .map(|row| {
+            let comparison = &row.comparison;
+            json_object(&[
+                ("id", json_string(&row.id)),
+                ("total_states", comparison.total_states.to_string()),
+                (
+                    "explicit_wall_s",
+                    comparison
+                        .explicit_duration
+                        .map(json_seconds)
+                        .unwrap_or_else(|| "null".to_string()),
+                ),
+                ("symbolic_wall_s", json_seconds(comparison.symbolic_duration)),
+                ("rounds", comparison.rounds.to_string()),
+                ("skipped_rounds", comparison.skipped_rounds.to_string()),
+                ("peak_live_nodes", comparison.peak_live_nodes.to_string()),
+                ("gc_runs", comparison.gc_runs.to_string()),
+                ("reorder_runs", comparison.reorder_runs.to_string()),
+                (
+                    "rules_agree",
+                    match comparison.rules_agree {
+                        Some(agree) => agree.to_string(),
+                        None => "null".to_string(),
+                    },
+                ),
+            ])
+        })
+        .collect::<Vec<_>>();
+    json_document("synthesis", grid, cells)
+}
+
+/// Machine-readable rendering of the reorder ablation (for
+/// `BENCH_reorder.json`): every configuration's profile per instance.
+pub fn reorder_rows_json(rows: &[ReorderRow], grid: &str) -> String {
+    let cells = rows
+        .iter()
+        .map(|row| {
+            json_object(&[
+                ("id", json_string(&row.id)),
+                ("static", symbolic_profile_json(&row.id, &row.static_order)),
+                ("sift_once", symbolic_profile_json(&row.id, &row.sift_once)),
+                ("auto", symbolic_profile_json(&row.id, &row.auto)),
+                ("best_reduction", format!("{:.4}", row.reduction())),
+            ])
+        })
+        .collect::<Vec<_>>();
+    json_document("reorder", grid, cells)
+}
+
 /// The engine ablation: explicit-state versus symbolic (BDD) evaluation of
 /// the SBA knowledge condition on the same models.
 pub fn ablation_table(full: bool) -> String {
@@ -696,6 +985,7 @@ mod tests {
                 skipped_rounds: 0,
                 peak_live_nodes: peak,
                 gc_runs: 0,
+                reorder_runs: 0,
                 rules_agree: None,
                 profile: SymbolicSynthesisProfile::default(),
             },

@@ -32,8 +32,19 @@
 //! inside fixpoint iterations. The operation caches are capacity-bounded
 //! ([`SymbolicOptions::cache_capacity`]), so memory stays proportional to
 //! the live diagrams, not to the history of operations. [`SymbolicStats`]
-//! reports peak live nodes, collections, swept nodes, and cache
+//! reports peak live nodes, collections, swept nodes, reorders, and cache
 //! hit/miss/eviction counts.
+//!
+//! On top of the GC discipline sits **dynamic variable reordering**
+//! ([`ReorderMode`]): the engine registers every current/primed variable
+//! pair as a sifting *group* with the manager, so Rudell sifting
+//! ([`epimc_bdd::Bdd::reorder`]) moves each pair as a block and the
+//! per-agent partitioned pre-image stays cheap under any learned order.
+//! The automatic trigger lives at the collection safe points — whatever is
+//! rooted for a sweep is rooted for a sift — and its threshold doubles
+//! past the surviving live nodes, exactly like the GC threshold. The
+//! salvage/resume hand-off carries the manager, and with it the **learned
+//! order and the trigger state, across synthesis rounds**.
 //!
 //! # Synthesis-facing API
 //!
@@ -70,6 +81,6 @@ mod symbolic;
 pub use explicit::Checker;
 pub use pointset::PointSet;
 pub use symbolic::{
-    EvalSession, ObservationValues, RelationMode, SymbolicChecker, SymbolicOptions,
-    SymbolicSalvage, SymbolicStats,
+    EvalSession, ObservationValues, RelationMode, ReorderMode, SymbolicChecker, SymbolicOptions,
+    SymbolicSalvage, SymbolicStats, DEFAULT_REORDER_THRESHOLD,
 };

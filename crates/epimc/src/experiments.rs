@@ -295,6 +295,8 @@ pub struct SynthesisComparison {
     pub peak_live_nodes: usize,
     /// Garbage collections across all rounds of the symbolic run.
     pub gc_runs: u64,
+    /// Dynamic variable reorders across all rounds of the symbolic run.
+    pub reorder_runs: u64,
     /// `Some(true)` when both engines ran and produced identical decision
     /// tables; `None` when the explicit engine timed out.
     pub rules_agree: Option<bool>,
@@ -349,6 +351,7 @@ where
         skipped_rounds: symbolic_outcome.stats.skipped_rounds,
         peak_live_nodes: profile.peak_live_nodes(),
         gc_runs: profile.gc_runs(),
+        reorder_runs: profile.reorder_runs(),
         rules_agree,
         profile,
     }

@@ -55,8 +55,8 @@ pub use epimc_system::run;
 /// workspace.
 pub mod prelude {
     pub use epimc_check::{
-        Checker, EvalSession, ObservationValues, PointSet, RelationMode, SymbolicChecker,
-        SymbolicOptions, SymbolicStats,
+        Checker, EvalSession, ObservationValues, PointSet, RelationMode, ReorderMode,
+        SymbolicChecker, SymbolicOptions, SymbolicStats,
     };
     pub use epimc_logic::{AgentId, AgentSet, Formula};
     pub use epimc_protocols::{

@@ -20,8 +20,12 @@
 //!    across the whole run: each round salvages the previous round's
 //!    [`SymbolicChecker`] ([`SymbolicChecker::into_salvage`] /
 //!    [`SymbolicChecker::resume`]), so only the newest layer is encoded and
-//!    the rooted arena, operation caches and garbage collector carry over —
-//!    collections sweep the dead work of earlier rounds mid-run;
+//!    the rooted arena, operation caches, garbage collector — and the
+//!    **dynamically learned variable order** with its auto-reorder trigger
+//!    state (`SymbolicOptions::reorder`) — carry over: a group-sifting pass
+//!    paid in round `k` keeps benefiting round `k + 1` instead of being
+//!    re-learned, and collections sweep the dead work of earlier rounds
+//!    mid-run;
 //! 2. `DecidesNow` atoms are interpreted against the partial rule through
 //!    the checker's rule override, symbolically (an observation-equality
 //!    constraint per deciding table entry) rather than by scanning states;
@@ -106,6 +110,14 @@ impl SymbolicSynthesisProfile {
     /// so this is the final round's count).
     pub fn gc_runs(&self) -> u64 {
         self.rounds.iter().map(|round| round.stats.gc_runs).max().unwrap_or(0)
+    }
+
+    /// Total dynamic variable reorders over the run (cumulative, like
+    /// [`SymbolicSynthesisProfile::gc_runs`]). The BDD manager — and with
+    /// it the learned variable order — survives from round to round, so a
+    /// reorder paid in round `k` keeps benefiting every later round.
+    pub fn reorder_runs(&self) -> u64 {
+        self.rounds.iter().map(|round| round.stats.reorder_runs).max().unwrap_or(0)
     }
 }
 

@@ -160,6 +160,49 @@ fn partitioned_and_monolithic_relations_agree_on_seeded_formulas() {
 }
 
 #[test]
+fn auto_reorder_agrees_with_static_order_and_explicit_on_seeded_formulas() {
+    // Differential test for dynamic variable reordering: with a tiny
+    // auto-reorder threshold (and a tiny GC threshold, since the trigger
+    // sits at collection safe points) the symbolic engine group-sifts the
+    // order repeatedly mid-evaluation, and every seeded random formula —
+    // including the temporal operators, whose pre-image runs over the
+    // partitioned relation under the sifted order — must produce exactly
+    // the same `PointSet` as the static-order engine and the explicit one.
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+    let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+    let explicit = Checker::new(&model);
+    let static_order = SymbolicChecker::with_options(
+        &model,
+        SymbolicOptions { reorder: ReorderMode::Static, ..Default::default() },
+    );
+    let reordered = SymbolicChecker::with_options(
+        &model,
+        SymbolicOptions {
+            reorder: ReorderMode::Auto { threshold: 256 },
+            gc_threshold: 1 << 10,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0008);
+    for case in 0..48 {
+        let formula = random_formula(&mut rng, 3, 3);
+        let expected = explicit.check(&formula);
+        assert_eq!(
+            static_order.check(&formula),
+            expected,
+            "static-order engine disagrees with explicit on case {case}: {formula}"
+        );
+        assert_eq!(
+            reordered.check(&formula),
+            expected,
+            "auto-reordering engine disagrees on case {case}: {formula}"
+        );
+    }
+    assert!(reordered.stats().reorder_runs > 0, "the tiny threshold must have triggered reorders");
+    assert_eq!(static_order.stats().reorder_runs, 0);
+}
+
+#[test]
 fn gc_preserves_symbolic_semantics_on_seeded_formulas() {
     // Oracle test for the garbage collector: evaluate a seeded random
     // formula set, sweep, and re-evaluate — every answer must be

@@ -35,7 +35,48 @@ fn engines_agree_on<E>(
 {
     let explicit = Synthesizer::new(exchange.clone(), params).synthesize(program);
     let symbolic = SymbolicSynthesizer::new(exchange.clone(), params).synthesize(program);
+    compare_outcomes(program_name, exchange, params, &explicit, &symbolic);
+}
 
+/// The auto-reorder differential: a symbolic synthesis run whose BDD order
+/// is group-sifted repeatedly mid-run (tiny thresholds) must produce the
+/// same `SynthesisOutcome` as the explicit engine, bit for bit.
+fn engines_agree_under_auto_reorder<E>(
+    program_name: &str,
+    exchange: E,
+    program: &KnowledgeBasedProgram,
+    params: ModelParams,
+) where
+    E: InformationExchange,
+{
+    let explicit = Synthesizer::new(exchange.clone(), params).synthesize(program);
+    let options = SymbolicSynthesisOptions {
+        symbolic: SymbolicOptions {
+            reorder: ReorderMode::Auto { threshold: 16 },
+            gc_threshold: 1 << 7,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (symbolic, profile) = SymbolicSynthesizer::with_options(exchange.clone(), params, options)
+        .synthesize_profiled(program);
+    let final_stats = profile.rounds.last().expect("at least one round").stats;
+    assert!(
+        final_stats.reorder_runs > 0,
+        "{program_name} {params}: the tiny threshold must have triggered reorders"
+    );
+    compare_outcomes(program_name, exchange, params, &explicit, &symbolic);
+}
+
+fn compare_outcomes<E>(
+    program_name: &str,
+    exchange: E,
+    params: ModelParams,
+    explicit: &SynthesisOutcome,
+    symbolic: &SynthesisOutcome,
+) where
+    E: InformationExchange,
+{
     // Identical decision tables.
     let explicit_entries = rule_entries(&explicit.rule);
     let symbolic_entries = rule_entries(&symbolic.rule);
@@ -141,6 +182,28 @@ fn eba_ebasic_grid() {
     for params in [crash_params(2, 1), omission_params(2, 1)] {
         engines_agree_on("EBA-P0", EBasic, &program, params);
     }
+}
+
+#[test]
+fn sba_floodset_agrees_under_auto_reorder() {
+    for (n, t) in [(3, 1), (3, 2)] {
+        engines_agree_under_auto_reorder(
+            "SBA",
+            FloodSet,
+            &KnowledgeBasedProgram::sba(2),
+            crash_params(n, t),
+        );
+    }
+}
+
+#[test]
+fn eba_emin_agrees_under_auto_reorder() {
+    engines_agree_under_auto_reorder(
+        "EBA-P0",
+        EMin,
+        &KnowledgeBasedProgram::eba_p0(),
+        omission_params(2, 1),
+    );
 }
 
 #[test]
