@@ -192,6 +192,31 @@ mod tests {
     }
 
     #[test]
+    fn cache_keys_distinguish_the_complement_bit() {
+        // `Ref` hashes (and compares) its full packed word, complement bit
+        // included, so an entry memoised for `f` can never be returned for
+        // `¬f`: even when the two keys land in the same direct-mapped slot,
+        // the full-key equality check in `get` rejects the stale entry.
+        let f = Ref::TRUE; // regular edge
+        let nf = Ref::FALSE; // the same slot, complemented
+        let mut a = FxHasher::default();
+        f.hash(&mut a);
+        let mut b = FxHasher::default();
+        nf.hash(&mut b);
+        assert_ne!(a.finish(), b.finish(), "complement bit must reach the hash");
+
+        let mut cache: BoundedCache<(Ref, Ref)> = BoundedCache::new(2);
+        let cube = Ref::TRUE;
+        cache.insert((f, cube), Ref::TRUE);
+        assert_eq!(
+            cache.get(&(nf, cube)),
+            None,
+            "a lookup differing only in the complement bit must miss"
+        );
+        assert_eq!(cache.get(&(f, cube)), Some(Ref::TRUE));
+    }
+
+    #[test]
     fn hashing_is_deterministic() {
         let mut a = FxHasher::default();
         let mut b = FxHasher::default();

@@ -7,6 +7,23 @@
 //! operations, quantification, substitution, satisfiability counting and
 //! cube (DNF) extraction — engineered for long runs:
 //!
+//! * **Complement edges.** A [`Ref`] packs a node slot together with a
+//!   complement bit, so negation ([`Bdd::not`]) is a constant-time bit flip
+//!   that allocates nothing, and a function shares every node with its
+//!   negation. Canonicity is kept by a convention: the *stored then-edge of
+//!   a node is never complemented* (a constructor handed a complemented
+//!   then-edge builds the negated node and returns a complemented
+//!   reference). There is a single terminal, ⊤; `false` is the complemented
+//!   edge to it. The convention can be disabled per manager
+//!   ([`Bdd::with_settings`]) for differential testing against the classic
+//!   two-terminal representation, and
+//!   [`Bdd::check_canonical_invariant`] verifies the invariant over the
+//!   whole store.
+//! * **Cache-conscious node store.** Nodes live in a struct-of-arrays arena
+//!   (variables, low edges and high edges in three parallel `u32` arrays),
+//!   packing 16 child edges per 64-byte cache line on the hot traversal
+//!   paths. A single free-list inside the allocator is shared by ordinary
+//!   construction, the collector and the reorderer's slot recycling.
 //! * **Garbage collection.** [`Bdd::gc`] is a mark-and-sweep collector: the
 //!   caller passes every external handle it still needs as a *root*
 //!   (`&mut Ref`), the collector sweeps everything unreachable, compacts the
@@ -65,6 +82,7 @@ mod ops;
 mod order;
 mod reorder;
 mod sat;
+mod store;
 
 pub use cubes::{Cube, Literal};
 pub use manager::{Bdd, BddStats, GcStats, Ref, Var, DEFAULT_CACHE_CAPACITY};

@@ -1,11 +1,30 @@
-//! The BDD manager: hash-consed node store, core boolean operations, and
-//! mark-and-sweep garbage collection.
+//! The BDD manager: hash-consed node store with complement edges, core
+//! boolean operations, and mark-and-sweep garbage collection.
+//!
+//! # Complement edges
+//!
+//! A [`Ref`] packs a node-slot index and a *complement bit*: the reference
+//! with the bit set denotes the **negation** of the function stored at the
+//! slot. There is a single terminal node ⊤ at slot 0 — [`Ref::TRUE`] is the
+//! regular edge to it and [`Ref::FALSE`] the complemented one — and
+//! [`Bdd::not`] is an O(1) bit flip that allocates nothing.
+//!
+//! Complement edges break canonicity unless one of the two equivalent
+//! representations of every function is chosen once and for all. The
+//! convention here (the usual one) is that **the stored then/high edge of a
+//! node is never complemented**: when [`Bdd::mk`] is asked for a node whose
+//! high edge carries the bit, it builds the node for the pointwise negation
+//! (both children flipped) and returns the complemented reference to it.
+//! With that rule, equality of [`Ref`]s — bit included — still coincides
+//! with logical equivalence. The whole-store invariant is checkable via
+//! [`Bdd::check_canonical_invariant`].
 
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::BuildHasherDefault;
 
 use crate::cache::{BoundedCache, FxHasher};
+use crate::store::NodeStore;
 
 /// A BDD variable, identified by a stable index.
 ///
@@ -42,38 +61,72 @@ impl fmt::Display for Var {
     }
 }
 
-/// A reference to a BDD node owned by a [`Bdd`] manager.
+/// A reference to a BDD node owned by a [`Bdd`] manager, together with a
+/// complement bit (see the module documentation).
 ///
 /// References are only meaningful relative to the manager that produced them;
 /// mixing references from different managers yields unspecified (but memory
 /// safe) results.
 ///
-/// # Validity across garbage collection
+/// # Validity across garbage collection and reordering
 ///
 /// A `Ref` stays valid until the next call to [`Bdd::gc`]. A collection
-/// *remaps* every reference passed to it as a root (in place) and invalidates
-/// every other non-terminal reference: holding a non-rooted `Ref` across a
-/// `gc()` and using it afterwards is memory safe but yields an unspecified
-/// diagram. The two terminals [`Ref::FALSE`] and [`Ref::TRUE`] are always
-/// valid and never remapped.
+/// *remaps* every reference passed to it as a root (in place, preserving its
+/// complement bit) and invalidates every other non-terminal reference:
+/// holding a non-rooted `Ref` across a `gc()` and using it afterwards is
+/// memory safe but yields an unspecified diagram. [`Bdd::reorder`] follows
+/// the same rooting contract, and in-place level swaps
+/// ([`Bdd::swap_adjacent_levels`]) never invalidate references at all. The
+/// terminals [`Ref::FALSE`] and [`Ref::TRUE`] are always valid and never
+/// remapped.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ref(u32);
 
 impl Ref {
-    /// The terminal node for the constant `false`.
-    pub const FALSE: Ref = Ref(0);
-    /// The terminal node for the constant `true`.
-    pub const TRUE: Ref = Ref(1);
+    /// The constant `true`: the regular edge to the terminal.
+    pub const TRUE: Ref = Ref(0);
+    /// The constant `false`: the complemented edge to the terminal.
+    pub const FALSE: Ref = Ref(1);
 
+    /// The node-slot index this reference points at.
     pub(crate) fn index(self) -> usize {
-        self.0 as usize
+        (self.0 >> 1) as usize
     }
 
+    /// The regular (uncomplemented) reference to node slot `index`.
     pub(crate) fn from_index(index: usize) -> Ref {
-        Ref(u32::try_from(index).expect("BDD node count overflow"))
+        let slot = u32::try_from(index).expect("BDD node count overflow");
+        assert!(slot <= u32::MAX >> 1, "BDD node count overflow");
+        Ref(slot << 1)
     }
 
-    /// Returns `true` when this reference is one of the two terminal nodes.
+    /// Whether the complement bit is set.
+    #[inline]
+    pub(crate) fn is_complement(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// The same node with the complement bit flipped: the negation.
+    #[inline]
+    pub(crate) fn negate(self) -> Ref {
+        Ref(self.0 ^ 1)
+    }
+
+    /// The same node with the complement bit cleared.
+    #[inline]
+    pub(crate) fn regular(self) -> Ref {
+        Ref(self.0 & !1)
+    }
+
+    /// This reference seen *through* an edge carrying `parent`'s complement
+    /// bit: XORs the parity down so traversals resolve complements locally.
+    #[inline]
+    pub(crate) fn through(self, parent: Ref) -> Ref {
+        Ref(self.0 ^ (parent.0 & 1))
+    }
+
+    /// Returns `true` when this reference denotes a constant (either edge
+    /// to the terminal node).
     pub fn is_terminal(self) -> bool {
         self.0 < 2
     }
@@ -82,13 +135,16 @@ impl Ref {
 impl fmt::Debug for Ref {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Ref::FALSE => write!(f, "@false"),
             Ref::TRUE => write!(f, "@true"),
-            Ref(i) => write!(f, "@{i}"),
+            Ref::FALSE => write!(f, "@false"),
+            Ref(raw) if raw & 1 == 0 => write!(f, "@{}", raw >> 1),
+            Ref(raw) => write!(f, "~@{}", raw >> 1),
         }
     }
 }
 
+/// A stored node triple: the unique-table key. Under the complement-edge
+/// convention `high` is never complemented (the low edge may be).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
     pub(crate) var: Var,
@@ -107,13 +163,21 @@ pub(crate) struct Node {
 /// does **not** end the epoch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BddStats {
-    /// Total number of nodes ever allocated (including the two terminals
-    /// and nodes since swept by [`Bdd::gc`]).
+    /// Total number of nodes ever allocated (including the terminal and
+    /// nodes since swept by [`Bdd::gc`]).
     pub allocated_nodes: usize,
     /// Number of nodes currently in the store.
     pub live_nodes: usize,
     /// Largest number of simultaneously live nodes ever observed.
     pub peak_live_nodes: usize,
+    /// Number of stored child edges currently carrying the complement bit
+    /// (with complement edges disabled, only edges to the `false` terminal
+    /// count — the classic two-terminal representation).
+    pub complemented_edges: usize,
+    /// Negations answered in O(1) by flipping the complement bit, without
+    /// allocating or traversing anything. Zero when complement edges are
+    /// disabled.
+    pub o1_negations: u64,
     /// Number of [`Bdd::gc`] runs.
     pub gc_runs: u64,
     /// Total number of nodes reclaimed by garbage collection.
@@ -167,7 +231,7 @@ impl BddStats {
 /// Statistics returned by one [`Bdd::gc`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GcStats {
-    /// Nodes that survived the sweep (including the two terminals).
+    /// Nodes that survived the sweep (including the terminal).
     pub live_nodes: usize,
     /// Nodes reclaimed by the sweep.
     pub swept_nodes: usize,
@@ -181,14 +245,15 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
 ///
 /// All diagrams produced by a manager share structure through a unique table,
 /// so equality of [`Ref`]s coincides with logical equivalence of the functions
-/// they denote (canonicity of ROBDDs).
+/// they denote (canonicity of ROBDDs with complement edges; see the module
+/// documentation for the complement convention).
 ///
 /// The operation caches are capacity-bounded (direct-mapped with overwrite
 /// on collision), so the manager's memory beyond the node store itself is
 /// fixed; [`Bdd::gc`] reclaims unreachable nodes given the set of live
 /// external references.
 pub struct Bdd {
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) store: NodeStore,
     pub(crate) unique: HashMap<Node, Ref, BuildHasherDefault<FxHasher>>,
     pub(crate) ite_cache: BoundedCache<(Ref, Ref, Ref)>,
     pub(crate) exists_cache: BoundedCache<(Ref, Ref)>,
@@ -204,7 +269,13 @@ pub struct Bdd {
     /// Variable groups moved as blocks by group sifting; see
     /// [`Bdd::set_groups`].
     pub(crate) groups: Vec<Vec<Var>>,
+    /// Whether complement edges are canonicalized into interior edges. When
+    /// `false` the manager behaves like the classic two-terminal engine:
+    /// the complement bit only ever appears on edges to the terminal (the
+    /// representation of `false`), and negation traverses.
+    pub(crate) complement_edges: bool,
     pub(crate) peak_live_nodes: usize,
+    o1_negations: u64,
     gc_runs: u64,
     swept_nodes: u64,
     pub(crate) reorder_runs: u64,
@@ -218,26 +289,29 @@ impl Default for Bdd {
 }
 
 impl Bdd {
-    /// Creates an empty manager containing only the two terminal nodes, with
-    /// the default cache capacity.
+    /// Creates an empty manager containing only the terminal node, with
+    /// the default cache capacity and complement edges enabled.
     pub fn new() -> Self {
         Self::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
     }
 
     /// Creates an empty manager whose `ite` cache holds at most `capacity`
     /// entries (rounded up to a power of two); the `exists`, `replace` and
-    /// `and_exists` caches hold a quarter of that each.
+    /// `and_exists` caches hold a quarter of that each. Complement edges
+    /// are enabled.
     pub fn with_cache_capacity(capacity: usize) -> Self {
-        // Terminals carry a pseudo-variable beyond any real variable so that
-        // variable comparisons during `ite` treat them as "last".
-        let terminal_var = Var(u32::MAX);
-        let nodes = vec![
-            Node { var: terminal_var, low: Ref::FALSE, high: Ref::FALSE },
-            Node { var: terminal_var, low: Ref::TRUE, high: Ref::TRUE },
-        ];
+        Self::with_settings(capacity, true)
+    }
+
+    /// Creates an empty manager with an explicit cache capacity and an
+    /// explicit complement-edge mode. Disabling complement edges restricts
+    /// the complement bit to terminal edges (the classic two-terminal
+    /// representation), turning [`Bdd::not`] back into a traversal — useful
+    /// for differential testing and ablation benchmarks.
+    pub fn with_settings(capacity: usize, complement_edges: bool) -> Self {
         let secondary = (capacity / 4).max(2);
         Bdd {
-            nodes,
+            store: NodeStore::new(),
             unique: HashMap::default(),
             ite_cache: BoundedCache::new(capacity),
             exists_cache: BoundedCache::new(secondary),
@@ -247,12 +321,20 @@ impl Bdd {
             level_of: Vec::new(),
             var_at: Vec::new(),
             groups: Vec::new(),
-            peak_live_nodes: 2,
+            complement_edges,
+            peak_live_nodes: 1,
+            o1_negations: 0,
             gc_runs: 0,
             swept_nodes: 0,
             reorder_runs: 0,
             reorder_swaps: 0,
         }
+    }
+
+    /// Whether this manager canonicalizes complement edges into interior
+    /// edges (see [`Bdd::with_settings`]).
+    pub fn complement_edges_enabled(&self) -> bool {
+        self.complement_edges
     }
 
     /// Makes sure `var` (and every variable of smaller index) has a level.
@@ -305,7 +387,7 @@ impl Bdd {
     /// terminals, which sit below every variable).
     #[inline]
     pub(crate) fn node_level(&self, r: Ref) -> u32 {
-        let var = self.nodes[r.index()].var;
+        let var = self.store.var(r.index());
         if var.0 == u32::MAX {
             u32::MAX
         } else {
@@ -353,19 +435,40 @@ impl Bdd {
     }
 
     pub(crate) fn node_var(&self, r: Ref) -> Var {
-        self.nodes[r.index()].var
+        self.store.var(r.index())
     }
 
+    /// The low (else) child of `r`, complement-resolved: `r`'s own bit is
+    /// XORed onto the stored edge, so recursive algorithms decompose
+    /// `f = ite(var, high, low)` without handling parity themselves.
+    #[inline]
     pub(crate) fn node_low(&self, r: Ref) -> Ref {
-        self.nodes[r.index()].low
+        self.store.low(r.index()).through(r)
     }
 
+    /// The high (then) child of `r`, complement-resolved (see
+    /// [`Bdd::node_low`]).
+    #[inline]
     pub(crate) fn node_high(&self, r: Ref) -> Ref {
-        self.nodes[r.index()].high
+        self.store.high(r.index()).through(r)
+    }
+
+    /// Whether a stored `(low, high)` pair satisfies the canonical-form
+    /// rules of this manager: with complement edges, the high edge must be
+    /// regular; without, no interior edge may carry the bit at all.
+    pub(crate) fn edges_are_canonical(&self, low: Ref, high: Ref) -> bool {
+        if self.complement_edges {
+            !high.is_complement()
+        } else {
+            (low.is_terminal() || !low.is_complement())
+                && (high.is_terminal() || !high.is_complement())
+        }
     }
 
     /// Creates (or finds) the node `ITE(var, high, low)`, applying the
-    /// standard reduction rules.
+    /// standard reduction rules and the complement-edge canonicalization:
+    /// a complemented high edge is never stored — the node is built with
+    /// both children negated and the complemented reference returned.
     pub(crate) fn mk(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
         if low == high {
             return low;
@@ -381,15 +484,70 @@ impl Bdd {
             self.node_level(low),
             self.node_level(high),
         );
+        let (low, high, negate) = if self.complement_edges && high.is_complement() {
+            (low.negate(), high.negate(), true)
+        } else {
+            (low, high, false)
+        };
+        debug_assert!(
+            self.edges_are_canonical(low, high),
+            "mk would store a non-canonical node: {low:?} / {high:?}"
+        );
         let node = Node { var, low, high };
         if let Some(&existing) = self.unique.get(&node) {
-            return existing;
+            return if negate { existing.negate() } else { existing };
         }
-        let r = Ref(u32::try_from(self.nodes.len()).expect("BDD node count overflow"));
-        self.nodes.push(node);
+        let slot = self.store.alloc(node);
+        let r = Ref::from_index(slot);
         self.unique.insert(node, r);
-        self.peak_live_nodes = self.peak_live_nodes.max(self.nodes.len());
-        r
+        self.peak_live_nodes = self.peak_live_nodes.max(self.store.live());
+        if negate {
+            r.negate()
+        } else {
+            r
+        }
+    }
+
+    /// Checks the whole-store canonicity invariant: every occupied slot
+    /// stores a non-redundant node whose children sit strictly below it in
+    /// the level order and whose edges satisfy the complement convention
+    /// ([`Bdd::edges_are_canonical`]), and the unique table maps each
+    /// stored triple back to its slot. Returns a description of the first
+    /// violation. O(n); meant for tests and `debug_assert!`s.
+    pub fn check_canonical_invariant(&self) -> Result<(), String> {
+        for slot in 1..self.store.len() {
+            if self.store.is_free(slot) {
+                continue;
+            }
+            let node = self.store.get(slot);
+            if node.low == node.high {
+                return Err(format!("slot {slot} is redundant: both children are {:?}", node.low));
+            }
+            if !self.edges_are_canonical(node.low, node.high) {
+                return Err(format!(
+                    "slot {slot} violates the complement convention: low {:?}, high {:?}",
+                    node.low, node.high
+                ));
+            }
+            let level = self.level(node.var);
+            if self.node_level(node.low) <= level || self.node_level(node.high) <= level {
+                return Err(format!(
+                    "slot {slot} ({:?}, level {level}) has children at levels {} and {}",
+                    node.var,
+                    self.node_level(node.low),
+                    self.node_level(node.high)
+                ));
+            }
+            match self.unique.get(&node) {
+                Some(&r) if r.index() == slot && !r.is_complement() => {}
+                other => {
+                    return Err(format!(
+                        "unique table maps slot {slot}'s triple to {other:?} instead of itself"
+                    ))
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Builds the conjunction of literals over *distinct* variables as a
@@ -424,7 +582,10 @@ impl Bdd {
     /// If-then-else: the function `if f then g else h`.
     ///
     /// All binary boolean operations are implemented in terms of this
-    /// operation, which is memoised.
+    /// operation, which is memoised. With complement edges the call is
+    /// normalised before the cache is consulted (first operand regular,
+    /// then-operand regular), so `ite(f, g, h)` and `¬ite(¬f, ¬h, ¬g)`
+    /// share one cache entry.
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
         // Terminal cases.
         if f == Ref::TRUE {
@@ -436,11 +597,48 @@ impl Bdd {
         if g == h {
             return g;
         }
+        let mut f = f;
+        let mut g = g;
+        let mut h = h;
+        if self.complement_edges {
+            // Operand identities that only make sense when equality of a
+            // reference and a *negated* reference is meaningful.
+            if g == f {
+                g = Ref::TRUE;
+            } else if g == f.negate() {
+                g = Ref::FALSE;
+            }
+            if h == f {
+                h = Ref::FALSE;
+            } else if h == f.negate() {
+                h = Ref::TRUE;
+            }
+            if g == h {
+                return g;
+            }
+        }
         if g == Ref::TRUE && h == Ref::FALSE {
             return f;
         }
+        if self.complement_edges && g == Ref::FALSE && h == Ref::TRUE {
+            return f.negate();
+        }
+        let mut negate = false;
+        if self.complement_edges {
+            // Canonicalize the cache key: condition regular, then-branch
+            // regular (the complement is pulled out of the result).
+            if f.is_complement() {
+                f = f.negate();
+                std::mem::swap(&mut g, &mut h);
+            }
+            if g.is_complement() {
+                negate = true;
+                g = g.negate();
+                h = h.negate();
+            }
+        }
         if let Some(cached) = self.ite_cache.get(&(f, g, h)) {
-            return cached;
+            return if negate { cached.negate() } else { cached };
         }
         // The top variable is the one at the root-most *level* among the
         // three operands (`f` is never terminal here, so the minimum is a
@@ -454,7 +652,11 @@ impl Bdd {
         let high = self.ite(f_hi, g_hi, h_hi);
         let result = self.mk(top, low, high);
         self.ite_cache.insert((f, g, h), result);
-        result
+        if negate {
+            result.negate()
+        } else {
+            result
+        }
     }
 
     pub(crate) fn cofactors(&self, r: Ref, var: Var) -> (Ref, Ref) {
@@ -465,8 +667,14 @@ impl Bdd {
         }
     }
 
-    /// Logical negation.
+    /// Logical negation: an O(1) complement-bit flip that allocates no
+    /// nodes. With complement edges disabled it traverses instead (the
+    /// classic two-terminal behaviour).
     pub fn not(&mut self, f: Ref) -> Ref {
+        if self.complement_edges {
+            self.o1_negations += 1;
+            return f.negate();
+        }
         self.ite(f, Ref::FALSE, Ref::TRUE)
     }
 
@@ -521,13 +729,15 @@ impl Bdd {
         acc
     }
 
-    /// Number of (shared) nodes in the diagram rooted at `f`, including the
-    /// terminals that it reaches.
+    /// Number of distinct store slots in the diagram rooted at `f`,
+    /// including the terminal when it is reached. Both polarities of a
+    /// shared node count once — with complement edges, a function and its
+    /// negation occupy the same nodes.
     pub fn node_count(&self, f: Ref) -> usize {
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![f];
         while let Some(r) = stack.pop() {
-            if !seen.insert(r) || r.is_terminal() {
+            if !seen.insert(r.index()) || r.is_terminal() {
                 continue;
             }
             stack.push(self.node_low(r));
@@ -536,9 +746,9 @@ impl Bdd {
         seen.len()
     }
 
-    /// Number of nodes currently in the store (terminals included).
+    /// Number of nodes currently in the store (the terminal included).
     pub fn live_nodes(&self) -> usize {
-        self.nodes.len()
+        self.store.live()
     }
 
     /// Manager-wide statistics. See [`BddStats`] for which counters are
@@ -550,10 +760,20 @@ impl Bdd {
             &self.replace_cache.counters,
             &self.and_exists_cache.counters,
         ];
+        let mut complemented_edges = 0;
+        for slot in 1..self.store.len() {
+            if self.store.is_free(slot) {
+                continue;
+            }
+            complemented_edges += usize::from(self.store.low(slot).is_complement())
+                + usize::from(self.store.high(slot).is_complement());
+        }
         BddStats {
-            allocated_nodes: self.nodes.len() + self.swept_nodes as usize,
-            live_nodes: self.nodes.len(),
+            allocated_nodes: self.store.live() + self.swept_nodes as usize,
+            live_nodes: self.store.live(),
             peak_live_nodes: self.peak_live_nodes,
+            complemented_edges,
+            o1_negations: self.o1_negations,
             gc_runs: self.gc_runs,
             swept_nodes: self.swept_nodes,
             cache_entries: self.ite_cache.len()
@@ -603,8 +823,9 @@ impl Bdd {
     /// Mark-and-sweep garbage collection.
     ///
     /// Marks every node reachable from the given `roots`, sweeps the rest,
-    /// compacts the node store, rebuilds the unique table, and **remaps each
-    /// root in place** so the caller's handles stay valid. Registered
+    /// compacts the node store (clearing the allocator free-list), rebuilds
+    /// the unique table, and **remaps each root in place**, preserving its
+    /// complement bit, so the caller's handles stay valid. Registered
     /// substitutions survive (they are variable-level); the operation caches
     /// are dropped because their entries mention swept references (their
     /// per-epoch counters keep counting — a collection does not end the
@@ -614,25 +835,24 @@ impl Bdd {
     /// see the [`Ref`] documentation for the rooting contract.
     pub fn gc<'a, I: IntoIterator<Item = &'a mut Ref>>(&mut self, roots: I) -> GcStats {
         let root_slots: Vec<&'a mut Ref> = roots.into_iter().collect();
-        // Mark.
-        let mut marked = vec![false; self.nodes.len()];
-        marked[Ref::FALSE.index()] = true;
-        marked[Ref::TRUE.index()] = true;
-        let mut stack: Vec<Ref> = root_slots.iter().map(|slot| **slot).collect();
-        while let Some(r) = stack.pop() {
-            if marked[r.index()] {
+        let live_before = self.store.live();
+        // Mark, by slot index (both polarities of a node share a slot).
+        let mut marked = vec![false; self.store.len()];
+        marked[0] = true;
+        let mut stack: Vec<usize> = root_slots.iter().map(|slot| (**slot).index()).collect();
+        while let Some(index) = stack.pop() {
+            if marked[index] {
                 continue;
             }
-            marked[r.index()] = true;
-            let node = self.nodes[r.index()];
-            stack.push(node.low);
-            stack.push(node.high);
+            marked[index] = true;
+            stack.push(self.store.low(index).index());
+            stack.push(self.store.high(index).index());
         }
         // Sweep and compact in two passes: first assign every surviving node
-        // its new index, then rebuild with children remapped through the
+        // its new slot, then rebuild with children remapped through the
         // complete table. (A single index-order pass would require children
         // to precede their parents, which level swaps do not preserve.)
-        let mut remap: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        let mut remap: Vec<u32> = vec![u32::MAX; self.store.len()];
         let mut survivors = 0u32;
         for (index, &keep) in marked.iter().enumerate() {
             if keep {
@@ -640,46 +860,41 @@ impl Bdd {
                 survivors = survivors.checked_add(1).expect("BDD node count overflow");
             }
         }
-        let mut live = Vec::with_capacity(survivors as usize);
-        for (index, node) in self.nodes.iter().enumerate() {
-            if !marked[index] {
+        let remapped = |r: Ref| Ref::from_index(remap[r.index()] as usize).through(r);
+        let mut live = NodeStore::with_capacity(survivors as usize);
+        live.push_terminal();
+        for (index, &keep) in marked.iter().enumerate().skip(1) {
+            if !keep {
                 continue;
             }
-            let remapped = if index < 2 {
-                *node
-            } else {
-                Node {
-                    var: node.var,
-                    low: Ref(remap[node.low.index()]),
-                    high: Ref(remap[node.high.index()]),
-                }
-            };
-            live.push(remapped);
+            let node = self.store.get(index);
+            live.push(Node { var: node.var, low: remapped(node.low), high: remapped(node.high) });
         }
-        let swept = self.nodes.len() - live.len();
-        self.nodes = live;
+        let swept = live_before - live.live();
+        self.store = live;
         // Rebuild the unique table over the surviving nodes.
         self.unique.clear();
-        for (index, node) in self.nodes.iter().enumerate().skip(2) {
-            self.unique.insert(*node, Ref(index as u32));
+        for slot in 1..self.store.len() {
+            self.unique.insert(self.store.get(slot), Ref::from_index(slot));
         }
         // The caches mention dead references; drop the entries but keep the
         // epoch counters running.
         self.clear_cache_entries();
-        // Remap the caller's roots in place.
+        // Remap the caller's roots in place, preserving each root's own
+        // complement bit.
         for slot in root_slots {
-            *slot = Ref(remap[slot.index()]);
+            *slot = remapped(*slot);
         }
         self.gc_runs += 1;
         self.swept_nodes += swept as u64;
-        GcStats { live_nodes: self.nodes.len(), swept_nodes: swept }
+        GcStats { live_nodes: self.store.live(), swept_nodes: swept }
     }
 }
 
 impl fmt::Debug for Bdd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Bdd")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.store.live())
             .field("cache", &self.ite_cache.len())
             .finish()
     }
@@ -696,6 +911,10 @@ mod tests {
         assert_eq!(bdd.constant(false), Ref::FALSE);
         assert_ne!(Ref::TRUE, Ref::FALSE);
         assert!(Ref::TRUE.is_terminal());
+        assert!(Ref::FALSE.is_terminal());
+        // The two constants are the two polarities of the single terminal.
+        assert_eq!(Ref::TRUE.negate(), Ref::FALSE);
+        assert_eq!(bdd.live_nodes(), 1);
     }
 
     #[test]
@@ -768,9 +987,26 @@ mod tests {
         let x = bdd.var(Var::new(0));
         let y = bdd.var(Var::new(1));
         let f = bdd.and(x, y);
-        // Nodes: x-node, y-node, and the two terminals reachable.
-        assert_eq!(bdd.node_count(f), 4);
+        // Slots: the x-node, the y-node, and the shared terminal.
+        assert_eq!(bdd.node_count(f), 3);
         assert_eq!(bdd.node_count(Ref::TRUE), 1);
+        // A function and its negation share every node.
+        let nf = bdd.not(f);
+        assert_eq!(bdd.node_count(nf), bdd.node_count(f));
+    }
+
+    #[test]
+    fn negation_is_free_and_involutive() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.xor(x, y);
+        let live = bdd.live_nodes();
+        let nf = bdd.not(f);
+        assert_eq!(bdd.live_nodes(), live, "negation must not allocate");
+        assert_ne!(nf, f);
+        assert_eq!(bdd.not(nf), f);
+        assert!(bdd.stats().o1_negations >= 2);
     }
 
     #[test]
@@ -842,13 +1078,29 @@ mod tests {
     }
 
     #[test]
-    fn gc_with_no_roots_keeps_only_terminals() {
+    fn gc_preserves_the_complement_bit_of_roots() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.and(x, y);
+        let mut nf = bdd.not(f);
+        let g1 = bdd.xor(x, y);
+        let _g2 = bdd.or(g1, y);
+        bdd.gc([&mut nf]);
+        // ¬(x∧y) still evaluates as such after the sweep.
+        assert!(!bdd.eval_bits(nf, &[true, true]));
+        assert!(bdd.eval_bits(nf, &[true, false]));
+        assert!(bdd.eval_bits(nf, &[false, false]));
+    }
+
+    #[test]
+    fn gc_with_no_roots_keeps_only_the_terminal() {
         let mut bdd = Bdd::new();
         let x = bdd.var(Var::new(0));
         let y = bdd.var(Var::new(1));
         let _ = bdd.and(x, y);
         let gc = bdd.gc([]);
-        assert_eq!(gc.live_nodes, 2);
+        assert_eq!(gc.live_nodes, 1);
         assert_eq!(bdd.constant(true), Ref::TRUE);
         assert_eq!(bdd.constant(false), Ref::FALSE);
         // The manager is fully usable after a total sweep.
@@ -856,5 +1108,23 @@ mod tests {
         let y = bdd.var(Var::new(1));
         let f = bdd.and(x, y);
         assert!(bdd.eval_bits(f, &[true, true]));
+    }
+
+    #[test]
+    fn disabling_complement_edges_restricts_the_bit_to_terminal_edges() {
+        let mut bdd = Bdd::with_settings(64, false);
+        assert!(!bdd.complement_edges_enabled());
+        let x = bdd.var(Var::new(0));
+        let y = bdd.var(Var::new(1));
+        let f = bdd.xor(x, y);
+        let live = bdd.live_nodes();
+        let nf = bdd.not(f);
+        assert!(bdd.live_nodes() > live, "classic negation allocates fresh nodes");
+        assert_eq!(bdd.stats().o1_negations, 0);
+        assert_eq!(bdd.not(nf), f);
+        bdd.check_canonical_invariant().unwrap();
+        // The off-mode invariant: no interior edge carries the bit.
+        let stats = bdd.stats();
+        assert!(stats.complemented_edges > 0, "false-terminal edges still count");
     }
 }

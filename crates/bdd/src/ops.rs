@@ -197,6 +197,13 @@ impl Bdd {
         if f.is_terminal() {
             return f;
         }
+        // Renaming commutes with negation, so only the regular part is
+        // computed and cached; the complement bit is re-applied on the way
+        // out. (`exists` has no such normalization — it does not commute.)
+        if f.is_complement() {
+            let regular = self.replace(f.regular(), subst);
+            return regular.negate();
+        }
         if let Some(cached) = self.replace_cache.get(&(f, subst.0)) {
             return cached;
         }
@@ -224,7 +231,8 @@ impl Bdd {
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![f];
         while let Some(r) = stack.pop() {
-            if r.is_terminal() || !seen.insert(r) {
+            // Dedupe by slot: both polarities of a node have one support.
+            if r.is_terminal() || !seen.insert(r.index()) {
                 continue;
             }
             support.insert(self.node_var(r));

@@ -78,21 +78,19 @@ fn growth_bound(best: usize) -> usize {
 }
 
 /// Bookkeeping alive only while a [`Bdd::reorder`] call runs: exact
-/// reference counts (external roots included), per-level node lists, a
-/// free-list of reusable slots, and the live-node objective.
+/// reference counts (external roots included) and per-level node lists.
+/// Slot recycling itself lives in the node store's unified free-list
+/// ([`crate::Bdd::gc`], `mk` and the sifter all share it), and the exact
+/// live-node objective is the store's occupied count.
 struct ReorderCtx {
     /// Per-slot reference count: one per parent in the store, plus one per
     /// caller root. Zero marks a dead slot awaiting reuse or the final
-    /// sweep. Terminal slots are never counted (they are never freed).
+    /// sweep. The terminal slot is never counted (it is never freed).
     ref_count: Vec<u32>,
-    /// Dead slots available for reuse by `reorder_mk`.
-    free: Vec<u32>,
     /// Node slots per level. May contain stale entries for slots freed (and
     /// possibly reused elsewhere) since the list was built; consumers filter
     /// by `ref_count` and the node's actual variable.
     at_level: Vec<Vec<u32>>,
-    /// Exact live-node count (terminals included) — the sifting objective.
-    live: usize,
     /// Adjacent swaps performed so far.
     swaps: u64,
 }
@@ -161,25 +159,34 @@ impl Bdd {
         self.var_at.swap(l, l + 1);
         self.level_of[x.index() as usize] = (l + 1) as u32;
         self.level_of[y.index() as usize] = l as u32;
-        let targets: Vec<usize> = (2..self.nodes.len())
+        let targets: Vec<usize> = (1..self.store.len())
             .filter(|&slot| {
-                let node = self.nodes[slot];
-                node.var == x && (self.tests(node.low, y) || self.tests(node.high, y))
+                !self.store.is_free(slot) && {
+                    let node = self.store.get(slot);
+                    node.var == x && (self.tests(node.low, y) || self.tests(node.high, y))
+                }
             })
             .collect();
         for slot in targets {
-            let node = self.nodes[slot];
+            let node = self.store.get(slot);
             let (f00, f01, f10, f11) = self.swap_cofactors(node, y);
             // The two new children test x (now the lower level); `mk`
             // hash-conses them, possibly reviving structure that already
             // exists. Nodes of x that do not depend on y are untouched —
-            // they simply sit one level deeper now.
+            // they simply sit one level deeper now. The stored then-edge of
+            // this node is regular, so f11 is regular, so h1 comes back
+            // regular and the in-place rewrite keeps the complement
+            // convention.
             let h0 = self.mk(x, f00, f10);
             let h1 = self.mk(x, f01, f11);
             debug_assert_ne!(h0, h1, "swap produced a redundant node");
             self.unique.remove(&node);
             let rewritten = Node { var: y, low: h0, high: h1 };
-            self.nodes[slot] = rewritten;
+            debug_assert!(
+                self.edges_are_canonical(rewritten.low, rewritten.high),
+                "swap produced a non-canonical node"
+            );
+            self.store.set(slot, rewritten);
             let previous = self.unique.insert(rewritten, Ref::from_index(slot));
             debug_assert!(previous.is_none(), "swap produced a duplicate node");
         }
@@ -188,22 +195,24 @@ impl Bdd {
 
     #[inline]
     fn tests(&self, r: Ref, var: Var) -> bool {
-        !r.is_terminal() && self.nodes[r.index()].var == var
+        !r.is_terminal() && self.store.var(r.index()) == var
     }
 
     /// The four cofactors of `node`'s children with respect to `y` (a child
-    /// not testing `y` is constant in it).
+    /// not testing `y` is constant in it). Children are resolved *through*
+    /// the stored edge, so a complemented low-edge pushes its bit onto both
+    /// of its cofactors.
     #[inline]
     fn swap_cofactors(&self, node: Node, y: Var) -> (Ref, Ref, Ref, Ref) {
         let (f00, f01) = if self.tests(node.low, y) {
-            let low = self.nodes[node.low.index()];
-            (low.low, low.high)
+            let slot = node.low.index();
+            (self.store.low(slot).through(node.low), self.store.high(slot).through(node.low))
         } else {
             (node.low, node.low)
         };
         let (f10, f11) = if self.tests(node.high, y) {
-            let high = self.nodes[node.high.index()];
-            (high.low, high.high)
+            let slot = node.high.index();
+            (self.store.low(slot).through(node.high), self.store.high(slot).through(node.high))
         } else {
             (node.high, node.high)
         };
@@ -214,7 +223,11 @@ impl Bdd {
     /// node's children sit strictly below it in *level*, and no node is
     /// redundant. A test/debug helper — swap bugs corrupt exactly this.
     pub fn check_level_invariant(&self) {
-        for (slot, node) in self.nodes.iter().enumerate().skip(2) {
+        for slot in 1..self.store.len() {
+            if self.store.is_free(slot) {
+                continue;
+            }
+            let node = self.store.get(slot);
             let level = self.level(node.var);
             assert!(
                 self.node_level(node.low) > level && self.node_level(node.high) > level,
@@ -245,7 +258,7 @@ impl Bdd {
         // caches cleared (they would otherwise pin dead references while
         // slots get reused mid-sift).
         self.gc(root_slots.iter_mut().map(|slot| &mut **slot));
-        let initial_live_nodes = self.nodes.len();
+        let initial_live_nodes = self.store.live();
         self.reorder_runs += 1;
         if self.num_levels() < 2 {
             return ReorderStats {
@@ -258,14 +271,14 @@ impl Bdd {
 
         let mut blocks = self.blocks_for(policy);
         let mut ctx = ReorderCtx {
-            ref_count: vec![0; self.nodes.len()],
-            free: Vec::new(),
+            ref_count: vec![0; self.store.len()],
             at_level: vec![Vec::new(); self.num_levels()],
-            live: self.nodes.len(),
             swaps: 0,
         };
-        for slot in 2..self.nodes.len() {
-            let node = self.nodes[slot];
+        // The collection above compacted the store, so every slot from 1 on
+        // is occupied.
+        for slot in 1..self.store.len() {
+            let node = self.store.get(slot);
             ctx.inc(node.low);
             ctx.inc(node.high);
             ctx.at_level[self.level(node.var) as usize].push(slot as u32);
@@ -304,7 +317,7 @@ impl Bdd {
         self.gc(root_slots.iter_mut().map(|slot| &mut **slot));
         ReorderStats {
             initial_live_nodes,
-            final_live_nodes: self.nodes.len(),
+            final_live_nodes: self.store.live(),
             swaps,
             sifted_blocks,
         }
@@ -371,7 +384,7 @@ impl Bdd {
     /// aborts early once the count exceeds the max-growth bound.
     fn sift_block(&mut self, blocks: &mut [Vec<Var>], position: usize, ctx: &mut ReorderCtx) {
         let last = blocks.len() - 1;
-        let mut best = ctx.live;
+        let mut best = self.store.live();
         let mut best_position = position;
         let mut current = position;
         let down_first = last - position <= position;
@@ -390,11 +403,11 @@ impl Bdd {
                     self.block_swap(blocks, current - 1, ctx);
                     current -= 1;
                 }
-                if ctx.live < best {
-                    best = ctx.live;
+                if self.store.live() < best {
+                    best = self.store.live();
                     best_position = current;
                 }
-                if ctx.live > growth_bound(best) {
+                if self.store.live() > growth_bound(best) {
                     break;
                 }
             }
@@ -426,10 +439,11 @@ impl Bdd {
 
     /// The reference-counted adjacent-level swap used while sifting: same
     /// rewrite as [`Bdd::swap_adjacent_levels`], but nodes orphaned by the
-    /// rewrite are freed immediately (cascading), their slots recycled, and
-    /// the per-level node lists maintained — which is what keeps a whole
-    /// sifting pass O(nodes touched) instead of O(store) per swap, and the
-    /// `ctx.live` objective exact.
+    /// rewrite are freed immediately (cascading), their slots recycled
+    /// through the store's free-list, and the per-level node lists
+    /// maintained — which is what keeps a whole sifting pass
+    /// O(nodes touched) instead of O(store) per swap, and the live-node
+    /// objective exact.
     fn swap_with_ctx(&mut self, l: usize, ctx: &mut ReorderCtx) {
         let x = Var::new(self.var_at[l]);
         let y = Var::new(self.var_at[l + 1]);
@@ -446,7 +460,7 @@ impl Bdd {
             if ctx.ref_count[index] == 0 {
                 continue;
             }
-            let node = self.nodes[index];
+            let node = self.store.get(index);
             if node.var != x {
                 continue;
             }
@@ -469,8 +483,14 @@ impl Bdd {
             // subgraphs are freed (and their slots recycled) right here.
             self.free_ref(ctx, node.low);
             self.free_ref(ctx, node.high);
+            // f11 is regular (the stored then-edge is never complemented),
+            // so h1 is regular and the rewrite stays canonical.
             let rewritten = Node { var: y, low: h0, high: h1 };
-            self.nodes[index] = rewritten;
+            debug_assert!(
+                self.edges_are_canonical(rewritten.low, rewritten.high),
+                "swap produced a non-canonical node"
+            );
+            self.store.set(index, rewritten);
             let previous = self.unique.insert(rewritten, Ref::from_index(index));
             debug_assert!(previous.is_none(), "swap produced a duplicate node");
         }
@@ -487,7 +507,7 @@ impl Bdd {
             if ctx.ref_count[index] == 0 {
                 continue;
             }
-            let level = self.level(self.nodes[index].var) as usize;
+            let level = self.level(self.store.var(index)) as usize;
             if level == l || level == l + 1 {
                 ctx.at_level[level].push(slot);
             }
@@ -510,10 +530,19 @@ impl Bdd {
             self.free_ref(ctx, high); // Release one of the two references.
             return low;
         }
+        // Same canonicalization as `mk`: a complemented then-edge flips to
+        // the negated node. Reference counts are per-slot (the complement
+        // bit is stripped by `Ref::index`), so the ownership protocol is
+        // untouched by the negations.
+        if self.complement_edges && high.is_complement() {
+            let negated = self.reorder_mk(ctx, created, var, low.negate(), high.negate());
+            return negated.negate();
+        }
         debug_assert!(
             self.node_level(low) > self.level(var) && self.node_level(high) > self.level(var),
             "reorder_mk would violate the level invariant"
         );
+        debug_assert!(self.edges_are_canonical(low, high));
         let node = Node { var, low, high };
         if let Some(&existing) = self.unique.get(&node) {
             // The existing node already owns references to the children.
@@ -522,29 +551,21 @@ impl Bdd {
             self.free_ref(ctx, high);
             return existing;
         }
-        let index = match ctx.free.pop() {
-            Some(slot) => {
-                self.nodes[slot as usize] = node;
-                slot as usize
-            }
-            None => {
-                self.nodes.push(node);
-                ctx.ref_count.push(0);
-                self.nodes.len() - 1
-            }
-        };
+        let index = self.store.alloc(node);
+        if index == ctx.ref_count.len() {
+            ctx.ref_count.push(0);
+        }
         ctx.ref_count[index] = 1;
-        ctx.live += 1;
-        self.peak_live_nodes = self.peak_live_nodes.max(ctx.live);
+        self.peak_live_nodes = self.peak_live_nodes.max(self.store.live());
         self.unique.insert(node, Ref::from_index(index));
         created.push(index as u32);
         Ref::from_index(index)
     }
 
     /// Releases one reference to `r`; at zero the node dies — removed from
-    /// the unique table, its slot recycled, and its own child references
-    /// released in cascade. (A node's recursion depth is bounded by the
-    /// number of levels.)
+    /// the unique table, its slot recycled through the store's free-list,
+    /// and its own child references released in cascade. (A node's
+    /// recursion depth is bounded by the number of levels.)
     fn free_ref(&mut self, ctx: &mut ReorderCtx, r: Ref) {
         if r.is_terminal() {
             return;
@@ -553,11 +574,10 @@ impl Bdd {
         debug_assert!(ctx.ref_count[index] > 0, "reference-count underflow");
         ctx.ref_count[index] -= 1;
         if ctx.ref_count[index] == 0 {
-            let node = self.nodes[index];
+            let node = self.store.get(index);
             let removed = self.unique.remove(&node);
-            debug_assert_eq!(removed, Some(r));
-            ctx.free.push(index as u32);
-            ctx.live -= 1;
+            debug_assert_eq!(removed, Some(r.regular()));
+            self.store.free_slot(index);
             self.free_ref(ctx, node.low);
             self.free_ref(ctx, node.high);
         }
@@ -666,8 +686,8 @@ mod tests {
         let mut bdd = Bdd::new();
         let stats = bdd.reorder(ReorderPolicy::GroupSift, []);
         assert_eq!(stats.swaps, 0);
-        assert_eq!(stats.initial_live_nodes, 2);
-        assert_eq!(stats.final_live_nodes, 2);
+        assert_eq!(stats.initial_live_nodes, 1);
+        assert_eq!(stats.final_live_nodes, 1);
         assert_eq!(bdd.stats().reorder_runs, 1);
     }
 

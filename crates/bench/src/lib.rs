@@ -538,6 +538,14 @@ pub fn synthesis_rows(full: bool, smoke: bool, timeout: Duration) -> Vec<Synthes
         rows.push(sba_synthesis_row(SbaExchangeKind::FloodSet, 9, 3, timeout));
     }
     rows.push(sba_synthesis_row(SbaExchangeKind::FloodSet, 10, 3, timeout));
+    if full {
+        // ~8.4M states: the symbolic peak stays flat (~300k live nodes) but
+        // the explicit-model front-end (exploration + observation
+        // precompute) dominates the wall clock, so this row only fits the
+        // bench budget on a multi-core host where the parallel explorer
+        // pulls its weight. Last on purpose — see the TO note above.
+        rows.push(sba_synthesis_row(SbaExchangeKind::FloodSet, 11, 3, timeout));
+    }
     rows
 }
 
@@ -601,6 +609,10 @@ pub struct ReorderRow {
     pub sift_once: SymbolicProfile,
     /// Profile with the automatic live-node-growth trigger.
     pub auto: SymbolicProfile,
+    /// Profile with the automatic trigger but complement edges disabled
+    /// (the classic two-terminal representation) — the complement-edge
+    /// ablation, isolating the representation win from the ordering win.
+    pub no_complement: SymbolicProfile,
 }
 
 impl ReorderRow {
@@ -617,6 +629,18 @@ impl ReorderRow {
             0.0
         } else {
             1.0 - self.best_reordered_peak() as f64 / baseline as f64
+        }
+    }
+
+    /// Peak-live-node reduction of complement edges over the two-terminal
+    /// representation at identical settings (the `auto` configuration), in
+    /// `[0, 1]` (negative if complement edges lost).
+    pub fn complement_reduction(&self) -> f64 {
+        let baseline = self.no_complement.stats.peak_live_nodes;
+        if baseline == 0 {
+            0.0
+        } else {
+            1.0 - self.auto.stats.peak_live_nodes as f64 / baseline as f64
         }
     }
 }
@@ -658,6 +682,15 @@ fn sba_reorder_row(
             }),
             include_temporal,
         ),
+        no_complement: experiment.symbolic_profile(
+            SymbolicOptions {
+                complement_edges: false,
+                ..reorder_ablation_options(ReorderMode::Auto {
+                    threshold: REORDER_ABLATION_AUTO_THRESHOLD,
+                })
+            },
+            include_temporal,
+        ),
     }
 }
 
@@ -677,6 +710,15 @@ fn eba_reorder_row(exchange: EbaExchangeKind, n: usize, t: usize) -> ReorderRow 
             reorder_ablation_options(ReorderMode::Auto {
                 threshold: REORDER_ABLATION_AUTO_THRESHOLD,
             }),
+            true,
+        ),
+        no_complement: experiment.symbolic_profile(
+            SymbolicOptions {
+                complement_edges: false,
+                ..reorder_ablation_options(ReorderMode::Auto {
+                    threshold: REORDER_ABLATION_AUTO_THRESHOLD,
+                })
+            },
             true,
         ),
     }
@@ -720,6 +762,8 @@ pub fn render_reorder_table(rows: &[ReorderRow]) -> String {
                     sift_stats.peak_live_nodes.to_string(),
                     format!("{} ({}r)", auto_stats.peak_live_nodes, auto_stats.reorder_runs),
                     format!("{:+.1}%", -row.reduction() * 100.0),
+                    row.no_complement.stats.peak_live_nodes.to_string(),
+                    format!("{:+.1}%", -row.complement_reduction() * 100.0),
                     format_mck_duration(row.static_order.total_check_duration()),
                     format_mck_duration(row.auto.total_check_duration()),
                 ],
@@ -735,6 +779,8 @@ pub fn render_reorder_table(rows: &[ReorderRow]) -> String {
             "sift-once peak",
             "auto peak (runs)",
             "best delta",
+            "no-compl peak",
+            "compl delta",
             "static check",
             "auto check",
         ],
@@ -742,7 +788,10 @@ pub fn render_reorder_table(rows: &[ReorderRow]) -> String {
     );
     out.push_str(
         "'best delta' compares the smaller of the two reordered peaks against the static\n\
-         order (negative = fewer nodes); 'auto peak (runs)' counts reorder invocations.\n",
+         order (negative = fewer nodes); 'auto peak (runs)' counts reorder invocations.\n\
+         'no-compl peak' re-runs the auto configuration with complement edges disabled\n\
+         (the classic two-terminal representation); 'compl delta' is the auto peak\n\
+         against it — the isolated complement-edge win.\n",
     );
     out
 }
@@ -871,7 +920,9 @@ pub fn reorder_rows_json(rows: &[ReorderRow], grid: &str) -> String {
                 ("static", symbolic_profile_json(&row.id, &row.static_order)),
                 ("sift_once", symbolic_profile_json(&row.id, &row.sift_once)),
                 ("auto", symbolic_profile_json(&row.id, &row.auto)),
+                ("no_complement", symbolic_profile_json(&row.id, &row.no_complement)),
                 ("best_reduction", format!("{:.4}", row.reduction())),
+                ("complement_reduction", format!("{:.4}", row.complement_reduction())),
             ])
         })
         .collect::<Vec<_>>();
@@ -1003,6 +1054,72 @@ mod tests {
         assert_eq!(synthesis_disagreements(&rows), vec!["floodset-n5-t1"]);
         // The diverging row still renders (as `NO`) instead of panicking.
         assert!(render_synthesis_table(&rows).contains("NO"));
+    }
+
+    fn reorder_ablation_row(id: &str, peak: usize) -> ReorderRow {
+        let profile = |peak: usize| SymbolicProfile {
+            label: id.to_string(),
+            total_states: 1,
+            build_duration: Duration::ZERO,
+            formulas: Vec::new(),
+            stats: SymbolicStats { peak_live_nodes: peak, ..Default::default() },
+        };
+        ReorderRow {
+            id: id.to_string(),
+            static_order: profile(peak * 2),
+            sift_once: profile(peak),
+            auto: profile(peak),
+            no_complement: profile(peak * 2),
+        }
+    }
+
+    #[test]
+    fn checked_in_symbolic_budget_gate_can_trip() {
+        // The real `symbolic_budget.txt` shipped to CI, fed a synthetic
+        // regressed snapshot: a blown-up peak on the smoke instance must
+        // fail the gate, and a healthy peak must pass it. This proves the
+        // checked-in file itself gates (right ids, parseable lines) rather
+        // than only the gate function in isolation.
+        let budget = include_str!("../symbolic_budget.txt");
+        let regressed = [row("floodset-n4-t1", 100_000_000)];
+        let err = check_symbolic_budget(&regressed, budget).unwrap_err();
+        assert!(err.contains("floodset-n4-t1"), "{err}");
+        assert!(err.contains("100000000"), "{err}");
+        let healthy = [row("floodset-n4-t1", 1)];
+        check_symbolic_budget(&healthy, budget).unwrap();
+    }
+
+    #[test]
+    fn checked_in_synthesis_budget_gate_can_trip() {
+        let budget = include_str!("../synthesis_budget.txt");
+        let regressed =
+            [synthesis_row("floodset-n4-t1", 100_000_000), synthesis_row("emin-n2-t1-om", 1)];
+        let err = check_synthesis_budget(&regressed, budget).unwrap_err();
+        assert!(err.contains("floodset-n4-t1"), "{err}");
+        let healthy = [synthesis_row("floodset-n4-t1", 1), synthesis_row("emin-n2-t1-om", 1)];
+        check_synthesis_budget(&healthy, budget).unwrap();
+    }
+
+    #[test]
+    fn checked_in_reorder_budget_gate_can_trip() {
+        let budget = include_str!("../reorder_budget.txt");
+        let regressed = [reorder_ablation_row("floodset-n4-t1", 100_000_000)];
+        let err = check_reorder_budget(&regressed, budget).unwrap_err();
+        assert!(err.contains("floodset-n4-t1"), "{err}");
+        let healthy = [reorder_ablation_row("floodset-n4-t1", 1)];
+        check_reorder_budget(&healthy, budget).unwrap();
+    }
+
+    #[test]
+    fn reorder_row_reductions_cover_both_ablations() {
+        let row = reorder_ablation_row("floodset-n4-t1", 100);
+        // best reordered peak 100 vs static 200: a 50% sifting win.
+        assert!((row.reduction() - 0.5).abs() < 1e-9);
+        // auto 100 vs two-terminal 200: a 50% complement-edge win.
+        assert!((row.complement_reduction() - 0.5).abs() < 1e-9);
+        let json = reorder_rows_json(&[row], "test");
+        assert!(json.contains("\"no_complement\""), "{json}");
+        assert!(json.contains("\"complement_reduction\": 0.5000"), "{json}");
     }
 
     #[test]

@@ -21,7 +21,25 @@
 //!   observe; the bounded temporal operators are evaluated by symbolic
 //!   pre-image over a per-round, per-agent **partitioned transition
 //!   relation** composed with the fused `and_exists` (early
-//!   quantification). See [`RelationMode`] and [`SymbolicOptions`].
+//!   quantification). The pre-image *schedules* those conjunctions by
+//!   support overlap: each partition's variable support is recorded when
+//!   the partitions are built, and the partition sharing the most
+//!   variables with the intermediate product is conjoined next (ties break
+//!   toward the fewest fresh variables, then the lowest agent index), so
+//!   primed variables leave the product as early as possible. See
+//!   [`RelationMode`] and [`SymbolicOptions`].
+//!
+//! The manager underneath uses **complement edges**
+//! ([`SymbolicOptions::complement_edges`], on by default): negation is a
+//! constant-time bit flip and a denotation shares every BDD node with its
+//! negation — which is what the negation-heavy epistemic operators (`¬K¬`,
+//! belief via relativised knowledge, the common-belief fixpoint) hammer.
+//! The `Ref` rooting contract is unchanged by the representation: rooted
+//! handles are remapped (complement bit preserved) across gc and reorder,
+//! and everything in this crate roots its handles exactly as before. The
+//! `false` setting runs the classic two-terminal representation for
+//! differential testing; both configurations must produce bit-identical
+//! `PointSet`s.
 //!
 //! # Memory discipline of the symbolic engine
 //!

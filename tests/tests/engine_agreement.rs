@@ -203,6 +203,54 @@ fn auto_reorder_agrees_with_static_order_and_explicit_on_seeded_formulas() {
 }
 
 #[test]
+fn complement_edges_on_off_and_explicit_agree_on_seeded_formulas() {
+    // Differential test for the complement-edge representation: the default
+    // engine (complement edges on), the classic two-terminal engine
+    // (complement edges off) and the explicit-state engine must produce
+    // bit-identical `PointSet`s on every seeded random formula — including
+    // the temporal operators, whose scheduled pre-image conjunctions run
+    // over both representations, and under tiny gc/reorder thresholds so
+    // both configurations collect and sift mid-evaluation.
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+    let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+    let explicit = Checker::new(&model);
+    let with_complement = SymbolicChecker::new(&model);
+    let without_complement = SymbolicChecker::with_options(
+        &model,
+        SymbolicOptions { complement_edges: false, ..Default::default() },
+    );
+    let stressed = SymbolicChecker::with_options(
+        &model,
+        SymbolicOptions {
+            complement_edges: false,
+            gc_threshold: 1 << 10,
+            reorder: ReorderMode::Auto { threshold: 256 },
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0009);
+    for case in 0..48 {
+        let formula = random_formula(&mut rng, 3, 3);
+        let expected = explicit.check(&formula);
+        assert_eq!(
+            with_complement.check(&formula),
+            expected,
+            "complement-edge engine disagrees with explicit on case {case}: {formula}"
+        );
+        assert_eq!(
+            without_complement.check(&formula),
+            expected,
+            "two-terminal engine disagrees on case {case}: {formula}"
+        );
+        assert_eq!(
+            stressed.check(&formula),
+            expected,
+            "two-terminal engine under gc/reorder pressure disagrees on case {case}: {formula}"
+        );
+    }
+}
+
+#[test]
 fn gc_preserves_symbolic_semantics_on_seeded_formulas() {
     // Oracle test for the garbage collector: evaluate a seeded random
     // formula set, sweep, and re-evaluate — every answer must be

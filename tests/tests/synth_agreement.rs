@@ -68,6 +68,30 @@ fn engines_agree_under_auto_reorder<E>(
     compare_outcomes(program_name, exchange, params, &explicit, &symbolic);
 }
 
+/// The complement-edge differential: a symbolic synthesis run on the
+/// classic two-terminal representation (complement edges off) must produce
+/// the same `SynthesisOutcome` as the default complement-edge engine and as
+/// the explicit engine, bit for bit.
+fn engines_agree_without_complement_edges<E>(
+    program_name: &str,
+    exchange: E,
+    program: &KnowledgeBasedProgram,
+    params: ModelParams,
+) where
+    E: InformationExchange,
+{
+    let explicit = Synthesizer::new(exchange.clone(), params).synthesize(program);
+    let with_complement = SymbolicSynthesizer::new(exchange.clone(), params).synthesize(program);
+    compare_outcomes(program_name, exchange.clone(), params, &explicit, &with_complement);
+    let options = SymbolicSynthesisOptions {
+        symbolic: SymbolicOptions { complement_edges: false, ..Default::default() },
+        ..Default::default()
+    };
+    let without_complement =
+        SymbolicSynthesizer::with_options(exchange.clone(), params, options).synthesize(program);
+    compare_outcomes(program_name, exchange, params, &explicit, &without_complement);
+}
+
 fn compare_outcomes<E>(
     program_name: &str,
     exchange: E,
@@ -199,6 +223,28 @@ fn sba_floodset_agrees_under_auto_reorder() {
 #[test]
 fn eba_emin_agrees_under_auto_reorder() {
     engines_agree_under_auto_reorder(
+        "EBA-P0",
+        EMin,
+        &KnowledgeBasedProgram::eba_p0(),
+        omission_params(2, 1),
+    );
+}
+
+#[test]
+fn sba_floodset_agrees_without_complement_edges() {
+    for (n, t) in [(2, 2), (3, 1), (3, 2)] {
+        engines_agree_without_complement_edges(
+            "SBA",
+            FloodSet,
+            &KnowledgeBasedProgram::sba(2),
+            crash_params(n, t),
+        );
+    }
+}
+
+#[test]
+fn eba_emin_agrees_without_complement_edges() {
+    engines_agree_without_complement_edges(
         "EBA-P0",
         EMin,
         &KnowledgeBasedProgram::eba_p0(),
