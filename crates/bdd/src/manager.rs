@@ -204,6 +204,15 @@ pub struct BddStats {
     /// [`Bdd::reorder`] sifting passes and explicit
     /// [`Bdd::swap_adjacent_levels`] calls), lifetime-cumulative.
     pub reorder_swaps: u64,
+    /// Number of [`Bdd::relational_product`] calls (forward/backward image
+    /// steps), lifetime-cumulative.
+    pub relational_product_calls: u64,
+    /// Cache hits observed inside [`Bdd::relational_product`] calls,
+    /// lifetime-cumulative (a subset of the per-epoch cache hit counters).
+    pub image_cache_hits: u64,
+    /// Cache misses observed inside [`Bdd::relational_product`] calls,
+    /// lifetime-cumulative.
+    pub image_cache_misses: u64,
 }
 
 impl BddStats {
@@ -280,6 +289,9 @@ pub struct Bdd {
     swept_nodes: u64,
     pub(crate) reorder_runs: u64,
     pub(crate) reorder_swaps: u64,
+    pub(crate) relational_product_calls: u64,
+    pub(crate) image_cache_hits: u64,
+    pub(crate) image_cache_misses: u64,
 }
 
 impl Default for Bdd {
@@ -328,6 +340,9 @@ impl Bdd {
             swept_nodes: 0,
             reorder_runs: 0,
             reorder_swaps: 0,
+            relational_product_calls: 0,
+            image_cache_hits: 0,
+            image_cache_misses: 0,
         }
     }
 
@@ -381,6 +396,38 @@ impl Bdd {
     /// The current variable order, root-most level first.
     pub fn current_order(&self) -> Vec<Var> {
         self.var_at.iter().map(|&index| Var(index)).collect()
+    }
+
+    /// Sets the initial variable order: `order[k]` becomes the variable at
+    /// level `k` (the list also materialises its variables). Unlike
+    /// [`Bdd::reorder`], this permutes the level bookkeeping directly, so it
+    /// is only sound while the manager holds no interior nodes — a client
+    /// that knows a good order (e.g. a transition relation interleaving
+    /// inputs with the state bits they feed) installs it up front instead of
+    /// hoping dynamic reordering discovers it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interior node already exists, if `order` skips or
+    /// repeats a variable, or if it omits a variable the manager has
+    /// already levelled.
+    pub fn set_order(&mut self, order: Vec<Var>) {
+        assert_eq!(self.store.live(), 1, "set_order requires a manager without interior nodes");
+        for &var in &order {
+            self.ensure_var(var);
+        }
+        assert_eq!(
+            order.len(),
+            self.num_levels(),
+            "set_order must list every variable exactly once"
+        );
+        let mut seen = vec![false; order.len()];
+        for (level, &var) in order.iter().enumerate() {
+            assert!(!seen[var.0 as usize], "variable {var} listed twice in set_order");
+            seen[var.0 as usize] = true;
+            self.level_of[var.0 as usize] = level as u32;
+            self.var_at[level] = var.0;
+        }
     }
 
     /// The level of the variable tested by node `r` (`u32::MAX` for the
@@ -792,6 +839,9 @@ impl Bdd {
             cache_evictions: caches.iter().map(|c| c.evictions).sum(),
             reorder_runs: self.reorder_runs,
             reorder_swaps: self.reorder_swaps,
+            relational_product_calls: self.relational_product_calls,
+            image_cache_hits: self.image_cache_hits,
+            image_cache_misses: self.image_cache_misses,
         }
     }
 

@@ -73,6 +73,63 @@ impl Bdd {
         }
     }
 
+    /// Number of satisfying assignments of `f` over exactly the given
+    /// variable set, which may be any subset of the manager's variables (in
+    /// any order, duplicates rejected). Unlike [`Bdd::sat_count`], the
+    /// universe need not be a prefix `{0, .., k}` — the relational model
+    /// layer counts layer states over the current-state variables only,
+    /// which sit at even indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable outside `vars`, if `vars`
+    /// contains duplicates, or if `vars` has 128 or more variables.
+    pub fn sat_count_over(&self, f: Ref, vars: &[Var]) -> u128 {
+        assert!(vars.len() < 128, "sat_count_over supports at most 127 variables");
+        let mut universe: Vec<Var> = vars.to_vec();
+        universe.sort_unstable_by_key(|&v| self.level_of_var(v));
+        universe.dedup();
+        assert_eq!(universe.len(), vars.len(), "sat_count_over variables must be distinct");
+        for var in self.support(f) {
+            assert!(universe.contains(&var), "sat_count_over universe does not cover {var}");
+        }
+        let levels: Vec<u32> = universe.iter().map(|&v| self.level_of_var(v)).collect();
+        let mut cache: HashMap<(Ref, usize), u128> = HashMap::new();
+        self.sat_count_over_rec(f, &levels, 0, &mut cache)
+    }
+
+    // Counts over the remaining universe `levels[pos..]`: skipped levels are
+    // don't-cares and double the count; a node at the current level splits
+    // into its children. Memoized on `(node, position)` because the same
+    // node can be reached with different numbers of skipped levels.
+    fn sat_count_over_rec(
+        &self,
+        f: Ref,
+        levels: &[u32],
+        pos: usize,
+        cache: &mut HashMap<(Ref, usize), u128>,
+    ) -> u128 {
+        match f {
+            Ref::FALSE => 0,
+            Ref::TRUE => 1u128 << (levels.len() - pos),
+            _ => {
+                if let Some(&count) = cache.get(&(f, pos)) {
+                    return count;
+                }
+                let top = self.level_of_var(self.node_var(f));
+                let total = if top > levels[pos] {
+                    2 * self.sat_count_over_rec(f, levels, pos + 1, cache)
+                } else {
+                    debug_assert_eq!(top, levels[pos]);
+                    self.sat_count_over_rec(self.node_low(f), levels, pos + 1, cache)
+                        + self.sat_count_over_rec(self.node_high(f), levels, pos + 1, cache)
+                };
+                cache.insert((f, pos), total);
+                total
+            }
+        }
+    }
+
     /// Returns an arbitrary satisfying assignment of `f` as a vector of
     /// `(variable, value)` pairs covering exactly the variables tested along
     /// the chosen path, or `None` if `f` is unsatisfiable.
@@ -223,6 +280,39 @@ mod tests {
         let mut bdd = Bdd::new();
         let z = bdd.var(Var::new(5));
         let _ = bdd.sat_count(z, 3);
+    }
+
+    #[test]
+    fn sat_count_over_sparse_universe() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var::new(0));
+        let z = bdd.var(Var::new(4));
+        let f = bdd.or(x, z);
+        // Over {0, 2, 4}: x ∨ z has 6 models (variable 2 is a don't-care).
+        let vars = [Var::new(0), Var::new(2), Var::new(4)];
+        assert_eq!(bdd.sat_count_over(f, &vars), 6);
+        // Order of the universe does not matter.
+        assert_eq!(bdd.sat_count_over(f, &[Var::new(4), Var::new(0), Var::new(2)]), 6);
+        assert_eq!(bdd.sat_count_over(Ref::TRUE, &vars), 8);
+        assert_eq!(bdd.sat_count_over(Ref::FALSE, &vars), 0);
+        assert_eq!(bdd.sat_count_over(Ref::TRUE, &[]), 1);
+        // Agrees with the prefix-universe count when the universe is one.
+        let y = bdd.var(Var::new(1));
+        let g = bdd.xor(x, y);
+        assert_eq!(
+            bdd.sat_count_over(g, &[Var::new(0), Var::new(1), Var::new(2)]),
+            bdd.sat_count(g, 3)
+        );
+        let nf = bdd.not(f);
+        assert_eq!(bdd.sat_count_over(nf, &vars), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn sat_count_over_rejects_uncovered_support() {
+        let mut bdd = Bdd::new();
+        let z = bdd.var(Var::new(4));
+        let _ = bdd.sat_count_over(z, &[Var::new(0), Var::new(2)]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p epimc-bench --bin tables -- \
-//!     [table1|table2|table3|scaling|ablation|explore|symbolic|synthesis|reorder|all]
+//!     [table1|table2|table3|scaling|ablation|explore|symbolic|synthesis|reorder|frontend|all]
 //!     [--timeout <seconds>] [--full] [--smoke] [--budget <file>] [--json]
 //! ```
 //!
@@ -32,10 +32,22 @@
 //! delta per instance. `--smoke` and `--budget <file>` work as for
 //! `symbolic` (CI runs them against `crates/bench/reorder_budget.txt`).
 //!
-//! `--json` additionally writes the measured `symbolic`, `synthesis` and
-//! `reorder` grids as machine-readable snapshots (`BENCH_symbolic.json`,
-//! `BENCH_synthesis.json`, `BENCH_reorder.json` in the current directory),
-//! so the perf trajectory can be tracked across PRs.
+//! `frontend` prints the model-construction ablation: the explicit
+//! front-end (state-space exploration plus per-point encoding) versus the
+//! relational front-end (forward image over the round relation) building
+//! the same layered models, with build wall-clocks, peak live nodes,
+//! per-layer state counts and the relational-product / image-cache
+//! counters. Small rows additionally verify the two builds agree layer by
+//! layer. `--smoke`, `--budget <file>` (CI runs
+//! `crates/bench/frontend_budget.txt`) and `--full` (which appends the
+//! FloodSet n=10/n=12 headline instances) work as for `symbolic`.
+//!
+//! `--json` additionally writes the measured `symbolic`, `synthesis`,
+//! `reorder` and `frontend` grids as machine-readable snapshots
+//! (`BENCH_symbolic.json`, `BENCH_synthesis.json`, `BENCH_reorder.json`,
+//! `BENCH_frontend.json`, always placed at the workspace root regardless of
+//! the invocation directory), so the perf trajectory can be tracked across
+//! PRs.
 //!
 //! `--full` selects the paper-sized parameter grids (several cells will show
 //! `TO` unless a generous `--timeout` is given); without it a smaller grid is
@@ -44,10 +56,12 @@
 use std::time::Duration;
 
 use epimc_bench::{
-    ablation_table, check_reorder_budget, check_symbolic_budget, check_synthesis_budget,
-    explore_table, render_reorder_table, render_symbolic_table, render_synthesis_table,
-    reorder_rows, reorder_rows_json, scaling_table, symbolic_rows, symbolic_rows_json,
-    synthesis_rows, synthesis_rows_json, table1, table2, table3, DEFAULT_TIMEOUT,
+    ablation_table, check_frontend_budget, check_reorder_budget, check_symbolic_budget,
+    check_synthesis_budget, explore_table, frontend_rows, frontend_rows_json,
+    render_frontend_table, render_reorder_table, render_symbolic_table, render_synthesis_table,
+    reorder_rows, reorder_rows_json, scaling_table, snapshot_path, symbolic_rows,
+    symbolic_rows_json, synthesis_rows, synthesis_rows_json, table1, table2, table3,
+    DEFAULT_TIMEOUT,
 };
 
 /// The grid label recorded in the JSON snapshots.
@@ -59,9 +73,13 @@ fn grid_label(full: bool, smoke: bool) -> &'static str {
     }
 }
 
-fn write_snapshot(path: &str, contents: &str) {
-    std::fs::write(path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-    println!("wrote {path}");
+fn write_snapshot(file_name: &str, contents: &str) {
+    // Snapshots always land at the workspace root (resolved from the bench
+    // crate's manifest directory), not wherever the binary happens to run.
+    let path = snapshot_path(file_name);
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
 }
 
 fn check_budget_or_exit(result: Result<String, String>) {
@@ -164,6 +182,21 @@ fn main() {
                     check_budget_or_exit(check_synthesis_budget(&rows, &budget));
                 }
             }
+            "frontend" => {
+                let rows = frontend_rows(full, smoke);
+                print!("{}", render_frontend_table(&rows));
+                if json {
+                    write_snapshot(
+                        "BENCH_frontend.json",
+                        &frontend_rows_json(&rows, grid_label(full, smoke)),
+                    );
+                }
+                if let Some(path) = &budget_path {
+                    let budget = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("cannot read budget file {path}: {e}"));
+                    check_budget_or_exit(check_frontend_budget(&rows, &budget));
+                }
+            }
             "all" => {
                 print!("{}", table1(timeout, full));
                 println!();
@@ -185,14 +218,18 @@ fn main() {
                 println!();
                 let reorder = reorder_rows(full, smoke);
                 print!("{}", render_reorder_table(&reorder));
+                println!();
+                let frontend = frontend_rows(full, smoke);
+                print!("{}", render_frontend_table(&frontend));
                 if json {
                     let grid = grid_label(full, smoke);
                     write_snapshot("BENCH_symbolic.json", &symbolic_rows_json(&symbolic, grid));
                     write_snapshot("BENCH_synthesis.json", &synthesis_rows_json(&synthesis, grid));
                     write_snapshot("BENCH_reorder.json", &reorder_rows_json(&reorder, grid));
+                    write_snapshot("BENCH_frontend.json", &frontend_rows_json(&frontend, grid));
                 }
             }
-            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, reorder, or all)"),
+            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, reorder, frontend, or all)"),
         }
         println!();
     }

@@ -809,6 +809,278 @@ pub fn check_reorder_budget(rows: &[ReorderRow], budget_text: &str) -> Result<St
     check_peak_budget(&measured, budget_text)
 }
 
+/// One row of the front-end ablation: the same instance's layered symbolic
+/// model built twice — by the explicit front-end (state-space exploration
+/// plus per-point encoding, `O(states)` before any checking happens) and by
+/// the relational front-end (forward image over the partitioned round
+/// relation, no state ever enumerated).
+pub struct FrontendRow {
+    /// Stable identifier (the key used by the node-budget file).
+    pub id: String,
+    /// Wall clock of the explicit build (exploration + encoding).
+    pub explicit_build: Duration,
+    /// Peak live nodes of the explicit build's manager.
+    pub explicit_peak: usize,
+    /// Wall clock of the relational build.
+    pub relational_build: Duration,
+    /// Peak live nodes of the relational build's manager.
+    pub relational_peak: usize,
+    /// Per-layer reachable state counts, model-counted off the relational
+    /// build's layer BDDs.
+    pub layer_states: Vec<u128>,
+    /// Fused relational-product applications during the forward images.
+    pub relational_product_calls: u64,
+    /// Image-operation cache hits attributed to those applications.
+    pub image_cache_hits: u64,
+    /// Image-operation cache misses attributed to those applications.
+    pub image_cache_misses: u64,
+    /// Whether the per-layer differential (both builds' state counts equal)
+    /// was executed; skipped on instances where the satcount would not fit
+    /// the check budget.
+    pub verified: bool,
+}
+
+impl FrontendRow {
+    /// Total states across the layers (sum of the per-layer counts).
+    pub fn total_states(&self) -> u128 {
+        self.layer_states.iter().sum()
+    }
+
+    /// Build-time speedup of the relational front-end over the explicit one.
+    pub fn speedup(&self) -> f64 {
+        self.explicit_build.as_secs_f64() / self.relational_build.as_secs_f64().max(1e-9)
+    }
+}
+
+fn frontend_row<E, R>(
+    id: String,
+    exchange: E,
+    rule: R,
+    params: ModelParams,
+    verify: bool,
+) -> FrontendRow
+where
+    E: InformationExchange + SymbolicEncode,
+    R: DecisionRule<E> + SymbolicRule<E> + Clone,
+{
+    use std::time::Instant;
+    let start = Instant::now();
+    let relational = SymbolicChecker::relational(
+        exchange.clone(),
+        params,
+        rule.clone(),
+        SymbolicOptions::default(),
+    );
+    let relational_build = start.elapsed();
+    let relational_stats = relational.stats();
+    let layer_states: Vec<u128> =
+        (0..relational.num_layers() as Round).map(|t| relational.layer_state_count(t)).collect();
+
+    let start = Instant::now();
+    let model = ConsensusModel::explore(exchange, params, rule);
+    let explicit = SymbolicChecker::new(&model);
+    let explicit_build = start.elapsed();
+    let explicit_stats = explicit.stats();
+    if verify {
+        for time in 0..model.num_layers() as Round {
+            assert_eq!(
+                explicit.layer_state_count(time),
+                relational.layer_state_count(time),
+                "front-ends disagree on layer {time} of {id}"
+            );
+        }
+    }
+    FrontendRow {
+        id,
+        explicit_build,
+        explicit_peak: explicit_stats.peak_live_nodes,
+        relational_build,
+        relational_peak: relational_stats.peak_live_nodes,
+        layer_states,
+        relational_product_calls: relational_stats.relational_product_calls,
+        image_cache_hits: relational_stats.image_cache_hits,
+        image_cache_misses: relational_stats.image_cache_misses,
+        verified: verify,
+    }
+}
+
+fn sba_frontend_row(exchange: SbaExchangeKind, n: usize, t: usize, verify: bool) -> FrontendRow {
+    let params = ModelParams::builder()
+        .agents(n)
+        .max_faulty(t)
+        .values(2)
+        .failure(FailureKind::Crash)
+        .build();
+    match exchange {
+        SbaExchangeKind::FloodSet => {
+            frontend_row(format!("floodset-n{n}-t{t}"), FloodSet, FloodSetRule, params, verify)
+        }
+        SbaExchangeKind::CountFloodSet => {
+            frontend_row(format!("count-n{n}-t{t}"), CountFloodSet, TextbookRule, params, verify)
+        }
+        SbaExchangeKind::DiffFloodSet => {
+            frontend_row(format!("diff-n{n}-t{t}"), DiffFloodSet, TextbookRule, params, verify)
+        }
+        SbaExchangeKind::DworkMoses => frontend_row(
+            format!("dworkmoses-n{n}-t{t}"),
+            DworkMoses,
+            DworkMosesRule,
+            params,
+            verify,
+        ),
+    }
+}
+
+fn eba_frontend_row(exchange: EbaExchangeKind, n: usize, t: usize) -> FrontendRow {
+    let params = ModelParams::builder()
+        .agents(n)
+        .max_faulty(t)
+        .values(2)
+        .failure(FailureKind::SendOmission)
+        .build();
+    match exchange {
+        EbaExchangeKind::EMin => {
+            frontend_row(format!("emin-n{n}-t{t}-om"), EMin, EMinRule, params, true)
+        }
+        EbaExchangeKind::EBasic => {
+            frontend_row(format!("ebasic-n{n}-t{t}-om"), EBasic, EBasicRule, params, true)
+        }
+    }
+}
+
+/// Measures the front-end ablation grid: explicit versus relational model
+/// construction across the six protocol families. Small instances run the
+/// per-layer differential; the large FloodSet cells — where the explicit
+/// front-end's `O(states)` work dominates the wall clock — are the headline
+/// comparison. `smoke` restricts the run to the single CI instance.
+pub fn frontend_rows(full: bool, smoke: bool) -> Vec<FrontendRow> {
+    if smoke {
+        return vec![sba_frontend_row(SbaExchangeKind::FloodSet, 4, 1, true)];
+    }
+    let mut rows = vec![
+        sba_frontend_row(SbaExchangeKind::CountFloodSet, 4, 1, true),
+        sba_frontend_row(SbaExchangeKind::DiffFloodSet, 3, 1, true),
+        sba_frontend_row(SbaExchangeKind::DworkMoses, 3, 1, true),
+        eba_frontend_row(EbaExchangeKind::EMin, 3, 1),
+        eba_frontend_row(EbaExchangeKind::EBasic, 2, 1),
+        sba_frontend_row(SbaExchangeKind::FloodSet, 6, 2, true),
+        sba_frontend_row(SbaExchangeKind::FloodSet, 8, 3, false),
+    ];
+    if full {
+        rows.push(sba_frontend_row(SbaExchangeKind::FloodSet, 10, 3, false));
+        rows.push(sba_frontend_row(SbaExchangeKind::FloodSet, 12, 3, false));
+    }
+    rows
+}
+
+/// Renders the front-end ablation rows as a table.
+pub fn render_frontend_table(rows: &[FrontendRow]) -> String {
+    let cells: Vec<Cell> = rows
+        .iter()
+        .map(|row| {
+            let hits = row.image_cache_hits;
+            let misses = row.image_cache_misses;
+            let hit_rate = if hits + misses == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", hits as f64 / (hits + misses) as f64 * 100.0)
+            };
+            Cell {
+                key: vec![format!("{:<20}", row.id)],
+                entries: vec![
+                    row.total_states().to_string(),
+                    format_mck_duration(row.explicit_build),
+                    format_mck_duration(row.relational_build),
+                    format!("{:.1}x", row.speedup()),
+                    row.explicit_peak.to_string(),
+                    row.relational_peak.to_string(),
+                    row.relational_product_calls.to_string(),
+                    hit_rate,
+                    if row.verified { "yes" } else { "-" }.to_string(),
+                ],
+            }
+        })
+        .collect();
+    let mut out = render_table(
+        "Front-end: explicit enumeration versus relational forward image (model build)",
+        &["instance            "],
+        &[
+            "states",
+            "explicit build",
+            "relational build",
+            "speedup",
+            "explicit peak",
+            "relational peak",
+            "rel products",
+            "img hit-rate",
+            "verified",
+        ],
+        &cells,
+    );
+    out.push_str(
+        "'explicit build' explores the state space and encodes every point; 'relational build'\n\
+         computes the same layers as forward images of the round relation (never enumerating a\n\
+         state). 'verified' marks rows whose per-layer state counts were checked equal across\n\
+         the two builds; 'rel products' counts fused relational-product applications.\n",
+    );
+    out
+}
+
+/// Checks measured relational-build peak-live-node counts against a
+/// checked-in budget file; same format and failure semantics as
+/// [`check_symbolic_budget`].
+pub fn check_frontend_budget(rows: &[FrontendRow], budget_text: &str) -> Result<String, String> {
+    let measured: Vec<(&str, usize)> =
+        rows.iter().map(|row| (row.id.as_str(), row.relational_peak)).collect();
+    check_peak_budget(&measured, budget_text)
+}
+
+/// Machine-readable rendering of the front-end ablation (for
+/// `BENCH_frontend.json`): per-cell build wall-clocks, peak live nodes,
+/// relational-product and image-cache counters, and the per-layer state
+/// counts.
+pub fn frontend_rows_json(rows: &[FrontendRow], grid: &str) -> String {
+    let cells = rows
+        .iter()
+        .map(|row| {
+            let layers = row
+                .layer_states
+                .iter()
+                .map(|states| states.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            json_object(&[
+                ("id", json_string(&row.id)),
+                ("total_states", row.total_states().to_string()),
+                ("layer_states", format!("[{layers}]")),
+                ("explicit_build_s", json_seconds(row.explicit_build)),
+                ("relational_build_s", json_seconds(row.relational_build)),
+                ("speedup", format!("{:.4}", row.speedup())),
+                ("explicit_peak_live_nodes", row.explicit_peak.to_string()),
+                ("relational_peak_live_nodes", row.relational_peak.to_string()),
+                ("relational_product_calls", row.relational_product_calls.to_string()),
+                ("image_cache_hits", row.image_cache_hits.to_string()),
+                ("image_cache_misses", row.image_cache_misses.to_string()),
+                ("verified", row.verified.to_string()),
+            ])
+        })
+        .collect::<Vec<_>>();
+    json_document("frontend", grid, cells)
+}
+
+/// Absolute path for a `BENCH_*.json` snapshot: the workspace root, resolved
+/// from this crate's manifest directory at compile time, so snapshots land
+/// next to the top-level `Cargo.toml` no matter which directory the binary
+/// is invoked from (writing relative to the current working directory used
+/// to scatter them).
+pub fn snapshot_path(file_name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .join(file_name)
+}
+
 fn json_string(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');
@@ -861,6 +1133,9 @@ fn symbolic_profile_json(id: &str, profile: &SymbolicProfile) -> String {
         ("reorder_runs", profile.stats.reorder_runs.to_string()),
         ("reorder_swaps", profile.stats.reorder_swaps.to_string()),
         ("cache_hit_rate", format!("{:.4}", profile.stats.cache_hit_rate())),
+        ("relational_product_calls", profile.stats.relational_product_calls.to_string()),
+        ("image_cache_hits", profile.stats.image_cache_hits.to_string()),
+        ("image_cache_misses", profile.stats.image_cache_misses.to_string()),
     ])
 }
 
@@ -1131,5 +1406,79 @@ mod tests {
         assert!(err.contains("1000"), "{err}");
         let err = check_synthesis_budget(&rows, "floodset-n4-t1 500\n").unwrap_err();
         assert!(err.contains("no budget entry matched"), "{err}");
+    }
+
+    fn frontend_ablation_row(id: &str, relational_peak: usize) -> FrontendRow {
+        FrontendRow {
+            id: id.to_string(),
+            explicit_build: Duration::from_millis(100),
+            explicit_peak: relational_peak * 2,
+            relational_build: Duration::from_millis(20),
+            relational_peak,
+            layer_states: vec![2, 6, 14],
+            relational_product_calls: 12,
+            image_cache_hits: 9,
+            image_cache_misses: 3,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn checked_in_frontend_budget_gate_can_trip() {
+        let budget = include_str!("../frontend_budget.txt");
+        let regressed = [frontend_ablation_row("floodset-n4-t1", 100_000_000)];
+        let err = check_frontend_budget(&regressed, budget).unwrap_err();
+        assert!(err.contains("floodset-n4-t1"), "{err}");
+        assert!(err.contains("100000000"), "{err}");
+        let healthy = [frontend_ablation_row("floodset-n4-t1", 1)];
+        check_frontend_budget(&healthy, budget).unwrap();
+    }
+
+    #[test]
+    fn frontend_row_surfaces_build_comparison_and_image_counters() {
+        let row = frontend_ablation_row("floodset-n4-t1", 100);
+        assert_eq!(row.total_states(), 22);
+        assert!((row.speedup() - 5.0).abs() < 1e-9);
+        let json = frontend_rows_json(&[row], "test");
+        assert!(json.contains("\"layer_states\": [2, 6, 14]"), "{json}");
+        assert!(json.contains("\"relational_product_calls\": 12"), "{json}");
+        assert!(json.contains("\"image_cache_hits\": 9"), "{json}");
+        assert!(json.contains("\"image_cache_misses\": 3"), "{json}");
+        let table = frontend_ablation_row("floodset-n4-t1", 100);
+        let rendered = render_frontend_table(&[table]);
+        assert!(rendered.contains("5.0x"), "{rendered}");
+        assert!(rendered.contains("75.0%"), "{rendered}");
+    }
+
+    #[test]
+    fn symbolic_json_surfaces_image_counters() {
+        // The relational counters ride along in every symbolic profile
+        // snapshot (zero for explicit builds, nonzero for relational ones).
+        let mut measured = row("floodset-n4-t1", 10);
+        measured.profile.stats.relational_product_calls = 7;
+        measured.profile.stats.image_cache_hits = 4;
+        measured.profile.stats.image_cache_misses = 2;
+        let json = symbolic_rows_json(&[measured], "test");
+        assert!(json.contains("\"relational_product_calls\": 7"), "{json}");
+        assert!(json.contains("\"image_cache_hits\": 4"), "{json}");
+        assert!(json.contains("\"image_cache_misses\": 2"), "{json}");
+    }
+
+    #[test]
+    fn snapshots_resolve_to_the_workspace_root() {
+        // Regression: `--json` used to write `BENCH_*.json` relative to the
+        // current working directory, scattering snapshots when the binary
+        // ran from a crate subdirectory. The path must be absolute, anchored
+        // at the workspace root, and independent of the working directory.
+        let path = snapshot_path("BENCH_frontend.json");
+        assert!(path.is_absolute(), "{}", path.display());
+        assert_eq!(path.file_name().unwrap(), "BENCH_frontend.json");
+        let root = path.parent().unwrap();
+        assert!(root.join("Cargo.toml").is_file(), "{} is not the workspace root", root.display());
+        assert!(
+            root.join("crates").join("bench").join("Cargo.toml").is_file(),
+            "{} is not the workspace root",
+            root.display()
+        );
     }
 }

@@ -29,6 +29,26 @@
 //!   primed variables leave the product as early as possible. See
 //!   [`RelationMode`] and [`SymbolicOptions`].
 //!
+//! [`SymbolicChecker`] accepts its layered model from **two front-ends**:
+//!
+//! * **explicit** ([`SymbolicChecker::new`] /
+//!   [`SymbolicChecker::with_options`]) — an explored `ConsensusModel` is
+//!   encoded point by point, `O(states)` work before any checking. This
+//!   front-end also carries the point-level APIs ([`Checker`]-compatible
+//!   [`PointSet`] results, `check`, per-point diagnostics) and remains the
+//!   differential oracle on small instances;
+//! * **relational** ([`SymbolicChecker::relational`] /
+//!   [`SymbolicChecker::relational_seed`] +
+//!   [`SymbolicChecker::extend_layer_relational`]) — the model is built
+//!   with no state ever enumerated, from a protocol's `SymbolicEncode`
+//!   contract (`epimc-relational`): layer 0 is the initial-state cube and
+//!   every further layer is the forward image of the previous one under
+//!   the round's partitioned transition relation, the adversary's
+//!   crash/delivery choices quantified away per image. Both front-ends
+//!   produce canonical BDDs of the same layer sets, so every operator
+//!   behaves identically; `check_points` evaluates formulas against an
+//!   explicit model's points for cross-validation.
+//!
 //! The manager underneath uses **complement edges**
 //! ([`SymbolicOptions::complement_edges`], on by default): negation is a
 //! constant-time bit flip and a denotation shares every BDD node with its

@@ -70,9 +70,13 @@ use std::fmt;
 
 use epimc_bdd::{interleaved_slot, Bdd, Ref, ReorderPolicy, SubstId, Var};
 use epimc_logic::{AgentId, Formula, TemporalKind};
+use epimc_relational::{
+    decides_now_table, initial_cube, round_relation, ChoiceVars, SlotLayout, SymbolicEncode,
+    SymbolicRule,
+};
 use epimc_system::{
     Action, ConsensusAtom, ConsensusModel, DecisionRule, FailureKind, InformationExchange,
-    Observation, PointId, PointModel, Round, TableRule, Value,
+    ModelParams, Observation, PointId, PointModel, Round, TableRule, Value,
 };
 
 use crate::pointset::PointSet;
@@ -195,6 +199,14 @@ pub struct SymbolicStats {
     pub reorder_runs: u64,
     /// Total adjacent-level swaps performed by reordering.
     pub reorder_swaps: u64,
+    /// Number of fused image steps ([`epimc_bdd::Bdd::relational_product`])
+    /// performed — the relational front-end's forward images plus every
+    /// partitioned pre-image step routed through the fused operator.
+    pub relational_product_calls: u64,
+    /// Operation-cache hits observed inside those image steps.
+    pub image_cache_hits: u64,
+    /// Operation-cache misses observed inside those image steps.
+    pub image_cache_misses: u64,
 }
 
 impl SymbolicStats {
@@ -308,10 +320,21 @@ struct Inner {
     /// observe.
     hidden_cubes: Vec<Ref>,
     mode: RelationMode,
-    /// Relation machinery, present once a temporal operator has run.
+    /// Relation machinery, present once a temporal operator has run (or
+    /// from construction, for a relational-source checker).
     cur_to_nxt: Option<SubstId>,
-    /// Per agent: the cube of its primed variables.
+    /// The reverse substitution, registered only by the relational
+    /// front-end (forward images land on primed variables and are renamed
+    /// back).
+    nxt_to_cur: Option<SubstId>,
+    /// Per agent: the cube of the variables quantified when that agent's
+    /// partition is conjoined into a pre-image (its primed variables, plus
+    /// — relational front-end — the delivery-choice variables targeting
+    /// it).
     primed_cubes: Vec<Ref>,
+    /// The variable indices of each `primed_cubes` entry (for the
+    /// pre-image's support bookkeeping; stable under gc/reorder).
+    primed_quant_vars: Vec<Vec<u32>>,
     /// The cube of the adversary-choice variables.
     choice_cube: Ref,
     /// The cube of all primed variables plus the choice variables
@@ -328,6 +351,12 @@ struct Inner {
     /// overlap. Variable *identities* are stable under gc and reorder, so
     /// these need no rooting and never go stale.
     relation_supports: Vec<Option<Vec<Vec<u32>>>>,
+    /// Relational front-end only — per layer, the guarded decides-now
+    /// conditions the layer's round was built under
+    /// (`dnow[layer][agent * num_values + v]`), so `DecidesNow` atoms need
+    /// no explicit predicate scan. The frontier layer's entry is built
+    /// lazily from the source rule on first query.
+    dnow: Vec<Option<Vec<Ref>>>,
     gc_threshold: usize,
     gc_base_threshold: usize,
     /// Dynamic-reordering policy; the current auto threshold doubles after
@@ -350,6 +379,7 @@ macro_rules! inner_roots {
             all_quant_cube,
             choice_minterms,
             relations,
+            dnow,
             ..
         } = $inner;
         reachable
@@ -360,6 +390,7 @@ macro_rules! inner_roots {
             .chain(std::iter::once(all_quant_cube))
             .chain(choice_minterms.iter_mut())
             .chain(relations.iter_mut().flatten().flat_map(|p| p.iter_mut()))
+            .chain(dnow.iter_mut().flatten().flat_map(|d| d.iter_mut()))
             .chain(arena.roots_mut())
             .chain($extra.iter_mut())
     }};
@@ -410,18 +441,39 @@ impl Inner {
     }
 }
 
+/// Where a [`SymbolicChecker`]'s layers come from.
+///
+/// The **explicit** source borrows an enumerated [`ConsensusModel`] and
+/// encodes its points into per-layer BDDs — `O(states)` work that serves as
+/// the differential oracle on small instances. The **relational** source
+/// never enumerates a state: the protocol's [`SymbolicEncode`] /
+/// [`SymbolicRule`] implementations are compiled into an initial-state cube
+/// and per-round partitioned transition relations, and each layer is the
+/// forward image of the previous one.
+enum Source<'m, E: InformationExchange, R> {
+    /// An explicitly explored model (the `O(states)` front-end).
+    Explicit(&'m ConsensusModel<E, R>),
+    /// A purely symbolic construction: the exchange, the decision rule the
+    /// model was built under, and the shared variable layout and
+    /// adversary-choice variables.
+    Relational { exchange: E, rule: R, layout: SlotLayout, choice: ChoiceVars },
+}
+
 /// The symbolic epistemic model checker for consensus models.
 pub struct SymbolicChecker<'m, E: InformationExchange, R> {
-    model: &'m ConsensusModel<E, R>,
+    source: Source<'m, E, R>,
+    /// The model parameters (cached; identical for both sources).
+    params: ModelParams,
     inner: RefCell<Inner>,
     agent_vars: Vec<AgentVars>,
     num_slots: usize,
     /// Number of adversary-choice bits (enough for the widest successor
     /// fan-out in the model).
     choice_bits: usize,
-    /// The widest successor fan-out of any point.
+    /// The widest successor fan-out of any point (explicit source only).
     max_successors: usize,
     /// Encoding (as slot-indexed bit assignment) of every state, per layer.
+    /// Empty for a relational source — nothing is ever enumerated.
     encodings: Vec<Vec<Vec<bool>>>,
     /// When set, `DecidesNow` atoms are interpreted against this rule (built
     /// symbolically from its entries) instead of the model's own rule. The
@@ -658,12 +710,15 @@ where
             hidden_cubes: Vec::new(),
             mode: options.relation_mode,
             cur_to_nxt: None,
+            nxt_to_cur: None,
             primed_cubes: Vec::new(),
+            primed_quant_vars: Vec::new(),
             choice_cube: Ref::TRUE,
             all_quant_cube: Ref::TRUE,
             choice_minterms: Vec::new(),
             relations: vec![None; num_rounds],
             relation_supports: vec![None; num_rounds],
+            dnow: Vec::new(),
             gc_threshold: base_threshold,
             gc_base_threshold: base_threshold,
             reorder_mode: options.reorder,
@@ -701,7 +756,8 @@ where
             .collect();
 
         SymbolicChecker {
-            model,
+            source: Source::Explicit(model),
+            params,
             inner: RefCell::new(inner),
             agent_vars,
             num_slots,
@@ -722,8 +778,15 @@ where
     /// # Panics
     ///
     /// Panics if an [`EvalSession`] is still holding denotations — end all
-    /// sessions first.
+    /// sessions first — or if the checker has a relational source (a
+    /// relational checker grows in place via
+    /// [`SymbolicChecker::extend_layer_relational`] and never needs the
+    /// hand-off).
     pub fn into_salvage(self) -> SymbolicSalvage {
+        assert!(
+            matches!(self.source, Source::Explicit(_)),
+            "relational checkers extend in place; salvage/resume is the explicit hand-off"
+        );
         let inner = self.inner.into_inner();
         assert_eq!(inner.arena.live_count(), 0, "end all evaluation sessions before salvaging");
         SymbolicSalvage {
@@ -794,7 +857,9 @@ where
         // The relation machinery is invalidated: new rounds may need more
         // adversary-choice bits than the salvaged run allocated.
         inner.cur_to_nxt = None;
+        inner.nxt_to_cur = None;
         inner.primed_cubes.clear();
+        inner.primed_quant_vars.clear();
         inner.choice_cube = Ref::TRUE;
         inner.all_quant_cube = Ref::TRUE;
         inner.choice_minterms.clear();
@@ -815,7 +880,8 @@ where
         let choice_bits = bits_for(max_successors as u32);
 
         SymbolicChecker {
-            model,
+            source: Source::Explicit(model),
+            params: *model.params(),
             inner: RefCell::new(inner),
             agent_vars,
             num_slots,
@@ -829,8 +895,8 @@ where
         }
     }
 
-    fn encode_point(
-        model: &ConsensusModel<E, R>,
+    fn encode_point<R2: DecisionRule<E>>(
+        model: &ConsensusModel<E, R2>,
         agent_vars: &[AgentVars],
         num_slots: usize,
         point: PointId,
@@ -870,9 +936,43 @@ where
         bdd.cube_literals(slots.iter().map(|&slot| (nxt(slot), bits[slot])))
     }
 
-    /// The checker's model.
+    /// The checker's explicitly enumerated model.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a relational-source checker, which has none — use
+    /// [`SymbolicChecker::params`] / [`SymbolicChecker::num_layers`] for
+    /// the model's shape, and [`SymbolicChecker::check_points`] to read
+    /// results off against an explicit oracle model.
     pub fn model(&self) -> &ConsensusModel<E, R> {
-        self.model
+        self.explicit_model()
+    }
+
+    fn explicit_model(&self) -> &ConsensusModel<E, R> {
+        match &self.source {
+            Source::Explicit(model) => model,
+            Source::Relational { .. } => {
+                panic!("operation requires the explicit front-end; this checker is relational")
+            }
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Number of layers built so far (`horizon + 1` for a fully built
+    /// model; a relational seed starts at 1 and grows via
+    /// [`SymbolicChecker::extend_layer_relational`]).
+    pub fn num_layers(&self) -> usize {
+        self.inner.borrow().reachable.len()
+    }
+
+    /// Whether this checker's layers come from the relational (purely
+    /// symbolic) construction rather than an enumerated model.
+    pub fn is_relational(&self) -> bool {
+        matches!(self.source, Source::Relational { .. })
     }
 
     /// The transition-relation representation in use.
@@ -906,6 +1006,9 @@ where
             cache_evictions: bdd_stats.cache_evictions,
             reorder_runs: bdd_stats.reorder_runs,
             reorder_swaps: bdd_stats.reorder_swaps,
+            relational_product_calls: bdd_stats.relational_product_calls,
+            image_cache_hits: bdd_stats.image_cache_hits,
+            image_cache_misses: bdd_stats.image_cache_misses,
         }
     }
 
@@ -1127,15 +1230,31 @@ where
     }
 
     /// Returns `true` when `formula` holds at every point of the model.
+    ///
+    /// Works for both sources: a denotation is always restricted to the
+    /// reachable sets, so the formula holds everywhere exactly when its
+    /// per-layer BDDs equal the reachable-set BDDs (canonical diagrams make
+    /// this a pointer comparison).
     pub fn holds_everywhere(&self, formula: &Formula<ConsensusAtom>) -> bool {
-        self.check(formula) == PointSet::full(self.model)
+        self.inner.borrow_mut().maybe_gc(&mut []);
+        let mut env = HashMap::new();
+        let den = self.eval(formula, &mut env, None);
+        let holds = {
+            let inner = self.inner.borrow();
+            let layers = inner.arena.get(den);
+            layers.iter().zip(inner.reachable.iter()).all(|(d, r)| d == r)
+        };
+        self.release(den);
+        self.inner.borrow_mut().maybe_gc(&mut []);
+        holds
     }
 
     fn to_point_set(&self, den: DenId) -> PointSet {
+        let model = self.explicit_model();
         let inner = self.inner.borrow();
         let layers = inner.arena.get(den);
-        let mut set = PointSet::empty(self.model);
-        for time in 0..self.model.num_layers() as Round {
+        let mut set = PointSet::empty(model);
+        for time in 0..model.num_layers() as Round {
             for (index, bits) in self.encodings[time as usize].iter().enumerate() {
                 let holds =
                     inner.bdd.eval(layers[time as usize], |v| bits[(v.index() / 2) as usize]);
@@ -1145,6 +1264,94 @@ where
             }
         }
         set
+    }
+
+    /// Evaluates `formula` and reads the result off on the points of
+    /// `model` — an explicitly explored model of the *same instance*. This
+    /// is the differential oracle for the relational front-end: the
+    /// relational layers never enumerate a state, but any point of an
+    /// explicit model can be encoded and looked up in the denotation BDDs,
+    /// giving a `PointSet` directly comparable with the explicit engines'.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` has more layers than the checker.
+    pub fn check_points<R2: DecisionRule<E>>(
+        &self,
+        model: &ConsensusModel<E, R2>,
+        formula: &Formula<ConsensusAtom>,
+    ) -> PointSet {
+        assert!(
+            model.num_layers() <= self.num_layers(),
+            "oracle model has more layers than the checker has built"
+        );
+        self.inner.borrow_mut().maybe_gc(&mut []);
+        let mut env = HashMap::new();
+        let den = self.eval(formula, &mut env, None);
+        let set = {
+            let inner = self.inner.borrow();
+            let layers = inner.arena.get(den);
+            let mut set = PointSet::empty(model);
+            for time in 0..model.num_layers() as Round {
+                for index in 0..model.layer_size(time) {
+                    let bits = Self::encode_point(
+                        model,
+                        &self.agent_vars,
+                        self.num_slots,
+                        PointId::new(time, index),
+                    );
+                    let holds =
+                        inner.bdd.eval(layers[time as usize], |v| bits[(v.index() / 2) as usize]);
+                    if holds {
+                        set.insert(PointId::new(time, index));
+                    }
+                }
+            }
+            set
+        };
+        self.release(den);
+        self.inner.borrow_mut().maybe_gc(&mut []);
+        set
+    }
+
+    /// Number of distinct encoded states in layer `time`, counted off the
+    /// reachable-set BDD. For the relational front-end this is the layer's
+    /// exact state count; for the explicit front-end it counts *encodings*
+    /// (distinct points that encode identically — none in the current
+    /// protocols — collapse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding has 128 or more state variables (the count
+    /// is returned as `u128`).
+    pub fn layer_state_count(&self, time: Round) -> u128 {
+        let inner = self.inner.borrow();
+        let vars: Vec<Var> = (0..self.num_slots).map(cur).collect();
+        inner.bdd.sat_count_over(inner.reachable[time as usize], &vars)
+    }
+
+    /// Whether every agent has decided — or, under crash failures, crashed —
+    /// in every state of the newest layer: the symbolic counterpart of
+    /// [`ConsensusModel::final_layer_settled`], answered on the reachable-set
+    /// BDD without enumerating the layer. The forward synthesis induction
+    /// uses it for its early exit when running on the relational front-end.
+    pub fn final_layer_settled(&self) -> bool {
+        let inner = &mut *self.inner.borrow_mut();
+        let last = *inner.reachable.last().expect("the checker always has a layer");
+        let crash = self.params.failure().kind() == FailureKind::Crash;
+        let mut unsettled = Ref::FALSE;
+        for vars in &self.agent_vars {
+            let decided = inner.bdd.var(cur(vars.decided));
+            let mut undecided = inner.bdd.not(decided);
+            if crash {
+                // A crashed agent never decides but does not block settling;
+                // omission-faulty agents keep running and must still decide.
+                let alive = inner.bdd.var(cur(vars.nonfaulty));
+                undecided = inner.bdd.and(alive, undecided);
+            }
+            unsettled = inner.bdd.or(unsettled, undecided);
+        }
+        inner.bdd.and(last, unsettled) == Ref::FALSE
     }
 
     // ------------------------------------------------------------------
@@ -1176,7 +1383,8 @@ where
     }
 
     fn alloc_false(&self) -> DenId {
-        self.alloc(vec![Ref::FALSE; self.model.num_layers()])
+        let num_layers = self.num_layers();
+        self.alloc(vec![Ref::FALSE; num_layers])
     }
 
     /// Layerwise `a[l] = op(a[l])`, in place (skipping unfocused layers).
@@ -1377,7 +1585,7 @@ where
     /// conjoined with each layer's reachable set (except for the atoms that
     /// genuinely depend on the explicit transition structure).
     fn atom_denotation(&self, atom: &ConsensusAtom) -> DenId {
-        let num_layers = self.model.num_layers();
+        let num_layers = self.num_layers();
         let constraint = {
             let mut inner = self.inner.borrow_mut();
             let bdd = &mut inner.bdd;
@@ -1453,8 +1661,10 @@ where
             // `DecidesNow` looks at the *action* taken in the coming round,
             // which is not part of the state encoding. Under a rule override
             // (synthesis) the denotation is built symbolically from the
-            // override's entries; otherwise fall back to the explicit
-            // predicate scan over the model's own rule.
+            // override's entries; otherwise the relational source reads the
+            // guarded conditions its rounds were built under, and the
+            // explicit source falls back to the predicate scan over the
+            // model's own rule.
             (None, ConsensusAtom::DecidesNow(agent, value)) => {
                 let decides_by_override = {
                     let override_rule = self.rule_override.borrow();
@@ -1462,12 +1672,24 @@ where
                         .as_ref()
                         .map(|rule| self.decides_now_denotation(rule, *agent, *value))
                 };
-                match decides_by_override {
-                    Some(den) => den,
-                    None => self.layer_bdds_of_predicate(|point| self.model.eval_atom(atom, point)),
+                match (decides_by_override, &self.source) {
+                    (Some(den), _) => den,
+                    (None, Source::Explicit(model)) => {
+                        self.layer_bdds_of_predicate(|point| model.eval_atom(atom, point))
+                    }
+                    (None, Source::Relational { .. }) => {
+                        self.relational_decides_now(*agent, *value)
+                    }
                 }
             }
-            (None, _) => self.layer_bdds_of_predicate(|point| self.model.eval_atom(atom, point)),
+            // Only out-of-range observable indices land here; no reachable
+            // state satisfies them in either source.
+            (None, _) => match &self.source {
+                Source::Explicit(model) => {
+                    self.layer_bdds_of_predicate(|point| model.eval_atom(atom, point))
+                }
+                Source::Relational { .. } => self.alloc_false(),
+            },
         }
     }
 
@@ -1480,10 +1702,10 @@ where
     /// nonfaulty flag; in the omission models no agent ever crashes.)
     fn decides_now_denotation(&self, rule: &TableRule, agent: AgentId, value: Value) -> DenId {
         let vars = &self.agent_vars[agent.index()];
-        let crash_model = self.model.params().failure().kind() == FailureKind::Crash;
+        let crash_model = self.params.failure().kind() == FailureKind::Crash;
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
-        let layers: Vec<Ref> = (0..self.model.num_layers() as Round)
+        let layers: Vec<Ref> = (0..inner.reachable.len() as Round)
             .map(|t| {
                 if !self.is_active(t as usize) {
                     return Ref::FALSE;
@@ -1531,10 +1753,31 @@ where
         inner.arena.alloc(layers)
     }
 
+    /// The denotation of `DecidesNow(agent, value)` for a relational
+    /// source without a rule override: each layer stores the guarded
+    /// decides-now conditions its round was built under, so the denotation
+    /// is a lookup conjoined with the reachable set.
+    fn relational_decides_now(&self, agent: AgentId, value: Value) -> DenId {
+        let num_values = self.params.num_values();
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let layers: Vec<Ref> = (0..inner.reachable.len())
+            .map(|t| {
+                if !self.is_active(t) {
+                    return Ref::FALSE;
+                }
+                let condition = inner.dnow[t].as_ref().expect("relational dnow is built eagerly")
+                    [agent.index() * num_values + value.index()];
+                inner.bdd.and(inner.reachable[t], condition)
+            })
+            .collect();
+        inner.arena.alloc(layers)
+    }
+
     fn layer_bdds_of_predicate<F: Fn(PointId) -> bool>(&self, predicate: F) -> DenId {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
-        let layers: Vec<Ref> = (0..self.model.num_layers() as Round)
+        let layers: Vec<Ref> = (0..inner.reachable.len() as Round)
             .map(|time| {
                 if !self.is_active(time as usize) {
                     return Ref::FALSE;
@@ -1563,7 +1806,7 @@ where
         let hidden = inner.hidden_cubes[agent.index()];
         let nonfaulty_var = cur(self.agent_vars[agent.index()].nonfaulty);
         let target_layers: Vec<Ref> = inner.arena.get(target).to_vec();
-        let layers: Vec<Ref> = (0..self.model.num_layers())
+        let layers: Vec<Ref> = (0..inner.reachable.len())
             .map(|layer| {
                 if !self.is_active(layer) {
                     return Ref::FALSE;
@@ -1585,7 +1828,7 @@ where
     }
 
     fn everyone_believes(&self, target: DenId) -> DenId {
-        let n = self.model.num_agents();
+        let n = self.params.num_agents();
         let beliefs: Vec<DenId> =
             AgentId::all(n).map(|agent| self.knowledge(agent, target, true)).collect();
         let acc = self.alloc_reachable();
@@ -1680,6 +1923,11 @@ where
                 bdd.cube_of_vars(primed)
             })
             .collect();
+        inner.primed_quant_vars = self
+            .agent_vars
+            .iter()
+            .map(|vars| vars.all_slots.iter().map(|&slot| nxt(slot).index()).collect())
+            .collect();
         let choice_vars: Vec<Var> =
             (0..self.choice_bits).map(|k| Var::new((2 * self.num_slots + k) as u32)).collect();
         inner.choice_cube = bdd.cube_of_vars(choice_vars.clone());
@@ -1702,19 +1950,31 @@ where
     /// explicit round-`t` edges (the choice variables `c` select which
     /// successor the adversary takes, making the conjunction a product).
     fn ensure_relation(&self, t: usize) {
+        let model = match &self.source {
+            Source::Explicit(model) => *model,
+            Source::Relational { .. } => {
+                // Relational rounds are built (and rooted) when the layer
+                // they lead to is built; nothing is lazy here.
+                assert!(
+                    self.inner.borrow().relations.get(t).is_some_and(|r| r.is_some()),
+                    "relational checker is missing the relation for round {t}"
+                );
+                return;
+            }
+        };
         self.ensure_relation_machinery();
         let mut inner = self.inner.borrow_mut();
         if inner.relations[t].is_some() {
             return;
         }
         let inner = &mut *inner;
-        let n = self.model.num_agents();
+        let n = model.num_agents();
         let mut partitions: Vec<Vec<Ref>> = vec![Vec::new(); n];
         let layer = &self.encodings[t];
         let next_layer = &self.encodings[t + 1];
         for (index, bits) in layer.iter().enumerate() {
             let point = PointId::new(t as Round, index);
-            let successors = self.model.successors(point);
+            let successors = model.successors(point);
             let bdd = &mut inner.bdd;
             let cur_mt = Self::minterm_cur(bdd, bits);
             for (agent, partition) in partitions.iter_mut().enumerate() {
@@ -1816,11 +2076,7 @@ where
                     // Approximate the product's support as the union minus
                     // the variables just quantified out (exact support would
                     // cost a store walk per step for little extra signal).
-                    let quantified: Vec<u32> = self.agent_vars[agent]
-                        .all_slots
-                        .iter()
-                        .map(|&slot| nxt(slot).index())
-                        .collect();
+                    let quantified = &inner.primed_quant_vars[agent];
                     acc_support.extend(supports[agent].iter().copied());
                     acc_support.sort_unstable();
                     acc_support.dedup();
@@ -1858,7 +2114,7 @@ where
             self.focus.get().is_none(),
             "temporal operators couple layers and must not run under a layer focus"
         );
-        let num_layers = self.model.num_layers();
+        let num_layers = self.num_layers();
         for t in 0..num_layers.saturating_sub(1) {
             self.ensure_relation(t);
         }
@@ -1913,6 +2169,323 @@ where
             }
         };
         inner.arena.alloc(layers)
+    }
+}
+
+impl<'m, E, R> SymbolicChecker<'m, E, R>
+where
+    E: SymbolicEncode,
+    R: SymbolicRule<E>,
+{
+    /// Builds the model **relationally**: no state is ever enumerated.
+    /// Layer 0 is the initial-state cube of the protocol's
+    /// [`SymbolicEncode`] contract; every further layer is the forward
+    /// image of the previous one through the round's partitioned
+    /// transition relation, with the adversary's choices quantified away.
+    /// The resulting layer BDDs denote exactly the state sets the explicit
+    /// front-end ([`SymbolicChecker::with_options`] over an explored model
+    /// of the same instance) produces — canonical diagrams of the same
+    /// functions, over a variable order that additionally interleaves the
+    /// adversary-choice variables — so everything downstream (knowledge,
+    /// common belief, temporal operators, observation projections) works
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` asks for the monolithic relation mode, which
+    /// only exists for the explicit front-end's differential tests.
+    pub fn relational(exchange: E, params: ModelParams, rule: R, options: SymbolicOptions) -> Self {
+        let horizon = params.horizon();
+        let checker = Self::relational_seed(exchange, params, rule, options);
+        for _ in 0..horizon {
+            checker.extend_with_source_rule();
+        }
+        if options.reorder == ReorderMode::SiftOnce {
+            checker.inner.borrow_mut().reorder_now(&mut []);
+        }
+        checker
+    }
+
+    /// Builds only layer 0 of the relational model. The synthesis engine
+    /// grows the model round by round from this seed via
+    /// [`SymbolicChecker::extend_layer_relational`], passing the partial
+    /// rule synthesized so far — no salvage/resume hand-off, because
+    /// nothing borrows an explicit model.
+    pub fn relational_seed(
+        exchange: E,
+        params: ModelParams,
+        rule: R,
+        options: SymbolicOptions,
+    ) -> Self {
+        assert_eq!(
+            options.relation_mode,
+            RelationMode::Partitioned,
+            "the monolithic relation mode requires the explicit front-end"
+        );
+        let layout = SlotLayout::new(&exchange, &params);
+        let choice =
+            ChoiceVars::new(params.failure().kind(), params.num_agents(), layout.num_slots);
+        let num_slots = layout.num_slots;
+        let agent_vars: Vec<AgentVars> = layout
+            .agents
+            .iter()
+            .map(|slots| AgentVars {
+                obs_bits: slots.obs_bits.clone(),
+                nonfaulty: slots.nonfaulty,
+                init_bits: slots.init_bits.clone(),
+                decided: slots.decided,
+                decision_bits: slots.decision_bits.clone(),
+                all_slots: slots.all_slots.clone(),
+            })
+            .collect();
+
+        let mut bdd = Bdd::with_settings(options.cache_capacity, options.complement_edges);
+        bdd.set_groups((0..num_slots).map(|slot| vec![cur(slot), nxt(slot)]).collect());
+        let crash = params.failure().kind() == FailureKind::Crash;
+        let n = params.num_agents();
+        // Sender-interleaved initial order: each agent's (current, primed)
+        // slot pairs are followed immediately by the adversary choices
+        // gating that agent's outgoing messages — its crash variable and
+        // the delivery variables it is the sender of. A receiver's
+        // partition reads `deliver ∧ alive(sender) ∧ sender-state` per
+        // sender, so each such product resolves locally under this order.
+        // The index layout (every choice below every state pair) instead
+        // forces the relation diagrams to carry all senders' state bits
+        // across the whole choice block — exponential in the number of
+        // agents, and beyond what sifting recovers from.
+        let mut order: Vec<Var> = Vec::with_capacity(2 * num_slots + choice.count());
+        for (agent, slots) in layout.agents.iter().enumerate() {
+            for &slot in &slots.all_slots {
+                order.push(cur(slot));
+                order.push(nxt(slot));
+            }
+            if crash {
+                order.push(choice.crash_var(agent));
+            }
+            order.extend((0..n).filter(|&r| r != agent).map(|r| choice.deliver_var(agent, r)));
+        }
+        bdd.set_order(order);
+        let base_threshold = options.gc_threshold.max(2);
+        let reorder_threshold = match options.reorder {
+            ReorderMode::Auto { threshold } => threshold.max(2),
+            ReorderMode::Static | ReorderMode::SiftOnce => usize::MAX,
+        };
+
+        // The relation machinery exists from the start. Both substitution
+        // directions are registered (forward images land on primed
+        // variables and are renamed back); each receiver's quantification
+        // cube covers its primed variables *plus* the delivery-choice
+        // variables targeting it, which appear in no other partition. The
+        // crash choices span partitions (every channel condition mentions
+        // the sender's crash choice), so they stay for the final
+        // quantification in `choice_cube`.
+        let cur_to_nxt =
+            bdd.register_substitution((0..num_slots).map(|slot| (cur(slot), nxt(slot))).collect());
+        let nxt_to_cur =
+            bdd.register_substitution((0..num_slots).map(|slot| (nxt(slot), cur(slot))).collect());
+        let mut primed_cubes = Vec::with_capacity(n);
+        let mut primed_quant_vars = Vec::with_capacity(n);
+        for (agent, slots) in layout.agents.iter().enumerate() {
+            let mut vars: Vec<Var> = slots.all_slots.iter().map(|&slot| nxt(slot)).collect();
+            vars.extend(choice.receiver_deliver_vars(agent));
+            primed_quant_vars.push(vars.iter().map(|v| v.index()).collect::<Vec<u32>>());
+            primed_cubes.push(bdd.cube_of_vars(vars));
+        }
+        let late_choice: Vec<Var> =
+            if crash { (0..n).map(|agent| choice.crash_var(agent)).collect() } else { Vec::new() };
+        let choice_cube = bdd.cube_of_vars(late_choice);
+        let all_quant: Vec<Var> = (0..num_slots).map(nxt).chain(choice.all_vars()).collect();
+        let all_quant_cube = bdd.cube_of_vars(all_quant);
+
+        let mut inner = Inner {
+            bdd,
+            arena: DenArena::default(),
+            reachable: Vec::new(),
+            hidden_cubes: Vec::new(),
+            mode: RelationMode::Partitioned,
+            cur_to_nxt: Some(cur_to_nxt),
+            nxt_to_cur: Some(nxt_to_cur),
+            primed_cubes,
+            primed_quant_vars,
+            choice_cube,
+            all_quant_cube,
+            choice_minterms: Vec::new(),
+            relations: Vec::new(),
+            relation_supports: Vec::new(),
+            dnow: Vec::new(),
+            gc_threshold: base_threshold,
+            gc_base_threshold: base_threshold,
+            reorder_mode: options.reorder,
+            reorder_threshold,
+        };
+
+        inner.hidden_cubes = (0..n)
+            .map(|agent| {
+                let mut observed = vec![false; num_slots];
+                for slot in layout.agents[agent].obs_bits.iter().flatten() {
+                    observed[*slot] = true;
+                }
+                let hidden =
+                    (0..num_slots).filter(|&slot| !observed[slot]).map(cur).collect::<Vec<_>>();
+                inner.bdd.cube_of_vars(hidden)
+            })
+            .collect();
+
+        let init = initial_cube(&mut inner.bdd, &layout, &exchange, &params);
+        inner.reachable.push(init);
+        let frontier =
+            decides_now_table::<E, R>(&mut inner.bdd, &layout, &choice, &rule, &params, 0);
+        inner.dnow.push(Some(frontier));
+        inner.maybe_gc(&mut []);
+
+        let choice_bits = choice.count();
+        SymbolicChecker {
+            source: Source::Relational { exchange, rule, layout, choice },
+            params,
+            inner: RefCell::new(inner),
+            agent_vars,
+            num_slots,
+            choice_bits,
+            max_successors: 0,
+            encodings: Vec::new(),
+            rule_override: RefCell::new(None),
+            override_epoch: Cell::new(0),
+            focus: Cell::new(None),
+            reachable_obs: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn extend_with_source_rule(&self) {
+        match &self.source {
+            Source::Relational { rule, .. } => self.extend_layer_relational(rule),
+            Source::Explicit(_) => unreachable!("explicit checkers never extend relationally"),
+        }
+    }
+
+    /// Grows the relational model by one layer: builds the next round's
+    /// partitioned transition relation and guarded decides-now conditions
+    /// from `rule`, roots them, and computes the new layer as the forward
+    /// image of the frontier. The round's relation stays available to the
+    /// temporal operators, exactly as the explicit front-end's lazily
+    /// built relations are.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an explicit-source checker (those grow through
+    /// [`SymbolicChecker::into_salvage`] / [`SymbolicChecker::resume`]).
+    pub fn extend_layer_relational<S: SymbolicRule<E>>(&self, rule: &S) {
+        let (exchange, layout, choice) = match &self.source {
+            Source::Relational { exchange, layout, choice, .. } => (exchange, layout, choice),
+            Source::Explicit(_) => panic!("extend_layer_relational requires a relational checker"),
+        };
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let t = inner.reachable.len() - 1;
+        // No collection can run while the round build's unrooted
+        // intermediates are in flight; everything is rooted right below.
+        let round = round_relation(
+            &mut inner.bdd,
+            layout,
+            choice,
+            exchange,
+            rule,
+            &self.params,
+            t as Round,
+        );
+        let supports: Vec<Vec<u32>> = round
+            .partitions
+            .iter()
+            .map(|&part| inner.bdd.support(part).iter().map(|v| v.index()).collect())
+            .collect();
+        debug_assert_eq!(inner.relations.len(), t, "rounds extend one at a time");
+        inner.relations.push(Some(round.partitions));
+        inner.relation_supports.push(Some(supports));
+        // The round's conditions supersede the frontier entry (they are
+        // what this round's decisions actually follow).
+        inner.dnow[t] = Some(round.dnow);
+        inner.maybe_gc(&mut []);
+        let image = self.relational_image(inner, t);
+        inner.reachable.push(image);
+        // The new frontier answers `DecidesNow` from the extending rule
+        // until the next extension replaces it.
+        let frontier = decides_now_table::<E, S>(
+            &mut inner.bdd,
+            layout,
+            choice,
+            rule,
+            &self.params,
+            (t + 1) as Round,
+        );
+        inner.dnow.push(Some(frontier));
+        inner.maybe_gc(&mut []);
+    }
+
+    /// One forward image: conjoins the frontier layer with the round's
+    /// partitions in support-overlap order, quantifying each variable the
+    /// moment no remaining conjunct mentions it (early quantification
+    /// through the fused [`epimc_bdd::Bdd::relational_product`]), then
+    /// renames the surviving primed variables back to their current-state
+    /// copies. Delivery choices leave with their receiver's partition;
+    /// current-state and crash-choice variables leave once their last
+    /// mentioning partition is in.
+    fn relational_image(&self, inner: &mut Inner, t: usize) -> Ref {
+        let supports =
+            inner.relation_supports[t].as_ref().expect("round supports not built").clone();
+        let num_partitions = supports.len();
+        // Everything that must leave the image: current-state copies and
+        // the adversary's choices. (Already sorted: current-state indices
+        // are the even numbers below 2·num_slots, choice indices follow.)
+        let mut quantifiable: Vec<u32> = (0..self.num_slots).map(|slot| 2 * slot as u32).collect();
+        quantifiable.extend((0..self.choice_bits).map(|k| (2 * self.num_slots + k) as u32));
+        let mut acc = inner.reachable[t];
+        let mut acc_support: Vec<u32> = inner.bdd.support(acc).iter().map(|v| v.index()).collect();
+        let mut remaining: Vec<usize> = (0..num_partitions).collect();
+        while !remaining.is_empty() {
+            // Safe point between steps: partitions and layers are rooted,
+            // only the accumulator needs carrying.
+            let mut extra = [acc];
+            inner.maybe_gc(&mut extra);
+            acc = extra[0];
+            // Greedy support-overlap scheduling, as in the pre-image.
+            let mut best_pos = 0;
+            let mut best_score: Option<(usize, usize)> = None;
+            for (pos, &agent) in remaining.iter().enumerate() {
+                let support = &supports[agent];
+                let overlap =
+                    support.iter().filter(|v| acc_support.binary_search(v).is_ok()).count();
+                let fresh = support.len() - overlap;
+                let beats = match best_score {
+                    None => true,
+                    Some((top_overlap, top_fresh)) => {
+                        overlap > top_overlap || (overlap == top_overlap && fresh < top_fresh)
+                    }
+                };
+                if beats {
+                    best_pos = pos;
+                    best_score = Some((overlap, fresh));
+                }
+            }
+            let agent = remaining.remove(best_pos);
+            let mut union_vars: Vec<u32> = acc_support.clone();
+            union_vars.extend(supports[agent].iter().copied());
+            union_vars.sort_unstable();
+            union_vars.dedup();
+            let freed: Vec<u32> = union_vars
+                .iter()
+                .copied()
+                .filter(|v| quantifiable.binary_search(v).is_ok())
+                .filter(|v| remaining.iter().all(|&rest| supports[rest].binary_search(v).is_err()))
+                .collect();
+            let cube = inner.bdd.cube_of_vars(freed.iter().map(|&v| Var::new(v)));
+            // Re-read the partition from its rooted slot: a collection at
+            // the loop's safe point remaps rooted handles in place.
+            let part = inner.relations[t].as_ref().expect("round not built")[agent];
+            acc = inner.bdd.relational_product(part, acc, cube);
+            acc_support = union_vars;
+            acc_support.retain(|v| freed.binary_search(v).is_err());
+        }
+        let subst = inner.nxt_to_cur.expect("relational machinery registered at construction");
+        inner.bdd.replace(acc, subst)
     }
 }
 
@@ -2395,5 +2968,232 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn relational_layers_and_checks_match_explicit_on_floodset() {
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let explicit = Checker::new(&model);
+        let symbolic = SymbolicChecker::new(&model);
+        let relational =
+            SymbolicChecker::relational(FloodSet, params, FloodSetRule, SymbolicOptions::default());
+        assert!(relational.is_relational());
+        assert!(!symbolic.is_relational());
+        assert_eq!(relational.num_layers(), model.num_layers());
+        // The relational layers are extensionally identical to the explicit
+        // ones: every explored point is reachable, and the satisfying-state
+        // counts agree layer by layer (so there is nothing extra either).
+        assert_eq!(relational.check_points(&model, &F::tt()), PointSet::full(&model));
+        for time in 0..model.num_layers() as Round {
+            assert_eq!(
+                relational.layer_state_count(time),
+                symbolic.layer_state_count(time),
+                "layer {time} state count"
+            );
+        }
+        let mut formulas = agreement_formulas();
+        formulas.push(F::atom(ConsensusAtom::DecidesNow(AgentId::new(0), Value::new(0))));
+        for formula in formulas {
+            let expected = explicit.check(&formula);
+            assert_eq!(
+                expected,
+                relational.check_points(&model, &formula),
+                "relational front-end disagrees on {formula}"
+            );
+            assert_eq!(
+                relational.holds_everywhere(&formula),
+                symbolic.holds_everywhere(&formula),
+                "holds_everywhere disagrees on {formula}"
+            );
+        }
+        let stats = relational.stats();
+        assert!(stats.relational_product_calls > 0, "images route through relational_product");
+        assert!(
+            stats.image_cache_hits + stats.image_cache_misses > 0,
+            "image cache counters never moved"
+        );
+    }
+
+    #[test]
+    fn relational_matches_explicit_on_count_omissions() {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::SendOmission)
+            .build();
+        let model = ConsensusModel::explore(CountFloodSet, params, TextbookRule);
+        let explicit = Checker::new(&model);
+        let relational = SymbolicChecker::relational(
+            CountFloodSet,
+            params,
+            TextbookRule,
+            SymbolicOptions::default(),
+        );
+        assert_eq!(relational.check_points(&model, &F::tt()), PointSet::full(&model));
+        for formula in [
+            sba_condition(0, 0),
+            F::common_belief(exists(0)),
+            F::all_next(F::atom(ConsensusAtom::TimeIs(1))),
+            F::exists_finally(F::atom(ConsensusAtom::DecidesNow(AgentId::new(1), Value::new(0)))),
+        ] {
+            assert_eq!(
+                explicit.check(&formula),
+                relational.check_points(&model, &formula),
+                "relational front-end disagrees on {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn relational_seed_extends_to_the_full_build() {
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let full =
+            SymbolicChecker::relational(FloodSet, params, FloodSetRule, SymbolicOptions::default());
+        let grown = SymbolicChecker::relational_seed(
+            FloodSet,
+            params,
+            FloodSetRule,
+            SymbolicOptions::default(),
+        );
+        assert_eq!(grown.num_layers(), 1);
+        while grown.num_layers() < full.num_layers() {
+            grown.extend_layer_relational(&FloodSetRule);
+        }
+        for formula in agreement_formulas() {
+            assert_eq!(
+                full.check_points(&model, &formula),
+                grown.check_points(&model, &formula),
+                "seed-grown checker disagrees on {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn relational_observation_values_match_explicit() {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let symbolic = SymbolicChecker::new(&model);
+        let relational =
+            SymbolicChecker::relational(FloodSet, params, FloodSetRule, SymbolicOptions::default());
+        let condition = sba_condition(0, 0);
+        for time in 0..model.num_layers() as Round {
+            for agent in AgentId::all(2) {
+                let mut explicit_session = symbolic.session();
+                let mut relational_session = relational.session();
+                let expected =
+                    symbolic.observation_values(&mut explicit_session, &condition, agent, time);
+                let got =
+                    relational.observation_values(&mut relational_session, &condition, agent, time);
+                symbolic.end_session(explicit_session);
+                relational.end_session(relational_session);
+                assert_eq!(expected, got, "observation values differ for {agent} at {time}");
+            }
+        }
+    }
+
+    #[test]
+    fn relational_rule_override_matches_explicit_scan() {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        let mut table = epimc_system::TableRule::new("floodset-as-table");
+        for time in 0..model.num_layers() as Round {
+            for index in 0..model.layer_size(time) {
+                let point = PointId::new(time, index);
+                for agent in AgentId::all(2) {
+                    if let epimc_system::Action::Decide(value) = model.action_at(agent, point) {
+                        table.set(
+                            agent,
+                            time,
+                            model.observation(agent, point).clone(),
+                            epimc_system::Action::Decide(value),
+                        );
+                    }
+                }
+            }
+        }
+        let symbolic = SymbolicChecker::new(&model);
+        let relational =
+            SymbolicChecker::relational(FloodSet, params, FloodSetRule, SymbolicOptions::default());
+        symbolic.set_rule_override(Some(table.clone()));
+        relational.set_rule_override(Some(table));
+        let formulas: Vec<F> = (0..2)
+            .flat_map(|agent| {
+                (0..2).map(move |value| {
+                    F::atom(ConsensusAtom::DecidesNow(AgentId::new(agent), Value::new(value)))
+                })
+            })
+            .collect();
+        for formula in &formulas {
+            assert_eq!(
+                symbolic.check(formula),
+                relational.check_points(&model, formula),
+                "override disagrees across front-ends on {formula}"
+            );
+        }
+        // Dropping the override reinstates the source rule on both sides.
+        symbolic.set_rule_override(None);
+        relational.set_rule_override(None);
+        for formula in &formulas {
+            assert_eq!(symbolic.check(formula), relational.check_points(&model, formula));
+        }
+    }
+
+    #[test]
+    fn final_layer_settled_matches_explicit() {
+        let params = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+        assert!(model.final_layer_settled(), "FloodSet decides by the horizon");
+        assert!(SymbolicChecker::new(&model).final_layer_settled());
+        let relational =
+            SymbolicChecker::relational(FloodSet, params, FloodSetRule, SymbolicOptions::default());
+        assert!(relational.final_layer_settled());
+
+        let idle = ConsensusModel::explore(FloodSet, params, TableRule::new("noop"));
+        assert!(!idle.final_layer_settled());
+        assert!(!SymbolicChecker::new(&idle).final_layer_settled());
+        let relational_idle = SymbolicChecker::relational(
+            FloodSet,
+            params,
+            TableRule::new("noop"),
+            SymbolicOptions::default(),
+        );
+        assert!(!relational_idle.final_layer_settled());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the explicit front-end")]
+    fn relational_checkers_reject_explicit_only_operations() {
+        let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+        let relational =
+            SymbolicChecker::relational(FloodSet, params, FloodSetRule, SymbolicOptions::default());
+        let _ = relational.check(&exists(0));
     }
 }

@@ -27,6 +27,7 @@ use epimc_protocols::{
     CountFloodSet, DiffFloodSet, DworkMoses, DworkMosesRule, EBasic, EBasicRule, EMin, EMinRule,
     FloodSet, FloodSetRule, TextbookRule,
 };
+use epimc_relational::SymbolicEncode;
 use epimc_synth::{
     KnowledgeBasedProgram, SymbolicSynthesisProfile, SymbolicSynthesizer, Synthesizer,
 };
@@ -328,7 +329,7 @@ fn compare_synthesis<E, P>(
     timeout: Duration,
 ) -> SynthesisComparison
 where
-    E: InformationExchange + 'static,
+    E: InformationExchange + SymbolicEncode + 'static,
     P: Fn() -> KnowledgeBasedProgram + Send + 'static,
 {
     let (symbolic_outcome, profile) =
@@ -685,7 +686,7 @@ fn explicit_synthesis<E: InformationExchange>(
 }
 
 /// Runs the symbolic (BDD) synthesis engine.
-fn symbolic_synthesis<E: InformationExchange>(
+fn symbolic_synthesis<E: InformationExchange + SymbolicEncode>(
     exchange: E,
     params: ModelParams,
     program: &KnowledgeBasedProgram,

@@ -64,9 +64,11 @@ pub mod prelude {
         EBasic, EBasicRule, EMin, EMinRule, FloodSet, FloodSetRule, OptimalFloodSetRule,
         TextbookRule,
     };
+    pub use epimc_relational::{SymbolicEncode, SymbolicRule};
     pub use epimc_synth::{
-        KnowledgeBasedProgram, NonUniformClass, SymbolicSynthesisOptions, SymbolicSynthesisProfile,
-        SymbolicSynthesizer, SynthesisOutcome, SynthesisStats, Synthesizer,
+        Frontend, KnowledgeBasedProgram, NonUniformClass, SymbolicSynthesisOptions,
+        SymbolicSynthesisProfile, SymbolicSynthesizer, SynthesisOutcome, SynthesisStats,
+        Synthesizer,
     };
     pub use epimc_system::{
         Action, ConsensusAtom, ConsensusModel, Decision, DecisionRule, FailureKind,

@@ -26,6 +26,7 @@ pub mod ebasic;
 pub mod emin;
 pub mod floodset;
 pub mod rules;
+pub mod symbolic;
 
 pub use common::ValueSet;
 pub use count::{

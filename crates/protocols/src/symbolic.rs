@@ -1,0 +1,599 @@
+//! Relational (BDD) encodings of every protocol family in this crate.
+//!
+//! Each [`SymbolicEncode`] impl mirrors the corresponding
+//! [`InformationExchange::update`](epimc_system::InformationExchange::update)
+//! *exactly*, phrased as `next-observable-bit ↔ condition` constraints over
+//! the current-state and adversary-choice variables supplied by [`Enc`]:
+//! message delivery goes through [`Enc::chan`], and message contents that
+//! depend on the sender's same-round action (the EBA exchanges announce
+//! decisions) go through the guarded decides-now conditions [`Enc::dnow`].
+//! Each [`SymbolicRule`] impl mirrors the corresponding
+//! [`DecisionRule::action`](epimc_system::DecisionRule::action), restricted
+//! to the raw "decide `v` now" condition — the liveness and not-yet-decided
+//! guards are the relation builder's job.
+//!
+//! The relational ≡ explicit differential suite holds these equations to
+//! the explicit explorer, layer by layer, for every failure model.
+
+use epimc_bdd::Ref;
+use epimc_logic::AgentId;
+use epimc_relational::{Enc, SymbolicEncode, SymbolicRule};
+use epimc_system::{Round, Value};
+
+use crate::count::{
+    condition3_fallback_time, count_observable_index, CountFloodSet, CountOptimalRule,
+};
+use crate::diff::DiffFloodSet;
+use crate::dwork_moses::{DworkMoses, DworkMosesRule};
+use crate::ebasic::{EBasic, EBasicRule};
+use crate::emin::{EMin, EMinRule};
+use crate::floodset::{condition2_decision_time, FloodSet, FloodSetRule, OptimalFloodSetRule};
+use crate::rules::{DecideAtRound, HasSeenValues, TextbookRule};
+
+/// Exchanges whose first `num_values` observable fields are the boolean
+/// `values_received[v]` flags — the FloodSet family. The generic seen-set
+/// rules ([`TextbookRule`], [`DecideAtRound`]) encode against these fields.
+pub trait HasSeenObservables: SymbolicEncode {}
+
+impl HasSeenObservables for FloodSet {}
+impl HasSeenObservables for CountFloodSet {}
+impl HasSeenObservables for DiffFloodSet {}
+
+/// `min(seen) = value`: the value's flag is set and every smaller value's
+/// flag is clear. An empty seen set satisfies no value (the explicit rules
+/// fall back to `Noop` there).
+fn min_seen(enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+    let mut acc = enc.obs_bit(agent, value.index(), 0);
+    for smaller in 0..value.index() {
+        let seen = enc.obs_bit(agent, smaller, 0);
+        let not_seen = enc.bdd().not(seen);
+        acc = enc.bdd().and(acc, not_seen);
+    }
+    acc
+}
+
+/// The flooded seen-set update shared by the whole FloodSet family:
+/// `seen'[v] ↔ seen[v] ∨ ⋁_j (chan(j, i) ∧ seen_j[v])`.
+fn encode_seen_update(enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+    let n = enc.num_agents();
+    let num_values = enc.params().num_values();
+    let mut acc = Ref::TRUE;
+    for v in 0..num_values {
+        let mut cond = enc.obs_bit(receiver, v, 0);
+        for sender in (0..n).map(AgentId::new).filter(|&j| j != receiver) {
+            let delivered = enc.chan(sender, receiver);
+            let seen = enc.obs_bit(sender, v, 0);
+            let through = enc.bdd().and(delivered, seen);
+            cond = enc.bdd().or(cond, through);
+        }
+        let eq = enc.next_obs_bit_iff(receiver, v, 0, cond);
+        acc = enc.bdd().and(acc, eq);
+    }
+    acc
+}
+
+/// `count' = |{j : chan(j, i)}|` — every agent broadcasts every round, so
+/// the number of messages received is the popcount of the channel
+/// conditions (self-delivery included).
+fn encode_count_update(enc: &mut Enc<'_>, receiver: AgentId, count_field: usize) -> Ref {
+    let n = enc.num_agents();
+    let conds: Vec<Ref> = (0..n).map(|j| enc.chan(AgentId::new(j), receiver)).collect();
+    let rows = enc.count_exact(&conds);
+    let cases: Vec<(u32, Ref)> = rows.iter().enumerate().map(|(k, &row)| (k as u32, row)).collect();
+    enc.next_field_eq_cases(receiver, count_field, &cases)
+}
+
+impl SymbolicEncode for FloodSet {
+    fn encode_update(&self, enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+        encode_seen_update(enc, receiver)
+    }
+}
+
+impl SymbolicEncode for CountFloodSet {
+    fn encode_update(&self, enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+        let count_field = count_observable_index(enc.params().num_values());
+        let seen = encode_seen_update(enc, receiver);
+        let count = encode_count_update(enc, receiver, count_field);
+        enc.bdd().and(seen, count)
+    }
+}
+
+impl SymbolicEncode for DiffFloodSet {
+    fn encode_update(&self, enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+        let count_field = count_observable_index(enc.params().num_values());
+        let prev_field = count_field + 1;
+        let seen = encode_seen_update(enc, receiver);
+        let count = encode_count_update(enc, receiver, count_field);
+        let mut acc = enc.bdd().and(seen, count);
+        // prev_count' = count (the value *before* this round's update).
+        let bits = enc.layout().agents[receiver.index()].obs_bits[count_field].len();
+        for bit in 0..bits {
+            let cur = enc.obs_bit(receiver, count_field, bit);
+            let eq = enc.next_obs_bit_iff(receiver, prev_field, bit, cur);
+            acc = enc.bdd().and(acc, eq);
+        }
+        acc
+    }
+}
+
+// ---- EBA exchanges ----------------------------------------------------
+
+const INIT_FIELD: usize = 0;
+const DECIDED_FIELD: usize = 1;
+const JD_FIELD: usize = 2;
+const NUM1_FIELD: usize = 3;
+
+/// `just_decided'` for the EBA exchanges: a just-decided-0 announcement
+/// wins over a just-decided-1 announcement; hearing neither resets the
+/// field. An announcement from `j` is heard iff `j` decides this round and
+/// the channel delivers (self-delivery included).
+fn encode_just_decided(enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+    let n = enc.num_agents();
+    let mut heard = [Ref::FALSE; 2];
+    for (v, slot) in heard.iter_mut().enumerate() {
+        for sender in (0..n).map(AgentId::new) {
+            let delivered = enc.chan(sender, receiver);
+            let announces = enc.dnow(sender, v as u32);
+            let through = enc.bdd().and(delivered, announces);
+            *slot = enc.bdd().or(*slot, through);
+        }
+    }
+    let [zero, one] = heard;
+    let not_zero = enc.bdd().not(zero);
+    let not_one = enc.bdd().not(one);
+    let none = enc.bdd().and(not_zero, not_one);
+    let only_one = enc.bdd().and(not_zero, one);
+    enc.next_field_eq_cases(receiver, JD_FIELD, &[(0, none), (1, zero), (2, only_one)])
+}
+
+/// The shared `init` / `decided` bookkeeping of the EBA exchanges: the
+/// initial value is frozen, the local decided flag is set by this round's
+/// own deciding action.
+fn encode_eba_flags(enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+    let init = enc.next_field_frozen(receiver, INIT_FIELD);
+    let decided_now = enc.dnow_any(receiver);
+    let decided = enc.obs_bit(receiver, DECIDED_FIELD, 0);
+    let cond = enc.bdd().or(decided, decided_now);
+    let eq = enc.next_obs_bit_iff(receiver, DECIDED_FIELD, 0, cond);
+    enc.bdd().and(init, eq)
+}
+
+impl SymbolicEncode for EMin {
+    fn encode_update(&self, enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+        let flags = encode_eba_flags(enc, receiver);
+        let jd = encode_just_decided(enc, receiver);
+        enc.bdd().and(flags, jd)
+    }
+}
+
+impl SymbolicEncode for EBasic {
+    fn encode_update(&self, enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+        let n = enc.num_agents();
+        let flags = encode_eba_flags(enc, receiver);
+        let jd = encode_just_decided(enc, receiver);
+        let acc = enc.bdd().and(flags, jd);
+        // num1' counts the InitOne messages received: sender has initial
+        // value 1, has not decided, and does not decide this round (a
+        // deciding agent announces the decision instead).
+        let conds: Vec<Ref> = (0..n)
+            .map(AgentId::new)
+            .map(|sender| {
+                let delivered = enc.chan(sender, receiver);
+                let init_one = enc.obs_bit(sender, INIT_FIELD, 0);
+                let decided = enc.obs_bit(sender, DECIDED_FIELD, 0);
+                let deciding = enc.dnow_any(sender);
+                let not_decided = enc.bdd().not(decided);
+                let not_deciding = enc.bdd().not(deciding);
+                let sends = enc.bdd().and(init_one, not_decided);
+                let sends = enc.bdd().and(sends, not_deciding);
+                enc.bdd().and(delivered, sends)
+            })
+            .collect();
+        let rows = enc.count_exact(&conds);
+        let cases: Vec<(u32, Ref)> =
+            rows.iter().enumerate().map(|(k, &row)| (k as u32, row)).collect();
+        let num1 = enc.next_field_eq_cases(receiver, NUM1_FIELD, &cases);
+        enc.bdd().and(acc, num1)
+    }
+}
+
+/// `init = 0 ∨ just_decided = Some(0)` — the decide-0 condition shared by
+/// the EBA rules.
+fn eba_zero_condition(enc: &mut Enc<'_>, agent: AgentId) -> Ref {
+    let init_one = enc.obs_bit(agent, INIT_FIELD, 0);
+    let init_zero = enc.bdd().not(init_one);
+    let jd_zero = enc.field_eq(agent, JD_FIELD, 1);
+    enc.bdd().or(init_zero, jd_zero)
+}
+
+impl SymbolicRule<EMin> for EMinRule {
+    fn decides(&self, enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+        let deadline = enc.params().max_faulty() as Round + 1;
+        let time = enc.time();
+        let zero = if time <= deadline { eba_zero_condition(enc, agent) } else { Ref::FALSE };
+        match value {
+            Value::ZERO => zero,
+            Value::ONE if time == deadline => enc.bdd().not(zero),
+            _ => Ref::FALSE,
+        }
+    }
+}
+
+impl SymbolicRule<EBasic> for EBasicRule {
+    fn decides(&self, enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+        let n = enc.num_agents() as Round;
+        let deadline = enc.params().max_faulty() as Round + 1;
+        let time = enc.time();
+        let zero = if time <= deadline { eba_zero_condition(enc, agent) } else { Ref::FALSE };
+        match value {
+            Value::ZERO => zero,
+            Value::ONE => {
+                let mut one = Ref::FALSE;
+                if time > 0 && time <= deadline {
+                    // num1 > n - time
+                    let threshold = n.saturating_sub(time);
+                    for num1 in threshold + 1..=n {
+                        let eq = enc.field_eq(agent, NUM1_FIELD, num1);
+                        one = enc.bdd().or(one, eq);
+                    }
+                }
+                if time <= deadline {
+                    let jd_one = enc.field_eq(agent, JD_FIELD, 2);
+                    one = enc.bdd().or(one, jd_one);
+                }
+                if time == deadline {
+                    one = Ref::TRUE;
+                }
+                let not_zero = enc.bdd().not(zero);
+                enc.bdd().and(not_zero, one)
+            }
+            _ => Ref::FALSE,
+        }
+    }
+}
+
+// ---- Dwork–Moses ------------------------------------------------------
+
+const EXISTS0_FIELD: usize = 0;
+const WASTE_FIELD: usize = 1;
+const F_FIELD: usize = 2;
+const NF_FIELD: usize = 3;
+const RF_FIELD: usize = 4;
+
+impl SymbolicEncode for DworkMoses {
+    fn encode_update(&self, enc: &mut Enc<'_>, receiver: AgentId) -> Ref {
+        let n = enc.num_agents();
+        let mut acc = Ref::TRUE;
+
+        // exists0' = exists0 ∨ ⋁_j (chan(j, i) ∧ exists0_j).
+        let mut exists0 = enc.obs_bit(receiver, EXISTS0_FIELD, 0);
+        for sender in (0..n).map(AgentId::new).filter(|&j| j != receiver) {
+            let delivered = enc.chan(sender, receiver);
+            let e0 = enc.obs_bit(sender, EXISTS0_FIELD, 0);
+            let through = enc.bdd().and(delivered, e0);
+            exists0 = enc.bdd().or(exists0, through);
+        }
+        let eq = enc.next_obs_bit_iff(receiver, EXISTS0_FIELD, 0, exists0);
+        acc = enc.bdd().and(acc, eq);
+
+        // Per agent j: reported'[j] = RF[j] ∨ ⋁_k (chan(k, i) ∧ NF_k[j]);
+        // silence marks j faulty; all_known = F ∪ silent ∪ reported'.
+        let mut reported = Vec::with_capacity(n);
+        let mut known = Vec::with_capacity(n);
+        let mut known_by_prev = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut rep = enc.obs_bit(receiver, RF_FIELD, j);
+            for sender in (0..n).map(AgentId::new) {
+                let delivered = enc.chan(sender, receiver);
+                let newly = enc.obs_bit(sender, NF_FIELD, j);
+                let through = enc.bdd().and(delivered, newly);
+                rep = enc.bdd().or(rep, through);
+            }
+            let f = enc.obs_bit(receiver, F_FIELD, j);
+            let silent = if j == receiver.index() {
+                Ref::FALSE
+            } else {
+                let delivered = enc.chan(AgentId::new(j), receiver);
+                enc.bdd().not(delivered)
+            };
+            let f_or_rep = enc.bdd().or(f, rep);
+            let all = enc.bdd().or(f_or_rep, silent);
+            let not_f = enc.bdd().not(f);
+            let newly = enc.bdd().and(all, not_f);
+
+            let eq_f = enc.next_obs_bit_iff(receiver, F_FIELD, j, all);
+            acc = enc.bdd().and(acc, eq_f);
+            let eq_nf = enc.next_obs_bit_iff(receiver, NF_FIELD, j, newly);
+            acc = enc.bdd().and(acc, eq_nf);
+            let eq_rf = enc.next_obs_bit_iff(receiver, RF_FIELD, j, rep);
+            acc = enc.bdd().and(acc, eq_rf);
+
+            reported.push(rep);
+            known.push(all);
+            known_by_prev.push(f_or_rep);
+        }
+
+        // waste' = max(waste, |F ∪ reported'| − (r − 1), |all_known| − r)
+        // clamped at 0, where r is the round just finishing. Encoded as
+        // disjoint equality cases over the three popcount distributions.
+        let r = enc.time() as usize + 1;
+        let prev_rows = enc.count_exact(&known_by_prev);
+        let cur_rows = enc.count_exact(&known);
+        let excess = |enc: &mut Enc<'_>, rows: &[Ref], base: usize, w: usize| -> Ref {
+            if w == 0 {
+                let low: Vec<Ref> = rows.iter().take(base + 1).copied().collect();
+                enc.bdd().or_all(low)
+            } else if base + w < rows.len() {
+                rows[base + w]
+            } else {
+                Ref::FALSE
+            }
+        };
+        let mut cases = Vec::with_capacity(n + 1);
+        let (mut a_le, mut b_le, mut c_le) = (Ref::FALSE, Ref::FALSE, Ref::FALSE);
+        for w in 0..=n {
+            let a = enc.field_eq(receiver, WASTE_FIELD, w as u32);
+            let b = excess(enc, &prev_rows, r - 1, w);
+            let c = excess(enc, &cur_rows, r, w);
+            let le_prev = enc.bdd().and(a_le, b_le);
+            let all_le_prev = enc.bdd().and(le_prev, c_le);
+            a_le = enc.bdd().or(a_le, a);
+            b_le = enc.bdd().or(b_le, b);
+            c_le = enc.bdd().or(c_le, c);
+            let all_le = enc.bdd().and(a_le, b_le);
+            let all_le = enc.bdd().and(all_le, c_le);
+            // max = w  ⟺  all three ≤ w, and not all three ≤ w − 1.
+            let not_below = enc.bdd().not(all_le_prev);
+            let max_is_w = enc.bdd().and(all_le, not_below);
+            cases.push((w as u32, max_is_w));
+        }
+        let waste = enc.next_field_eq_cases(receiver, WASTE_FIELD, &cases);
+        enc.bdd().and(acc, waste)
+    }
+}
+
+impl SymbolicRule<DworkMoses> for DworkMosesRule {
+    fn decides(&self, enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+        let t = enc.params().max_faulty() as Round;
+        let time = enc.time();
+        if time < 1 {
+            return Ref::FALSE;
+        }
+        // time + waste > t  ⟺  waste > t − time.
+        let n = enc.num_agents() as u32;
+        let threshold = t.saturating_sub(time);
+        let mut cond = Ref::FALSE;
+        for waste in threshold + 1..=n {
+            let eq = enc.field_eq(agent, WASTE_FIELD, waste);
+            cond = enc.bdd().or(cond, eq);
+        }
+        if threshold == 0 && time > t {
+            // time > t on its own: every waste value qualifies.
+            cond = Ref::TRUE;
+        }
+        let exists0 = enc.obs_bit(agent, EXISTS0_FIELD, 0);
+        let exists0 = if value == Value::ZERO { exists0 } else { enc.bdd().not(exists0) };
+        enc.bdd().and(cond, exists0)
+    }
+}
+
+// ---- FloodSet-family rules --------------------------------------------
+
+impl<E> SymbolicRule<E> for TextbookRule
+where
+    E: HasSeenObservables,
+    E::LocalState: HasSeenValues,
+{
+    fn decides(&self, enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+        if enc.time() == enc.params().max_faulty() as Round + 1 {
+            min_seen(enc, agent, value)
+        } else {
+            Ref::FALSE
+        }
+    }
+}
+
+impl<E> SymbolicRule<E> for DecideAtRound
+where
+    E: HasSeenObservables,
+    E::LocalState: HasSeenValues,
+{
+    fn decides(&self, enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+        if enc.time() == self.0 {
+            min_seen(enc, agent, value)
+        } else {
+            Ref::FALSE
+        }
+    }
+}
+
+impl SymbolicRule<FloodSet> for FloodSetRule {
+    fn decides(&self, enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+        if enc.time() == enc.params().max_faulty() as Round + 1 {
+            min_seen(enc, agent, value)
+        } else {
+            Ref::FALSE
+        }
+    }
+}
+
+impl SymbolicRule<FloodSet> for OptimalFloodSetRule {
+    fn decides(&self, enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+        let params = enc.params();
+        if enc.time() == condition2_decision_time(params.num_agents(), params.max_faulty()) {
+            min_seen(enc, agent, value)
+        } else {
+            Ref::FALSE
+        }
+    }
+}
+
+impl SymbolicRule<CountFloodSet> for CountOptimalRule {
+    fn decides(&self, enc: &mut Enc<'_>, agent: AgentId, value: Value) -> Ref {
+        let params = enc.params();
+        let time = enc.time();
+        let fallback = time == condition3_fallback_time(params.num_agents(), params.max_faulty());
+        let count_field = count_observable_index(params.num_values());
+        let mut when = if fallback { Ref::TRUE } else { Ref::FALSE };
+        if !fallback && time > 0 {
+            // early exit: count ≤ 1.
+            let zero = enc.field_eq(agent, count_field, 0);
+            let one = enc.field_eq(agent, count_field, 1);
+            when = enc.bdd().or(zero, one);
+        }
+        let min = min_seen(enc, agent, value);
+        enc.bdd().and(when, min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use epimc_bdd::{Bdd, Var};
+    use epimc_relational::{
+        cur, encode_state, initial_cube, naive_image, nxt, round_relation, ChoiceVars, SlotLayout,
+    };
+    use epimc_system::{FailureKind, ModelParams, StateSpace};
+
+    use super::*;
+
+    fn params(n: usize, t: usize, values: usize, kind: FailureKind) -> ModelParams {
+        ModelParams::builder().agents(n).max_faulty(t).values(values).failure(kind).build()
+    }
+
+    /// Builds the relational model layer by layer and holds it to the
+    /// explicit exploration: every explicit state's encoding must satisfy
+    /// the layer BDD, and the layer's satisfying-assignment count must
+    /// equal the number of distinct encodings (no extra states).
+    fn assert_relational_matches_explicit<E, R>(exchange: E, params: ModelParams, rule: R)
+    where
+        E: SymbolicEncode + Clone,
+        R: SymbolicRule<E> + Clone,
+    {
+        let space = StateSpace::explore(exchange.clone(), params, &rule);
+        let mut bdd = Bdd::new();
+        let layout = SlotLayout::new(&exchange, &params);
+        let kind = params.failure().kind();
+        let choice = ChoiceVars::new(kind, params.num_agents(), layout.num_slots);
+        let mut reach = initial_cube(&mut bdd, &layout, &exchange, &params);
+        let cur_vars: Vec<Var> = (0..layout.num_slots).map(cur).collect();
+        let rename =
+            bdd.register_substitution((0..layout.num_slots).map(|s| (nxt(s), cur(s))).collect());
+
+        for time in 0..space.num_layers() as Round {
+            let layer = &space.layers()[time as usize];
+            let mut encodings: Vec<Vec<bool>> = layer
+                .states
+                .iter()
+                .map(|state| encode_state(&exchange, &params, &layout, state))
+                .collect();
+            encodings.sort_unstable();
+            encodings.dedup();
+            for encoding in &encodings {
+                let mut assignment = vec![false; layout.num_slots * 2];
+                for (slot, &bit) in encoding.iter().enumerate() {
+                    assignment[slot * 2] = bit;
+                }
+                assert!(
+                    bdd.eval_bits(reach, &assignment),
+                    "{} / {kind:?}: explicit state missing from relational layer {time}",
+                    exchange.name()
+                );
+            }
+            assert_eq!(
+                bdd.sat_count_over(reach, &cur_vars),
+                encodings.len() as u128,
+                "{} / {kind:?}: relational layer {time} has extra states",
+                exchange.name()
+            );
+            if (time as usize) < space.num_layers() - 1 {
+                let round =
+                    round_relation(&mut bdd, &layout, &choice, &exchange, &rule, &params, time);
+                reach = naive_image(&mut bdd, &layout, &choice, reach, &round.partitions, rename);
+            }
+        }
+    }
+
+    #[test]
+    fn floodset_matches_explicit() {
+        // Three values exercises the multi-value min-seen decision cubes.
+        assert_relational_matches_explicit(
+            FloodSet,
+            params(3, 1, 3, FailureKind::Crash),
+            FloodSetRule,
+        );
+        assert_relational_matches_explicit(
+            FloodSet,
+            params(3, 1, 2, FailureKind::GeneralOmission),
+            TextbookRule,
+        );
+        assert_relational_matches_explicit(
+            FloodSet,
+            params(4, 3, 2, FailureKind::Crash),
+            OptimalFloodSetRule,
+        );
+    }
+
+    #[test]
+    fn count_floodset_matches_explicit() {
+        // The early-exit rule decides at different times on different
+        // branches, exercising the count field and the decision guards.
+        assert_relational_matches_explicit(
+            CountFloodSet,
+            params(3, 1, 2, FailureKind::Crash),
+            CountOptimalRule,
+        );
+        assert_relational_matches_explicit(
+            CountFloodSet,
+            params(3, 1, 2, FailureKind::SendOmission),
+            TextbookRule,
+        );
+    }
+
+    #[test]
+    fn diff_floodset_matches_explicit() {
+        assert_relational_matches_explicit(
+            DiffFloodSet,
+            params(3, 1, 2, FailureKind::Crash),
+            DecideAtRound(1),
+        );
+        assert_relational_matches_explicit(
+            DiffFloodSet,
+            params(3, 1, 2, FailureKind::ReceiveOmission),
+            TextbookRule,
+        );
+    }
+
+    #[test]
+    fn emin_matches_explicit() {
+        assert_relational_matches_explicit(EMin, params(3, 1, 2, FailureKind::Crash), EMinRule);
+        assert_relational_matches_explicit(
+            EMin,
+            params(3, 1, 2, FailureKind::SendOmission),
+            EMinRule,
+        );
+    }
+
+    #[test]
+    fn ebasic_matches_explicit() {
+        assert_relational_matches_explicit(EBasic, params(3, 1, 2, FailureKind::Crash), EBasicRule);
+        assert_relational_matches_explicit(
+            EBasic,
+            params(3, 1, 2, FailureKind::GeneralOmission),
+            EBasicRule,
+        );
+    }
+
+    #[test]
+    fn dwork_moses_matches_explicit() {
+        assert_relational_matches_explicit(
+            DworkMoses,
+            params(3, 1, 2, FailureKind::Crash),
+            DworkMosesRule,
+        );
+        assert_relational_matches_explicit(
+            DworkMoses,
+            params(3, 2, 2, FailureKind::Crash),
+            DworkMosesRule,
+        );
+    }
+}

@@ -49,12 +49,32 @@ use std::time::{Duration, Instant};
 
 use epimc_check::{SymbolicChecker, SymbolicOptions, SymbolicStats};
 use epimc_logic::AgentId;
+use epimc_relational::SymbolicEncode;
 use epimc_system::{
     ConsensusModel, InformationExchange, ModelParams, PointModel, Round, StateSpace,
 };
 
 use crate::kbp::KnowledgeBasedProgram;
 use crate::synthesize::{Induction, SynthesisOutcome};
+
+/// Which model-construction front-end feeds the forward induction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Frontend {
+    /// Enumerate each layer explicitly ([`ConsensusModel::extend_layer`])
+    /// and encode its states one by one into the BDD manager — `O(states)`
+    /// work per round before any checking happens. Kept as the differential
+    /// oracle on small instances; request it explicitly to cross-validate
+    /// the relational construction.
+    Explicit,
+    /// Build each layer purely symbolically, as the forward image of the
+    /// previous layer under the partitioned round relation
+    /// ([`SymbolicChecker::relational_seed`] /
+    /// [`SymbolicChecker::extend_layer_relational`]). No state is ever
+    /// enumerated; per-round work scales with BDD sizes, not state counts.
+    /// The default.
+    #[default]
+    Relational,
+}
 
 /// Tuning knobs of the symbolic synthesis engine.
 #[derive(Clone, Copy, Debug)]
@@ -64,11 +84,18 @@ pub struct SymbolicSynthesisOptions {
     /// Whether to exit the forward induction once every agent has decided
     /// (or crashed) in every reachable state of the final explored layer.
     pub early_exit: bool,
+    /// The model-construction front-end (relational by default; the
+    /// explicit enumeration remains available as a differential oracle).
+    pub frontend: Frontend,
 }
 
 impl Default for SymbolicSynthesisOptions {
     fn default() -> Self {
-        SymbolicSynthesisOptions { symbolic: SymbolicOptions::default(), early_exit: true }
+        SymbolicSynthesisOptions {
+            symbolic: SymbolicOptions::default(),
+            early_exit: true,
+            frontend: Frontend::Relational,
+        }
     }
 }
 
@@ -164,14 +191,10 @@ impl<E: InformationExchange> SymbolicSynthesizer<E> {
         SymbolicSynthesizer { exchange, params, options }
     }
 
-    /// Runs the forward synthesis algorithm for `program`.
-    pub fn synthesize(&self, program: &KnowledgeBasedProgram) -> SynthesisOutcome {
-        self.synthesize_profiled(program).0
-    }
-
-    /// Runs the forward synthesis algorithm for `program`, additionally
-    /// returning the per-round timing and BDD statistics.
-    pub fn synthesize_profiled(
+    /// Runs the forward synthesis algorithm for `program` over the explicit
+    /// model-construction front-end, additionally returning the per-round
+    /// timing and BDD statistics.
+    fn synthesize_explicit_profiled(
         &self,
         program: &KnowledgeBasedProgram,
     ) -> (SynthesisOutcome, SymbolicSynthesisProfile) {
@@ -235,6 +258,100 @@ impl<E: InformationExchange> SymbolicSynthesizer<E> {
     }
 }
 
+impl<E: InformationExchange + SymbolicEncode> SymbolicSynthesizer<E> {
+    /// Runs the forward synthesis algorithm for `program`.
+    pub fn synthesize(&self, program: &KnowledgeBasedProgram) -> SynthesisOutcome {
+        self.synthesize_profiled(program).0
+    }
+
+    /// Runs the forward synthesis algorithm for `program`, additionally
+    /// returning the per-round timing and BDD statistics. The
+    /// model-construction front-end is chosen by
+    /// [`SymbolicSynthesisOptions::frontend`]; both produce the same
+    /// outcome (checked by `tests/synth_agreement.rs`).
+    pub fn synthesize_profiled(
+        &self,
+        program: &KnowledgeBasedProgram,
+    ) -> (SynthesisOutcome, SymbolicSynthesisProfile) {
+        match self.options.frontend {
+            Frontend::Explicit => self.synthesize_explicit_profiled(program),
+            Frontend::Relational => self.synthesize_relational_profiled(program),
+        }
+    }
+
+    /// The purely symbolic forward induction: the reachable layers are built
+    /// by forward image over the partitioned round relation, under the rule
+    /// fixed by the earlier rounds, and no state is ever enumerated. The
+    /// induction bookkeeping ([`Induction`]) is shared with the other two
+    /// engines, so the outcome is identical by construction wherever the
+    /// per-class values agree.
+    fn synthesize_relational_profiled(
+        &self,
+        program: &KnowledgeBasedProgram,
+    ) -> (SynthesisOutcome, SymbolicSynthesisProfile) {
+        let start = Instant::now();
+        let mut induction = Induction::new(&program.name);
+        let mut profile = SymbolicSynthesisProfile::default();
+        let layout = self.exchange.observable_layout(&self.params);
+        let horizon = self.params.horizon();
+
+        // One relational checker lives across the whole run: each round
+        // grows it by one layer in place, so the BDD manager, caches and
+        // learned variable order carry over exactly as in the salvage/resume
+        // cycle of the explicit front-end.
+        let checker = SymbolicChecker::relational_seed(
+            self.exchange.clone(),
+            self.params,
+            induction.rule.clone(),
+            self.options.symbolic,
+        );
+        let mut total_states = layer_states(&checker, 0);
+        for time in 0..=horizon {
+            let round_start = Instant::now();
+            let states = layer_states(&checker, time);
+            for branch in &program.branches {
+                // Interpret `DecidesNow` against the rule as fixed so far,
+                // exactly as the explicit front-end does via its override.
+                checker.set_rule_override(Some(induction.rule.clone()));
+                let mut session = checker.session();
+                for agent in AgentId::all(self.params.num_agents()) {
+                    let condition = branch.condition_for(agent, &self.params);
+                    let values = checker.observation_values(&mut session, &condition, agent, time);
+                    induction.record(&layout, agent, time, branch, &values);
+                }
+                checker.end_session(session);
+            }
+            profile.rounds.push(SynthesisRound {
+                time,
+                layer_states: states,
+                wall: round_start.elapsed(),
+                stats: checker.stats(),
+            });
+            if time < horizon {
+                checker.extend_layer_relational(&induction.rule);
+                total_states += layer_states(&checker, time + 1);
+                if self.options.early_exit && checker.final_layer_settled() {
+                    induction.note_skipped_rounds(time, horizon);
+                    break;
+                }
+            }
+        }
+
+        profile.total_wall = start.elapsed();
+        (induction.finish(&program.name, total_states), profile)
+    }
+}
+
+/// The number of states of one reachable layer, read off the layer's BDD by
+/// model counting over the state variables.
+fn layer_states<E, R>(checker: &SymbolicChecker<'_, E, R>, time: Round) -> usize
+where
+    E: InformationExchange,
+    R: epimc_system::DecisionRule<E>,
+{
+    usize::try_from(checker.layer_state_count(time)).unwrap_or(usize::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +409,84 @@ mod tests {
                 lhs.agent, lhs.time, lhs.branch_label
             );
         }
+    }
+
+    fn relational_options() -> SymbolicSynthesisOptions {
+        SymbolicSynthesisOptions { frontend: Frontend::Relational, ..Default::default() }
+    }
+
+    fn explicit_options() -> SymbolicSynthesisOptions {
+        SymbolicSynthesisOptions { frontend: Frontend::Explicit, ..Default::default() }
+    }
+
+    fn assert_same_outcome(explicit: &SynthesisOutcome, relational: &SynthesisOutcome) {
+        assert_eq!(explicit.rule.len(), relational.rule.len());
+        for (key, action) in explicit.rule.iter() {
+            assert_eq!(relational.rule.get(key.0, key.1, &key.2), *action, "at {key:?}");
+        }
+        assert_eq!(explicit.stats, relational.stats);
+        assert_eq!(explicit.templates.len(), relational.templates.len());
+        for (lhs, rhs) in explicit.templates.iter().zip(&relational.templates) {
+            assert_eq!(
+                lhs.predicate, rhs.predicate,
+                "{} t={} {}",
+                lhs.agent, lhs.time, lhs.branch_label
+            );
+        }
+        assert_eq!(explicit.non_uniform.len(), relational.non_uniform.len());
+    }
+
+    #[test]
+    fn relational_frontend_matches_explicit_on_floodset() {
+        let params = crash_params(3, 1);
+        let program = KnowledgeBasedProgram::sba(2);
+        let explicit = SymbolicSynthesizer::with_options(FloodSet, params, explicit_options())
+            .synthesize(&program);
+        let relational = SymbolicSynthesizer::with_options(FloodSet, params, relational_options())
+            .synthesize(&program);
+        assert_same_outcome(&explicit, &relational);
+    }
+
+    #[test]
+    fn relational_frontend_matches_explicit_on_emin_omissions() {
+        let params = ModelParams::builder()
+            .agents(2)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::SendOmission)
+            .build();
+        let program = KnowledgeBasedProgram::eba_p0();
+        let explicit = SymbolicSynthesizer::with_options(EMin, params, explicit_options())
+            .synthesize(&program);
+        let relational = SymbolicSynthesizer::with_options(EMin, params, relational_options())
+            .synthesize(&program);
+        assert_same_outcome(&explicit, &relational);
+    }
+
+    #[test]
+    fn relational_frontend_early_exit_matches_explicit() {
+        // FloodSet n = 3, t = 2 settles two rounds short of the horizon; the
+        // relational front-end must skip the same rounds (and count the same
+        // states) via its symbolic settledness test.
+        let params = crash_params(3, 2);
+        let program = KnowledgeBasedProgram::sba(2);
+        let (explicit, explicit_profile) =
+            SymbolicSynthesizer::with_options(FloodSet, params, explicit_options())
+                .synthesize_profiled(&program);
+        let (relational, relational_profile) =
+            SymbolicSynthesizer::with_options(FloodSet, params, relational_options())
+                .synthesize_profiled(&program);
+        assert_eq!(explicit.stats.skipped_rounds, 2);
+        assert_same_outcome(&explicit, &relational);
+        assert_eq!(explicit_profile.rounds.len(), relational_profile.rounds.len());
+        for (lhs, rhs) in explicit_profile.rounds.iter().zip(&relational_profile.rounds) {
+            assert_eq!(lhs.layer_states, rhs.layer_states, "layer {} size", lhs.time);
+        }
+        let last = relational_profile.rounds.last().unwrap();
+        assert!(
+            last.stats.relational_product_calls > 0,
+            "relational images route through relational_product"
+        );
     }
 
     #[test]

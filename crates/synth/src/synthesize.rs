@@ -221,6 +221,14 @@ impl Induction {
         false
     }
 
+    /// The early-exit bookkeeping of [`Induction::advance`] for engines that
+    /// grow the model themselves (the relational front-end): records how
+    /// many trailing rounds the induction skipped after the layer built for
+    /// `time + 1` came out settled.
+    pub(crate) fn note_skipped_rounds(&mut self, time: Round, horizon: Round) {
+        self.stats.skipped_rounds = (horizon - time) as usize;
+    }
+
     pub(crate) fn finish(mut self, program_name: &str, total_states: usize) -> SynthesisOutcome {
         self.stats.total_states = total_states;
         SynthesisOutcome {

@@ -30,7 +30,12 @@
 //! * [`ConsensusModel`] and the [`PointModel`] trait: the Kripke-style view
 //!   of the state space consumed by the model checking and synthesis crates,
 //!   including the clock-semantics observations and the indexical nonfaulty
-//!   set `N`;
+//!   set `N`. Explicit exploration is the workspace's *oracle* front-end:
+//!   the symbolic engines build their layered models relationally (from the
+//!   `SymbolicEncode` contract of `epimc-relational`, no state enumerated)
+//!   and are differentially validated against explored models at small
+//!   parameters, where point-level APIs and per-point diagnostics also
+//!   live;
 //! * [`ConsensusAtom`]: the vocabulary of atomic propositions used by the
 //!   consensus specifications;
 //! * explicit [`Adversary`] objects and a run simulator

@@ -77,6 +77,111 @@ where
     }
 }
 
+/// The relational front-end differential: the purely symbolic model
+/// construction must produce (a) layer state sets extensionally identical
+/// to the explicitly explored ones — every explored point reachable and
+/// the per-layer model counts equal, which for reduced OBDDs over the same
+/// variable order means bit-identical layer BDDs — (b) identical
+/// observation classes per agent and layer, and (c) on every seeded random
+/// formula, exactly the explicit engine's point set.
+fn relational_agrees_on<E, R>(
+    family: &str,
+    exchange: E,
+    rule: R,
+    params: ModelParams,
+    seed: u64,
+    cases: usize,
+) where
+    E: InformationExchange + SymbolicEncode,
+    R: DecisionRule<E> + SymbolicRule<E> + Clone,
+{
+    let model = ConsensusModel::explore(exchange.clone(), params, rule.clone());
+    let explicit = Checker::new(&model);
+    let symbolic = SymbolicChecker::new(&model);
+    let relational =
+        SymbolicChecker::relational(exchange, params, rule, SymbolicOptions::default());
+    assert_eq!(
+        relational.check_points(&model, &F::True),
+        PointSet::full(&model),
+        "{family}: a point explored explicitly is not relationally reachable"
+    );
+    for time in 0..model.num_layers() as Round {
+        assert_eq!(
+            relational.layer_state_count(time),
+            symbolic.layer_state_count(time),
+            "{family}: layer {time} state counts differ"
+        );
+        for agent in AgentId::all(params.num_agents()) {
+            let mut explicit_session = symbolic.session();
+            let mut relational_session = relational.session();
+            assert_eq!(
+                symbolic.observation_values(&mut explicit_session, &F::True, agent, time).reachable,
+                relational
+                    .observation_values(&mut relational_session, &F::True, agent, time)
+                    .reachable,
+                "{family}: observation classes differ for {agent} at time {time}"
+            );
+            symbolic.end_session(explicit_session);
+            relational.end_session(relational_session);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let formula = random_formula(&mut rng, params.num_agents(), 3);
+        assert_eq!(
+            explicit.check(&formula),
+            relational.check_points(&model, &formula),
+            "{family} case {case}: relational front-end disagrees on {formula}"
+        );
+    }
+}
+
+#[test]
+fn relational_agrees_on_floodset_crash() {
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+    relational_agrees_on("floodset", FloodSet, FloodSetRule, params, 0xD1FF_0010, 48);
+}
+
+#[test]
+fn relational_agrees_on_count_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    relational_agrees_on("count", CountFloodSet, TextbookRule, params, 0xD1FF_0011, 64);
+}
+
+#[test]
+fn relational_agrees_on_diff_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    relational_agrees_on("diff", DiffFloodSet, TextbookRule, params, 0xD1FF_0012, 64);
+}
+
+#[test]
+fn relational_agrees_on_dwork_moses_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    relational_agrees_on("dworkmoses", DworkMoses, DworkMosesRule, params, 0xD1FF_0013, 64);
+}
+
+#[test]
+fn relational_agrees_on_emin_omissions() {
+    let params = ModelParams::builder()
+        .agents(2)
+        .max_faulty(1)
+        .values(2)
+        .failure(FailureKind::SendOmission)
+        .build();
+    relational_agrees_on("emin", EMin, EMinRule, params, 0xD1FF_0014, 64);
+}
+
+#[test]
+fn relational_agrees_on_ebasic_omissions() {
+    let params = ModelParams::builder()
+        .agents(2)
+        .max_faulty(1)
+        .values(2)
+        .failure(FailureKind::SendOmission)
+        .build();
+    relational_agrees_on("ebasic", EBasic, EBasicRule, params, 0xD1FF_0015, 64);
+}
+
 #[test]
 fn engines_agree_on_floodset_crash() {
     let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();

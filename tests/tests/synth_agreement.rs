@@ -31,11 +31,50 @@ fn engines_agree_on<E>(
     program: &KnowledgeBasedProgram,
     params: ModelParams,
 ) where
-    E: InformationExchange,
+    E: InformationExchange + SymbolicEncode,
 {
     let explicit = Synthesizer::new(exchange.clone(), params).synthesize(program);
-    let symbolic = SymbolicSynthesizer::new(exchange.clone(), params).synthesize(program);
+    // This suite pins the *explicit* symbolic front-end: it is the oracle
+    // differential against per-point enumeration. The relational (default)
+    // front-end has its own `_relational` grids below.
+    let options = SymbolicSynthesisOptions { frontend: Frontend::Explicit, ..Default::default() };
+    let symbolic =
+        SymbolicSynthesizer::with_options(exchange.clone(), params, options).synthesize(program);
     compare_outcomes(program_name, exchange, params, &explicit, &symbolic);
+}
+
+/// The relational front-end differential: synthesis over the purely
+/// symbolic model construction (no state ever enumerated on the synthesis
+/// path) must produce the same `SynthesisOutcome` as the explicit
+/// synthesizer, bit for bit — rule, templates, statistics and diagnostics.
+fn engines_agree_relational<E>(
+    program_name: &str,
+    exchange: E,
+    program: &KnowledgeBasedProgram,
+    params: ModelParams,
+) where
+    E: InformationExchange + SymbolicEncode,
+{
+    let explicit = Synthesizer::new(exchange.clone(), params).synthesize(program);
+    let options = SymbolicSynthesisOptions { frontend: Frontend::Relational, ..Default::default() };
+    let mut relational =
+        SymbolicSynthesizer::with_options(exchange.clone(), params, options).synthesize(program);
+    // `total_states` measures different things across the front-ends: the
+    // explicit engine counts explored *points*, the relational engine
+    // model-counts distinct encoded *states*. The exploration may keep
+    // points that differ only in adversary bookkeeping invisible to every
+    // agent (EMin under omissions does), so distinct ≤ explored — align the
+    // field after checking that relation, and compare everything else
+    // exactly.
+    assert!(
+        relational.stats.total_states <= explicit.stats.total_states,
+        "{program_name} {params}: relational front-end counted more states ({}) than the \
+         explicit exploration has points ({})",
+        relational.stats.total_states,
+        explicit.stats.total_states
+    );
+    relational.stats.total_states = explicit.stats.total_states;
+    compare_outcomes(program_name, exchange, params, &explicit, &relational);
 }
 
 /// The auto-reorder differential: a symbolic synthesis run whose BDD order
@@ -47,7 +86,7 @@ fn engines_agree_under_auto_reorder<E>(
     program: &KnowledgeBasedProgram,
     params: ModelParams,
 ) where
-    E: InformationExchange,
+    E: InformationExchange + SymbolicEncode,
 {
     let explicit = Synthesizer::new(exchange.clone(), params).synthesize(program);
     let options = SymbolicSynthesisOptions {
@@ -56,6 +95,7 @@ fn engines_agree_under_auto_reorder<E>(
             gc_threshold: 1 << 7,
             ..Default::default()
         },
+        frontend: Frontend::Explicit,
         ..Default::default()
     };
     let (symbolic, profile) = SymbolicSynthesizer::with_options(exchange.clone(), params, options)
@@ -78,13 +118,18 @@ fn engines_agree_without_complement_edges<E>(
     program: &KnowledgeBasedProgram,
     params: ModelParams,
 ) where
-    E: InformationExchange,
+    E: InformationExchange + SymbolicEncode,
 {
     let explicit = Synthesizer::new(exchange.clone(), params).synthesize(program);
-    let with_complement = SymbolicSynthesizer::new(exchange.clone(), params).synthesize(program);
+    let complement_options =
+        SymbolicSynthesisOptions { frontend: Frontend::Explicit, ..Default::default() };
+    let with_complement =
+        SymbolicSynthesizer::with_options(exchange.clone(), params, complement_options)
+            .synthesize(program);
     compare_outcomes(program_name, exchange.clone(), params, &explicit, &with_complement);
     let options = SymbolicSynthesisOptions {
         symbolic: SymbolicOptions { complement_edges: false, ..Default::default() },
+        frontend: Frontend::Explicit,
         ..Default::default()
     };
     let without_complement =
@@ -250,6 +295,46 @@ fn eba_emin_agrees_without_complement_edges() {
         &KnowledgeBasedProgram::eba_p0(),
         omission_params(2, 1),
     );
+}
+
+#[test]
+fn sba_floodset_grid_relational() {
+    for (n, t) in [(2, 1), (2, 2), (3, 1), (3, 2)] {
+        engines_agree_relational(
+            "SBA",
+            FloodSet,
+            &KnowledgeBasedProgram::sba(2),
+            crash_params(n, t),
+        );
+    }
+}
+
+#[test]
+fn sba_count_floodset_relational() {
+    for (n, t) in [(2, 1), (2, 2)] {
+        engines_agree_relational(
+            "SBA",
+            CountFloodSet,
+            &KnowledgeBasedProgram::sba(2),
+            crash_params(n, t),
+        );
+    }
+}
+
+#[test]
+fn eba_emin_grid_relational() {
+    let program = KnowledgeBasedProgram::eba_p0();
+    for params in [crash_params(2, 1), omission_params(2, 1), omission_params(3, 1)] {
+        engines_agree_relational("EBA-P0", EMin, &program, params);
+    }
+}
+
+#[test]
+fn eba_ebasic_relational() {
+    let program = KnowledgeBasedProgram::eba_p0();
+    for params in [crash_params(2, 1), omission_params(2, 1)] {
+        engines_agree_relational("EBA-P0", EBasic, &program, params);
+    }
 }
 
 #[test]
