@@ -51,6 +51,12 @@
 //! * **Static interleaved ordering.** [`interleaved_order`] and
 //!   [`interleaved_slot`] compute the agent-interleaved variable order used
 //!   by the symbolic layer as the starting point that sifting then refines.
+//! * **Snapshot persistence.** [`Bdd::snapshot`] serializes the whole
+//!   manager (node store, learned order, groups, counters, plus caller
+//!   roots) into a versioned, checksummed binary format, and
+//!   [`Bdd::restore`] decodes it with full revalidation of the canonicity
+//!   invariants — precomputed models survive process restarts. See the
+//!   `snapshot` module docs for the byte layout and version policy.
 //!
 //! # Example
 //!
@@ -82,6 +88,7 @@ mod ops;
 mod order;
 mod reorder;
 mod sat;
+mod snapshot;
 mod store;
 
 pub use cubes::{Cube, Literal};
@@ -89,3 +96,4 @@ pub use manager::{Bdd, BddStats, GcStats, Ref, Var, DEFAULT_CACHE_CAPACITY};
 pub use ops::SubstId;
 pub use order::{interleaved_order, interleaved_slot};
 pub use reorder::{ReorderPolicy, ReorderStats};
+pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};

@@ -130,6 +130,20 @@ impl Ref {
     pub fn is_terminal(self) -> bool {
         self.0 < 2
     }
+
+    /// The packed on-disk representation: slot index shifted left one with
+    /// the complement bit in bit 0. Used by the snapshot encoder.
+    #[inline]
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a reference from its packed representation. The snapshot
+    /// decoder bounds-checks the slot index before trusting the result.
+    #[inline]
+    pub(crate) fn from_raw(raw: u32) -> Ref {
+        Ref(raw)
+    }
 }
 
 impl fmt::Debug for Ref {
@@ -284,9 +298,9 @@ pub struct Bdd {
     /// representation of `false`), and negation traverses.
     pub(crate) complement_edges: bool,
     pub(crate) peak_live_nodes: usize,
-    o1_negations: u64,
-    gc_runs: u64,
-    swept_nodes: u64,
+    pub(crate) o1_negations: u64,
+    pub(crate) gc_runs: u64,
+    pub(crate) swept_nodes: u64,
     pub(crate) reorder_runs: u64,
     pub(crate) reorder_swaps: u64,
     pub(crate) relational_product_calls: u64,
@@ -410,24 +424,54 @@ impl Bdd {
     ///
     /// Panics if an interior node already exists, if `order` skips or
     /// repeats a variable, or if it omits a variable the manager has
-    /// already levelled.
+    /// already levelled. Internal callers that construct the order
+    /// themselves use this wrapper; code handling external input (e.g. the
+    /// snapshot-restore path) goes through [`Bdd::try_set_order`] instead.
     pub fn set_order(&mut self, order: Vec<Var>) {
-        assert_eq!(self.store.live(), 1, "set_order requires a manager without interior nodes");
+        if let Err(message) = self.try_set_order(order) {
+            panic!("{message}");
+        }
+    }
+
+    /// Fallible [`Bdd::set_order`]: validates the order and returns a
+    /// descriptive error instead of aborting, so a server can turn a bad
+    /// order (e.g. from a corrupt snapshot or a malformed request) into a
+    /// request-level failure. On error the level bookkeeping is untouched
+    /// except that variables mentioned in `order` may have been
+    /// materialised at their default (index-order) levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violation: interior nodes
+    /// already exist, the order skips or omits a variable, or it lists a
+    /// variable twice.
+    pub fn try_set_order(&mut self, order: Vec<Var>) -> Result<(), String> {
+        if self.store.live() != 1 {
+            return Err("set_order requires a manager without interior nodes".to_string());
+        }
         for &var in &order {
             self.ensure_var(var);
         }
-        assert_eq!(
-            order.len(),
-            self.num_levels(),
-            "set_order must list every variable exactly once"
-        );
+        if order.len() != self.num_levels() {
+            return Err(format!(
+                "set_order must list every variable exactly once \
+                 ({} listed, {} materialised)",
+                order.len(),
+                self.num_levels()
+            ));
+        }
         let mut seen = vec![false; order.len()];
-        for (level, &var) in order.iter().enumerate() {
-            assert!(!seen[var.0 as usize], "variable {var} listed twice in set_order");
+        for &var in &order {
+            if seen[var.0 as usize] {
+                return Err(format!("variable {var} listed twice in set_order"));
+            }
             seen[var.0 as usize] = true;
+        }
+        for (level, &var) in order.iter().enumerate() {
             self.level_of[var.0 as usize] = level as u32;
             self.var_at[level] = var.0;
         }
+        Ok(())
     }
 
     /// The level of the variable tested by node `r` (`u32::MAX` for the

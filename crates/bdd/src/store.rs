@@ -137,6 +137,27 @@ impl NodeStore {
         slot
     }
 
+    /// Borrows the raw parallel arrays (vars, lows, highs, free-list) for
+    /// the snapshot encoder. The sentinel convention (slot 0 terminal,
+    /// `u32::MAX` tombstones) is part of the snapshot format.
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[Ref], &[Ref], &[u32]) {
+        (&self.vars, &self.lows, &self.highs, &self.free)
+    }
+
+    /// Reassembles a store from raw parallel arrays. The snapshot decoder
+    /// validates the sentinel convention, free-list consistency and edge
+    /// bounds *before* calling this; the store itself trusts its input.
+    pub(crate) fn from_raw_parts(
+        vars: Vec<u32>,
+        lows: Vec<Ref>,
+        highs: Vec<Ref>,
+        free: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(vars.len(), lows.len());
+        debug_assert_eq!(vars.len(), highs.len());
+        NodeStore { vars, lows, highs, free }
+    }
+
     /// Tombstones `slot` and makes it available for recycling.
     pub(crate) fn free_slot(&mut self, slot: usize) {
         debug_assert_ne!(slot, 0, "the terminal slot is never freed");

@@ -42,12 +42,21 @@
 //! `crates/bench/frontend_budget.txt`) and `--full` (which appends the
 //! FloodSet n=10/n=12 headline instances) work as for `symbolic`.
 //!
+//! `serve` prints the checking-service ablation: cold (build included)
+//! versus warm (cross-request denotation cache) latency of a batched
+//! query against `epimc-serve`, the relational-image and cache-hit
+//! counters of the warm repeat, snapshot round-trip fidelity, and
+//! throughput under concurrent clients. `--smoke` runs only the
+//! acceptance instance (FloodSet n=8 t=3); `--budget <file>` gates the
+//! warm-repeat metrics (CI runs `crates/bench/serve_budget.txt`: zero
+//! relational images, warm wall ≤ 10% of cold).
+//!
 //! `--json` additionally writes the measured `symbolic`, `synthesis`,
-//! `reorder` and `frontend` grids as machine-readable snapshots
+//! `reorder`, `frontend` and `serve` grids as machine-readable snapshots
 //! (`BENCH_symbolic.json`, `BENCH_synthesis.json`, `BENCH_reorder.json`,
-//! `BENCH_frontend.json`, always placed at the workspace root regardless of
-//! the invocation directory), so the perf trajectory can be tracked across
-//! PRs.
+//! `BENCH_frontend.json`, `BENCH_serve.json`, always placed at the
+//! workspace root regardless of the invocation directory), so the perf
+//! trajectory can be tracked across PRs.
 //!
 //! `--full` selects the paper-sized parameter grids (several cells will show
 //! `TO` unless a generous `--timeout` is given); without it a smaller grid is
@@ -56,12 +65,12 @@
 use std::time::Duration;
 
 use epimc_bench::{
-    ablation_table, check_frontend_budget, check_reorder_budget, check_symbolic_budget,
-    check_synthesis_budget, explore_table, frontend_rows, frontend_rows_json,
-    render_frontend_table, render_reorder_table, render_symbolic_table, render_synthesis_table,
-    reorder_rows, reorder_rows_json, scaling_table, snapshot_path, symbolic_rows,
-    symbolic_rows_json, synthesis_rows, synthesis_rows_json, table1, table2, table3,
-    DEFAULT_TIMEOUT,
+    ablation_table, check_frontend_budget, check_reorder_budget, check_serve_budget,
+    check_symbolic_budget, check_synthesis_budget, explore_table, frontend_rows,
+    frontend_rows_json, render_frontend_table, render_reorder_table, render_serve_table,
+    render_symbolic_table, render_synthesis_table, reorder_rows, reorder_rows_json, scaling_table,
+    serve_rows, serve_rows_json, snapshot_path, symbolic_rows, symbolic_rows_json, synthesis_rows,
+    synthesis_rows_json, table1, table2, table3, DEFAULT_TIMEOUT,
 };
 
 /// The grid label recorded in the JSON snapshots.
@@ -197,6 +206,21 @@ fn main() {
                     check_budget_or_exit(check_frontend_budget(&rows, &budget));
                 }
             }
+            "serve" => {
+                let rows = serve_rows(full, smoke);
+                print!("{}", render_serve_table(&rows));
+                if json {
+                    write_snapshot(
+                        "BENCH_serve.json",
+                        &serve_rows_json(&rows, grid_label(full, smoke)),
+                    );
+                }
+                if let Some(path) = &budget_path {
+                    let budget = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("cannot read budget file {path}: {e}"));
+                    check_budget_or_exit(check_serve_budget(&rows, &budget));
+                }
+            }
             "all" => {
                 print!("{}", table1(timeout, full));
                 println!();
@@ -221,15 +245,19 @@ fn main() {
                 println!();
                 let frontend = frontend_rows(full, smoke);
                 print!("{}", render_frontend_table(&frontend));
+                println!();
+                let serve = serve_rows(full, smoke);
+                print!("{}", render_serve_table(&serve));
                 if json {
                     let grid = grid_label(full, smoke);
                     write_snapshot("BENCH_symbolic.json", &symbolic_rows_json(&symbolic, grid));
                     write_snapshot("BENCH_synthesis.json", &synthesis_rows_json(&synthesis, grid));
                     write_snapshot("BENCH_reorder.json", &reorder_rows_json(&reorder, grid));
                     write_snapshot("BENCH_frontend.json", &frontend_rows_json(&frontend, grid));
+                    write_snapshot("BENCH_serve.json", &serve_rows_json(&serve, grid));
                 }
             }
-            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, reorder, frontend, or all)"),
+            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, reorder, frontend, serve, or all)"),
         }
         println!();
     }

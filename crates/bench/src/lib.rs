@@ -1068,6 +1068,202 @@ pub fn frontend_rows_json(rows: &[FrontendRow], grid: &str) -> String {
     json_document("frontend", grid, cells)
 }
 
+/// One row of the serve ablation: a stable instance id (the key prefix
+/// used by `serve_budget.txt`) plus the service measurement.
+pub struct ServeRow {
+    /// Stable identifier, e.g. `floodset-n8-t3`.
+    pub id: String,
+    /// The measurement (cold/warm latency, cache counters, snapshot
+    /// fidelity, multi-client throughput).
+    pub measurement: ServeMeasurement,
+}
+
+impl ServeRow {
+    /// Warm wall-clock as an integer percentage of cold (rounded up, so a
+    /// `<= 10` budget entry means a genuine ≥ 10× speedup).
+    pub fn warm_wall_pct(&self) -> usize {
+        let cold = self.measurement.cold.as_nanos().max(1);
+        (self.measurement.warm.as_nanos() * 100).div_ceil(cold) as usize
+    }
+}
+
+/// The formula batch every serve row answers: epistemic, temporal and
+/// mixed operators, so the warm repeat exercises the whole denotation
+/// cache rather than one code path.
+pub const SERVE_FORMULAS: [&str; 4] = [
+    "CB exists0 => decides[0].0",
+    "AG (decided[1].0 => !decided[1].1)",
+    "B[0] CB exists0",
+    "EF decided[0]",
+];
+
+fn serve_row(id: &str, spec: &str, clients: usize, batches_per_client: usize) -> ServeRow {
+    let measurement = serve_measurement(spec, &SERVE_FORMULAS, clients, batches_per_client)
+        .unwrap_or_else(|error| panic!("serve measurement {id} failed: {error}"));
+    ServeRow { id: id.to_string(), measurement }
+}
+
+/// Measures the serve ablation grid: cold-build versus warm-cache latency
+/// of the checking service, per instance.
+///
+/// `smoke` restricts the run to the acceptance instance (`floodset-n8-t3`)
+/// with a short throughput phase — the row CI gates against
+/// `crates/bench/serve_budget.txt`.
+pub fn serve_rows(full: bool, smoke: bool) -> Vec<ServeRow> {
+    if smoke {
+        return vec![serve_row("floodset-n8-t3", "protocol=floodset n=8 t=3 failure=crash", 4, 4)];
+    }
+    let mut rows = vec![
+        serve_row("floodset-n4-t1", "protocol=floodset n=4 t=1 failure=crash", 4, 8),
+        serve_row("count-n3-t1", "protocol=count n=3 t=1 failure=crash", 4, 8),
+        serve_row("emin-n2-t1-om", "protocol=emin n=2 t=1 failure=send", 4, 8),
+    ];
+    if full {
+        rows.push(serve_row("floodset-n10-t3", "protocol=floodset n=10 t=3 failure=crash", 4, 4));
+    }
+    rows.push(serve_row("floodset-n8-t3", "protocol=floodset n=8 t=3 failure=crash", 4, 4));
+    rows
+}
+
+/// Renders the serve ablation rows as a table.
+pub fn render_serve_table(rows: &[ServeRow]) -> String {
+    let cells: Vec<Cell> = rows
+        .iter()
+        .map(|row| {
+            let m = &row.measurement;
+            Cell {
+                key: vec![format!("{:<20}", row.id)],
+                entries: vec![
+                    format_mck_duration(m.cold),
+                    format_mck_duration(m.warm),
+                    format!("{:.1}x", m.warm_speedup()),
+                    m.warm_relational_products.to_string(),
+                    m.warm_session_hits.to_string(),
+                    m.snapshot_bytes.to_string(),
+                    if m.snapshot_differential_ok { "yes" } else { "NO" }.to_string(),
+                    format!("{}x{}", m.clients, m.throughput_batches / m.clients.max(1) as u64),
+                    format!("{:.1}/s", m.batches_per_second()),
+                ],
+            }
+        })
+        .collect();
+    let mut out = render_table(
+        "Serve: cold build versus warm cross-request cache (epimc-serve)",
+        &["instance            "],
+        &[
+            "cold",
+            "warm",
+            "speedup",
+            "warm images",
+            "cache hits",
+            "snap bytes",
+            "snap ok",
+            "clients",
+            "throughput",
+        ],
+        &cells,
+    );
+    out.push_str(
+        "'cold' answers the batch on a fresh server (model construction included); 'warm'\n\
+         repeats it against the cached instance — zero relational images, denotations recalled\n\
+         by canonical formula hash. 'snap ok' marks rows whose snapshot restored to a checker\n\
+         answering identically; 'throughput' drives N concurrent clients of warm batches.\n",
+    );
+    out
+}
+
+/// Checks the serve rows against a checked-in budget file. Two entries per
+/// instance id: `<id>-warm-rel-products` bounds the relational image
+/// computations a warm repeat may perform (0: the whole point of the warm
+/// cache), and `<id>-warm-wall-pct` bounds warm wall-clock as a percentage
+/// of cold (10 enforces the ≥ 10× acceptance criterion). Comment/skip
+/// semantics match [`check_symbolic_budget`]; a failed snapshot
+/// differential fails the gate regardless of the budget entries.
+pub fn check_serve_budget(rows: &[ServeRow], budget_text: &str) -> Result<String, String> {
+    let mut violations: Vec<String> = rows
+        .iter()
+        .filter(|row| !row.measurement.snapshot_differential_ok)
+        .map(|row| {
+            format!("{}: snapshot restore answered differently from the warm server", row.id)
+        })
+        .collect();
+    let measured: Vec<(String, usize)> = rows
+        .iter()
+        .flat_map(|row| {
+            [
+                (
+                    format!("{}-warm-rel-products", row.id),
+                    row.measurement.warm_relational_products as usize,
+                ),
+                (format!("{}-warm-wall-pct", row.id), row.warm_wall_pct()),
+            ]
+        })
+        .collect();
+    let mut checked = 0usize;
+    for (line_number, line) in budget_text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(budget)) = (parts.next(), parts.next()) else {
+            return Err(format!("budget line {} is malformed: {line:?}", line_number + 1));
+        };
+        let budget: usize = budget
+            .parse()
+            .map_err(|_| format!("budget line {}: {budget:?} is not a number", line_number + 1))?;
+        let Some((_, value)) = measured.iter().find(|(measured_id, _)| measured_id == id) else {
+            continue;
+        };
+        checked += 1;
+        if *value > budget {
+            violations.push(format!("{id}: measured {value} exceeds the budget of {budget}"));
+        }
+    }
+    if checked == 0 {
+        let ids: Vec<&str> = measured.iter().map(|(id, _)| id.as_str()).collect();
+        return Err(format!(
+            "no budget entry matched any measured serve metric (measured: {}); \
+             the budget gate would check nothing",
+            ids.join(", ")
+        ));
+    }
+    if violations.is_empty() {
+        Ok(format!("serve budget ok ({checked} metric(s) checked)"))
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
+/// Machine-readable rendering of the serve ablation (for
+/// `BENCH_serve.json`): per-instance cold/warm wall-clocks, cache
+/// counters, snapshot fidelity and multi-client throughput.
+pub fn serve_rows_json(rows: &[ServeRow], grid: &str) -> String {
+    let cells = rows
+        .iter()
+        .map(|row| {
+            let m = &row.measurement;
+            json_object(&[
+                ("id", json_string(&row.id)),
+                ("cold_s", json_seconds(m.cold)),
+                ("warm_s", json_seconds(m.warm)),
+                ("warm_speedup", format!("{:.4}", m.warm_speedup())),
+                ("warm_wall_pct", row.warm_wall_pct().to_string()),
+                ("cold_relational_products", m.cold_relational_products.to_string()),
+                ("warm_relational_products", m.warm_relational_products.to_string()),
+                ("warm_session_hits", m.warm_session_hits.to_string()),
+                ("snapshot_bytes", m.snapshot_bytes.to_string()),
+                ("snapshot_differential_ok", m.snapshot_differential_ok.to_string()),
+                ("clients", m.clients.to_string()),
+                ("throughput_batches", m.throughput_batches.to_string()),
+                ("throughput_s", json_seconds(m.throughput_duration)),
+                ("batches_per_second", format!("{:.4}", m.batches_per_second())),
+            ])
+        })
+        .collect::<Vec<String>>();
+    json_document("serve", grid, cells)
+}
+
 /// Absolute path for a `BENCH_*.json` snapshot: the workspace root, resolved
 /// from this crate's manifest directory at compile time, so snapshots land
 /// next to the top-level `Cargo.toml` no matter which directory the binary
@@ -1262,6 +1458,49 @@ mod tests {
                 stats: SymbolicStats { peak_live_nodes: peak, ..Default::default() },
             },
         }
+    }
+
+    fn serve_test_row(id: &str, warm_products: u64, warm_micros: u64, snap_ok: bool) -> ServeRow {
+        ServeRow {
+            id: id.to_string(),
+            measurement: ServeMeasurement {
+                label: id.to_string(),
+                cold: Duration::from_millis(100),
+                warm: Duration::from_micros(warm_micros),
+                cold_relational_products: 500,
+                warm_relational_products: warm_products,
+                warm_session_hits: 4,
+                snapshot_bytes: 1024,
+                snapshot_differential_ok: snap_ok,
+                clients: 2,
+                throughput_batches: 4,
+                throughput_duration: Duration::from_millis(10),
+            },
+        }
+    }
+
+    #[test]
+    fn serve_budget_gates_warm_images_wall_and_snapshot_fidelity() {
+        let budget = "floodset-n8-t3-warm-rel-products 0\nfloodset-n8-t3-warm-wall-pct 10\n";
+        // 2 ms warm against 100 ms cold is 2%, zero images: passes.
+        let good = [serve_test_row("floodset-n8-t3", 0, 2_000, true)];
+        let summary = check_serve_budget(&good, budget).unwrap();
+        assert!(summary.contains("2 metric(s)"), "{summary}");
+        // One warm image computation trips the zero budget.
+        let images = [serve_test_row("floodset-n8-t3", 1, 2_000, true)];
+        let err = check_serve_budget(&images, budget).unwrap_err();
+        assert!(err.contains("warm-rel-products"), "{err}");
+        // A 20 ms warm repeat is 20% of cold: trips the 10% budget.
+        let slow = [serve_test_row("floodset-n8-t3", 0, 20_000, true)];
+        let err = check_serve_budget(&slow, budget).unwrap_err();
+        assert!(err.contains("warm-wall-pct"), "{err}");
+        // A failed snapshot differential fails regardless of the budget.
+        let bad_snap = [serve_test_row("floodset-n8-t3", 0, 2_000, false)];
+        let err = check_serve_budget(&bad_snap, budget).unwrap_err();
+        assert!(err.contains("snapshot"), "{err}");
+        // A gate that checks nothing must not pass silently.
+        let err = check_serve_budget(&good, "floodset-n9-t9-warm-wall-pct 10\n").unwrap_err();
+        assert!(err.contains("nothing"), "{err}");
     }
 
     #[test]

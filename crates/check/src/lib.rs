@@ -103,7 +103,12 @@
 //! * [`SymbolicChecker::into_salvage`] / [`SymbolicChecker::resume`] — hand
 //!   the BDD manager (node store, caches, reachable sets, GC state) from
 //!   one checker to the next as the model grows a layer, so a whole
-//!   synthesis run lives in a single collected manager.
+//!   synthesis run lives in a single collected manager;
+//! * [`SymbolicChecker::snapshot`] / [`SymbolicChecker::restore_relational`]
+//!   — the same hand-off *across processes*: a versioned, checksummed byte
+//!   stream embedding the whole manager (see `epimc-bdd`'s snapshot module)
+//!   that restores to a checker answering bit-identically, used by
+//!   `epimc-serve` to persist warm model state.
 //!
 //! Both engines implement the same semantics; `tests/engine_agreement.rs`
 //! checks them against each other on randomly generated formulas, and the
@@ -120,5 +125,5 @@ pub use explicit::Checker;
 pub use pointset::PointSet;
 pub use symbolic::{
     EvalSession, ObservationValues, RelationMode, ReorderMode, SymbolicChecker, SymbolicOptions,
-    SymbolicSalvage, SymbolicStats, DEFAULT_REORDER_THRESHOLD,
+    SymbolicSalvage, SymbolicStats, CHECKER_SNAPSHOT_VERSION, DEFAULT_REORDER_THRESHOLD,
 };

@@ -513,11 +513,22 @@ pub struct SymbolicChecker<'m, E: InformationExchange, R> {
 /// becomes *stale* when the rule override changes; using a stale session
 /// panics.
 pub struct EvalSession {
-    cache: HashMap<Formula<ConsensusAtom>, DenId>,
+    /// Memoised denotations keyed by [`Formula::canonical_hash`] — a
+    /// process- and platform-stable structural hash, so a session promoted
+    /// to cross-request scope (the checking server holds one per warm
+    /// model) recognises a formula sent by a *different* client as the same
+    /// cache entry.
+    cache: HashMap<u64, DenId>,
     epoch: u64,
+    /// Number of layers the checker had when the session started; cached
+    /// denotations are per-layer vectors, so extending the model silently
+    /// truncates them — using the session afterwards must fail loudly.
+    layers: usize,
     /// The layer focus of the first evaluation; the cached denotations are
     /// only valid under the same focus, so later evaluations must match.
     focus_lock: Option<Option<usize>>,
+    /// Cache hits served so far (lifetime of the session).
+    hits: u64,
 }
 
 impl EvalSession {
@@ -529,6 +540,13 @@ impl EvalSession {
     /// Returns `true` when nothing has been memoised yet.
     pub fn is_empty(&self) -> bool {
         self.cache.is_empty()
+    }
+
+    /// Number of evaluations answered from the session cache so far. The
+    /// serving layer reports this in response headers so clients (and the
+    /// CI smoke test) can observe warm hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
     }
 }
 
@@ -1038,7 +1056,13 @@ where
     /// subformulas shared across subsequent checks). Return it with
     /// [`SymbolicChecker::end_session`] to release the cached denotations.
     pub fn session(&self) -> EvalSession {
-        EvalSession { cache: HashMap::new(), epoch: self.override_epoch.get(), focus_lock: None }
+        EvalSession {
+            cache: HashMap::new(),
+            epoch: self.override_epoch.get(),
+            layers: self.num_layers(),
+            focus_lock: None,
+            hits: 0,
+        }
     }
 
     /// Whether evaluation currently computes the denotation of `layer`
@@ -1104,6 +1128,11 @@ where
             session.epoch,
             self.override_epoch.get(),
             "evaluation session outlived a rule-override change; start a new session"
+        );
+        assert_eq!(
+            session.layers,
+            self.num_layers(),
+            "evaluation session outlived a model extension; start a new session"
         );
     }
 
@@ -1246,6 +1275,29 @@ where
         };
         self.release(den);
         self.inner.borrow_mut().maybe_gc(&mut []);
+        holds
+    }
+
+    /// [`SymbolicChecker::holds_everywhere`] with a session cache: closed
+    /// subformulas already memoised in `session` are recalled instead of
+    /// recomputed, which is what makes a repeated batched query against a
+    /// warm server cache-dominated.
+    pub fn holds_everywhere_in_session(
+        &self,
+        session: &mut EvalSession,
+        formula: &Formula<ConsensusAtom>,
+    ) -> bool {
+        self.assert_session_fresh(session);
+        Self::lock_session_focus(session, None);
+        self.inner.borrow_mut().maybe_gc(&mut []);
+        let mut env = HashMap::new();
+        let den = self.eval(formula, &mut env, Some(session));
+        let holds = {
+            let inner = self.inner.borrow();
+            let layers = inner.arena.get(den);
+            layers.iter().zip(inner.reachable.iter()).all(|(d, r)| d == r)
+        };
+        self.release(den);
         holds
     }
 
@@ -1442,19 +1494,22 @@ where
         env: &mut HashMap<u32, DenId>,
         mut session: Option<&mut EvalSession>,
     ) -> DenId {
-        if let Some(cache) = session.as_deref_mut() {
-            if let Some(&den) = cache.cache.get(formula) {
+        // Only closed non-trivial subformulas are memoised, so the
+        // canonical hash is computed lazily and exactly once per call.
+        let cacheable = !matches!(formula, Formula::True | Formula::False | Formula::Var(_))
+            && formula.is_closed();
+        let key =
+            if cacheable && session.is_some() { Some(formula.canonical_hash()) } else { None };
+        if let (Some(cache), Some(key)) = (session.as_deref_mut(), key) {
+            if let Some(&den) = cache.cache.get(&key) {
+                cache.hits += 1;
                 return self.clone_den(den);
             }
         }
         let den = self.eval_node(formula, env, session.as_deref_mut());
-        if let Some(cache) = session {
-            let cacheable = !matches!(formula, Formula::True | Formula::False | Formula::Var(_))
-                && formula.is_closed();
-            if cacheable {
-                let copy = self.clone_den(den);
-                cache.cache.insert(formula.clone(), copy);
-            }
+        if let (Some(cache), Some(key)) = (session, key) {
+            let copy = self.clone_den(den);
+            cache.cache.insert(key, copy);
         }
         den
     }
@@ -2487,6 +2542,422 @@ where
         let subst = inner.nxt_to_cur.expect("relational machinery registered at construction");
         inner.bdd.replace(acc, subst)
     }
+
+    /// Serializes a relational checker — every built layer, round relation
+    /// and decides-now table, the trigger state, and the whole BDD manager
+    /// (via [`epimc_bdd::Bdd::snapshot`]) — into a versioned, checksummed
+    /// byte stream that [`SymbolicChecker::restore_relational`] can
+    /// resurrect in another process.
+    ///
+    /// The exchange and rule are *not* serialized (they are code, not
+    /// data); the restoring process passes equal `params` and compatible
+    /// implementations, and a fingerprint of the model parameters and
+    /// variable layout is verified on restore.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an explicit-source checker, while evaluation sessions are
+    /// still holding denotations, or while a rule override is installed.
+    pub fn snapshot(&self) -> Result<Vec<u8>, String> {
+        match &self.source {
+            Source::Relational { .. } => {}
+            Source::Explicit(_) => {
+                return Err("only relational checkers can be snapshotted \
+                     (explicit checkers borrow their model)"
+                    .to_string())
+            }
+        }
+        if self.rule_override.borrow().is_some() {
+            return Err("clear the rule override before snapshotting".to_string());
+        }
+        let inner = self.inner.borrow();
+        if inner.arena.live_count() != 0 {
+            return Err("end all evaluation sessions before snapshotting".to_string());
+        }
+        debug_assert!(inner.choice_minterms.is_empty(), "relational checkers have no minterms");
+
+        let mut out = Vec::new();
+        out.extend_from_slice(CHECKER_SNAPSHOT_MAGIC);
+        out.extend_from_slice(&CHECKER_SNAPSHOT_VERSION.to_le_bytes());
+        // Model fingerprint: restore verifies the passed params produce the
+        // same variable layout before trusting a single Ref.
+        out.extend_from_slice(&(self.params.num_agents() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.params.max_faulty() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.params.num_values() as u32).to_le_bytes());
+        out.push(failure_kind_tag(self.params.failure().kind()));
+        out.extend_from_slice(&self.params.horizon().to_le_bytes());
+        out.extend_from_slice(&(self.num_slots as u64).to_le_bytes());
+        out.extend_from_slice(&(self.choice_bits as u64).to_le_bytes());
+
+        // Root distribution tables: layer count, then presence + length of
+        // each round's partition list and each layer's decides-now table.
+        out.extend_from_slice(&(inner.reachable.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(inner.relations.len() as u64).to_le_bytes());
+        for round in &inner.relations {
+            match round {
+                Some(parts) => {
+                    out.push(1);
+                    out.extend_from_slice(&(parts.len() as u64).to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        out.extend_from_slice(&(inner.dnow.len() as u64).to_le_bytes());
+        for table in &inner.dnow {
+            match table {
+                Some(conds) => {
+                    out.push(1);
+                    out.extend_from_slice(&(conds.len() as u64).to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+
+        // GC / reorder trigger state.
+        out.extend_from_slice(&(inner.gc_threshold as u64).to_le_bytes());
+        out.extend_from_slice(&(inner.gc_base_threshold as u64).to_le_bytes());
+        out.extend_from_slice(&(inner.reorder_threshold as u64).to_le_bytes());
+        match inner.reorder_mode {
+            ReorderMode::Static => out.push(0),
+            ReorderMode::SiftOnce => out.push(1),
+            ReorderMode::Auto { threshold } => {
+                out.push(2);
+                out.extend_from_slice(&(threshold as u64).to_le_bytes());
+            }
+        }
+
+        // Every rooted handle, in a fixed order the restorer re-distributes
+        // from the tables above.
+        let mut roots: Vec<Ref> = Vec::new();
+        roots.extend_from_slice(&inner.reachable);
+        roots.extend_from_slice(&inner.hidden_cubes);
+        roots.extend_from_slice(&inner.primed_cubes);
+        roots.push(inner.choice_cube);
+        roots.push(inner.all_quant_cube);
+        for round in inner.relations.iter().flatten() {
+            roots.extend_from_slice(round);
+        }
+        for table in inner.dnow.iter().flatten() {
+            roots.extend_from_slice(table);
+        }
+        let bdd_bytes = inner.bdd.snapshot(&roots);
+        out.extend_from_slice(&(bdd_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&bdd_bytes);
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Decodes a stream produced by [`SymbolicChecker::snapshot`] into a
+    /// working relational checker over the given exchange, parameters and
+    /// rule.
+    ///
+    /// The model fingerprint in the stream must match `params` (same agent
+    /// count, fault bound, value count, failure kind, horizon, and the
+    /// variable layout the exchange induces); the embedded BDD snapshot is
+    /// revalidated by [`epimc_bdd::Bdd::restore`]; and the substitutions
+    /// the relational machinery needs are re-registered (ids are
+    /// deterministic, so the caches stay coherent). Answers are
+    /// bit-identical to the checker that was snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt, truncated or wrong-version input, on a fingerprint
+    /// mismatch, or when the embedded manager fails revalidation.
+    pub fn restore_relational(
+        exchange: E,
+        params: ModelParams,
+        rule: R,
+        bytes: &[u8],
+    ) -> Result<Self, String> {
+        let mut reader = EnvelopeReader::new(bytes)?;
+        let version = reader.u32()?;
+        if version != CHECKER_SNAPSHOT_VERSION {
+            return Err(format!(
+                "unsupported checker snapshot version {version} \
+                 (this build reads {CHECKER_SNAPSHOT_VERSION})"
+            ));
+        }
+        let n = reader.u32()? as usize;
+        let t = reader.u32()? as usize;
+        let num_values = reader.u32()? as usize;
+        let kind_tag = reader.u8()?;
+        let horizon = reader.u32()?;
+        let fingerprint_ok = n == params.num_agents()
+            && t == params.max_faulty()
+            && num_values == params.num_values()
+            && kind_tag == failure_kind_tag(params.failure().kind())
+            && horizon == params.horizon();
+        if !fingerprint_ok {
+            return Err(format!(
+                "snapshot was taken for a different model instance \
+                 (snapshot: n={n} t={t} values={num_values} kind-tag={kind_tag} \
+                 horizon={horizon})"
+            ));
+        }
+        let layout = SlotLayout::new(&exchange, &params);
+        let choice =
+            ChoiceVars::new(params.failure().kind(), params.num_agents(), layout.num_slots);
+        let num_slots = reader.u64()? as usize;
+        let choice_bits = reader.u64()? as usize;
+        if num_slots != layout.num_slots || choice_bits != choice.count() {
+            return Err(format!(
+                "snapshot variable layout ({num_slots} slots, {choice_bits} choice bits) \
+                 does not match the exchange's layout ({} slots, {} choice bits)",
+                layout.num_slots,
+                choice.count()
+            ));
+        }
+
+        let num_layers = reader.u64()? as usize;
+        if num_layers == 0 {
+            return Err("snapshot has no layers".to_string());
+        }
+        let relation_rounds = reader.u64()? as usize;
+        if relation_rounds > num_layers {
+            return Err(format!(
+                "snapshot has {relation_rounds} relation rounds for {num_layers} layers"
+            ));
+        }
+        let mut relation_lens: Vec<Option<usize>> = Vec::with_capacity(relation_rounds);
+        for _ in 0..relation_rounds {
+            relation_lens.push(if reader.u8()? != 0 { Some(reader.u64()? as usize) } else { None });
+        }
+        let dnow_layers = reader.u64()? as usize;
+        if dnow_layers != num_layers {
+            return Err(format!(
+                "snapshot has {dnow_layers} decides-now tables for {num_layers} layers"
+            ));
+        }
+        let mut dnow_lens: Vec<Option<usize>> = Vec::with_capacity(dnow_layers);
+        for _ in 0..dnow_layers {
+            dnow_lens.push(if reader.u8()? != 0 { Some(reader.u64()? as usize) } else { None });
+        }
+        let gc_threshold = reader.u64()? as usize;
+        let gc_base_threshold = reader.u64()? as usize;
+        let reorder_threshold = reader.u64()? as usize;
+        let reorder_mode = match reader.u8()? {
+            0 => ReorderMode::Static,
+            1 => ReorderMode::SiftOnce,
+            2 => ReorderMode::Auto { threshold: reader.u64()? as usize },
+            tag => return Err(format!("unknown reorder-mode tag {tag}")),
+        };
+
+        let bdd_len = reader.u64()? as usize;
+        let bdd_bytes = reader.bytes(bdd_len)?;
+        reader.finish()?;
+        let (mut bdd, mut roots) = Bdd::restore(bdd_bytes).map_err(|error| error.to_string())?;
+
+        // Expected root count from the distribution tables.
+        let relation_refs: usize = relation_lens.iter().flatten().sum();
+        let dnow_refs: usize = dnow_lens.iter().flatten().sum();
+        let expected = num_layers + n + n + 2 + relation_refs + dnow_refs;
+        if roots.len() != expected {
+            return Err(format!(
+                "snapshot carries {} rooted handles, expected {expected}",
+                roots.len()
+            ));
+        }
+
+        // Re-register the two substitutions in seed order; ids are
+        // allocated sequentially, so they match the snapshotted manager's.
+        let cur_to_nxt =
+            bdd.register_substitution((0..num_slots).map(|slot| (cur(slot), nxt(slot))).collect());
+        let nxt_to_cur =
+            bdd.register_substitution((0..num_slots).map(|slot| (nxt(slot), cur(slot))).collect());
+
+        // Distribute the roots back into the rooted fields, in the order
+        // `snapshot` flattened them.
+        let take =
+            |count: usize, roots: &mut Vec<Ref>| -> Vec<Ref> { roots.drain(..count).collect() };
+        let reachable = take(num_layers, &mut roots);
+        let hidden_cubes = take(n, &mut roots);
+        let primed_cubes = take(n, &mut roots);
+        let choice_cube = roots.remove(0);
+        let all_quant_cube = roots.remove(0);
+        let mut relations: Vec<Option<Vec<Ref>>> = Vec::with_capacity(relation_rounds);
+        for len in &relation_lens {
+            relations.push(len.map(|len| take(len, &mut roots)));
+        }
+        let mut dnow: Vec<Option<Vec<Ref>>> = Vec::with_capacity(dnow_layers);
+        for len in &dnow_lens {
+            dnow.push(len.map(|len| take(len, &mut roots)));
+        }
+        debug_assert!(roots.is_empty());
+
+        // Supports and quantification-variable lists are derivable (they
+        // mention variable identities, not refs), so they are recomputed
+        // rather than trusted from the stream.
+        let relation_supports: Vec<Option<Vec<Vec<u32>>>> = relations
+            .iter()
+            .map(|round| {
+                round.as_ref().map(|parts| {
+                    parts
+                        .iter()
+                        .map(|&part| bdd.support(part).iter().map(|v| v.index()).collect())
+                        .collect()
+                })
+            })
+            .collect();
+        let mut primed_quant_vars = Vec::with_capacity(n);
+        for (agent, slots) in layout.agents.iter().enumerate() {
+            let mut vars: Vec<Var> = slots.all_slots.iter().map(|&slot| nxt(slot)).collect();
+            vars.extend(choice.receiver_deliver_vars(agent));
+            primed_quant_vars.push(vars.iter().map(|v| v.index()).collect::<Vec<u32>>());
+        }
+        let agent_vars: Vec<AgentVars> = layout
+            .agents
+            .iter()
+            .map(|slots| AgentVars {
+                obs_bits: slots.obs_bits.clone(),
+                nonfaulty: slots.nonfaulty,
+                init_bits: slots.init_bits.clone(),
+                decided: slots.decided,
+                decision_bits: slots.decision_bits.clone(),
+                all_slots: slots.all_slots.clone(),
+            })
+            .collect();
+
+        let inner = Inner {
+            bdd,
+            arena: DenArena::default(),
+            reachable,
+            hidden_cubes,
+            mode: RelationMode::Partitioned,
+            cur_to_nxt: Some(cur_to_nxt),
+            nxt_to_cur: Some(nxt_to_cur),
+            primed_cubes,
+            primed_quant_vars,
+            choice_cube,
+            all_quant_cube,
+            choice_minterms: Vec::new(),
+            relations,
+            relation_supports,
+            dnow,
+            gc_threshold: gc_threshold.max(2),
+            gc_base_threshold: gc_base_threshold.max(2),
+            reorder_mode,
+            reorder_threshold: reorder_threshold.max(2),
+        };
+        Ok(SymbolicChecker {
+            source: Source::Relational { exchange, rule, layout, choice },
+            params,
+            inner: RefCell::new(inner),
+            agent_vars,
+            num_slots,
+            choice_bits,
+            max_successors: 0,
+            encodings: Vec::new(),
+            rule_override: RefCell::new(None),
+            override_epoch: Cell::new(0),
+            focus: Cell::new(None),
+            reachable_obs: RefCell::new(HashMap::new()),
+        })
+    }
+}
+
+/// Magic bytes opening a checker snapshot (the embedded manager has its own
+/// `EPMC` magic inside).
+const CHECKER_SNAPSHOT_MAGIC: &[u8; 4] = b"EPCK";
+
+/// Version of the checker snapshot envelope. Bumped on any layout change;
+/// the embedded BDD snapshot carries its own independent version.
+pub const CHECKER_SNAPSHOT_VERSION: u32 = 1;
+
+fn failure_kind_tag(kind: FailureKind) -> u8 {
+    match kind {
+        FailureKind::Crash => 0,
+        FailureKind::SendOmission => 1,
+        FailureKind::ReceiveOmission => 2,
+        FailureKind::GeneralOmission => 3,
+    }
+}
+
+/// FNV-1a 64-bit (standard constants), the envelope trailer checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Checksum-verified little-endian reader over a checker-snapshot envelope.
+struct EnvelopeReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> EnvelopeReader<'a> {
+    /// Verifies the trailer checksum and the magic, and positions the
+    /// reader after the magic.
+    fn new(bytes: &'a [u8]) -> Result<Self, String> {
+        if bytes.len() < CHECKER_SNAPSHOT_MAGIC.len() + 4 + 8 {
+            return Err("checker snapshot shorter than the fixed header".to_string());
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        if fnv1a(payload) != stored {
+            return Err("checker snapshot checksum mismatch (corrupt or truncated)".to_string());
+        }
+        if &payload[..CHECKER_SNAPSHOT_MAGIC.len()] != CHECKER_SNAPSHOT_MAGIC {
+            return Err("bad magic (not an epimc checker snapshot)".to_string());
+        }
+        Ok(EnvelopeReader { bytes: payload, pos: CHECKER_SNAPSHOT_MAGIC.len() })
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        if self.remaining() < 1 {
+            return Err("truncated checker snapshot (expected a byte)".to_string());
+        }
+        let value = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(value)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        if self.remaining() < 4 {
+            return Err("truncated checker snapshot (expected a u32)".to_string());
+        }
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.bytes[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        if self.remaining() < 8 {
+            return Err("truncated checker snapshot (expected a u64)".to_string());
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn bytes(&mut self, count: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < count {
+            return Err(format!(
+                "truncated checker snapshot ({count} bytes claimed, {} remain)",
+                self.remaining()
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + count];
+        self.pos += count;
+        Ok(slice)
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{} trailing bytes in checker snapshot", self.remaining()));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -3079,6 +3550,88 @@ mod tests {
                 "seed-grown checker disagrees on {formula}"
             );
         }
+    }
+
+    #[test]
+    fn checker_snapshot_round_trips_into_an_identical_checker() {
+        let params = ModelParams::builder()
+            .agents(4)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        let original =
+            SymbolicChecker::relational(FloodSet, params, FloodSetRule, SymbolicOptions::default());
+        let bytes = original.snapshot().expect("snapshot a fully built relational checker");
+        let restored = SymbolicChecker::restore_relational(FloodSet, params, FloodSetRule, &bytes)
+            .expect("restore from the snapshot stream");
+
+        // Bit-identical answers: layer counts and a seeded differential
+        // formula set agree between the original and the restored checker.
+        assert_eq!(restored.num_layers(), original.num_layers());
+        for time in 0..original.num_layers() as Round {
+            assert_eq!(
+                original.layer_state_count(time),
+                restored.layer_state_count(time),
+                "layer {time} state count"
+            );
+        }
+        let mut formulas = agreement_formulas();
+        formulas.push(F::atom(ConsensusAtom::DecidesNow(AgentId::new(0), Value::new(0))));
+        formulas.push(F::exists_finally(F::atom(ConsensusAtom::Decided(AgentId::new(1)))));
+        let mut session = restored.session();
+        for formula in &formulas {
+            assert_eq!(
+                original.holds_everywhere(formula),
+                restored.holds_everywhere_in_session(&mut session, formula),
+                "restored checker disagrees on {formula}"
+            );
+        }
+        // The restored checker's session cache works: re-asking the same
+        // closed formulas recalls denotations instead of recomputing.
+        for formula in &formulas {
+            restored.holds_everywhere_in_session(&mut session, formula);
+        }
+        assert!(session.hits() >= formulas.len() as u64, "second pass never hit the cache");
+        restored.end_session(session);
+
+        // Live sessions block snapshotting (their denotations are process-
+        // local and would dangle).
+        let held = restored.session();
+        let mut held = held;
+        restored.holds_everywhere_in_session(&mut held, &formulas[0]);
+        assert!(restored.snapshot().is_err(), "snapshot with a live session must fail");
+        restored.end_session(held);
+        assert!(restored.snapshot().is_ok(), "snapshot after ending the session");
+
+        // Damaged streams and mismatched instances are rejected as errors.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(
+            SymbolicChecker::restore_relational(FloodSet, params, FloodSetRule, &corrupt).is_err(),
+            "bit-flipped stream must be rejected"
+        );
+        assert!(
+            SymbolicChecker::restore_relational(
+                FloodSet,
+                params,
+                FloodSetRule,
+                &bytes[..bytes.len() - 3]
+            )
+            .is_err(),
+            "truncated stream must be rejected"
+        );
+        let other = ModelParams::builder()
+            .agents(3)
+            .max_faulty(1)
+            .values(2)
+            .failure(FailureKind::Crash)
+            .build();
+        assert!(
+            SymbolicChecker::restore_relational(FloodSet, other, FloodSetRule, &bytes).is_err(),
+            "snapshot for n=4 must not restore under n=3 params"
+        );
     }
 
     #[test]

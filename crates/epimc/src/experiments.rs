@@ -779,6 +779,163 @@ where
     }
 }
 
+/// Cold/warm latency, cache effectiveness, snapshot fidelity, and
+/// multi-client throughput of the checking service (`epimc-serve`) on one
+/// model instance — the measurements behind the `tables -- serve` ablation.
+#[derive(Clone, Debug)]
+pub struct ServeMeasurement {
+    /// Description of the instance (the model spec answered).
+    pub label: String,
+    /// Wall-clock latency of the first batched query (includes the model
+    /// construction).
+    pub cold: Duration,
+    /// Wall-clock latency of the identical repeat against the warm
+    /// instance.
+    pub warm: Duration,
+    /// Relational image computations charged to the cold query.
+    pub cold_relational_products: u64,
+    /// Relational image computations charged to the warm repeat (the
+    /// budget gate pins this to zero).
+    pub warm_relational_products: u64,
+    /// Cross-request denotation-cache hits during the warm repeat.
+    pub warm_session_hits: u64,
+    /// Size of the instance's checker snapshot in bytes.
+    pub snapshot_bytes: u64,
+    /// Whether a checker restored from that snapshot answered the batch
+    /// identically to the warm server.
+    pub snapshot_differential_ok: bool,
+    /// Number of concurrent clients in the throughput phase.
+    pub clients: usize,
+    /// Total warm batches answered across those clients.
+    pub throughput_batches: u64,
+    /// Wall-clock duration of the throughput phase.
+    pub throughput_duration: Duration,
+}
+
+impl ServeMeasurement {
+    /// Warm batches per second in the multi-client phase.
+    pub fn batches_per_second(&self) -> f64 {
+        let seconds = self.throughput_duration.as_secs_f64();
+        if seconds == 0.0 {
+            0.0
+        } else {
+            self.throughput_batches as f64 / seconds
+        }
+    }
+
+    /// Cold wall over warm wall (the acceptance criterion asks for ≥ 10×).
+    pub fn warm_speedup(&self) -> f64 {
+        let warm = self.warm.as_secs_f64();
+        if warm == 0.0 {
+            f64::INFINITY
+        } else {
+            self.cold.as_secs_f64() / warm
+        }
+    }
+}
+
+impl fmt::Display for ServeMeasurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: cold {} warm {} ({:.1}x), warm images {}, {} cache hits, \
+             {} clients at {:.1} batches/s",
+            self.label,
+            format_mck_duration(self.cold),
+            format_mck_duration(self.warm),
+            self.warm_speedup(),
+            self.warm_relational_products,
+            self.warm_session_hits,
+            self.clients,
+            self.batches_per_second()
+        )
+    }
+}
+
+/// Measures the checking service on one instance: starts an in-process
+/// server on an ephemeral port, issues the batch cold and warm, snapshots
+/// the warm checker and differentially re-answers from the restored copy,
+/// then drives `clients` concurrent connections issuing
+/// `batches_per_client` warm batches each.
+///
+/// # Errors
+///
+/// Reports spec/formula parse failures and any I/O or server-side error.
+pub fn serve_measurement(
+    spec_text: &str,
+    formulas: &[&str],
+    clients: usize,
+    batches_per_client: usize,
+) -> Result<ServeMeasurement, String> {
+    use epimc_serve::{answer_from_snapshot, Client, ModelSpec, ServeOptions, Server};
+
+    let spec = ModelSpec::parse(spec_text)?;
+    let server = Server::bind("127.0.0.1:0", ServeOptions::default())
+        .map_err(|error| format!("bind: {error}"))?;
+    let addr = server.local_addr().map_err(|error| error.to_string())?;
+    thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).map_err(|error| format!("connect: {error}"))?;
+    let cold_started = Instant::now();
+    let cold = client.check(spec, formulas).map_err(|error| format!("cold check: {error}"))?;
+    let cold_wall = cold_started.elapsed();
+    let warm_started = Instant::now();
+    let warm = client.check(spec, formulas).map_err(|error| format!("warm check: {error}"))?;
+    let warm_wall = warm_started.elapsed();
+
+    // Snapshot the warm instance and differentially re-answer the batch
+    // from the restored copy.
+    let path =
+        std::env::temp_dir().join(format!("epimc-serve-measure-{}.snap", std::process::id()));
+    let path_text = path.to_string_lossy().to_string();
+    let snapshot_bytes =
+        client.snapshot(spec, &path_text).map_err(|error| format!("snapshot: {error}"))?;
+    let stream = std::fs::read(&path).map_err(|error| format!("reading {path_text}: {error}"))?;
+    let _ = std::fs::remove_file(&path);
+    let restored_verdicts = answer_from_snapshot(&spec, &stream, formulas)?;
+    let snapshot_differential_ok = restored_verdicts == warm.verdicts;
+
+    // The server handles connections sequentially, so the measurement
+    // connection must close before the throughput workers can be served.
+    drop(client);
+
+    // Throughput: N concurrent clients, each issuing warm batches over its
+    // own connection.
+    let throughput_started = Instant::now();
+    let mut workers = Vec::new();
+    for _ in 0..clients {
+        let formulas: Vec<String> = formulas.iter().map(|text| text.to_string()).collect();
+        workers.push(thread::spawn(move || -> Result<u64, String> {
+            let mut client = Client::connect(addr).map_err(|error| format!("connect: {error}"))?;
+            let texts: Vec<&str> = formulas.iter().map(String::as_str).collect();
+            for _ in 0..batches_per_client {
+                client.check(spec, &texts).map_err(|error| format!("batch: {error}"))?;
+            }
+            Ok(batches_per_client as u64)
+        }));
+    }
+    let mut throughput_batches = 0;
+    for worker in workers {
+        throughput_batches +=
+            worker.join().map_err(|_| "throughput worker panicked".to_string())??;
+    }
+    let throughput_duration = throughput_started.elapsed();
+
+    Ok(ServeMeasurement {
+        label: spec.to_string(),
+        cold: cold_wall,
+        warm: warm_wall,
+        cold_relational_products: cold.relational_products,
+        warm_relational_products: warm.relational_products,
+        warm_session_hits: warm.session_hits,
+        snapshot_bytes,
+        snapshot_differential_ok,
+        clients,
+        throughput_batches,
+        throughput_duration,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -909,5 +1066,23 @@ mod tests {
         let profile = eba.symbolic_profile(SymbolicOptions::default(), false);
         assert_eq!(profile.formulas.len(), 3);
         assert_eq!(profile.stats.num_relation_vars, 0, "no temporal formula, no relation");
+    }
+
+    #[test]
+    fn serve_measurement_reports_a_warm_image_free_repeat() {
+        let measurement = serve_measurement(
+            "protocol=floodset n=3 t=1 values=2 failure=crash",
+            &["CB exists0 => decides[0].0", "AG (decided[1].0 => !decided[1].1)"],
+            2,
+            3,
+        )
+        .expect("the in-process service answers");
+        assert!(measurement.cold_relational_products > 0);
+        assert_eq!(measurement.warm_relational_products, 0);
+        assert!(measurement.warm_session_hits > 0);
+        assert!(measurement.snapshot_differential_ok);
+        assert_eq!(measurement.throughput_batches, 6);
+        assert!(measurement.batches_per_second() > 0.0);
+        assert!(!format!("{measurement}").is_empty());
     }
 }

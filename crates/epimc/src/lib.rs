@@ -8,8 +8,10 @@
 //! * the protocol models of [`epimc_protocols`] (FloodSet, Count, Diff,
 //!   Dwork–Moses, `E_min`, `E_basic`),
 //! * the failure models and state-space exploration of [`epimc_system`],
-//! * the epistemic model checking engines of [`epimc_check`], and
-//! * the knowledge-based-program synthesis of [`epimc_synth`],
+//! * the epistemic model checking engines of [`epimc_check`],
+//! * the knowledge-based-program synthesis of [`epimc_synth`], and
+//! * the long-running checking service of [`epimc_serve`] (warm BDD
+//!   managers, a cross-request denotation cache, snapshot persistence),
 //!
 //! and exposes the analyses the paper reports:
 //!
@@ -76,9 +78,12 @@ pub mod prelude {
         StateSpace, TableRule, Value,
     };
 
+    pub use epimc_serve::{Client, ModelSpec, ProtocolKind, ServeOptions, Server};
+
     pub use crate::experiments::{
-        EbaExchangeKind, EbaExperiment, ExperimentMeasurement, SbaExchangeKind, SbaExperiment,
-        SymbolicFormulaTiming, SymbolicProfile, SynthesisComparison,
+        serve_measurement, EbaExchangeKind, EbaExperiment, ExperimentMeasurement, SbaExchangeKind,
+        SbaExperiment, ServeMeasurement, SymbolicFormulaTiming, SymbolicProfile,
+        SynthesisComparison,
     };
     pub use crate::hypotheses::{condition2, condition3, condition3_observed, HypothesisReport};
     pub use crate::optimality::{analyze_sba, OptimalityReport};

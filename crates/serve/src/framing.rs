@@ -1,0 +1,112 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message — request or response — travels as one frame: a 4-byte
+//! little-endian length followed by that many payload bytes. Frames are
+//! bounded by [`MAX_FRAME_LEN`], so a corrupt or hostile length prefix is
+//! rejected before any allocation happens. A clean EOF *between* frames is
+//! a normal connection close ([`read_frame`] returns `None`); EOF in the
+//! middle of a frame is an error.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame's payload length (16 MiB). A length prefix above
+/// this is treated as stream corruption, not an allocation request.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Writes one frame (length prefix + payload) and flushes the stream.
+///
+/// The prefix and payload go out as a single write: splitting them over an
+/// unbuffered `TcpStream` lets Nagle's algorithm hold the payload back
+/// until the prefix segment is acknowledged, which with delayed ACKs
+/// stalls every frame by tens of milliseconds.
+///
+/// # Errors
+///
+/// Fails when `payload` exceeds [`MAX_FRAME_LEN`] or on any I/O error.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit", payload.len()),
+        ));
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF before any prefix
+/// byte (the peer closed the connection between messages).
+///
+/// # Errors
+///
+/// Fails on an oversized length prefix, an EOF inside a frame, or any
+/// other I/O error.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame's length prefix",
+                ))
+            }
+            read => filled += read,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix {len} exceeds the {MAX_FRAME_LEN}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).map_err(|error| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, format!("frame body truncated: {error}"))
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"hello").unwrap();
+        write_frame(&mut buffer, b"").unwrap();
+        write_frame(&mut buffer, b"world").unwrap();
+        let mut reader = Cursor::new(buffer);
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(&b"world"[..]));
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let error = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_inside_a_frame_is_an_error() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, b"truncate me").unwrap();
+        bytes.truncate(bytes.len() - 3);
+        let error = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof);
+        let error = read_frame(&mut Cursor::new(vec![1, 0])).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

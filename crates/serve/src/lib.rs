@@ -1,0 +1,62 @@
+//! Checking-as-a-service: a long-running epistemic model-checking server.
+//!
+//! Building a symbolic model is the expensive part of answering an
+//! epistemic query — constructing the reachable layers and partitioned
+//! transition relations of a FloodSet instance dwarfs the fixpoint
+//! computation of any single formula. A process that rebuilds the model
+//! per invocation (the `epimc` binary's mode of operation) pays that cost
+//! every time. This crate keeps the built state *warm* across requests:
+//!
+//! * **Warm managers** — one fully built relational
+//!   [`epimc_check::SymbolicChecker`] per model instance, kept in memory
+//!   keyed by protocol and parameters, bounded by an LRU policy on total
+//!   live BDD nodes (not entry count, so a huge instance is charged what
+//!   it costs).
+//! * **Cross-request denotation cache** — each warm checker holds a
+//!   long-lived evaluation session whose closed-subformula denotations are
+//!   keyed by [`epimc_logic::Formula::canonical_hash`]; a repeated batched
+//!   query recalls every subformula and performs **zero** relational image
+//!   computations.
+//! * **Snapshot persistence** — a warm checker serializes (reachable
+//!   layers, relations, decides-now tables, and the entire BDD manager via
+//!   `epimc-bdd`'s versioned snapshot format) to a file that another
+//!   process restores and answers from bit-identically.
+//!
+//! # Wire protocol
+//!
+//! Frames are 4-byte little-endian length prefixes followed by UTF-8 text
+//! (see [`framing`]); requests and responses are single frames (see
+//! [`proto`] for the commands, the model-spec grammar, and the dotted atom
+//! vocabulary). The protocol is deliberately hand-rolled: the workspace's
+//! `serde` is an offline no-op stub, and the framing is small enough that
+//! a schema language would cost more than it saves.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use epimc_serve::{Client, ModelSpec, ServeOptions, Server};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeOptions::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let spec = ModelSpec::parse("protocol=floodset n=8 t=3 values=2 failure=crash").unwrap();
+//! let cold = client.check(spec, &["CB exists0 => decides[0].0"]).unwrap();
+//! let warm = client.check(spec, &["CB exists0 => decides[0].0"]).unwrap();
+//! assert_eq!(warm.relational_products, 0, "warm repeats compute no images");
+//! assert!(warm.wall_micros < cold.wall_micros);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod framing;
+pub mod proto;
+
+mod client;
+mod server;
+
+pub use client::Client;
+pub use proto::{CheckOutcome, ModelSpec, ProtocolKind, Request, Response, ServerStats};
+pub use server::{answer_from_snapshot, ServeOptions, Server, DEFAULT_NODE_BUDGET};

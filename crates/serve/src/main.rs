@@ -1,0 +1,167 @@
+//! `epimc-serve` — the checking-as-a-service daemon.
+//!
+//! ```text
+//! epimc-serve [--addr HOST:PORT] [--node-budget NODES]   # serve forever
+//! epimc-serve --smoke                                    # self-test, exit 0/1
+//! ```
+//!
+//! `--smoke` runs the CI gate: it starts a server on an ephemeral port,
+//! sends the same batched query twice (the second must be warm: zero
+//! relational image computations, denotation-cache hits), snapshots the
+//! warm instance to a file, re-answers the batch from that snapshot in a
+//! *child process*, and compares the verdicts bit-for-bit.
+//!
+//! The hidden `--restore-answer SNAPSHOT SPEC... -- FORMULA...` mode is the
+//! child half of that test: it restores the snapshot and prints one
+//! verdict per line.
+
+use std::process::ExitCode;
+
+use epimc_serve::proto::parse_service_formula;
+use epimc_serve::{
+    answer_from_snapshot, Client, ModelSpec, ServeOptions, Server, DEFAULT_NODE_BUDGET,
+};
+
+fn usage() -> String {
+    "usage: epimc-serve [--addr HOST:PORT] [--node-budget NODES] [--smoke]".to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("epimc-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7517".to_string();
+    let mut node_budget = DEFAULT_NODE_BUDGET;
+    let mut smoke = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = iter.next().ok_or_else(usage)?.clone(),
+            "--node-budget" => {
+                let value = iter.next().ok_or_else(usage)?;
+                node_budget = value.parse().map_err(|_| format!("bad --node-budget `{value}`"))?;
+            }
+            "--smoke" => smoke = true,
+            "--restore-answer" => {
+                let rest: Vec<&str> = iter.map(String::as_str).collect();
+                return restore_answer(&rest);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let options = ServeOptions { node_budget };
+    if smoke {
+        return smoke_test(options);
+    }
+    let server =
+        Server::bind(addr.as_str(), options).map_err(|error| format!("bind {addr}: {error}"))?;
+    let local = server.local_addr().map_err(|error| error.to_string())?;
+    println!("epimc-serve listening on {local} (node budget {node_budget})");
+    server.run().map_err(|error| format!("accept loop failed: {error}"))
+}
+
+/// Child half of the cross-process snapshot test: restore and print one
+/// verdict per line.
+fn restore_answer(args: &[&str]) -> Result<(), String> {
+    let separator =
+        args.iter().position(|&arg| arg == "--").ok_or("--restore-answer needs a `--`")?;
+    let (head, formulas) = args.split_at(separator);
+    let formulas = &formulas[1..];
+    let [path, spec_text @ ..] = head else {
+        return Err("--restore-answer needs SNAPSHOT SPEC... -- FORMULA...".to_string());
+    };
+    let spec = ModelSpec::parse(&spec_text.join(" "))?;
+    let bytes = std::fs::read(path).map_err(|error| format!("reading {path}: {error}"))?;
+    let verdicts = answer_from_snapshot(&spec, &bytes, formulas)?;
+    for verdict in verdicts {
+        println!("{verdict}");
+    }
+    Ok(())
+}
+
+const SMOKE_SPEC: &str = "protocol=floodset n=5 t=2 values=2 failure=crash";
+const SMOKE_FORMULAS: [&str; 4] = [
+    "CB exists0 => decides[0].0",
+    "AG (decided[1].0 => !decided[1].1)",
+    "B[0] CB exists0",
+    "EF decided[2]",
+];
+
+fn smoke_test(options: ServeOptions) -> Result<(), String> {
+    let spec = ModelSpec::parse(SMOKE_SPEC)?;
+    for formula in SMOKE_FORMULAS {
+        parse_service_formula(formula)?;
+    }
+    let server = Server::bind("127.0.0.1:0", options).map_err(|error| format!("bind: {error}"))?;
+    let addr = server.local_addr().map_err(|error| error.to_string())?;
+    std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).map_err(|error| format!("connect: {error}"))?;
+    client.ping().map_err(|error| format!("ping: {error}"))?;
+    let cold = client.check(spec, &SMOKE_FORMULAS).map_err(|error| format!("cold: {error}"))?;
+    if cold.warm {
+        return Err("first query claimed to be warm".to_string());
+    }
+    let warm = client.check(spec, &SMOKE_FORMULAS).map_err(|error| format!("warm: {error}"))?;
+    if !warm.warm {
+        return Err("second identical query was not warm".to_string());
+    }
+    if warm.verdicts != cold.verdicts {
+        return Err(format!("warm verdicts {:?} != cold {:?}", warm.verdicts, cold.verdicts));
+    }
+    if warm.relational_products != 0 {
+        return Err(format!(
+            "warm repeat performed {} relational image computations, expected 0",
+            warm.relational_products
+        ));
+    }
+    if warm.session_hits == 0 {
+        return Err("warm repeat never hit the denotation cache".to_string());
+    }
+
+    // Cross-process snapshot: the server writes the warm instance to a
+    // file, a child process restores it and answers the same batch.
+    let path = std::env::temp_dir().join(format!("epimc-serve-smoke-{}.snap", std::process::id()));
+    let path_text = path.to_string_lossy().to_string();
+    let bytes = client.snapshot(spec, &path_text).map_err(|error| format!("snapshot: {error}"))?;
+    let exe = std::env::current_exe().map_err(|error| error.to_string())?;
+    let mut command = std::process::Command::new(exe);
+    command.arg("--restore-answer").arg(&path_text);
+    command.args(spec.to_string().split_whitespace());
+    command.arg("--").args(SMOKE_FORMULAS);
+    let output = command.output().map_err(|error| format!("spawning child: {error}"))?;
+    let _ = std::fs::remove_file(&path);
+    if !output.status.success() {
+        return Err(format!(
+            "restore child failed: {}",
+            String::from_utf8_lossy(&output.stderr).trim()
+        ));
+    }
+    let child_verdicts: Vec<bool> =
+        String::from_utf8_lossy(&output.stdout).lines().map(|line| line.trim() == "true").collect();
+    if child_verdicts != cold.verdicts {
+        return Err(format!(
+            "restored process answered {child_verdicts:?}, fresh build answered {:?}",
+            cold.verdicts
+        ));
+    }
+
+    println!(
+        "serve smoke ok: cold {} us, warm {} us, {} snapshot bytes, \
+         warm rel-products 0, {} denotation-cache hits",
+        cold.wall_micros, warm.wall_micros, bytes, warm.session_hits
+    );
+    Ok(())
+}

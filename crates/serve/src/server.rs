@@ -1,0 +1,640 @@
+//! The checking server: warm checkers, the LRU node budget, and the
+//! request loop.
+//!
+//! # Warm checkers
+//!
+//! The server keeps one fully built [`SymbolicChecker`] per model instance
+//! it has been asked about, keyed by the instance's [`ModelSpec`] with the
+//! horizon factored out: asking for a longer horizon of an already warm
+//! instance *extends* the existing checker relationally (new reachable
+//! layers are forward images of the last one) instead of rebuilding it.
+//! Each warm checker carries a long-lived [`EvalSession`] — the
+//! cross-request denotation cache, keyed by
+//! [`epimc_logic::Formula::canonical_hash`] — so a repeated batched query
+//! recalls every closed subformula instead of recomputing it. A fully warm
+//! repeat performs **zero** relational image computations; the CI budget
+//! gate pins that down.
+//!
+//! # Eviction
+//!
+//! Warm checkers are bounded by a *node budget*: after every request the
+//! live BDD nodes of all warm managers are summed, and least-recently-used
+//! entries are dropped until the total fits (the entry just used is always
+//! kept). Bounding on live nodes rather than entry count makes one huge
+//! instance count for what it actually costs.
+//!
+//! # Concurrency
+//!
+//! Connections are served in accept order by a single thread: every warm
+//! manager uses interior mutability, and the workloads are compute-bound,
+//! so a lock around shared state would serialize requests anyway. Clients
+//! batch formulas into one frame to amortize the round trip; concurrent
+//! clients queue in the listener backlog.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use epimc_check::{EvalSession, SymbolicChecker, SymbolicOptions};
+use epimc_logic::Formula;
+use epimc_protocols::{
+    CountFloodSet, DiffFloodSet, DworkMoses, DworkMosesRule, EBasic, EBasicRule, EMin, EMinRule,
+    FloodSet, FloodSetRule, TextbookRule,
+};
+use epimc_system::ConsensusAtom;
+
+use crate::framing::{read_frame, write_frame};
+use crate::proto::{
+    parse_service_formula, CheckOutcome, ModelSpec, ProtocolKind, Request, Response, ServerStats,
+};
+
+/// Default node budget: warm managers may hold this many live BDD nodes in
+/// total before LRU eviction kicks in.
+pub const DEFAULT_NODE_BUDGET: u64 = 1 << 23;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Total live-node budget across warm checkers (see the module docs).
+    pub node_budget: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { node_budget: DEFAULT_NODE_BUDGET }
+    }
+}
+
+/// One warm checker; the enum closes the set of (exchange, rule) pairs the
+/// service instantiates, so the server itself stays non-generic.
+enum WarmChecker {
+    FloodSet(SymbolicChecker<'static, FloodSet, FloodSetRule>),
+    Count(SymbolicChecker<'static, CountFloodSet, TextbookRule>),
+    Diff(SymbolicChecker<'static, DiffFloodSet, TextbookRule>),
+    DworkMoses(SymbolicChecker<'static, DworkMoses, DworkMosesRule>),
+    EMin(SymbolicChecker<'static, EMin, EMinRule>),
+    EBasic(SymbolicChecker<'static, EBasic, EBasicRule>),
+}
+
+/// Runs `$body` with `$checker` bound to the variant's checker and `$rule`
+/// to a fresh value of its decision rule (all rules are unit structs).
+macro_rules! with_checker {
+    ($warm:expr, |$checker:ident, $rule:ident| $body:expr) => {
+        match $warm {
+            WarmChecker::FloodSet($checker) => {
+                let $rule = FloodSetRule;
+                $body
+            }
+            WarmChecker::Count($checker) => {
+                let $rule = TextbookRule;
+                $body
+            }
+            WarmChecker::Diff($checker) => {
+                let $rule = TextbookRule;
+                $body
+            }
+            WarmChecker::DworkMoses($checker) => {
+                let $rule = DworkMosesRule;
+                $body
+            }
+            WarmChecker::EMin($checker) => {
+                let $rule = EMinRule;
+                $body
+            }
+            WarmChecker::EBasic($checker) => {
+                let $rule = EBasicRule;
+                $body
+            }
+        }
+    };
+}
+
+impl WarmChecker {
+    /// Builds the instance cold (full relational construction to the
+    /// spec's horizon).
+    fn build(spec: &ModelSpec) -> WarmChecker {
+        let params = spec.params();
+        let options = SymbolicOptions::default();
+        match spec.protocol {
+            ProtocolKind::FloodSet => WarmChecker::FloodSet(SymbolicChecker::relational(
+                FloodSet,
+                params,
+                FloodSetRule,
+                options,
+            )),
+            ProtocolKind::CountFloodSet => WarmChecker::Count(SymbolicChecker::relational(
+                CountFloodSet,
+                params,
+                TextbookRule,
+                options,
+            )),
+            ProtocolKind::DiffFloodSet => WarmChecker::Diff(SymbolicChecker::relational(
+                DiffFloodSet,
+                params,
+                TextbookRule,
+                options,
+            )),
+            ProtocolKind::DworkMoses => WarmChecker::DworkMoses(SymbolicChecker::relational(
+                DworkMoses,
+                params,
+                DworkMosesRule,
+                options,
+            )),
+            ProtocolKind::EMin => {
+                WarmChecker::EMin(SymbolicChecker::relational(EMin, params, EMinRule, options))
+            }
+            ProtocolKind::EBasic => WarmChecker::EBasic(SymbolicChecker::relational(
+                EBasic, params, EBasicRule, options,
+            )),
+        }
+    }
+
+    /// Restores the instance from a checker-snapshot stream.
+    fn restore(spec: &ModelSpec, bytes: &[u8]) -> Result<WarmChecker, String> {
+        let params = spec.params();
+        Ok(match spec.protocol {
+            ProtocolKind::FloodSet => WarmChecker::FloodSet(SymbolicChecker::restore_relational(
+                FloodSet,
+                params,
+                FloodSetRule,
+                bytes,
+            )?),
+            ProtocolKind::CountFloodSet => WarmChecker::Count(SymbolicChecker::restore_relational(
+                CountFloodSet,
+                params,
+                TextbookRule,
+                bytes,
+            )?),
+            ProtocolKind::DiffFloodSet => WarmChecker::Diff(SymbolicChecker::restore_relational(
+                DiffFloodSet,
+                params,
+                TextbookRule,
+                bytes,
+            )?),
+            ProtocolKind::DworkMoses => WarmChecker::DworkMoses(
+                SymbolicChecker::restore_relational(DworkMoses, params, DworkMosesRule, bytes)?,
+            ),
+            ProtocolKind::EMin => WarmChecker::EMin(SymbolicChecker::restore_relational(
+                EMin, params, EMinRule, bytes,
+            )?),
+            ProtocolKind::EBasic => WarmChecker::EBasic(SymbolicChecker::restore_relational(
+                EBasic, params, EBasicRule, bytes,
+            )?),
+        })
+    }
+
+    fn num_layers(&self) -> usize {
+        with_checker!(self, |checker, _rule| checker.num_layers())
+    }
+
+    fn live_nodes(&self) -> u64 {
+        with_checker!(self, |checker, _rule| checker.stats().live_nodes as u64)
+    }
+
+    fn relational_product_calls(&self) -> u64 {
+        with_checker!(self, |checker, _rule| checker.stats().relational_product_calls)
+    }
+
+    /// Extends the reachable layers to cover `0 ..= horizon`.
+    fn extend_to_horizon(&mut self, horizon: usize) {
+        with_checker!(self, |checker, rule| {
+            while checker.num_layers() < horizon + 1 {
+                checker.extend_layer_relational(&rule);
+            }
+        })
+    }
+
+    fn session(&self) -> EvalSession {
+        with_checker!(self, |checker, _rule| checker.session())
+    }
+
+    fn end_session(&self, session: EvalSession) {
+        with_checker!(self, |checker, _rule| checker.end_session(session))
+    }
+
+    fn holds_everywhere_in_session(
+        &self,
+        session: &mut EvalSession,
+        formula: &Formula<ConsensusAtom>,
+    ) -> bool {
+        with_checker!(self, |checker, _rule| checker.holds_everywhere_in_session(session, formula))
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, String> {
+        with_checker!(self, |checker, _rule| checker.snapshot())
+    }
+}
+
+struct WarmEntry {
+    checker: WarmChecker,
+    /// The cross-request denotation cache. `None` only transiently (taken
+    /// while answering, or just ended around an extension or snapshot).
+    session: Option<EvalSession>,
+    last_used: u64,
+}
+
+impl WarmEntry {
+    /// Ends the entry's session (releasing its cached denotations) so the
+    /// checker can be extended or snapshotted.
+    fn drop_session(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.checker.end_session(session);
+        }
+    }
+}
+
+/// The server's shared state: warm checkers plus counters.
+struct ServerState {
+    /// Keyed by the spec with the horizon zeroed out, so longer-horizon
+    /// requests extend instead of duplicating the instance.
+    entries: HashMap<ModelSpec, WarmEntry>,
+    clock: u64,
+    requests: u64,
+    evictions: u64,
+    options: ServeOptions,
+}
+
+fn base_key(spec: &ModelSpec) -> ModelSpec {
+    ModelSpec { horizon: 0, ..*spec }
+}
+
+impl ServerState {
+    fn new(options: ServeOptions) -> Self {
+        ServerState { entries: HashMap::new(), clock: 0, requests: 0, evictions: 0, options }
+    }
+
+    /// Evicts least-recently-used entries until the summed live nodes fit
+    /// the budget (always keeping at least the most recent entry).
+    fn enforce_budget(&mut self) {
+        loop {
+            let total: u64 = self.entries.values().map(|e| e.checker.live_nodes()).sum();
+            if total <= self.options.node_budget || self.entries.len() <= 1 {
+                return;
+            }
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| *key)
+                .expect("entries is nonempty");
+            if let Some(mut entry) = self.entries.remove(&oldest) {
+                entry.drop_session();
+            }
+            self.evictions += 1;
+        }
+    }
+
+    fn handle(&mut self, request: Request) -> Response {
+        self.requests += 1;
+        self.clock += 1;
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(ServerStats {
+                entries: self.entries.len() as u64,
+                live_nodes: self.entries.values().map(|e| e.checker.live_nodes()).sum(),
+                requests: self.requests,
+                evictions: self.evictions,
+            }),
+            Request::Evict => {
+                let count = self.entries.len() as u64;
+                for (_, mut entry) in self.entries.drain() {
+                    entry.drop_session();
+                }
+                Response::Evicted(count)
+            }
+            Request::Check { spec, formulas } => self.check(spec, &formulas),
+            Request::Snapshot { spec, path } => self.snapshot(spec, &path),
+            Request::Restore { spec, path } => self.restore(spec, &path),
+        }
+    }
+
+    /// Looks up or builds the warm entry for `spec`, extending its horizon
+    /// when the request asks for more layers than are built. Returns the
+    /// key and whether the entry was already warm *and* long enough.
+    fn warm_entry(&mut self, spec: &ModelSpec) -> (ModelSpec, bool) {
+        let key = base_key(spec);
+        let clock = self.clock;
+        let wanted_layers = spec.horizon as usize + 1;
+        let existed = self.entries.contains_key(&key);
+        let entry = self.entries.entry(key).or_insert_with(|| WarmEntry {
+            checker: WarmChecker::build(spec),
+            session: None,
+            last_used: clock,
+        });
+        entry.last_used = clock;
+        let warm = existed && entry.checker.num_layers() >= wanted_layers;
+        if entry.checker.num_layers() < wanted_layers {
+            // Extension invalidates cached denotations (the layers guard in
+            // `EvalSession` enforces this), so the session ends first.
+            entry.drop_session();
+            entry.checker.extend_to_horizon(spec.horizon as usize);
+        }
+        (key, warm)
+    }
+
+    fn check(&mut self, spec: ModelSpec, formula_texts: &[String]) -> Response {
+        let mut formulas = Vec::with_capacity(formula_texts.len());
+        for text in formula_texts {
+            match parse_service_formula(text) {
+                Ok(formula) => formulas.push(formula),
+                Err(error) => return Response::Error(format!("formula `{text}`: {error}")),
+            }
+        }
+        let started = Instant::now();
+        // Read the image counter before any build/extension so a cold
+        // request charges its model construction to `relational_products`.
+        let products_before = self
+            .entries
+            .get(&base_key(&spec))
+            .map_or(0, |entry| entry.checker.relational_product_calls());
+        let (key, warm) = self.warm_entry(&spec);
+        let entry = self.entries.get_mut(&key).expect("warm_entry just inserted it");
+        let mut session = entry.session.take().unwrap_or_else(|| entry.checker.session());
+        let hits_before = session.hits();
+        let verdicts: Vec<bool> = formulas
+            .iter()
+            .map(|formula| entry.checker.holds_everywhere_in_session(&mut session, formula))
+            .collect();
+        let session_hits = session.hits() - hits_before;
+        entry.session = Some(session);
+        let outcome = CheckOutcome {
+            warm,
+            wall_micros: started.elapsed().as_micros() as u64,
+            relational_products: entry.checker.relational_product_calls() - products_before,
+            session_hits,
+            live_nodes: entry.checker.live_nodes(),
+            verdicts,
+        };
+        self.enforce_budget();
+        Response::Check(outcome)
+    }
+
+    fn snapshot(&mut self, spec: ModelSpec, path: &str) -> Response {
+        let (key, _) = self.warm_entry(&spec);
+        let entry = self.entries.get_mut(&key).expect("warm_entry just inserted it");
+        // The checker refuses to snapshot under live sessions (their
+        // denotations are process-local); the cache restarts afterwards.
+        entry.drop_session();
+        let bytes = match entry.checker.snapshot() {
+            Ok(bytes) => bytes,
+            Err(error) => return Response::Error(error),
+        };
+        match std::fs::write(path, &bytes) {
+            Ok(()) => Response::SnapshotWritten(bytes.len() as u64),
+            Err(error) => Response::Error(format!("writing {path}: {error}")),
+        }
+    }
+
+    fn restore(&mut self, spec: ModelSpec, path: &str) -> Response {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(error) => return Response::Error(format!("reading {path}: {error}")),
+        };
+        let checker = match WarmChecker::restore(&spec, &bytes) {
+            Ok(checker) => checker,
+            Err(error) => return Response::Error(error),
+        };
+        let layers = checker.num_layers() as u64;
+        let clock = self.clock;
+        if let Some(mut old) = self
+            .entries
+            .insert(base_key(&spec), WarmEntry { checker, session: None, last_used: clock })
+        {
+            old.drop_session();
+        }
+        self.enforce_budget();
+        Response::Restored(layers)
+    }
+}
+
+/// Restores a checker snapshot and answers a batch of formulas without any
+/// server — the child half of the cross-process smoke test, also usable as
+/// a library shortcut.
+///
+/// # Errors
+///
+/// Reports snapshot-restore failures and formula parse errors.
+pub fn answer_from_snapshot(
+    spec: &ModelSpec,
+    bytes: &[u8],
+    formulas: &[&str],
+) -> Result<Vec<bool>, String> {
+    let checker = WarmChecker::restore(spec, bytes)?;
+    let parsed = formulas
+        .iter()
+        .map(|text| parse_service_formula(text).map_err(|error| format!("`{text}`: {error}")))
+        .collect::<Result<Vec<_>, String>>()?;
+    let mut session = checker.session();
+    let verdicts = parsed
+        .iter()
+        .map(|formula| checker.holds_everywhere_in_session(&mut session, formula))
+        .collect();
+    checker.end_session(session);
+    Ok(verdicts)
+}
+
+/// A bound, not-yet-running checking server.
+pub struct Server {
+    listener: TcpListener,
+    state: ServerState,
+}
+
+impl Server {
+    /// Binds the listener. Use `"127.0.0.1:0"` for an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, options: ServeOptions) -> io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)?, state: ServerState::new(options) })
+    }
+
+    /// The bound address (to print, or to connect a client to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever, one connection at a time, in accept order.
+    ///
+    /// A malformed or panicking request turns into an `error` response (the
+    /// offending warm entry is dropped, since its invariants are suspect);
+    /// a failed connection is dropped; the server keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Only a failure of `accept` itself ends the loop.
+    pub fn run(mut self) -> io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            // A per-connection failure only ends that connection.
+            let _ = self.serve_connection(stream);
+        }
+    }
+
+    fn serve_connection(&mut self, mut stream: TcpStream) -> io::Result<()> {
+        // Responses are written as whole frames; without this, Nagle plus
+        // the client's delayed ACK stalls every reply.
+        stream.set_nodelay(true)?;
+        while let Some(payload) = read_frame(&mut stream)? {
+            let response = match Request::decode(&payload) {
+                Ok(request) => self.dispatch(request),
+                Err(error) => Response::Error(error),
+            };
+            write_frame(&mut stream, &response.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Handles one request, converting any panic that slips past the
+    /// up-front validation into an `error` response instead of a dead
+    /// server.
+    fn dispatch(&mut self, request: Request) -> Response {
+        let touched = match &request {
+            Request::Check { spec, .. }
+            | Request::Snapshot { spec, .. }
+            | Request::Restore { spec, .. } => Some(base_key(spec)),
+            _ => None,
+        };
+        let state = &mut self.state;
+        match catch_unwind(AssertUnwindSafe(|| state.handle(request))) {
+            Ok(response) => response,
+            Err(payload) => {
+                let message = payload
+                    .downcast::<String>()
+                    .map(|boxed| *boxed)
+                    .or_else(|payload| payload.downcast::<&str>().map(|boxed| boxed.to_string()))
+                    .unwrap_or_else(|_| "non-string panic payload".to_string());
+                if let Some(key) = touched {
+                    // The panic may have left the entry mid-mutation; a
+                    // rebuild is cheaper than a wrong answer.
+                    self.state.entries.remove(&key);
+                }
+                Response::Error(format!("request panicked: {message}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floodset_spec() -> ModelSpec {
+        ModelSpec::parse("protocol=floodset n=3 t=1 values=2 failure=crash").unwrap()
+    }
+
+    fn check_request(spec: ModelSpec) -> Request {
+        Request::Check {
+            spec,
+            formulas: vec![
+                "decided[0] => decided[0]".to_string(),
+                "CB exists0 => decides[0].0".to_string(),
+                "AG (decided[1].0 => !decided[1].1)".to_string(),
+            ],
+        }
+    }
+
+    fn expect_check(response: Response) -> CheckOutcome {
+        match response {
+            Response::Check(outcome) => outcome,
+            other => panic!("expected a check response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_identical_batch_is_warm_and_image_free() {
+        let mut state = ServerState::new(ServeOptions::default());
+        let cold = expect_check(state.handle(check_request(floodset_spec())));
+        assert!(!cold.warm);
+        assert!(cold.relational_products > 0, "the cold build computes images");
+        let warm = expect_check(state.handle(check_request(floodset_spec())));
+        assert!(warm.warm);
+        assert_eq!(warm.verdicts, cold.verdicts, "warm answers must match cold");
+        assert_eq!(warm.relational_products, 0, "a warm repeat computes no images");
+        assert!(warm.session_hits > 0, "the denotation cache must hit on a repeat");
+    }
+
+    #[test]
+    fn longer_horizon_extends_the_warm_instance() {
+        let mut state = ServerState::new(ServeOptions::default());
+        let spec = floodset_spec();
+        expect_check(state.handle(check_request(spec)));
+        assert_eq!(state.entries.len(), 1);
+        let longer = ModelSpec { horizon: spec.horizon + 2, ..spec };
+        let extended = expect_check(state.handle(check_request(longer)));
+        assert!(!extended.warm, "an extension is not a warm hit");
+        assert_eq!(state.entries.len(), 1, "extension reuses the entry");
+        let entry = state.entries.values().next().unwrap();
+        assert_eq!(entry.checker.num_layers(), longer.horizon as usize + 1);
+        // And the shorter horizon is warm again afterwards.
+        let short = expect_check(state.handle(check_request(spec)));
+        assert!(short.warm);
+    }
+
+    #[test]
+    fn node_budget_evicts_least_recently_used() {
+        let mut state = ServerState::new(ServeOptions { node_budget: 1 });
+        let floodset = floodset_spec();
+        let count = ModelSpec::parse("protocol=count n=2 t=1 failure=send").unwrap();
+        state.handle(check_request(floodset));
+        state.handle(check_request(count));
+        // Both exceed a 1-node budget; only the most recent survives.
+        assert_eq!(state.entries.len(), 1);
+        assert!(state.entries.contains_key(&base_key(&count)));
+        assert!(state.evictions >= 1);
+        match state.handle(Request::Stats) {
+            Response::Stats(stats) => assert!(stats.evictions >= 1),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_formulas_and_unknown_commands_answer_errors() {
+        let mut state = ServerState::new(ServeOptions::default());
+        let response = state
+            .handle(Request::Check { spec: floodset_spec(), formulas: vec!["K[0] (".to_string()] });
+        assert!(matches!(response, Response::Error(_)));
+        let response = state.handle(Request::Check {
+            spec: floodset_spec(),
+            formulas: vec!["flux[3]".to_string()],
+        });
+        assert!(matches!(response, Response::Error(_)));
+        assert!(matches!(
+            state.handle(Request::Restore {
+                spec: floodset_spec(),
+                path: "/nonexistent/missing.snap".to_string(),
+            }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip_through_a_file() {
+        let mut state = ServerState::new(ServeOptions::default());
+        let spec = floodset_spec();
+        let before = expect_check(state.handle(check_request(spec)));
+        let path = std::env::temp_dir().join("epimc-serve-state-test.snap");
+        let path_text = path.to_string_lossy().to_string();
+        match state.handle(Request::Snapshot { spec, path: path_text.clone() }) {
+            Response::SnapshotWritten(bytes) => assert!(bytes > 0),
+            other => panic!("expected a snapshot response, got {other:?}"),
+        }
+        // A fresh server restores the file and answers identically without
+        // any model construction.
+        let mut fresh = ServerState::new(ServeOptions::default());
+        match fresh.handle(Request::Restore { spec, path: path_text }) {
+            Response::Restored(layers) => assert_eq!(layers, spec.horizon as u64 + 1),
+            other => panic!("expected a restore response, got {other:?}"),
+        }
+        let restored = expect_check(fresh.handle(check_request(spec)));
+        assert!(restored.warm, "a restored instance is warm");
+        assert_eq!(restored.verdicts, before.verdicts);
+        let _ = std::fs::remove_file(&path);
+    }
+}
