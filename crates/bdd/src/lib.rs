@@ -51,6 +51,14 @@
 //! * **Static interleaved ordering.** [`interleaved_order`] and
 //!   [`interleaved_slot`] compute the agent-interleaved variable order used
 //!   by the symbolic layer as the starting point that sifting then refines.
+//! * **Cooperative cancellation.** A [`Budget`] installed with
+//!   [`Bdd::set_budget`] bounds a computation by wall-clock deadline,
+//!   live-node ceiling and operation fuel. The budget is polled on
+//!   op-cache misses and at the GC/reorder safe points — exactly where the
+//!   manager's invariants hold — and a trip unwinds a typed
+//!   [`BddError::BudgetExceeded`] that [`catch_budget`] converts back into
+//!   a `Result` at the engine boundary. The manager is guaranteed
+//!   structurally valid after an abort, so callers may keep or discard it.
 //! * **Snapshot persistence.** [`Bdd::snapshot`] serializes the whole
 //!   manager (node store, learned order, groups, counters, plus caller
 //!   roots) into a versioned, checksummed binary format, and
@@ -81,6 +89,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod budget;
 mod cache;
 mod cubes;
 mod manager;
@@ -91,6 +100,7 @@ mod sat;
 mod snapshot;
 mod store;
 
+pub use budget::{catch_budget, BddError, Budget, BudgetReason};
 pub use cubes::{Cube, Literal};
 pub use manager::{Bdd, BddStats, GcStats, Ref, Var, DEFAULT_CACHE_CAPACITY};
 pub use ops::SubstId;

@@ -306,6 +306,12 @@ pub struct Bdd {
     pub(crate) relational_product_calls: u64,
     pub(crate) image_cache_hits: u64,
     pub(crate) image_cache_misses: u64,
+    /// Optional resource budget; see [`Bdd::set_budget`]. `None` makes
+    /// every charge/poll a no-op.
+    pub(crate) budget: Option<crate::Budget>,
+    /// Budgeted operations (op-cache misses) since the budget was
+    /// installed; also paces the periodic deadline/node polls.
+    pub(crate) budget_ops: u64,
 }
 
 impl Default for Bdd {
@@ -357,7 +363,85 @@ impl Bdd {
             relational_product_calls: 0,
             image_cache_hits: 0,
             image_cache_misses: 0,
+            budget: None,
+            budget_ops: 0,
         }
+    }
+
+    /// Installs (or clears, with `None`) a resource [`Budget`]. The budget
+    /// is polled cooperatively: on op-cache misses and at the GC/reorder
+    /// safe points. When a limit trips the manager unwinds a typed
+    /// [`BddError`](crate::BddError) — catch it at the engine boundary with
+    /// [`catch_budget`](crate::catch_budget); the manager is structurally
+    /// valid afterwards (polls only happen between complete updates).
+    /// Installing a budget resets the operation counter.
+    pub fn set_budget(&mut self, budget: Option<crate::Budget>) {
+        if budget.is_some() {
+            crate::budget::install_quiet_budget_hook();
+        }
+        self.budget = budget;
+        self.budget_ops = 0;
+    }
+
+    /// The currently installed budget, if any.
+    pub fn budget(&self) -> Option<crate::Budget> {
+        self.budget
+    }
+
+    /// Budgeted operations (op-cache misses) performed since the current
+    /// budget was installed.
+    pub fn budget_ops(&self) -> u64 {
+        self.budget_ops
+    }
+
+    /// Charges one budgeted operation (called on every op-cache miss).
+    /// Checks the fuel limit immediately and runs the full deadline/node
+    /// poll every 1024 charges, keeping the hot path at a counter bump.
+    #[inline]
+    pub(crate) fn charge_op(&mut self) {
+        let Some(budget) = self.budget else { return };
+        self.budget_ops += 1;
+        if let Some(max_ops) = budget.max_ops {
+            if self.budget_ops > max_ops {
+                self.budget_trip(crate::BudgetReason::Ops);
+            }
+        }
+        if self.budget_ops & 0x3FF == 0 {
+            self.poll_budget();
+        }
+    }
+
+    /// Polls the installed budget now (deadline, live-node ceiling, fuel),
+    /// unwinding a typed [`BddError`](crate::BddError) if a limit has
+    /// tripped. A no-op without a budget. Called automatically at the
+    /// GC/reorder safe points; callers with their own long cache-hit
+    /// phases may poll explicitly.
+    pub fn poll_budget(&mut self) {
+        let Some(budget) = self.budget else { return };
+        if let Some(deadline) = budget.deadline {
+            if std::time::Instant::now() >= deadline {
+                self.budget_trip(crate::BudgetReason::Deadline);
+            }
+        }
+        if let Some(max_live) = budget.max_live_nodes {
+            if self.store.live() > max_live {
+                self.budget_trip(crate::BudgetReason::LiveNodes);
+            }
+        }
+        if let Some(max_ops) = budget.max_ops {
+            if self.budget_ops > max_ops {
+                self.budget_trip(crate::BudgetReason::Ops);
+            }
+        }
+    }
+
+    #[cold]
+    fn budget_trip(&self, reason: crate::BudgetReason) -> ! {
+        std::panic::panic_any(crate::BddError::BudgetExceeded {
+            reason,
+            ops: self.budget_ops,
+            live_nodes: self.store.live(),
+        })
     }
 
     /// Whether this manager canonicalizes complement edges into interior
@@ -731,6 +815,7 @@ impl Bdd {
         if let Some(cached) = self.ite_cache.get(&(f, g, h)) {
             return if negate { cached.negate() } else { cached };
         }
+        self.charge_op();
         // The top variable is the one at the root-most *level* among the
         // three operands (`f` is never terminal here, so the minimum is a
         // real level and `var_at` covers it).

@@ -57,6 +57,7 @@ impl Bdd {
         if let Some(cached) = self.exists_cache.get(&(f, cube)) {
             return cached;
         }
+        self.charge_op();
         let f_var = self.node_var(f);
         let f_level = self.node_level(f);
         // Skip quantified variables whose level lies above the root of f.
@@ -147,6 +148,7 @@ impl Bdd {
         if let Some(cached) = self.and_exists_cache.get(&(f, g, cube_rest)) {
             return cached;
         }
+        self.charge_op();
         let (f_lo, f_hi) = self.cofactors(f, top);
         let (g_lo, g_hi) = self.cofactors(g, top);
         let result = if self.node_var(cube_rest) == top {
@@ -237,6 +239,7 @@ impl Bdd {
         if let Some(cached) = self.replace_cache.get(&(f, subst.0)) {
             return cached;
         }
+        self.charge_op();
         let var = self.node_var(f);
         let low = self.node_low(f);
         let high = self.node_high(f);

@@ -1143,6 +1143,11 @@ pub fn render_serve_table(rows: &[ServeRow]) -> String {
                     if m.snapshot_differential_ok { "yes" } else { "NO" }.to_string(),
                     format!("{}x{}", m.clients, m.throughput_batches / m.clients.max(1) as u64),
                     format!("{:.1}/s", m.batches_per_second()),
+                    format!(
+                        "{} {}",
+                        if m.deadline_tripped { "trip" } else { "done" },
+                        format_mck_duration(m.deadline_answer)
+                    ),
                 ],
             }
         })
@@ -1160,6 +1165,7 @@ pub fn render_serve_table(rows: &[ServeRow]) -> String {
             "snap ok",
             "clients",
             "throughput",
+            "50ms probe",
         ],
         &cells,
     );
@@ -1167,18 +1173,25 @@ pub fn render_serve_table(rows: &[ServeRow]) -> String {
         "'cold' answers the batch on a fresh server (model construction included); 'warm'\n\
          repeats it against the cached instance — zero relational images, denotations recalled\n\
          by canonical formula hash. 'snap ok' marks rows whose snapshot restored to a checker\n\
-         answering identically; 'throughput' drives N concurrent clients of warm batches.\n",
+         answering identically; 'throughput' drives N concurrent clients of warm batches.\n\
+         '50ms probe' evicts the instance and re-requests it under a 50 ms deadline: 'trip'\n\
+         rows answered a structured error budget-exceeded in the shown wall-clock (the budget\n\
+         gate bounds it at 2x the deadline), 'done' rows built faster than the deadline.\n",
     );
     out
 }
 
-/// Checks the serve rows against a checked-in budget file. Two entries per
-/// instance id: `<id>-warm-rel-products` bounds the relational image
+/// Checks the serve rows against a checked-in budget file. Three entries
+/// per instance id: `<id>-warm-rel-products` bounds the relational image
 /// computations a warm repeat may perform (0: the whole point of the warm
-/// cache), and `<id>-warm-wall-pct` bounds warm wall-clock as a percentage
-/// of cold (10 enforces the ≥ 10× acceptance criterion). Comment/skip
-/// semantics match [`check_symbolic_budget`]; a failed snapshot
-/// differential fails the gate regardless of the budget entries.
+/// cache), `<id>-warm-wall-pct` bounds warm wall-clock as a percentage
+/// of cold (10 enforces the ≥ 10× acceptance criterion), and
+/// `<id>-deadline-answer-pct` bounds the wall-clock of the 50 ms deadline
+/// probe's answer as a percentage of the deadline (200 enforces the
+/// "deadline-exceeded is answered within 2× the deadline" criterion).
+/// Comment/skip semantics match [`check_symbolic_budget`]; a failed
+/// snapshot or post-trip differential fails the gate regardless of the
+/// budget entries.
 pub fn check_serve_budget(rows: &[ServeRow], budget_text: &str) -> Result<String, String> {
     let mut violations: Vec<String> = rows
         .iter()
@@ -1187,6 +1200,9 @@ pub fn check_serve_budget(rows: &[ServeRow], budget_text: &str) -> Result<String
             format!("{}: snapshot restore answered differently from the warm server", row.id)
         })
         .collect();
+    violations.extend(rows.iter().filter(|row| !row.measurement.post_trip_differential_ok).map(
+        |row| format!("{}: the rebuild after the deadline trip answered differently", row.id),
+    ));
     let measured: Vec<(String, usize)> = rows
         .iter()
         .flat_map(|row| {
@@ -1196,6 +1212,7 @@ pub fn check_serve_budget(rows: &[ServeRow], budget_text: &str) -> Result<String
                     row.measurement.warm_relational_products as usize,
                 ),
                 (format!("{}-warm-wall-pct", row.id), row.warm_wall_pct()),
+                (format!("{}-deadline-answer-pct", row.id), row.measurement.deadline_answer_pct()),
             ]
         })
         .collect();
@@ -1258,6 +1275,11 @@ pub fn serve_rows_json(rows: &[ServeRow], grid: &str) -> String {
                 ("throughput_batches", m.throughput_batches.to_string()),
                 ("throughput_s", json_seconds(m.throughput_duration)),
                 ("batches_per_second", format!("{:.4}", m.batches_per_second())),
+                ("deadline_ms", m.deadline_ms.to_string()),
+                ("deadline_answer_s", json_seconds(m.deadline_answer)),
+                ("deadline_answer_pct", m.deadline_answer_pct().to_string()),
+                ("deadline_tripped", m.deadline_tripped.to_string()),
+                ("post_trip_differential_ok", m.post_trip_differential_ok.to_string()),
             ])
         })
         .collect::<Vec<String>>();
@@ -1475,6 +1497,10 @@ mod tests {
                 clients: 2,
                 throughput_batches: 4,
                 throughput_duration: Duration::from_millis(10),
+                deadline_ms: 50,
+                deadline_answer: Duration::from_millis(60),
+                deadline_tripped: true,
+                post_trip_differential_ok: true,
             },
         }
     }
@@ -1501,6 +1527,25 @@ mod tests {
         // A gate that checks nothing must not pass silently.
         let err = check_serve_budget(&good, "floodset-n9-t9-warm-wall-pct 10\n").unwrap_err();
         assert!(err.contains("nothing"), "{err}");
+    }
+
+    #[test]
+    fn serve_budget_gates_the_deadline_probe() {
+        let budget = "floodset-n8-t3-deadline-answer-pct 200\n";
+        // 60 ms answer against a 50 ms deadline is 120%: passes.
+        let good = [serve_test_row("floodset-n8-t3", 0, 2_000, true)];
+        let summary = check_serve_budget(&good, budget).unwrap();
+        assert!(summary.contains("1 metric(s)"), "{summary}");
+        // A 150 ms answer is 300% of the deadline: trips the 2x gate.
+        let mut slow = serve_test_row("floodset-n8-t3", 0, 2_000, true);
+        slow.measurement.deadline_answer = Duration::from_millis(150);
+        let err = check_serve_budget(&[slow], budget).unwrap_err();
+        assert!(err.contains("deadline-answer-pct"), "{err}");
+        // A wrong answer after the trip fails regardless of the budget.
+        let mut bad = serve_test_row("floodset-n8-t3", 0, 2_000, true);
+        bad.measurement.post_trip_differential_ok = false;
+        let err = check_serve_budget(&[bad], budget).unwrap_err();
+        assert!(err.contains("rebuild after the deadline trip"), "{err}");
     }
 
     #[test]

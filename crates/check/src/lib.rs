@@ -121,9 +121,11 @@ mod explicit;
 mod pointset;
 mod symbolic;
 
+pub use epimc_bdd::{catch_budget, BddError, Budget, BudgetReason};
 pub use explicit::Checker;
 pub use pointset::PointSet;
 pub use symbolic::{
-    EvalSession, ObservationValues, RelationMode, ReorderMode, SymbolicChecker, SymbolicOptions,
-    SymbolicSalvage, SymbolicStats, CHECKER_SNAPSHOT_VERSION, DEFAULT_REORDER_THRESHOLD,
+    BudgetAbort, EvalSession, ObservationValues, RelationMode, ReorderMode, SymbolicChecker,
+    SymbolicOptions, SymbolicSalvage, SymbolicStats, CHECKER_SNAPSHOT_VERSION,
+    DEFAULT_REORDER_THRESHOLD,
 };

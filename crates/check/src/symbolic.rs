@@ -68,7 +68,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 
-use epimc_bdd::{interleaved_slot, Bdd, Ref, ReorderPolicy, SubstId, Var};
+use epimc_bdd::{
+    catch_budget, interleaved_slot, Bdd, BddError, Budget, Ref, ReorderPolicy, SubstId, Var,
+};
 use epimc_logic::{AgentId, Formula, TemporalKind};
 use epimc_relational::{
     decides_now_table, initial_cube, round_relation, ChoiceVars, SlotLayout, SymbolicEncode,
@@ -145,6 +147,13 @@ pub struct SymbolicOptions {
     /// two-terminal representation, which must produce bit-identical
     /// results.
     pub complement_edges: bool,
+    /// Optional resource budget installed on the manager (wall-clock
+    /// deadline, live-node ceiling, operation fuel). A trip unwinds a
+    /// typed [`epimc_bdd::BddError`]; use the `try_*` checker entry
+    /// points ([`SymbolicChecker::try_check`] and friends) to receive it
+    /// as a structured [`BudgetAbort`] instead. `None` (the default)
+    /// means unlimited.
+    pub budget: Option<Budget>,
 }
 
 impl Default for SymbolicOptions {
@@ -164,9 +173,42 @@ impl Default for SymbolicOptions {
             gc_threshold: 1 << 17,
             reorder: ReorderMode::Auto { threshold: DEFAULT_REORDER_THRESHOLD },
             complement_edges: true,
+            budget: None,
         }
     }
 }
+
+/// A budget trip translated into a structured error by the fallible
+/// checker entry points ([`SymbolicChecker::try_check`],
+/// [`SymbolicChecker::try_holds_everywhere`],
+/// [`SymbolicChecker::try_holds_everywhere_in_session`]). The checker's
+/// manager is structurally valid afterwards: every denotation the aborted
+/// evaluation was building has been released, session caches keep only
+/// complete entries, and the budget has been disarmed — the caller may
+/// keep using (or re-arm and retry on) the same checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetAbort {
+    /// The underlying manager error (which limit, ops performed, live
+    /// nodes at the trip point).
+    pub error: BddError,
+    /// Model layers fully built when the abort happened (partial-progress
+    /// stat; relevant for relational checkers grown layer by layer).
+    pub layers_built: usize,
+    /// Live nodes after releasing the aborted evaluation's denotations.
+    pub live_nodes: usize,
+}
+
+impl fmt::Display for BudgetAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers built, {} live nodes kept)",
+            self.error, self.layers_built, self.live_nodes
+        )
+    }
+}
+
+impl std::error::Error for BudgetAbort {}
 
 /// Statistics about a symbolic run, used by the ablation benchmarks.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -305,6 +347,12 @@ impl DenArena {
         self.dens.iter().filter(|d| d.is_some()).count()
     }
 
+    /// Ids of every live denotation, for the abort-cleanup diff in the
+    /// `try_*` entry points.
+    fn live_ids(&self) -> Vec<usize> {
+        self.dens.iter().enumerate().filter_map(|(id, den)| den.is_some().then_some(id)).collect()
+    }
+
     fn roots_mut(&mut self) -> impl Iterator<Item = &mut Ref> {
         self.dens.iter_mut().flatten().flat_map(|den| den.iter_mut())
     }
@@ -435,6 +483,12 @@ impl Inner {
     /// this at *safe points*: every `Ref` the caller still needs must be in
     /// the arena, a rooted field, or `extra`.
     fn maybe_gc(&mut self, extra: &mut [Ref]) {
+        // Safe points are where the manager's invariants hold, so this is
+        // also where an installed budget's deadline and node ceiling are
+        // checked (a trip unwinds from here with a structurally valid
+        // manager; cache-hit-dominated phases that never miss still pass
+        // through here between evaluation steps).
+        self.bdd.poll_budget();
         if self.bdd.live_nodes() > self.gc_threshold {
             self.collect(extra);
         }
@@ -707,6 +761,7 @@ where
         }
 
         let mut bdd = Bdd::with_settings(options.cache_capacity, options.complement_edges);
+        bdd.set_budget(options.budget);
         // Each current-state variable and its primed copy sift as a block,
         // so the per-agent pre-image partitioning survives any learned
         // order. (Adversary-choice variables, allocated later, sift as
@@ -1299,6 +1354,79 @@ where
         };
         self.release(den);
         holds
+    }
+
+    /// Installs (or clears, with `None`) a resource [`Budget`] on the
+    /// underlying manager — the way a long-lived (warm) checker is re-armed
+    /// per request. Pair with the `try_*` entry points, which translate a
+    /// trip into a [`BudgetAbort`] and restore the checker to a clean
+    /// state.
+    pub fn set_budget(&self, budget: Option<Budget>) {
+        self.inner.borrow_mut().bdd.set_budget(budget);
+    }
+
+    /// Fallible [`SymbolicChecker::check`]: a budget trip is returned as a
+    /// structured [`BudgetAbort`] instead of unwinding. On abort the
+    /// checker is restored to a clean, reusable state (see [`BudgetAbort`]).
+    pub fn try_check(&self, formula: &Formula<ConsensusAtom>) -> Result<PointSet, BudgetAbort> {
+        let before = self.inner.borrow().arena.live_ids();
+        catch_budget(|| self.check(formula))
+            .map_err(|error| self.budget_abort(error, &before, None))
+    }
+
+    /// Fallible [`SymbolicChecker::holds_everywhere`]; see
+    /// [`SymbolicChecker::try_check`] for the abort contract.
+    pub fn try_holds_everywhere(
+        &self,
+        formula: &Formula<ConsensusAtom>,
+    ) -> Result<bool, BudgetAbort> {
+        let before = self.inner.borrow().arena.live_ids();
+        catch_budget(|| self.holds_everywhere(formula))
+            .map_err(|error| self.budget_abort(error, &before, None))
+    }
+
+    /// Fallible [`SymbolicChecker::holds_everywhere_in_session`]. On abort
+    /// the session survives: entries memoised *before* the trip (and any
+    /// subformula completed during the aborted evaluation) stay valid —
+    /// only the in-flight denotations are released — so a warm session is
+    /// not poisoned by one over-budget query.
+    pub fn try_holds_everywhere_in_session(
+        &self,
+        session: &mut EvalSession,
+        formula: &Formula<ConsensusAtom>,
+    ) -> Result<bool, BudgetAbort> {
+        let before = self.inner.borrow().arena.live_ids();
+        catch_budget(|| self.holds_everywhere_in_session(session, formula))
+            .map_err(|error| self.budget_abort(error, &before, Some(&*session)))
+    }
+
+    /// Abort cleanup shared by the `try_*` entry points: disarm the budget
+    /// (so cleanup itself cannot re-trip), release every denotation that
+    /// came alive during the aborted evaluation — except complete entries
+    /// the session cache adopted — and report partial-progress stats.
+    fn budget_abort(
+        &self,
+        error: BddError,
+        live_before: &[usize],
+        session: Option<&EvalSession>,
+    ) -> BudgetAbort {
+        self.focus.set(None);
+        let mut inner = self.inner.borrow_mut();
+        inner.bdd.set_budget(None);
+        let keep: std::collections::HashSet<usize> = live_before
+            .iter()
+            .copied()
+            .chain(session.into_iter().flat_map(|s| s.cache.values().copied()))
+            .collect();
+        let leaked: Vec<usize> =
+            inner.arena.live_ids().into_iter().filter(|id| !keep.contains(id)).collect();
+        for id in leaked {
+            inner.arena.release(id);
+        }
+        let layers_built = inner.reachable.len();
+        inner.maybe_gc(&mut []);
+        let live_nodes = inner.bdd.live_nodes();
+        BudgetAbort { error, layers_built, live_nodes }
     }
 
     fn to_point_set(&self, den: DenId) -> PointSet {
@@ -2295,6 +2423,7 @@ where
             .collect();
 
         let mut bdd = Bdd::with_settings(options.cache_capacity, options.complement_edges);
+        bdd.set_budget(options.budget);
         bdd.set_groups((0..num_slots).map(|slot| vec![cur(slot), nxt(slot)]).collect());
         let crash = params.failure().kind() == FailureKind::Crash;
         let n = params.num_agents();

@@ -810,6 +810,19 @@ pub struct ServeMeasurement {
     pub throughput_batches: u64,
     /// Wall-clock duration of the throughput phase.
     pub throughput_duration: Duration,
+    /// The per-request deadline of the budget probe, in milliseconds.
+    pub deadline_ms: u64,
+    /// Wall-clock until the deadline probe was *answered* (either a
+    /// structured `error budget-exceeded` or, on instances that build
+    /// faster than the deadline, the verdicts themselves).
+    pub deadline_answer: Duration,
+    /// Whether the probe tripped the deadline (expected on any instance
+    /// whose cold build outlasts it).
+    pub deadline_tripped: bool,
+    /// Whether the batch issued right after the trip — a cold rebuild,
+    /// since the trip evicts the instance — answered identically to the
+    /// warm server.
+    pub post_trip_differential_ok: bool,
 }
 
 impl ServeMeasurement {
@@ -832,6 +845,15 @@ impl ServeMeasurement {
             self.cold.as_secs_f64() / warm
         }
     }
+
+    /// Wall-clock of the deadline probe's answer as an integer percentage
+    /// of the configured deadline, rounded up (a `<= 200` budget entry
+    /// means every deadline-exceeded request is answered within 2× the
+    /// deadline — the responsiveness acceptance criterion).
+    pub fn deadline_answer_pct(&self) -> usize {
+        let deadline_nanos = (self.deadline_ms as u128 * 1_000_000).max(1);
+        (self.deadline_answer.as_nanos() * 100).div_ceil(deadline_nanos) as usize
+    }
 }
 
 impl fmt::Display for ServeMeasurement {
@@ -839,7 +861,7 @@ impl fmt::Display for ServeMeasurement {
         write!(
             f,
             "{}: cold {} warm {} ({:.1}x), warm images {}, {} cache hits, \
-             {} clients at {:.1} batches/s",
+             {} clients at {:.1} batches/s, {}ms probe {} in {}",
             self.label,
             format_mck_duration(self.cold),
             format_mck_duration(self.warm),
@@ -847,7 +869,10 @@ impl fmt::Display for ServeMeasurement {
             self.warm_relational_products,
             self.warm_session_hits,
             self.clients,
-            self.batches_per_second()
+            self.batches_per_second(),
+            self.deadline_ms,
+            if self.deadline_tripped { "tripped" } else { "finished" },
+            format_mck_duration(self.deadline_answer)
         )
     }
 }
@@ -855,8 +880,11 @@ impl fmt::Display for ServeMeasurement {
 /// Measures the checking service on one instance: starts an in-process
 /// server on an ephemeral port, issues the batch cold and warm, snapshots
 /// the warm checker and differentially re-answers from the restored copy,
-/// then drives `clients` concurrent connections issuing
-/// `batches_per_client` warm batches each.
+/// drives `clients` concurrent connections issuing `batches_per_client`
+/// warm batches each, then probes robustness: the instance is evicted and
+/// re-requested under a 50 ms deadline (a cold build that outlasts it
+/// must answer a structured `error budget-exceeded`, promptly), and the
+/// batch after the trip must rebuild and answer identically.
 ///
 /// # Errors
 ///
@@ -867,7 +895,11 @@ pub fn serve_measurement(
     clients: usize,
     batches_per_client: usize,
 ) -> Result<ServeMeasurement, String> {
-    use epimc_serve::{answer_from_snapshot, Client, ModelSpec, ServeOptions, Server};
+    use epimc_serve::{answer_from_snapshot, CheckReply, Client, ModelSpec, ServeOptions, Server};
+
+    /// The deadline of the robustness probe: far below any interesting
+    /// instance's cold build, far above the trip-to-answer latency.
+    const PROBE_DEADLINE_MS: u64 = 50;
 
     let spec = ModelSpec::parse(spec_text)?;
     let server = Server::bind("127.0.0.1:0", ServeOptions::default())
@@ -921,6 +953,22 @@ pub fn serve_measurement(
     }
     let throughput_duration = throughput_started.elapsed();
 
+    // Robustness probe: evict the warm instance, race a 50 ms deadline
+    // against the cold rebuild, and verify the server both answers the
+    // trip promptly (structured, not a dropped connection) and rebuilds
+    // correctly on the very next batch.
+    let mut client = Client::connect(addr).map_err(|error| format!("connect: {error}"))?;
+    client.evict_all().map_err(|error| format!("evict: {error}"))?;
+    let probe_started = Instant::now();
+    let reply = client
+        .check_with_deadline(spec, formulas, Some(PROBE_DEADLINE_MS))
+        .map_err(|error| format!("deadline probe: {error}"))?;
+    let deadline_answer = probe_started.elapsed();
+    let deadline_tripped = matches!(reply, CheckReply::BudgetExceeded(_));
+    let post =
+        client.check(spec, formulas).map_err(|error| format!("post-trip rebuild: {error}"))?;
+    let post_trip_differential_ok = post.verdicts == warm.verdicts;
+
     Ok(ServeMeasurement {
         label: spec.to_string(),
         cold: cold_wall,
@@ -933,6 +981,10 @@ pub fn serve_measurement(
         clients,
         throughput_batches,
         throughput_duration,
+        deadline_ms: PROBE_DEADLINE_MS,
+        deadline_answer,
+        deadline_tripped,
+        post_trip_differential_ok,
     })
 }
 

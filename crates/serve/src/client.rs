@@ -4,16 +4,85 @@
 //! and waits for the single response frame. Batch formulas into one
 //! [`Client::check`] call — that is the unit the server answers under one
 //! warm-session lookup.
+//!
+//! # Retry semantics
+//!
+//! Every request in the service vocabulary is idempotent (checks are pure
+//! queries; snapshot/restore/evict converge on re-execution), so the client
+//! transparently retries *transient transport* failures — connection reset,
+//! broken pipe, refused connection, a frame cut off by a server restart —
+//! by reconnecting and resending, under a bounded exponential backoff
+//! ([`RetryPolicy`]). Failures that signal the request itself was answered
+//! or is being limited are **never** retried: protocol-level `error`
+//! responses, `error budget-exceeded`, `error overloaded`, and I/O
+//! timeouts (the deadline belongs to the caller, not the retry loop).
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::framing::{read_frame, write_frame};
 use crate::proto::{CheckOutcome, ModelSpec, Request, Response, ServerStats};
 
+/// Bounded exponential backoff for reconnect-and-resend.
+///
+/// Attempt `k` (zero-based) sleeps `base_delay * 2^k`, capped at
+/// `max_delay`, before retrying. `attempts` counts *total* tries, so
+/// `attempts: 1` disables retries entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries per request (first attempt included). Minimum 1.
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(320),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { attempts: 1, ..RetryPolicy::default() }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
+/// The server's answer to a [`Client::check_with_deadline`] call.
+///
+/// Budget outcomes are part of the protocol, not transport failures: the
+/// server answered, structurally, that the request tripped a limit. They
+/// are therefore surfaced as values (and never retried by the client).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckReply {
+    /// The batch was evaluated; one verdict per formula.
+    Ok(CheckOutcome),
+    /// The request's (or server's) deadline expired mid-check. The warm
+    /// checker for the instance was evicted; a retry starts cold.
+    BudgetExceeded(String),
+    /// A server-side resource ceiling (live nodes / op fuel) tripped.
+    Overloaded(String),
+}
+
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    io_timeout: Option<Duration>,
 }
 
 /// Turns a protocol-level error response (or shape mismatch) into
@@ -22,25 +91,101 @@ fn protocol_error(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
 
+/// Transport failures worth a reconnect-and-resend: the peer went away
+/// (or was restarting) without answering. Timeouts are excluded — a
+/// request that timed out may still be running server-side, and the
+/// caller's deadline should not be silently multiplied by the retry
+/// count.
+fn is_transient(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+    )
+}
+
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with the default [`RetryPolicy`] and
+    /// no I/O timeout.
     ///
     /// # Errors
     ///
-    /// Propagates the connection failure.
+    /// Propagates the connection failure (after retries).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with(addr, RetryPolicy::default(), None)
+    }
+
+    /// Connects with an explicit retry policy and optional per-operation
+    /// read/write timeout on the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure (after retries).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| protocol_error("address resolved to nothing"))?;
+        let mut last = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt - 1));
+            }
+            match Client::open(addr, io_timeout) {
+                Ok(stream) => return Ok(Client { stream, addr, policy, io_timeout }),
+                Err(error) if is_transient(&error) => last = Some(error),
+                Err(error) => return Err(error),
+            }
+        }
+        Err(last.unwrap_or_else(|| protocol_error("connect retries exhausted")))
+    }
+
+    fn open(addr: SocketAddr, io_timeout: Option<Duration>) -> io::Result<TcpStream> {
         let stream = TcpStream::connect(addr)?;
         // Frames are written whole; buffering them further in the kernel
         // only adds delayed-ACK latency to every round trip.
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Ok(stream)
+    }
+
+    fn round_trip_once(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection mid-request")
+        })?;
+        Response::decode(&payload).map_err(protocol_error)
     }
 
     fn round_trip(&mut self, request: &Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream)?
-            .ok_or_else(|| protocol_error("server closed the connection mid-request"))?;
-        Response::decode(&payload).map_err(protocol_error)
+        let mut last = None;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+                match Client::open(self.addr, self.io_timeout) {
+                    Ok(stream) => self.stream = stream,
+                    Err(error) if is_transient(&error) => {
+                        last = Some(error);
+                        continue;
+                    }
+                    Err(error) => return Err(error),
+                }
+            }
+            match self.round_trip_once(request) {
+                Ok(response) => return Ok(response),
+                Err(error) if is_transient(&error) => last = Some(error),
+                Err(error) => return Err(error),
+            }
+        }
+        Err(last.unwrap_or_else(|| protocol_error("request retries exhausted")))
     }
 
     /// Liveness probe.
@@ -87,11 +232,37 @@ impl Client {
     /// # Errors
     ///
     /// Fails on I/O errors, a server-side `error` response (bad formula,
-    /// panicked request), or a verdict-count mismatch.
+    /// panicked request, budget trip), or a verdict-count mismatch.
     pub fn check(&mut self, spec: ModelSpec, formulas: &[&str]) -> io::Result<CheckOutcome> {
+        match self.check_with_deadline(spec, formulas, None)? {
+            CheckReply::Ok(outcome) => Ok(outcome),
+            CheckReply::BudgetExceeded(message) => {
+                Err(protocol_error(format!("budget-exceeded {message}")))
+            }
+            CheckReply::Overloaded(message) => Err(protocol_error(format!("overloaded {message}"))),
+        }
+    }
+
+    /// Evaluates a batch under a per-request wall-clock deadline
+    /// (milliseconds), surfacing budget outcomes as values instead of
+    /// errors. The server honours the *tighter* of this deadline and its
+    /// own `--deadline-ms`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a server-side `error` response (bad formula,
+    /// panicked request), or a verdict-count mismatch. Budget replies are
+    /// returned as [`CheckReply`] variants and never retried.
+    pub fn check_with_deadline(
+        &mut self,
+        spec: ModelSpec,
+        formulas: &[&str],
+        deadline_ms: Option<u64>,
+    ) -> io::Result<CheckReply> {
         let request = Request::Check {
             spec,
             formulas: formulas.iter().map(|text| text.to_string()).collect(),
+            deadline_ms,
         };
         match self.round_trip(&request)? {
             Response::Check(outcome) => {
@@ -102,15 +273,18 @@ impl Client {
                         formulas.len()
                     )));
                 }
-                Ok(outcome)
+                Ok(CheckReply::Ok(outcome))
             }
+            Response::BudgetExceeded(message) => Ok(CheckReply::BudgetExceeded(message)),
+            Response::Overloaded(message) => Ok(CheckReply::Overloaded(message)),
             Response::Error(message) => Err(protocol_error(message)),
             other => Err(protocol_error(format!("expected a check response, got {other:?}"))),
         }
     }
 
     /// Asks the server to persist the instance's warm checker to `path`
-    /// (server-side filesystem). Returns the bytes written.
+    /// (server-side filesystem; `auto` places it under the server's
+    /// `--snapshot-dir` with a canonical name). Returns the bytes written.
     ///
     /// # Errors
     ///
@@ -135,5 +309,28 @@ impl Client {
             Response::Error(message) => Err(protocol_error(message)),
             other => Err(protocol_error(format!("expected a restore response, got {other:?}"))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff(5), Duration::from_millis(320));
+        assert_eq!(policy.backoff(31), Duration::from_millis(320));
+        assert_eq!(policy.backoff(40), Duration::from_millis(320));
+    }
+
+    #[test]
+    fn timeouts_are_not_transient() {
+        assert!(!is_transient(&io::Error::new(io::ErrorKind::TimedOut, "t")));
+        assert!(!is_transient(&io::Error::new(io::ErrorKind::WouldBlock, "w")));
+        assert!(is_transient(&io::Error::new(io::ErrorKind::ConnectionReset, "r")));
+        assert!(is_transient(&io::Error::new(io::ErrorKind::UnexpectedEof, "e")));
     }
 }

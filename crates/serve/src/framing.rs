@@ -109,4 +109,67 @@ mod tests {
         let error = read_frame(&mut Cursor::new(vec![1, 0])).unwrap_err();
         assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof);
     }
+
+    /// Property: no corruption of a framed stream — bit flips,
+    /// truncations, hostile length prefixes, or raw noise — can make
+    /// `read_frame` panic or misbehave; it always returns `Ok` or a
+    /// structured `Err`, and an oversized prefix is always `InvalidData`
+    /// (rejected before allocation).
+    #[test]
+    fn corrupted_streams_never_panic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xF4A3);
+        for _ in 0..500 {
+            // A valid stream of a few frames...
+            let mut bytes = Vec::new();
+            for _ in 0..rng.gen_range(1..4usize) {
+                let len = rng.gen_range(0..64usize);
+                let payload: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect();
+                write_frame(&mut bytes, &payload).unwrap();
+            }
+            // ...corrupted one of three ways.
+            match rng.gen_range(0..3u32) {
+                0 if !bytes.is_empty() => {
+                    let at = rng.gen_range(0..bytes.len());
+                    bytes[at] ^= 1 << rng.gen_range(0..8u32);
+                }
+                1 => {
+                    bytes.truncate(rng.gen_range(0..=bytes.len()));
+                }
+                _ => {
+                    let len = rng.gen_range(0..32usize);
+                    bytes = (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect();
+                }
+            }
+            // Draining the stream terminates without panicking: every
+            // frame is Ok(Some), a clean end is Ok(None), corruption is
+            // a typed error.
+            let mut reader = Cursor::new(&bytes);
+            loop {
+                match read_frame(&mut reader) {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(error) => {
+                        assert!(
+                            matches!(
+                                error.kind(),
+                                std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+                            ),
+                            "unexpected error kind {:?}",
+                            error.kind()
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        // Hostile prefixes across the whole oversized range reject with
+        // InvalidData without allocating the claimed length.
+        for _ in 0..100 {
+            let claimed = rng.gen_range((MAX_FRAME_LEN as u64 + 1)..=u32::MAX as u64) as u32;
+            let error = read_frame(&mut Cursor::new(claimed.to_le_bytes())).unwrap_err();
+            assert_eq!(error.kind(), std::io::ErrorKind::InvalidData);
+        }
+    }
 }

@@ -31,6 +31,39 @@
 //! `serde` is an offline no-op stub, and the framing is small enough that
 //! a schema language would cost more than it saves.
 //!
+//! # Robustness
+//!
+//! The service is built to degrade, not die:
+//!
+//! * **Deadlines and budgets** — every `check` runs under the tighter of
+//!   the server's `--deadline-ms` and the request's own `deadline_ms`
+//!   token, enforced cooperatively by the BDD manager's
+//!   [`epimc_check::Budget`] (polled at GC safe points and operation-cache
+//!   misses). A trip unwinds as a typed [`epimc_check::BddError`], caught
+//!   at the request boundary: the touched warm checker is **evicted**
+//!   (its in-flight state is suspect; safe-point aborts make dropping it
+//!   sound), every other entry stays warm, and the client receives a
+//!   structured `error budget-exceeded` (deadline) or `error overloaded`
+//!   (node/fuel ceiling) frame instead of a dead connection.
+//! * **Socket timeouts** — accepted connections carry read/write timeouts
+//!   (`--io-timeout-ms`, default 30 s), so a peer that goes silent
+//!   mid-frame is dropped instead of wedging the accept loop. The
+//!   [`Client`] mirrors them and retries *transient* transport failures
+//!   (reset, refused, broken pipe, truncated frame) under a bounded
+//!   exponential backoff ([`RetryPolicy`]); timeouts and budget replies
+//!   are never retried.
+//! * **Atomic snapshots** — snapshot files are written to a temp file in
+//!   the destination directory, `fsync`ed, then renamed over the target,
+//!   so a crash mid-write leaves any previous snapshot intact. At startup
+//!   (with `--snapshot-dir`) every `*.snap` file is restored; corrupt or
+//!   truncated files are quarantined (`*.snap.corrupt`), never trusted
+//!   and never fatal.
+//! * **Fault injection** — `epimc-serve --chaos` (see [`run_chaos`])
+//!   replays a seeded schedule of torn writes, corrupt frames, hostile
+//!   length prefixes, silent peers, mid-request panics and budget trips,
+//!   asserting after every fault that a fresh differential batch still
+//!   answers bit-identically.
+//!
 //! # Quick start
 //!
 //! ```no_run
@@ -54,9 +87,14 @@
 pub mod framing;
 pub mod proto;
 
+mod chaos;
 mod client;
 mod server;
 
-pub use client::Client;
+pub use chaos::{run_chaos, ChaosOptions};
+pub use client::{CheckReply, Client, RetryPolicy};
 pub use proto::{CheckOutcome, ModelSpec, ProtocolKind, Request, Response, ServerStats};
-pub use server::{answer_from_snapshot, ServeOptions, Server, DEFAULT_NODE_BUDGET};
+pub use server::{
+    answer_from_snapshot, ServeOptions, Server, AUTO_SNAPSHOT_PATH, CHAOS_PANIC_FORMULA,
+    DEFAULT_IO_TIMEOUT_MS, DEFAULT_NODE_BUDGET,
+};

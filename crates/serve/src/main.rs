@@ -1,9 +1,22 @@
 //! `epimc-serve` — the checking-as-a-service daemon.
 //!
 //! ```text
-//! epimc-serve [--addr HOST:PORT] [--node-budget NODES]   # serve forever
+//! epimc-serve [--addr HOST:PORT] [--node-budget NODES]
+//!             [--deadline-ms MS] [--io-timeout-ms MS]
+//!             [--snapshot-dir DIR]                       # serve forever
 //! epimc-serve --smoke                                    # self-test, exit 0/1
+//! epimc-serve --chaos [--seed N] [--smoke]               # fault-injection, exit 0/1
 //! ```
+//!
+//! `--deadline-ms` caps the wall-clock time of every check request (the
+//! per-request `deadline_ms` protocol token can only tighten it); a trip
+//! answers `error budget-exceeded` and evicts the instance's warm
+//! checker. `--io-timeout-ms` bounds socket reads/writes per connection
+//! (default 30000; `0` disables), so a silent peer cannot pin the server.
+//! `--snapshot-dir` enables `auto` snapshot paths and startup recovery:
+//! snapshots are written atomically (temp file + fsync + rename), and on
+//! boot every `*.snap` in the directory is restored — corrupt files are
+//! quarantined to `*.snap.corrupt`, never trusted.
 //!
 //! `--smoke` runs the CI gate: it starts a server on an ephemeral port,
 //! sends the same batched query twice (the second must be warm: zero
@@ -11,19 +24,28 @@
 //! warm instance to a file, re-answers the batch from that snapshot in a
 //! *child process*, and compares the verdicts bit-for-bit.
 //!
+//! `--chaos` runs the deterministic fault-injection harness (torn
+//! snapshot writes, corrupt frames, hostile length prefixes, silent
+//! peers, mid-request panics, budget trips), asserting after every fault
+//! that the server still answers a differential batch correctly. The
+//! seed defaults to 0; `--smoke` shrinks the round count for CI.
+//!
 //! The hidden `--restore-answer SNAPSHOT SPEC... -- FORMULA...` mode is the
-//! child half of that test: it restores the snapshot and prints one
-//! verdict per line.
+//! child half of the snapshot test: it restores the snapshot and prints
+//! one verdict per line.
 
 use std::process::ExitCode;
 
 use epimc_serve::proto::parse_service_formula;
 use epimc_serve::{
-    answer_from_snapshot, Client, ModelSpec, ServeOptions, Server, DEFAULT_NODE_BUDGET,
+    answer_from_snapshot, run_chaos, ChaosOptions, Client, ModelSpec, ServeOptions, Server,
+    DEFAULT_NODE_BUDGET,
 };
 
 fn usage() -> String {
-    "usage: epimc-serve [--addr HOST:PORT] [--node-budget NODES] [--smoke]".to_string()
+    "usage: epimc-serve [--addr HOST:PORT] [--node-budget NODES] [--deadline-ms MS] \
+     [--io-timeout-ms MS] [--snapshot-dir DIR] [--smoke] [--chaos [--seed N]]"
+        .to_string()
 }
 
 fn main() -> ExitCode {
@@ -39,17 +61,38 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:7517".to_string();
-    let mut node_budget = DEFAULT_NODE_BUDGET;
+    let mut options = ServeOptions { node_budget: DEFAULT_NODE_BUDGET, ..Default::default() };
     let mut smoke = false;
+    let mut chaos = false;
+    let mut seed = 0u64;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--addr" => addr = iter.next().ok_or_else(usage)?.clone(),
             "--node-budget" => {
                 let value = iter.next().ok_or_else(usage)?;
-                node_budget = value.parse().map_err(|_| format!("bad --node-budget `{value}`"))?;
+                options.node_budget =
+                    value.parse().map_err(|_| format!("bad --node-budget `{value}`"))?;
+            }
+            "--deadline-ms" => {
+                let value = iter.next().ok_or_else(usage)?;
+                let ms = value.parse().map_err(|_| format!("bad --deadline-ms `{value}`"))?;
+                options.deadline_ms = Some(ms);
+            }
+            "--io-timeout-ms" => {
+                let value = iter.next().ok_or_else(usage)?;
+                options.io_timeout_ms =
+                    value.parse().map_err(|_| format!("bad --io-timeout-ms `{value}`"))?;
+            }
+            "--snapshot-dir" => {
+                options.snapshot_dir = Some(iter.next().ok_or_else(usage)?.clone());
+            }
+            "--seed" => {
+                let value = iter.next().ok_or_else(usage)?;
+                seed = value.parse().map_err(|_| format!("bad --seed `{value}`"))?;
             }
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
             "--restore-answer" => {
                 let rest: Vec<&str> = iter.map(String::as_str).collect();
                 return restore_answer(&rest);
@@ -61,10 +104,15 @@ fn run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
-    let options = ServeOptions { node_budget };
+    if chaos {
+        let report = run_chaos(&ChaosOptions { seed, smoke })?;
+        println!("{report}");
+        return Ok(());
+    }
     if smoke {
         return smoke_test(options);
     }
+    let node_budget = options.node_budget;
     let server =
         Server::bind(addr.as_str(), options).map_err(|error| format!("bind {addr}: {error}"))?;
     let local = server.local_addr().map_err(|error| error.to_string())?;

@@ -211,6 +211,39 @@ impl fmt::Display for ModelSpec {
     }
 }
 
+/// The file name a spec's snapshot is stored under inside the server's
+/// `--snapshot-dir` (and what startup recovery parses back into a spec):
+/// every spec field is encoded, so the name alone identifies the instance.
+pub fn snapshot_file_name(spec: &ModelSpec) -> String {
+    format!(
+        "{}-n{}-t{}-v{}-{}-h{}.snap",
+        spec.protocol.wire_name(),
+        spec.n,
+        spec.t,
+        spec.values,
+        failure_wire_name(spec.failure),
+        spec.horizon
+    )
+}
+
+/// Inverse of [`snapshot_file_name`]: `None` when the name does not encode
+/// a valid spec (startup recovery quarantines such files).
+pub fn parse_snapshot_file_name(name: &str) -> Option<ModelSpec> {
+    let stem = name.strip_suffix(".snap")?;
+    let parts: Vec<&str> = stem.split('-').collect();
+    let [protocol, n, t, values, failure, horizon] = parts.as_slice() else {
+        return None;
+    };
+    let spec_text = format!(
+        "protocol={protocol} n={} t={} values={} failure={failure} horizon={}",
+        n.strip_prefix('n')?,
+        t.strip_prefix('t')?,
+        values.strip_prefix('v')?,
+        horizon.strip_prefix('h')?
+    );
+    ModelSpec::parse(&spec_text).ok()
+}
+
 /// Resolves the service's dotted atom vocabulary (see the module docs).
 ///
 /// # Errors
@@ -306,6 +339,12 @@ pub enum Request {
         spec: ModelSpec,
         /// Formula texts, one verdict each, in order.
         formulas: Vec<String>,
+        /// Optional per-batch wall-clock deadline in milliseconds (wire
+        /// token `deadline_ms=N` ahead of the spec). The server answers
+        /// `error budget-exceeded` when the batch cannot finish in time;
+        /// the effective deadline is the tighter of this and the server's
+        /// own `--deadline-ms`.
+        deadline_ms: Option<u64>,
     },
     /// Persist the instance's warm checker to a snapshot file.
     Snapshot {
@@ -330,8 +369,12 @@ impl Request {
             Request::Ping => "ping".to_string(),
             Request::Stats => "stats".to_string(),
             Request::Evict => "evict".to_string(),
-            Request::Check { spec, formulas } => {
-                let mut text = format!("check {spec}");
+            Request::Check { spec, formulas, deadline_ms } => {
+                let mut text = String::from("check ");
+                if let Some(ms) = deadline_ms {
+                    text.push_str(&format!("deadline_ms={ms} "));
+                }
+                text.push_str(&spec.to_string());
                 for formula in formulas {
                     text.push('\n');
                     text.push_str(formula);
@@ -361,12 +404,24 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "evict" => Ok(Request::Evict),
             "check" => {
-                let spec = ModelSpec::parse(rest)?;
+                // The optional deadline rides ahead of the spec (the spec
+                // parser rejects unknown keys, keeping cache keys exact).
+                let (deadline_ms, spec_text) = match rest.strip_prefix("deadline_ms=") {
+                    Some(tail) => {
+                        let (value, spec_text) = tail.split_once(' ').unwrap_or((tail, ""));
+                        let ms = value
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad deadline_ms `{value}`"))?;
+                        (Some(ms), spec_text)
+                    }
+                    None => (None, rest),
+                };
+                let spec = ModelSpec::parse(spec_text)?;
                 let formulas: Vec<String> = lines.map(str::to_string).collect();
                 if formulas.is_empty() {
                     return Err("check request carries no formulas".to_string());
                 }
-                Ok(Request::Check { spec, formulas })
+                Ok(Request::Check { spec, formulas, deadline_ms })
             }
             "snapshot" | "restore" => {
                 let spec = ModelSpec::parse(rest)?;
@@ -431,7 +486,15 @@ pub enum Response {
     SnapshotWritten(u64),
     /// `restore` reply: layers the restored checker holds.
     Restored(u64),
-    /// Any failure; the connection stays usable.
+    /// A `check` hit its wall-clock deadline budget; the touched instance
+    /// was evicted (not poisoned), the connection and every other warm
+    /// checker stay serviceable. The string carries the abort detail.
+    BudgetExceeded(String),
+    /// A `check` hit a server resource ceiling (live-node or operation
+    /// budget); same serviceability contract as
+    /// [`Response::BudgetExceeded`].
+    Overloaded(String),
+    /// Any other failure; the connection stays usable.
     Error(String),
 }
 
@@ -462,6 +525,12 @@ impl Response {
             }
             Response::SnapshotWritten(bytes) => format!("ok snapshot bytes={bytes}"),
             Response::Restored(layers) => format!("ok restored layers={layers}"),
+            Response::BudgetExceeded(message) => {
+                format!("error budget-exceeded {}", message.replace('\n', " "))
+            }
+            Response::Overloaded(message) => {
+                format!("error overloaded {}", message.replace('\n', " "))
+            }
             Response::Error(message) => format!("error {}", message.replace('\n', " ")),
         };
         text.into_bytes()
@@ -474,6 +543,14 @@ impl Response {
     /// Reports non-UTF-8 payloads and any shape mismatch.
     pub fn decode(payload: &[u8]) -> Result<Self, String> {
         let text = std::str::from_utf8(payload).map_err(|_| "response is not UTF-8".to_string())?;
+        // The budget errors are recognisable sub-channels of `error `;
+        // match them first so structured handling survives the wire.
+        if let Some(message) = text.strip_prefix("error budget-exceeded") {
+            return Ok(Response::BudgetExceeded(message.trim_start().to_string()));
+        }
+        if let Some(message) = text.strip_prefix("error overloaded") {
+            return Ok(Response::Overloaded(message.trim_start().to_string()));
+        }
         if let Some(message) = text.strip_prefix("error ") {
             return Ok(Response::Error(message.to_string()));
         }
@@ -587,6 +664,12 @@ mod tests {
             Request::Check {
                 spec,
                 formulas: vec!["CB exists0".to_string(), "decided[0]".to_string()],
+                deadline_ms: None,
+            },
+            Request::Check {
+                spec,
+                formulas: vec!["CB exists0".to_string()],
+                deadline_ms: Some(50),
             },
             Request::Snapshot { spec, path: "/tmp/x.snap".to_string() },
             Request::Restore { spec, path: "/tmp/x.snap".to_string() },
@@ -613,6 +696,8 @@ mod tests {
             }),
             Response::SnapshotWritten(4096),
             Response::Restored(5),
+            Response::BudgetExceeded("deadline after 12345 ops".to_string()),
+            Response::Overloaded("live-node ceiling".to_string()),
             Response::Error("boom".to_string()),
         ];
         for response in responses {
@@ -620,6 +705,79 @@ mod tests {
         }
         assert!(Request::decode(b"frobnicate").is_err());
         assert!(Request::decode(b"check protocol=floodset n=4 t=1").is_err(), "no formulas");
+        assert!(
+            Request::decode(b"check deadline_ms=abc protocol=floodset n=4 t=1\nCB exists0")
+                .is_err(),
+            "non-numeric deadline"
+        );
         assert!(Response::decode(b"ok nonsense").is_err());
+    }
+
+    #[test]
+    fn snapshot_file_names_round_trip_and_reject_garbage() {
+        for text in [
+            "protocol=floodset n=8 t=3 values=2 failure=crash",
+            "protocol=emin n=2 t=1 values=2 failure=general horizon=4",
+            "protocol=count n=3 t=1 failure=send",
+        ] {
+            let spec = ModelSpec::parse(text).unwrap();
+            let name = snapshot_file_name(&spec);
+            assert_eq!(parse_snapshot_file_name(&name), Some(spec), "name `{name}`");
+        }
+        assert_eq!(parse_snapshot_file_name("random.snap"), None);
+        assert_eq!(parse_snapshot_file_name("floodset-n8-t3-v2-crash-h5"), None, "no extension");
+        assert_eq!(parse_snapshot_file_name("floodset-n99-t3-v2-crash-h5.snap"), None, "bad n");
+    }
+
+    /// Property: no corruption of an encoded message — seeded bit flips,
+    /// truncations, or raw noise — can make `Request::decode`,
+    /// `Response::decode`, `ModelSpec::parse` or
+    /// `parse_snapshot_file_name` panic; a mutation either still decodes
+    /// to *some* value or errs with a message, never a crash.
+    #[test]
+    fn corrupted_payloads_never_panic_the_decoders() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0DEC);
+        let spec = ModelSpec::parse("protocol=floodset n=4 t=1 values=2 failure=crash").unwrap();
+        let seeds: Vec<Vec<u8>> = vec![
+            Request::Check {
+                spec,
+                formulas: vec!["CB exists0".to_string(), "AG decided[0]".to_string()],
+                deadline_ms: Some(50),
+            }
+            .encode(),
+            Request::Snapshot { spec, path: "auto".to_string() }.encode(),
+            Response::Check(CheckOutcome {
+                warm: false,
+                wall_micros: 1,
+                relational_products: 2,
+                session_hits: 3,
+                live_nodes: 4,
+                verdicts: vec![true, false],
+            })
+            .encode(),
+            Response::BudgetExceeded("deadline".to_string()).encode(),
+        ];
+        for round in 0..2_000 {
+            let mut bytes = seeds[round % seeds.len()].clone();
+            match rng.gen_range(0..3u32) {
+                0 if !bytes.is_empty() => {
+                    let at = rng.gen_range(0..bytes.len());
+                    bytes[at] ^= 1 << rng.gen_range(0..8u32);
+                }
+                1 => bytes.truncate(rng.gen_range(0..=bytes.len())),
+                _ => {
+                    let len = rng.gen_range(0..48usize);
+                    bytes = (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect();
+                }
+            }
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+            if let Ok(text) = std::str::from_utf8(&bytes) {
+                let _ = ModelSpec::parse(text);
+                let _ = parse_snapshot_file_name(text);
+            }
+        }
     }
 }

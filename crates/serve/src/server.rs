@@ -33,11 +33,15 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
-use epimc_check::{EvalSession, SymbolicChecker, SymbolicOptions};
+use epimc_check::{
+    catch_budget, BddError, Budget, BudgetReason, EvalSession, SymbolicChecker, SymbolicOptions,
+};
 use epimc_logic::Formula;
 use epimc_protocols::{
     CountFloodSet, DiffFloodSet, DworkMoses, DworkMosesRule, EBasic, EBasicRule, EMin, EMinRule,
@@ -47,23 +51,63 @@ use epimc_system::ConsensusAtom;
 
 use crate::framing::{read_frame, write_frame};
 use crate::proto::{
-    parse_service_formula, CheckOutcome, ModelSpec, ProtocolKind, Request, Response, ServerStats,
+    parse_service_formula, parse_snapshot_file_name, snapshot_file_name, CheckOutcome, ModelSpec,
+    ProtocolKind, Request, Response, ServerStats,
 };
 
 /// Default node budget: warm managers may hold this many live BDD nodes in
 /// total before LRU eviction kicks in.
 pub const DEFAULT_NODE_BUDGET: u64 = 1 << 23;
 
+/// Default socket read/write timeout on accepted connections, in
+/// milliseconds: long enough for any legitimate batch round trip, short
+/// enough that a dead client mid-frame frees the accept loop quickly.
+pub const DEFAULT_IO_TIMEOUT_MS: u64 = 30_000;
+
+/// The pseudo-path a snapshot/restore request may pass instead of a real
+/// path: the server resolves it inside its `--snapshot-dir` using
+/// [`snapshot_file_name`].
+pub const AUTO_SNAPSHOT_PATH: &str = "auto";
+
+/// The pseudo-formula the fault-injection harness sends to make a worker
+/// panic mid-request. Only honoured when
+/// [`ServeOptions::fault_injection`] is set; otherwise it is an ordinary
+/// (unparsable) formula and answers a parse error.
+pub const CHAOS_PANIC_FORMULA: &str = "__chaos_panic__";
+
 /// Server configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Total live-node budget across warm checkers (see the module docs).
     pub node_budget: u64,
+    /// Server-wide per-`check` wall-clock deadline in milliseconds
+    /// (`None` = unlimited). The effective deadline of a batch is the
+    /// tighter of this and the batch's own `deadline_ms`; a trip answers
+    /// `error budget-exceeded` and evicts the touched instance.
+    pub deadline_ms: Option<u64>,
+    /// Socket read/write timeout in milliseconds on accepted connections
+    /// (`0` = no timeout). A peer that goes silent mid-frame is dropped
+    /// after this long instead of wedging the single-threaded accept loop.
+    pub io_timeout_ms: u64,
+    /// Directory for `auto`-path snapshots. At startup every `*.snap`
+    /// file in it whose name encodes a valid spec is restored as a warm
+    /// checker; corrupt or unidentifiable files are quarantined (renamed
+    /// `*.corrupt`), never fatal.
+    pub snapshot_dir: Option<String>,
+    /// Honour [`CHAOS_PANIC_FORMULA`] (deterministic fault injection for
+    /// the `--chaos` harness). Off in production.
+    pub fault_injection: bool,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { node_budget: DEFAULT_NODE_BUDGET }
+        ServeOptions {
+            node_budget: DEFAULT_NODE_BUDGET,
+            deadline_ms: None,
+            io_timeout_ms: DEFAULT_IO_TIMEOUT_MS,
+            snapshot_dir: None,
+            fault_injection: false,
+        }
     }
 }
 
@@ -113,10 +157,11 @@ macro_rules! with_checker {
 
 impl WarmChecker {
     /// Builds the instance cold (full relational construction to the
-    /// spec's horizon).
-    fn build(spec: &ModelSpec) -> WarmChecker {
+    /// spec's horizon), under `budget` when one is given — a trip during
+    /// construction unwinds the typed budget error.
+    fn build(spec: &ModelSpec, budget: Option<Budget>) -> WarmChecker {
         let params = spec.params();
-        let options = SymbolicOptions::default();
+        let options = SymbolicOptions { budget, ..SymbolicOptions::default() };
         match spec.protocol {
             ProtocolKind::FloodSet => WarmChecker::FloodSet(SymbolicChecker::relational(
                 FloodSet,
@@ -206,6 +251,12 @@ impl WarmChecker {
         })
     }
 
+    /// Arms (or, with `None`, disarms) a per-request resource budget on
+    /// the warm manager.
+    fn set_budget(&self, budget: Option<Budget>) {
+        with_checker!(self, |checker, _rule| checker.set_budget(budget))
+    }
+
     fn session(&self) -> EvalSession {
         with_checker!(self, |checker, _rule| checker.session())
     }
@@ -262,7 +313,50 @@ fn base_key(spec: &ModelSpec) -> ModelSpec {
 
 impl ServerState {
     fn new(options: ServeOptions) -> Self {
-        ServerState { entries: HashMap::new(), clock: 0, requests: 0, evictions: 0, options }
+        let mut state =
+            ServerState { entries: HashMap::new(), clock: 0, requests: 0, evictions: 0, options };
+        state.recover_snapshots();
+        state
+    }
+
+    /// Startup-time recovery: every `*.snap` file in the snapshot
+    /// directory whose name encodes a valid spec is restored as a warm
+    /// checker; anything corrupt, truncated or unidentifiable is
+    /// quarantined by renaming it `*.corrupt`. Recovery never fails the
+    /// server — a bad snapshot costs a cold rebuild, not availability.
+    fn recover_snapshots(&mut self) {
+        let Some(dir) = self.options.snapshot_dir.clone() else { return };
+        let Ok(listing) = std::fs::read_dir(&dir) else { return };
+        for entry in listing.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|name| name.to_str()) else { continue };
+            if !name.ends_with(".snap") {
+                continue;
+            }
+            let restored = parse_snapshot_file_name(name).and_then(|spec| {
+                let bytes = std::fs::read(&path).ok()?;
+                // A snapshot that panics the decoder is treated the same
+                // as one that reports a checksum error: quarantined.
+                let checker =
+                    catch_unwind(AssertUnwindSafe(|| WarmChecker::restore(&spec, &bytes).ok()))
+                        .ok()
+                        .flatten()?;
+                Some((spec, checker))
+            });
+            match restored {
+                Some((spec, checker)) => {
+                    self.entries.insert(
+                        base_key(&spec),
+                        WarmEntry { checker, session: None, last_used: 0 },
+                    );
+                }
+                None => {
+                    let quarantine = path.with_extension("snap.corrupt");
+                    let _ = std::fs::rename(&path, &quarantine);
+                }
+            }
+        }
+        self.enforce_budget();
     }
 
     /// Evicts least-recently-used entries until the summed live nodes fit
@@ -304,7 +398,9 @@ impl ServerState {
                 }
                 Response::Evicted(count)
             }
-            Request::Check { spec, formulas } => self.check(spec, &formulas),
+            Request::Check { spec, formulas, deadline_ms } => {
+                self.check(spec, &formulas, deadline_ms)
+            }
             Request::Snapshot { spec, path } => self.snapshot(spec, &path),
             Request::Restore { spec, path } => self.restore(spec, &path),
         }
@@ -312,18 +408,23 @@ impl ServerState {
 
     /// Looks up or builds the warm entry for `spec`, extending its horizon
     /// when the request asks for more layers than are built. Returns the
-    /// key and whether the entry was already warm *and* long enough.
-    fn warm_entry(&mut self, spec: &ModelSpec) -> (ModelSpec, bool) {
+    /// key and whether the entry was already warm *and* long enough. Both
+    /// a cold build and an extension run under `budget` (when given), and
+    /// an existing entry is (dis)armed with it for the rest of the request.
+    fn warm_entry(&mut self, spec: &ModelSpec, budget: Option<Budget>) -> (ModelSpec, bool) {
         let key = base_key(spec);
         let clock = self.clock;
         let wanted_layers = spec.horizon as usize + 1;
         let existed = self.entries.contains_key(&key);
         let entry = self.entries.entry(key).or_insert_with(|| WarmEntry {
-            checker: WarmChecker::build(spec),
+            checker: WarmChecker::build(spec, budget),
             session: None,
             last_used: clock,
         });
         entry.last_used = clock;
+        if existed {
+            entry.checker.set_budget(budget);
+        }
         let warm = existed && entry.checker.num_layers() >= wanted_layers;
         if entry.checker.num_layers() < wanted_layers {
             // Extension invalidates cached denotations (the layers guard in
@@ -334,7 +435,29 @@ impl ServerState {
         (key, warm)
     }
 
-    fn check(&mut self, spec: ModelSpec, formula_texts: &[String]) -> Response {
+    /// The effective wall-clock deadline of a batch: the tighter of the
+    /// server-wide `--deadline-ms` and the batch's own `deadline_ms`.
+    fn effective_deadline_ms(&self, request_deadline_ms: Option<u64>) -> Option<u64> {
+        match (self.options.deadline_ms, request_deadline_ms) {
+            (Some(server), Some(request)) => Some(server.min(request)),
+            (server, request) => server.or(request),
+        }
+    }
+
+    fn check(
+        &mut self,
+        spec: ModelSpec,
+        formula_texts: &[String],
+        deadline_ms: Option<u64>,
+    ) -> Response {
+        if self.options.fault_injection
+            && formula_texts.iter().any(|text| text == CHAOS_PANIC_FORMULA)
+        {
+            // Deterministic mid-request worker panic for the chaos
+            // harness; `dispatch` turns it into an error response and
+            // evicts the touched entry.
+            panic!("injected chaos panic");
+        }
         let mut formulas = Vec::with_capacity(formula_texts.len());
         for text in formula_texts {
             match parse_service_formula(text) {
@@ -342,6 +465,9 @@ impl ServerState {
                 Err(error) => return Response::Error(format!("formula `{text}`: {error}")),
             }
         }
+        let budget = self
+            .effective_deadline_ms(deadline_ms)
+            .map(|ms| Budget::with_timeout(Duration::from_millis(ms)));
         let started = Instant::now();
         // Read the image counter before any build/extension so a cold
         // request charges its model construction to `relational_products`.
@@ -349,30 +475,58 @@ impl ServerState {
             .entries
             .get(&base_key(&spec))
             .map_or(0, |entry| entry.checker.relational_product_calls());
-        let (key, warm) = self.warm_entry(&spec);
-        let entry = self.entries.get_mut(&key).expect("warm_entry just inserted it");
-        let mut session = entry.session.take().unwrap_or_else(|| entry.checker.session());
-        let hits_before = session.hits();
-        let verdicts: Vec<bool> = formulas
-            .iter()
-            .map(|formula| entry.checker.holds_everywhere_in_session(&mut session, formula))
-            .collect();
-        let session_hits = session.hits() - hits_before;
-        entry.session = Some(session);
-        let outcome = CheckOutcome {
-            warm,
-            wall_micros: started.elapsed().as_micros() as u64,
-            relational_products: entry.checker.relational_product_calls() - products_before,
-            session_hits,
-            live_nodes: entry.checker.live_nodes(),
-            verdicts,
-        };
-        self.enforce_budget();
-        Response::Check(outcome)
+        let key = base_key(&spec);
+        // Everything that can trip the budget — cold build, horizon
+        // extension, evaluation — runs under `catch_budget`; on a trip the
+        // touched entry is evicted (its in-flight state is suspect, and
+        // safe-point aborts make dropping it sound), every other warm
+        // checker stays untouched, and the connection stays serviceable.
+        let state = &mut *self;
+        let result = catch_budget(move || {
+            let (key, warm) = state.warm_entry(&spec, budget);
+            let entry = state.entries.get_mut(&key).expect("warm_entry just inserted it");
+            let mut session = entry.session.take().unwrap_or_else(|| entry.checker.session());
+            let hits_before = session.hits();
+            let verdicts: Vec<bool> = formulas
+                .iter()
+                .map(|formula| entry.checker.holds_everywhere_in_session(&mut session, formula))
+                .collect();
+            let session_hits = session.hits() - hits_before;
+            entry.session = Some(session);
+            entry.checker.set_budget(None);
+            CheckOutcome {
+                warm,
+                wall_micros: started.elapsed().as_micros() as u64,
+                relational_products: entry.checker.relational_product_calls() - products_before,
+                session_hits,
+                live_nodes: entry.checker.live_nodes(),
+                verdicts,
+            }
+        });
+        match result {
+            Ok(outcome) => {
+                self.enforce_budget();
+                Response::Check(outcome)
+            }
+            Err(error) => {
+                // Evict exactly the touched entry; an aborted checker is
+                // dropped, not poisoned in place.
+                if let Some(mut entry) = self.entries.remove(&key) {
+                    entry.session = None;
+                    drop(entry);
+                    self.evictions += 1;
+                }
+                budget_response(&error)
+            }
+        }
     }
 
     fn snapshot(&mut self, spec: ModelSpec, path: &str) -> Response {
-        let (key, _) = self.warm_entry(&spec);
+        let path = match self.resolve_snapshot_path(&spec, path) {
+            Ok(path) => path,
+            Err(error) => return Response::Error(error),
+        };
+        let (key, _) = self.warm_entry(&spec, None);
         let entry = self.entries.get_mut(&key).expect("warm_entry just inserted it");
         // The checker refuses to snapshot under live sessions (their
         // denotations are process-local); the cache restarts afterwards.
@@ -381,14 +535,32 @@ impl ServerState {
             Ok(bytes) => bytes,
             Err(error) => return Response::Error(error),
         };
-        match std::fs::write(path, &bytes) {
+        match write_atomic(Path::new(&path), &bytes) {
             Ok(()) => Response::SnapshotWritten(bytes.len() as u64),
             Err(error) => Response::Error(format!("writing {path}: {error}")),
         }
     }
 
+    /// Resolves the [`AUTO_SNAPSHOT_PATH`] pseudo-path inside the
+    /// configured snapshot directory; real paths pass through.
+    fn resolve_snapshot_path(&self, spec: &ModelSpec, path: &str) -> Result<String, String> {
+        if path != AUTO_SNAPSHOT_PATH {
+            return Ok(path.to_string());
+        }
+        let dir = self
+            .options
+            .snapshot_dir
+            .as_deref()
+            .ok_or("`auto` snapshot path needs the server to run with --snapshot-dir")?;
+        Ok(Path::new(dir).join(snapshot_file_name(spec)).to_string_lossy().into_owned())
+    }
+
     fn restore(&mut self, spec: ModelSpec, path: &str) -> Response {
-        let bytes = match std::fs::read(path) {
+        let path = match self.resolve_snapshot_path(&spec, path) {
+            Ok(path) => path,
+            Err(error) => return Response::Error(error),
+        };
+        let bytes = match std::fs::read(&path) {
             Ok(bytes) => bytes,
             Err(error) => return Response::Error(format!("reading {path}: {error}")),
         };
@@ -407,6 +579,39 @@ impl ServerState {
         self.enforce_budget();
         Response::Restored(layers)
     }
+}
+
+/// Maps the typed budget error onto the wire: a deadline trip is the
+/// caller's budget (`error budget-exceeded`), node/fuel ceilings are the
+/// server protecting itself (`error overloaded`).
+fn budget_response(error: &BddError) -> Response {
+    let BddError::BudgetExceeded { reason, .. } = error;
+    match reason {
+        BudgetReason::Deadline => Response::BudgetExceeded(error.to_string()),
+        BudgetReason::LiveNodes | BudgetReason::Ops => Response::Overloaded(error.to_string()),
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a temp file in the same directory
+/// is written, `sync_all`ed, then renamed over the target — a crash or
+/// torn write mid-snapshot leaves any previous snapshot intact.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let file_name = path.file_name().and_then(|name| name.to_str()).unwrap_or("snapshot");
+    let tmp = dir.join(format!(".{}.tmp-{}", file_name, std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Restores a checker snapshot and answers a batch of formulas without any
@@ -481,6 +686,15 @@ impl Server {
         // Responses are written as whole frames; without this, Nagle plus
         // the client's delayed ACK stalls every reply.
         stream.set_nodelay(true)?;
+        // A peer that connects and goes silent mid-frame (or stops
+        // draining responses) is dropped after the I/O timeout instead of
+        // wedging the single-threaded accept loop forever.
+        let timeout = match self.state.options.io_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         while let Some(payload) = read_frame(&mut stream)? {
             let response = match Request::decode(&payload) {
                 Ok(request) => self.dispatch(request),
@@ -509,6 +723,11 @@ impl Server {
                     .downcast::<String>()
                     .map(|boxed| *boxed)
                     .or_else(|payload| payload.downcast::<&str>().map(|boxed| boxed.to_string()))
+                    .or_else(|payload| {
+                        // A budget trip outside the check path's own
+                        // catch (e.g. during a snapshot build).
+                        payload.downcast::<BddError>().map(|boxed| boxed.to_string())
+                    })
                     .unwrap_or_else(|_| "non-string panic payload".to_string());
                 if let Some(key) = touched {
                     // The panic may have left the entry mid-mutation; a
@@ -537,6 +756,7 @@ mod tests {
                 "CB exists0 => decides[0].0".to_string(),
                 "AG (decided[1].0 => !decided[1].1)".to_string(),
             ],
+            deadline_ms: None,
         }
     }
 
@@ -579,7 +799,7 @@ mod tests {
 
     #[test]
     fn node_budget_evicts_least_recently_used() {
-        let mut state = ServerState::new(ServeOptions { node_budget: 1 });
+        let mut state = ServerState::new(ServeOptions { node_budget: 1, ..Default::default() });
         let floodset = floodset_spec();
         let count = ModelSpec::parse("protocol=count n=2 t=1 failure=send").unwrap();
         state.handle(check_request(floodset));
@@ -597,12 +817,16 @@ mod tests {
     #[test]
     fn malformed_formulas_and_unknown_commands_answer_errors() {
         let mut state = ServerState::new(ServeOptions::default());
-        let response = state
-            .handle(Request::Check { spec: floodset_spec(), formulas: vec!["K[0] (".to_string()] });
+        let response = state.handle(Request::Check {
+            spec: floodset_spec(),
+            formulas: vec!["K[0] (".to_string()],
+            deadline_ms: None,
+        });
         assert!(matches!(response, Response::Error(_)));
         let response = state.handle(Request::Check {
             spec: floodset_spec(),
             formulas: vec!["flux[3]".to_string()],
+            deadline_ms: None,
         });
         assert!(matches!(response, Response::Error(_)));
         assert!(matches!(
@@ -636,5 +860,206 @@ mod tests {
         assert!(restored.warm, "a restored instance is warm");
         assert_eq!(restored.verdicts, before.verdicts);
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("epimc-serve-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn dir_options(dir: &std::path::Path) -> ServeOptions {
+        ServeOptions {
+            snapshot_dir: Some(dir.to_string_lossy().into_owned()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up_its_temp_file() {
+        let dir = temp_dir("atomic");
+        let target = dir.join("value.snap");
+        write_atomic(&target, b"first").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first");
+        write_atomic(&target, b"second").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().flatten().collect();
+        assert_eq!(leftovers.len(), 1, "no temp files survive a successful write");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The torn-write regression: a writer that dies after the temp file
+    /// but before the rename must leave the previous snapshot intact —
+    /// restorable by the running server *and* by startup recovery (which
+    /// must ignore the orphaned temp file).
+    #[test]
+    fn torn_write_leaves_previous_snapshot_intact() {
+        let dir = temp_dir("torn");
+        let spec = floodset_spec();
+        let mut state = ServerState::new(dir_options(&dir));
+        let before = expect_check(state.handle(check_request(spec)));
+        match state.handle(Request::Snapshot { spec, path: AUTO_SNAPSHOT_PATH.to_string() }) {
+            Response::SnapshotWritten(bytes) => assert!(bytes > 0),
+            other => panic!("expected a snapshot response, got {other:?}"),
+        }
+        let snap = dir.join(snapshot_file_name(&spec));
+        let good = std::fs::read(&snap).unwrap();
+
+        // A second writer dies mid-write: its temp file holds garbage and
+        // never reaches the rename.
+        let orphan = dir.join(format!(".{}.tmp-99999", snapshot_file_name(&spec)));
+        std::fs::write(&orphan, b"torn garbage, half a snapshot").unwrap();
+
+        assert_eq!(std::fs::read(&snap).unwrap(), good, "the previous snapshot is untouched");
+        match state.handle(Request::Restore { spec, path: AUTO_SNAPSHOT_PATH.to_string() }) {
+            Response::Restored(layers) => assert_eq!(layers, spec.horizon as u64 + 1),
+            other => panic!("expected a restore response, got {other:?}"),
+        }
+
+        // Startup recovery restores the good snapshot and ignores the
+        // orphan (only `*.snap` names are considered).
+        let mut recovered = ServerState::new(dir_options(&dir));
+        assert_eq!(recovered.entries.len(), 1, "recovery found the snapshot");
+        let warm = expect_check(recovered.handle(check_request(spec)));
+        assert!(warm.warm, "a recovered instance answers warm");
+        assert_eq!(warm.verdicts, before.verdicts);
+        assert!(orphan.exists(), "recovery does not touch orphaned temp files");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_recovery_quarantines_corrupt_snapshots() {
+        let dir = temp_dir("quarantine");
+        let spec = floodset_spec();
+        let mut state = ServerState::new(dir_options(&dir));
+        let before = expect_check(state.handle(check_request(spec)));
+        state.handle(Request::Snapshot { spec, path: AUTO_SNAPSHOT_PATH.to_string() });
+        let snap = dir.join(snapshot_file_name(&spec));
+        // Tear the file on disk: truncate to half.
+        let bytes = std::fs::read(&snap).unwrap();
+        std::fs::write(&snap, &bytes[..bytes.len() / 2]).unwrap();
+        // Plus a stray .snap file whose name encodes no spec.
+        std::fs::write(dir.join("not-a-spec.snap"), b"junk").unwrap();
+
+        let mut recovered = ServerState::new(dir_options(&dir));
+        assert_eq!(recovered.entries.len(), 0, "nothing corrupt is trusted");
+        assert!(!snap.exists(), "the torn snapshot was moved aside");
+        assert!(snap.with_extension("snap.corrupt").exists(), "quarantined, not deleted");
+        assert!(dir.join("not-a-spec.snap.corrupt").exists());
+        // Availability is unharmed: the instance rebuilds cold.
+        let cold = expect_check(recovered.handle(check_request(spec)));
+        assert!(!cold.warm);
+        assert_eq!(cold.verdicts, before.verdicts);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The budget-trip eviction contract: a deadline that expires
+    /// mid-check evicts exactly the touched entry; every other warm
+    /// checker keeps its denotation cache (session hits unchanged), and
+    /// the next request for the evicted instance rebuilds cold and
+    /// succeeds.
+    #[test]
+    fn budget_trip_evicts_exactly_the_touched_entry() {
+        let mut state = ServerState::new(ServeOptions::default());
+        let floodset = floodset_spec();
+        let count = ModelSpec::parse("protocol=count n=2 t=1 failure=send").unwrap();
+        let floodset_cold = expect_check(state.handle(check_request(floodset)));
+        expect_check(state.handle(check_request(count)));
+        let count_warm = expect_check(state.handle(check_request(count)));
+        assert!(count_warm.warm && count_warm.session_hits > 0);
+        assert_eq!(state.entries.len(), 2);
+        let evictions_before = state.evictions;
+
+        // An expired deadline on a horizon extension of the floodset
+        // entry: the extension's first GC safe point trips the budget.
+        let longer = ModelSpec { horizon: floodset.horizon + 3, ..floodset };
+        let response = state.handle(Request::Check {
+            spec: longer,
+            formulas: vec!["EF decided[2]".to_string()],
+            deadline_ms: Some(0),
+        });
+        assert!(
+            matches!(response, Response::BudgetExceeded(_)),
+            "an expired deadline answers budget-exceeded, got {response:?}"
+        );
+        assert_eq!(state.evictions, evictions_before + 1, "exactly one eviction");
+        assert!(!state.entries.contains_key(&base_key(&floodset)), "the touched entry is gone");
+        assert!(state.entries.contains_key(&base_key(&count)), "the other entry survives");
+
+        // The untouched entry is still warm, denotation cache intact.
+        let still_warm = expect_check(state.handle(check_request(count)));
+        assert!(still_warm.warm, "the untouched entry stays warm");
+        assert!(still_warm.session_hits > 0, "its denotation cache was not dropped");
+        assert_eq!(still_warm.relational_products, 0);
+
+        // The evicted instance rebuilds cold and answers correctly.
+        let rebuilt = expect_check(state.handle(check_request(floodset)));
+        assert!(!rebuilt.warm, "the evicted instance rebuilds cold");
+        assert_eq!(rebuilt.verdicts, floodset_cold.verdicts);
+    }
+
+    /// An expired deadline on a *cold build* answers budget-exceeded
+    /// without ever inserting a poisoned entry; retrying without a
+    /// deadline succeeds.
+    #[test]
+    fn budget_trip_during_cold_build_leaves_no_entry_behind() {
+        let mut state = ServerState::new(ServeOptions::default());
+        let spec = floodset_spec();
+        let response = state.handle(Request::Check {
+            spec,
+            formulas: vec!["EF decided[2]".to_string()],
+            deadline_ms: Some(0),
+        });
+        assert!(matches!(response, Response::BudgetExceeded(_)), "got {response:?}");
+        assert!(state.entries.is_empty(), "an aborted cold build inserts nothing");
+        let retry = expect_check(state.handle(check_request(spec)));
+        assert!(!retry.warm);
+    }
+
+    /// The server-wide `--deadline-ms` applies without any per-request
+    /// token, and the per-request token can only tighten it.
+    #[test]
+    fn server_wide_deadline_applies_and_tightens() {
+        let state = ServerState::new(ServeOptions { deadline_ms: Some(40), ..Default::default() });
+        assert_eq!(state.effective_deadline_ms(None), Some(40));
+        assert_eq!(state.effective_deadline_ms(Some(10)), Some(10));
+        assert_eq!(state.effective_deadline_ms(Some(90)), Some(40), "requests cannot loosen it");
+        let unlimited = ServerState::new(ServeOptions::default());
+        assert_eq!(unlimited.effective_deadline_ms(None), None);
+        assert_eq!(unlimited.effective_deadline_ms(Some(7)), Some(7));
+    }
+
+    /// A silent peer — half a length prefix, then nothing — is dropped
+    /// within the configured I/O timeout instead of wedging the
+    /// single-threaded accept loop.
+    #[test]
+    fn silent_peer_is_dropped_within_io_timeout() {
+        use std::io::Read;
+        let options = ServeOptions { io_timeout_ms: 200, ..Default::default() };
+        let server = Server::bind("127.0.0.1:0", options).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(&[0x02, 0x00]).unwrap(); // half a prefix, then silence
+        stream.set_read_timeout(Some(Duration::from_millis(2_000))).unwrap();
+        let started = Instant::now();
+        let mut sink = [0u8; 16];
+        // The server must close (EOF / reset), not leave us blocked until
+        // our own 2 s guard.
+        let dropped = match stream.read(&mut sink) {
+            Ok(0) | Err(_) => true,
+            Ok(_) => false,
+        };
+        let elapsed = started.elapsed();
+        assert!(dropped, "expected the server to drop the silent peer");
+        assert!(
+            elapsed < Duration::from_millis(1_000),
+            "silent peer held the connection for {elapsed:?} under a 200 ms I/O timeout"
+        );
+
+        // And the server is still answering afterwards.
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        client.ping().unwrap();
     }
 }

@@ -84,7 +84,7 @@ pub use kbp::{KbpBranch, KnowledgeBasedProgram};
 pub use predicate::{ObsLiteral, PredicateCube, PredicateReport};
 pub use symbolic::{
     Frontend, SymbolicSynthesisOptions, SymbolicSynthesisProfile, SymbolicSynthesizer,
-    SynthesisRound,
+    SynthesisAbort, SynthesisRound,
 };
 pub use synthesize::{
     NonUniformClass, SynthesisOutcome, SynthesisStats, Synthesizer, TemplateValuation,

@@ -44,9 +44,11 @@
 //! cache rates) are recorded in a [`SymbolicSynthesisProfile`] for the
 //! `tables -- synthesis` ablation.
 
+use std::cell::Cell;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use epimc_bdd::{catch_budget, BddError};
 use epimc_check::{SymbolicChecker, SymbolicOptions, SymbolicStats};
 use epimc_logic::AgentId;
 use epimc_relational::SymbolicEncode;
@@ -174,7 +176,32 @@ pub struct SymbolicSynthesizer<E: InformationExchange> {
     exchange: E,
     params: ModelParams,
     options: SymbolicSynthesisOptions,
+    /// Rounds fully recorded by the most recent run — the partial-progress
+    /// stat [`SymbolicSynthesizer::try_synthesize`] reports when a budget
+    /// trip unwinds past the run's local profile.
+    rounds_progress: Cell<usize>,
 }
+
+/// A budget trip during synthesis, translated into a structured error by
+/// [`SymbolicSynthesizer::try_synthesize`]. Carries the partial progress
+/// the run had made; the synthesizer itself stays reusable (each run
+/// builds a fresh checker).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthesisAbort {
+    /// The underlying manager error (which limit, ops performed, live
+    /// nodes at the trip point).
+    pub error: BddError,
+    /// Synthesis rounds fully completed before the abort.
+    pub rounds_completed: usize,
+}
+
+impl fmt::Display for SynthesisAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} after {} completed rounds", self.error, self.rounds_completed)
+    }
+}
+
+impl std::error::Error for SynthesisAbort {}
 
 impl<E: InformationExchange> SymbolicSynthesizer<E> {
     /// Creates a symbolic synthesizer with default options.
@@ -188,7 +215,7 @@ impl<E: InformationExchange> SymbolicSynthesizer<E> {
         params: ModelParams,
         options: SymbolicSynthesisOptions,
     ) -> Self {
-        SymbolicSynthesizer { exchange, params, options }
+        SymbolicSynthesizer { exchange, params, options, rounds_progress: Cell::new(0) }
     }
 
     /// Runs the forward synthesis algorithm for `program` over the explicit
@@ -245,6 +272,7 @@ impl<E: InformationExchange> SymbolicSynthesizer<E> {
                 wall: round_start.elapsed(),
                 stats: round_stats,
             });
+            self.rounds_progress.set(profile.rounds.len());
             if time < horizon
                 && induction.advance(&mut model, self.options.early_exit, time, horizon)
             {
@@ -277,6 +305,19 @@ impl<E: InformationExchange + SymbolicEncode> SymbolicSynthesizer<E> {
             Frontend::Explicit => self.synthesize_explicit_profiled(program),
             Frontend::Relational => self.synthesize_relational_profiled(program),
         }
+    }
+
+    /// Fallible [`SymbolicSynthesizer::synthesize_profiled`]: when the
+    /// installed budget (`options.symbolic.budget`) trips mid-run, the
+    /// abort is returned as a structured [`SynthesisAbort`] carrying the
+    /// number of rounds that completed, instead of unwinding.
+    pub fn try_synthesize(
+        &self,
+        program: &KnowledgeBasedProgram,
+    ) -> Result<(SynthesisOutcome, SymbolicSynthesisProfile), SynthesisAbort> {
+        self.rounds_progress.set(0);
+        catch_budget(|| self.synthesize_profiled(program))
+            .map_err(|error| SynthesisAbort { error, rounds_completed: self.rounds_progress.get() })
     }
 
     /// The purely symbolic forward induction: the reachable layers are built
@@ -327,6 +368,7 @@ impl<E: InformationExchange + SymbolicEncode> SymbolicSynthesizer<E> {
                 wall: round_start.elapsed(),
                 stats: checker.stats(),
             });
+            self.rounds_progress.set(profile.rounds.len());
             if time < horizon {
                 checker.extend_layer_relational(&induction.rule);
                 total_states += layer_states(&checker, time + 1);
