@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p epimc-bench --bin tables -- \
-//!     [table1|table2|table3|scaling|ablation|explore|symbolic|synthesis|reorder|frontend|all]
+//!     [table1|table2|table3|scaling|ablation|explore|symbolic|synthesis|reorder|frontend|local|all]
 //!     [--timeout <seconds>] [--full] [--smoke] [--budget <file>] [--json]
 //! ```
 //!
@@ -42,6 +42,16 @@
 //! `crates/bench/frontend_budget.txt`) and `--full` (which appends the
 //! FloodSet n=10/n=12 headline instances) work as for `symbolic`.
 //!
+//! `local` prints the local-engine ablation: the lazy on-the-fly engine
+//! (fixpoint equation system over layers materialised on demand) versus
+//! the global symbolic engine (full relational construction) answering
+//! the same layer-0 knowledge query, with layers-expanded against the
+//! horizon, wall clocks, peak live nodes and warm-repeat memo hits. A
+//! verdict disagreement between the engines fails the run. `--smoke` and
+//! `--budget <file>` work as for `symbolic` (CI runs
+//! `crates/bench/local_budget.txt`, gating layers expanded and peak live
+//! nodes per instance); `--full` appends the FloodSet n=12 cell.
+//!
 //! `serve` prints the checking-service ablation: cold (build included)
 //! versus warm (cross-request denotation cache) latency of a batched
 //! query against `epimc-serve`, the relational-image and cache-hit
@@ -52,9 +62,10 @@
 //! relational images, warm wall ≤ 10% of cold).
 //!
 //! `--json` additionally writes the measured `symbolic`, `synthesis`,
-//! `reorder`, `frontend` and `serve` grids as machine-readable snapshots
-//! (`BENCH_symbolic.json`, `BENCH_synthesis.json`, `BENCH_reorder.json`,
-//! `BENCH_frontend.json`, `BENCH_serve.json`, always placed at the
+//! `reorder`, `frontend`, `local` and `serve` grids as machine-readable
+//! snapshots (`BENCH_symbolic.json`, `BENCH_synthesis.json`,
+//! `BENCH_reorder.json`, `BENCH_frontend.json`, `BENCH_local.json`,
+//! `BENCH_serve.json`, always placed at the
 //! workspace root regardless of the invocation directory), so the perf
 //! trajectory can be tracked across PRs.
 //!
@@ -65,9 +76,10 @@
 use std::time::Duration;
 
 use epimc_bench::{
-    ablation_table, check_frontend_budget, check_reorder_budget, check_serve_budget,
-    check_symbolic_budget, check_synthesis_budget, explore_table, frontend_rows,
-    frontend_rows_json, render_frontend_table, render_reorder_table, render_serve_table,
+    ablation_table, check_frontend_budget, check_local_budget, check_reorder_budget,
+    check_serve_budget, check_symbolic_budget, check_synthesis_budget, explore_table,
+    frontend_rows, frontend_rows_json, local_disagreements, local_rows, local_rows_json,
+    render_frontend_table, render_local_table, render_reorder_table, render_serve_table,
     render_symbolic_table, render_synthesis_table, reorder_rows, reorder_rows_json, scaling_table,
     serve_rows, serve_rows_json, snapshot_path, symbolic_rows, symbolic_rows_json, synthesis_rows,
     synthesis_rows_json, table1, table2, table3, DEFAULT_TIMEOUT,
@@ -206,6 +218,26 @@ fn main() {
                     check_budget_or_exit(check_frontend_budget(&rows, &budget));
                 }
             }
+            "local" => {
+                let rows = local_rows(full, smoke);
+                print!("{}", render_local_table(&rows));
+                let disagreements = local_disagreements(&rows);
+                if !disagreements.is_empty() {
+                    eprintln!("local and global engines disagree on: {}", disagreements.join(", "));
+                    std::process::exit(1);
+                }
+                if json {
+                    write_snapshot(
+                        "BENCH_local.json",
+                        &local_rows_json(&rows, grid_label(full, smoke)),
+                    );
+                }
+                if let Some(path) = &budget_path {
+                    let budget = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("cannot read budget file {path}: {e}"));
+                    check_budget_or_exit(check_local_budget(&rows, &budget));
+                }
+            }
             "serve" => {
                 let rows = serve_rows(full, smoke);
                 print!("{}", render_serve_table(&rows));
@@ -246,6 +278,17 @@ fn main() {
                 let frontend = frontend_rows(full, smoke);
                 print!("{}", render_frontend_table(&frontend));
                 println!();
+                let local = local_rows(full, smoke);
+                print!("{}", render_local_table(&local));
+                let local_diverged = local_disagreements(&local);
+                if !local_diverged.is_empty() {
+                    eprintln!(
+                        "local and global engines disagree on: {}",
+                        local_diverged.join(", ")
+                    );
+                    std::process::exit(1);
+                }
+                println!();
                 let serve = serve_rows(full, smoke);
                 print!("{}", render_serve_table(&serve));
                 if json {
@@ -254,10 +297,11 @@ fn main() {
                     write_snapshot("BENCH_synthesis.json", &synthesis_rows_json(&synthesis, grid));
                     write_snapshot("BENCH_reorder.json", &reorder_rows_json(&reorder, grid));
                     write_snapshot("BENCH_frontend.json", &frontend_rows_json(&frontend, grid));
+                    write_snapshot("BENCH_local.json", &local_rows_json(&local, grid));
                     write_snapshot("BENCH_serve.json", &serve_rows_json(&serve, grid));
                 }
             }
-            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, reorder, frontend, serve, or all)"),
+            other => eprintln!("unknown table `{other}` (expected table1, table2, table3, scaling, ablation, explore, symbolic, synthesis, reorder, frontend, local, serve, or all)"),
         }
         println!();
     }

@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use epimc::experiments::{format_mck_duration, with_timeout};
+use epimc::experiments::{format_mck_duration, local_profile, with_timeout};
 use epimc::prelude::*;
 
 /// Default per-cell timeout used by the `tables` binary, mirroring the
@@ -1066,6 +1066,202 @@ pub fn frontend_rows_json(rows: &[FrontendRow], grid: &str) -> String {
         })
         .collect::<Vec<_>>();
     json_document("frontend", grid, cells)
+}
+
+/// One row of the local-engine ablation: a stable instance id (the key
+/// prefix used by `local_budget.txt`) plus the lazy-versus-global
+/// measurement.
+pub struct LocalRow {
+    /// Stable identifier, e.g. `floodset-n10-t3`.
+    pub id: String,
+    /// The measurement (see [`epimc::experiments::LocalProfile`]).
+    pub profile: LocalProfile,
+}
+
+/// The layer-0 query every local row answers: the SBA knowledge condition
+/// `B_0 CB exists0`, purely epistemic, so the fixpoint solver never needs
+/// a layer beyond the one asked about — the laziness headline.
+fn local_query() -> (String, Formula<ConsensusAtom>) {
+    type F = Formula<ConsensusAtom>;
+    let exists0 = F::atom(ConsensusAtom::ExistsInit(Value::new(0)));
+    (
+        "B_0 CB exists0 @ t=0".to_string(),
+        F::believes_nonfaulty(AgentId::new(0), F::common_belief(exists0)),
+    )
+}
+
+fn local_row<E, R>(id: String, exchange: E, rule: R, params: ModelParams) -> LocalRow
+where
+    E: InformationExchange + SymbolicEncode + 'static,
+    R: DecisionRule<E> + SymbolicRule<E> + Clone + 'static,
+{
+    let (query, formula) = local_query();
+    let profile = local_profile(id.clone(), exchange, params, rule, 0, query, formula);
+    LocalRow { id, profile }
+}
+
+fn sba_local_row(exchange: SbaExchangeKind, n: usize, t: usize) -> LocalRow {
+    let params = ModelParams::builder()
+        .agents(n)
+        .max_faulty(t)
+        .values(2)
+        .failure(FailureKind::Crash)
+        .build();
+    match exchange {
+        SbaExchangeKind::FloodSet => {
+            local_row(format!("floodset-n{n}-t{t}"), FloodSet, FloodSetRule, params)
+        }
+        SbaExchangeKind::CountFloodSet => {
+            local_row(format!("count-n{n}-t{t}"), CountFloodSet, TextbookRule, params)
+        }
+        SbaExchangeKind::DiffFloodSet => {
+            local_row(format!("diff-n{n}-t{t}"), DiffFloodSet, TextbookRule, params)
+        }
+        SbaExchangeKind::DworkMoses => {
+            local_row(format!("dworkmoses-n{n}-t{t}"), DworkMoses, DworkMosesRule, params)
+        }
+    }
+}
+
+fn eba_local_row(exchange: EbaExchangeKind, n: usize, t: usize) -> LocalRow {
+    let params = ModelParams::builder()
+        .agents(n)
+        .max_faulty(t)
+        .values(2)
+        .failure(FailureKind::SendOmission)
+        .build();
+    match exchange {
+        EbaExchangeKind::EMin => local_row(format!("emin-n{n}-t{t}-om"), EMin, EMinRule, params),
+        EbaExchangeKind::EBasic => {
+            local_row(format!("ebasic-n{n}-t{t}-om"), EBasic, EBasicRule, params)
+        }
+    }
+}
+
+/// Measures the local-engine ablation grid: the same layer-0 query
+/// answered by the lazy local engine (layers on demand) and the global
+/// symbolic engine (full relational construction), across the six
+/// protocol families. The large FloodSet cells — where the global build's
+/// deeper layers are pure waste for a layer-0 query — are the headline.
+/// `smoke` restricts the run to the single CI instance.
+pub fn local_rows(full: bool, smoke: bool) -> Vec<LocalRow> {
+    if smoke {
+        return vec![sba_local_row(SbaExchangeKind::FloodSet, 4, 1)];
+    }
+    let mut rows = vec![
+        sba_local_row(SbaExchangeKind::CountFloodSet, 4, 1),
+        sba_local_row(SbaExchangeKind::DiffFloodSet, 3, 1),
+        sba_local_row(SbaExchangeKind::DworkMoses, 3, 1),
+        eba_local_row(EbaExchangeKind::EMin, 3, 1),
+        eba_local_row(EbaExchangeKind::EBasic, 2, 1),
+        sba_local_row(SbaExchangeKind::FloodSet, 6, 2),
+        sba_local_row(SbaExchangeKind::FloodSet, 8, 3),
+        sba_local_row(SbaExchangeKind::FloodSet, 10, 3),
+    ];
+    if full {
+        rows.push(sba_local_row(SbaExchangeKind::FloodSet, 12, 3));
+    }
+    rows
+}
+
+/// The rows on which the two engines disagreed (must be empty; a
+/// disagreement fails the `tables -- local` run).
+pub fn local_disagreements(rows: &[LocalRow]) -> Vec<&str> {
+    rows.iter().filter(|row| !row.profile.agreed).map(|row| row.id.as_str()).collect()
+}
+
+/// Renders the local-engine ablation rows as a table.
+pub fn render_local_table(rows: &[LocalRow]) -> String {
+    let cells: Vec<Cell> = rows
+        .iter()
+        .map(|row| {
+            let p = &row.profile;
+            Cell {
+                key: vec![format!("{:<20}", row.id)],
+                entries: vec![
+                    format!("{}/{}", p.layers_expanded, p.horizon + 1),
+                    format_mck_duration(p.local_wall),
+                    format_mck_duration(p.global_wall),
+                    format!("{:.1}x", p.speedup()),
+                    p.local_peak_live_nodes.to_string(),
+                    p.global_peak_live_nodes.to_string(),
+                    p.memo_hits.to_string(),
+                    if p.agreed { "yes" } else { "NO" }.to_string(),
+                ],
+            }
+        })
+        .collect();
+    let mut out = render_table(
+        "Local engine: on-the-fly solving versus global symbolic checking (B_0 CB exists0 @ t=0)",
+        &["instance            "],
+        &[
+            "layers used",
+            "local wall",
+            "global wall",
+            "speedup",
+            "local peak",
+            "global peak",
+            "memo hits",
+            "agreed",
+        ],
+        &cells,
+    );
+    out.push_str(
+        "'layers used' counts the reachable layers the local engine materialised against the\n\
+         layers a full build constructs; 'local wall' includes lazy construction and solving,\n\
+         'global wall' the full relational build plus the same query bounded to the layer.\n\
+         'memo hits' are verdict-memo and hash-consing hits after a warm repeat of the query.\n",
+    );
+    out
+}
+
+/// Checks the local-engine gate against a checked-in budget file: for each
+/// row, `<id>-layers` bounds the layers the lazy engine may materialise
+/// for the layer-0 query (a laziness regression shows up as a count jump)
+/// and `<id>-peak` bounds its manager's peak live nodes. Same file format
+/// and failure semantics as [`check_symbolic_budget`].
+pub fn check_local_budget(rows: &[LocalRow], budget_text: &str) -> Result<String, String> {
+    let owned: Vec<(String, usize)> = rows
+        .iter()
+        .flat_map(|row| {
+            [
+                (format!("{}-layers", row.id), row.profile.layers_expanded),
+                (format!("{}-peak", row.id), row.profile.local_peak_live_nodes),
+            ]
+        })
+        .collect();
+    let measured: Vec<(&str, usize)> =
+        owned.iter().map(|(id, value)| (id.as_str(), *value)).collect();
+    check_peak_budget(&measured, budget_text)
+}
+
+/// Machine-readable rendering of the local-engine ablation (for
+/// `BENCH_local.json`): per-cell walls, layers expanded against the
+/// horizon, peak live nodes of both engines, and warm-repeat memo hits.
+pub fn local_rows_json(rows: &[LocalRow], grid: &str) -> String {
+    let cells = rows
+        .iter()
+        .map(|row| {
+            let p = &row.profile;
+            json_object(&[
+                ("id", json_string(&row.id)),
+                ("query", json_string(&p.query)),
+                ("layer", p.layer.to_string()),
+                ("horizon", p.horizon.to_string()),
+                ("layers_expanded", p.layers_expanded.to_string()),
+                ("local_wall_s", json_seconds(p.local_wall)),
+                ("global_wall_s", json_seconds(p.global_wall)),
+                ("speedup", format!("{:.4}", p.speedup())),
+                ("local_peak_live_nodes", p.local_peak_live_nodes.to_string()),
+                ("global_peak_live_nodes", p.global_peak_live_nodes.to_string()),
+                ("memo_hits", p.memo_hits.to_string()),
+                ("settled_early", p.settled_early().to_string()),
+                ("verdict", p.verdict.to_string()),
+                ("agreed", p.agreed.to_string()),
+            ])
+        })
+        .collect::<Vec<_>>();
+    json_document("local", grid, cells)
 }
 
 /// One row of the serve ablation: a stable instance id (the key prefix

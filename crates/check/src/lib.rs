@@ -8,12 +8,21 @@
 //! relation relates exactly the points of the same layer in which the agent
 //! makes the same observation.
 //!
-//! Two engines are provided:
+//! Three engines are provided:
 //!
 //! * [`Checker`] — the explicit-state engine. Sets of points are represented
 //!   as per-layer bit sets; knowledge is computed by grouping the points of a
 //!   layer by observation; common belief is computed as the greatest
 //!   fixpoint of the "everyone believes" operator.
+//! * [`LocalChecker`] — the lazy **local** engine. The formula is compiled
+//!   into a fixpoint equation system (`epimc-local`) and solved by a
+//!   worklist with dependency tracking; reachable layers are materialised
+//!   relationally *only when a cell of the system demands them*, so a
+//!   layer-bounded query on a deep model touches a fraction of it. Verdicts
+//!   are memoised across queries, keyed by
+//!   [`epimc_logic::Formula::canonical_hash`] with a structural collision
+//!   check. All three engines answer identically; the common
+//!   [`CheckBackend`] seam lets differential suites drive them uniformly.
 //! * [`SymbolicChecker`] — the OBDD engine, mirroring the implementation
 //!   strategy of MCK. Each layer's set of reachable states is encoded as a
 //!   BDD over boolean state variables in an agent-interleaved static order;
@@ -118,11 +127,13 @@
 #![warn(missing_docs)]
 
 mod explicit;
+mod local;
 mod pointset;
 mod symbolic;
 
 pub use epimc_bdd::{catch_budget, BddError, Budget, BudgetReason};
 pub use explicit::Checker;
+pub use local::{CheckBackend, LocalChecker, LocalStats};
 pub use pointset::PointSet;
 pub use symbolic::{
     BudgetAbort, EvalSession, ObservationValues, RelationMode, ReorderMode, SymbolicChecker,

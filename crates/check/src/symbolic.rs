@@ -571,8 +571,11 @@ pub struct EvalSession {
     /// process- and platform-stable structural hash, so a session promoted
     /// to cross-request scope (the checking server holds one per warm
     /// model) recognises a formula sent by a *different* client as the same
-    /// cache entry.
-    cache: HashMap<u64, DenId>,
+    /// cache entry. The formula is stored alongside the denotation and
+    /// compared structurally on every hit: a hash collision is detected,
+    /// the stale entry evicted and the formula re-evaluated, instead of a
+    /// wrong denotation being served across requests.
+    cache: HashMap<u64, (Formula<ConsensusAtom>, DenId)>,
     epoch: u64,
     /// Number of layers the checker had when the session started; cached
     /// denotations are per-layer vectors, so extending the model silently
@@ -1142,7 +1145,7 @@ where
     /// Releases every denotation memoised by `session`.
     pub fn end_session(&self, session: EvalSession) {
         let mut inner = self.inner.borrow_mut();
-        for (_, den) in session.cache {
+        for (_, (_, den)) in session.cache {
             inner.arena.release(den);
         }
         inner.maybe_gc(&mut []);
@@ -1416,7 +1419,7 @@ where
         let keep: std::collections::HashSet<usize> = live_before
             .iter()
             .copied()
-            .chain(session.into_iter().flat_map(|s| s.cache.values().copied()))
+            .chain(session.into_iter().flat_map(|s| s.cache.values().map(|&(_, den)| den)))
             .collect();
         let leaked: Vec<usize> =
             inner.arena.live_ids().into_iter().filter(|id| !keep.contains(id)).collect();
@@ -1629,15 +1632,24 @@ where
         let key =
             if cacheable && session.is_some() { Some(formula.canonical_hash()) } else { None };
         if let (Some(cache), Some(key)) = (session.as_deref_mut(), key) {
-            if let Some(&den) = cache.cache.get(&key) {
-                cache.hits += 1;
-                return self.clone_den(den);
+            if let Some((cached_formula, den)) = cache.cache.get(&key) {
+                // Structural collision check: `canonical_hash` equality is
+                // not formula identity, and this cache outlives single
+                // requests on the server's promotion path — a colliding
+                // entry must be rejected, never served.
+                if cached_formula == formula {
+                    cache.hits += 1;
+                    let den = *den;
+                    return self.clone_den(den);
+                }
+                let (_, stale) = cache.cache.remove(&key).expect("entry just read");
+                self.release(stale);
             }
         }
         let den = self.eval_node(formula, env, session.as_deref_mut());
         if let (Some(cache), Some(key)) = (session, key) {
             let copy = self.clone_den(den);
-            cache.cache.insert(key, copy);
+            cache.cache.insert(key, (formula.clone(), copy));
         }
         den
     }
@@ -1805,6 +1817,9 @@ where
                 ConsensusAtom::ObsAtMost(agent, obs_index, value) => {
                     let vars = &self.agent_vars[agent.index()];
                     vars.obs_bits.get(obs_index).map(|slots| Self::le_const(bdd, slots, value))
+                }
+                ConsensusAtom::CollisionProbe(truth) => {
+                    Some(if truth { Ref::TRUE } else { Ref::FALSE })
                 }
                 ConsensusAtom::TimeIs(_) | ConsensusAtom::DecidesNow(_, _) => None,
             }
@@ -2982,6 +2997,312 @@ where
             focus: Cell::new(None),
             reachable_obs: RefCell::new(HashMap::new()),
         })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-layer seams for the local (on-the-fly) engine.
+//
+// `LocalChecker` (`crate::local`) implements `epimc_local::LocalOracle`
+// on top of a relational-source checker: its predicate slots are the
+// entries of a single arena denotation (the *store*), so every slot is
+// rooted across garbage collections and reorders, and each seam below
+// computes exactly one layer of the corresponding global-engine
+// denotation. Atoms and epistemic operators reuse the evaluator's layer
+// focus — under `focus = Some(t)` the shared builders compute only layer
+// `t` and leave every other layer `FALSE` — which makes the seams
+// per-layer without duplicating operator semantics. `exists_next` /
+// `all_next` are already per-layer and are called directly.
+
+impl<'m, E, R> SymbolicChecker<'m, E, R>
+where
+    E: InformationExchange,
+    R: DecisionRule<E>,
+{
+    /// Allocates an empty slot store (a growable, rooted denotation).
+    pub(crate) fn seam_alloc_store(&self) -> DenId {
+        self.inner.borrow_mut().arena.alloc(Vec::new())
+    }
+
+    /// Releases a slot store (or any seam-produced denotation).
+    pub(crate) fn seam_release_store(&self, store: DenId) {
+        let mut inner = self.inner.borrow_mut();
+        inner.arena.release(store);
+        inner.maybe_gc(&mut []);
+    }
+
+    /// Appends a slot holding `reachable[layer]` (`top`) or `⊥`.
+    pub(crate) fn seam_push_slot(&self, store: DenId, top: bool, layer: usize) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let value = if top { inner.reachable[layer] } else { Ref::FALSE };
+        let slots = inner.arena.get_mut(store);
+        slots.push(value);
+        slots.len() - 1
+    }
+
+    /// `store[dst] := value`, then polls the GC (the value is rooted
+    /// first, so collection cannot drop it).
+    fn seam_store(&self, store: DenId, dst: usize, value: Ref) {
+        let mut inner = self.inner.borrow_mut();
+        inner.arena.get_mut(store)[dst] = value;
+        inner.maybe_gc(&mut []);
+    }
+
+    /// `store[dst] := den[layer]`, releasing `den`. The slot write and the
+    /// release happen under one borrow so the extracted `Ref` is rooted
+    /// before anything can be collected.
+    fn seam_adopt(&self, store: DenId, dst: usize, den: DenId, layer: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let value = inner.arena.get(den)[layer];
+        inner.arena.get_mut(store)[dst] = value;
+        inner.arena.release(den);
+        inner.maybe_gc(&mut []);
+    }
+
+    /// Wraps `store[slot]` as a full-length denotation with every other
+    /// layer `⊥` — the shape the focused shared builders expect.
+    fn seam_slot_den(&self, store: DenId, slot: usize, layer: usize) -> DenId {
+        let mut inner = self.inner.borrow_mut();
+        let mut layers = vec![Ref::FALSE; inner.reachable.len()];
+        layers[layer] = inner.arena.get(store)[slot];
+        inner.arena.alloc(layers)
+    }
+
+    pub(crate) fn seam_load_top(&self, store: DenId, dst: usize, layer: usize) {
+        let value = self.inner.borrow().reachable[layer];
+        self.seam_store(store, dst, value);
+    }
+
+    pub(crate) fn seam_load_bottom(&self, store: DenId, dst: usize) {
+        self.seam_store(store, dst, Ref::FALSE);
+    }
+
+    /// One layer of an atom's denotation, through the focused builder.
+    pub(crate) fn seam_load_atom(
+        &self,
+        store: DenId,
+        dst: usize,
+        atom: &ConsensusAtom,
+        layer: usize,
+    ) {
+        debug_assert!(self.focus.get().is_none(), "seam ops must not nest focus");
+        self.focus.set(Some(layer));
+        let den = self.atom_denotation(atom);
+        self.focus.set(None);
+        self.seam_adopt(store, dst, den, layer);
+    }
+
+    pub(crate) fn seam_not(&self, store: DenId, dst: usize, x: usize, layer: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let reach = inner.reachable[layer];
+        let x = inner.arena.get(store)[x];
+        let not_x = inner.bdd.not(x);
+        let value = inner.bdd.and(reach, not_x);
+        inner.arena.get_mut(store)[dst] = value;
+        inner.maybe_gc(&mut []);
+    }
+
+    pub(crate) fn seam_and(&self, store: DenId, dst: usize, xs: &[usize], layer: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let mut acc = inner.reachable[layer];
+        for &x in xs {
+            let operand = inner.arena.get(store)[x];
+            acc = inner.bdd.and(acc, operand);
+        }
+        inner.arena.get_mut(store)[dst] = acc;
+        inner.maybe_gc(&mut []);
+    }
+
+    pub(crate) fn seam_or(&self, store: DenId, dst: usize, xs: &[usize], layer: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let mut acc = Ref::FALSE;
+        for &x in xs {
+            let operand = inner.arena.get(store)[x];
+            acc = inner.bdd.or(acc, operand);
+        }
+        let reach = inner.reachable[layer];
+        acc = inner.bdd.and(reach, acc);
+        inner.arena.get_mut(store)[dst] = acc;
+        inner.maybe_gc(&mut []);
+    }
+
+    pub(crate) fn seam_implies(&self, store: DenId, dst: usize, a: usize, b: usize, layer: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let (a, b) = (inner.arena.get(store)[a], inner.arena.get(store)[b]);
+        let implies = inner.bdd.implies(a, b);
+        let reach = inner.reachable[layer];
+        let value = inner.bdd.and(reach, implies);
+        inner.arena.get_mut(store)[dst] = value;
+        inner.maybe_gc(&mut []);
+    }
+
+    pub(crate) fn seam_iff(&self, store: DenId, dst: usize, a: usize, b: usize, layer: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let (a, b) = (inner.arena.get(store)[a], inner.arena.get(store)[b]);
+        let iff = inner.bdd.iff(a, b);
+        let reach = inner.reachable[layer];
+        let value = inner.bdd.and(reach, iff);
+        inner.arena.get_mut(store)[dst] = value;
+        inner.maybe_gc(&mut []);
+    }
+
+    /// One layer of `K_agent x` (or the guarded belief `B^N_agent x`),
+    /// through the focused shared builder.
+    pub(crate) fn seam_knows(
+        &self,
+        store: DenId,
+        dst: usize,
+        agent: AgentId,
+        x: usize,
+        guarded: bool,
+        layer: usize,
+    ) {
+        debug_assert!(self.focus.get().is_none(), "seam ops must not nest focus");
+        let target = self.seam_slot_den(store, x, layer);
+        self.focus.set(Some(layer));
+        let result = self.knowledge(agent, target, guarded);
+        self.focus.set(None);
+        self.release(target);
+        self.seam_adopt(store, dst, result, layer);
+    }
+
+    /// One layer of `E_B_N x`, through the focused shared builder.
+    pub(crate) fn seam_everyone_believes(&self, store: DenId, dst: usize, x: usize, layer: usize) {
+        debug_assert!(self.focus.get().is_none(), "seam ops must not nest focus");
+        let target = self.seam_slot_den(store, x, layer);
+        self.focus.set(Some(layer));
+        let result = self.everyone_believes(target);
+        self.focus.set(None);
+        self.release(target);
+        self.seam_adopt(store, dst, result, layer);
+    }
+
+    /// One layer of `AX x` / `EX x`: `x_next` is a slot at `layer + 1`,
+    /// which must already be materialised (the local solver expands the
+    /// child layer before it ever recomputes a `Next` cell).
+    pub(crate) fn seam_next(
+        &self,
+        store: DenId,
+        dst: usize,
+        universal: bool,
+        x_next: usize,
+        layer: usize,
+    ) {
+        self.ensure_relation(layer);
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.maybe_gc(&mut []);
+        let target_next = inner.arena.get(store)[x_next];
+        let value = if universal {
+            self.all_next(inner, layer, target_next)
+        } else {
+            self.exists_next(inner, layer, target_next)
+        };
+        inner.arena.get_mut(store)[dst] = value;
+        inner.maybe_gc(&mut []);
+    }
+
+    pub(crate) fn seam_copy(&self, store: DenId, dst: usize, src: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let slots = inner.arena.get_mut(store);
+        slots[dst] = slots[src];
+    }
+
+    pub(crate) fn seam_equal(&self, store: DenId, a: usize, b: usize) -> bool {
+        let inner = self.inner.borrow();
+        let slots = inner.arena.get(store);
+        slots[a] == slots[b]
+    }
+
+    /// Whether a slot equals the full reachable set of its layer (the
+    /// "holds everywhere in the layer" test — canonical BDDs make it a
+    /// pointer comparison).
+    pub(crate) fn seam_slot_equals_reachable(
+        &self,
+        store: DenId,
+        slot: usize,
+        layer: usize,
+    ) -> bool {
+        let inner = self.inner.borrow();
+        inner.arena.get(store)[slot] == inner.reachable[layer]
+    }
+
+    /// Assembles `(layer, slot)` roots into a full-length denotation
+    /// (missing layers `⊥`), for point-set readout.
+    pub(crate) fn seam_assemble_den(&self, store: DenId, roots: &[(usize, usize)]) -> DenId {
+        let mut inner = self.inner.borrow_mut();
+        let mut layers = vec![Ref::FALSE; inner.reachable.len()];
+        for &(layer, slot) in roots {
+            layers[layer] = inner.arena.get(store)[slot];
+        }
+        inner.arena.alloc(layers)
+    }
+
+    /// Reads an already-computed denotation off on the points of `model`
+    /// (the [`SymbolicChecker::check_points`] decode loop, without the
+    /// evaluation step). `den` stays owned by the caller.
+    pub(crate) fn seam_read_points<R2: DecisionRule<E>>(
+        &self,
+        model: &ConsensusModel<E, R2>,
+        den: DenId,
+    ) -> PointSet {
+        assert!(
+            model.num_layers() <= self.num_layers(),
+            "oracle model has more layers than the checker has built"
+        );
+        let inner = self.inner.borrow();
+        let layers = inner.arena.get(den);
+        let mut set = PointSet::empty(model);
+        for time in 0..model.num_layers() as Round {
+            for index in 0..model.layer_size(time) {
+                let bits = Self::encode_point(
+                    model,
+                    &self.agent_vars,
+                    self.num_slots,
+                    PointId::new(time, index),
+                );
+                let holds =
+                    inner.bdd.eval(layers[time as usize], |v| bits[(v.index() / 2) as usize]);
+                if holds {
+                    set.insert(PointId::new(time, index));
+                }
+            }
+        }
+        set
+    }
+
+    /// Arena denotations live right now — the `live_before` argument of
+    /// [`SymbolicChecker::seam_budget_abort`].
+    pub(crate) fn seam_live_dens(&self) -> Vec<usize> {
+        self.inner.borrow().arena.live_ids()
+    }
+
+    /// Budget-trip cleanup for seam-driven evaluation: clears the layer
+    /// focus, disarms the budget, and releases every denotation allocated
+    /// since `live_before` was captured.
+    pub(crate) fn seam_budget_abort(&self, error: BddError, live_before: &[usize]) -> BudgetAbort {
+        self.budget_abort(error, live_before, None)
+    }
+}
+
+impl<'m, E, R> SymbolicChecker<'m, E, R>
+where
+    E: SymbolicEncode,
+    R: SymbolicRule<E>,
+{
+    /// Extends the relational model until `layers` layers are
+    /// materialised (no-op when they already are). The local engine's
+    /// `ensure_layer` — the only place it grows the model.
+    pub(crate) fn seam_extend_to(&self, layers: usize) {
+        while self.num_layers() < layers {
+            self.extend_with_source_rule();
+        }
     }
 }
 

@@ -21,13 +21,13 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use epimc_check::{SymbolicChecker, SymbolicOptions, SymbolicStats};
+use epimc_check::{LocalChecker, SymbolicChecker, SymbolicOptions, SymbolicStats};
 use epimc_logic::{AgentId, Formula};
 use epimc_protocols::{
     CountFloodSet, DiffFloodSet, DworkMoses, DworkMosesRule, EBasic, EBasicRule, EMin, EMinRule,
     FloodSet, FloodSetRule, TextbookRule,
 };
-use epimc_relational::SymbolicEncode;
+use epimc_relational::{SymbolicEncode, SymbolicRule};
 use epimc_synth::{
     KnowledgeBasedProgram, SymbolicSynthesisProfile, SymbolicSynthesizer, Synthesizer,
 };
@@ -268,6 +268,109 @@ where
         build_duration,
         formulas,
         stats: checker.stats(),
+    }
+}
+
+/// A lazy-versus-global comparison of one layer-bounded query — the
+/// measurement behind the `tables -- local` ablation.
+///
+/// The **local** engine ([`LocalChecker`]) compiles the query into a
+/// fixpoint equation system and expands reachable layers only as the
+/// solver demands them; the **global** engine builds every layer up front
+/// (the relational front-end) and answers the same query bounded to the
+/// layer (`time==t => φ` over all points). Verdicts must agree; the
+/// quantities of interest are how few layers the local engine touched
+/// (`layers_expanded` against `horizon`) and the wall-clock win that
+/// buys on instances whose horizon the query never needed.
+#[derive(Clone, Debug)]
+pub struct LocalProfile {
+    /// Description of the instance (exchange and parameters).
+    pub label: String,
+    /// Human-readable rendering of the checked query.
+    pub query: String,
+    /// The layer the query was asked at.
+    pub layer: usize,
+    /// The model's horizon (`horizon + 1` layers exist when fully built).
+    pub horizon: usize,
+    /// Layers the local engine materialised to settle the query.
+    pub layers_expanded: usize,
+    /// Wall clock of the local engine: lazy construction plus solving.
+    pub local_wall: Duration,
+    /// Peak live nodes of the local engine's manager.
+    pub local_peak_live_nodes: usize,
+    /// Verdict-memo and equation-system hash-consing hits after a warm
+    /// repeat of the same query.
+    pub memo_hits: usize,
+    /// Wall clock of the global engine: full relational build plus the
+    /// bounded query.
+    pub global_wall: Duration,
+    /// Peak live nodes of the global engine's manager.
+    pub global_peak_live_nodes: usize,
+    /// The local verdict.
+    pub verdict: bool,
+    /// Whether the two engines agreed (a disagreement fails the table).
+    pub agreed: bool,
+}
+
+impl LocalProfile {
+    /// Wall-clock speedup of the local engine over the global one.
+    pub fn speedup(&self) -> f64 {
+        self.global_wall.as_secs_f64() / self.local_wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Whether the query settled without materialising the whole model.
+    pub fn settled_early(&self) -> bool {
+        self.layers_expanded < self.horizon
+    }
+}
+
+/// Measures one cell of the local-engine ablation: the same layer-bounded
+/// query answered lazily (layers on demand) and globally (full relational
+/// construction first).
+pub fn local_profile<E, R>(
+    label: String,
+    exchange: E,
+    params: ModelParams,
+    rule: R,
+    layer: usize,
+    query: String,
+    formula: Formula<ConsensusAtom>,
+) -> LocalProfile
+where
+    E: InformationExchange + SymbolicEncode + 'static,
+    R: DecisionRule<E> + SymbolicRule<E> + Clone + 'static,
+{
+    let start = Instant::now();
+    let local = LocalChecker::new(exchange.clone(), params, rule.clone());
+    let verdict = local.holds_in_layer(&formula, layer);
+    let local_wall = start.elapsed();
+    let layers_expanded = local.stats().layers_expanded;
+    let local_peak_live_nodes = local.symbolic_stats().peak_live_nodes;
+    // A warm repeat of the same query must come out of the verdict memo.
+    local.holds_in_layer(&formula, layer);
+    let memo_hits = local.stats().memo_hits;
+
+    // The global engine answers the identical query, bounded to the layer,
+    // over a fully built model.
+    let bounded = Formula::implies(Formula::atom(ConsensusAtom::TimeIs(layer as Round)), formula);
+    let start = Instant::now();
+    let global = SymbolicChecker::relational(exchange, params, rule, SymbolicOptions::default());
+    let global_verdict = global.holds_everywhere(&bounded);
+    let global_wall = start.elapsed();
+
+    LocalProfile {
+        label,
+        query,
+        layer,
+        horizon: local.horizon(),
+        layers_expanded,
+        local_wall,
+        local_peak_live_nodes,
+        memo_hits,
+        global_wall,
+        global_peak_live_nodes: global.stats().peak_live_nodes,
+        verdict,
+        agreed: verdict == global_verdict,
     }
 }
 

@@ -57,8 +57,8 @@ pub use epimc_system::run;
 /// workspace.
 pub mod prelude {
     pub use epimc_check::{
-        Checker, EvalSession, ObservationValues, PointSet, RelationMode, ReorderMode,
-        SymbolicChecker, SymbolicOptions, SymbolicStats,
+        CheckBackend, Checker, EvalSession, LocalChecker, LocalStats, ObservationValues, PointSet,
+        RelationMode, ReorderMode, SymbolicChecker, SymbolicOptions, SymbolicStats,
     };
     pub use epimc_logic::{AgentId, AgentSet, Formula};
     pub use epimc_protocols::{
@@ -81,9 +81,9 @@ pub mod prelude {
     pub use epimc_serve::{Client, ModelSpec, ProtocolKind, ServeOptions, Server};
 
     pub use crate::experiments::{
-        serve_measurement, EbaExchangeKind, EbaExperiment, ExperimentMeasurement, SbaExchangeKind,
-        SbaExperiment, ServeMeasurement, SymbolicFormulaTiming, SymbolicProfile,
-        SynthesisComparison,
+        local_profile, serve_measurement, EbaExchangeKind, EbaExperiment, ExperimentMeasurement,
+        LocalProfile, SbaExchangeKind, SbaExperiment, ServeMeasurement, SymbolicFormulaTiming,
+        SymbolicProfile, SynthesisComparison,
     };
     pub use crate::hypotheses::{condition2, condition3, condition3_observed, HypothesisReport};
     pub use crate::optimality::{analyze_sba, OptimalityReport};

@@ -1,0 +1,532 @@
+//! Unit tests for the compiler and worklist solver, against a bit-vector
+//! toy oracle whose semantics mirror the global engines: knowledge is
+//! universal truth over an observation class, belief is the same guarded
+//! by the agent's nonfaultiness, `Next` quantifies over explicit successor
+//! edges with the horizon defaults, and every operation stays within the
+//! layer's world set. A brute-force reference evaluator over the same toy
+//! model is the spec.
+
+use std::collections::HashMap;
+
+use epimc_logic::{AgentId, FixpointVar, Formula};
+
+use crate::{solve, EqSystem, LocalOracle, Slot};
+
+type Atom = &'static str;
+type Den = Vec<Vec<bool>>;
+
+struct ToyModel {
+    /// Worlds per layer.
+    worlds: Vec<usize>,
+    /// `obs[agent][layer][world]` — observation class ids.
+    obs: Vec<Vec<Vec<usize>>>,
+    /// `nonfaulty[agent][layer][world]`.
+    nonfaulty: Vec<Vec<Vec<bool>>>,
+    /// `edges[layer][world]` — successor worlds in `layer + 1`.
+    edges: Vec<Vec<Vec<usize>>>,
+    atoms: HashMap<Atom, Den>,
+}
+
+impl ToyModel {
+    fn num_agents(&self) -> usize {
+        self.obs.len()
+    }
+
+    fn full(&self) -> Den {
+        self.worlds.iter().map(|&n| vec![true; n]).collect()
+    }
+
+    fn empty(&self) -> Den {
+        self.worlds.iter().map(|&n| vec![false; n]).collect()
+    }
+
+    fn believes(&self, agent: usize, x: &[bool], guarded: bool, layer: usize) -> Vec<bool> {
+        (0..self.worlds[layer])
+            .map(|w| {
+                let class = self.obs[agent][layer][w];
+                (0..self.worlds[layer]).all(|w2| {
+                    self.obs[agent][layer][w2] != class
+                        || (guarded && !self.nonfaulty[agent][layer][w2])
+                        || x[w2]
+                })
+            })
+            .collect()
+    }
+
+    fn everyone_believes(&self, x: &[bool], layer: usize) -> Vec<bool> {
+        let beliefs: Vec<Vec<bool>> =
+            (0..self.num_agents()).map(|a| self.believes(a, x, true, layer)).collect();
+        (0..self.worlds[layer])
+            .map(|w| (0..self.num_agents()).all(|a| !self.nonfaulty[a][layer][w] || beliefs[a][w]))
+            .collect()
+    }
+
+    fn next(&self, universal: bool, x_next: &[bool], layer: usize) -> Vec<bool> {
+        (0..self.worlds[layer])
+            .map(|w| {
+                let succs = &self.edges[layer][w];
+                if universal {
+                    succs.iter().all(|&s| x_next[s])
+                } else {
+                    succs.iter().any(|&s| x_next[s])
+                }
+            })
+            .collect()
+    }
+}
+
+/// Brute-force reference evaluator: the denotation of `f` at every layer,
+/// with fixpoints iterated to convergence (Kleene, from the polarity's
+/// extreme) — deliberately naive and global.
+fn eval_ref(model: &ToyModel, f: &Formula<Atom>, env: &mut HashMap<FixpointVar, Den>) -> Den {
+    let last = model.worlds.len() - 1;
+    match f {
+        Formula::True => model.full(),
+        Formula::False => model.empty(),
+        Formula::Atom(p) => model.atoms[p].clone(),
+        Formula::Not(g) => {
+            let d = eval_ref(model, g, env);
+            d.into_iter().map(|row| row.into_iter().map(|b| !b).collect()).collect()
+        }
+        Formula::And(gs) => {
+            let mut acc = model.full();
+            for g in gs {
+                let d = eval_ref(model, g, env);
+                for (a, b) in acc.iter_mut().zip(&d) {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x = *x && *y;
+                    }
+                }
+            }
+            acc
+        }
+        Formula::Or(gs) => {
+            let mut acc = model.empty();
+            for g in gs {
+                let d = eval_ref(model, g, env);
+                for (a, b) in acc.iter_mut().zip(&d) {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x = *x || *y;
+                    }
+                }
+            }
+            acc
+        }
+        Formula::Implies(a, b) => {
+            eval_ref(model, &Formula::Or(vec![Formula::Not(a.clone()), (**b).clone()]), env)
+        }
+        Formula::Iff(a, b) => {
+            let da = eval_ref(model, a, env);
+            let db = eval_ref(model, b, env);
+            da.into_iter()
+                .zip(db)
+                .map(|(ra, rb)| ra.into_iter().zip(rb).map(|(x, y)| x == y).collect())
+                .collect()
+        }
+        Formula::Knows(agent, g) => {
+            let d = eval_ref(model, g, env);
+            (0..model.worlds.len())
+                .map(|t| model.believes(agent.index(), &d[t], false, t))
+                .collect()
+        }
+        Formula::BelievesNonfaulty(agent, g) => {
+            let d = eval_ref(model, g, env);
+            (0..model.worlds.len()).map(|t| model.believes(agent.index(), &d[t], true, t)).collect()
+        }
+        Formula::EveryoneBelieves(g) => {
+            let d = eval_ref(model, g, env);
+            (0..model.worlds.len()).map(|t| model.everyone_believes(&d[t], t)).collect()
+        }
+        Formula::CommonBelief(g) => {
+            let d = eval_ref(model, g, env);
+            let mut cur = model.full();
+            loop {
+                let body: Den = cur
+                    .iter()
+                    .zip(&d)
+                    .map(|(a, b)| a.iter().zip(b).map(|(x, y)| *x && *y).collect())
+                    .collect();
+                let next: Den =
+                    (0..model.worlds.len()).map(|t| model.everyone_believes(&body[t], t)).collect();
+                if next == cur {
+                    return cur;
+                }
+                cur = next;
+            }
+        }
+        Formula::Gfp(v, body) | Formula::Lfp(v, body) => {
+            let greatest = matches!(f, Formula::Gfp(..));
+            let mut cur = if greatest { model.full() } else { model.empty() };
+            loop {
+                let shadowed = env.insert(*v, cur.clone());
+                let next = eval_ref(model, body, env);
+                match shadowed {
+                    Some(prev) => {
+                        env.insert(*v, prev);
+                    }
+                    None => {
+                        env.remove(v);
+                    }
+                }
+                if next == cur {
+                    return cur;
+                }
+                cur = next;
+            }
+        }
+        Formula::Var(v) => env[v].clone(),
+        Formula::Temporal(kind, g) => {
+            use epimc_logic::TemporalKind::*;
+            let d = eval_ref(model, g, env);
+            match kind {
+                AllNext | ExistsNext => {
+                    let universal = matches!(kind, AllNext);
+                    (0..model.worlds.len())
+                        .map(|t| {
+                            if t == last {
+                                vec![universal; model.worlds[t]]
+                            } else {
+                                model.next(universal, &d[t + 1], t)
+                            }
+                        })
+                        .collect()
+                }
+                AllGlobally | ExistsGlobally | AllFinally | ExistsFinally => {
+                    let universal = matches!(kind, AllGlobally | AllFinally);
+                    let globally = matches!(kind, AllGlobally | ExistsGlobally);
+                    let mut layers: Den = vec![Vec::new(); model.worlds.len()];
+                    layers[last] = d[last].clone();
+                    for t in (0..last).rev() {
+                        let step = model.next(universal, &layers[t + 1], t);
+                        layers[t] = d[t]
+                            .iter()
+                            .zip(&step)
+                            .map(|(&x, &y)| if globally { x && y } else { x || y })
+                            .collect();
+                    }
+                    layers
+                }
+            }
+        }
+    }
+}
+
+struct ToyOracle {
+    model: ToyModel,
+    expanded: usize,
+    slots: Vec<(usize, Vec<bool>)>,
+}
+
+impl ToyOracle {
+    fn new(model: ToyModel) -> Self {
+        ToyOracle { model, expanded: 0, slots: Vec::new() }
+    }
+
+    fn bits(&self, slot: Slot) -> &[bool] {
+        &self.slots[slot].1
+    }
+}
+
+impl LocalOracle<Atom> for ToyOracle {
+    fn horizon(&self) -> usize {
+        self.model.worlds.len() - 1
+    }
+
+    fn ensure_layer(&mut self, layer: usize) {
+        assert!(layer < self.model.worlds.len(), "layer {layer} beyond toy model");
+        // A layered front-end materialises layers in order.
+        self.expanded = self.expanded.max(layer + 1);
+    }
+
+    fn layers_expanded(&self) -> usize {
+        self.expanded
+    }
+
+    fn alloc_slot(&mut self, top: bool, layer: usize) -> Slot {
+        self.slots.push((layer, vec![top; self.model.worlds[layer]]));
+        self.slots.len() - 1
+    }
+
+    fn load_top(&mut self, dst: Slot, layer: usize) {
+        self.slots[dst] = (layer, vec![true; self.model.worlds[layer]]);
+    }
+
+    fn load_bottom(&mut self, dst: Slot, layer: usize) {
+        self.slots[dst] = (layer, vec![false; self.model.worlds[layer]]);
+    }
+
+    fn load_atom(&mut self, dst: Slot, atom: &Atom, layer: usize) {
+        self.slots[dst] = (layer, self.model.atoms[atom][layer].clone());
+    }
+
+    fn not_at(&mut self, dst: Slot, x: Slot, layer: usize) {
+        let bits = self.bits(x).iter().map(|&b| !b).collect();
+        self.slots[dst] = (layer, bits);
+    }
+
+    fn and_at(&mut self, dst: Slot, xs: &[Slot], layer: usize) {
+        let mut bits = vec![true; self.model.worlds[layer]];
+        for &x in xs {
+            for (b, &v) in bits.iter_mut().zip(self.bits(x)) {
+                *b = *b && v;
+            }
+        }
+        self.slots[dst] = (layer, bits);
+    }
+
+    fn or_at(&mut self, dst: Slot, xs: &[Slot], layer: usize) {
+        let mut bits = vec![false; self.model.worlds[layer]];
+        for &x in xs {
+            for (b, &v) in bits.iter_mut().zip(self.bits(x)) {
+                *b = *b || v;
+            }
+        }
+        self.slots[dst] = (layer, bits);
+    }
+
+    fn implies_at(&mut self, dst: Slot, a: Slot, b: Slot, layer: usize) {
+        let bits = self.bits(a).iter().zip(self.bits(b)).map(|(&x, &y)| !x || y).collect();
+        self.slots[dst] = (layer, bits);
+    }
+
+    fn iff_at(&mut self, dst: Slot, a: Slot, b: Slot, layer: usize) {
+        let bits = self.bits(a).iter().zip(self.bits(b)).map(|(&x, &y)| x == y).collect();
+        self.slots[dst] = (layer, bits);
+    }
+
+    fn knows_at(&mut self, dst: Slot, agent: AgentId, x: Slot, guarded: bool, layer: usize) {
+        let bits = self.model.believes(agent.index(), self.bits(x), guarded, layer);
+        self.slots[dst] = (layer, bits);
+    }
+
+    fn everyone_believes_at(&mut self, dst: Slot, x: Slot, layer: usize) {
+        let bits = self.model.everyone_believes(self.bits(x), layer);
+        self.slots[dst] = (layer, bits);
+    }
+
+    fn next_at(&mut self, dst: Slot, universal: bool, x_next: Slot, layer: usize) {
+        let bits = self.model.next(universal, self.bits(x_next), layer);
+        self.slots[dst] = (layer, bits);
+    }
+
+    fn copy_slot(&mut self, dst: Slot, src: Slot) {
+        self.slots[dst] = self.slots[src].clone();
+    }
+
+    fn slots_equal(&self, a: Slot, b: Slot) -> bool {
+        self.slots[a] == self.slots[b]
+    }
+}
+
+/// Three layers, two agents, a dead-end world (tests the `AX`/`EX`
+/// vacuous-successor semantics) and per-agent faults.
+fn model() -> ToyModel {
+    ToyModel {
+        worlds: vec![3, 3, 2],
+        obs: vec![
+            // Agent 0: worlds 0,1 indistinguishable at layer 0.
+            vec![vec![0, 0, 1], vec![0, 1, 1], vec![0, 0]],
+            // Agent 1: worlds 1,2 indistinguishable at layers 0 and 1.
+            vec![vec![0, 1, 1], vec![0, 1, 1], vec![0, 1]],
+        ],
+        nonfaulty: vec![
+            vec![vec![true, true, false], vec![true, true, true], vec![true, true]],
+            vec![vec![true, true, true], vec![true, false, true], vec![false, true]],
+        ],
+        edges: vec![
+            vec![vec![0, 1], vec![1], vec![]], // world 2 of layer 0 is a dead end
+            vec![vec![0], vec![1], vec![0, 1]],
+        ],
+        atoms: [
+            ("p", vec![vec![true, false, true], vec![false, true, true], vec![true, false]]),
+            ("q", vec![vec![true, true, false], vec![true, false, true], vec![false, true]]),
+        ]
+        .into_iter()
+        .collect(),
+    }
+}
+
+fn a(i: usize) -> AgentId {
+    AgentId::new(i)
+}
+
+fn p() -> Formula<Atom> {
+    Formula::atom("p")
+}
+
+fn q() -> Formula<Atom> {
+    Formula::atom("q")
+}
+
+/// Solves `f` at every layer and compares against the reference
+/// evaluator, world for world.
+fn agrees_with_reference(f: &Formula<Atom>) {
+    let system = EqSystem::compile(f);
+    let mut oracle = ToyOracle::new(model());
+    let layers: Vec<usize> = (0..=oracle.horizon()).collect();
+    let solution = solve(&system, &mut oracle, &layers);
+    let expected = eval_ref(&oracle.model, f, &mut HashMap::new());
+    for &(layer, slot) in &solution.roots {
+        assert_eq!(
+            oracle.slots[slot].1, expected[layer],
+            "local solver disagrees with the reference at layer {layer} on {f:?}"
+        );
+    }
+}
+
+#[test]
+fn boolean_connectives_match_reference() {
+    agrees_with_reference(&Formula::tt());
+    agrees_with_reference(&Formula::ff());
+    agrees_with_reference(&p());
+    agrees_with_reference(&Formula::not(p()));
+    agrees_with_reference(&Formula::and([p(), q()]));
+    agrees_with_reference(&Formula::or([Formula::not(p()), q()]));
+    agrees_with_reference(&Formula::implies(p(), q()));
+    agrees_with_reference(&Formula::iff(p(), Formula::not(q())));
+}
+
+#[test]
+fn epistemic_operators_match_reference() {
+    agrees_with_reference(&Formula::knows(a(0), p()));
+    agrees_with_reference(&Formula::knows(a(1), Formula::or([p(), q()])));
+    agrees_with_reference(&Formula::believes_nonfaulty(a(0), p()));
+    agrees_with_reference(&Formula::believes_nonfaulty(a(1), q()));
+    agrees_with_reference(&Formula::everyone_believes(p()));
+    agrees_with_reference(&Formula::common_belief(p()));
+    agrees_with_reference(&Formula::common_belief(Formula::or([p(), q()])));
+    agrees_with_reference(&Formula::knows(a(0), Formula::knows(a(1), p())));
+}
+
+#[test]
+fn temporal_operators_match_reference() {
+    agrees_with_reference(&Formula::all_next(p()));
+    agrees_with_reference(&Formula::exists_next(p()));
+    agrees_with_reference(&Formula::all_globally(p()));
+    agrees_with_reference(&Formula::exists_globally(p()));
+    agrees_with_reference(&Formula::all_finally(p()));
+    agrees_with_reference(&Formula::exists_finally(q()));
+}
+
+#[test]
+fn nested_mixed_formulas_match_reference() {
+    agrees_with_reference(&Formula::all_globally(Formula::implies(p(), Formula::knows(a(0), q()))));
+    agrees_with_reference(&Formula::all_finally(Formula::common_belief(p())));
+    agrees_with_reference(&Formula::common_belief(Formula::exists_next(p())));
+    agrees_with_reference(&Formula::knows(
+        a(1),
+        Formula::all_next(Formula::believes_nonfaulty(a(0), p())),
+    ));
+    agrees_with_reference(&Formula::exists_finally(Formula::and([
+        Formula::knows(a(0), p()),
+        Formula::not(Formula::common_belief(q())),
+    ])));
+}
+
+#[test]
+fn explicit_fixpoints_match_reference_and_temporal_equivalents() {
+    // νX. p ∧ AX X ≡ AG p and μX. p ∨ EX X ≡ EF p.
+    let ag = Formula::gfp(0, Formula::and([p(), Formula::all_next(Formula::var(0))]));
+    let ef = Formula::lfp(0, Formula::or([p(), Formula::exists_next(Formula::var(0))]));
+    agrees_with_reference(&ag);
+    agrees_with_reference(&ef);
+
+    let system = EqSystem::compile(&ag);
+    let mut oracle = ToyOracle::new(model());
+    let layers: Vec<usize> = (0..=oracle.horizon()).collect();
+    let fix_solution = solve(&system, &mut oracle, &layers);
+    let sugar = EqSystem::compile(&Formula::all_globally(p()));
+    let sugar_solution = solve(&sugar, &mut oracle, &layers);
+    for (&(_, s1), &(_, s2)) in fix_solution.roots.iter().zip(&sugar_solution.roots) {
+        assert!(oracle.slots_equal(s1, s2), "νX. p ∧ AX X differs from AG p");
+    }
+}
+
+#[test]
+fn alternating_fixpoints_are_detected_and_refused() {
+    let alternating = Formula::gfp(
+        0,
+        Formula::lfp(1, Formula::or([p(), Formula::and([Formula::var(0), Formula::var(1)])])),
+    );
+    let system = EqSystem::compile(&alternating);
+    assert!(system.is_alternating());
+
+    // Same-polarity nesting that references the outer variable is refused
+    // too (the reset discipline does not distinguish by polarity).
+    let nested = Formula::gfp(
+        0,
+        Formula::everyone_believes(Formula::gfp(
+            1,
+            Formula::and([p(), Formula::var(0), Formula::var(1)]),
+        )),
+    );
+    assert!(EqSystem::compile(&nested).is_alternating());
+
+    // Independent nesting is fine: the inner fixpoint is closed.
+    let independent = Formula::common_belief(Formula::all_finally(p()));
+    assert!(!EqSystem::compile(&independent).is_alternating());
+}
+
+#[test]
+#[should_panic(expected = "alternation-free")]
+fn solve_refuses_alternating_systems() {
+    let alternating =
+        Formula::gfp(0, Formula::lfp(1, Formula::or([Formula::var(0), Formula::var(1)])));
+    let system = EqSystem::compile(&alternating);
+    let mut oracle = ToyOracle::new(model());
+    solve(&system, &mut oracle, &[0]);
+}
+
+#[test]
+fn layer_zero_epistemic_query_expands_one_layer() {
+    // Knowledge and common belief are layer-local, so a temporal-free
+    // query demanded at layer 0 must not materialise the rest of the
+    // horizon — the core of the laziness contract.
+    let f = Formula::believes_nonfaulty(a(0), Formula::common_belief(Formula::or([p(), q()])));
+    let system = EqSystem::compile(&f);
+    let mut oracle = ToyOracle::new(model());
+    let solution = solve(&system, &mut oracle, &[0]);
+    assert_eq!(solution.stats.layers_expanded, 1);
+    assert_eq!(solution.stats.horizon, 2);
+    let expected = eval_ref(&oracle.model, &f, &mut HashMap::new());
+    assert_eq!(oracle.slots[solution.roots[0].1].1, expected[0]);
+}
+
+#[test]
+fn next_depth_bounds_expansion() {
+    // A single next-step from layer 0 needs layers 0 and 1, not 2.
+    let f = Formula::exists_next(Formula::knows(a(0), p()));
+    let system = EqSystem::compile(&f);
+    let mut oracle = ToyOracle::new(model());
+    let solution = solve(&system, &mut oracle, &[0]);
+    assert_eq!(solution.stats.layers_expanded, 2);
+    let expected = eval_ref(&oracle.model, &f, &mut HashMap::new());
+    assert_eq!(oracle.slots[solution.roots[0].1].1, expected[0]);
+}
+
+#[test]
+fn closed_subformulas_are_hash_consed() {
+    let shared = Formula::knows(a(0), p());
+    let f = Formula::and([
+        shared.clone(),
+        Formula::or([shared.clone(), q()]),
+        Formula::implies(q(), shared),
+    ]);
+    let system = EqSystem::compile(&f);
+    assert!(system.memo_hits() >= 2, "expected shared K_0 p to hit the memo table");
+    agrees_with_reference(&f);
+}
+
+#[test]
+fn unbounded_temporal_defaults_match_global_engines() {
+    // At the last layer AX collapses to ⊤ (vacuously) and EX to ⊥.
+    let system = EqSystem::compile(&Formula::all_next(Formula::ff()));
+    let mut oracle = ToyOracle::new(model());
+    let horizon = oracle.horizon();
+    let solution = solve(&system, &mut oracle, &[horizon]);
+    assert!(oracle.bits(solution.roots[0].1).iter().all(|&b| b));
+
+    let system = EqSystem::compile(&Formula::exists_next(Formula::tt()));
+    let solution = solve(&system, &mut oracle, &[horizon]);
+    assert!(oracle.bits(solution.roots[0].1).iter().all(|&b| !b));
+}

@@ -1,0 +1,169 @@
+//! The laziness contract of the local engine, as a property suite:
+//!
+//! 1. **Expansion invariance** — verdicts and point sets computed lazily
+//!    (layers materialised on demand) are identical to those computed
+//!    against a fully expanded model, both across checkers (a lazy one vs
+//!    one force-expanded before its first query) and within one checker
+//!    (solve lazily, force-expand every layer, re-solve).
+//! 2. **Early settling** — layer-locality of knowledge and common belief
+//!    under clock semantics means a purely epistemic layer-0 query must
+//!    settle with `layers_expanded < horizon`, however deep the model.
+//!
+//! The formula generator is seeded, so failures reproduce exactly.
+
+use epimc_check::LocalChecker;
+use epimc_logic::{AgentId, Formula};
+use epimc_protocols::{FloodSet, FloodSetRule};
+use epimc_system::{ConsensusAtom, ConsensusModel, ModelParams, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type F = Formula<ConsensusAtom>;
+
+fn random_atom(rng: &mut StdRng, n: usize) -> ConsensusAtom {
+    let agent = AgentId::new(rng.gen_range(0..n));
+    match rng.gen_range(0..7u32) {
+        0 => ConsensusAtom::InitIs(agent, Value::new(rng.gen_range(0..2usize))),
+        1 => ConsensusAtom::ExistsInit(Value::new(rng.gen_range(0..2usize))),
+        2 => ConsensusAtom::Nonfaulty(agent),
+        3 => ConsensusAtom::Decided(agent),
+        4 => ConsensusAtom::DecidesNow(agent, Value::new(rng.gen_range(0..2usize))),
+        5 => ConsensusAtom::TimeIs(rng.gen_range(0..3u32)),
+        _ => ConsensusAtom::ObsEquals(agent, rng.gen_range(0..2usize), rng.gen_range(0..2u32)),
+    }
+}
+
+fn random_formula(rng: &mut StdRng, n: usize, depth: usize) -> F {
+    if depth == 0 || rng.gen_bool(0.2) {
+        return match rng.gen_range(0..8u32) {
+            0 => F::True,
+            1 => F::False,
+            _ => F::atom(random_atom(rng, n)),
+        };
+    }
+    let agent = AgentId::new(rng.gen_range(0..n));
+    let inner = random_formula(rng, n, depth - 1);
+    match rng.gen_range(0..11u32) {
+        0 => F::not(inner),
+        1 => F::and([inner, random_formula(rng, n, depth - 1)]),
+        2 => F::or([inner, random_formula(rng, n, depth - 1)]),
+        3 => F::implies(inner, random_formula(rng, n, depth - 1)),
+        4 => F::knows(agent, inner),
+        5 => F::believes_nonfaulty(agent, inner),
+        6 => F::everyone_believes(inner),
+        7 => F::common_belief(inner),
+        8 => F::all_next(inner),
+        9 => F::exists_finally(inner),
+        _ => F::all_globally(inner),
+    }
+}
+
+fn params() -> ModelParams {
+    ModelParams::builder().agents(2).max_faulty(1).values(2).build()
+}
+
+/// Lazy solving and a force-expanded model give identical verdicts and
+/// point sets on seeded random formulas, both across checkers and on the
+/// same checker re-solved after the forced expansion.
+#[test]
+fn verdicts_and_points_invariant_under_forced_full_expansion() {
+    let params = params();
+    let horizon = params.horizon() as usize;
+    let model = ConsensusModel::explore(FloodSet, params, FloodSetRule);
+    let mut rng = StdRng::seed_from_u64(0xD1FF_1020);
+    for case in 0..60 {
+        let formula = random_formula(&mut rng, params.num_agents(), 3);
+        let lazy = LocalChecker::new(FloodSet, params, FloodSetRule);
+        let forced = LocalChecker::new(FloodSet, params, FloodSetRule);
+        forced.force_full_expansion();
+        assert_eq!(forced.layers_expanded(), horizon + 1);
+        for layer in 0..=horizon {
+            assert_eq!(
+                lazy.holds_in_layer(&formula, layer),
+                forced.holds_in_layer(&formula, layer),
+                "case {case}: lazy and forced verdicts differ at layer {layer} on {formula}"
+            );
+        }
+        let lazy_points = lazy.check_points(&model, &formula);
+        assert_eq!(
+            lazy_points,
+            forced.check_points(&model, &formula),
+            "case {case}: lazy and forced point sets differ on {formula}"
+        );
+        // Re-solve on the same checker after forcing every layer:
+        // `check_points` is not memoised, so this is a genuine re-run
+        // against the now-complete model.
+        lazy.force_full_expansion();
+        assert_eq!(
+            lazy_points,
+            lazy.check_points(&model, &formula),
+            "case {case}: re-solving after forced expansion changed the point set on {formula}"
+        );
+    }
+}
+
+/// Global verdicts (`holds_everywhere`) are likewise invariant.
+#[test]
+fn global_verdicts_invariant_under_forced_full_expansion() {
+    let params = params();
+    let mut rng = StdRng::seed_from_u64(0xD1FF_1021);
+    for case in 0..60 {
+        let formula = random_formula(&mut rng, params.num_agents(), 3);
+        let lazy = LocalChecker::new(FloodSet, params, FloodSetRule);
+        let forced = LocalChecker::new(FloodSet, params, FloodSetRule);
+        forced.force_full_expansion();
+        assert_eq!(
+            lazy.holds_everywhere(&formula),
+            forced.holds_everywhere(&formula),
+            "case {case}: lazy and forced global verdicts differ on {formula}"
+        );
+    }
+}
+
+/// At least one seeded query settles while `layers_expanded < horizon`:
+/// knowledge, belief and common belief are layer-local under clock
+/// semantics, so a purely epistemic layer-0 query needs only layer 0
+/// however deep the model is.
+#[test]
+fn epistemic_layer_zero_queries_settle_early() {
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).horizon(4).build();
+    let horizon = params.horizon() as usize;
+    assert_eq!(horizon, 4);
+    let checker = LocalChecker::new(FloodSet, params, FloodSetRule);
+    let mut rng = StdRng::seed_from_u64(0xD1FF_1022);
+    let mut settled_early = 0usize;
+    for _ in 0..12 {
+        // Epistemic-only formulas: no temporal operator, so no cell ever
+        // references a deeper layer.
+        let atom = F::atom(random_atom(&mut rng, params.num_agents()));
+        let formula = F::believes_nonfaulty(
+            AgentId::new(0),
+            F::common_belief(F::or([atom.clone(), F::not(atom)])),
+        );
+        checker.holds_in_layer(&formula, 0);
+        if checker.layers_expanded() < horizon {
+            settled_early += 1;
+        }
+    }
+    assert!(settled_early > 0, "no layer-0 epistemic query settled with layers_expanded < horizon");
+    // The queries above are purely epistemic: layer 0 alone suffices.
+    assert_eq!(checker.layers_expanded(), 1, "epistemic layer-0 queries must not expand layers");
+    assert_eq!(checker.stats().horizon, horizon);
+    assert!(checker.stats().layers_expanded < horizon);
+}
+
+/// `Next` depth bounds expansion: an `AX`-guarded layer-0 query needs
+/// exactly one extra layer, not the whole horizon.
+#[test]
+fn next_depth_bounds_expansion() {
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).horizon(4).build();
+    let checker = LocalChecker::new(FloodSet, params, FloodSetRule);
+    let formula =
+        F::all_next(F::knows(AgentId::new(0), F::atom(ConsensusAtom::Decided(AgentId::new(1)))));
+    checker.holds_in_layer(&formula, 0);
+    assert_eq!(
+        checker.layers_expanded(),
+        2,
+        "AX φ at layer 0 must materialise exactly layers 0 and 1"
+    );
+}

@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::client::{CheckReply, Client, RetryPolicy};
 use crate::framing::MAX_FRAME_LEN;
-use crate::proto::{snapshot_file_name, ModelSpec};
+use crate::proto::{snapshot_file_name, ModelSpec, RequestBackend};
 use crate::server::{ServeOptions, Server, CHAOS_PANIC_FORMULA};
 
 /// Configuration of a chaos run.
@@ -166,7 +166,10 @@ pub fn run_chaos(options: &ChaosOptions) -> Result<String, String> {
 }
 
 /// Answers the differential batch on a fresh connection (dropped before
-/// returning, so the single-threaded server is free for the next fault).
+/// returning, so the single-threaded server is free for the next fault),
+/// through *both* engine backends: the default symbolic path and
+/// `backend=local`. Any divergence between them is itself a broken
+/// invariant, so every differential probe doubles as a cross-engine check.
 fn differential_batch(addr: SocketAddr) -> Result<Vec<bool>, String> {
     let spec = ModelSpec::parse(CHAOS_SPEC)?;
     let mut client = Client::connect_with(
@@ -176,6 +179,19 @@ fn differential_batch(addr: SocketAddr) -> Result<Vec<bool>, String> {
     )
     .map_err(|error| format!("connect: {error}"))?;
     let outcome = client.check(spec, &CHAOS_FORMULAS).map_err(|error| format!("check: {error}"))?;
+    let local = match client
+        .check_with_backend(spec, &CHAOS_FORMULAS, None, RequestBackend::Local)
+        .map_err(|error| format!("local check: {error}"))?
+    {
+        CheckReply::Ok(local) => local,
+        other => return Err(format!("local backend answered {other:?}")),
+    };
+    if local.verdicts != outcome.verdicts {
+        return Err(format!(
+            "backend=local answered {:?}, default backend {:?}",
+            local.verdicts, outcome.verdicts
+        ));
+    }
     Ok(outcome.verdicts)
 }
 

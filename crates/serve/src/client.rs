@@ -22,7 +22,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::framing::{read_frame, write_frame};
-use crate::proto::{CheckOutcome, ModelSpec, Request, Response, ServerStats};
+use crate::proto::{CheckOutcome, ModelSpec, Request, RequestBackend, Response, ServerStats};
 
 /// Bounded exponential backoff for reconnect-and-resend.
 ///
@@ -259,10 +259,28 @@ impl Client {
         formulas: &[&str],
         deadline_ms: Option<u64>,
     ) -> io::Result<CheckReply> {
+        self.check_with_backend(spec, formulas, deadline_ms, RequestBackend::default())
+    }
+
+    /// Like [`Client::check_with_deadline`], but routed through a chosen
+    /// engine backend (`backend=local` asks the server's lazy local
+    /// engine; verdicts are bit-identical to the default backend).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::check_with_deadline`].
+    pub fn check_with_backend(
+        &mut self,
+        spec: ModelSpec,
+        formulas: &[&str],
+        deadline_ms: Option<u64>,
+        backend: RequestBackend,
+    ) -> io::Result<CheckReply> {
         let request = Request::Check {
             spec,
             formulas: formulas.iter().map(|text| text.to_string()).collect(),
             deadline_ms,
+            backend,
         };
         match self.round_trip(&request)? {
             Response::Check(outcome) => {

@@ -21,6 +21,16 @@
 //!   layers, relations, decides-now tables, and the entire BDD manager via
 //!   `epimc-bdd`'s versioned snapshot format) to a file that another
 //!   process restores and answers from bit-identically.
+//! * **Per-request backend selection** — a `check backend=local ...`
+//!   request (see [`RequestBackend`], [`Client::check_with_backend`])
+//!   answers through the lazy local engine
+//!   ([`epimc_check::LocalChecker`]) instead of the warm global checker:
+//!   only the model layers the query's equation system actually demands
+//!   are materialised, and verdicts memoise across requests. Local
+//!   entries are warmed, budgeted and evicted independently of the
+//!   symbolic ones (and evicted first under node pressure — they are
+//!   cheap to rebuild). Both backends must answer bit-identically; the
+//!   chaos harness checks exactly that on every differential batch.
 //!
 //! # Wire protocol
 //!
@@ -93,7 +103,9 @@ mod server;
 
 pub use chaos::{run_chaos, ChaosOptions};
 pub use client::{CheckReply, Client, RetryPolicy};
-pub use proto::{CheckOutcome, ModelSpec, ProtocolKind, Request, Response, ServerStats};
+pub use proto::{
+    CheckOutcome, ModelSpec, ProtocolKind, Request, RequestBackend, Response, ServerStats,
+};
 pub use server::{
     answer_from_snapshot, ServeOptions, Server, AUTO_SNAPSHOT_PATH, CHAOS_PANIC_FORMULA,
     DEFAULT_IO_TIMEOUT_MS, DEFAULT_NODE_BUDGET,

@@ -27,8 +27,10 @@
 //! `--chaos` runs the deterministic fault-injection harness (torn
 //! snapshot writes, corrupt frames, hostile length prefixes, silent
 //! peers, mid-request panics, budget trips), asserting after every fault
-//! that the server still answers a differential batch correctly. The
-//! seed defaults to 0; `--smoke` shrinks the round count for CI.
+//! that the server still answers a differential batch correctly — on
+//! both the default symbolic backend and the lazy local one (the
+//! `check backend=local` protocol token), which must agree bit for bit.
+//! The seed defaults to 0; `--smoke` shrinks the round count for CI.
 //!
 //! The hidden `--restore-answer SNAPSHOT SPEC... -- FORMULA...` mode is the
 //! child half of the snapshot test: it restores the snapshot and prints

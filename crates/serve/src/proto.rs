@@ -324,6 +324,22 @@ pub fn parse_service_formula(text: &str) -> Result<Formula<ConsensusAtom>, Strin
     parse_formula(text, resolve_atom).map_err(|error| error.to_string())
 }
 
+/// Which engine answers a `check` batch.
+///
+/// The default global symbolic engine needs no wire token; `backend=local`
+/// (riding ahead of the spec, like `deadline_ms=`) routes the batch through
+/// the lazy local engine, which materialises reachable layers on demand and
+/// memoises per-formula verdicts across requests. Verdicts are always
+/// bit-identical between the two.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RequestBackend {
+    /// The warm global symbolic checker (the default).
+    #[default]
+    Symbolic,
+    /// The lazy local engine (`epimc_check::LocalChecker`).
+    Local,
+}
+
 /// A request frame, decoded.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Request {
@@ -345,6 +361,9 @@ pub enum Request {
         /// the effective deadline is the tighter of this and the server's
         /// own `--deadline-ms`.
         deadline_ms: Option<u64>,
+        /// The engine answering the batch (wire token `backend=local`; the
+        /// default symbolic engine is tokenless).
+        backend: RequestBackend,
     },
     /// Persist the instance's warm checker to a snapshot file.
     Snapshot {
@@ -369,8 +388,11 @@ impl Request {
             Request::Ping => "ping".to_string(),
             Request::Stats => "stats".to_string(),
             Request::Evict => "evict".to_string(),
-            Request::Check { spec, formulas, deadline_ms } => {
+            Request::Check { spec, formulas, deadline_ms, backend } => {
                 let mut text = String::from("check ");
+                if *backend == RequestBackend::Local {
+                    text.push_str("backend=local ");
+                }
                 if let Some(ms) = deadline_ms {
                     text.push_str(&format!("deadline_ms={ms} "));
                 }
@@ -404,24 +426,38 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "evict" => Ok(Request::Evict),
             "check" => {
-                // The optional deadline rides ahead of the spec (the spec
-                // parser rejects unknown keys, keeping cache keys exact).
-                let (deadline_ms, spec_text) = match rest.strip_prefix("deadline_ms=") {
-                    Some(tail) => {
-                        let (value, spec_text) = tail.split_once(' ').unwrap_or((tail, ""));
+                // Optional tokens ride ahead of the spec, in any order (the
+                // spec parser rejects unknown keys, keeping cache keys
+                // exact).
+                let mut deadline_ms = None;
+                let mut backend = RequestBackend::default();
+                let mut spec_text = rest;
+                loop {
+                    if let Some(tail) = spec_text.strip_prefix("deadline_ms=") {
+                        let (value, remainder) = tail.split_once(' ').unwrap_or((tail, ""));
                         let ms = value
                             .parse::<u64>()
                             .map_err(|_| format!("bad deadline_ms `{value}`"))?;
-                        (Some(ms), spec_text)
+                        deadline_ms = Some(ms);
+                        spec_text = remainder;
+                    } else if let Some(tail) = spec_text.strip_prefix("backend=") {
+                        let (value, remainder) = tail.split_once(' ').unwrap_or((tail, ""));
+                        backend = match value {
+                            "local" => RequestBackend::Local,
+                            "symbolic" => RequestBackend::Symbolic,
+                            other => return Err(format!("unknown backend `{other}`")),
+                        };
+                        spec_text = remainder;
+                    } else {
+                        break;
                     }
-                    None => (None, rest),
-                };
+                }
                 let spec = ModelSpec::parse(spec_text)?;
                 let formulas: Vec<String> = lines.map(str::to_string).collect();
                 if formulas.is_empty() {
                     return Err("check request carries no formulas".to_string());
                 }
-                Ok(Request::Check { spec, formulas, deadline_ms })
+                Ok(Request::Check { spec, formulas, deadline_ms, backend })
             }
             "snapshot" | "restore" => {
                 let spec = ModelSpec::parse(rest)?;
@@ -665,11 +701,25 @@ mod tests {
                 spec,
                 formulas: vec!["CB exists0".to_string(), "decided[0]".to_string()],
                 deadline_ms: None,
+                backend: RequestBackend::Symbolic,
             },
             Request::Check {
                 spec,
                 formulas: vec!["CB exists0".to_string()],
                 deadline_ms: Some(50),
+                backend: RequestBackend::Symbolic,
+            },
+            Request::Check {
+                spec,
+                formulas: vec!["CB exists0".to_string()],
+                deadline_ms: None,
+                backend: RequestBackend::Local,
+            },
+            Request::Check {
+                spec,
+                formulas: vec!["CB exists0".to_string()],
+                deadline_ms: Some(50),
+                backend: RequestBackend::Local,
             },
             Request::Snapshot { spec, path: "/tmp/x.snap".to_string() },
             Request::Restore { spec, path: "/tmp/x.snap".to_string() },
@@ -710,6 +760,23 @@ mod tests {
                 .is_err(),
             "non-numeric deadline"
         );
+        assert!(
+            Request::decode(b"check backend=quantum protocol=floodset n=4 t=1\nCB exists0")
+                .is_err(),
+            "unknown backend"
+        );
+        // The tokens compose in either order.
+        let either_order = Request::decode(
+            b"check backend=local deadline_ms=9 protocol=floodset n=4 t=1\nCB exists0",
+        )
+        .unwrap();
+        assert_eq!(
+            Request::decode(
+                b"check deadline_ms=9 backend=local protocol=floodset n=4 t=1\nCB exists0"
+            )
+            .unwrap(),
+            either_order
+        );
         assert!(Response::decode(b"ok nonsense").is_err());
     }
 
@@ -745,6 +812,7 @@ mod tests {
                 spec,
                 formulas: vec!["CB exists0".to_string(), "AG decided[0]".to_string()],
                 deadline_ms: Some(50),
+                backend: RequestBackend::Local,
             }
             .encode(),
             Request::Snapshot { spec, path: "auto".to_string() }.encode(),

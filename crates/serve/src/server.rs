@@ -40,7 +40,8 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use epimc_check::{
-    catch_budget, BddError, Budget, BudgetReason, EvalSession, SymbolicChecker, SymbolicOptions,
+    catch_budget, BddError, Budget, BudgetReason, EvalSession, LocalChecker, SymbolicChecker,
+    SymbolicOptions,
 };
 use epimc_logic::Formula;
 use epimc_protocols::{
@@ -52,7 +53,7 @@ use epimc_system::ConsensusAtom;
 use crate::framing::{read_frame, write_frame};
 use crate::proto::{
     parse_service_formula, parse_snapshot_file_name, snapshot_file_name, CheckOutcome, ModelSpec,
-    ProtocolKind, Request, Response, ServerStats,
+    ProtocolKind, Request, RequestBackend, Response, ServerStats,
 };
 
 /// Default node budget: warm managers may hold this many live BDD nodes in
@@ -278,6 +279,89 @@ impl WarmChecker {
     }
 }
 
+/// One warm lazy-engine checker; like [`WarmChecker`], the enum closes the
+/// set of (exchange, rule) pairs so the server stays non-generic.
+enum WarmLocal {
+    FloodSet(LocalChecker<FloodSet, FloodSetRule>),
+    Count(LocalChecker<CountFloodSet, TextbookRule>),
+    Diff(LocalChecker<DiffFloodSet, TextbookRule>),
+    DworkMoses(LocalChecker<DworkMoses, DworkMosesRule>),
+    EMin(LocalChecker<EMin, EMinRule>),
+    EBasic(LocalChecker<EBasic, EBasicRule>),
+}
+
+/// Runs `$body` with `$checker` bound to the variant's lazy checker.
+macro_rules! with_local {
+    ($warm:expr, |$checker:ident| $body:expr) => {
+        match $warm {
+            WarmLocal::FloodSet($checker) => $body,
+            WarmLocal::Count($checker) => $body,
+            WarmLocal::Diff($checker) => $body,
+            WarmLocal::DworkMoses($checker) => $body,
+            WarmLocal::EMin($checker) => $body,
+            WarmLocal::EBasic($checker) => $body,
+        }
+    };
+}
+
+impl WarmLocal {
+    /// Builds the lazy instance: only layer 0 materialises here; deeper
+    /// layers appear when a query forces them.
+    fn build(spec: &ModelSpec) -> WarmLocal {
+        let params = spec.params();
+        match spec.protocol {
+            ProtocolKind::FloodSet => {
+                WarmLocal::FloodSet(LocalChecker::new(FloodSet, params, FloodSetRule))
+            }
+            ProtocolKind::CountFloodSet => {
+                WarmLocal::Count(LocalChecker::new(CountFloodSet, params, TextbookRule))
+            }
+            ProtocolKind::DiffFloodSet => {
+                WarmLocal::Diff(LocalChecker::new(DiffFloodSet, params, TextbookRule))
+            }
+            ProtocolKind::DworkMoses => {
+                WarmLocal::DworkMoses(LocalChecker::new(DworkMoses, params, DworkMosesRule))
+            }
+            ProtocolKind::EMin => WarmLocal::EMin(LocalChecker::new(EMin, params, EMinRule)),
+            ProtocolKind::EBasic => {
+                WarmLocal::EBasic(LocalChecker::new(EBasic, params, EBasicRule))
+            }
+        }
+    }
+
+    fn set_budget(&self, budget: Option<Budget>) {
+        with_local!(self, |checker| checker.set_budget(budget))
+    }
+
+    fn holds_everywhere(&self, formula: &Formula<ConsensusAtom>) -> bool {
+        with_local!(self, |checker| checker.holds_everywhere(formula))
+    }
+
+    fn live_nodes(&self) -> u64 {
+        with_local!(self, |checker| checker.symbolic_stats().live_nodes as u64)
+    }
+
+    fn relational_product_calls(&self) -> u64 {
+        with_local!(self, |checker| checker.symbolic_stats().relational_product_calls)
+    }
+
+    /// Cross-request verdict-memo hits — the lazy engine's analogue of
+    /// the symbolic path's session hits.
+    fn memo_hits(&self) -> u64 {
+        with_local!(self, |checker| checker.stats().memo_hits as u64)
+    }
+}
+
+/// One warm lazy-engine entry. The horizon the checker was built for is
+/// part of the entry (it fixes the meaning of `holds_everywhere` and of
+/// the verdict memo), so a request at a different horizon rebuilds —
+/// cheap, because construction is lazy.
+struct LocalEntry {
+    checker: WarmLocal,
+    horizon: usize,
+    last_used: u64,
+}
+
 struct WarmEntry {
     checker: WarmChecker,
     /// The cross-request denotation cache. `None` only transiently (taken
@@ -301,6 +385,10 @@ struct ServerState {
     /// Keyed by the spec with the horizon zeroed out, so longer-horizon
     /// requests extend instead of duplicating the instance.
     entries: HashMap<ModelSpec, WarmEntry>,
+    /// Warm lazy-engine checkers (`backend=local` requests), keyed like
+    /// `entries`. Kept apart so a local request never pays for a full
+    /// symbolic construction and vice versa.
+    local_entries: HashMap<ModelSpec, LocalEntry>,
     clock: u64,
     requests: u64,
     evictions: u64,
@@ -313,8 +401,14 @@ fn base_key(spec: &ModelSpec) -> ModelSpec {
 
 impl ServerState {
     fn new(options: ServeOptions) -> Self {
-        let mut state =
-            ServerState { entries: HashMap::new(), clock: 0, requests: 0, evictions: 0, options };
+        let mut state = ServerState {
+            entries: HashMap::new(),
+            local_entries: HashMap::new(),
+            clock: 0,
+            requests: 0,
+            evictions: 0,
+            options,
+        };
         state.recover_snapshots();
         state
     }
@@ -360,11 +454,30 @@ impl ServerState {
     }
 
     /// Evicts least-recently-used entries until the summed live nodes fit
-    /// the budget (always keeping at least the most recent entry).
+    /// the budget (always keeping at least the most recent symbolic
+    /// entry). Lazy-engine entries go first: they rebuild in one layer.
     fn enforce_budget(&mut self) {
         loop {
-            let total: u64 = self.entries.values().map(|e| e.checker.live_nodes()).sum();
-            if total <= self.options.node_budget || self.entries.len() <= 1 {
+            let total: u64 = self
+                .entries
+                .values()
+                .map(|e| e.checker.live_nodes())
+                .chain(self.local_entries.values().map(|e| e.checker.live_nodes()))
+                .sum();
+            if total <= self.options.node_budget {
+                return;
+            }
+            if let Some(oldest) = self
+                .local_entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| *key)
+            {
+                self.local_entries.remove(&oldest);
+                self.evictions += 1;
+                continue;
+            }
+            if self.entries.len() <= 1 {
                 return;
             }
             let oldest = self
@@ -386,20 +499,26 @@ impl ServerState {
         match request {
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats(ServerStats {
-                entries: self.entries.len() as u64,
-                live_nodes: self.entries.values().map(|e| e.checker.live_nodes()).sum(),
+                entries: (self.entries.len() + self.local_entries.len()) as u64,
+                live_nodes: self
+                    .entries
+                    .values()
+                    .map(|e| e.checker.live_nodes())
+                    .chain(self.local_entries.values().map(|e| e.checker.live_nodes()))
+                    .sum(),
                 requests: self.requests,
                 evictions: self.evictions,
             }),
             Request::Evict => {
-                let count = self.entries.len() as u64;
+                let count = (self.entries.len() + self.local_entries.len()) as u64;
                 for (_, mut entry) in self.entries.drain() {
                     entry.drop_session();
                 }
+                self.local_entries.clear();
                 Response::Evicted(count)
             }
-            Request::Check { spec, formulas, deadline_ms } => {
-                self.check(spec, &formulas, deadline_ms)
+            Request::Check { spec, formulas, deadline_ms, backend } => {
+                self.check(spec, &formulas, deadline_ms, backend)
             }
             Request::Snapshot { spec, path } => self.snapshot(spec, &path),
             Request::Restore { spec, path } => self.restore(spec, &path),
@@ -449,6 +568,7 @@ impl ServerState {
         spec: ModelSpec,
         formula_texts: &[String],
         deadline_ms: Option<u64>,
+        backend: RequestBackend,
     ) -> Response {
         if self.options.fault_injection
             && formula_texts.iter().any(|text| text == CHAOS_PANIC_FORMULA)
@@ -469,6 +589,9 @@ impl ServerState {
             .effective_deadline_ms(deadline_ms)
             .map(|ms| Budget::with_timeout(Duration::from_millis(ms)));
         let started = Instant::now();
+        if backend == RequestBackend::Local {
+            return self.check_local(spec, &formulas, budget, started);
+        }
         // Read the image counter before any build/extension so a cold
         // request charges its model construction to `relational_products`.
         let products_before = self
@@ -514,6 +637,70 @@ impl ServerState {
                 if let Some(mut entry) = self.entries.remove(&key) {
                     entry.session = None;
                     drop(entry);
+                    self.evictions += 1;
+                }
+                budget_response(&error)
+            }
+        }
+    }
+
+    /// The `backend=local` path: answers the batch from a warm lazy-engine
+    /// checker that materialises reachable layers on demand and memoises
+    /// per-formula verdicts across requests. Verdicts are bit-identical to
+    /// the default path; only the construction strategy differs.
+    fn check_local(
+        &mut self,
+        spec: ModelSpec,
+        formulas: &[Formula<ConsensusAtom>],
+        budget: Option<Budget>,
+        started: Instant,
+    ) -> Response {
+        let key = base_key(&spec);
+        let state = &mut *self;
+        let result = catch_budget(move || {
+            let clock = state.clock;
+            let horizon = spec.horizon as usize;
+            // A different horizon changes what `holds_everywhere` means,
+            // so the memoised entry cannot be reused across horizons.
+            if state.local_entries.get(&key).is_some_and(|entry| entry.horizon != horizon) {
+                state.local_entries.remove(&key);
+            }
+            let existed = state.local_entries.contains_key(&key);
+            // Read the image counter before the (lazy) cold build so the
+            // request is charged its layer-0 construction.
+            let products_before = state
+                .local_entries
+                .get(&key)
+                .map_or(0, |entry| entry.checker.relational_product_calls());
+            let entry = state.local_entries.entry(key).or_insert_with(|| LocalEntry {
+                checker: WarmLocal::build(&spec),
+                horizon,
+                last_used: clock,
+            });
+            entry.last_used = clock;
+            entry.checker.set_budget(budget);
+            let hits_before = entry.checker.memo_hits();
+            let verdicts: Vec<bool> =
+                formulas.iter().map(|formula| entry.checker.holds_everywhere(formula)).collect();
+            entry.checker.set_budget(None);
+            CheckOutcome {
+                warm: existed,
+                wall_micros: started.elapsed().as_micros() as u64,
+                relational_products: entry.checker.relational_product_calls() - products_before,
+                session_hits: entry.checker.memo_hits() - hits_before,
+                live_nodes: entry.checker.live_nodes(),
+                verdicts,
+            }
+        });
+        match result {
+            Ok(outcome) => {
+                self.enforce_budget();
+                Response::Check(outcome)
+            }
+            Err(error) => {
+                // As on the default path: the tripped checker is evicted,
+                // everything else stays warm.
+                if self.local_entries.remove(&key).is_some() {
                     self.evictions += 1;
                 }
                 budget_response(&error)
@@ -757,6 +944,17 @@ mod tests {
                 "AG (decided[1].0 => !decided[1].1)".to_string(),
             ],
             deadline_ms: None,
+            backend: RequestBackend::Symbolic,
+        }
+    }
+
+    /// The same batch as [`check_request`], routed through `backend=local`.
+    fn local_check_request(spec: ModelSpec) -> Request {
+        match check_request(spec) {
+            Request::Check { spec, formulas, deadline_ms, .. } => {
+                Request::Check { spec, formulas, deadline_ms, backend: RequestBackend::Local }
+            }
+            other => unreachable!("check_request built {other:?}"),
         }
     }
 
@@ -821,12 +1019,14 @@ mod tests {
             spec: floodset_spec(),
             formulas: vec!["K[0] (".to_string()],
             deadline_ms: None,
+            backend: RequestBackend::Symbolic,
         });
         assert!(matches!(response, Response::Error(_)));
         let response = state.handle(Request::Check {
             spec: floodset_spec(),
             formulas: vec!["flux[3]".to_string()],
             deadline_ms: None,
+            backend: RequestBackend::Symbolic,
         });
         assert!(matches!(response, Response::Error(_)));
         assert!(matches!(
@@ -977,6 +1177,7 @@ mod tests {
             spec: longer,
             formulas: vec!["EF decided[2]".to_string()],
             deadline_ms: Some(0),
+            backend: RequestBackend::Symbolic,
         });
         assert!(
             matches!(response, Response::BudgetExceeded(_)),
@@ -998,6 +1199,53 @@ mod tests {
         assert_eq!(rebuilt.verdicts, floodset_cold.verdicts);
     }
 
+    /// The `backend=local` path answers bit-identical verdicts to the
+    /// default backend on the warm differential batch, and its warm
+    /// repeats come from the cross-request verdict memo.
+    #[test]
+    fn local_backend_matches_default_backend_on_warm_batches() {
+        let mut state = ServerState::new(ServeOptions::default());
+        let spec = floodset_spec();
+        // Warm both engines with the differential batch.
+        let default_cold = expect_check(state.handle(check_request(spec)));
+        let local_cold = expect_check(state.handle(local_check_request(spec)));
+        assert!(!local_cold.warm, "the first local batch builds its entry");
+        assert_eq!(local_cold.verdicts, default_cold.verdicts, "cold batches diverge");
+        // The warm differential batch must be bit-identical across engines.
+        let default_warm = expect_check(state.handle(check_request(spec)));
+        let local_warm = expect_check(state.handle(local_check_request(spec)));
+        assert!(default_warm.warm && local_warm.warm, "both entries stay warm");
+        assert_eq!(local_warm.verdicts, default_warm.verdicts, "warm batches diverge");
+        assert!(local_warm.session_hits > 0, "warm repeats hit the verdict memo");
+        assert_eq!(local_warm.relational_products, 0, "a memoised repeat builds nothing");
+        // Both engines show up in the server's bookkeeping.
+        assert_eq!(state.entries.len(), 1);
+        assert_eq!(state.local_entries.len(), 1);
+    }
+
+    /// A budget trip on the local backend evicts exactly its own entry;
+    /// the symbolic entry for the same instance stays warm.
+    #[test]
+    fn budget_trip_on_the_local_backend_evicts_only_its_entry() {
+        let mut state = ServerState::new(ServeOptions::default());
+        let spec = floodset_spec();
+        expect_check(state.handle(check_request(spec)));
+        let response = state.handle(Request::Check {
+            spec,
+            formulas: vec!["EF decided[2]".to_string()],
+            deadline_ms: Some(0),
+            backend: RequestBackend::Local,
+        });
+        assert!(matches!(response, Response::BudgetExceeded(_)), "got {response:?}");
+        assert!(state.local_entries.is_empty(), "the tripped local entry is gone");
+        assert_eq!(state.entries.len(), 1, "the symbolic entry survives");
+        // A retry without the deadline rebuilds the local entry and agrees
+        // with the warm symbolic one.
+        let local = expect_check(state.handle(local_check_request(spec)));
+        let symbolic = expect_check(state.handle(check_request(spec)));
+        assert_eq!(local.verdicts, symbolic.verdicts);
+    }
+
     /// An expired deadline on a *cold build* answers budget-exceeded
     /// without ever inserting a poisoned entry; retrying without a
     /// deadline succeeds.
@@ -1009,6 +1257,7 @@ mod tests {
             spec,
             formulas: vec!["EF decided[2]".to_string()],
             deadline_ms: Some(0),
+            backend: RequestBackend::Symbolic,
         });
         assert!(matches!(response, Response::BudgetExceeded(_)), "got {response:?}");
         assert!(state.entries.is_empty(), "an aborted cold build inserts nothing");

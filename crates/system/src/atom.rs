@@ -22,7 +22,7 @@ use crate::value::{Round, Value};
 /// * the values of the observable variables of the information exchange
 ///   (`ObsEquals`, `ObsAtMost`), which is how protocol-specific conditions
 ///   such as `count <= 1` or `values_received[0]` are expressed.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ConsensusAtom {
     /// Agent `0`'s initial preference is the given value.
     InitIs(AgentId, Value),
@@ -45,6 +45,72 @@ pub enum ConsensusAtom {
     /// The observable variable with the given index of the agent is at most
     /// the given value.
     ObsAtMost(AgentId, usize, u32),
+    /// **Test-only** atom with a deliberately degenerate hash: the payload
+    /// is its truth value (⊤ everywhere or ⊥ everywhere) but is *ignored*
+    /// by the [`Hash`] impl, so `CollisionProbe(true)` and
+    /// `CollisionProbe(false)` are structurally distinct formulas with
+    /// colliding [`Formula::canonical_hash`](epimc_logic::Formula::canonical_hash)
+    /// values. Regression tests use it to force hash collisions in
+    /// cross-request denotation caches and verify the structural collision
+    /// check rejects the stale entry.
+    #[doc(hidden)]
+    CollisionProbe(bool),
+}
+
+/// Manual, platform-stable hashing with explicit one-byte variant tags
+/// (the derived impl would hash the compiler-chosen discriminant). The
+/// `CollisionProbe` arm deliberately ignores its payload — see the
+/// variant's documentation.
+impl std::hash::Hash for ConsensusAtom {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match *self {
+            ConsensusAtom::InitIs(agent, value) => {
+                state.write_u8(0);
+                agent.hash(state);
+                value.hash(state);
+            }
+            ConsensusAtom::ExistsInit(value) => {
+                state.write_u8(1);
+                value.hash(state);
+            }
+            ConsensusAtom::Nonfaulty(agent) => {
+                state.write_u8(2);
+                agent.hash(state);
+            }
+            ConsensusAtom::Decided(agent) => {
+                state.write_u8(3);
+                agent.hash(state);
+            }
+            ConsensusAtom::DecidedValue(agent, value) => {
+                state.write_u8(4);
+                agent.hash(state);
+                value.hash(state);
+            }
+            ConsensusAtom::DecidesNow(agent, value) => {
+                state.write_u8(5);
+                agent.hash(state);
+                value.hash(state);
+            }
+            ConsensusAtom::TimeIs(round) => {
+                state.write_u8(6);
+                round.hash(state);
+            }
+            ConsensusAtom::ObsEquals(agent, var, value) => {
+                state.write_u8(7);
+                agent.hash(state);
+                var.hash(state);
+                value.hash(state);
+            }
+            ConsensusAtom::ObsAtMost(agent, var, value) => {
+                state.write_u8(8);
+                agent.hash(state);
+                var.hash(state);
+                value.hash(state);
+            }
+            // The payload is NOT hashed: both probes share one hash.
+            ConsensusAtom::CollisionProbe(_) => state.write_u8(9),
+        }
+    }
 }
 
 impl fmt::Display for ConsensusAtom {
@@ -67,6 +133,7 @@ impl fmt::Display for ConsensusAtom {
             ConsensusAtom::ObsAtMost(agent, var, value) => {
                 write!(f, "obs[{}][{}]<={}", agent.index(), var, value)
             }
+            ConsensusAtom::CollisionProbe(truth) => write!(f, "collision-probe[{truth}]"),
         }
     }
 }

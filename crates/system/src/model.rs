@@ -273,6 +273,7 @@ impl<E: InformationExchange, R: DecisionRule<E>> PointModel for ConsensusModel<E
             ConsensusAtom::ObsAtMost(agent, var, value) => {
                 self.observation(agent, point).value(var) <= value
             }
+            ConsensusAtom::CollisionProbe(truth) => truth,
         }
     }
 }

@@ -1,12 +1,16 @@
-//! Seeded random differential suite cross-validating the two model-checking
+//! Seeded random differential suite cross-validating the model-checking
 //! engines: on randomly generated epistemic/temporal formulas, the
-//! explicit-state checker and the symbolic (BDD) checker must return exactly
-//! the same set of points — not merely the same valid/invalid verdict.
+//! explicit-state checker, the symbolic (BDD) checker and the local
+//! (on-the-fly) checker must return exactly the same set of points — not
+//! merely the same valid/invalid verdict.
 //!
-//! Three protocol families are covered (FloodSet, Count FloodSet and the
-//! Differential exchange), with at least 200 generated formulas each. The
-//! generator is seeded, so a failure reproduces exactly, and the failing
-//! formula is printed in full on mismatch.
+//! The clock-semantics outcomes are unique (Huang & van der Meyden), so
+//! explicit ≡ symbolic ≡ local must hold bit-for-bit. The **three-way
+//! grid** at the bottom runs all three engines behind the common
+//! [`CheckBackend`] seam on 200 formulas for each of the six protocol
+//! families; on a mismatch the diverging engine, formula and first
+//! diverging layer are printed. The generator is seeded, so a failure
+//! reproduces exactly.
 
 use epimc::prelude::*;
 use rand::rngs::StdRng;
@@ -134,6 +138,97 @@ fn relational_agrees_on<E, R>(
             "{family} case {case}: relational front-end disagrees on {formula}"
         );
     }
+}
+
+/// The first layer at which two point sets differ, for diagnostics.
+fn diverging_layer<M: PointModel>(model: &M, a: &PointSet, b: &PointSet) -> Option<Round> {
+    (0..model.num_layers() as Round).find(|&t| a.restrict_to_layer(t) != b.restrict_to_layer(t))
+}
+
+/// The three-way differential grid: `FORMULAS_PER_FAMILY` seeded random
+/// formulas checked by all three engines behind the [`CheckBackend`]
+/// seam, requiring identical point sets *and* identical global verdicts.
+/// On a mismatch the diverging engine, formula and first diverging layer
+/// are reported.
+fn three_way_agree_on<E, R>(family: &str, exchange: E, rule: R, params: ModelParams, seed: u64)
+where
+    E: InformationExchange + SymbolicEncode + 'static,
+    R: DecisionRule<E> + SymbolicRule<E> + Clone + 'static,
+{
+    let model = ConsensusModel::explore(exchange.clone(), params, rule.clone());
+    let explicit = Checker::new(&model);
+    let symbolic = SymbolicChecker::new(&model);
+    let local = LocalChecker::new(exchange, params, rule);
+    let backends: [&dyn CheckBackend<E, R>; 3] = [&explicit, &symbolic, &local];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..FORMULAS_PER_FAMILY {
+        let formula = random_formula(&mut rng, params.num_agents(), 3);
+        let reference = backends[0].backend_check_points(&model, &formula);
+        let reference_verdict = backends[0].backend_holds_everywhere(&formula);
+        for backend in &backends[1..] {
+            let points = backend.backend_check_points(&model, &formula);
+            if points != reference {
+                panic!(
+                    "{family} case {case}: engine `{}` diverges from `{}` at layer {:?} on {formula}",
+                    backend.backend_name(),
+                    backends[0].backend_name(),
+                    diverging_layer(&model, &reference, &points),
+                );
+            }
+            assert_eq!(
+                backend.backend_holds_everywhere(&formula),
+                reference_verdict,
+                "{family} case {case}: engine `{}` verdict diverges on {formula}",
+                backend.backend_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn three_way_grid_floodset_crash() {
+    let params = ModelParams::builder().agents(3).max_faulty(1).values(2).build();
+    three_way_agree_on("floodset", FloodSet, FloodSetRule, params, 0xD1FF_0020);
+}
+
+#[test]
+fn three_way_grid_count_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    three_way_agree_on("count", CountFloodSet, TextbookRule, params, 0xD1FF_0021);
+}
+
+#[test]
+fn three_way_grid_diff_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    three_way_agree_on("diff", DiffFloodSet, TextbookRule, params, 0xD1FF_0022);
+}
+
+#[test]
+fn three_way_grid_dwork_moses_crash() {
+    let params = ModelParams::builder().agents(2).max_faulty(1).values(2).build();
+    three_way_agree_on("dworkmoses", DworkMoses, DworkMosesRule, params, 0xD1FF_0023);
+}
+
+#[test]
+fn three_way_grid_emin_omissions() {
+    let params = ModelParams::builder()
+        .agents(2)
+        .max_faulty(1)
+        .values(2)
+        .failure(FailureKind::SendOmission)
+        .build();
+    three_way_agree_on("emin", EMin, EMinRule, params, 0xD1FF_0024);
+}
+
+#[test]
+fn three_way_grid_ebasic_omissions() {
+    let params = ModelParams::builder()
+        .agents(2)
+        .max_faulty(1)
+        .values(2)
+        .failure(FailureKind::SendOmission)
+        .build();
+    three_way_agree_on("ebasic", EBasic, EBasicRule, params, 0xD1FF_0025);
 }
 
 #[test]
